@@ -1,0 +1,175 @@
+// Benchmarks mapping one-to-one onto the paper's evaluation (§VI): one
+// benchmark per figure series, at smoke scale so `go test -bench=.`
+// finishes quickly. cmd/sqloopbench regenerates the full figures with
+// the calibrated cost model; these benches track relative regressions.
+//
+// Naming: BenchmarkFig<N><Workload>_<Method>[_<Engine>].
+package sqloop_test
+
+import (
+	"context"
+	"testing"
+
+	"sqloop/internal/bench"
+	"sqloop/internal/core"
+)
+
+// benchScale keeps testing.B iterations affordable.
+const (
+	benchPRNodes   = 800
+	benchPRIters   = 10
+	benchSSSPNodes = 800
+	benchDQNodes   = 1000
+	benchParts     = 8
+)
+
+func runBench(b *testing.B, cfg bench.Config, query string) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		m, err := bench.Run(ctx, cfg, query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Rounds), "rounds")
+		b.ReportMetric(float64(m.Work.Statements), "stmts")
+	}
+}
+
+func prConfig(mode core.Mode, threads int, profile string) bench.Config {
+	return bench.Config{
+		Profile: profile, Mode: mode, Threads: threads, Partitions: benchParts,
+		Dataset: "google-web", Nodes: benchPRNodes, Seed: 42,
+		Priority: bench.PendingRankPriority,
+	}
+}
+
+func ssspConfig(mode core.Mode, threads int, profile string) bench.Config {
+	return bench.Config{
+		Profile: profile, Mode: mode, Threads: threads, Partitions: benchParts,
+		Dataset: "twitter-ego", Nodes: benchSSSPNodes, Seed: 42,
+		Priority: bench.MinFrontierPriority,
+	}
+}
+
+func dqConfig(mode core.Mode, threads int, profile string) bench.Config {
+	return bench.Config{
+		Profile: profile, Mode: mode, Threads: threads, Partitions: benchParts,
+		Dataset: "berkstan-web", Nodes: benchDQNodes, Seed: 42,
+		Priority: bench.MinFrontierPriority,
+	}
+}
+
+// --- Fig 4: single-thread methods, per engine ---
+
+func BenchmarkFig4PR_Sync_PG(b *testing.B) {
+	runBench(b, prConfig(core.ModeSync, 1, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig4PR_Async_PG(b *testing.B) {
+	runBench(b, prConfig(core.ModeAsync, 1, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig4PR_AsyncP_PG(b *testing.B) {
+	runBench(b, prConfig(core.ModeAsyncPrio, 1, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig4PR_Sync_My(b *testing.B) {
+	runBench(b, prConfig(core.ModeSync, 1, "mysim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig4PR_Sync_Maria(b *testing.B) {
+	runBench(b, prConfig(core.ModeSync, 1, "mariasim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig4SSSP_Sync_PG(b *testing.B) {
+	runBench(b, ssspConfig(core.ModeSync, 1, "pgsim"), bench.SSSPQuery(100))
+}
+
+func BenchmarkFig4SSSP_Async_PG(b *testing.B) {
+	runBench(b, ssspConfig(core.ModeAsync, 1, "pgsim"), bench.SSSPQuery(100))
+}
+
+func BenchmarkFig4SSSP_AsyncP_PG(b *testing.B) {
+	runBench(b, ssspConfig(core.ModeAsyncPrio, 1, "pgsim"), bench.SSSPQuery(100))
+}
+
+func BenchmarkFig4DQ_Sync_PG(b *testing.B) {
+	runBench(b, dqConfig(core.ModeSync, 1, "pgsim"), bench.DQQuery(1, 100))
+}
+
+func BenchmarkFig4DQ_Async_PG(b *testing.B) {
+	runBench(b, dqConfig(core.ModeAsync, 1, "pgsim"), bench.DQQuery(1, 100))
+}
+
+func BenchmarkFig4DQ_AsyncP_PG(b *testing.B) {
+	runBench(b, dqConfig(core.ModeAsyncPrio, 1, "pgsim"), bench.DQQuery(1, 100))
+}
+
+// --- Fig 5: thread scaling (representative points of the sweep) ---
+
+func BenchmarkFig5PR_Async_1Thread(b *testing.B) {
+	runBench(b, prConfig(core.ModeAsync, 1, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig5PR_Async_4Threads(b *testing.B) {
+	runBench(b, prConfig(core.ModeAsync, 4, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig5SSSP_Sync_1Thread(b *testing.B) {
+	runBench(b, ssspConfig(core.ModeSync, 1, "pgsim"), bench.SSSPQuery(100))
+}
+
+func BenchmarkFig5SSSP_Sync_4Threads(b *testing.B) {
+	runBench(b, ssspConfig(core.ModeSync, 4, "pgsim"), bench.SSSPQuery(100))
+}
+
+// --- Fig 6: SQL-script baseline vs SQLoop ---
+
+func BenchmarkFig6PR_Script_PG(b *testing.B) {
+	cfg := prConfig(core.ModeSingle, 4, "pgsim")
+	cfg.DisableMaterialization = true
+	runBench(b, cfg, bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig6PR_Async4_PG(b *testing.B) {
+	runBench(b, prConfig(core.ModeAsync, 4, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkFig6DQ_Script_PG(b *testing.B) {
+	cfg := dqConfig(core.ModeSingle, 4, "pgsim")
+	cfg.DisableMaterialization = true
+	runBench(b, cfg, bench.DQQuery(1, 100))
+}
+
+func BenchmarkFig6DQ_Async4_PG(b *testing.B) {
+	runBench(b, dqConfig(core.ModeAsync, 4, "pgsim"), bench.DQQuery(1, 100))
+}
+
+// --- Ablations (DESIGN.md design choices) ---
+
+// Materialized join on vs off (§V-B): the paper's claim that reusing the
+// constant join part "greatly improves performance".
+func BenchmarkAblationMaterializationOn(b *testing.B) {
+	runBench(b, prConfig(core.ModeSync, 2, "pgsim"), bench.PageRankQuery(benchPRIters))
+}
+
+func BenchmarkAblationMaterializationOff(b *testing.B) {
+	cfg := prConfig(core.ModeSync, 2, "pgsim")
+	cfg.DisableMaterialization = true
+	runBench(b, cfg, bench.PageRankQuery(benchPRIters))
+}
+
+// Partition-count sensitivity (§V-B: "the more partitions, the faster
+// intermediate results propagate").
+func BenchmarkAblationPartitions4(b *testing.B) {
+	cfg := dqConfig(core.ModeAsync, 2, "pgsim")
+	cfg.Partitions = 4
+	runBench(b, cfg, bench.DQQuery(1, 100))
+}
+
+func BenchmarkAblationPartitions32(b *testing.B) {
+	cfg := dqConfig(core.ModeAsync, 2, "pgsim")
+	cfg.Partitions = 32
+	runBench(b, cfg, bench.DQQuery(1, 100))
+}

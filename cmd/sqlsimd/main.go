@@ -1,0 +1,43 @@
+// Command sqlsimd serves an embedded engine over the wire protocol so
+// SQLoop instances (or any sqlsim database/sql client) on other machines
+// can use it — the paper's remote-database deployment: "it is possible
+// to create connections with multiple RDBMSs on different machines by
+// specifying the URL of each target database engine".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sqloop"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5499", "listen address")
+	profile := flag.String("profile", "pgsim", "engine profile: pgsim, mysim or mariasim")
+	withCost := flag.Bool("cost", false, "enable the calibrated latency model")
+	flag.Parse()
+	if err := run(*addr, *profile, *withCost); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, profile string, withCost bool) error {
+	srv, err := sqloop.Serve(profile, addr, withCost)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("sqlsimd (%s) listening on %s\nconnect with DSN %s\n",
+		profile, srv.Addr(), srv.DSN())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return nil
+}

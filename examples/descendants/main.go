@@ -1,0 +1,76 @@
+// Command descendants runs the paper's third workload, the Descendant
+// Query (DQ): which pages are within n clicks of a given page — a BFS
+// expressed as an iterative CTE with a data-value termination condition
+// (§VI-A, also used in HaLoop). The dataset mimics web-BerkStan: two
+// site communities with deep link chains.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sqloop"
+)
+
+// The DQ query is SSSP with unit weights; Hops counts clicks from the
+// root page. It terminates when no page's hop count improves.
+const descendantCTE = `
+WITH ITERATIVE dq(Node, Hops, Delta) AS (
+  SELECT src, CASE WHEN src = %d THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = %d THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT dq.Node,
+         LEAST(dq.Hops, dq.Delta),
+         COALESCE(MIN(Neighbor.Hops + IncomingEdges.weight), Infinity)
+  FROM dq
+  LEFT JOIN edges AS IncomingEdges ON dq.Node = IncomingEdges.dst
+  LEFT JOIN dq AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY dq.Node
+  UNTIL 0 UPDATES
+)
+SELECT COUNT(*) FROM dq WHERE dq.Hops <= %d`
+
+func main() {
+	nodes := flag.Int64("nodes", 3000, "web graph size")
+	root := flag.Int64("root", 1, "root page")
+	hops := flag.Int("hops", 100, "friend-hop limit n")
+	threads := flag.Int("threads", 4, "SQLoop worker threads")
+	parts := flag.Int("partitions", 16, "hash partitions")
+	flag.Parse()
+	if err := run(*nodes, *root, *hops, *threads, *parts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nodes, root int64, hops, threads, parts int) error {
+	ctx := context.Background()
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{
+		Mode: sqloop.ModeAsyncPrio, Threads: threads, Partitions: parts,
+		PriorityQuery: "SELECT 0 - MIN(Delta) FROM $PART WHERE Delta != Infinity",
+	}, false)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	edges, err := sqloop.LoadDataset(db, "berkstan-web", nodes, 11)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exploring %d pages / %d links from page %d\n", nodes, edges, root)
+	for _, n := range []int{1, 5, 20, hops} {
+		start := time.Now()
+		res, err := db.Exec(ctx, fmt.Sprintf(descendantCTE, root, root, n))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pages within %3d clicks: %6v  (%d rounds, %v)\n",
+			n, res.Rows[0][0], res.Stats.Iterations, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

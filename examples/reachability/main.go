@@ -1,0 +1,73 @@
+// Command reachability computes the transitive closure of a web graph
+// with WITH RECURSIVE ... UNION (set semantics). On cyclic data the
+// standard's UNION ALL form never terminates; the deduplicating variant
+// reaches the fix point — the kind of query recursive CTEs were designed
+// for (paper §II), complementing the iterative examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sqloop"
+)
+
+const closureCTE = `
+WITH RECURSIVE reach(src, dst) AS (
+  SELECT src, dst FROM edges
+  UNION
+  SELECT reach.src, edges.dst
+  FROM reach JOIN edges ON reach.dst = edges.src
+)
+SELECT COUNT(*) FROM reach`
+
+const fromRootCTE = `
+WITH RECURSIVE reach(dst) AS (
+  SELECT dst FROM edges WHERE src = %d
+  UNION
+  SELECT edges.dst FROM reach JOIN edges ON reach.dst = edges.src
+)
+SELECT COUNT(*) FROM reach`
+
+func main() {
+	nodes := flag.Int64("nodes", 300, "graph size (closure is quadratic; keep modest)")
+	root := flag.Int64("root", 2, "root node for single-source reachability")
+	flag.Parse()
+	if err := run(*nodes, *root); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nodes, root int64) error {
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ctx := context.Background()
+	edges, err := sqloop.LoadDataset(db, "google-web", nodes, 21)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("web graph: %d nodes, %d links (cyclic)\n", nodes, edges)
+
+	start := time.Now()
+	res, err := db.Exec(ctx, fmt.Sprintf(fromRootCTE, root))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pages reachable from %d (excluding itself): %v (%d recursions, %v)\n",
+		root, res.Rows[0][0], res.Stats.Iterations, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	res, err = db.Exec(ctx, closureCTE)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("full transitive closure: %v reachable pairs (%d recursions, %v)\n",
+		res.Rows[0][0], res.Stats.Iterations, time.Since(start).Round(time.Millisecond))
+	return nil
+}

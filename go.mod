@@ -1,0 +1,3 @@
+module sqloop
+
+go 1.22

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sqloop/internal/core"
+)
+
+func tinyScale() Scale {
+	return Scale{
+		PRNodes: 120, PRIters: 3,
+		SSSPNodes: 120, SSSPDest: 20,
+		DQNodes: 150, DQHops: []int{1, 5},
+		Partitions: 4,
+		Threads:    []int{1, 2},
+		MaxThreads: 2,
+		Engines:    []string{"pgsim"},
+		WithCost:   false,
+		Seed:       1,
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	m, err := Run(context.Background(), Config{
+		Profile: "pgsim", Mode: core.ModeSync, Threads: 2, Partitions: 4,
+		Dataset: "google-web", Nodes: 150, Seed: 1,
+		SampleEvery: 5 * time.Millisecond,
+		SampleQuery: "SELECT SUM(Rank + Delta) FROM pagerank",
+	}, PageRankQuery(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 5 {
+		t.Errorf("rounds = %d", m.Rounds)
+	}
+	if m.Elapsed <= 0 || m.Work.Statements == 0 || m.Work.RowsJoined == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.ConvergenceTime > m.Elapsed {
+		t.Errorf("convergence %v > elapsed %v", m.ConvergenceTime, m.Elapsed)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Profile: "oracle", Dataset: "google-web", Nodes: 10}, "SELECT 1"); err == nil {
+		t.Error("bad profile must error")
+	}
+	if _, err := Run(ctx, Config{Profile: "pgsim", Dataset: "nope", Nodes: 10}, "SELECT 1"); err == nil {
+		t.Error("bad dataset must error")
+	}
+	if _, err := Run(ctx, Config{Profile: "pgsim", Dataset: "google-web", Nodes: 10}, "SELEC"); err == nil {
+		t.Error("bad SQL must error")
+	}
+}
+
+func TestScalarResult(t *testing.T) {
+	m, err := Run(context.Background(), Config{
+		Profile: "pgsim", Mode: core.ModeSync, Threads: 1, Partitions: 2,
+		Dataset: "berkstan-web", Nodes: 100, Seed: 1,
+	}, DQQuery(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ScalarResult() < 1 {
+		t.Errorf("explored = %v", m.ScalarResult())
+	}
+}
+
+func TestFigureRunnersProduceSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every figure at tiny scale")
+	}
+	ctx := context.Background()
+	sc := tinyScale()
+	var buf bytes.Buffer
+	if err := Fig4SSSP(ctx, &buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig4PR(ctx, &buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig4DQ(ctx, &buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig5(ctx, &buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig6(ctx, &buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig 4 / SSSP", "Fig 4 / PR", "Fig 4 / DQ", "Fig 5 / PR",
+		"Fig 5 / SSSP", "Fig 6 / PR", "Fig 6 / DQ",
+		"Sync", "Async", "AsyncP", "SQL Script", "PostgreSQL(sim)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if ModeLabel(core.ModeSingle) != "SQL Script" || ModeLabel(core.ModeAsyncPrio) != "AsyncP" {
+		t.Error("mode labels wrong")
+	}
+	if EngineLabel("pgsim") != "PostgreSQL(sim)" || EngineLabel("x") != "x" {
+		t.Error("engine labels wrong")
+	}
+	if len(Engines()) != 3 {
+		t.Error("engines list wrong")
+	}
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"sqloop/internal/core"
+)
+
+// Scale sets the experiment sizes. The defaults reproduce every figure
+// at laptop scale; the paper's absolute dataset sizes are not a
+// reproduction target (DESIGN.md).
+type Scale struct {
+	PRNodes    int64
+	PRIters    int
+	SSSPNodes  int64
+	SSSPDest   int64
+	DQNodes    int64
+	DQHops     []int
+	Partitions int
+	Threads    []int // Fig 5 sweep
+	MaxThreads int   // Fig 6 thread count
+	Engines    []string
+	WithCost   bool
+	Seed       int64
+}
+
+// DefaultScale is the scaled-down default used by cmd/sqloopbench.
+func DefaultScale() Scale {
+	return Scale{
+		PRNodes:    4000,
+		PRIters:    30,
+		SSSPNodes:  3000,
+		SSSPDest:   100,
+		DQNodes:    4000,
+		DQHops:     []int{1, 5, 20, 100},
+		Partitions: 16,
+		Threads:    []int{1, 2, 4, 8, 16},
+		MaxThreads: 16,
+		Engines:    Engines(),
+		WithCost:   true,
+		Seed:       42,
+	}
+}
+
+// Quick shrinks a scale for smoke runs.
+func (s Scale) Quick() Scale {
+	s.PRNodes, s.SSSPNodes, s.DQNodes = 1500, 1200, 1500
+	s.PRIters = 15
+	s.DQHops = []int{1, 20, 100}
+	s.Partitions = 8
+	s.Threads = []int{1, 2, 4}
+	s.MaxThreads = 4
+	s.Engines = []string{"pgsim"}
+	return s
+}
+
+var parallelModes = []core.Mode{core.ModeSync, core.ModeAsync, core.ModeAsyncPrio}
+
+func priorityFor(mode core.Mode, q string) string {
+	if mode != core.ModeAsyncPrio {
+		return ""
+	}
+	return q
+}
+
+// Fig4SSSP regenerates the Fig. 4 SSSP bars: single-threaded execution
+// time per engine and method.
+func Fig4SSSP(ctx context.Context, w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "\n== Fig 4 / SSSP: single-thread execution time (s), %d nodes ==\n", sc.SSSPNodes)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "engine", "Sync", "Async", "AsyncP")
+	for _, eng := range sc.Engines {
+		times := make([]time.Duration, 0, 3)
+		for _, mode := range parallelModes {
+			m, err := Run(ctx, Config{
+				Profile: eng, Mode: mode, Threads: 1, Partitions: sc.Partitions,
+				Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+				WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+			}, SSSPQuery(sc.SSSPDest))
+			if err != nil {
+				return fmt.Errorf("fig4 sssp %s/%s: %w", eng, ModeLabel(mode), err)
+			}
+			times = append(times, m.Elapsed)
+		}
+		fmt.Fprintf(w, "%-16s %10.3f %10.3f %10.3f\n", EngineLabel(eng),
+			times[0].Seconds(), times[1].Seconds(), times[2].Seconds())
+	}
+	return nil
+}
+
+// Fig4PR regenerates the Fig. 4 PageRank convergence curves: sum of rank
+// over time per method, one block per engine, plus the 99% convergence
+// time.
+func Fig4PR(ctx context.Context, w io.Writer, sc Scale) error {
+	for _, eng := range sc.Engines {
+		fmt.Fprintf(w, "\n== Fig 4 / PR with %s: convergence (sum of rank) vs time, single thread ==\n",
+			EngineLabel(eng))
+		for _, mode := range parallelModes {
+			m, err := Run(ctx, Config{
+				Profile: eng, Mode: mode, Threads: 1, Partitions: sc.Partitions,
+				Dataset: "google-web", Nodes: sc.PRNodes, Seed: sc.Seed,
+				WithCost: sc.WithCost, Priority: priorityFor(mode, PendingRankPriority),
+				SampleEvery: 100 * time.Millisecond,
+				SampleQuery: "SELECT SUM(Rank + Delta) FROM pagerank",
+			}, PageRankQuery(sc.PRIters))
+			if err != nil {
+				return fmt.Errorf("fig4 pr %s/%s: %w", eng, ModeLabel(mode), err)
+			}
+			fmt.Fprintf(w, "%-8s total %s  convergence(99%%) %s  rounds %d\n",
+				ModeLabel(mode), fmtDur(m.Elapsed), fmtDur(m.ConvergenceTime), m.Rounds)
+			fmt.Fprintf(w, "  t(s):sum  ")
+			for i, sm := range m.Samples {
+				if i >= 12 {
+					fmt.Fprintf(w, "...")
+					break
+				}
+				fmt.Fprintf(w, "%.1f:%.0f  ", sm.At.Seconds(), sm.Value)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Fig4DQ regenerates the Fig. 4 DQ curves: execution time vs number of
+// nodes explored, per engine and method.
+func Fig4DQ(ctx context.Context, w io.Writer, sc Scale) error {
+	for _, eng := range sc.Engines {
+		fmt.Fprintf(w, "\n== Fig 4 / DQ with %s: execution time (s) vs nodes explored, single thread ==\n",
+			EngineLabel(eng))
+		fmt.Fprintf(w, "%-6s %10s %10s %10s %10s\n", "hops", "explored", "Sync", "Async", "AsyncP")
+		for _, hops := range sc.DQHops {
+			times := make([]time.Duration, 0, 3)
+			explored := 0.0
+			for _, mode := range parallelModes {
+				m, err := Run(ctx, Config{
+					Profile: eng, Mode: mode, Threads: 1, Partitions: sc.Partitions,
+					Dataset: "berkstan-web", Nodes: sc.DQNodes, Seed: sc.Seed,
+					WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+				}, DQQuery(1, hops))
+				if err != nil {
+					return fmt.Errorf("fig4 dq %s/%s: %w", eng, ModeLabel(mode), err)
+				}
+				times = append(times, m.Elapsed)
+				explored = m.ScalarResult()
+			}
+			fmt.Fprintf(w, "%-6d %10.0f %10.3f %10.3f %10.3f\n", hops, explored,
+				times[0].Seconds(), times[1].Seconds(), times[2].Seconds())
+		}
+	}
+	return nil
+}
+
+// Fig5 regenerates the thread-scaling plots: PR convergence time and
+// SSSP execution time vs worker threads, per engine and method.
+func Fig5(ctx context.Context, w io.Writer, sc Scale) error {
+	for _, query := range []string{"pr", "sssp"} {
+		for _, eng := range sc.Engines {
+			fmt.Fprintf(w, "\n== Fig 5 / %s with %s: time (s) vs threads ==\n",
+				map[string]string{"pr": "PR", "sssp": "SSSP"}[query], EngineLabel(eng))
+			fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "threads", "Sync", "Async", "AsyncP")
+			for _, th := range sc.Threads {
+				times := make([]time.Duration, 0, 3)
+				for _, mode := range parallelModes {
+					cfg := Config{
+						Profile: eng, Mode: mode, Threads: th, Partitions: sc.Partitions,
+						Seed: sc.Seed, WithCost: sc.WithCost,
+					}
+					var q string
+					if query == "pr" {
+						cfg.Dataset, cfg.Nodes = "google-web", sc.PRNodes
+						cfg.Priority = priorityFor(mode, PendingRankPriority)
+						q = PageRankQuery(sc.PRIters)
+					} else {
+						cfg.Dataset, cfg.Nodes = "twitter-ego", sc.SSSPNodes
+						cfg.Priority = priorityFor(mode, MinFrontierPriority)
+						q = SSSPQuery(sc.SSSPDest)
+					}
+					m, err := Run(ctx, cfg, q)
+					if err != nil {
+						return fmt.Errorf("fig5 %s %s/%s t=%d: %w", query, eng, ModeLabel(mode), th, err)
+					}
+					times = append(times, m.Elapsed)
+				}
+				fmt.Fprintf(w, "%-8d %10.3f %10.3f %10.3f\n", th,
+					times[0].Seconds(), times[1].Seconds(), times[2].Seconds())
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6 regenerates the SQL-script comparison: the naive multi-statement
+// baseline (the single-threaded §III algorithm, no partitioning, no
+// materialized join) against SQLoop's three parallel methods at full
+// thread count, for PR and for the two-pages DQ.
+func Fig6(ctx context.Context, w io.Writer, sc Scale) error {
+	modes := []core.Mode{core.ModeSingle, core.ModeSync, core.ModeAsync, core.ModeAsyncPrio}
+	for _, query := range []string{"pr", "dq"} {
+		fmt.Fprintf(w, "\n== Fig 6 / %s: SQL script vs SQLoop (%d threads), time (s) ==\n",
+			map[string]string{"pr": "PR", "dq": "DQ (100 clicks)"}[query], sc.MaxThreads)
+		fmt.Fprintf(w, "%-16s %12s %10s %10s %10s\n", "engine", "SQL Script", "Sync", "Async", "AsyncP")
+		for _, eng := range sc.Engines {
+			times := make([]time.Duration, 0, 4)
+			for _, mode := range modes {
+				cfg := Config{
+					Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+					Seed: sc.Seed, WithCost: sc.WithCost,
+					DisableMaterialization: mode == core.ModeSingle,
+				}
+				var q string
+				if query == "pr" {
+					cfg.Dataset, cfg.Nodes = "google-web", sc.PRNodes
+					cfg.Priority = priorityFor(mode, PendingRankPriority)
+					q = PageRankQuery(sc.PRIters)
+				} else {
+					cfg.Dataset, cfg.Nodes = "berkstan-web", sc.DQNodes
+					cfg.Priority = priorityFor(mode, MinFrontierPriority)
+					q = DQQuery(1, 100)
+				}
+				m, err := Run(ctx, cfg, q)
+				if err != nil {
+					return fmt.Errorf("fig6 %s %s/%s: %w", query, eng, ModeLabel(mode), err)
+				}
+				times = append(times, m.Elapsed)
+			}
+			fmt.Fprintf(w, "%-16s %12.3f %10.3f %10.3f %10.3f\n", EngineLabel(eng),
+				times[0].Seconds(), times[1].Seconds(), times[2].Seconds(), times[3].Seconds())
+		}
+	}
+	return nil
+}

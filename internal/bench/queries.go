@@ -1,0 +1,84 @@
+// Package bench is the experiment harness: the canonical workload
+// queries (PageRank, SSSP, the Descendant Query), a convergence sampler,
+// and one runner per table/figure of the paper's §VI, printing the same
+// series the paper plots (see DESIGN.md's experiment index).
+package bench
+
+import "fmt"
+
+// PageRankQuery is the paper's Example 2. The final query reports
+// Rank + Delta so pending (unabsorbed) mass is visible to the
+// convergence metric regardless of scheduler.
+func PageRankQuery(iterations int) string {
+	return fmt.Sprintf(`
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL %d ITERATIONS
+)
+SELECT Node, Rank + Delta AS Rank FROM PageRank`, iterations)
+}
+
+// SSSPQuery is the paper's Example 3 (source node 1, destination dest),
+// with the source's Distance seeded to 0 — as printed in the paper the
+// query cannot progress under snapshot semantics (see DESIGN.md).
+func SSSPQuery(dest int64) string {
+	return fmt.Sprintf(`
+WITH ITERATIVE sssp(Node, Distance, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, sssp.Delta),
+         COALESCE(MIN(Neighbor.Distance + IncomingEdges.weight), Infinity)
+  FROM sssp
+  LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst
+  LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY sssp.Node
+  UNTIL 0 UPDATES
+)
+SELECT sssp.Distance FROM sssp WHERE sssp.Node = %d`, dest)
+}
+
+// DQQuery is the Descendant Query: pages within hops clicks of the root
+// (§VI-A; the Fig. 6 variant asks how many clicks separate two pages).
+func DQQuery(root int64, hops int) string {
+	return fmt.Sprintf(`
+WITH ITERATIVE dq(Node, Hops, Delta) AS (
+  SELECT src, CASE WHEN src = %d THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = %d THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT dq.Node,
+         LEAST(dq.Hops, dq.Delta),
+         COALESCE(MIN(Neighbor.Hops + IncomingEdges.weight), Infinity)
+  FROM dq
+  LEFT JOIN edges AS IncomingEdges ON dq.Node = IncomingEdges.dst
+  LEFT JOIN dq AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY dq.Node
+  UNTIL 0 UPDATES
+)
+SELECT COUNT(*) FROM dq WHERE dq.Hops <= %d`, root, root, hops)
+}
+
+// MinFrontierPriority is the SSSP/DQ priority function from §V-E: the
+// partition holding the node closest to the source runs first.
+const MinFrontierPriority = "SELECT 0 - MIN(Delta) FROM $PART WHERE Delta != Infinity"
+
+// PendingRankPriority is the PageRank priority function from §V-E: the
+// partition with the most pending rank runs first.
+const PendingRankPriority = "SELECT SUM(Delta) FROM $PART WHERE Delta != 0.0"

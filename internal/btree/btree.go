@@ -1,0 +1,296 @@
+// Package btree implements an in-memory B-tree keyed by sqltypes values,
+// used as the ordered storage backend standing in for the MySQL profile
+// of the embedded engine.
+package btree
+
+import (
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/storage"
+)
+
+// degree is the minimum number of children of an internal node. Nodes
+// hold between degree-1 and 2*degree-1 items.
+const degree = 16
+
+type item struct {
+	key sqltypes.Key
+	row sqltypes.Row
+}
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a B-tree implementing storage.Store. Scans visit keys in
+// sqltypes.CompareTotal order.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty B-tree store.
+func New() *Tree { return &Tree{root: &node{}} }
+
+var _ storage.Store = (*Tree)(nil)
+
+// Name identifies the backend.
+func (t *Tree) Name() string { return "btree" }
+
+// Len returns the number of stored rows.
+func (t *Tree) Len() int { return t.size }
+
+// Clear drops every row.
+func (t *Tree) Clear() {
+	t.root = &node{}
+	t.size = 0
+}
+
+func less(a, b sqltypes.Key) bool {
+	return sqltypes.CompareTotal(a.Value(), b.Value()) < 0
+}
+
+// find returns the index of the first item in n not less than key, and
+// whether that item's key equals key.
+func (n *node) find(key sqltypes.Key) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(n.items[mid].key, key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && !less(key, n.items[lo].key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get returns the row stored under key.
+func (t *Tree) Get(key sqltypes.Key) (sqltypes.Row, bool) {
+	n := t.root
+	for n != nil {
+		i, eq := n.find(key)
+		if eq {
+			return n.items[i].row, true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+	return nil, false
+}
+
+// Insert adds a new row; inserting an existing key fails.
+func (t *Tree) Insert(key sqltypes.Key, row sqltypes.Row) error {
+	if _, ok := t.Get(key); ok {
+		return storage.ErrDuplicateKey
+	}
+	if len(t.root.items) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	t.root.insertNonFull(key, row)
+	t.size++
+	return nil
+}
+
+// splitChild splits the full child at index i of n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	up := child.items[mid]
+	right := &node{items: append([]item(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insertNonFull(key sqltypes.Key, row sqltypes.Row) {
+	i, _ := n.find(key)
+	if n.leaf() {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: key, row: row}
+		return
+	}
+	if len(n.children[i].items) == 2*degree-1 {
+		n.splitChild(i)
+		if less(n.items[i].key, key) {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(key, row)
+}
+
+// Update replaces the row under key, reporting whether it existed.
+func (t *Tree) Update(key sqltypes.Key, row sqltypes.Row) bool {
+	n := t.root
+	for n != nil {
+		i, eq := n.find(key)
+		if eq {
+			n.items[i].row = row
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Delete removes the row under key, reporting whether it existed.
+func (t *Tree) Delete(key sqltypes.Key) bool {
+	if !t.root.delete(key) {
+		return false
+	}
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+// delete removes key from the subtree rooted at n, which is guaranteed to
+// have at least degree items unless it is the root.
+func (n *node) delete(key sqltypes.Key) bool {
+	i, eq := n.find(key)
+	if n.leaf() {
+		if !eq {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with predecessor from the left child (growing it first
+		// if minimal).
+		if len(n.children[i].items) >= degree {
+			pred := n.children[i].max()
+			n.items[i] = pred
+			return n.children[i].delete(pred.key)
+		}
+		if len(n.children[i+1].items) >= degree {
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			return n.children[i+1].delete(succ.key)
+		}
+		n.merge(i)
+		return n.children[i].delete(key)
+	}
+	// Descend, ensuring the child has at least degree items.
+	if len(n.children[i].items) < degree {
+		n.grow(i)
+		// grow may have merged and shifted; recompute.
+		i, eq = n.find(key)
+		if eq {
+			return n.delete(key)
+		}
+		if n.leaf() {
+			return n.delete(key)
+		}
+	}
+	return n.children[i].delete(key)
+}
+
+func (n *node) max() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *node) min() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// grow gives child i at least degree items by borrowing from a sibling or
+// merging.
+func (n *node) grow(i int) {
+	switch {
+	case i > 0 && len(n.children[i-1].items) >= degree:
+		// Borrow from left sibling.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append([]item{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) >= degree:
+		// Borrow from right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append([]item(nil), right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append([]*node(nil), right.children[1:]...)
+		}
+	case i > 0:
+		n.merge(i - 1)
+	default:
+		n.merge(i)
+	}
+}
+
+// merge folds child i+1 and separator i into child i.
+func (n *node) merge(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Scan visits rows in ascending key order until fn returns false.
+func (t *Tree) Scan(fn func(key sqltypes.Key, row sqltypes.Row) bool) {
+	t.root.scan(fn)
+}
+
+func (n *node) scan(fn func(key sqltypes.Key, row sqltypes.Row) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() {
+			if !n.children[i].scan(fn) {
+				return false
+			}
+		}
+		if !fn(it.key, it.row) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].scan(fn)
+	}
+	return true
+}
+
+// Depth returns the tree height (1 for a lone root), exposed for tests
+// and the engine's cost model.
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		d++
+	}
+	return d
+}

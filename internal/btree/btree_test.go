@@ -1,0 +1,72 @@
+package btree_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sqloop/internal/btree"
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/storage"
+	"sqloop/internal/storage/storagetest"
+)
+
+func TestBTreeConformance(t *testing.T) {
+	storagetest.Run(t, func() storage.Store { return btree.New() })
+}
+
+func TestBTreeDepthGrows(t *testing.T) {
+	tr := btree.New()
+	if tr.Depth() != 1 {
+		t.Fatalf("empty depth = %d", tr.Depth())
+	}
+	for i := int64(0); i < 10000; i++ {
+		if err := tr.Insert(sqltypes.NewInt(i).MapKey(), sqltypes.Row{sqltypes.NewInt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("depth after 10k inserts = %d", tr.Depth())
+	}
+	// Delete everything back down; tree must stay consistent.
+	for i := int64(0); i < 10000; i++ {
+		if !tr.Delete(sqltypes.NewInt(i).MapKey()) {
+			t.Fatalf("Delete(%d) missing", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after drain = %d", tr.Len())
+	}
+}
+
+// Property: inserting any permutation of keys yields a sorted scan.
+func TestQuickBTreeSortedScan(t *testing.T) {
+	f := func(xs []int16) bool {
+		tr := btree.New()
+		seen := map[int16]bool{}
+		for _, x := range xs {
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			if err := tr.Insert(sqltypes.NewInt(int64(x)).MapKey(), sqltypes.Row{sqltypes.NewInt(int64(x))}); err != nil {
+				return false
+			}
+		}
+		prev := int64(-1 << 62)
+		ok := true
+		n := 0
+		tr.Scan(func(k sqltypes.Key, _ sqltypes.Row) bool {
+			v := k.Value().Int()
+			if v <= prev {
+				ok = false
+			}
+			prev = v
+			n++
+			return true
+		})
+		return ok && n == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/sqltypes"
+)
+
+// Analysis is the outcome of SQLoop's query analysis (§V-A): whether the
+// iterative part qualifies for partitioned execution and, if so, every
+// piece the plan generator needs.
+type Analysis struct {
+	// Parallelizable reports whether the partitioned executor can run.
+	Parallelizable bool
+	// Reason explains a false Parallelizable in user terms.
+	Reason string
+
+	// AggName is the aggregate function (SUM, MIN, MAX, COUNT, AVG).
+	AggName string
+	// Agg is the aggregate call node inside the delta item.
+	Agg *sqlparser.FuncCall
+	// MsgExpr is the delta item with its COALESCE default stripped:
+	// g(AGG(h)) where h references the neighbor and edge aliases only.
+	MsgExpr sqlparser.Expr
+	// DeltaDefault is the aggregate's identity/reset value (taken from
+	// the COALESCE default when present).
+	DeltaDefault sqltypes.Value
+	// DeltaItem is the position of the delta column in the select list
+	// (and therefore in the CTE schema).
+	DeltaItem int
+
+	// TargetAlias and NeighborAlias are how Ri refers to R and to its
+	// self-joined copy.
+	TargetAlias   string
+	NeighborAlias string
+	// TargetIDCol is the name of the Rid column (§III-A).
+	TargetIDCol string
+
+	// EdgeTable/EdgeAlias describe the joined relation table.
+	EdgeTable string
+	EdgeAlias string
+	// EdgeDstCol is the edge column equated with the target id;
+	// EdgeSrcCol the one equated with the neighbor id.
+	EdgeDstCol string
+	EdgeSrcCol string
+
+	// Pred is Ri's WHERE clause (references neighbor/edge only).
+	Pred sqlparser.Expr
+}
+
+// aggIdentity returns the reset value of an aggregate: the value such
+// that accumulating it is a no-op.
+func aggIdentity(agg string) sqltypes.Value {
+	switch agg {
+	case "MIN":
+		return sqltypes.NewFloat(math.Inf(1))
+	case "MAX":
+		return sqltypes.NewFloat(math.Inf(-1))
+	default: // SUM, COUNT, AVG
+		return sqltypes.NewFloat(0)
+	}
+}
+
+// analyzeStep decides whether Ri matches the parallelizable pattern the
+// paper targets (§V-A):
+//
+//	SELECT R.id, <f(R row)>..., <g(AGG(h(N, E)))>
+//	FROM R LEFT JOIN E ON R.id = E.dst LEFT JOIN R AS N ON N.id = E.src
+//	[WHERE pred(N, E)]
+//	GROUP BY R.id
+func analyzeStep(cte *sqlparser.LoopCTEStmt) Analysis {
+	fail := func(format string, args ...any) Analysis {
+		return Analysis{Reason: fmt.Sprintf(format, args...)}
+	}
+
+	step, ok := cte.Step.(*sqlparser.Select)
+	if !ok {
+		return fail("iterative part is not a plain SELECT")
+	}
+	if len(step.From) != 1 {
+		return fail("iterative part must have a single (joined) FROM item")
+	}
+
+	// Walk the left-deep join chain: R ⟕ edges ⟕ R AS N.
+	join2, ok := step.From[0].(*sqlparser.JoinExpr)
+	if !ok {
+		return fail("iterative part has no join, nothing to parallelize")
+	}
+	join1, ok := join2.Left.(*sqlparser.JoinExpr)
+	if !ok {
+		return fail("iterative part needs the two-join self-join pattern (R JOIN edges JOIN R)")
+	}
+	target, ok := join1.Left.(*sqlparser.TableName)
+	if !ok || !strings.EqualFold(target.Name, cte.Name) {
+		return fail("first FROM relation must be the CTE table %s", cte.Name)
+	}
+	edge, ok := join1.Right.(*sqlparser.TableName)
+	if !ok {
+		return fail("second FROM relation must be a base table")
+	}
+	if strings.EqualFold(edge.Name, cte.Name) {
+		return fail("self-join must go through a relation table (R JOIN edges JOIN R)")
+	}
+	neighbor, ok := join2.Right.(*sqlparser.TableName)
+	if !ok || !strings.EqualFold(neighbor.Name, cte.Name) {
+		return fail("third FROM relation must be the self-joined CTE table %s", cte.Name)
+	}
+
+	an := Analysis{
+		TargetAlias:   aliasOf(target),
+		EdgeTable:     edge.Name,
+		EdgeAlias:     aliasOf(edge),
+		NeighborAlias: aliasOf(neighbor),
+	}
+	if strings.EqualFold(an.TargetAlias, an.NeighborAlias) {
+		return fail("the self-joined copy of %s needs a distinct alias", cte.Name)
+	}
+
+	// join1: R.id = E.dst (either side order).
+	tCol, eDst, ok := equiPair(join1.On, an.TargetAlias, an.EdgeAlias)
+	if !ok {
+		return fail("join between %s and %s must be an equality on single columns",
+			an.TargetAlias, an.EdgeAlias)
+	}
+	// join2: N.id = E.src.
+	nCol, eSrc, ok := equiPair(join2.On, an.NeighborAlias, an.EdgeAlias)
+	if !ok {
+		return fail("self-join between %s and %s must be an equality on single columns",
+			an.NeighborAlias, an.EdgeAlias)
+	}
+	if !strings.EqualFold(tCol, nCol) {
+		return fail("both joins must use the same key column of %s (%s vs %s)", cte.Name, tCol, nCol)
+	}
+	an.TargetIDCol = tCol
+	an.EdgeDstCol = eDst
+	an.EdgeSrcCol = eSrc
+
+	// GROUP BY R.id only.
+	if len(step.GroupBy) != 1 {
+		return fail("iterative part must GROUP BY exactly the key column")
+	}
+	if gb, ok := step.GroupBy[0].(*sqlparser.ColumnRef); !ok ||
+		!refersTo(gb, an.TargetAlias, an.TargetIDCol) {
+		return fail("GROUP BY must be %s.%s", an.TargetAlias, an.TargetIDCol)
+	}
+
+	// Select items: Items[0] = R.id; exactly one aggregate-bearing item
+	// (the delta column); the rest reference the target row only.
+	if len(step.Items) < 2 {
+		return fail("iterative part must select the key and at least one computed column")
+	}
+	if id, ok := step.Items[0].Expr.(*sqlparser.ColumnRef); !ok ||
+		!refersTo(id, an.TargetAlias, an.TargetIDCol) {
+		return fail("first select item must be the key column %s.%s", an.TargetAlias, an.TargetIDCol)
+	}
+	an.DeltaItem = -1
+	itemViolation := ""
+	for i, it := range step.Items {
+		var aggs []*sqlparser.FuncCall
+		collectAggregatesExpr(it.Expr, &aggs)
+		switch {
+		case len(aggs) == 0:
+			if i > 0 && itemViolation == "" && !referencesOnly(it.Expr, []string{an.TargetAlias}, an) {
+				itemViolation = fmt.Sprintf("select item %d must reference only the %s row", i+1, an.TargetAlias)
+			}
+		case len(aggs) == 1:
+			if an.DeltaItem >= 0 {
+				return fail("only one aggregate-computed column is supported")
+			}
+			an.DeltaItem = i
+			an.Agg = aggs[0]
+			an.AggName = aggs[0].Name
+		default:
+			return fail("select item %d uses multiple aggregates", i+1)
+		}
+	}
+	if an.DeltaItem <= 0 {
+		return fail("iterative part contains no supported aggregate (SUM, MIN, MAX, COUNT, AVG)")
+	}
+	if itemViolation != "" {
+		return fail("%s", itemViolation)
+	}
+	if an.Agg.Star || an.Agg.Distinct {
+		return fail("%s(*) and DISTINCT aggregates are not parallelizable", an.AggName)
+	}
+	if !referencesOnly(an.Agg.Args[0], []string{an.NeighborAlias, an.EdgeAlias}, an) {
+		return fail("the aggregate must range over the self-joined row (%s) and the relation (%s)",
+			an.NeighborAlias, an.EdgeAlias)
+	}
+
+	// Strip the COALESCE default, keep g(AGG(h)).
+	deltaExpr := step.Items[an.DeltaItem].Expr
+	an.DeltaDefault = aggIdentity(an.AggName)
+	if co, ok := deltaExpr.(*sqlparser.FuncCall); ok && co.Name == "COALESCE" && len(co.Args) == 2 {
+		if lit, ok := co.Args[1].(*sqlparser.Literal); ok {
+			var inner []*sqlparser.FuncCall
+			collectAggregatesExpr(co.Args[0], &inner)
+			if len(inner) == 1 {
+				deltaExpr = co.Args[0]
+				an.DeltaDefault = lit.Val
+			}
+		}
+	}
+	an.MsgExpr = deltaExpr
+	if reason := checkOuterShape(an.MsgExpr, an.Agg, an.AggName); reason != "" {
+		return fail("%s", reason)
+	}
+
+	// WHERE must predicate on the message sources only.
+	if step.Where != nil {
+		if !referencesOnly(step.Where, []string{an.NeighborAlias, an.EdgeAlias}, an) {
+			return fail("WHERE of the iterative part must reference only %s and %s",
+				an.NeighborAlias, an.EdgeAlias)
+		}
+		an.Pred = step.Where
+	}
+	if step.Having != nil || step.Distinct || len(step.OrderBy) > 0 || step.Limit != nil {
+		return fail("HAVING/DISTINCT/ORDER BY/LIMIT in the iterative part are not parallelizable")
+	}
+
+	an.Parallelizable = true
+	return an
+}
+
+// checkOuterShape validates that g in g(AGG(h)) distributes over the
+// aggregate so per-partition partial aggregation stays correct (§V-D):
+// linear scaling for SUM/COUNT, monotone shifts for MIN/MAX, identity
+// for AVG.
+func checkOuterShape(e sqlparser.Expr, agg *sqlparser.FuncCall, name string) string {
+	if e == agg {
+		return ""
+	}
+	be, ok := e.(*sqlparser.BinaryExpr)
+	if !ok {
+		return "the expression around the aggregate is too complex to parallelize"
+	}
+	lit, aggSide := literalAndAgg(be, agg)
+	if lit == nil || aggSide == nil {
+		return "the expression around the aggregate must combine it with a constant"
+	}
+	switch name {
+	case "SUM", "COUNT":
+		if be.Op != sqltypes.OpMul {
+			return fmt.Sprintf("only constant scaling of %s distributes across partitions", name)
+		}
+	case "MIN", "MAX":
+		if be.Op != sqltypes.OpAdd {
+			return fmt.Sprintf("only constant shifts of %s distribute across partitions", name)
+		}
+	case "AVG":
+		return "AVG cannot carry an outer expression across partitions"
+	}
+	return ""
+}
+
+func literalAndAgg(be *sqlparser.BinaryExpr, agg *sqlparser.FuncCall) (*sqlparser.Literal, sqlparser.Expr) {
+	if l, ok := be.Left.(*sqlparser.Literal); ok && be.Right == agg {
+		return l, be.Right
+	}
+	if l, ok := be.Right.(*sqlparser.Literal); ok && be.Left == agg {
+		return l, be.Left
+	}
+	return nil, nil
+}
+
+func aliasOf(t *sqlparser.TableName) string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// refersTo reports whether cr is <alias>.<colName> (an unqualified name
+// also counts when it matches colName).
+func refersTo(cr *sqlparser.ColumnRef, alias, colName string) bool {
+	if !strings.EqualFold(cr.Name, colName) {
+		return false
+	}
+	return cr.Table == "" || strings.EqualFold(cr.Table, alias)
+}
+
+// equiPair extracts (aCol, bCol) from `a.x = b.y` in either order.
+func equiPair(on sqlparser.Expr, aAlias, bAlias string) (string, string, bool) {
+	cmp, ok := on.(*sqlparser.ComparisonExpr)
+	if !ok || cmp.Op != sqltypes.CmpEQ {
+		return "", "", false
+	}
+	l, lok := cmp.Left.(*sqlparser.ColumnRef)
+	r, rok := cmp.Right.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return "", "", false
+	}
+	switch {
+	case strings.EqualFold(l.Table, aAlias) && strings.EqualFold(r.Table, bAlias):
+		return l.Name, r.Name, true
+	case strings.EqualFold(r.Table, aAlias) && strings.EqualFold(l.Table, bAlias):
+		return r.Name, l.Name, true
+	default:
+		return "", "", false
+	}
+}
+
+// referencesOnly reports whether every column reference in e names one
+// of the allowed aliases. Unqualified references fail closed (SQLoop
+// cannot attribute them without engine catalogs) unless they name the id
+// column, which is unambiguous across the self-join pattern.
+func referencesOnly(e sqlparser.Expr, allowed []string, an Analysis) bool {
+	ok := true
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		cr, isRef := x.(*sqlparser.ColumnRef)
+		if !isRef {
+			return true
+		}
+		if cr.Table == "" {
+			if !strings.EqualFold(cr.Name, an.TargetIDCol) {
+				ok = false
+			}
+			return true
+		}
+		for _, a := range allowed {
+			if strings.EqualFold(cr.Table, a) {
+				return true
+			}
+		}
+		ok = false
+		return true
+	})
+	return ok
+}
+
+// collectAggregatesExpr mirrors the engine's aggregate collection for
+// the analyzer's purposes.
+func collectAggregatesExpr(e sqlparser.Expr, into *[]*sqlparser.FuncCall) {
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if fc, ok := x.(*sqlparser.FuncCall); ok {
+			switch fc.Name {
+			case "SUM", "MIN", "MAX", "COUNT", "AVG":
+				*into = append(*into, fc)
+				return false
+			}
+		}
+		return true
+	})
+}

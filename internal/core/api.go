@@ -1,0 +1,382 @@
+// Package core implements SQLoop itself — the paper's contribution: a
+// middleware that accepts recursive and iterative CTEs, translates them
+// into regular SQL for any engine reachable through database/sql, and
+// transparently parallelizes iterative queries that aggregate over a
+// self-join using synchronous (Sync), asynchronous (Async, DAIC-based)
+// and prioritized asynchronous (AsyncP) execution (§IV–V of the paper).
+package core
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"sqloop/internal/sqlparser"
+)
+
+// Mode selects how the iterative part of a CTE is executed.
+type Mode int
+
+// Execution modes. ModeAuto picks Async when the query analysis
+// qualifies the CTE for parallelization and Single otherwise.
+const (
+	ModeAuto Mode = iota
+	ModeSingle
+	ModeSync
+	ModeAsync
+	ModeAsyncPrio
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeSingle:
+		return "single"
+	case ModeSync:
+		return "sync"
+	case ModeAsync:
+		return "async"
+	case ModeAsyncPrio:
+		return "asyncp"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves a mode name.
+func ParseMode(name string) (Mode, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return ModeAuto, nil
+	case "single", "script":
+		return ModeSingle, nil
+	case "sync":
+		return ModeSync, nil
+	case "async":
+		return ModeAsync, nil
+	case "asyncp", "prio", "prioritized":
+		return ModeAsyncPrio, nil
+	default:
+		return ModeAuto, fmt.Errorf("core: unknown mode %q", name)
+	}
+}
+
+// Options configures a SQLoop instance. The zero value is usable.
+type Options struct {
+	// Mode selects the execution strategy (default ModeAuto).
+	Mode Mode
+	// Threads is the size of the connection/worker pool (default: half
+	// the CPUs, at least 1 — §V-B of the paper).
+	Threads int
+	// Partitions is the number of hash partitions of the CTE table
+	// (default 256, the paper's default).
+	Partitions int
+	// Dialect names the target engine's SQL dialect; every statement
+	// SQLoop emits is rendered through it (the translation module,
+	// §IV-B). Empty means generic.
+	Dialect string
+	// PriorityQuery is the user-supplied priority function for AsyncP
+	// (§V-E): a SQL query with the placeholder $PART standing for a
+	// partition table, returning one numeric value; higher runs first.
+	// Empty derives a default from the aggregate.
+	PriorityQuery string
+	// KeepTable leaves the final CTE table materialized under the CTE's
+	// name after Exec returns instead of dropping all working state.
+	KeepTable bool
+	// MaxIterations bounds any iterative/recursive execution as a
+	// runaway guard (default 1_000_000).
+	MaxIterations int
+	// DisableMaterialization turns off the constant-join materialization
+	// optimization (§V-B); used by the SQL-script baseline and ablation
+	// benchmarks.
+	DisableMaterialization bool
+	// OnRound, when set, is called after every completed round/iteration
+	// with the 1-based round number and the number of rows changed in
+	// that round. It runs on the coordinator goroutine.
+	OnRound func(round int, changed int64)
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = runtime.NumCPU() / 2
+		if o.Threads < 1 {
+			o.Threads = 1
+		}
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 256
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1_000_000
+	}
+	return o
+}
+
+// Result is the outcome of one Exec call.
+type Result struct {
+	// Columns and Rows hold the final query's result set.
+	Columns []string
+	Rows    [][]any
+	// RowsAffected is set for plain DML statements.
+	RowsAffected int64
+	// Stats describes how an iterative/recursive CTE was executed.
+	Stats ExecStats
+}
+
+// ExecStats reports what SQLoop did with a CTE.
+type ExecStats struct {
+	// Mode is the mode that actually ran (after auto-selection and
+	// fallback).
+	Mode Mode
+	// Parallelized reports whether the partitioned executor ran.
+	Parallelized bool
+	// FallbackReason explains why a requested parallel mode fell back to
+	// single-threaded execution (empty otherwise).
+	FallbackReason string
+	// Iterations is the number of iterations/rounds executed.
+	Iterations int
+	// MessageTables counts message tables created (§V-C).
+	MessageTables int
+	// Elapsed is the wall time of the CTE execution.
+	Elapsed time.Duration
+}
+
+// SQLoop is one middleware instance bound to a target engine.
+type SQLoop struct {
+	db      *sql.DB
+	opts    Options
+	dialect sqlparser.Dialect
+}
+
+// Open connects SQLoop to the database reachable at dsn via the named
+// database/sql driver (the paper's JDBC URL + port step).
+func Open(driverName, dsn string, opts Options) (*SQLoop, error) {
+	db, err := sql.Open(driverName, dsn)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", dsn, err)
+	}
+	return NewWithDB(db, opts)
+}
+
+// NewWithDB wraps an existing database handle.
+func NewWithDB(db *sql.DB, opts Options) (*SQLoop, error) {
+	opts = opts.withDefaults()
+	d, err := sqlparser.ParseDialect(opts.Dialect)
+	if err != nil {
+		return nil, err
+	}
+	// Workers + coordinator + samplers all need simultaneous
+	// connections.
+	db.SetMaxOpenConns(opts.Threads + 8)
+	return &SQLoop{db: db, opts: opts, dialect: d}, nil
+}
+
+// DB exposes the underlying database handle (for samplers and tools).
+func (s *SQLoop) DB() *sql.DB { return s.db }
+
+// Options returns the effective options.
+func (s *SQLoop) Options() Options { return s.opts }
+
+// Close releases the database handle.
+func (s *SQLoop) Close() error { return s.db.Close() }
+
+// Exec runs one statement: iterative and recursive CTEs are executed by
+// SQLoop's loop executors; everything else passes through to the engine
+// after dialect translation.
+func (s *SQLoop) Exec(ctx context.Context, query string) (*Result, error) {
+	st, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if cte, ok := st.(*sqlparser.LoopCTEStmt); ok {
+		return s.execLoopCTE(ctx, cte)
+	}
+	return s.execPlain(ctx, st)
+}
+
+// ExecScript runs a multi-statement script sequentially on one
+// connection, returning the last statement's result.
+func (s *SQLoop) ExecScript(ctx context.Context, script string) (*Result, error) {
+	stmts, err := sqlparser.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := s.db.Conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	c := &dbConn{conn: conn, dialect: s.dialect}
+	var res *Result
+	for _, st := range stmts {
+		if cte, ok := st.(*sqlparser.LoopCTEStmt); ok {
+			res, err = s.execLoopCTE(ctx, cte)
+		} else {
+			res, err = c.runStmt(ctx, st)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// execPlain runs a non-CTE statement on a pooled connection.
+func (s *SQLoop) execPlain(ctx context.Context, st sqlparser.Statement) (*Result, error) {
+	conn, err := s.db.Conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	c := &dbConn{conn: conn, dialect: s.dialect}
+	return c.runStmt(ctx, st)
+}
+
+// execLoopCTE dispatches recursive vs iterative execution.
+func (s *SQLoop) execLoopCTE(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*Result, error) {
+	if err := validateCTE(cte); err != nil {
+		return nil, err
+	}
+	if cte.Kind == sqlparser.CTERecursive {
+		return s.execRecursive(ctx, cte)
+	}
+	return s.execIterative(ctx, cte)
+}
+
+// validateCTE enforces the structural rules of §III.
+func validateCTE(cte *sqlparser.LoopCTEStmt) error {
+	if cte.Name == "" {
+		return fmt.Errorf("core: CTE must be named")
+	}
+	if refs := countTableRefs(cte.Step, cte.Name); refs == 0 {
+		return fmt.Errorf("core: the iterative/recursive part must reference %s", cte.Name)
+	} else if cte.Kind == sqlparser.CTERecursive && refs > 1 {
+		return fmt.Errorf("core: recursive CTEs must reference %s exactly once (linear recursion)", cte.Name)
+	}
+	if cte.Kind == sqlparser.CTEIterative && cte.Until == nil {
+		return fmt.Errorf("core: iterative CTE requires an UNTIL termination condition")
+	}
+	return nil
+}
+
+// countTableRefs counts references to name in a body's FROM clauses.
+func countTableRefs(b sqlparser.SelectBody, name string) int {
+	n := 0
+	sqlparser.WalkTableExprs(b, func(te sqlparser.TableExpr) bool {
+		if tn, ok := te.(*sqlparser.TableName); ok && strings.EqualFold(tn.Name, name) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// dbConn wraps one pinned connection with dialect-aware statement
+// execution. All SQLoop-generated statements flow through runStmt so the
+// translation module (§IV-B) touches every query.
+type dbConn struct {
+	conn    *sql.Conn
+	dialect sqlparser.Dialect
+}
+
+// runStmt renders and executes one parsed statement.
+func (c *dbConn) runStmt(ctx context.Context, st sqlparser.Statement) (*Result, error) {
+	text := sqlparser.FormatDialect(st, c.dialect)
+	if isQuery(st) {
+		return c.query(ctx, text)
+	}
+	return c.exec(ctx, text)
+}
+
+// runSQL parses, translates and executes raw SQL text.
+func (c *dbConn) runSQL(ctx context.Context, text string) (*Result, error) {
+	st, err := sqlparser.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return c.runStmt(ctx, st)
+}
+
+func isQuery(st sqlparser.Statement) bool {
+	_, ok := st.(*sqlparser.SelectStmt)
+	return ok
+}
+
+func (c *dbConn) exec(ctx context.Context, text string) (*Result, error) {
+	res, err := c.conn.ExecContext(ctx, text)
+	if err != nil {
+		return nil, fmt.Errorf("exec %q: %w", abbreviate(text), err)
+	}
+	n, err := res.RowsAffected()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (c *dbConn) query(ctx context.Context, text string) (*Result, error) {
+	rows, err := c.conn.QueryContext(ctx, text)
+	if err != nil {
+		return nil, fmt.Errorf("query %q: %w", abbreviate(text), err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: cols}
+	for rows.Next() {
+		vals := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scalar runs a query expected to return a single numeric value;
+// missing/NULL results return (0, false).
+func (c *dbConn) scalar(ctx context.Context, text string) (float64, bool, error) {
+	res, err := c.query(ctx, text)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 || res.Rows[0][0] == nil {
+		return 0, false, nil
+	}
+	switch v := res.Rows[0][0].(type) {
+	case int64:
+		return float64(v), true, nil
+	case float64:
+		return v, true, nil
+	case bool:
+		if v {
+			return 1, true, nil
+		}
+		return 0, true, nil
+	default:
+		return 0, false, fmt.Errorf("core: scalar query returned %T", v)
+	}
+}
+
+func abbreviate(s string) string {
+	const max = 120
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}

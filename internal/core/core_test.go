@@ -1,0 +1,855 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/wire"
+)
+
+// testEdge is one weighted directed edge.
+type testEdge struct {
+	src, dst int64
+	w        float64
+}
+
+// testGraph is a small graph with cycles, a dangling node and an
+// unreachable node — enough structure to exercise PageRank and SSSP.
+var testGraph = []testEdge{
+	{1, 2, 1}, {1, 3, 4}, {2, 3, 2}, {2, 4, 7},
+	{3, 4, 3}, {4, 1, 1}, {4, 5, 2}, {5, 3, 5},
+	{6, 7, 1}, {7, 6, 1}, // separate component
+}
+
+// newTestLoop builds a SQLoop over a fresh in-process engine with the
+// test graph loaded, using out-degree-normalized weights for PageRank
+// when normalized is true and the raw weights otherwise.
+func newTestLoop(t *testing.T, opts Options, normalized bool) *SQLoop {
+	t.Helper()
+	return newTestLoopCfg(t, engine.Config{}, opts, normalized)
+}
+
+// newTestLoopProfile is newTestLoop against a named engine profile, with
+// normalized weights.
+func newTestLoopProfile(t *testing.T, profile string, opts Options) *SQLoop {
+	t.Helper()
+	cfg, err := engine.Profile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Dialect = cfg.Dialect.String()
+	return newTestLoopCfg(t, cfg, opts, true)
+}
+
+func newTestLoopCfg(t *testing.T, cfg engine.Config, opts Options, normalized bool) *SQLoop {
+	t.Helper()
+	eng := engine.New(cfg)
+	handle := t.Name() + fmt.Sprintf("-%p", &opts)
+	driver.RegisterEngine(handle, eng)
+	t.Cleanup(func() { driver.UnregisterEngine(handle) })
+	s, err := Open(driver.DriverName, driver.InprocDSN(handle), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, `CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	outdeg := map[int64]int{}
+	for _, e := range testGraph {
+		outdeg[e.src]++
+	}
+	for _, e := range testGraph {
+		w := e.w
+		if normalized {
+			w = 1.0 / float64(outdeg[e.src])
+		}
+		insert := fmt.Sprintf(`INSERT INTO edges VALUES (%d, %d, %g)`, e.src, e.dst, w)
+		if _, err := s.Exec(ctx, insert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+const pageRankCTE = `
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL %d ITERATIONS
+)
+SELECT Node, Rank + Delta AS Rank FROM PageRank`
+
+const ssspCTE = `
+WITH ITERATIVE sssp(Node, Distance, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, sssp.Delta),
+         COALESCE(MIN(Neighbor.Distance + IncomingEdges.weight), Infinity)
+  FROM sssp
+  LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst
+  LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY sssp.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Distance FROM sssp`
+
+// refPageRank computes the delta-accumulative PageRank fix point the CTE
+// expresses (rank absorbed per iteration, synchronous rounds).
+func refPageRank(iters int, normalized bool) map[int64]float64 {
+	outdeg := map[int64]int{}
+	nodes := map[int64]bool{}
+	for _, e := range testGraph {
+		outdeg[e.src]++
+		nodes[e.src] = true
+		nodes[e.dst] = true
+	}
+	w := func(e testEdge) float64 {
+		if normalized {
+			return 1.0 / float64(outdeg[e.src])
+		}
+		return e.w
+	}
+	rank := map[int64]float64{}
+	delta := map[int64]float64{}
+	for n := range nodes {
+		rank[n] = 0
+		delta[n] = 0.15
+	}
+	for i := 0; i < iters; i++ {
+		next := map[int64]float64{}
+		for _, e := range testGraph {
+			next[e.dst] += 0.85 * delta[e.src] * w(e)
+		}
+		for n := range nodes {
+			rank[n] += delta[n]
+			delta[n] = next[n]
+		}
+	}
+	// Report total mass (rank plus pending delta) per node, matching the
+	// CTE's final query.
+	for n := range nodes {
+		rank[n] += delta[n]
+	}
+	return rank
+}
+
+// refSSSP is Dijkstra from node 1 over the test graph.
+func refSSSP() map[int64]float64 {
+	dist := map[int64]float64{}
+	nodes := map[int64]bool{}
+	for _, e := range testGraph {
+		nodes[e.src] = true
+		nodes[e.dst] = true
+	}
+	for n := range nodes {
+		dist[n] = math.Inf(1)
+	}
+	dist[1] = 0
+	visited := map[int64]bool{}
+	for range nodes {
+		best, bd := int64(-1), math.Inf(1)
+		for n := range nodes {
+			if !visited[n] && dist[n] <= bd {
+				best, bd = n, dist[n]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		visited[best] = true
+		for _, e := range testGraph {
+			if e.src == best && dist[best]+e.w < dist[e.dst] {
+				dist[e.dst] = dist[best] + e.w
+			}
+		}
+	}
+	return dist
+}
+
+func rowsToMap(t *testing.T, res *Result) map[int64]float64 {
+	t.Helper()
+	out := make(map[int64]float64, len(res.Rows))
+	for _, r := range res.Rows {
+		id, ok := r[0].(int64)
+		if !ok {
+			t.Fatalf("row id = %T(%v)", r[0], r[0])
+		}
+		switch v := r[1].(type) {
+		case float64:
+			out[id] = v
+		case int64:
+			out[id] = float64(v)
+		case nil:
+			out[id] = math.NaN()
+		default:
+			t.Fatalf("row value = %T(%v)", r[1], r[1])
+		}
+	}
+	return out
+}
+
+var allModes = []Mode{ModeSingle, ModeSync, ModeAsync, ModeAsyncPrio}
+
+// pageRankConvergeCTE terminates on the data values rather than an
+// iteration count, which every scheduler must drive to the same fix
+// point.
+const pageRankConvergeCTE = `
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL (SELECT MAX(PageRank.Delta) FROM PageRank) < 0.0000001
+)
+SELECT Node, Rank + Delta AS Rank FROM PageRank`
+
+func TestPageRankIterationBound(t *testing.T) {
+	// Synchronous schedules with a fixed iteration count must match the
+	// Go reference exactly; asynchronous schedules run the same number
+	// of rounds per partition but in a different order, so only the
+	// mass bounds hold (ordering can defer amplification, never invent
+	// mass).
+	const iters = 40
+	want := refPageRank(iters, true)
+	var wantSum float64
+	for _, v := range want {
+		wantSum += v
+	}
+	converged := 0.0
+	for _, v := range refPageRank(400, true) {
+		converged += v
+	}
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 3, Partitions: 4}, true)
+			res, err := s.Exec(context.Background(), fmt.Sprintf(pageRankCTE, iters))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rowsToMap(t, res)
+			if len(got) != len(want) {
+				t.Fatalf("%d nodes, want %d", len(got), len(want))
+			}
+			var gotSum float64
+			for _, v := range got {
+				gotSum += v
+			}
+			if gotSum > converged*(1+1e-9) {
+				t.Errorf("total mass = %v exceeds converged mass %v", gotSum, converged)
+			}
+			if gotSum < 0.15*float64(len(want)) {
+				t.Errorf("total mass = %v below seed mass", gotSum)
+			}
+			for n, v := range got {
+				if v < 0.15-1e-9 {
+					t.Errorf("node %d rank %v below base rank", n, v)
+				}
+			}
+			if mode == ModeSingle || mode == ModeSync {
+				for n, v := range got {
+					if math.Abs(v-want[n]) > 1e-6 {
+						t.Errorf("node %d rank = %v, want %v", n, v, want[n])
+					}
+				}
+				if math.Abs(gotSum-wantSum) > 1e-6 {
+					t.Errorf("total mass = %v, want %v", gotSum, wantSum)
+				}
+			}
+			if mode != ModeSingle && !res.Stats.Parallelized {
+				t.Errorf("mode %v did not parallelize: %s", mode, res.Stats.FallbackReason)
+			}
+		})
+	}
+}
+
+func TestPageRankConvergesToFixPoint(t *testing.T) {
+	converged := 0.0
+	for _, v := range refPageRank(400, true) {
+		converged += v
+	}
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 3, Partitions: 4}, true)
+			res, err := s.Exec(context.Background(), pageRankConvergeCTE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rowsToMap(t, res)
+			var gotSum float64
+			for _, v := range got {
+				gotSum += v
+			}
+			if math.Abs(gotSum-converged) > 1e-3 {
+				t.Errorf("fix-point mass = %v, want %v", gotSum, converged)
+			}
+		})
+	}
+}
+
+func TestSSSPAllModes(t *testing.T) {
+	want := refSSSP()
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 3, Partitions: 4}, false)
+			res, err := s.Exec(context.Background(), ssspCTE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rowsToMap(t, res)
+			if len(got) != len(want) {
+				t.Fatalf("%d nodes, want %d", len(got), len(want))
+			}
+			for n, w := range want {
+				g := got[n]
+				if math.IsInf(w, 1) {
+					if !math.IsInf(g, 1) {
+						t.Errorf("node %d distance = %v, want unreachable", n, g)
+					}
+					continue
+				}
+				if math.Abs(g-w) > 1e-9 {
+					t.Errorf("node %d distance = %v, want %v", n, g, w)
+				}
+			}
+		})
+	}
+}
+
+func TestRecursiveFibonacci(t *testing.T) {
+	s := newTestLoop(t, Options{}, false)
+	res, err := s.Exec(context.Background(), `
+WITH RECURSIVE Fibonacci(n, pn) AS (
+  VALUES (0, 1)
+  UNION ALL
+  SELECT n + pn, n FROM Fibonacci WHERE n < 1000
+)
+SELECT SUM(n) FROM Fibonacci`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0,1,1,2,3,5,...,987: sum of all values < 1000 plus the final
+	// overflow row 1597 which the recursion produces before stopping.
+	// Semi-naive bag semantics: rows are 0,1,1,2,...,987,1597.
+	var want int64
+	a, b := int64(0), int64(1)
+	for a < 1000 {
+		want += a
+		a, b = a+b, a
+	}
+	want += a // the first row ≥ 1000 is still produced by the last recursion
+	got := res.Rows[0][0].(int64)
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if res.Stats.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestTerminationConditionsSingle(t *testing.T) {
+	// A tiny counter CTE: value doubles each iteration.
+	base := `
+WITH ITERATIVE counter(id, v) AS (
+  VALUES (1, 1.0)
+  ITERATE
+  SELECT id, v * 2 FROM counter
+  UNTIL %s
+)
+SELECT v FROM counter`
+	tests := []struct {
+		until string
+		want  float64
+	}{
+		{"5 ITERATIONS", 32},
+		{"(SELECT id FROM counter WHERE v >= 8)", 8},
+		{"ANY (SELECT id FROM counter WHERE v >= 16)", 16},
+		{"(SELECT MAX(v) FROM counter) > 40", 64},
+		{"(SELECT MAX(v) FROM counter) >= 4", 4},
+		{"DELTA (SELECT MAX(counter.v - counterdelta.v) FROM counter JOIN counterdelta ON counter.id = counterdelta.id) > 10", 32},
+		{"ANY DELTA (SELECT counter.id FROM counter JOIN counterdelta ON counter.id = counterdelta.id WHERE counter.v - counterdelta.v > 10)", 32},
+	}
+	for _, tt := range tests {
+		t.Run(tt.until, func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: ModeSingle}, false)
+			res, err := s.Exec(context.Background(), fmt.Sprintf(base, tt.until))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Rows[0][0].(float64); got != tt.want {
+				t.Errorf("UNTIL %s: v = %v, want %v", tt.until, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUpdatesTermination(t *testing.T) {
+	// v converges to 64 and stops changing; UNTIL 0 UPDATES must detect
+	// the fix point via changed-row counting.
+	q := `
+WITH ITERATIVE conv(id, v) AS (
+  VALUES (1, 1.0)
+  ITERATE
+  SELECT id, LEAST(v * 2, 64.0) FROM conv
+  UNTIL 0 UPDATES
+)
+SELECT v FROM conv`
+	s := newTestLoop(t, Options{Mode: ModeSingle}, false)
+	res, err := s.Exec(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(float64); got != 64 {
+		t.Fatalf("v = %v, want 64", got)
+	}
+	if res.Stats.Iterations < 7 {
+		t.Errorf("iterations = %d, want ≥ 7", res.Stats.Iterations)
+	}
+}
+
+func TestAnalyzerAcceptsPaperQueries(t *testing.T) {
+	for name, q := range map[string]string{
+		"pagerank": fmt.Sprintf(pageRankCTE, 10),
+		"sssp":     ssspCTE,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cte := mustParseCTE(t, q)
+			an := analyzeStep(cte)
+			if !an.Parallelizable {
+				t.Fatalf("not parallelizable: %s", an.Reason)
+			}
+			if an.TargetIDCol != "Node" {
+				t.Errorf("id col = %q", an.TargetIDCol)
+			}
+			if an.EdgeTable != "edges" {
+				t.Errorf("edge table = %q", an.EdgeTable)
+			}
+		})
+	}
+}
+
+func TestAnalyzerRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		q    string
+		want string // substring of the reason
+	}{
+		{
+			"no-aggregate",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, n.v FROM r JOIN edges AS e ON r.id = e.dst JOIN r AS n ON n.id = e.src GROUP BY r.id
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"no supported aggregate",
+		},
+		{
+			"no-join",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT id, v + 1 FROM r UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"no join",
+		},
+		{
+			"no-self-join",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, SUM(e.weight) FROM r JOIN edges AS e ON r.id = e.dst GROUP BY r.id
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"self-join",
+		},
+		{
+			"aggregate-over-target",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, SUM(r.v * e.weight) FROM r JOIN edges AS e ON r.id = e.dst JOIN r AS n ON n.id = e.src GROUP BY r.id
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"aggregate must range over",
+		},
+		{
+			"where-on-target",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, SUM(n.v) FROM r JOIN edges AS e ON r.id = e.dst JOIN r AS n ON n.id = e.src
+			   WHERE r.v > 0 GROUP BY r.id
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"WHERE of the iterative part",
+		},
+		{
+			"distinct-aggregate",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, SUM(DISTINCT n.v) FROM r JOIN edges AS e ON r.id = e.dst JOIN r AS n ON n.id = e.src GROUP BY r.id
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"DISTINCT",
+		},
+		{
+			"group-by-missing",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, SUM(n.v) FROM r JOIN edges AS e ON r.id = e.dst JOIN r AS n ON n.id = e.src
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"GROUP BY",
+		},
+		{
+			"nonlinear-outer",
+			`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE
+			   SELECT r.id, COALESCE(SUM(n.v) + 1, 0.0) FROM r JOIN edges AS e ON r.id = e.dst JOIN r AS n ON n.id = e.src GROUP BY r.id
+			   UNTIL 3 ITERATIONS) SELECT * FROM r`,
+			"scaling",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cte := mustParseCTE(t, tt.q)
+			an := analyzeStep(cte)
+			if an.Parallelizable {
+				t.Fatal("unexpectedly parallelizable")
+			}
+			if !strings.Contains(an.Reason, tt.want) {
+				t.Errorf("reason = %q, want it to mention %q", an.Reason, tt.want)
+			}
+		})
+	}
+}
+
+func mustParseCTE(t *testing.T, q string) *sqlparser.LoopCTEStmt {
+	t.Helper()
+	st, err := sqlparser.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := st.(*sqlparser.LoopCTEStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	return c
+}
+
+func TestParallelFallback(t *testing.T) {
+	// Requesting async on a non-parallelizable CTE must fall back with a
+	// reason, not fail.
+	s := newTestLoop(t, Options{Mode: ModeAsync}, false)
+	res, err := s.Exec(context.Background(), `
+WITH ITERATIVE counter(id, v) AS (
+  VALUES (1, 1.0)
+  ITERATE SELECT id, v * 2 FROM counter
+  UNTIL 3 ITERATIONS
+) SELECT v FROM counter`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Parallelized {
+		t.Error("counter CTE must not parallelize")
+	}
+	if res.Stats.FallbackReason == "" {
+		t.Error("missing fallback reason")
+	}
+	if got := res.Rows[0][0].(float64); got != 8 {
+		t.Errorf("v = %v, want 8", got)
+	}
+}
+
+func TestKeepTable(t *testing.T) {
+	for _, mode := range []Mode{ModeSingle, ModeSync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 2, Partitions: 4, KeepTable: true}, true)
+			ctx := context.Background()
+			if _, err := s.Exec(ctx, fmt.Sprintf(pageRankCTE, 5)); err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Exec(ctx, `SELECT COUNT(*) FROM PageRank`)
+			if err != nil {
+				t.Fatalf("kept table missing: %v", err)
+			}
+			if res.Rows[0][0].(int64) != 7 {
+				t.Errorf("kept rows = %v", res.Rows[0][0])
+			}
+		})
+	}
+}
+
+func TestWorkingTablesCleanedUp(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	driver.RegisterEngine(t.Name(), eng)
+	t.Cleanup(func() { driver.UnregisterEngine(t.Name()) })
+	s, err := Open(driver.DriverName, driver.InprocDSN(t.Name()),
+		Options{Mode: ModeAsync, Threads: 2, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, `CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ctx, `INSERT INTO edges VALUES (1, 2, 0.5), (2, 1, 0.5)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ctx, fmt.Sprintf(pageRankCTE, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range eng.TableNames() {
+		if name != "edges" {
+			t.Errorf("leftover table %q after execution", name)
+		}
+	}
+}
+
+func TestPassthroughStatements(t *testing.T) {
+	s := newTestLoop(t, Options{}, false)
+	ctx := context.Background()
+	res, err := s.Exec(ctx, `SELECT COUNT(*) FROM edges`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != int64(len(testGraph)) {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if _, err := s.Exec(ctx, `CREATE TABLE extra (a BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Exec(ctx, `INSERT INTO extra VALUES (1), (2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.RowsAffected != 2 {
+		t.Errorf("affected = %d", r2.RowsAffected)
+	}
+}
+
+func TestExecScriptMixed(t *testing.T) {
+	s := newTestLoop(t, Options{Mode: ModeSingle}, false)
+	res, err := s.ExecScript(context.Background(), `
+CREATE TABLE nums (n BIGINT);
+INSERT INTO nums VALUES (1), (2), (3);
+SELECT SUM(n) FROM nums;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 6 {
+		t.Errorf("sum = %v", res.Rows[0][0])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := newTestLoop(t, Options{}, false)
+	ctx := context.Background()
+	bad := []string{
+		// Step never references the CTE.
+		`WITH ITERATIVE r(id, v) AS (VALUES (1, 1) ITERATE SELECT 1, 2 UNTIL 1 ITERATIONS) SELECT * FROM r`,
+		// Nonlinear recursion.
+		`WITH RECURSIVE r(a) AS (VALUES (1) UNION ALL SELECT x.a FROM r AS x, r AS y) SELECT * FROM r`,
+	}
+	for _, q := range bad {
+		if _, err := s.Exec(ctx, q); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestMaxIterationsGuard(t *testing.T) {
+	s := newTestLoop(t, Options{Mode: ModeSingle, MaxIterations: 5}, false)
+	_, err := s.Exec(context.Background(), `
+WITH ITERATIVE r(id, v) AS (
+  VALUES (1, 1.0) ITERATE SELECT id, v + 1 FROM r UNTIL (SELECT MAX(v) FROM r) > 1000
+) SELECT * FROM r`)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want max-iterations guard", err)
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	var rounds []int
+	s := newTestLoop(t, Options{Mode: ModeSync, Threads: 2, Partitions: 4,
+		OnRound: func(r int, _ int64) { rounds = append(rounds, r) }}, true)
+	if _, err := s.Exec(context.Background(), fmt.Sprintf(pageRankCTE, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 || rounds[3] != 4 {
+		t.Errorf("rounds = %v", rounds)
+	}
+}
+
+func TestModeParsing(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"auto": ModeAuto, "single": ModeSingle, "script": ModeSingle,
+		"sync": ModeSync, "async": ModeAsync, "asyncp": ModeAsyncPrio, "prio": ModeAsyncPrio,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("warp"); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if ModeAsyncPrio.String() != "asyncp" {
+		t.Error("mode String wrong")
+	}
+}
+
+// TestDeltaTerminationParallel exercises the Rdelta snapshot machinery
+// under the partitioned executors: terminate once the largest per-node
+// rank gain over one iteration falls under a threshold.
+func TestDeltaTerminationParallel(t *testing.T) {
+	q := `
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL DELTA (SELECT MAX(PageRank.Rank - PageRankdelta.Rank)
+               FROM PageRank JOIN PageRankdelta ON PageRank.Node = PageRankdelta.Node) < 0.001
+)
+SELECT Node, Rank + Delta AS Rank FROM PageRank`
+	converged := 0.0
+	for _, v := range refPageRank(400, true) {
+		converged += v
+	}
+	for _, mode := range []Mode{ModeSingle, ModeSync, ModeAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 2, Partitions: 4}, true)
+			res, err := s.Exec(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rowsToMap(t, res)
+			var sum float64
+			for _, v := range got {
+				sum += v
+			}
+			// The threshold cuts off slightly before the fix point.
+			if sum < 0.9*converged || sum > converged*(1+1e-9) {
+				t.Errorf("sum = %v, converged = %v", sum, converged)
+			}
+			if res.Stats.Iterations < 3 {
+				t.Errorf("iterations = %d, suspiciously few", res.Stats.Iterations)
+			}
+		})
+	}
+}
+
+// TestTCPParallelExecution drives the full partitioned executor over the
+// wire protocol — every Compute/Gather statement crosses the network.
+func TestTCPParallelExecution(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := wire.NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	s, err := Open(driver.DriverName, driver.TCPDSN(addr),
+		Options{Mode: ModeAsync, Threads: 3, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, `CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	outdeg := map[int64]int{}
+	for _, e := range testGraph {
+		outdeg[e.src]++
+	}
+	for _, e := range testGraph {
+		q := fmt.Sprintf(`INSERT INTO edges VALUES (%d, %d, %g)`, e.src, e.dst, 1.0/float64(outdeg[e.src]))
+		if _, err := s.Exec(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Exec(ctx, pageRankConvergeCTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converged := 0.0
+	for _, v := range refPageRank(400, true) {
+		converged += v
+	}
+	got := rowsToMap(t, res)
+	var sum float64
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-converged) > 1e-3 {
+		t.Fatalf("over-TCP fix point = %v, want %v", sum, converged)
+	}
+	if !res.Stats.Parallelized {
+		t.Fatal("not parallelized over TCP")
+	}
+}
+
+// TestRecursiveUnionDistinct computes transitive closure over a cyclic
+// graph — terminates only because UNION (without ALL) deduplicates the
+// delta against R (semi-naive with set semantics).
+func TestRecursiveUnionDistinct(t *testing.T) {
+	s := newTestLoop(t, Options{}, false)
+	res, err := s.Exec(context.Background(), `
+WITH RECURSIVE reach(src, dst) AS (
+  SELECT src, dst FROM edges
+  UNION
+  SELECT reach.src, edges.dst
+  FROM reach JOIN edges ON reach.dst = edges.src
+)
+SELECT COUNT(*) FROM reach`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference closure via Floyd-Warshall-style saturation.
+	adj := map[[2]int64]bool{}
+	nodes := map[int64]bool{}
+	for _, e := range testGraph {
+		adj[[2]int64{e.src, e.dst}] = true
+		nodes[e.src], nodes[e.dst] = true, true
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := range nodes {
+			for b := range nodes {
+				if !adj[[2]int64{a, b}] {
+					continue
+				}
+				for c := range nodes {
+					if adj[[2]int64{b, c}] && !adj[[2]int64{a, c}] {
+						adj[[2]int64{a, c}] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if got := res.Rows[0][0].(int64); got != int64(len(adj)) {
+		t.Fatalf("closure size = %d, want %d", got, len(adj))
+	}
+}

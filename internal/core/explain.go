@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"sqloop/internal/sqlparser"
+)
+
+// Explain describes what SQLoop would do with a statement without
+// executing it: how the query is classified, whether the analyzer
+// qualifies it for parallel execution (§V-A), and which pieces the plan
+// generator extracted.
+type Explain struct {
+	// Kind is "statement", "recursive" or "iterative".
+	Kind string
+	// Mode is the execution mode that would run under the instance's
+	// options.
+	Mode Mode
+	// Analysis is the §V-A outcome (zero value for non-iterative input).
+	Analysis Analysis
+	// Termination describes the UNTIL clause for iterative CTEs.
+	Termination string
+}
+
+// ExplainQuery analyzes one SQL statement without running it.
+func (s *SQLoop) ExplainQuery(query string) (*Explain, error) {
+	st, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	cte, ok := st.(*sqlparser.LoopCTEStmt)
+	if !ok {
+		return &Explain{Kind: "statement", Mode: ModeSingle}, nil
+	}
+	if err := validateCTE(cte); err != nil {
+		return nil, err
+	}
+	if cte.Kind == sqlparser.CTERecursive {
+		return &Explain{Kind: "recursive", Mode: ModeSingle}, nil
+	}
+	ex := &Explain{Kind: "iterative", Analysis: analyzeStep(cte)}
+	ex.Termination = describeTermination(cte.Until)
+	switch {
+	case s.opts.Mode == ModeAuto && ex.Analysis.Parallelizable:
+		ex.Mode = ModeAsync
+	case s.opts.Mode == ModeAuto, !ex.Analysis.Parallelizable:
+		ex.Mode = ModeSingle
+	default:
+		ex.Mode = s.opts.Mode
+	}
+	return ex, nil
+}
+
+// describeTermination renders a Tc in user terms.
+func describeTermination(t *sqlparser.Termination) string {
+	if t == nil {
+		return ""
+	}
+	switch t.Kind {
+	case sqlparser.TermIterations:
+		return fmt.Sprintf("after %d iterations", t.N)
+	case sqlparser.TermUpdates:
+		return fmt.Sprintf("when an iteration updates at most %d rows", t.N)
+	default:
+		switch {
+		case t.CmpOp != 0:
+			return "when the probe query's value satisfies the comparison"
+		case t.Any:
+			return "when the probe query returns at least one row"
+		default:
+			return "when the probe query returns every row of the table"
+		}
+	}
+}

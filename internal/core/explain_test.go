@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExplainQuery(t *testing.T) {
+	s := newTestLoop(t, Options{Mode: ModeAuto}, true)
+	tests := []struct {
+		q        string
+		kind     string
+		mode     Mode
+		parallel bool
+	}{
+		{`SELECT 1`, "statement", ModeSingle, false},
+		{`WITH RECURSIVE f(n, pn) AS (VALUES (0, 1) UNION ALL SELECT n + pn, n FROM f WHERE n < 10) SELECT * FROM f`,
+			"recursive", ModeSingle, false},
+		{fmt.Sprintf(pageRankCTE, 5), "iterative", ModeAsync, true},
+		{`WITH ITERATIVE c(id, v) AS (VALUES (1, 1.0) ITERATE SELECT id, v * 2 FROM c UNTIL 3 ITERATIONS) SELECT * FROM c`,
+			"iterative", ModeSingle, false},
+	}
+	for _, tt := range tests {
+		ex, err := s.ExplainQuery(tt.q)
+		if err != nil {
+			t.Fatalf("ExplainQuery(%.40q): %v", tt.q, err)
+		}
+		if ex.Kind != tt.kind || ex.Mode != tt.mode || ex.Analysis.Parallelizable != tt.parallel {
+			t.Errorf("ExplainQuery(%.40q) = %+v, want kind=%s mode=%v parallel=%v",
+				tt.q, ex, tt.kind, tt.mode, tt.parallel)
+		}
+	}
+	ex, err := s.ExplainQuery(fmt.Sprintf(pageRankCTE, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Analysis.AggName != "SUM" || ex.Analysis.EdgeTable != "edges" {
+		t.Errorf("analysis = %+v", ex.Analysis)
+	}
+	if !strings.Contains(ex.Termination, "5 iterations") {
+		t.Errorf("termination = %q", ex.Termination)
+	}
+	if _, err := s.ExplainQuery("SELECT FROM"); err == nil {
+		t.Error("bad SQL must error")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	for _, mode := range []Mode{ModeSingle, ModeSync, ModeAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 2, Partitions: 4}, true)
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				// An effectively unbounded run: cancellation must stop it.
+				_, err := s.Exec(ctx, fmt.Sprintf(pageRankCTE, 1_000_000))
+				done <- err
+			}()
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("cancelled run returned nil error")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancelled run did not stop")
+			}
+			// The instance stays usable afterwards.
+			if _, err := s.Exec(context.Background(), `SELECT COUNT(*) FROM edges`); err != nil {
+				t.Fatalf("instance unusable after cancellation: %v", err)
+			}
+		})
+	}
+}

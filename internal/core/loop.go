@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"sqloop/internal/sqlparser"
+)
+
+// execRecursive runs WITH RECURSIVE via semi-naive evaluation (§II-A):
+// each recursion sees only the rows the previous recursion produced, and
+// evaluation stops at the fix point (no new rows).
+func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*Result, error) {
+	start := time.Now()
+	conn, err := s.db.Conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	c := &dbConn{conn: conn, dialect: s.dialect}
+
+	rName := strings.ToLower(cte.Name)
+	workName := "sqloop_" + rName + "_work" // current delta fed to Ri
+	nextName := "sqloop_" + rName + "_next" // rows produced by Ri
+
+	cleanup := func() {
+		cctx := context.WithoutCancel(ctx)
+		_, _ = c.runStmt(cctx, dropTable(workName))
+		_, _ = c.runStmt(cctx, dropTable(nextName))
+		if !s.opts.KeepTable {
+			_, _ = c.runStmt(cctx, dropTable(rName))
+		}
+	}
+	defer cleanup()
+	// Stale tables from a crashed run must not break this one.
+	for _, n := range []string{rName, workName, nextName} {
+		if _, err := c.runStmt(ctx, dropTable(n)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Seed: R and the working delta both start as R0. Column names come
+	// from the CTE declaration when present, else from the seed query.
+	cols, err := s.seedTable(ctx, c, cte, rName, false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, createAnyTable(workName, cols, false)); err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, insertBody(workName, selectStar(rName))); err != nil {
+		return nil, err
+	}
+
+	iters := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if iters >= s.opts.MaxIterations {
+			return nil, fmt.Errorf("core: recursive CTE %s exceeded %d iterations", cte.Name, s.opts.MaxIterations)
+		}
+		iters++
+
+		// next = Ri evaluated against the working delta only. With set
+		// semantics (UNION without ALL) the delta is additionally pruned
+		// against everything already in R — classic semi-naive
+		// deduplication, without which transitive closure over cyclic
+		// data never reaches its fix point.
+		step := renameTableRefs(cte.Step, cte.Name, workName)
+		if !cte.UnionAll {
+			step = &sqlparser.SetOp{Kind: sqlparser.SetExcept, Left: step, Right: selectStar(rName)}
+		}
+		if _, err := c.runStmt(ctx, dropTable(nextName)); err != nil {
+			return nil, err
+		}
+		create := &sqlparser.CreateTableStmt{Name: nextName, AsSelect: step, Unlogged: true}
+		if _, err := c.runStmt(ctx, create); err != nil {
+			return nil, err
+		}
+		n, _, err := c.scalar(ctx, sqlparser.FormatDialect(countStmt(nextName), c.dialect))
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.OnRound != nil {
+			s.opts.OnRound(iters, int64(n))
+		}
+		if n == 0 {
+			break // fix point
+		}
+		// R ∪= next (UNION ALL / bag semantics); delta = next.
+		if _, err := c.runStmt(ctx, insertBody(rName, selectStar(nextName))); err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, &sqlparser.TruncateStmt{Table: workName}); err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, insertBody(workName, selectStar(nextName))); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := s.runFinal(ctx, c, cte, rName)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start)}
+	return res, nil
+}
+
+// seedTable creates the CTE table (first column primary key for
+// iterative CTEs, §III-A) and fills it from R0, returning the column
+// names in use.
+func (s *SQLoop) seedTable(ctx context.Context, c *dbConn, cte *sqlparser.LoopCTEStmt, rName string, pk bool) ([]string, error) {
+	cols := cte.Columns
+	if len(cols) == 0 {
+		// Derive names by materializing the seed once into a scratch
+		// table and probing its header.
+		scratch := "sqloop_" + rName + "_seed"
+		if _, err := c.runStmt(ctx, dropTable(scratch)); err != nil {
+			return nil, err
+		}
+		create := &sqlparser.CreateTableStmt{Name: scratch, AsSelect: cte.Seed, Unlogged: true}
+		if _, err := c.runStmt(ctx, create); err != nil {
+			return nil, fmt.Errorf("seed of %s: %w", cte.Name, err)
+		}
+		var err error
+		cols, err = columnNamesOf(ctx, c, scratch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, createAnyTable(rName, cols, pk)); err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, insertBody(rName, selectStar(scratch))); err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, dropTable(scratch)); err != nil {
+			return nil, err
+		}
+		return cols, nil
+	}
+	if _, err := c.runStmt(ctx, createAnyTable(rName, cols, pk)); err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, insertBody(rName, cte.Seed)); err != nil {
+		return nil, fmt.Errorf("seed of %s: %w", cte.Name, err)
+	}
+	return cols, nil
+}
+
+// runFinal executes Qf with the CTE name resolving to rName.
+func (s *SQLoop) runFinal(ctx context.Context, c *dbConn, cte *sqlparser.LoopCTEStmt, rName string) (*Result, error) {
+	final := renameTableRefs(cte.Final, cte.Name, rName)
+	return c.runStmt(ctx, &sqlparser.SelectStmt{Body: final})
+}
+
+// execIterative runs WITH ITERATIVE. It analyzes Ri (§V-A); when the
+// query qualifies and a parallel mode is requested (or auto), the
+// partitioned executor runs; otherwise the single-threaded algorithm of
+// §III/IV executes Ri against the live table and merges Rtmp by primary
+// key each iteration.
+func (s *SQLoop) execIterative(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*Result, error) {
+	mode := s.opts.Mode
+	an := analyzeStep(cte)
+
+	switch mode {
+	case ModeAuto:
+		if an.Parallelizable {
+			mode = ModeAsync
+		} else {
+			mode = ModeSingle
+		}
+	case ModeSync, ModeAsync, ModeAsyncPrio:
+		if !an.Parallelizable {
+			res, err := s.execIterativeSingle(ctx, cte)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.FallbackReason = an.Reason
+			return res, nil
+		}
+	}
+	if mode == ModeSingle {
+		return s.execIterativeSingle(ctx, cte)
+	}
+	return s.execIterativeParallel(ctx, cte, an, mode)
+}
+
+// execIterativeSingle is the single-threaded iterative algorithm: R is a
+// real table; each iteration materializes Ri into Rtmp and updates R by
+// matching primary keys (§III-A, §IV-B).
+func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*Result, error) {
+	start := time.Now()
+	conn, err := s.db.Conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	c := &dbConn{conn: conn, dialect: s.dialect}
+
+	rName := strings.ToLower(cte.Name)
+	tmpName := tmpTableName(cte.Name)
+	term := newTerminator(cte)
+	term.rTable = rName
+
+	cleanup := func() {
+		cctx := context.WithoutCancel(ctx)
+		_, _ = c.runStmt(cctx, dropTable(tmpName))
+		_ = term.cleanup(cctx, c)
+		if !s.opts.KeepTable {
+			_, _ = c.runStmt(cctx, dropTable(rName))
+		}
+	}
+	defer cleanup()
+	for _, n := range []string{rName, tmpName, deltaTableName(cte.Name)} {
+		if _, err := c.runStmt(ctx, dropTable(n)); err != nil {
+			return nil, err
+		}
+	}
+
+	cols, err := s.seedTable(ctx, c, cte, rName, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := term.prepare(ctx, c); err != nil {
+		return nil, err
+	}
+
+	iters := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if iters >= s.opts.MaxIterations {
+			return nil, fmt.Errorf("core: iterative CTE %s exceeded %d iterations", cte.Name, s.opts.MaxIterations)
+		}
+		iters++
+
+		// Rtmp = Ri (R referenced live).
+		if _, err := c.runStmt(ctx, dropTable(tmpName)); err != nil {
+			return nil, err
+		}
+		create := &sqlparser.CreateTableStmt{Name: tmpName, AsSelect: cte.Step, Unlogged: true}
+		if _, err := c.runStmt(ctx, create); err != nil {
+			return nil, fmt.Errorf("iteration %d of %s: %w", iters, cte.Name, err)
+		}
+		tmpCols, err := columnNamesOf(ctx, c, tmpName)
+		if err != nil {
+			return nil, err
+		}
+		if len(tmpCols) != len(cols) {
+			return nil, fmt.Errorf("core: Ri of %s returns %d columns, table has %d",
+				cte.Name, len(tmpCols), len(cols))
+		}
+
+		// UPDATE R by matching Rid with Rtmp's first column: only rows
+		// whose keys intersect are touched (§III-A).
+		upd := &sqlparser.UpdateStmt{Table: rName, Where: eq(col(rName, cols[0]), col("t", tmpCols[0]))}
+		for i := 1; i < len(cols); i++ {
+			upd.Sets = append(upd.Sets, sqlparser.Assignment{Column: cols[i], Value: col("t", tmpCols[i])})
+		}
+		upd.From = []sqlparser.TableExpr{tblAs(tmpName, "t")}
+		res, err := c.runStmt(ctx, upd)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.OnRound != nil {
+			s.opts.OnRound(iters, res.RowsAffected)
+		}
+
+		done, err := term.satisfied(ctx, c, iters, res.RowsAffected)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+
+	out, err := s.runFinal(ctx, c, cte, rName)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start)}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sqloop/internal/sqlparser"
+)
+
+// GenerateScript renders the multi-statement SQL script a user would
+// have to write by hand to emulate an iterative CTE without SQLoop —
+// the paper's §VI-D baseline ("SQL scripts in most cases were more than
+// 200 lines ... SQLoop queries were composed by only 20-25 lines").
+//
+// The script unrolls a fixed number of iterations, because plain SQL has
+// no loop construct: each iteration materializes Ri into a temporary
+// table, merges it back by primary key and drops it. Value- or
+// count-based termination conditions cannot be expressed this way — the
+// exact limitation the paper's iterative CTEs remove — so the iteration
+// count must be supplied (for `UNTIL n ITERATIONS` it is taken from the
+// query).
+func GenerateScript(query string, iterations int, dialect sqlparser.Dialect) (string, error) {
+	st, err := sqlparser.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	cte, ok := st.(*sqlparser.LoopCTEStmt)
+	if !ok || cte.Kind != sqlparser.CTEIterative {
+		return "", fmt.Errorf("core: GenerateScript requires an iterative CTE")
+	}
+	if err := validateCTE(cte); err != nil {
+		return "", err
+	}
+	if cte.Until.Kind == sqlparser.TermIterations {
+		iterations = int(cte.Until.N)
+	}
+	if iterations <= 0 {
+		return "", fmt.Errorf("core: the unrolled script needs a positive iteration count")
+	}
+	if len(cte.Columns) == 0 {
+		return "", fmt.Errorf("core: GenerateScript requires declared CTE columns")
+	}
+
+	rName := strings.ToLower(cte.Name)
+	tmpName := tmpTableName(cte.Name)
+	var sb strings.Builder
+	emit := func(st sqlparser.Statement) {
+		sb.WriteString(sqlparser.FormatDialect(st, dialect))
+		sb.WriteString(";\n")
+	}
+
+	sb.WriteString("-- Hand-written equivalent of the iterative CTE " + cte.Name + ",\n")
+	sb.WriteString("-- unrolled for " + fmt.Sprint(iterations) + " iterations (plain SQL cannot loop).\n")
+	emit(dropTable(rName))
+	emit(createAnyTable(rName, cte.Columns, true))
+	emit(insertBody(rName, cte.Seed))
+
+	upd := &sqlparser.UpdateStmt{
+		Table: rName,
+		Where: eq(col(rName, cte.Columns[0]), col("t", cte.Columns[0])),
+		From:  []sqlparser.TableExpr{tblAs(tmpName, "t")},
+	}
+	for i := 1; i < len(cte.Columns); i++ {
+		upd.Sets = append(upd.Sets, sqlparser.Assignment{
+			Column: cte.Columns[i],
+			Value:  col("t", cte.Columns[i]),
+		})
+	}
+	for i := 1; i <= iterations; i++ {
+		fmt.Fprintf(&sb, "-- iteration %d\n", i)
+		emit(dropTable(tmpName))
+		step := renameTableRefs(cte.Step, cte.Name, rName)
+		// The merge below addresses the temporary table's columns by the
+		// CTE's names, so alias Ri's projections accordingly.
+		if sel, ok := step.(*sqlparser.Select); ok && len(sel.Items) == len(cte.Columns) {
+			for j := range sel.Items {
+				sel.Items[j].Alias = cte.Columns[j]
+			}
+		}
+		emit(&sqlparser.CreateTableStmt{Name: tmpName, AsSelect: step, Unlogged: true})
+		emit(upd)
+	}
+	emit(dropTable(tmpName))
+	sb.WriteString("-- final query\n")
+	emit(&sqlparser.SelectStmt{Body: renameTableRefs(cte.Final, cte.Name, rName)})
+	return sb.String(), nil
+}

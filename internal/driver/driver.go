@@ -1,0 +1,261 @@
+// Package driver exposes the embedded engine (in-process or over the
+// wire protocol) through database/sql — Go's equivalent of the JDBC
+// layer the paper's middleware is built on. SQLoop issues every
+// statement through database/sql connections and never touches engine
+// internals.
+//
+// DSN forms:
+//
+//	sqlsim://inproc/<handle>   — engine previously registered with RegisterEngine
+//	sqlsim://tcp/<host:port>   — remote engine served by internal/wire
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/wire"
+)
+
+// DriverName is the name registered with database/sql.
+const DriverName = "sqlsim"
+
+// engines is the in-process handle registry used by inproc DSNs.
+// A mutable global is required here: database/sql resolves drivers by
+// string DSN, so there must be a process-wide name → engine mapping.
+var engines = struct {
+	sync.RWMutex
+	m map[string]*engine.Engine
+}{m: make(map[string]*engine.Engine)}
+
+// RegisterEngine makes eng reachable at sqlsim://inproc/<handle>.
+// Re-registering a handle replaces the previous engine.
+func RegisterEngine(handle string, eng *engine.Engine) {
+	engines.Lock()
+	defer engines.Unlock()
+	engines.m[handle] = eng
+}
+
+// UnregisterEngine removes a handle.
+func UnregisterEngine(handle string) {
+	engines.Lock()
+	defer engines.Unlock()
+	delete(engines.m, handle)
+}
+
+// InprocDSN returns the DSN for a registered engine handle.
+func InprocDSN(handle string) string { return "sqlsim://inproc/" + handle }
+
+// TCPDSN returns the DSN for a remote engine at addr.
+func TCPDSN(addr string) string { return "sqlsim://tcp/" + addr }
+
+// Driver implements database/sql/driver.Driver.
+type Driver struct{}
+
+var (
+	_ driver.Driver = Driver{}
+
+	registerOnce sync.Once
+)
+
+// init registers the driver with database/sql (the canonical pluggable-
+// hook use of init).
+func init() {
+	registerOnce.Do(func() { sql.Register(DriverName, Driver{}) })
+}
+
+// Open creates one connection for the DSN.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	rest, ok := strings.CutPrefix(dsn, "sqlsim://")
+	if !ok {
+		return nil, fmt.Errorf("driver: DSN %q must start with sqlsim://", dsn)
+	}
+	kind, target, ok := strings.Cut(rest, "/")
+	if !ok {
+		return nil, fmt.Errorf("driver: DSN %q missing target", dsn)
+	}
+	switch kind {
+	case "inproc":
+		engines.RLock()
+		eng := engines.m[target]
+		engines.RUnlock()
+		if eng == nil {
+			return nil, fmt.Errorf("driver: no engine registered as %q", target)
+		}
+		return &conn{exec: &inprocExec{sess: eng.NewSession()}}, nil
+	case "tcp":
+		cl, err := wire.Dial(target)
+		if err != nil {
+			return nil, err
+		}
+		return &conn{exec: &wireExec{cl: cl}}, nil
+	default:
+		return nil, fmt.Errorf("driver: unknown DSN scheme %q", kind)
+	}
+}
+
+// executor abstracts the two transports.
+type executor interface {
+	exec(sql string, args []sqltypes.Value) (*engine.Result, error)
+	close() error
+}
+
+type inprocExec struct{ sess *engine.Session }
+
+func (e *inprocExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
+	return e.sess.Exec(sql, args...)
+}
+func (e *inprocExec) close() error { return nil }
+
+type wireExec struct{ cl *wire.Client }
+
+func (e *wireExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
+	return e.cl.Exec(sql, args...)
+}
+func (e *wireExec) close() error { return e.cl.Close() }
+
+// conn is one database/sql connection.
+type conn struct {
+	exec executor
+}
+
+var (
+	_ driver.Conn           = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+	_ driver.QueryerContext = (*conn)(nil)
+)
+
+// Prepare returns a trivial statement handle (the engine re-parses per
+// execution; statement caching is not load-bearing for SQLoop).
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query}, nil
+}
+
+// Close releases the underlying session/connection.
+func (c *conn) Close() error { return c.exec.close() }
+
+// Begin starts an explicit transaction.
+func (c *conn) Begin() (driver.Tx, error) {
+	if _, err := c.exec.exec("BEGIN", nil); err != nil {
+		return nil, err
+	}
+	return &tx{c: c}, nil
+}
+
+// ExecContext implements direct execution without Prepare.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	res, err := c.run(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{n: res.RowsAffected}, nil
+}
+
+// QueryContext implements direct querying without Prepare.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	res, err := c.run(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+func (c *conn) run(ctx context.Context, query string, args []driver.NamedValue) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		v, err := sqltypes.FromGo(a.Value)
+		if err != nil {
+			return nil, fmt.Errorf("driver: arg %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return c.exec.exec(query, vals)
+}
+
+type tx struct{ c *conn }
+
+func (t *tx) Commit() error {
+	_, err := t.c.exec.exec("COMMIT", nil)
+	return err
+}
+
+func (t *tx) Rollback() error {
+	_, err := t.c.exec.exec("ROLLBACK", nil)
+	return err
+}
+
+type stmt struct {
+	c     *conn
+	query string
+}
+
+var _ driver.Stmt = (*stmt)(nil)
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return -1 }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, namedValues(args))
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, namedValues(args))
+}
+
+func namedValues(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
+}
+
+type execResult struct{ n int64 }
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("driver: LastInsertId is not supported")
+}
+func (r execResult) RowsAffected() (int64, error) { return r.n, nil }
+
+// rows adapts an engine result to driver.Rows.
+type rows struct {
+	res *engine.Result
+	i   int
+}
+
+var _ driver.Rows = (*rows)(nil)
+
+func (r *rows) Columns() []string {
+	if len(r.res.Columns) == 0 && len(r.res.Rows) == 0 {
+		return []string{}
+	}
+	return r.res.Columns
+}
+
+func (r *rows) Close() error { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.i]
+	r.i++
+	for j := range dest {
+		if j < len(row) {
+			dest[j] = row[j].GoValue()
+		} else {
+			dest[j] = nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/storage"
+)
+
+func TestEngineAccessors(t *testing.T) {
+	cfg, _ := Profile("mysim")
+	eng := New(cfg)
+	if eng.Dialect() != sqlparser.DialectMySim {
+		t.Errorf("Dialect = %v", eng.Dialect())
+	}
+	if eng.Backend() != storage.KindBTree {
+		t.Errorf("Backend = %v", eng.Backend())
+	}
+	s := eng.NewSession()
+	mustExec(t, s, `CREATE TABLE alpha (a BIGINT)`)
+	mustExec(t, s, `CREATE TABLE beta (a BIGINT)`)
+	mustExec(t, s, `INSERT INTO alpha VALUES (1), (2)`)
+	names := eng.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if eng.TableLen("alpha") != 2 || eng.TableLen("missing") != 0 {
+		t.Errorf("TableLen alpha=%d missing=%d", eng.TableLen("alpha"), eng.TableLen("missing"))
+	}
+}
+
+func TestErrorTypes(t *testing.T) {
+	e1 := &ErrTableNotFound{Name: "x"}
+	if !strings.Contains(e1.Error(), "x") {
+		t.Error("ErrTableNotFound message")
+	}
+	e2 := &ErrColumnNotFound{Name: "y"}
+	if !strings.Contains(e2.Error(), "y") {
+		t.Error("ErrColumnNotFound message")
+	}
+}
+
+func TestThreeValuedLogicTable(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE tv (a BOOLEAN, b BOOLEAN)`)
+	mustExec(t, s, `INSERT INTO tv VALUES (TRUE, NULL), (FALSE, NULL), (NULL, NULL),
+		(TRUE, TRUE), (TRUE, FALSE), (FALSE, FALSE)`)
+	tests := []struct {
+		where string
+		want  int64
+	}{
+		// TRUE AND NULL = NULL (filtered); FALSE AND NULL = FALSE.
+		{`a AND b`, 1},
+		// TRUE OR NULL = TRUE.
+		{`a OR b`, 3},
+		{`NOT a`, 2},
+		{`a AND NOT b`, 1},
+		// Only (T,F) qualifies: (T,N) gives T AND NOT(N) = UNKNOWN.
+		{`(a OR b) AND NOT (a AND b)`, 1},
+	}
+	for _, tt := range tests {
+		res := mustExec(t, s, `SELECT COUNT(*) FROM tv WHERE `+tt.where)
+		if got := res.Rows[0][0].Int(); got != tt.want {
+			t.Errorf("WHERE %s = %d, want %d", tt.where, got, tt.want)
+		}
+	}
+}
+
+func TestDropVariants(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	mustExec(t, s, `CREATE INDEX ix ON t (a)`)
+	mustExec(t, s, `CREATE VIEW v AS SELECT * FROM t`)
+	mustExec(t, s, `DROP INDEX ix`)
+	if _, err := s.Exec(`DROP INDEX ix`); err == nil {
+		t.Error("dropping a missing index must error")
+	}
+	mustExec(t, s, `DROP INDEX IF EXISTS ix`)
+	mustExec(t, s, `DROP VIEW v`)
+	if _, err := s.Exec(`DROP VIEW v`); err == nil {
+		t.Error("dropping a missing view must error")
+	}
+	mustExec(t, s, `DROP VIEW IF EXISTS v`)
+	mustExec(t, s, `DROP TABLE t`)
+	mustExec(t, s, `DROP TABLE IF EXISTS t`)
+	// Name collisions between tables and views.
+	mustExec(t, s, `CREATE TABLE clash (a BIGINT)`)
+	if _, err := s.Exec(`CREATE VIEW clash AS SELECT 1`); err == nil {
+		t.Error("view over existing table name must error")
+	}
+	mustExec(t, s, `CREATE VIEW vclash AS SELECT 1 AS one`)
+	if _, err := s.Exec(`CREATE TABLE vclash (a BIGINT)`); err == nil {
+		t.Error("table over existing view name must error")
+	}
+}
+
+func TestSetOpOrderingVariants(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE n (v BIGINT, s TEXT)`)
+	mustExec(t, s, `INSERT INTO n VALUES (2, 'b'), (1, 'a'), (3, 'c')`)
+	// Set-op ORDER BY by column name.
+	res := mustExec(t, s, `SELECT v, s FROM n UNION SELECT v, s FROM n ORDER BY v DESC`)
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("order by name = %v", res.Rows)
+	}
+	// Out-of-range ordinal errors.
+	if _, err := s.Exec(`SELECT v FROM n UNION SELECT v FROM n ORDER BY 9`); err == nil {
+		t.Error("ORDER BY 9 must error")
+	}
+	// Unknown column errors.
+	if _, err := s.Exec(`SELECT v FROM n UNION SELECT v FROM n ORDER BY nope`); err == nil {
+		t.Error("ORDER BY nope must error")
+	}
+}
+
+func TestIndexJoinMatchesHashJoin(t *testing.T) {
+	// The same join with and without an index must agree (the index path
+	// is the one SQLoop's message queries take).
+	s := newTestSession(t)
+	setupEdges(t, s)
+	mustExec(t, s, `CREATE TABLE nodes (id BIGINT PRIMARY KEY, v DOUBLE)`)
+	for i := 1; i <= 5; i++ {
+		mustExec(t, s, `INSERT INTO nodes VALUES (?, ?)`,
+			sqltypes.NewInt(int64(i)), sqltypes.NewFloat(float64(i)/2))
+	}
+	baseline := mustExec(t, s, `
+		SELECT nodes.id, SUM(e.weight) FROM nodes JOIN edges AS e ON nodes.id = e.src
+		GROUP BY nodes.id ORDER BY nodes.id`)
+
+	// Force the index path: right side has an index on the join column.
+	mustExec(t, s, `CREATE INDEX esrc ON edges (src)`)
+	indexed := mustExec(t, s, `
+		SELECT nodes.id, SUM(e.weight) FROM nodes JOIN edges AS e ON nodes.id = e.src
+		GROUP BY nodes.id ORDER BY nodes.id`)
+
+	if len(baseline.Rows) != len(indexed.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(baseline.Rows), len(indexed.Rows))
+	}
+	for i := range baseline.Rows {
+		for j := range baseline.Rows[i] {
+			a, b := baseline.Rows[i][j], indexed.Rows[i][j]
+			if c, _ := sqltypes.Compare(a, b); c != 0 {
+				t.Errorf("row %d col %d: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+
+	// LEFT JOIN via the index path pads unmatched rows.
+	mustExec(t, s, `INSERT INTO nodes VALUES (99, 0.0)`)
+	res := mustExec(t, s, `
+		SELECT nodes.id, e.dst FROM nodes LEFT JOIN edges AS e ON nodes.id = e.src
+		WHERE nodes.id = 99`)
+	if len(res.Rows) != 1 || !res.Rows[0][1].IsNull() {
+		t.Fatalf("left index join = %v", res.Rows)
+	}
+
+	// Index join with a residual predicate in the ON clause.
+	res = mustExec(t, s, `
+		SELECT COUNT(*) FROM nodes JOIN edges AS e ON nodes.id = e.src AND e.weight > 0.6`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("residual index join = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarFuncErrors(t *testing.T) {
+	s := newTestSession(t)
+	bad := []string{
+		`SELECT ABS('x')`,
+		`SELECT ABS(1, 2)`,
+		`SELECT LENGTH(1)`,
+		`SELECT SUBSTR('a', 'b')`,
+		`SELECT FLOOR('x')`,
+		`SELECT PARTHASH(1, 0)`,
+		`SELECT PARTHASH(1, 2, 3)`,
+		`SELECT LEAST('a', 1)`,
+	}
+	for _, q := range bad {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", q)
+		}
+	}
+	// NULL-propagating paths.
+	good := map[string]string{
+		`SELECT ABS(NULL)`:             "NULL",
+		`SELECT FLOOR(NULL)`:           "NULL",
+		`SELECT SQRT(4.0)`:             "2",
+		`SELECT POWER(2, 10)`:          "1024",
+		`SELECT ROUND(2.5)`:            "3",
+		`SELECT CEIL(1.2)`:             "2",
+		`SELECT FLOOR(1.8)`:            "1",
+		`SELECT PARTHASH(NULL, 4)`:     "NULL",
+		`SELECT UPPER(NULL)`:           "NULL",
+		`SELECT TRIM(NULL)`:            "NULL",
+		`SELECT REPLACE('a',NULL,'b')`: "NULL",
+	}
+	for q, want := range good {
+		res := mustExec(t, s, q)
+		if got := res.Rows[0][0].String(); got != want {
+			t.Errorf("%s = %q, want %q", q, got, want)
+		}
+	}
+}

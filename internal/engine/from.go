@@ -1,0 +1,730 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/sqltypes"
+)
+
+// sleep is the charge primitive for the cost model. A variable so tests
+// can stub it; production code always uses time.Sleep.
+var sleep = time.Sleep
+
+// evalFromList materializes the FROM clause: each item becomes a source;
+// multiple items are cross-joined. where (may be nil) enables index
+// pushdown for the single-base-table fast path.
+func (x *executor) evalFromList(items []sqlparser.TableExpr, where sqlparser.Expr) (*source, error) {
+	if len(items) == 0 {
+		// SELECT without FROM: a single empty row.
+		return &source{frame: &frame{}, rows: []sqltypes.Row{{}}}, nil
+	}
+	var cur *source
+	for i, te := range items {
+		var s *source
+		var err error
+		// Index pushdown only applies when the whole FROM is one base
+		// table (predicates referencing other relations cannot be used).
+		if len(items) == 1 {
+			s, err = x.evalTableExpr(te, where)
+		} else {
+			s, err = x.evalTableExpr(te, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			cur = s
+			continue
+		}
+		cur = crossJoin(cur, s)
+		x.work.joined += int64(len(cur.rows))
+	}
+	return cur, nil
+}
+
+func crossJoin(a, b *source) *source {
+	out := &source{frame: concatFrames(a.frame, b.frame)}
+	out.rows = make([]sqltypes.Row, 0, len(a.rows)*len(b.rows))
+	for _, ra := range a.rows {
+		for _, rb := range b.rows {
+			row := make(sqltypes.Row, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// evalTableExpr materializes one FROM item. pushWhere, when non-nil, may
+// be used for index lookups on a base table (it is still re-checked by
+// the caller, so using it is purely an optimization).
+func (x *executor) evalTableExpr(te sqlparser.TableExpr, pushWhere sqlparser.Expr) (*source, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		return x.scanNamed(t, pushWhere)
+	case *sqlparser.SubqueryTable:
+		rel, err := x.evalBody(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		f := &frame{}
+		f.addRel(t.Alias, rel.cols)
+		return &source{frame: f, rows: rel.rows}, nil
+	case *sqlparser.JoinExpr:
+		return x.evalJoin(t)
+	default:
+		return nil, fmt.Errorf("engine: unsupported table expression %T", te)
+	}
+}
+
+// scanNamed resolves a name to a CTE, view or base table and returns its
+// rows under the effective alias.
+func (x *executor) scanNamed(t *sqlparser.TableName, pushWhere sqlparser.Expr) (*source, error) {
+	alias := t.Alias
+	if alias == "" {
+		alias = t.Name
+	}
+	// Plain CTEs shadow tables and views.
+	if rel, ok := x.ctes[strings.ToLower(t.Name)]; ok {
+		f := &frame{}
+		f.addRel(alias, rel.cols)
+		return &source{frame: f, rows: rel.rows}, nil
+	}
+	if v, ok := x.eng.lookupView(t.Name); ok {
+		rel, err := x.evalBody(v.body)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", v.name, err)
+		}
+		f := &frame{}
+		f.addRel(alias, rel.cols)
+		return &source{frame: f, rows: rel.rows}, nil
+	}
+	tbl, ok := x.eng.lookupTable(t.Name)
+	if !ok {
+		return nil, &ErrTableNotFound{Name: t.Name}
+	}
+	f := &frame{}
+	f.addRel(alias, tbl.schema.Names())
+
+	// Index pushdown: a conjunct `col = const` on the PK or an indexed
+	// column turns the scan into a point lookup.
+	if rows, ok, err := x.indexLookup(tbl, alias, pushWhere); err != nil {
+		return nil, err
+	} else if ok {
+		return &source{frame: f, rows: rows}, nil
+	}
+
+	rows := make([]sqltypes.Row, 0, tbl.store.Len())
+	tbl.store.Scan(func(_ sqltypes.Key, r sqltypes.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	x.work.scanned += int64(len(rows))
+	x.eng.stats.RowsScanned.Add(int64(len(rows)))
+	return &source{frame: f, rows: rows}, nil
+}
+
+// indexLookup tries to satisfy a scan via the primary key or a secondary
+// index using an equality conjunct in where. The table's lock is already
+// held by the statement prologue.
+func (x *executor) indexLookup(tbl *Table, alias string, where sqlparser.Expr) ([]sqltypes.Row, bool, error) {
+	if where == nil {
+		return nil, false, nil
+	}
+	col, val, ok := x.equalityOn(where, tbl, alias)
+	if !ok {
+		return nil, false, nil
+	}
+	x.work.scanned++ // a lookup costs about one row touch
+	x.eng.stats.RowsScanned.Add(1)
+	if tbl.pkCol >= 0 && col == tbl.pkCol {
+		if row, found := tbl.store.Get(val.MapKey()); found {
+			return []sqltypes.Row{row}, true, nil
+		}
+		return nil, true, nil
+	}
+	for _, ix := range tbl.indexes {
+		if ix.col != col {
+			continue
+		}
+		var rows []sqltypes.Row
+		for pk := range ix.buckets[val.MapKey()] {
+			if row, found := tbl.store.Get(pk); found {
+				rows = append(rows, row)
+			}
+		}
+		return rows, true, nil
+	}
+	return nil, false, nil
+}
+
+// equalityOn scans the conjuncts of where for `col = literal` (or
+// parameter) on the given table, returning the column index and value.
+func (x *executor) equalityOn(where sqlparser.Expr, tbl *Table, alias string) (int, sqltypes.Value, bool) {
+	switch e := where.(type) {
+	case *sqlparser.LogicalExpr:
+		if e.Op != sqlparser.LogicAnd {
+			return 0, sqltypes.Null, false
+		}
+		if c, v, ok := x.equalityOn(e.Left, tbl, alias); ok {
+			return c, v, ok
+		}
+		return x.equalityOn(e.Right, tbl, alias)
+	case *sqlparser.ComparisonExpr:
+		if e.Op != sqltypes.CmpEQ {
+			return 0, sqltypes.Null, false
+		}
+		if c, v, ok := x.colConstPair(e.Left, e.Right, tbl, alias); ok {
+			return c, v, ok
+		}
+		return x.colConstPair(e.Right, e.Left, tbl, alias)
+	default:
+		return 0, sqltypes.Null, false
+	}
+}
+
+func (x *executor) colConstPair(colSide, constSide sqlparser.Expr, tbl *Table, alias string) (int, sqltypes.Value, bool) {
+	cr, ok := colSide.(*sqlparser.ColumnRef)
+	if !ok {
+		return 0, sqltypes.Null, false
+	}
+	if cr.Table != "" && !strings.EqualFold(cr.Table, alias) {
+		return 0, sqltypes.Null, false
+	}
+	col := tbl.schema.ColumnIndex(cr.Name)
+	if col < 0 {
+		return 0, sqltypes.Null, false
+	}
+	switch c := constSide.(type) {
+	case *sqlparser.Literal:
+		return col, c.Val, true
+	case *sqlparser.Param:
+		if c.Index < len(x.args) {
+			return col, x.args[c.Index], true
+		}
+	}
+	return 0, sqltypes.Null, false
+}
+
+// evalJoin materializes a JOIN tree, using an index nested-loop join
+// when the right side is an indexed base table, a hash join when the ON
+// clause contains equi-conjuncts separable into left/right sides, and a
+// plain nested loop otherwise.
+func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
+	left, err := x.evalTableExpr(j.Left, nil)
+	if err != nil {
+		return nil, err
+	}
+	if out, ok, err := x.tryIndexJoin(j, left); err != nil {
+		return nil, err
+	} else if ok {
+		return out, nil
+	}
+	right, err := x.evalTableExpr(j.Right, nil)
+	if err != nil {
+		return nil, err
+	}
+	if j.Type == sqlparser.JoinCross {
+		out := crossJoin(left, right)
+		x.work.joined += int64(len(out.rows))
+		return out, nil
+	}
+
+	leftKeys, rightKeys, residual := splitEquiConjuncts(j.On, left.frame, right.frame)
+	outFrame := concatFrames(left.frame, right.frame)
+	out := &source{frame: outFrame}
+	nullsRight := make(sqltypes.Row, right.frame.width)
+	joined := int64(0)
+
+	appendJoined := func(ra, rb sqltypes.Row) {
+		row := make(sqltypes.Row, 0, len(ra)+len(rb))
+		row = append(row, ra...)
+		row = append(row, rb...)
+		out.rows = append(out.rows, row)
+	}
+
+	if len(leftKeys) > 0 {
+		// Hash join: build on right, probe from left.
+		build := make(map[string][]sqltypes.Row, len(right.rows))
+		renv := &evalEnv{frame: right.frame, x: x}
+		kvals := make(sqltypes.Row, len(rightKeys))
+		for _, rb := range right.rows {
+			renv.row = rb
+			null := false
+			for i, ke := range rightKeys {
+				v, err := renv.evalExpr(ke)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				kvals[i] = v
+			}
+			if null {
+				continue // NULL keys never match
+			}
+			k := encodeRowKey(kvals)
+			build[k] = append(build[k], rb)
+		}
+		lenv := &evalEnv{frame: left.frame, x: x}
+		cenv := &evalEnv{frame: outFrame, x: x}
+		lvals := make(sqltypes.Row, len(leftKeys))
+		combined := make(sqltypes.Row, outFrame.width)
+		for _, ra := range left.rows {
+			lenv.row = ra
+			null := false
+			for i, ke := range leftKeys {
+				v, err := lenv.evalExpr(ke)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				lvals[i] = v
+			}
+			matched := false
+			if !null {
+				for _, rb := range build[encodeRowKey(lvals)] {
+					joined++
+					if residual != nil {
+						copy(combined, ra)
+						copy(combined[len(ra):], rb)
+						cenv.row = combined
+						v, err := cenv.evalExpr(residual)
+						if err != nil {
+							return nil, err
+						}
+						if !v.IsTrue() {
+							continue
+						}
+					}
+					matched = true
+					appendJoined(ra, rb)
+				}
+			}
+			if !matched && j.Type == sqlparser.JoinLeft {
+				appendJoined(ra, nullsRight)
+			}
+		}
+	} else {
+		// Nested loop.
+		cenv := &evalEnv{frame: outFrame, x: x}
+		combined := make(sqltypes.Row, outFrame.width)
+		for _, ra := range left.rows {
+			matched := false
+			for _, rb := range right.rows {
+				joined++
+				copy(combined, ra)
+				copy(combined[len(ra):], rb)
+				cenv.row = combined
+				v, err := cenv.evalExpr(j.On)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsTrue() {
+					matched = true
+					appendJoined(ra, rb)
+				}
+			}
+			if !matched && j.Type == sqlparser.JoinLeft {
+				appendJoined(ra, nullsRight)
+			}
+		}
+	}
+	x.work.joined += joined
+	x.eng.stats.RowsJoined.Add(joined)
+	return out, nil
+}
+
+// splitEquiConjuncts decomposes an ON clause into hash-joinable key
+// pairs (left expr, right expr) and a residual predicate evaluated on
+// the combined row.
+func splitEquiConjuncts(on sqlparser.Expr, lf, rf *frame) (leftKeys, rightKeys []sqlparser.Expr, residual sqlparser.Expr) {
+	var conjuncts []sqlparser.Expr
+	var flatten func(e sqlparser.Expr)
+	flatten = func(e sqlparser.Expr) {
+		if le, ok := e.(*sqlparser.LogicalExpr); ok && le.Op == sqlparser.LogicAnd {
+			flatten(le.Left)
+			flatten(le.Right)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	flatten(on)
+
+	for _, c := range conjuncts {
+		cmp, ok := c.(*sqlparser.ComparisonExpr)
+		if ok && cmp.Op == sqltypes.CmpEQ {
+			ls, rs := exprSide(cmp.Left, lf, rf), exprSide(cmp.Right, lf, rf)
+			switch {
+			case ls == sideLeft && rs == sideRight:
+				leftKeys = append(leftKeys, cmp.Left)
+				rightKeys = append(rightKeys, cmp.Right)
+				continue
+			case ls == sideRight && rs == sideLeft:
+				leftKeys = append(leftKeys, cmp.Right)
+				rightKeys = append(rightKeys, cmp.Left)
+				continue
+			}
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &sqlparser.LogicalExpr{Op: sqlparser.LogicAnd, Left: residual, Right: c}
+		}
+	}
+	return leftKeys, rightKeys, residual
+}
+
+type side int
+
+const (
+	sideNone  side = iota // no column references (constant)
+	sideLeft              // references only the left frame
+	sideRight             // references only the right frame
+	sideBoth              // mixed or unresolvable
+)
+
+// exprSide classifies which side(s) of a join an expression references.
+func exprSide(e sqlparser.Expr, lf, rf *frame) side {
+	result := sideNone
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		cr, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return true
+		}
+		inL := lf.hasColumn(cr.Table, cr.Name)
+		inR := rf.hasColumn(cr.Table, cr.Name)
+		var s side
+		switch {
+		case inL && inR:
+			s = sideBoth // ambiguous
+		case inL:
+			s = sideLeft
+		case inR:
+			s = sideRight
+		default:
+			s = sideBoth // unresolvable here; be conservative
+		}
+		switch {
+		case result == sideNone:
+			result = s
+		case result != s:
+			result = sideBoth
+		}
+		return true
+	})
+	return result
+}
+
+// collectTables gathers every base table a statement will read,
+// expanding views and skipping plain-CTE names.
+func (x *executor) collectTables(st sqlparser.Statement) ([]*Table, error) {
+	seen := make(map[string]*Table)
+	local := make(map[string]bool)
+	var fromBody func(b sqlparser.SelectBody) error
+	var fromExpr func(e sqlparser.Expr) error
+
+	addName := func(name string) error {
+		lc := strings.ToLower(name)
+		if local[lc] {
+			return nil
+		}
+		if _, ok := seen[lc]; ok {
+			return nil
+		}
+		if v, ok := x.eng.lookupView(name); ok {
+			// Guard against self-referential views.
+			local[lc] = true
+			err := fromBody(v.body)
+			local[lc] = false
+			return err
+		}
+		if t, ok := x.eng.lookupTable(name); ok {
+			seen[lc] = t
+		}
+		// Unknown names error later, during evaluation, with better
+		// context.
+		return nil
+	}
+
+	fromExpr = func(e sqlparser.Expr) error {
+		var innerErr error
+		sqlparser.WalkExpr(e, func(sub sqlparser.Expr) bool {
+			switch t := sub.(type) {
+			case *sqlparser.Subquery:
+				if err := fromBody(t.Body); err != nil {
+					innerErr = err
+				}
+				return false
+			case *sqlparser.ExistsExpr:
+				if err := fromBody(t.Body); err != nil {
+					innerErr = err
+				}
+				return false
+			case *sqlparser.InExpr:
+				if t.Sub != nil {
+					if err := fromBody(t.Sub); err != nil {
+						innerErr = err
+					}
+				}
+				return true
+			}
+			return true
+		})
+		return innerErr
+	}
+
+	fromBody = func(b sqlparser.SelectBody) error {
+		switch s := b.(type) {
+		case *sqlparser.Select:
+			var err error
+			sqlparser.WalkTableExprs(s, func(te sqlparser.TableExpr) bool {
+				if tn, ok := te.(*sqlparser.TableName); ok {
+					if e := addName(tn.Name); e != nil {
+						err = e
+						return false
+					}
+				}
+				if je, ok := te.(*sqlparser.JoinExpr); ok && je.On != nil {
+					if e := fromExpr(je.On); e != nil {
+						err = e
+						return false
+					}
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			for _, it := range s.Items {
+				if it.Expr != nil {
+					if err := fromExpr(it.Expr); err != nil {
+						return err
+					}
+				}
+			}
+			for _, e := range []sqlparser.Expr{s.Where, s.Having} {
+				if e != nil {
+					if err := fromExpr(e); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		case *sqlparser.SetOp:
+			if err := fromBody(s.Left); err != nil {
+				return err
+			}
+			return fromBody(s.Right)
+		case *sqlparser.Values:
+			return nil
+		case nil:
+			return nil
+		default:
+			return nil
+		}
+	}
+
+	switch s := st.(type) {
+	case *sqlparser.SelectStmt:
+		for _, cte := range s.With {
+			if err := fromBody(cte.Body); err != nil {
+				return nil, err
+			}
+			local[strings.ToLower(cte.Name)] = true
+		}
+		if err := fromBody(s.Body); err != nil {
+			return nil, err
+		}
+	case *sqlparser.InsertStmt:
+		if err := fromBody(s.Source); err != nil {
+			return nil, err
+		}
+	case *sqlparser.UpdateStmt:
+		for _, te := range s.From {
+			if tn, ok := te.(*sqlparser.TableName); ok {
+				if err := addName(tn.Name); err != nil {
+					return nil, err
+				}
+			}
+			if sq, ok := te.(*sqlparser.SubqueryTable); ok {
+				if err := fromBody(sq.Body); err != nil {
+					return nil, err
+				}
+			}
+			if je, ok := te.(*sqlparser.JoinExpr); ok {
+				var err error
+				walkJoin(je, func(tn *sqlparser.TableName) {
+					if e := addName(tn.Name); e != nil {
+						err = e
+					}
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, a := range s.Sets {
+			if err := fromExpr(a.Value); err != nil {
+				return nil, err
+			}
+		}
+		if s.Where != nil {
+			if err := fromExpr(s.Where); err != nil {
+				return nil, err
+			}
+		}
+	case *sqlparser.DeleteStmt:
+		if s.Where != nil {
+			if err := fromExpr(s.Where); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := make([]*Table, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func walkJoin(je *sqlparser.JoinExpr, fn func(*sqlparser.TableName)) {
+	for _, side := range []sqlparser.TableExpr{je.Left, je.Right} {
+		switch t := side.(type) {
+		case *sqlparser.TableName:
+			fn(t)
+		case *sqlparser.JoinExpr:
+			walkJoin(t, fn)
+		}
+	}
+}
+
+// tryIndexJoin runs an index nested-loop join when the right side is a
+// base table whose single equi-join column is its primary key or carries
+// a hash index: each left row becomes a point lookup instead of a scan.
+// This is the access path SQLoop's materialized-join index exists for
+// (§V-C: "indexes on all tables ensure that unnecessary scans will be
+// avoided").
+func (x *executor) tryIndexJoin(j *sqlparser.JoinExpr, left *source) (*source, bool, error) {
+	if j.Type == sqlparser.JoinCross {
+		return nil, false, nil
+	}
+	tn, ok := j.Right.(*sqlparser.TableName)
+	if !ok {
+		return nil, false, nil
+	}
+	// CTEs and views shadow tables; only real base tables have indexes.
+	if _, isCTE := x.ctes[strings.ToLower(tn.Name)]; isCTE {
+		return nil, false, nil
+	}
+	if _, isView := x.eng.lookupView(tn.Name); isView {
+		return nil, false, nil
+	}
+	tbl, ok := x.eng.lookupTable(tn.Name)
+	if !ok {
+		return nil, false, nil
+	}
+	alias := tn.Alias
+	if alias == "" {
+		alias = tn.Name
+	}
+	rightFrame := &frame{}
+	rightFrame.addRel(alias, tbl.schema.Names())
+
+	leftKeys, rightKeys, residual := splitEquiConjuncts(j.On, left.frame, rightFrame)
+	if len(leftKeys) != 1 {
+		return nil, false, nil
+	}
+	rc, ok := rightKeys[0].(*sqlparser.ColumnRef)
+	if !ok {
+		return nil, false, nil
+	}
+	col := tbl.schema.ColumnIndex(rc.Name)
+	if col < 0 {
+		return nil, false, nil
+	}
+	// Locate the access path: primary key or a hash index on the column.
+	var ix *hashIndex
+	if !(tbl.pkCol >= 0 && col == tbl.pkCol) {
+		for _, cand := range tbl.indexes {
+			if cand.col == col {
+				ix = cand
+				break
+			}
+		}
+		if ix == nil {
+			return nil, false, nil
+		}
+	}
+
+	outFrame := concatFrames(left.frame, rightFrame)
+	out := &source{frame: outFrame}
+	nullsRight := make(sqltypes.Row, rightFrame.width)
+	lenv := &evalEnv{frame: left.frame, x: x}
+	cenv := &evalEnv{frame: outFrame, x: x}
+	combined := make(sqltypes.Row, outFrame.width)
+	joined := int64(0)
+
+	for _, ra := range left.rows {
+		lenv.row = ra
+		kv, err := lenv.evalExpr(leftKeys[0])
+		if err != nil {
+			return nil, false, err
+		}
+		matched := false
+		if !kv.IsNull() {
+			var candidates []sqltypes.Row
+			if ix == nil {
+				if row, found := tbl.store.Get(kv.MapKey()); found {
+					candidates = []sqltypes.Row{row}
+				}
+			} else {
+				for pk := range ix.buckets[kv.MapKey()] {
+					if row, found := tbl.store.Get(pk); found {
+						candidates = append(candidates, row)
+					}
+				}
+			}
+			for _, rb := range candidates {
+				joined++
+				if residual != nil {
+					copy(combined, ra)
+					copy(combined[len(ra):], rb)
+					cenv.row = combined
+					v, err := cenv.evalExpr(residual)
+					if err != nil {
+						return nil, false, err
+					}
+					if !v.IsTrue() {
+						continue
+					}
+				}
+				matched = true
+				row := make(sqltypes.Row, 0, len(ra)+len(rb))
+				row = append(row, ra...)
+				row = append(row, rb...)
+				out.rows = append(out.rows, row)
+			}
+		}
+		if !matched && j.Type == sqlparser.JoinLeft {
+			row := make(sqltypes.Row, 0, len(ra)+len(nullsRight))
+			row = append(row, ra...)
+			row = append(row, nullsRight...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	x.work.joined += joined
+	x.work.scanned += int64(len(left.rows)) // one lookup per probe
+	x.eng.stats.RowsJoined.Add(joined)
+	return out, true, nil
+}

@@ -1,0 +1,716 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/sqltypes"
+)
+
+// relation is a fully materialized intermediate result.
+type relation struct {
+	name string
+	cols []string
+	rows []sqltypes.Row
+}
+
+// executor runs one statement. It carries bind args, the plain-CTE
+// scope, and per-statement work counters for the cost model.
+type executor struct {
+	sess *Session
+	eng  *Engine
+	args []sqltypes.Value
+	ctes map[string]*relation
+	work workCounters
+	// inCache memoizes uncorrelated IN-subquery results per statement.
+	inCache map[*sqlparser.InExpr][]sqltypes.Value
+}
+
+// chargeCost accrues the simulated latency of the statement's work to
+// the session and sleeps whenever a full quantum is owed.
+func (x *executor) chargeCost() {
+	if x.eng.cfg.Cost == nil {
+		return
+	}
+	x.sess.costDebt += x.eng.cfg.Cost.charge(x.work)
+	if x.sess.costDebt >= costQuantum {
+		d := x.sess.costDebt
+		x.sess.costDebt = 0
+		sleep(d)
+	}
+}
+
+// run dispatches a statement. DML/DDL live in exec.go.
+func (x *executor) run(st sqlparser.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sqlparser.SelectStmt:
+		return x.runSelect(s)
+	case *sqlparser.LoopCTEStmt:
+		return nil, fmt.Errorf("engine: %s CTEs must be executed through SQLoop, not sent to an engine",
+			map[sqlparser.CTEKind]string{
+				sqlparser.CTERecursive: "RECURSIVE",
+				sqlparser.CTEIterative: "ITERATIVE",
+			}[s.Kind])
+	case *sqlparser.CreateTableStmt:
+		return x.runCreateTable(s)
+	case *sqlparser.CreateIndexStmt:
+		return x.runCreateIndex(s)
+	case *sqlparser.CreateViewStmt:
+		return x.runCreateView(s)
+	case *sqlparser.DropStmt:
+		return x.runDrop(s)
+	case *sqlparser.InsertStmt:
+		return x.runInsert(s)
+	case *sqlparser.UpdateStmt:
+		return x.runUpdate(s)
+	case *sqlparser.DeleteStmt:
+		return x.runDelete(s)
+	case *sqlparser.TruncateStmt:
+		return x.runTruncate(s)
+	case *sqlparser.TxStmt:
+		switch s.Kind {
+		case sqlparser.TxBegin:
+			x.sess.begin()
+		case sqlparser.TxCommit:
+			x.sess.commit()
+		case sqlparser.TxRollback:
+			x.sess.rollback()
+		}
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func (x *executor) runSelect(s *sqlparser.SelectStmt) (*Result, error) {
+	// Lock every referenced base table for reading for the duration.
+	reads, err := x.collectTables(s)
+	if err != nil {
+		return nil, err
+	}
+	unlock := lockTables(reads, nil)
+	defer unlock()
+
+	if err := x.bindCTEs(s.With); err != nil {
+		return nil, err
+	}
+	rel, err := x.evalBody(s.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: rel.cols, Rows: rel.rows}, nil
+}
+
+// bindCTEs evaluates plain WITH entries into the executor's scope.
+func (x *executor) bindCTEs(ctes []sqlparser.PlainCTE) error {
+	for _, cte := range ctes {
+		rel, err := x.evalBody(cte.Body)
+		if err != nil {
+			return fmt.Errorf("CTE %s: %w", cte.Name, err)
+		}
+		if len(cte.Columns) > 0 {
+			if len(cte.Columns) != len(rel.cols) {
+				return fmt.Errorf("engine: CTE %s declares %d columns, query returns %d",
+					cte.Name, len(cte.Columns), len(rel.cols))
+			}
+			rel.cols = append([]string(nil), cte.Columns...)
+		}
+		rel.name = cte.Name
+		if x.ctes == nil {
+			x.ctes = make(map[string]*relation)
+		}
+		x.ctes[strings.ToLower(cte.Name)] = rel
+	}
+	return nil
+}
+
+// evalBody evaluates any select body to a relation.
+func (x *executor) evalBody(b sqlparser.SelectBody) (*relation, error) {
+	switch s := b.(type) {
+	case *sqlparser.Select:
+		return x.evalSelect(s)
+	case *sqlparser.Values:
+		return x.evalValues(s)
+	case *sqlparser.SetOp:
+		return x.evalSetOp(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported select body %T", b)
+	}
+}
+
+func (x *executor) evalValues(v *sqlparser.Values) (*relation, error) {
+	rel := &relation{}
+	env := &evalEnv{x: x}
+	for i, rowExprs := range v.Rows {
+		if i == 0 {
+			for j := range rowExprs {
+				rel.cols = append(rel.cols, "column"+strconv.Itoa(j+1))
+			}
+		} else if len(rowExprs) != len(rel.cols) {
+			return nil, fmt.Errorf("engine: VALUES rows have differing arity")
+		}
+		row := make(sqltypes.Row, len(rowExprs))
+		for j, e := range rowExprs {
+			val, err := env.evalExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = val
+		}
+		rel.rows = append(rel.rows, row)
+	}
+	return rel, nil
+}
+
+func (x *executor) evalSetOp(s *sqlparser.SetOp) (*relation, error) {
+	left, err := x.evalBody(s.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := x.evalBody(s.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.cols) != len(right.cols) {
+		return nil, fmt.Errorf("engine: UNION arms have %d and %d columns",
+			len(left.cols), len(right.cols))
+	}
+	out := &relation{cols: left.cols}
+	switch s.Kind {
+	case sqlparser.SetIntersect:
+		inRight := make(map[string]struct{}, len(right.rows))
+		for _, r := range right.rows {
+			inRight[encodeRowKey(r)] = struct{}{}
+		}
+		seen := make(map[string]struct{}, len(left.rows))
+		for _, r := range left.rows {
+			k := encodeRowKey(r)
+			if _, ok := inRight[k]; !ok {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.rows = append(out.rows, r)
+		}
+	case sqlparser.SetExcept:
+		inRight := make(map[string]struct{}, len(right.rows))
+		for _, r := range right.rows {
+			inRight[encodeRowKey(r)] = struct{}{}
+		}
+		seen := make(map[string]struct{}, len(left.rows))
+		for _, r := range left.rows {
+			k := encodeRowKey(r)
+			if _, ok := inRight[k]; ok {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.rows = append(out.rows, r)
+		}
+	default:
+		if s.All {
+			out.rows = append(append([]sqltypes.Row(nil), left.rows...), right.rows...)
+		} else {
+			seen := make(map[string]struct{}, len(left.rows)+len(right.rows))
+			for _, src := range [][]sqltypes.Row{left.rows, right.rows} {
+				for _, r := range src {
+					k := encodeRowKey(r)
+					if _, dup := seen[k]; dup {
+						continue
+					}
+					seen[k] = struct{}{}
+					out.rows = append(out.rows, r)
+				}
+			}
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		if err := sortRelationByOrdinals(out, s.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if s.Limit != nil && int64(len(out.rows)) > *s.Limit {
+		out.rows = out.rows[:*s.Limit]
+	}
+	return out, nil
+}
+
+// sortRelationByOrdinals sorts a set-operation result; order keys must
+// be ordinals or output column names (there is no underlying row scope).
+func sortRelationByOrdinals(rel *relation, items []sqlparser.OrderItem) error {
+	idx := make([]int, len(items))
+	for i, it := range items {
+		switch e := it.Expr.(type) {
+		case *sqlparser.Literal:
+			if e.Val.Kind() != sqltypes.KindInt {
+				return fmt.Errorf("engine: ORDER BY ordinal must be an integer")
+			}
+			n := int(e.Val.Int())
+			if n < 1 || n > len(rel.cols) {
+				return fmt.Errorf("engine: ORDER BY position %d out of range", n)
+			}
+			idx[i] = n - 1
+		case *sqlparser.ColumnRef:
+			found := -1
+			for j, c := range rel.cols {
+				if strings.EqualFold(c, e.Name) {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return &ErrColumnNotFound{Name: e.Name}
+			}
+			idx[i] = found
+		default:
+			return fmt.Errorf("engine: ORDER BY on set operations supports ordinals and column names only")
+		}
+	}
+	sort.SliceStable(rel.rows, func(a, b int) bool {
+		for i, col := range idx {
+			c := sqltypes.CompareTotal(rel.rows[a][col], rel.rows[b][col])
+			if items[i].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// encodeRowKey builds a collision-free string key for a row (used by
+// DISTINCT, UNION and GROUP BY).
+func encodeRowKey(r sqltypes.Row) string {
+	var sb strings.Builder
+	for _, v := range r {
+		k := v.MapKey()
+		val := k.Value()
+		sb.WriteByte(byte(val.Kind()) + '0')
+		s := val.String()
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// source is a materialized FROM item: a frame plus its rows.
+type source struct {
+	frame *frame
+	rows  []sqltypes.Row
+}
+
+// evalSelect evaluates a SELECT core.
+func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
+	src, err := x.evalFromList(s.From, s.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		kept := src.rows[:0:0]
+		env := &evalEnv{frame: src.frame, x: x}
+		for _, r := range src.rows {
+			env.row = r
+			v, err := env.evalExpr(s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				kept = append(kept, r)
+			}
+		}
+		src.rows = kept
+	}
+
+	// Expand stars now that the input frame is known.
+	items, err := expandStars(s.Items, src.frame)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static validation so reference errors surface on empty inputs too.
+	for _, it := range items {
+		if err := x.validateExpr(it.Expr, src.frame, nil); err != nil {
+			return nil, err
+		}
+	}
+	cols := outputColumns(items)
+	for _, e := range []sqlparser.Expr{s.Where, s.Having} {
+		if e != nil {
+			if err := x.validateExpr(e, src.frame, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, g := range s.GroupBy {
+		if err := x.validateExpr(g, src.frame, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range s.OrderBy {
+		if err := x.validateExpr(o.Expr, src.frame, cols); err != nil {
+			return nil, err
+		}
+	}
+
+	// Split grouped vs plain path.
+	var aggs []*sqlparser.FuncCall
+	for _, it := range items {
+		collectAggregates(it.Expr, &aggs)
+	}
+	collectAggregates(s.Having, &aggs)
+	for _, o := range s.OrderBy {
+		collectAggregates(o.Expr, &aggs)
+	}
+
+	type outRow struct {
+		row sqltypes.Row
+		env *evalEnv
+	}
+	var outputs []outRow
+
+	if len(s.GroupBy) > 0 || len(aggs) > 0 {
+		groups, order, err := x.groupRows(src, s.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		for _, gk := range order {
+			g := groups[gk]
+			env := &evalEnv{frame: src.frame, x: x, aggs: make(map[*sqlparser.FuncCall]sqltypes.Value, len(aggs))}
+			if len(g.rows) > 0 {
+				env.row = g.rows[0]
+			} else {
+				env.row = make(sqltypes.Row, src.frame.width)
+			}
+			for _, fc := range aggs {
+				v, err := x.computeAggregate(fc, src.frame, g.rows)
+				if err != nil {
+					return nil, err
+				}
+				env.aggs[fc] = v
+			}
+			if s.Having != nil {
+				hv, err := env.evalExpr(s.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !hv.IsTrue() {
+					continue
+				}
+			}
+			row, err := projectRow(items, env)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, outRow{row: row, env: env})
+			x.work.grouped += int64(len(g.rows))
+		}
+	} else {
+		env := &evalEnv{frame: src.frame, x: x}
+		for _, r := range src.rows {
+			rowEnv := &evalEnv{frame: src.frame, x: x, row: r}
+			env.row = r
+			row, err := projectRow(items, rowEnv)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, outRow{row: row, env: rowEnv})
+		}
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := make(map[string]struct{}, len(outputs))
+		kept := outputs[:0]
+		for _, o := range outputs {
+			k := encodeRowKey(o.row)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			kept = append(kept, o)
+		}
+		outputs = kept
+	}
+
+	// ORDER BY: resolve each key against output columns (alias/ordinal)
+	// or evaluate in the originating row environment.
+	if len(s.OrderBy) > 0 {
+		keys := make([][]sqltypes.Value, len(outputs))
+		for i, o := range outputs {
+			keys[i] = make([]sqltypes.Value, len(s.OrderBy))
+			for j, item := range s.OrderBy {
+				v, err := orderKey(item.Expr, o.row, cols, o.env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i][j] = v
+			}
+		}
+		idx := make([]int, len(outputs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for j, item := range s.OrderBy {
+				c := sqltypes.CompareTotal(keys[idx[a]][j], keys[idx[b]][j])
+				if item.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]outRow, len(outputs))
+		for i, k := range idx {
+			sorted[i] = outputs[k]
+		}
+		outputs = sorted
+	}
+
+	if s.Offset != nil {
+		if off := int(*s.Offset); off >= len(outputs) {
+			outputs = nil
+		} else {
+			outputs = outputs[off:]
+		}
+	}
+	if s.Limit != nil && int64(len(outputs)) > *s.Limit {
+		outputs = outputs[:*s.Limit]
+	}
+
+	rel := &relation{cols: cols, rows: make([]sqltypes.Row, len(outputs))}
+	for i, o := range outputs {
+		rel.rows[i] = o.row
+	}
+	return rel, nil
+}
+
+// orderKey computes one ORDER BY key for an output row.
+func orderKey(e sqlparser.Expr, out sqltypes.Row, cols []string, env *evalEnv) (sqltypes.Value, error) {
+	switch t := e.(type) {
+	case *sqlparser.Literal:
+		if t.Val.Kind() == sqltypes.KindInt {
+			n := int(t.Val.Int())
+			if n >= 1 && n <= len(out) {
+				return out[n-1], nil
+			}
+			return sqltypes.Null, fmt.Errorf("engine: ORDER BY position %d out of range", n)
+		}
+	case *sqlparser.ColumnRef:
+		if t.Table == "" {
+			for j, c := range cols {
+				if strings.EqualFold(c, t.Name) {
+					return out[j], nil
+				}
+			}
+		}
+	}
+	return env.evalExpr(e)
+}
+
+// expandStars replaces * and t.* items with explicit column references.
+func expandStars(items []sqlparser.SelectItem, f *frame) ([]sqlparser.SelectItem, error) {
+	out := make([]sqlparser.SelectItem, 0, len(items))
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, r := range f.rels {
+			if it.Table != "" && !strings.EqualFold(r.name, it.Table) {
+				continue
+			}
+			matched = true
+			for _, c := range r.cols {
+				out = append(out, sqlparser.SelectItem{
+					Expr: &sqlparser.ColumnRef{Table: r.name, Name: c},
+				})
+			}
+		}
+		if !matched && it.Table != "" {
+			return nil, fmt.Errorf("engine: unknown table %q in %s.*", it.Table, it.Table)
+		}
+	}
+	return out, nil
+}
+
+// outputColumns names the result columns.
+func outputColumns(items []sqlparser.SelectItem) []string {
+	cols := make([]string, len(items))
+	for i, it := range items {
+		switch {
+		case it.Alias != "":
+			cols[i] = it.Alias
+		default:
+			if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				cols[i] = cr.Name
+			} else {
+				cols[i] = "column" + strconv.Itoa(i+1)
+			}
+		}
+	}
+	return cols
+}
+
+func projectRow(items []sqlparser.SelectItem, env *evalEnv) (sqltypes.Row, error) {
+	row := make(sqltypes.Row, len(items))
+	for i, it := range items {
+		v, err := env.evalExpr(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// group is one GROUP BY bucket.
+type group struct {
+	rows []sqltypes.Row
+}
+
+// groupRows buckets the source rows by the GROUP BY keys, preserving
+// first-seen order. With no keys it forms a single (possibly empty)
+// group.
+func (x *executor) groupRows(src *source, keys []sqlparser.Expr) (map[string]*group, []string, error) {
+	groups := make(map[string]*group)
+	var order []string
+	if len(keys) == 0 {
+		groups[""] = &group{rows: src.rows}
+		return groups, []string{""}, nil
+	}
+	env := &evalEnv{frame: src.frame, x: x}
+	kvals := make(sqltypes.Row, len(keys))
+	for _, r := range src.rows {
+		env.row = r
+		for i, k := range keys {
+			v, err := env.evalExpr(k)
+			if err != nil {
+				return nil, nil, err
+			}
+			kvals[i] = v
+		}
+		gk := encodeRowKey(kvals)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		g.rows = append(g.rows, r)
+	}
+	return groups, order, nil
+}
+
+// computeAggregate evaluates one aggregate call over a group.
+func (x *executor) computeAggregate(fc *sqlparser.FuncCall, f *frame, rows []sqltypes.Row) (sqltypes.Value, error) {
+	if fc.Star {
+		if fc.Name != "COUNT" {
+			return sqltypes.Null, fmt.Errorf("engine: %s(*) is not valid", fc.Name)
+		}
+		return sqltypes.NewInt(int64(len(rows))), nil
+	}
+	if len(fc.Args) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: %s takes exactly one argument", fc.Name)
+	}
+	env := &evalEnv{frame: f, x: x}
+	var (
+		count    int64
+		sumInt   int64
+		sumFloat float64
+		isFloat  bool
+		best     = sqltypes.Null
+		seen     map[string]struct{}
+	)
+	if fc.Distinct {
+		seen = make(map[string]struct{})
+	}
+	for _, r := range rows {
+		env.row = r
+		v, err := env.evalExpr(fc.Args[0])
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if fc.Distinct {
+			k := encodeRowKey(sqltypes.Row{v})
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		count++
+		switch fc.Name {
+		case "COUNT":
+		case "SUM", "AVG":
+			if !v.IsNumeric() {
+				return sqltypes.Null, fmt.Errorf("engine: %s of non-numeric value", fc.Name)
+			}
+			if v.Kind() == sqltypes.KindFloat {
+				if !isFloat {
+					isFloat = true
+					sumFloat = float64(sumInt)
+				}
+				sumFloat += v.Float()
+			} else if isFloat {
+				sumFloat += v.Float()
+			} else {
+				sumInt += v.Int()
+			}
+		case "MIN", "MAX":
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			c, err := sqltypes.Compare(v, best)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if (fc.Name == "MIN" && c < 0) || (fc.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+	}
+	switch fc.Name {
+	case "COUNT":
+		return sqltypes.NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return sqltypes.Null, nil
+		}
+		if isFloat {
+			return sqltypes.NewFloat(sumFloat), nil
+		}
+		return sqltypes.NewInt(sumInt), nil
+	case "AVG":
+		if count == 0 {
+			return sqltypes.Null, nil
+		}
+		if !isFloat {
+			sumFloat = float64(sumInt)
+		}
+		return sqltypes.NewFloat(sumFloat / float64(count)), nil
+	case "MIN", "MAX":
+		return best, nil
+	default:
+		return sqltypes.Null, fmt.Errorf("engine: unknown aggregate %s", fc.Name)
+	}
+}

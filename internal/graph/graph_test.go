@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"context"
+	"database/sql"
+	"math"
+	"testing"
+
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+)
+
+func TestGoogleWebShape(t *testing.T) {
+	g := GoogleWeb(2000, 5, 1)
+	if g.Name != "google-web" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if len(g.Edges) < 2000 {
+		t.Fatalf("only %d edges", len(g.Edges))
+	}
+	// Power-law-ish: max in-degree far above the mean.
+	mean := float64(len(g.Edges)) / 2000
+	if got := g.MaxInDegree(); float64(got) < 6*mean {
+		t.Errorf("max in-degree %d not skewed (mean %.1f)", got, mean)
+	}
+	// PageRank weights: out-weights of every node sum to 1.
+	sums := map[int64]float64{}
+	for _, e := range g.Edges {
+		sums[e.Src] += e.Weight
+	}
+	for n, s := range sums {
+		if math.Abs(s-1.0) > 1e-9 {
+			t.Fatalf("node %d out-weight sum = %v", n, s)
+		}
+	}
+}
+
+func TestGoogleWebDeterministic(t *testing.T) {
+	a := GoogleWeb(500, 4, 7)
+	b := GoogleWeb(500, 4, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := GoogleWeb(500, 4, 8)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestTwitterEgoShape(t *testing.T) {
+	g := TwitterEgo(1000, 20, 2)
+	if len(g.Edges) == 0 {
+		t.Fatal("no edges")
+	}
+	for _, e := range g.Edges {
+		if e.Weight <= 0 {
+			t.Fatalf("non-positive weight %v", e.Weight)
+		}
+		if e.Src < 1 || e.Src > 1000 || e.Dst < 1 || e.Dst > 1000 {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+	}
+	// SSSP needs most of the graph reachable from node 1.
+	if got := g.ReachableFrom(1); got < 900 {
+		t.Errorf("only %d/1000 nodes reachable from 1", got)
+	}
+}
+
+func TestBerkStanShape(t *testing.T) {
+	g := BerkStan(2000, 120, 3)
+	for _, e := range g.Edges {
+		if e.Weight != 1 {
+			t.Fatalf("click weight = %v", e.Weight)
+		}
+	}
+	// The deterministic chain guarantees a page ~120 hops from node 1.
+	hops := bfsHops(g, 1)
+	far := 0
+	for _, h := range hops {
+		if h >= 100 {
+			far++
+		}
+	}
+	if far == 0 {
+		t.Error("no pages 100+ clicks away; DQ sweep needs them")
+	}
+	if got := g.ReachableFrom(1); got < 800 {
+		t.Errorf("only %d/2000 reachable from root", got)
+	}
+}
+
+func bfsHops(g *Graph, src int64) map[int64]int {
+	adj := map[int64][]int64{}
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	hops := map[int64]int{src: 0}
+	queue := []int64{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if _, ok := hops[u]; !ok {
+				hops[u] = hops[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return hops
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"google-web", "twitter-ego", "berkstan-web"} {
+		g, err := ByName(name, 200, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name != name {
+			t.Errorf("name = %q, want %q", g.Name, name)
+		}
+	}
+	if _, err := ByName("livejournal", 10, 1); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	driver.RegisterEngine(t.Name(), eng)
+	t.Cleanup(func() { driver.UnregisterEngine(t.Name()) })
+	db, err := sql.Open(driver.DriverName, driver.InprocDSN(t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	g := GoogleWeb(300, 4, 5)
+	if err := Load(context.Background(), db, "edges", g, 100); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM edges`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(g.Edges) {
+		t.Fatalf("loaded %d rows, want %d", n, len(g.Edges))
+	}
+	var w float64
+	if err := db.QueryRow(`SELECT SUM(weight) FROM edges WHERE src = 2`).Scan(&w); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1.0) > 1e-9 {
+		t.Errorf("node 2 out-weight sum = %v", w)
+	}
+}

@@ -1,0 +1,202 @@
+// Package lsm implements a log-structured merge store — a mutable
+// memtable plus immutable sorted runs merged by compaction — used as the
+// storage backend standing in for the MariaDB profile of the embedded
+// engine.
+package lsm
+
+import (
+	"sort"
+
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/storage"
+)
+
+const (
+	// memtableFlushSize is the number of entries a memtable holds before
+	// it is flushed into a sorted run.
+	memtableFlushSize = 1024
+	// maxRuns triggers a full compaction when exceeded.
+	maxRuns = 6
+)
+
+// entry is one key/value pair; a nil row with dead=true is a tombstone.
+type entry struct {
+	key  sqltypes.Key
+	row  sqltypes.Row
+	dead bool
+}
+
+// run is an immutable, key-sorted slice of entries (newest state of each
+// key within the run).
+type run []entry
+
+// find locates key in the run via binary search.
+func (r run) find(key sqltypes.Key) (entry, bool) {
+	i := sort.Search(len(r), func(i int) bool {
+		return sqltypes.CompareTotal(r[i].key.Value(), key.Value()) >= 0
+	})
+	if i < len(r) && r[i].key == key {
+		return r[i], true
+	}
+	return entry{}, false
+}
+
+// Store is an LSM tree implementing storage.Store. Scans visit keys in
+// sqltypes.CompareTotal order, merging the memtable and all runs.
+type Store struct {
+	mem  map[sqltypes.Key]entry
+	runs []run // runs[0] oldest, runs[len-1] newest
+	size int   // live rows
+
+	// Compactions and Flushes count maintenance operations, exposed for
+	// tests and ablation benchmarks.
+	Compactions int
+	Flushes     int
+}
+
+// New returns an empty LSM store.
+func New() *Store {
+	return &Store{mem: make(map[sqltypes.Key]entry)}
+}
+
+var _ storage.Store = (*Store)(nil)
+
+// Name identifies the backend.
+func (s *Store) Name() string { return "lsm" }
+
+// Len returns the number of live rows.
+func (s *Store) Len() int { return s.size }
+
+// Clear drops all rows and runs.
+func (s *Store) Clear() {
+	s.mem = make(map[sqltypes.Key]entry)
+	s.runs = nil
+	s.size = 0
+}
+
+// lookup finds the newest entry for key across memtable and runs.
+func (s *Store) lookup(key sqltypes.Key) (entry, bool) {
+	if e, ok := s.mem[key]; ok {
+		return e, true
+	}
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		if e, ok := s.runs[i].find(key); ok {
+			return e, true
+		}
+	}
+	return entry{}, false
+}
+
+// Get returns the live row under key.
+func (s *Store) Get(key sqltypes.Key) (sqltypes.Row, bool) {
+	e, ok := s.lookup(key)
+	if !ok || e.dead {
+		return nil, false
+	}
+	return e.row, true
+}
+
+// Insert adds a new row; an existing live key fails.
+func (s *Store) Insert(key sqltypes.Key, row sqltypes.Row) error {
+	if _, ok := s.Get(key); ok {
+		return storage.ErrDuplicateKey
+	}
+	s.put(entry{key: key, row: row})
+	s.size++
+	return nil
+}
+
+// Update replaces a live row, reporting whether it existed.
+func (s *Store) Update(key sqltypes.Key, row sqltypes.Row) bool {
+	if _, ok := s.Get(key); !ok {
+		return false
+	}
+	s.put(entry{key: key, row: row})
+	return true
+}
+
+// Delete tombstones a live row, reporting whether it existed.
+func (s *Store) Delete(key sqltypes.Key) bool {
+	if _, ok := s.Get(key); !ok {
+		return false
+	}
+	s.put(entry{key: key, dead: true})
+	s.size--
+	return true
+}
+
+func (s *Store) put(e entry) {
+	s.mem[e.key] = e
+	if len(s.mem) >= memtableFlushSize {
+		s.flush()
+	}
+}
+
+// flush freezes the memtable into a sorted run.
+func (s *Store) flush() {
+	if len(s.mem) == 0 {
+		return
+	}
+	r := make(run, 0, len(s.mem))
+	for _, e := range s.mem {
+		r = append(r, e)
+	}
+	sort.Slice(r, func(i, j int) bool {
+		return sqltypes.CompareTotal(r[i].key.Value(), r[j].key.Value()) < 0
+	})
+	s.runs = append(s.runs, r)
+	s.mem = make(map[sqltypes.Key]entry)
+	s.Flushes++
+	if len(s.runs) > maxRuns {
+		s.compact()
+	}
+}
+
+// compact merges every run into one, dropping tombstones and stale
+// versions.
+func (s *Store) compact() {
+	merged := s.mergedEntries(true)
+	s.runs = nil
+	if len(merged) > 0 {
+		s.runs = []run{merged}
+	}
+	s.Compactions++
+}
+
+// mergedEntries returns the newest entry per key across runs and
+// memtable in key order; dropDead removes tombstones.
+func (s *Store) mergedEntries(dropDead bool) run {
+	newest := make(map[sqltypes.Key]entry)
+	for _, r := range s.runs { // oldest first; later wins
+		for _, e := range r {
+			newest[e.key] = e
+		}
+	}
+	for k, e := range s.mem {
+		newest[k] = e
+	}
+	out := make(run, 0, len(newest))
+	for _, e := range newest {
+		if dropDead && e.dead {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return sqltypes.CompareTotal(out[i].key.Value(), out[j].key.Value()) < 0
+	})
+	return out
+}
+
+// Scan visits live rows in key order until fn returns false.
+func (s *Store) Scan(fn func(key sqltypes.Key, row sqltypes.Row) bool) {
+	for _, e := range s.mergedEntries(true) {
+		if !fn(e.key, e.row) {
+			return
+		}
+	}
+}
+
+// Runs reports the current number of immutable runs (for tests and the
+// cost model).
+func (s *Store) Runs() int { return len(s.runs) }

@@ -1,0 +1,69 @@
+package lsm_test
+
+import (
+	"testing"
+
+	"sqloop/internal/lsm"
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/storage"
+	"sqloop/internal/storage/storagetest"
+)
+
+func TestLSMConformance(t *testing.T) {
+	storagetest.Run(t, func() storage.Store { return lsm.New() })
+}
+
+func TestLSMFlushAndCompaction(t *testing.T) {
+	s := lsm.New()
+	// Enough churn to force several flushes and at least one compaction.
+	for i := int64(0); i < 20000; i++ {
+		k := sqltypes.NewInt(i % 3000).MapKey()
+		if _, ok := s.Get(k); ok {
+			s.Update(k, sqltypes.Row{sqltypes.NewInt(i)})
+		} else if err := s.Insert(k, sqltypes.Row{sqltypes.NewInt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Flushes == 0 {
+		t.Error("expected at least one flush")
+	}
+	if s.Compactions == 0 {
+		t.Error("expected at least one compaction")
+	}
+	if s.Len() != 3000 {
+		t.Errorf("Len = %d, want 3000", s.Len())
+	}
+	// Newest version wins after compaction.
+	r, ok := s.Get(sqltypes.NewInt(0).MapKey())
+	if !ok {
+		t.Fatal("key 0 missing")
+	}
+	if r[0].Int()%3000 != 0 {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestLSMTombstonesAcrossRuns(t *testing.T) {
+	s := lsm.New()
+	// Insert enough to flush key 7 into a run, then delete it so the
+	// tombstone lives in a newer layer than the value.
+	for i := int64(0); i < 2000; i++ {
+		if err := s.Insert(sqltypes.NewInt(i).MapKey(), sqltypes.Row{sqltypes.NewInt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("expected flushed runs")
+	}
+	if !s.Delete(sqltypes.NewInt(7).MapKey()) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Get(sqltypes.NewInt(7).MapKey()); ok {
+		t.Fatal("tombstoned key still visible")
+	}
+	n := 0
+	s.Scan(func(sqltypes.Key, sqltypes.Row) bool { n++; return true })
+	if n != 1999 {
+		t.Fatalf("scan visited %d rows, want 1999", n)
+	}
+}

@@ -1,0 +1,622 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sqloop/internal/sqltypes"
+)
+
+// Dialect controls engine-specific SQL spellings. SQLoop's translation
+// module (§IV-B of the paper) renders every generated query through the
+// dialect of the target engine so that users never write engine-specific
+// SQL themselves.
+type Dialect int
+
+// Supported dialect profiles, mirroring the paper's three engines.
+const (
+	DialectGeneric  Dialect = iota
+	DialectPGSim            // PostgreSQL-flavoured: UPDATE ... FROM, != kept
+	DialectMySim            // MySQL-flavoured: UPDATE ... JOIN, <> for !=
+	DialectMariaSim         // MariaDB-flavoured: same family as MySim
+)
+
+// String names the dialect.
+func (d Dialect) String() string {
+	switch d {
+	case DialectPGSim:
+		return "pgsim"
+	case DialectMySim:
+		return "mysim"
+	case DialectMariaSim:
+		return "mariasim"
+	default:
+		return "generic"
+	}
+}
+
+// ParseDialect resolves a dialect name.
+func ParseDialect(name string) (Dialect, error) {
+	switch strings.ToLower(name) {
+	case "", "generic":
+		return DialectGeneric, nil
+	case "pgsim", "postgres", "postgresql":
+		return DialectPGSim, nil
+	case "mysim", "mysql":
+		return DialectMySim, nil
+	case "mariasim", "mariadb":
+		return DialectMariaSim, nil
+	default:
+		return DialectGeneric, fmt.Errorf("sqlparser: unknown dialect %q", name)
+	}
+}
+
+// Format renders a statement in the generic dialect.
+func Format(st Statement) string { return FormatDialect(st, DialectGeneric) }
+
+// FormatDialect renders a statement as SQL text for the given dialect.
+func FormatDialect(st Statement, d Dialect) string {
+	f := &formatter{dialect: d}
+	f.stmt(st)
+	return f.sb.String()
+}
+
+// FormatExpr renders an expression in the generic dialect.
+func FormatExpr(e Expr) string {
+	f := &formatter{}
+	f.expr(e)
+	return f.sb.String()
+}
+
+// ident renders an identifier, quoting it when its spelling would not
+// survive the lexer (non-word characters or a reserved keyword).
+func ident(name string) string {
+	plain := name != ""
+	for i, r := range name {
+		if r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			(i > 0 && r >= '0' && r <= '9') {
+			continue
+		}
+		plain = false
+		break
+	}
+	if plain {
+		up := strings.ToUpper(name)
+		if !keywords[up] || identifiableKeyword(up) {
+			return name
+		}
+	}
+	return "\"" + strings.ReplaceAll(name, "\"", "") + "\""
+}
+
+type formatter struct {
+	sb      strings.Builder
+	dialect Dialect
+}
+
+func (f *formatter) ws(s string)           { f.sb.WriteString(s) }
+func (f *formatter) wf(s string, a ...any) { fmt.Fprintf(&f.sb, s, a...) }
+
+func (f *formatter) stmt(st Statement) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		if len(s.With) > 0 {
+			f.ws("WITH ")
+			for i, cte := range s.With {
+				if i > 0 {
+					f.ws(", ")
+				}
+				f.ws(ident(cte.Name))
+				if len(cte.Columns) > 0 {
+					f.ws("(" + joinIdents(cte.Columns) + ")")
+				}
+				f.ws(" AS (")
+				f.body(cte.Body)
+				f.ws(")")
+			}
+			f.ws(" ")
+		}
+		f.body(s.Body)
+	case *LoopCTEStmt:
+		f.loopCTE(s)
+	case *CreateTableStmt:
+		f.ws("CREATE ")
+		if s.Unlogged {
+			f.ws("UNLOGGED ")
+		}
+		f.ws("TABLE ")
+		if s.IfNotExists {
+			f.ws("IF NOT EXISTS ")
+		}
+		f.ws(ident(s.Name))
+		if s.AsSelect != nil {
+			f.ws(" AS ")
+			f.body(s.AsSelect)
+			return
+		}
+		f.ws(" (")
+		for i, c := range s.Columns {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.ws(ident(c.Name) + " " + c.Type.String())
+			if c.PrimaryKey {
+				f.ws(" PRIMARY KEY")
+			}
+		}
+		f.ws(")")
+	case *CreateIndexStmt:
+		f.ws("CREATE INDEX ")
+		if s.IfNotExists {
+			f.ws("IF NOT EXISTS ")
+		}
+		f.wf("%s ON %s (%s)", ident(s.Name), ident(s.Table), joinIdents(s.Columns))
+	case *CreateViewStmt:
+		f.ws("CREATE ")
+		if s.OrReplace {
+			f.ws("OR REPLACE ")
+		}
+		f.ws("VIEW " + ident(s.Name) + " AS ")
+		f.body(s.Body)
+	case *DropStmt:
+		f.ws("DROP ")
+		switch s.Kind {
+		case DropTable:
+			f.ws("TABLE ")
+		case DropView:
+			f.ws("VIEW ")
+		case DropIndex:
+			f.ws("INDEX ")
+		}
+		if s.IfExists {
+			f.ws("IF EXISTS ")
+		}
+		f.ws(ident(s.Name))
+	case *InsertStmt:
+		f.ws("INSERT INTO " + ident(s.Table))
+		if len(s.Columns) > 0 {
+			f.ws(" (" + joinIdents(s.Columns) + ")")
+		}
+		f.ws(" ")
+		f.body(s.Source)
+	case *UpdateStmt:
+		f.update(s)
+	case *DeleteStmt:
+		f.ws("DELETE FROM " + ident(s.Table))
+		if s.Where != nil {
+			f.ws(" WHERE ")
+			f.expr(s.Where)
+		}
+	case *TruncateStmt:
+		f.ws("TRUNCATE TABLE " + ident(s.Table))
+	case *TxStmt:
+		switch s.Kind {
+		case TxBegin:
+			f.ws("BEGIN")
+		case TxCommit:
+			f.ws("COMMIT")
+		case TxRollback:
+			f.ws("ROLLBACK")
+		}
+	default:
+		f.wf("/* unknown statement %T */", st)
+	}
+}
+
+// update renders UPDATE per dialect: the PG family uses UPDATE..FROM,
+// the MySQL family uses UPDATE..JOIN.
+func (f *formatter) update(s *UpdateStmt) {
+	mysqlStyle := (f.dialect == DialectMySim || f.dialect == DialectMariaSim) && len(s.From) > 0
+	f.ws("UPDATE " + ident(s.Table))
+	if s.Alias != "" {
+		f.ws(" AS " + ident(s.Alias))
+	}
+	writeSets := func() {
+		f.ws(" SET ")
+		for i, a := range s.Sets {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.ws(ident(a.Column) + " = ")
+			f.expr(a.Value)
+		}
+	}
+	if mysqlStyle {
+		// UPDATE t JOIN u ON <where> SET ... ; the whole WHERE moves into
+		// the ON clause, which our engine re-normalizes on parse.
+		for _, te := range s.From {
+			f.ws(" JOIN ")
+			f.tableExpr(te)
+			f.ws(" ON ")
+			if s.Where != nil {
+				f.expr(s.Where)
+			} else {
+				f.ws("TRUE")
+			}
+		}
+		writeSets()
+		return
+	}
+	writeSets()
+	if len(s.From) > 0 {
+		f.ws(" FROM ")
+		for i, te := range s.From {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.tableExpr(te)
+		}
+	}
+	if s.Where != nil {
+		f.ws(" WHERE ")
+		f.expr(s.Where)
+	}
+}
+
+func (f *formatter) loopCTE(s *LoopCTEStmt) {
+	f.ws("WITH ")
+	if s.Kind == CTERecursive {
+		f.ws("RECURSIVE ")
+	} else {
+		f.ws("ITERATIVE ")
+	}
+	f.ws(ident(s.Name))
+	if len(s.Columns) > 0 {
+		f.ws("(" + joinIdents(s.Columns) + ")")
+	}
+	f.ws(" AS (")
+	f.body(s.Seed)
+	if s.Kind == CTERecursive {
+		if s.UnionAll {
+			f.ws(" UNION ALL ")
+		} else {
+			f.ws(" UNION ")
+		}
+		f.body(s.Step)
+	} else {
+		f.ws(" ITERATE ")
+		f.body(s.Step)
+		f.ws(" UNTIL ")
+		f.termination(s.Until)
+	}
+	f.ws(") ")
+	f.body(s.Final)
+}
+
+func (f *formatter) termination(t *Termination) {
+	if t == nil {
+		f.ws("/* nil */")
+		return
+	}
+	switch t.Kind {
+	case TermIterations:
+		f.wf("%d ITERATIONS", t.N)
+	case TermUpdates:
+		f.wf("%d UPDATES", t.N)
+	case TermExpr:
+		if t.Any {
+			f.ws("ANY ")
+		}
+		if t.Delta {
+			f.ws("DELTA ")
+		}
+		f.ws("(")
+		f.body(t.Expr)
+		f.ws(")")
+		if t.CmpOp != 0 {
+			f.ws(" " + t.CmpOp.String() + " ")
+			f.expr(t.CmpTo)
+		}
+	}
+}
+
+func (f *formatter) body(b SelectBody) {
+	switch s := b.(type) {
+	case *Select:
+		f.selectCore(s)
+	case *Values:
+		f.ws("VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.ws("(")
+			for j, e := range row {
+				if j > 0 {
+					f.ws(", ")
+				}
+				f.expr(e)
+			}
+			f.ws(")")
+		}
+	case *SetOp:
+		f.body(s.Left)
+		switch s.Kind {
+		case SetIntersect:
+			f.ws(" INTERSECT ")
+		case SetExcept:
+			f.ws(" EXCEPT ")
+		default:
+			if s.All {
+				f.ws(" UNION ALL ")
+			} else {
+				f.ws(" UNION ")
+			}
+		}
+		f.body(s.Right)
+		f.orderLimit(s.OrderBy, s.Limit)
+	default:
+		f.wf("/* unknown body %T */", b)
+	}
+}
+
+func (f *formatter) orderLimit(items []OrderItem, limit *int64) {
+	if len(items) > 0 {
+		f.ws(" ORDER BY ")
+		for i, it := range items {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.expr(it.Expr)
+			if it.Desc {
+				f.ws(" DESC")
+			}
+		}
+	}
+	if limit != nil {
+		f.wf(" LIMIT %d", *limit)
+	}
+}
+
+func (f *formatter) selectCore(s *Select) {
+	f.ws("SELECT ")
+	if s.Distinct {
+		f.ws("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			f.ws(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			f.ws(ident(it.Table) + ".*")
+		case it.Star:
+			f.ws("*")
+		default:
+			f.expr(it.Expr)
+			if it.Alias != "" {
+				f.ws(" AS " + ident(it.Alias))
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		f.ws(" FROM ")
+		for i, te := range s.From {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.tableExpr(te)
+		}
+	}
+	if s.Where != nil {
+		f.ws(" WHERE ")
+		f.expr(s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		f.ws(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				f.ws(", ")
+			}
+			f.expr(e)
+		}
+	}
+	if s.Having != nil {
+		f.ws(" HAVING ")
+		f.expr(s.Having)
+	}
+	f.orderLimit(s.OrderBy, s.Limit)
+	if s.Offset != nil {
+		f.wf(" OFFSET %d", *s.Offset)
+	}
+}
+
+func (f *formatter) tableExpr(te TableExpr) {
+	switch t := te.(type) {
+	case *TableName:
+		f.ws(ident(t.Name))
+		if t.Alias != "" {
+			f.ws(" AS " + ident(t.Alias))
+		}
+	case *SubqueryTable:
+		f.ws("(")
+		f.body(t.Body)
+		f.ws(") AS " + ident(t.Alias))
+	case *JoinExpr:
+		f.tableExpr(t.Left)
+		switch t.Type {
+		case JoinInner:
+			f.ws(" JOIN ")
+		case JoinLeft:
+			f.ws(" LEFT JOIN ")
+		case JoinCross:
+			f.ws(" CROSS JOIN ")
+		}
+		f.tableExpr(t.Right)
+		if t.On != nil {
+			f.ws(" ON ")
+			f.expr(t.On)
+		}
+	default:
+		f.wf("/* unknown table expr %T */", te)
+	}
+}
+
+func (f *formatter) expr(e Expr) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			f.ws(ident(x.Table) + "." + ident(x.Name))
+		} else {
+			f.ws(ident(x.Name))
+		}
+	case *Literal:
+		f.literal(x.Val)
+	case *Param:
+		f.ws("?")
+	case *BinaryExpr:
+		f.ws("(")
+		f.expr(x.Left)
+		f.ws(" " + x.Op.String() + " ")
+		f.expr(x.Right)
+		f.ws(")")
+	case *ComparisonExpr:
+		f.ws("(")
+		f.expr(x.Left)
+		op := x.Op.String()
+		if x.Op == sqltypes.CmpNE &&
+			(f.dialect == DialectMySim || f.dialect == DialectMariaSim) {
+			op = "<>"
+		}
+		f.ws(" " + op + " ")
+		f.expr(x.Right)
+		f.ws(")")
+	case *LogicalExpr:
+		f.ws("(")
+		f.expr(x.Left)
+		if x.Op == LogicAnd {
+			f.ws(" AND ")
+		} else {
+			f.ws(" OR ")
+		}
+		f.expr(x.Right)
+		f.ws(")")
+	case *NotExpr:
+		f.ws("(NOT ")
+		f.expr(x.Inner)
+		f.ws(")")
+	case *IsNullExpr:
+		f.ws("(")
+		f.expr(x.Inner)
+		if x.Not {
+			f.ws(" IS NOT NULL)")
+		} else {
+			f.ws(" IS NULL)")
+		}
+	case *InExpr:
+		f.ws("(")
+		f.expr(x.Left)
+		if x.Not {
+			f.ws(" NOT IN (")
+		} else {
+			f.ws(" IN (")
+		}
+		if x.Sub != nil {
+			f.body(x.Sub)
+		} else {
+			for i, it := range x.List {
+				if i > 0 {
+					f.ws(", ")
+				}
+				f.expr(it)
+			}
+		}
+		f.ws("))")
+	case *ExistsExpr:
+		f.ws("EXISTS (")
+		f.body(x.Body)
+		f.ws(")")
+	case *CastExpr:
+		f.ws("CAST(")
+		f.expr(x.Inner)
+		f.ws(" AS " + x.Type.String() + ")")
+	case *LikeExpr:
+		f.ws("(")
+		f.expr(x.Left)
+		if x.Not {
+			f.ws(" NOT LIKE ")
+		} else {
+			f.ws(" LIKE ")
+		}
+		f.expr(x.Pattern)
+		f.ws(")")
+	case *FuncCall:
+		f.ws(ident(x.Name) + "(")
+		if x.Star {
+			f.ws("*")
+		} else {
+			if x.Distinct {
+				f.ws("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					f.ws(", ")
+				}
+				f.expr(a)
+			}
+		}
+		f.ws(")")
+	case *CaseExpr:
+		f.ws("CASE")
+		for _, w := range x.Whens {
+			f.ws(" WHEN ")
+			f.expr(w.Cond)
+			f.ws(" THEN ")
+			f.expr(w.Result)
+		}
+		if x.Else != nil {
+			f.ws(" ELSE ")
+			f.expr(x.Else)
+		}
+		f.ws(" END")
+	case *Subquery:
+		f.ws("(")
+		f.body(x.Body)
+		f.ws(")")
+	default:
+		f.wf("/* unknown expr %T */", e)
+	}
+}
+
+func (f *formatter) literal(v sqltypes.Value) {
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		f.ws("NULL")
+	case sqltypes.KindInt:
+		f.ws(strconv.FormatInt(v.Int(), 10))
+	case sqltypes.KindFloat:
+		fl := v.Float()
+		switch {
+		case math.IsInf(fl, 1):
+			f.ws("Infinity")
+		case math.IsInf(fl, -1):
+			f.ws("-Infinity")
+		default:
+			s := strconv.FormatFloat(fl, 'g', -1, 64)
+			// Keep floats recognizable as floats on re-parse.
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			f.ws(s)
+		}
+	case sqltypes.KindString:
+		f.ws("'" + strings.ReplaceAll(v.Str(), "'", "''") + "'")
+	case sqltypes.KindBool:
+		if v.Bool() {
+			f.ws("TRUE")
+		} else {
+			f.ws("FALSE")
+		}
+	}
+}
+
+// joinIdents renders a comma-separated identifier list with quoting.
+func joinIdents(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = ident(n)
+	}
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,184 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTrip checks Format output re-parses to an AST that formats
+// identically (fixed point after one round).
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	out1 := Format(st)
+	st2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", out1, err)
+	}
+	out2 := Format(st2)
+	if out1 != out2 {
+		t.Errorf("format not stable:\n  first:  %s\n  second: %s", out1, out2)
+	}
+	return out1
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT a, b AS x FROM t WHERE (a > 1) AND (b = 'it''s')",
+		"SELECT dst, SUM(w * 0.85) FROM e GROUP BY dst HAVING COUNT(*) > 2 ORDER BY dst DESC LIMIT 3",
+		"SELECT * FROM a LEFT JOIN b ON a.id = b.id",
+		"SELECT src FROM (SELECT src FROM e UNION SELECT dst AS src FROM e) AS u GROUP BY src",
+		"VALUES (1, 2.5, NULL, TRUE, Infinity)",
+		"CREATE UNLOGGED TABLE IF NOT EXISTS t (a BIGINT PRIMARY KEY, b DOUBLE, c TEXT)",
+		"CREATE INDEX i ON t (a, b)",
+		"CREATE OR REPLACE VIEW v AS SELECT * FROM a UNION ALL SELECT * FROM b",
+		"DROP TABLE IF EXISTS t",
+		"INSERT INTO t (a, b) VALUES (1, 'x')",
+		"INSERT INTO t SELECT * FROM u WHERE u.a IS NOT NULL",
+		"UPDATE r SET d = m.v FROM msgs AS m WHERE r.id = m.id",
+		"DELETE FROM t WHERE a IN (1, 2)",
+		"TRUNCATE TABLE t",
+		"SELECT CASE WHEN a = 1 THEN 0 ELSE Infinity END FROM t",
+		"SELECT COALESCE(MIN(a + b), Infinity) FROM t GROUP BY c",
+		`WITH ITERATIVE r(id, v) AS (SELECT 1, 2 ITERATE SELECT id, v + 1 FROM r UNTIL 5 ITERATIONS) SELECT * FROM r`,
+		`WITH ITERATIVE r(id, v) AS (SELECT 1, 2 ITERATE SELECT id, v + 1 FROM r UNTIL ANY DELTA (SELECT id FROM r)) SELECT * FROM r`,
+		`WITH ITERATIVE r(id, v) AS (SELECT 1, 2 ITERATE SELECT id, v + 1 FROM r UNTIL DELTA (SELECT MAX(r.v) FROM r) < 0.001) SELECT * FROM r`,
+		`WITH RECURSIVE f(n, pn) AS (VALUES (0, 1) UNION ALL SELECT n + pn, n FROM f WHERE n < 1000) SELECT SUM(n) FROM f`,
+		"WITH tmp AS (SELECT 1 AS a) SELECT a FROM tmp",
+		"BEGIN",
+		"COMMIT",
+		"SELECT a FROM t WHERE NOT (a = 1) OR a IS NULL",
+	}
+	for _, src := range srcs {
+		t.Run(src[:min(len(src), 40)], func(t *testing.T) { roundTrip(t, src) })
+	}
+}
+
+func TestFormatDialectNE(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE a != 1")
+	pg := FormatDialect(st, DialectPGSim)
+	my := FormatDialect(st, DialectMySim)
+	if !strings.Contains(pg, "!=") {
+		t.Errorf("pgsim output %q should keep !=", pg)
+	}
+	if !strings.Contains(my, "<>") {
+		t.Errorf("mysim output %q should use <>", my)
+	}
+	// Both must re-parse.
+	for _, out := range []string{pg, my} {
+		if _, err := Parse(out); err != nil {
+			t.Errorf("dialect output %q does not re-parse: %v", out, err)
+		}
+	}
+}
+
+func TestFormatDialectUpdateJoin(t *testing.T) {
+	st := mustParse(t, "UPDATE r SET d = m.v FROM msgs AS m WHERE r.id = m.id")
+	my := FormatDialect(st, DialectMariaSim)
+	if !strings.Contains(my, "JOIN") {
+		t.Errorf("mariasim UPDATE should use JOIN style, got %q", my)
+	}
+	st2, err := Parse(my)
+	if err != nil {
+		t.Fatalf("mysql-style update does not re-parse: %v", err)
+	}
+	up := st2.(*UpdateStmt)
+	if len(up.From) != 1 || up.Where == nil {
+		t.Errorf("normalized update = %+v", up)
+	}
+}
+
+func TestParseDialectNames(t *testing.T) {
+	for name, want := range map[string]Dialect{
+		"pgsim": DialectPGSim, "postgres": DialectPGSim,
+		"mysim": DialectMySim, "mysql": DialectMySim,
+		"mariasim": DialectMariaSim, "mariadb": DialectMariaSim,
+		"generic": DialectGeneric, "": DialectGeneric,
+	} {
+		got, err := ParseDialect(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDialect(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseDialect("oracle"); err == nil {
+		t.Error("expected error for unknown dialect")
+	}
+	if DialectPGSim.String() != "pgsim" || DialectGeneric.String() != "generic" {
+		t.Error("dialect String() wrong")
+	}
+}
+
+func TestWalkAndClone(t *testing.T) {
+	st := mustParse(t, `SELECT COALESCE(SUM(a.x * b.y), 0) FROM a JOIN b ON a.id = b.id WHERE a.x > 1 GROUP BY a.id`)
+	body := st.(*SelectStmt).Body.(*Select)
+
+	// CloneBody must be deep: mutating the clone leaves the original alone.
+	clone := CloneBody(body).(*Select)
+	clone.Items[0].Alias = "changed"
+	cloneRef := clone.Where.(*ComparisonExpr).Left.(*ColumnRef)
+	cloneRef.Name = "zzz"
+	if body.Items[0].Alias == "changed" {
+		t.Error("CloneBody aliased Items")
+	}
+	if body.Where.(*ComparisonExpr).Left.(*ColumnRef).Name == "zzz" {
+		t.Error("CloneBody aliased Where")
+	}
+
+	// WalkTableExprs sees both tables and the join.
+	var names []string
+	WalkTableExprs(body, func(te TableExpr) bool {
+		if tn, ok := te.(*TableName); ok {
+			names = append(names, tn.Name)
+		}
+		return true
+	})
+	if len(names) != 2 {
+		t.Errorf("walk found %v", names)
+	}
+
+	// RewriteBodyTables renames a table without touching the original.
+	out := RewriteBodyTables(body, func(tn *TableName) TableExpr {
+		if tn.Name == "a" {
+			return &TableName{Name: "a_part1", Alias: tn.Alias}
+		}
+		return nil
+	})
+	txt := Format(&SelectStmt{Body: out})
+	if !strings.Contains(txt, "a_part1") {
+		t.Errorf("rewrite lost: %s", txt)
+	}
+	orig := Format(&SelectStmt{Body: body})
+	if strings.Contains(orig, "a_part1") {
+		t.Errorf("rewrite mutated original: %s", orig)
+	}
+}
+
+func TestRewriteExprReplacesColumns(t *testing.T) {
+	e, err := ParseExpr("R.Delta * e.weight + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RewriteExpr(e, func(x Expr) Expr {
+		if cr, ok := x.(*ColumnRef); ok && cr.Table == "R" {
+			return &ColumnRef{Table: "part3", Name: cr.Name}
+		}
+		return nil
+	})
+	txt := FormatExpr(out)
+	if !strings.Contains(txt, "part3.Delta") {
+		t.Errorf("rewrite output %q", txt)
+	}
+	if got := FormatExpr(e); strings.Contains(got, "part3") {
+		t.Errorf("original mutated: %q", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParse checks the lexer/parser never panic and that anything they
+// accept survives a format/parse round trip. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"SELECT 1",
+		"SELECT * FROM t WHERE a = 'x''y' AND b != 2.5e3",
+		"WITH ITERATIVE r(a, b) AS (VALUES (1, 2) ITERATE SELECT a, b FROM r UNTIL 1 ITERATIONS) SELECT * FROM r",
+		"WITH RECURSIVE r(a) AS (VALUES (1) UNION ALL SELECT a FROM r WHERE a < 5) SELECT * FROM r",
+		"CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)",
+		"UPDATE t SET a = b + 1 FROM u WHERE t.id = u.id",
+		"INSERT INTO t VALUES (1), (NULL), (Infinity)",
+		"SELECT CAST(a AS TEXT) FROM t WHERE b LIKE '%x_' OR c BETWEEN 1 AND 2",
+		"SELECT a FROM t INTERSECT SELECT b FROM u ORDER BY 1 LIMIT 3",
+		"SELECT COUNT(*), SUM(DISTINCT x) FROM t GROUP BY y HAVING COUNT(*) > 1",
+		"-- comment\nSELECT /* block */ 1",
+		"SELECT \"quoted ident\" FROM \"weird table\"",
+		"SELECT ((((1))))",
+		"WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b",
+		"SELECT 0xNOT A NUMBER",
+		"SELECT 'unterminated",
+		"\x00\x01\x02",
+		"UNTIL DELTA ANY",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		out := Format(st)
+		st2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted %q, but its formatting %q does not re-parse: %v", src, out, err)
+		}
+		out2 := Format(st2)
+		if out != out2 {
+			t.Fatalf("format not stable for %q:\n  %s\n  %s", src, out, out2)
+		}
+	})
+}

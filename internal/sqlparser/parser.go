@@ -1,0 +1,1558 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sqloop/internal/sqltypes"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqlparser: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var out []Statement
+	for {
+		for p.peekOp(";") {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.peekOp(";") && p.peek().kind != tokEOF {
+			return nil, p.errHere("expected ';' or end of input")
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sqlparser: empty input")
+	}
+	return out, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used in tests and by
+// the SQLoop analyzer).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errHere("unexpected trailing input")
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	src     string
+	nParams int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token { // token after the current one
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.peekKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errHere("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errHere("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.peek()
+	line, col := 1, 1
+	for i := 0; i < t.pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	what := t.text
+	if t.kind == tokEOF {
+		what = "end of input"
+	}
+	return fmt.Errorf("sql:%d:%d: %s (near %q)", line, col, fmt.Sprintf(format, args...), what)
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	// Be lenient: allow non-reserved-feeling keywords as identifiers where
+	// an identifier is required (e.g. a column named "delta" or "key").
+	if t.kind == tokKeyword && identifiableKeyword(t.text) {
+		p.next()
+		return t.orig, nil
+	}
+	return "", p.errHere("expected identifier")
+}
+
+// identifiableKeyword reports keywords that may double as identifiers.
+func identifiableKeyword(kw string) bool {
+	switch kw {
+	case "DELTA", "KEY", "INDEX", "COUNT", "SUM", "MIN", "MAX", "AVG",
+		"UPDATES", "ITERATIONS", "VALUES", "VIEW", "TEMP", "BEGIN", "END", "ANY":
+		return true
+	default:
+		return false
+	}
+}
+
+// --- statements ---
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errHere("expected statement keyword")
+	}
+	switch t.text {
+	case "WITH":
+		return p.parseWith()
+	case "SELECT", "VALUES":
+		body, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &SelectStmt{Body: body}, nil
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "TRUNCATE":
+		p.next()
+		p.acceptKw("TABLE")
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &TruncateStmt{Table: name}, nil
+	case "BEGIN", "START":
+		p.next()
+		p.acceptKw("TRANSACTION")
+		return &TxStmt{Kind: TxBegin}, nil
+	case "COMMIT":
+		p.next()
+		return &TxStmt{Kind: TxCommit}, nil
+	case "ROLLBACK":
+		p.next()
+		return &TxStmt{Kind: TxRollback}, nil
+	default:
+		return nil, p.errHere("unsupported statement")
+	}
+}
+
+// parseWith handles plain, RECURSIVE and ITERATIVE WITH clauses.
+func (p *parser) parseWith() (Statement, error) {
+	if err := p.expectKw("WITH"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKw("RECURSIVE"):
+		return p.parseLoopCTE(CTERecursive)
+	case p.acceptKw("ITERATIVE"):
+		return p.parseLoopCTE(CTEIterative)
+	}
+	// plain WITH name [(cols)] AS (body) [, ...] select
+	var ctes []PlainCTE
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := p.parseOptColumnList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		body, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ctes = append(ctes, PlainCTE{Name: name, Columns: cols, Body: body})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	body, err := p.parseSelectBody()
+	if err != nil {
+		return nil, err
+	}
+	return &SelectStmt{With: ctes, Body: body}, nil
+}
+
+func (p *parser) parseOptColumnList() ([]string, error) {
+	if !p.acceptOp("(") {
+		return nil, nil
+	}
+	var cols []string
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// parseLoopCTE parses the body shared by RECURSIVE and ITERATIVE CTEs.
+func (p *parser) parseLoopCTE(kind CTEKind) (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseOptColumnList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	seed, err := p.parseSelectCoreOrValues()
+	if err != nil {
+		return nil, err
+	}
+	st := &LoopCTEStmt{Kind: kind, Name: name, Columns: cols, Seed: seed}
+	switch kind {
+	case CTERecursive:
+		if err := p.expectKw("UNION"); err != nil {
+			return nil, err
+		}
+		st.UnionAll = p.acceptKw("ALL")
+		st.Step, err = p.parseSelectCoreOrValues()
+		if err != nil {
+			return nil, err
+		}
+	case CTEIterative:
+		if err := p.expectKw("ITERATE"); err != nil {
+			return nil, err
+		}
+		st.Step, err = p.parseSelectCoreOrValues()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("UNTIL"); err != nil {
+			return nil, err
+		}
+		st.Until, err = p.parseTermination()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	final, err := p.parseSelectBody()
+	if err != nil {
+		return nil, err
+	}
+	st.Final = final
+	return st, nil
+}
+
+// parseTermination parses every Table I form.
+func (p *parser) parseTermination() (*Termination, error) {
+	term := &Termination{}
+	// Metadata forms start with an integer literal.
+	if p.peek().kind == tokNumber {
+		numTok := p.next()
+		n, err := strconv.ParseInt(numTok.text, 10, 64)
+		if err != nil {
+			return nil, p.errHere("invalid termination count %q", numTok.text)
+		}
+		switch {
+		case p.acceptKw("ITERATIONS"):
+			term.Kind = TermIterations
+			term.N = n
+			return term, nil
+		case p.acceptKw("UPDATES"):
+			term.Kind = TermUpdates
+			term.N = n
+			return term, nil
+		default:
+			return nil, p.errHere("expected ITERATIONS or UPDATES")
+		}
+	}
+	term.Kind = TermExpr
+	if p.acceptKw("ANY") {
+		term.Any = true
+	}
+	if p.acceptKw("DELTA") {
+		term.Delta = true
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	body, err := p.parseSelectBody()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	term.Expr = body
+	// Optional comparison to a constant: expr <,=,> e.
+	for _, op := range []struct {
+		text string
+		op   sqltypes.CompareOp
+	}{{"<=", sqltypes.CmpLE}, {">=", sqltypes.CmpGE}, {"<", sqltypes.CmpLT},
+		{">", sqltypes.CmpGT}, {"=", sqltypes.CmpEQ}} {
+		if p.acceptOp(op.text) {
+			term.CmpOp = op.op
+			cmpTo, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			term.CmpTo = cmpTo
+			break
+		}
+	}
+	return term, nil
+}
+
+// --- select ---
+
+// parseSelectBody parses a select core / VALUES with UNION [ALL] chains
+// and trailing ORDER BY / LIMIT applied to the whole set operation.
+func (p *parser) parseSelectBody() (SelectBody, error) {
+	left, err := p.parseSelectCoreOrValues()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKw("UNION") || p.peekKw("INTERSECT") || p.peekKw("EXCEPT") {
+		kind := SetUnion
+		switch p.next().text {
+		case "INTERSECT":
+			kind = SetIntersect
+		case "EXCEPT":
+			kind = SetExcept
+		}
+		all := p.acceptKw("ALL")
+		if all && kind != SetUnion {
+			return nil, p.errHere("INTERSECT/EXCEPT ALL are not supported")
+		}
+		right, err := p.parseSelectCoreOrValues()
+		if err != nil {
+			return nil, err
+		}
+		so := &SetOp{Kind: kind, Left: left, Right: right, All: all}
+		// ORDER BY / LIMIT after a union arm bind to the whole set
+		// operation; hoist them off the right-hand core.
+		if rc, ok := right.(*Select); ok {
+			so.OrderBy, rc.OrderBy = rc.OrderBy, nil
+			so.Limit, rc.Limit = rc.Limit, nil
+		}
+		left = so
+	}
+	if so, ok := left.(*SetOp); ok {
+		if p.peekKw("ORDER") {
+			items, err := p.parseOrderBy()
+			if err != nil {
+				return nil, err
+			}
+			so.OrderBy = items
+		}
+		if p.peekKw("LIMIT") {
+			lim, err := p.parseLimit()
+			if err != nil {
+				return nil, err
+			}
+			so.Limit = lim
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSelectCoreOrValues() (SelectBody, error) {
+	switch {
+	case p.peekKw("SELECT"):
+		return p.parseSelectCore()
+	case p.peekKw("VALUES"):
+		return p.parseValues()
+	case p.peekOp("("):
+		p.next()
+		body, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return body, nil
+	default:
+		return nil, p.errHere("expected SELECT or VALUES")
+	}
+}
+
+func (p *parser) parseValues() (SelectBody, error) {
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	v := &Values{}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		v.Rows = append(v.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return v, nil
+}
+
+func (p *parser) parseSelectCore() (*Select, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	sel.Distinct = p.acceptKw("DISTINCT")
+	p.acceptKw("ALL")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, te)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.peekKw("ORDER") {
+		items, err := p.parseOrderBy()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = items
+	}
+	if p.peekKw("LIMIT") {
+		lim, err := p.parseLimit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = lim
+		if p.acceptKw("OFFSET") {
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, p.errHere("expected OFFSET count")
+			}
+			p.next()
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, p.errHere("invalid OFFSET %q", t.text)
+			}
+			sel.Offset = &n
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseOrderBy() ([]OrderItem, error) {
+	if err := p.expectKw("ORDER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("BY"); err != nil {
+		return nil, err
+	}
+	var items []OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		it := OrderItem{Expr: e}
+		if p.acceptKw("DESC") {
+			it.Desc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+		items = append(items, it)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseLimit() (*int64, error) {
+	if err := p.expectKw("LIMIT"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokNumber {
+		return nil, p.errHere("expected LIMIT count")
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return nil, p.errHere("invalid LIMIT %q", t.text)
+	}
+	return &n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form
+	if p.peek().kind == tokIdent && p.peek2().kind == tokOp && p.peek2().text == "." {
+		save := p.pos
+		tbl := p.next().text
+		p.next() // .
+		if p.acceptOp("*") {
+			return SelectItem{Star: true, Table: tbl}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses one FROM item with any chained JOINs.
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt JoinType
+		switch {
+		case p.peekKw("JOIN"):
+			p.next()
+			jt = JoinInner
+		case p.peekKw("INNER"):
+			p.next()
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinInner
+		case p.peekKw("LEFT"):
+			p.next()
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		case p.peekKw("CROSS"):
+			p.next()
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinExpr{Type: jt, Left: left, Right: right}
+		if jt != JoinCross {
+			if err := p.expectKw("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			join.On = on
+		}
+		left = join
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.acceptOp("(") {
+		body, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		alias := ""
+		if p.acceptKw("AS") {
+			alias, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+		} else if p.peek().kind == tokIdent {
+			alias = p.next().text
+		}
+		if alias == "" {
+			return nil, p.errHere("derived table requires an alias")
+		}
+		return &SubqueryTable{Body: body, Alias: alias}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tn := &TableName{Name: name}
+	if p.acceptKw("AS") {
+		tn.Alias, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	} else if p.peek().kind == tokIdent {
+		tn.Alias = p.next().text
+	}
+	return tn, nil
+}
+
+// --- DDL / DML ---
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	orReplace := false
+	if p.acceptKw("OR") {
+		if err := p.expectKw("REPLACE"); err != nil {
+			return nil, err
+		}
+		orReplace = true
+	}
+	unlogged := p.acceptKw("UNLOGGED") || p.acceptKw("TEMPORARY") || p.acceptKw("TEMP")
+	switch {
+	case p.acceptKw("TABLE"):
+		st := &CreateTableStmt{Unlogged: unlogged}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			st.IfNotExists = true
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+		if p.acceptKw("AS") {
+			st.AsSelect, err = p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			return st, nil
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		for {
+			if p.acceptKw("PRIMARY") {
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				if err := p.expectOp("("); err != nil {
+					return nil, err
+				}
+				col, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				found := false
+				for i := range st.Columns {
+					if strings.EqualFold(st.Columns[i].Name, col) {
+						st.Columns[i].PrimaryKey = true
+						found = true
+					}
+				}
+				if !found {
+					return nil, p.errHere("PRIMARY KEY names unknown column %q", col)
+				}
+			} else {
+				cname, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				typName, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				// DOUBLE PRECISION is two words.
+				if strings.EqualFold(typName, "DOUBLE") && p.peek().kind == tokIdent &&
+					strings.EqualFold(p.peek().text, "PRECISION") {
+					p.next()
+				}
+				ct, err := sqltypes.ParseColumnType(typName)
+				if err != nil {
+					return nil, p.errHere("%v", err)
+				}
+				// Skip optional length spec like VARCHAR(255).
+				if p.acceptOp("(") {
+					for !p.peekOp(")") && p.peek().kind != tokEOF {
+						p.next()
+					}
+					if err := p.expectOp(")"); err != nil {
+						return nil, err
+					}
+				}
+				cd := ColumnDef{Name: cname, Type: ct}
+				if p.acceptKw("PRIMARY") {
+					if err := p.expectKw("KEY"); err != nil {
+						return nil, err
+					}
+					cd.PrimaryKey = true
+				}
+				if p.acceptKw("NOT") {
+					if err := p.expectKw("NULL"); err != nil {
+						return nil, err
+					}
+				}
+				st.Columns = append(st.Columns, cd)
+			}
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.acceptKw("INDEX"):
+		st := &CreateIndexStmt{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			st.IfNotExists = true
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		st.Table, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns, err = p.parseOptColumnList()
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Columns) == 0 {
+			return nil, p.errHere("CREATE INDEX requires a column list")
+		}
+		return st, nil
+	case p.acceptKw("VIEW"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{Name: name, OrReplace: orReplace, Body: body}, nil
+	default:
+		return nil, p.errHere("expected TABLE, INDEX or VIEW")
+	}
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	st := &DropStmt{}
+	switch {
+	case p.acceptKw("TABLE"):
+		st.Kind = DropTable
+	case p.acceptKw("VIEW"):
+		st.Kind = DropView
+	case p.acceptKw("INDEX"):
+		st.Kind = DropIndex
+	default:
+		return nil, p.errHere("expected TABLE, VIEW or INDEX")
+	}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	// A parenthesis here may open a column list or a parenthesized SELECT.
+	if p.peekOp("(") && !p.parenOpensSelect() {
+		st.Columns, err = p.parseOptColumnList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.Source, err = p.parseSelectBody()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parenOpensSelect looks ahead to see whether the upcoming "(" begins a
+// subquery rather than a column list.
+func (p *parser) parenOpensSelect() bool {
+	i := p.pos
+	depth := 0
+	for ; i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.kind == tokOp && t.text == "(" {
+			depth++
+			continue
+		}
+		if depth > 0 {
+			if t.kind == tokKeyword && (t.text == "SELECT" || t.text == "VALUES") {
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	if p.acceptKw("AS") {
+		st.Alias, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	} else if p.peek().kind == tokIdent && !p.peekKw("SET") {
+		st.Alias = p.next().text
+	}
+	// MySQL-style UPDATE t JOIN u ON cond SET ... — normalize: u moves to
+	// FROM and cond is ANDed into WHERE.
+	var joinFrom []TableExpr
+	var joinCond Expr
+	for p.peekKw("JOIN") || p.peekKw("INNER") || p.peekKw("LEFT") {
+		if p.acceptKw("INNER") || p.acceptKw("LEFT") {
+			p.acceptKw("OUTER")
+		}
+		if err := p.expectKw("JOIN"); err != nil {
+			return nil, err
+		}
+		te, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		joinFrom = append(joinFrom, te)
+		if joinCond == nil {
+			joinCond = on
+		} else {
+			joinCond = &LogicalExpr{Op: LogicAnd, Left: joinCond, Right: on}
+		}
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// allow qualified target t.col — keep the column part.
+		if p.acceptOp(".") {
+			col, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, Assignment{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.From = append(st.From, te)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	st.From = append(st.From, joinFrom...)
+	if joinCond != nil {
+		if st.Where == nil {
+			st.Where = joinCond
+		} else {
+			st.Where = &LogicalExpr{Op: LogicAnd, Left: joinCond, Right: st.Where}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKw("WHERE") {
+		st.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &LogicalExpr{Op: LogicOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &LogicalExpr{Op: LogicAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKw("IS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Inner: left, Not: not}, nil
+	}
+	// [NOT] IN / [NOT] LIKE / [NOT] BETWEEN
+	negated := false
+	if p.peekKw("NOT") && p.peek2().kind == tokKeyword &&
+		(p.peek2().text == "IN" || p.peek2().text == "LIKE" || p.peek2().text == "BETWEEN") {
+		p.next()
+		negated = true
+	}
+	if p.acceptKw("IN") {
+		if p.parenOpensSelect() {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			body, err := p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{Left: left, Sub: body, Not: negated}, nil
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Left: left, List: list, Not: negated}, nil
+	}
+	if p.acceptKw("LIKE") {
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{Left: left, Pattern: pat, Not: negated}, nil
+	}
+	if p.acceptKw("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: x BETWEEN lo AND hi == x >= lo AND x <= hi.
+		rng := &LogicalExpr{Op: LogicAnd,
+			Left:  &ComparisonExpr{Op: sqltypes.CmpGE, Left: left, Right: lo},
+			Right: &ComparisonExpr{Op: sqltypes.CmpLE, Left: CloneExpr(left), Right: hi},
+		}
+		if negated {
+			return &NotExpr{Inner: rng}, nil
+		}
+		return rng, nil
+	}
+	ops := []struct {
+		text string
+		op   sqltypes.CompareOp
+	}{{"<=", sqltypes.CmpLE}, {">=", sqltypes.CmpGE}, {"<>", sqltypes.CmpNE},
+		{"!=", sqltypes.CmpNE}, {"<", sqltypes.CmpLT}, {">", sqltypes.CmpGT},
+		{"=", sqltypes.CmpEQ}}
+	for _, o := range ops {
+		if p.acceptOp(o.text) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &ComparisonExpr{Op: o.op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op sqltypes.ArithOp
+		switch {
+		case p.acceptOp("+"):
+			op = sqltypes.OpAdd
+		case p.acceptOp("-"):
+			op = sqltypes.OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op sqltypes.ArithOp
+		switch {
+		case p.acceptOp("*"):
+			op = sqltypes.OpMul
+		case p.acceptOp("/"):
+			op = sqltypes.OpDiv
+		case p.acceptOp("%"):
+			op = sqltypes.OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*Literal); ok && lit.Val.IsNumeric() {
+			if lit.Val.Kind() == sqltypes.KindInt {
+				return &Literal{Val: sqltypes.NewInt(-lit.Val.Int())}, nil
+			}
+			return &Literal{Val: sqltypes.NewFloat(-lit.Val.Float())}, nil
+		}
+		return &BinaryExpr{Op: sqltypes.OpSub,
+			Left:  &Literal{Val: sqltypes.NewInt(0)},
+			Right: inner}, nil
+	}
+	p.acceptOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errHere("invalid number %q", t.text)
+			}
+			return &Literal{Val: sqltypes.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errHere("invalid integer %q", t.text)
+		}
+		return &Literal{Val: sqltypes.NewInt(n)}, nil
+	case tokString:
+		p.next()
+		return &Literal{Val: sqltypes.NewString(t.text)}, nil
+	case tokParam:
+		p.next()
+		e := &Param{Index: p.nParams}
+		p.nParams++
+		return e, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: sqltypes.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: sqltypes.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: sqltypes.NewBool(false)}, nil
+		case "INFINITY":
+			p.next()
+			return &Literal{Val: sqltypes.NewFloat(math.Inf(1))}, nil
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			body, err := p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Body: body}, nil
+		case "CAST":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AS"); err != nil {
+				return nil, err
+			}
+			typName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ct, err := sqltypes.ParseColumnType(typName)
+			if err != nil {
+				return nil, p.errHere("%v", err)
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{Inner: inner, Type: ct}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			if p.peek2().kind == tokOp && p.peek2().text == "(" {
+				p.next()
+				return p.parseFuncCall(t.text)
+			}
+			// Aggregate keyword used as a bare identifier (column name).
+			p.next()
+			return p.maybeQualified(t.orig)
+		default:
+			// Keywords like REPLACE double as function names.
+			if p.peek2().kind == tokOp && p.peek2().text == "(" {
+				p.next()
+				return p.parseFuncCall(t.text)
+			}
+			if identifiableKeyword(t.text) {
+				p.next()
+				return p.maybeQualified(t.orig)
+			}
+			return nil, p.errHere("unexpected keyword in expression")
+		}
+	case tokIdent:
+		if p.peek2().kind == tokOp && p.peek2().text == "(" {
+			p.next()
+			return p.parseFuncCall(strings.ToUpper(t.text))
+		}
+		p.next()
+		return p.maybeQualified(t.text)
+	case tokOp:
+		if t.text == "(" {
+			// Could be a scalar subquery or a parenthesized expression.
+			if p.parenOpensSelect() {
+				p.next()
+				body, err := p.parseSelectBody()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Body: body}, nil
+			}
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errHere("expected expression")
+}
+
+// maybeQualified handles ident or ident.ident column references.
+func (p *parser) maybeQualified(first string) (Expr, error) {
+	if p.acceptOp(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: first, Name: col}, nil
+	}
+	return &ColumnRef{Name: first}, nil
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.acceptOp("*") {
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	fc.Distinct = p.acceptKw("DISTINCT")
+	if !p.peekOp(")") {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, arg)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errHere("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

@@ -1,0 +1,543 @@
+package sqlparser
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	st := mustParse(t, "SELECT a, b AS x FROM t WHERE a > 1")
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	core, ok := sel.Body.(*Select)
+	if !ok {
+		t.Fatalf("body %T", sel.Body)
+	}
+	if len(core.Items) != 2 || core.Items[1].Alias != "x" {
+		t.Errorf("items = %+v", core.Items)
+	}
+	if core.Where == nil {
+		t.Error("missing WHERE")
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	st := mustParse(t, "SELECT a val FROM t u")
+	core := st.(*SelectStmt).Body.(*Select)
+	if core.Items[0].Alias != "val" {
+		t.Errorf("implicit alias = %q", core.Items[0].Alias)
+	}
+	tn := core.From[0].(*TableName)
+	if tn.Alias != "u" {
+		t.Errorf("table alias = %q", tn.Alias)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM a LEFT JOIN b ON a.id = b.id JOIN c ON c.id = a.id`)
+	core := st.(*SelectStmt).Body.(*Select)
+	j, ok := core.From[0].(*JoinExpr)
+	if !ok {
+		t.Fatalf("from[0] = %T", core.From[0])
+	}
+	if j.Type != JoinInner {
+		t.Errorf("outer join type = %v, want inner", j.Type)
+	}
+	inner, ok := j.Left.(*JoinExpr)
+	if !ok || inner.Type != JoinLeft {
+		t.Errorf("nested join = %+v", j.Left)
+	}
+}
+
+func TestParseGroupByAggregates(t *testing.T) {
+	st := mustParse(t, `SELECT dst, SUM(w * 0.85), COUNT(*), AVG(w) FROM e GROUP BY dst HAVING COUNT(*) > 2`)
+	core := st.(*SelectStmt).Body.(*Select)
+	if len(core.GroupBy) != 1 || core.Having == nil {
+		t.Fatalf("groupby/having: %+v", core)
+	}
+	fc := core.Items[2].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Errorf("COUNT(*) parsed as %+v", fc)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	st := mustParse(t, "SELECT src FROM e UNION SELECT dst FROM e UNION ALL SELECT 1")
+	so, ok := st.(*SelectStmt).Body.(*SetOp)
+	if !ok {
+		t.Fatalf("body %T", st.(*SelectStmt).Body)
+	}
+	if !so.All {
+		t.Error("outer set op should be UNION ALL")
+	}
+	left, ok := so.Left.(*SetOp)
+	if !ok || left.All {
+		t.Errorf("left = %+v", so.Left)
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	st := mustParse(t, `SELECT src FROM (SELECT src FROM e UNION SELECT dst FROM e) AS alledges GROUP BY src`)
+	core := st.(*SelectStmt).Body.(*Select)
+	sub, ok := core.From[0].(*SubqueryTable)
+	if !ok || sub.Alias != "alledges" {
+		t.Fatalf("from = %+v", core.From[0])
+	}
+}
+
+func TestParseCaseCoalesceLeastInfinity(t *testing.T) {
+	st := mustParse(t, `SELECT CASE WHEN src = 1 THEN 0 ELSE Infinity END, COALESCE(a, 0.15), LEAST(d, x) FROM t`)
+	core := st.(*SelectStmt).Body.(*Select)
+	ce := core.Items[0].Expr.(*CaseExpr)
+	lit := ce.Else.(*Literal)
+	if !math.IsInf(lit.Val.Float(), 1) {
+		t.Errorf("ELSE = %v, want Infinity", lit.Val)
+	}
+	if fc := core.Items[1].Expr.(*FuncCall); fc.Name != "COALESCE" {
+		t.Errorf("item1 = %+v", fc)
+	}
+	if fc := core.Items[2].Expr.(*FuncCall); fc.Name != "LEAST" {
+		t.Errorf("item2 = %+v", fc)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, `CREATE UNLOGGED TABLE IF NOT EXISTS edges (src BIGINT PRIMARY KEY, dst BIGINT, weight DOUBLE)`)
+	ct := st.(*CreateTableStmt)
+	if !ct.IfNotExists || !ct.Unlogged || ct.Name != "edges" {
+		t.Fatalf("create = %+v", ct)
+	}
+	if len(ct.Columns) != 3 || !ct.Columns[0].PrimaryKey {
+		t.Fatalf("columns = %+v", ct.Columns)
+	}
+	if ct.Columns[2].Type != sqltypes.TypeFloat {
+		t.Errorf("weight type = %v", ct.Columns[2].Type)
+	}
+}
+
+func TestParseCreateTableTrailingPrimaryKey(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a))`)
+	ct := st.(*CreateTableStmt)
+	if !ct.Columns[0].PrimaryKey {
+		t.Error("PRIMARY KEY (a) not applied")
+	}
+}
+
+func TestParseCreateTableAs(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE m AS SELECT a FROM t`)
+	ct := st.(*CreateTableStmt)
+	if ct.AsSelect == nil {
+		t.Fatal("missing AS SELECT")
+	}
+}
+
+func TestParseCreateIndexViewDrop(t *testing.T) {
+	st := mustParse(t, `CREATE INDEX idx_e ON edges (dst, src)`)
+	ci := st.(*CreateIndexStmt)
+	if ci.Table != "edges" || len(ci.Columns) != 2 {
+		t.Fatalf("index = %+v", ci)
+	}
+	st = mustParse(t, `CREATE OR REPLACE VIEW v AS SELECT * FROM a UNION ALL SELECT * FROM b`)
+	cv := st.(*CreateViewStmt)
+	if !cv.OrReplace {
+		t.Error("OR REPLACE lost")
+	}
+	st = mustParse(t, `DROP TABLE IF EXISTS tmp`)
+	dt := st.(*DropStmt)
+	if dt.Kind != DropTable || !dt.IfExists {
+		t.Fatalf("drop = %+v", dt)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`)
+	ins := st.(*InsertStmt)
+	if len(ins.Columns) != 2 {
+		t.Fatalf("columns = %v", ins.Columns)
+	}
+	v := ins.Source.(*Values)
+	if len(v.Rows) != 2 {
+		t.Fatalf("rows = %d", len(v.Rows))
+	}
+	st = mustParse(t, `INSERT INTO t SELECT * FROM u`)
+	if _, ok := st.(*InsertStmt).Source.(*Select); !ok {
+		t.Error("INSERT ... SELECT body wrong")
+	}
+	st = mustParse(t, `INSERT INTO t (SELECT a FROM u)`)
+	if _, ok := st.(*InsertStmt).Source.(*Select); !ok {
+		t.Error("INSERT with parenthesized SELECT wrong")
+	}
+}
+
+func TestParseUpdateFromStyle(t *testing.T) {
+	st := mustParse(t, `UPDATE r SET delta = m.val FROM msgs AS m WHERE r.id = m.id`)
+	up := st.(*UpdateStmt)
+	if len(up.From) != 1 || up.Where == nil || len(up.Sets) != 1 {
+		t.Fatalf("update = %+v", up)
+	}
+}
+
+func TestParseUpdateJoinStyleNormalized(t *testing.T) {
+	st := mustParse(t, `UPDATE r JOIN m ON r.id = m.id SET delta = m.val`)
+	up := st.(*UpdateStmt)
+	if len(up.From) != 1 {
+		t.Fatalf("join not moved to FROM: %+v", up)
+	}
+	if up.Where == nil {
+		t.Fatal("ON condition not moved to WHERE")
+	}
+}
+
+func TestParseDeleteTruncateTx(t *testing.T) {
+	if st := mustParse(t, `DELETE FROM t WHERE a = 1`); st.(*DeleteStmt).Where == nil {
+		t.Error("delete where lost")
+	}
+	if st := mustParse(t, `TRUNCATE TABLE t`); st.(*TruncateStmt).Table != "t" {
+		t.Error("truncate table lost")
+	}
+	if st := mustParse(t, `BEGIN`); st.(*TxStmt).Kind != TxBegin {
+		t.Error("begin")
+	}
+	if st := mustParse(t, `COMMIT`); st.(*TxStmt).Kind != TxCommit {
+		t.Error("commit")
+	}
+}
+
+func TestParseRecursiveCTEFibonacci(t *testing.T) {
+	src := `
+WITH RECURSIVE Fibonacci(n, pn) AS (
+  VALUES (0, 1)
+  UNION ALL
+  SELECT n + pn, n FROM Fibonacci WHERE n < 1000
+)
+SELECT SUM(n) FROM Fibonacci`
+	st := mustParse(t, src)
+	cte := st.(*LoopCTEStmt)
+	if cte.Kind != CTERecursive || cte.Name != "Fibonacci" {
+		t.Fatalf("cte = %+v", cte)
+	}
+	if len(cte.Columns) != 2 {
+		t.Fatalf("columns = %v", cte.Columns)
+	}
+	if _, ok := cte.Seed.(*Values); !ok {
+		t.Errorf("seed = %T", cte.Seed)
+	}
+	if cte.Until != nil {
+		t.Error("recursive CTE must not carry UNTIL")
+	}
+}
+
+func TestParseIterativeCTEPageRank(t *testing.T) {
+	src := `
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL 100 ITERATIONS
+)
+SELECT Node, Rank FROM PageRank`
+	st := mustParse(t, src)
+	cte := st.(*LoopCTEStmt)
+	if cte.Kind != CTEIterative {
+		t.Fatalf("kind = %v", cte.Kind)
+	}
+	if cte.Until == nil || cte.Until.Kind != TermIterations || cte.Until.N != 100 {
+		t.Fatalf("until = %+v", cte.Until)
+	}
+	step := cte.Step.(*Select)
+	if len(step.Items) != 3 || len(step.GroupBy) != 1 {
+		t.Fatalf("step = %+v", step)
+	}
+}
+
+func TestParseIterativeCTESSSP(t *testing.T) {
+	src := `
+WITH ITERATIVE sssp(Node, Distance, Delta) AS (
+  SELECT src, Infinity, CASE WHEN src = 1 THEN 0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, sssp.Delta),
+         COALESCE(MIN(Neighbor.Distance + IncomingEdges.weight), Infinity)
+  FROM sssp
+  LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst
+  LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY sssp.Node
+  UNTIL 0 UPDATES
+)
+SELECT sssp.Distance FROM sssp WHERE sssp.Node = 100`
+	st := mustParse(t, src)
+	cte := st.(*LoopCTEStmt)
+	if cte.Until.Kind != TermUpdates || cte.Until.N != 0 {
+		t.Fatalf("until = %+v", cte.Until)
+	}
+}
+
+func TestParseTerminationForms(t *testing.T) {
+	base := `WITH ITERATIVE r(id, v) AS (SELECT 1, 2 ITERATE SELECT id, v + 1 FROM r UNTIL %s) SELECT * FROM r`
+	tests := []struct {
+		until string
+		check func(*Termination) bool
+	}{
+		{"5 ITERATIONS", func(tc *Termination) bool { return tc.Kind == TermIterations && tc.N == 5 }},
+		{"0 UPDATES", func(tc *Termination) bool { return tc.Kind == TermUpdates && tc.N == 0 }},
+		{"(SELECT id FROM r WHERE v > 10)", func(tc *Termination) bool {
+			return tc.Kind == TermExpr && !tc.Any && !tc.Delta && tc.CmpOp == 0
+		}},
+		{"ANY (SELECT id FROM r WHERE v > 10)", func(tc *Termination) bool { return tc.Any && !tc.Delta }},
+		{"(SELECT SUM(v) FROM r) > 100", func(tc *Termination) bool {
+			return tc.CmpOp == sqltypes.CmpGT && tc.CmpTo != nil
+		}},
+		{"DELTA (SELECT id FROM r JOIN rdelta ON r.id = rdelta.id WHERE r.v - rdelta.v < 1)",
+			func(tc *Termination) bool { return tc.Delta && !tc.Any }},
+		{"ANY DELTA (SELECT id FROM r)", func(tc *Termination) bool { return tc.Delta && tc.Any }},
+		{"DELTA (SELECT MAX(r.v - rdelta.v) FROM r JOIN rdelta ON r.id = rdelta.id) < 0.001",
+			func(tc *Termination) bool { return tc.Delta && tc.CmpOp == sqltypes.CmpLT }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.until, func(t *testing.T) {
+			st := mustParse(t, strings.Replace(base, "%s", tt.until, 1))
+			tc := st.(*LoopCTEStmt).Until
+			if !tt.check(tc) {
+				t.Errorf("termination %q parsed as %+v", tt.until, tc)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"CREATE TABLE t (a BLOB)",
+		"WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 2) SELECT 1", // missing UNTIL
+		"SELECT 'unterminated",
+		"SELECT a FROM t GROUP",
+		"INSERT INTO",
+		"UPDATE t SET",
+		"SELECT CASE END",
+		"SELECT (SELECT 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll("SELECT 1; SELECT 2;; SELECT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = ? AND b > ?")
+	core := st.(*SelectStmt).Body.(*Select)
+	n := 0
+	WalkExpr(core.Where, func(e Expr) bool {
+		if p, ok := e.(*Param); ok {
+			if p.Index != n {
+				t.Errorf("param index = %d, want %d", p.Index, n)
+			}
+			n++
+		}
+		return true
+	})
+	if n != 2 {
+		t.Errorf("found %d params, want 2", n)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	st := mustParse(t, "SELECT a -- trailing\nFROM t /* block\ncomment */ WHERE a = 1")
+	if _, ok := st.(*SelectStmt); !ok {
+		t.Fatalf("got %T", st)
+	}
+}
+
+func TestParsePlainWith(t *testing.T) {
+	st := mustParse(t, `WITH tmp AS (SELECT 1 AS a), t2(x) AS (SELECT 2) SELECT * FROM tmp, t2`)
+	sel := st.(*SelectStmt)
+	if len(sel.With) != 2 || sel.With[1].Columns[0] != "x" {
+		t.Fatalf("with = %+v", sel.With)
+	}
+}
+
+func TestParseNegativeNumberFolding(t *testing.T) {
+	e, err := ParseExpr("-3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := e.(*Literal)
+	if !ok || lit.Val.Float() != -3.5 {
+		t.Fatalf("got %#v", e)
+	}
+	e, err = ParseExpr("-Infinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit := e.(*Literal); !math.IsInf(lit.Val.Float(), -1) {
+		t.Fatalf("got %v", lit.Val)
+	}
+}
+
+func TestParseInAndIsNull(t *testing.T) {
+	e, err := ParseExpr("a IN (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := e.(*InExpr)
+	if len(in.List) != 3 || in.Not {
+		t.Fatalf("in = %+v", in)
+	}
+	e, err = ParseExpr("a NOT IN (1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.(*InExpr).Not {
+		t.Error("NOT IN lost")
+	}
+	e, err = ParseExpr("x IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.(*IsNullExpr).Not {
+		t.Error("IS NOT NULL lost")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := e.(*BinaryExpr)
+	if be.Op != sqltypes.OpAdd {
+		t.Fatalf("top op = %v", be.Op)
+	}
+	if inner := be.Right.(*BinaryExpr); inner.Op != sqltypes.OpMul {
+		t.Fatalf("inner op = %v", inner.Op)
+	}
+	e, err = ParseExpr("a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := e.(*LogicalExpr)
+	if le.Op != LogicOr {
+		t.Fatalf("top logical = %v", le.Op)
+	}
+	if right := le.Right.(*LogicalExpr); right.Op != LogicAnd {
+		t.Fatalf("right logical = %v", right.Op)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+	core := st.(*SelectStmt).Body.(*Select)
+	if len(core.OrderBy) != 2 || !core.OrderBy[0].Desc || core.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", core.OrderBy)
+	}
+	if core.Limit == nil || *core.Limit != 10 {
+		t.Fatalf("limit = %v", core.Limit)
+	}
+	st = mustParse(t, "SELECT a FROM t UNION SELECT b FROM u ORDER BY 1 LIMIT 5")
+	so := st.(*SelectStmt).Body.(*SetOp)
+	if so.Limit == nil || *so.Limit != 5 || len(so.OrderBy) != 1 {
+		t.Fatalf("setop order/limit = %+v", so)
+	}
+}
+
+func TestParseNewFeatures(t *testing.T) {
+	srcs := []string{
+		`SELECT * FROM t WHERE name LIKE 'a%'`,
+		`SELECT * FROM t WHERE name NOT LIKE '_b%'`,
+		`SELECT * FROM t WHERE age BETWEEN 1 AND 10`,
+		`SELECT * FROM t WHERE age NOT BETWEEN 1 AND 10`,
+		`SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u)`,
+		`SELECT * FROM t WHERE id IN (SELECT id FROM u)`,
+		`SELECT * FROM t WHERE id NOT IN (SELECT id FROM u WHERE x > 2)`,
+		`SELECT CAST(a AS BIGINT) FROM t`,
+		`SELECT CAST('1.5' AS DOUBLE)`,
+		`SELECT a FROM t INTERSECT SELECT b FROM u`,
+		`SELECT a FROM t EXCEPT SELECT b FROM u`,
+		`SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 10`,
+		`SELECT UPPER(name), SUBSTR(name, 1, 3) FROM t`,
+	}
+	for _, src := range srcs {
+		st, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		// Round-trip through the formatter.
+		out := Format(st)
+		if _, err := Parse(out); err != nil {
+			t.Errorf("re-Parse(%q): %v", out, err)
+		}
+	}
+}
+
+func TestParseBetweenDesugar(t *testing.T) {
+	e, err := ParseExpr("x BETWEEN 1 AND 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, ok := e.(*LogicalExpr)
+	if !ok || le.Op != LogicAnd {
+		t.Fatalf("BETWEEN desugar = %T", e)
+	}
+}
+
+func TestParseSetOpKinds(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t INTERSECT SELECT b FROM u")
+	so := st.(*SelectStmt).Body.(*SetOp)
+	if so.Kind != SetIntersect {
+		t.Fatalf("kind = %v", so.Kind)
+	}
+	st = mustParse(t, "SELECT a FROM t EXCEPT SELECT b FROM u")
+	if st.(*SelectStmt).Body.(*SetOp).Kind != SetExcept {
+		t.Fatal("EXCEPT kind lost")
+	}
+	if _, err := Parse("SELECT a FROM t EXCEPT ALL SELECT b FROM u"); err == nil {
+		t.Fatal("EXCEPT ALL must be rejected")
+	}
+}
+
+func TestParseOffset(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t LIMIT 3 OFFSET 7")
+	core := st.(*SelectStmt).Body.(*Select)
+	if core.Offset == nil || *core.Offset != 7 {
+		t.Fatalf("offset = %v", core.Offset)
+	}
+}

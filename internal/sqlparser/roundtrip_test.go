@@ -1,0 +1,130 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+// genExpr builds a random expression tree of bounded depth. Every
+// generated tree must survive Format → Parse → Format unchanged.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &Literal{Val: sqltypes.NewInt(rng.Int63n(1000))}
+		case 1:
+			return &Literal{Val: sqltypes.NewFloat(float64(rng.Intn(100)) + 0.5)}
+		case 2:
+			return &Literal{Val: sqltypes.NewString(fmt.Sprintf("s%d", rng.Intn(50)))}
+		case 3:
+			return &ColumnRef{Name: fmt.Sprintf("c%d", rng.Intn(5))}
+		default:
+			return &ColumnRef{Table: "t", Name: fmt.Sprintf("c%d", rng.Intn(5))}
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return &BinaryExpr{
+			Op:   sqltypes.ArithOp(1 + rng.Intn(5)),
+			Left: genExpr(rng, depth-1), Right: genExpr(rng, depth-1),
+		}
+	case 1:
+		return &ComparisonExpr{
+			Op:   sqltypes.CompareOp(1 + rng.Intn(6)),
+			Left: genExpr(rng, depth-1), Right: genExpr(rng, depth-1),
+		}
+	case 2:
+		return &LogicalExpr{
+			Op:   LogicalOp(1 + rng.Intn(2)),
+			Left: genExpr(rng, depth-1), Right: genExpr(rng, depth-1),
+		}
+	case 3:
+		return &NotExpr{Inner: genExpr(rng, depth-1)}
+	case 4:
+		return &IsNullExpr{Inner: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	case 5:
+		n := 1 + rng.Intn(3)
+		in := &InExpr{Left: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+		for i := 0; i < n; i++ {
+			in.List = append(in.List, genExpr(rng, depth-1))
+		}
+		return in
+	case 6:
+		names := []string{"COALESCE", "LEAST", "GREATEST", "ABS", "UPPER", "CONCAT"}
+		fc := &FuncCall{Name: names[rng.Intn(len(names))]}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			fc.Args = append(fc.Args, genExpr(rng, depth-1))
+		}
+		return fc
+	case 7:
+		ce := &CaseExpr{}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			ce.Whens = append(ce.Whens, CaseWhen{
+				Cond:   genExpr(rng, depth-1),
+				Result: genExpr(rng, depth-1),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			ce.Else = genExpr(rng, depth-1)
+		}
+		return ce
+	case 8:
+		return &CastExpr{Inner: genExpr(rng, depth-1),
+			Type: []sqltypes.ColumnType{sqltypes.TypeInt, sqltypes.TypeFloat, sqltypes.TypeString}[rng.Intn(3)]}
+	default:
+		return &LikeExpr{Left: genExpr(rng, depth-1),
+			Pattern: &Literal{Val: sqltypes.NewString("%x_")}, Not: rng.Intn(2) == 0}
+	}
+}
+
+// TestRandomExprRoundTrip checks Format/Parse stability on thousands of
+// generated expression trees.
+func TestRandomExprRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBEEF))
+	for i := 0; i < 3000; i++ {
+		e := genExpr(rng, 1+rng.Intn(4))
+		text := FormatExpr(e)
+		parsed, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("case %d: ParseExpr(%q): %v", i, text, err)
+		}
+		again := FormatExpr(parsed)
+		if again != text {
+			t.Fatalf("case %d: not a fixed point:\n  first:  %s\n  second: %s", i, text, again)
+		}
+	}
+}
+
+// TestRandomSelectRoundTrip does the same for whole SELECT statements.
+func TestRandomSelectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFACE))
+	for i := 0; i < 1500; i++ {
+		sel := &Select{}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			sel.Items = append(sel.Items, SelectItem{
+				Expr:  genExpr(rng, 2),
+				Alias: fmt.Sprintf("o%d", j),
+			})
+		}
+		sel.From = []TableExpr{&TableName{Name: "t", Alias: "t"}}
+		if rng.Intn(2) == 0 {
+			sel.Where = genExpr(rng, 2)
+		}
+		if rng.Intn(3) == 0 {
+			sel.GroupBy = []Expr{&ColumnRef{Table: "t", Name: "c0"}}
+		}
+		st := &SelectStmt{Body: sel}
+		text := Format(st)
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("case %d: Parse(%q): %v", i, text, err)
+		}
+		again := Format(parsed)
+		if again != text {
+			t.Fatalf("case %d: not a fixed point:\n  first:  %s\n  second: %s", i, text, again)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package sqlparser implements a hand-written lexer and recursive-descent
+// parser for the SQL subset used by SQLoop and the embedded engine,
+// including the paper's iterative-CTE extension:
+//
+//	WITH ITERATIVE R AS (R0 ITERATE Ri UNTIL Tc) Qf
+//
+// The parser produces an AST (ast.go) that the engine executes directly
+// and that SQLoop's translation module re-renders as dialect-specific SQL
+// text (format.go).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // ? placeholder
+)
+
+// token is one lexical token with its source position (for errors).
+type token struct {
+	kind tokenKind
+	text string // keyword text is upper-cased; idents keep original case
+	orig string // original spelling for keywords used as identifiers
+	pos  int
+}
+
+// keywords recognized by the lexer. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "AS": true, "ON": true, "JOIN": true, "LEFT": true,
+	"RIGHT": true, "INNER": true, "OUTER": true, "CROSS": true, "UNION": true,
+	"ALL": true, "DISTINCT": true, "AND": true, "OR": true, "NOT": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "IS": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"VIEW": true, "DROP": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "TRUNCATE": true,
+	"PRIMARY": true, "KEY": true, "IF": true, "EXISTS": true, "REPLACE": true,
+	"UNLOGGED": true, "TEMPORARY": true, "TEMP": true, "WITH": true,
+	"RECURSIVE": true, "ITERATIVE": true, "ITERATE": true, "UNTIL": true,
+	"ITERATIONS": true, "UPDATES": true, "ANY": true, "DELTA": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "START": true,
+	"TRANSACTION": true, "INFINITY": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "USING": true,
+	"INTERSECT": true, "EXCEPT": true, "CAST": true,
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning an error with position context on invalid
+// input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, orig: word, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber()
+	case c == '\'':
+		return l.lexString()
+	case c == '"':
+		return l.lexQuotedIdent()
+	case c == '?':
+		l.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+	default:
+		return l.lexOp()
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexQuotedIdent() (token, error) {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return token{kind: tokIdent, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated quoted identifier")
+}
+
+// multi-char operators, longest first.
+var operators = []string{"<=", ">=", "<>", "!=", "||", "<", ">", "=", "+", "-", "*", "/", "%", "(", ")", ",", ";", "."}
+
+func (l *lexer) lexOp() (token, error) {
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			t := token{kind: tokOp, text: op, pos: l.pos}
+			l.pos += len(op)
+			return t, nil
+		}
+	}
+	return token{}, l.errf(l.pos, "unexpected character %q", l.src[l.pos])
+}
+
+// Identifiers are ASCII-only (the lexer walks bytes, so admitting
+// unicode.IsLetter here would misclassify UTF-8 continuation bytes);
+// anything else must be double-quoted.
+func isIdentStart(r rune) bool {
+	return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+}
+
+func isIdentPart(r rune) bool { return isIdentStart(r) || r >= '0' && r <= '9' }
+func isDigit(b byte) bool     { return b >= '0' && b <= '9' }

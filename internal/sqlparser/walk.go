@@ -1,0 +1,266 @@
+package sqlparser
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. fn
+// returning false prunes descent into that node's children.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Right, fn)
+	case *ComparisonExpr:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Right, fn)
+	case *LogicalExpr:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Right, fn)
+	case *NotExpr:
+		WalkExpr(x.Inner, fn)
+	case *IsNullExpr:
+		WalkExpr(x.Inner, fn)
+	case *InExpr:
+		WalkExpr(x.Left, fn)
+		for _, it := range x.List {
+			WalkExpr(it, fn)
+		}
+	case *CastExpr:
+		WalkExpr(x.Inner, fn)
+	case *LikeExpr:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Pattern, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Result, fn)
+		}
+		WalkExpr(x.Else, fn)
+	}
+}
+
+// RewriteExpr returns a deep copy of e with fn applied bottom-up: each
+// node is copied, its children rewritten, then fn may replace the node.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	var out Expr
+	switch x := e.(type) {
+	case *ColumnRef:
+		c := *x
+		out = &c
+	case *Literal:
+		c := *x
+		out = &c
+	case *Param:
+		c := *x
+		out = &c
+	case *BinaryExpr:
+		out = &BinaryExpr{Op: x.Op, Left: RewriteExpr(x.Left, fn), Right: RewriteExpr(x.Right, fn)}
+	case *ComparisonExpr:
+		out = &ComparisonExpr{Op: x.Op, Left: RewriteExpr(x.Left, fn), Right: RewriteExpr(x.Right, fn)}
+	case *LogicalExpr:
+		out = &LogicalExpr{Op: x.Op, Left: RewriteExpr(x.Left, fn), Right: RewriteExpr(x.Right, fn)}
+	case *NotExpr:
+		out = &NotExpr{Inner: RewriteExpr(x.Inner, fn)}
+	case *IsNullExpr:
+		out = &IsNullExpr{Inner: RewriteExpr(x.Inner, fn), Not: x.Not}
+	case *InExpr:
+		n := &InExpr{Left: RewriteExpr(x.Left, fn), Not: x.Not}
+		for _, it := range x.List {
+			n.List = append(n.List, RewriteExpr(it, fn))
+		}
+		if x.Sub != nil {
+			n.Sub = CloneBody(x.Sub)
+		}
+		out = n
+	case *ExistsExpr:
+		out = &ExistsExpr{Body: CloneBody(x.Body)}
+	case *CastExpr:
+		out = &CastExpr{Inner: RewriteExpr(x.Inner, fn), Type: x.Type}
+	case *LikeExpr:
+		out = &LikeExpr{Left: RewriteExpr(x.Left, fn), Pattern: RewriteExpr(x.Pattern, fn), Not: x.Not}
+	case *FuncCall:
+		n := &FuncCall{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			n.Args = append(n.Args, RewriteExpr(a, fn))
+		}
+		out = n
+	case *CaseExpr:
+		n := &CaseExpr{}
+		for _, w := range x.Whens {
+			n.Whens = append(n.Whens, CaseWhen{
+				Cond:   RewriteExpr(w.Cond, fn),
+				Result: RewriteExpr(w.Result, fn),
+			})
+		}
+		n.Else = RewriteExpr(x.Else, fn)
+		out = n
+	case *Subquery:
+		out = &Subquery{Body: CloneBody(x.Body)}
+	default:
+		out = e
+	}
+	if r := fn(out); r != nil {
+		return r
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	return RewriteExpr(e, func(x Expr) Expr { return x })
+}
+
+// CloneBody deep-copies a select body.
+func CloneBody(b SelectBody) SelectBody {
+	switch s := b.(type) {
+	case nil:
+		return nil
+	case *Select:
+		n := &Select{Distinct: s.Distinct}
+		for _, it := range s.Items {
+			n.Items = append(n.Items, SelectItem{
+				Expr:  CloneExpr(it.Expr),
+				Alias: it.Alias,
+				Star:  it.Star,
+				Table: it.Table,
+			})
+		}
+		for _, te := range s.From {
+			n.From = append(n.From, CloneTableExpr(te))
+		}
+		n.Where = CloneExpr(s.Where)
+		for _, g := range s.GroupBy {
+			n.GroupBy = append(n.GroupBy, CloneExpr(g))
+		}
+		n.Having = CloneExpr(s.Having)
+		for _, o := range s.OrderBy {
+			n.OrderBy = append(n.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+		}
+		if s.Limit != nil {
+			v := *s.Limit
+			n.Limit = &v
+		}
+		if s.Offset != nil {
+			v := *s.Offset
+			n.Offset = &v
+		}
+		return n
+	case *Values:
+		n := &Values{}
+		for _, row := range s.Rows {
+			var r []Expr
+			for _, e := range row {
+				r = append(r, CloneExpr(e))
+			}
+			n.Rows = append(n.Rows, r)
+		}
+		return n
+	case *SetOp:
+		n := &SetOp{Kind: s.Kind, Left: CloneBody(s.Left), Right: CloneBody(s.Right), All: s.All}
+		for _, o := range s.OrderBy {
+			n.OrderBy = append(n.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+		}
+		if s.Limit != nil {
+			v := *s.Limit
+			n.Limit = &v
+		}
+		return n
+	default:
+		return b
+	}
+}
+
+// CloneTableExpr deep-copies a table expression.
+func CloneTableExpr(te TableExpr) TableExpr {
+	switch t := te.(type) {
+	case nil:
+		return nil
+	case *TableName:
+		c := *t
+		return &c
+	case *SubqueryTable:
+		return &SubqueryTable{Body: CloneBody(t.Body), Alias: t.Alias}
+	case *JoinExpr:
+		return &JoinExpr{
+			Type:  t.Type,
+			Left:  CloneTableExpr(t.Left),
+			Right: CloneTableExpr(t.Right),
+			On:    CloneExpr(t.On),
+		}
+	default:
+		return te
+	}
+}
+
+// WalkTableExprs visits every table expression in a body (including
+// nested joins and derived tables), pre-order.
+func WalkTableExprs(b SelectBody, fn func(TableExpr) bool) {
+	switch s := b.(type) {
+	case *Select:
+		for _, te := range s.From {
+			walkTE(te, fn)
+		}
+	case *SetOp:
+		WalkTableExprs(s.Left, fn)
+		WalkTableExprs(s.Right, fn)
+	}
+}
+
+func walkTE(te TableExpr, fn func(TableExpr) bool) {
+	if te == nil || !fn(te) {
+		return
+	}
+	switch t := te.(type) {
+	case *JoinExpr:
+		walkTE(t.Left, fn)
+		walkTE(t.Right, fn)
+	case *SubqueryTable:
+		WalkTableExprs(t.Body, fn)
+	}
+}
+
+// RewriteBodyTables returns a deep copy of b with fn applied to every
+// TableName node (post-clone); fn may return a replacement table expr.
+func RewriteBodyTables(b SelectBody, fn func(*TableName) TableExpr) SelectBody {
+	c := CloneBody(b)
+	rewriteBodyTablesInPlace(c, fn)
+	return c
+}
+
+func rewriteBodyTablesInPlace(b SelectBody, fn func(*TableName) TableExpr) {
+	switch s := b.(type) {
+	case *Select:
+		for i, te := range s.From {
+			s.From[i] = rewriteTE(te, fn)
+		}
+	case *SetOp:
+		rewriteBodyTablesInPlace(s.Left, fn)
+		rewriteBodyTablesInPlace(s.Right, fn)
+	}
+}
+
+func rewriteTE(te TableExpr, fn func(*TableName) TableExpr) TableExpr {
+	switch t := te.(type) {
+	case *TableName:
+		if r := fn(t); r != nil {
+			return r
+		}
+		return t
+	case *JoinExpr:
+		t.Left = rewriteTE(t.Left, fn)
+		t.Right = rewriteTE(t.Right, fn)
+		return t
+	case *SubqueryTable:
+		rewriteBodyTablesInPlace(t.Body, fn)
+		return t
+	default:
+		return te
+	}
+}

@@ -1,0 +1,208 @@
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColumnType is the declared type of a table column.
+type ColumnType int
+
+// Declared column types. TypeAny admits any datum and is used for columns
+// whose type SQLoop infers at runtime from the seed query.
+const (
+	TypeAny ColumnType = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String returns the canonical SQL spelling of the type.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeAny:
+		return "ANY"
+	case TypeInt:
+		return "BIGINT"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "TEXT"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// ParseColumnType maps a SQL type name to a ColumnType. It accepts the
+// common aliases that the three dialect profiles emit.
+func ParseColumnType(name string) (ColumnType, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TypeInt, nil
+	case "DOUBLE", "FLOAT", "REAL", "NUMERIC", "DECIMAL", "DOUBLE PRECISION":
+		return TypeFloat, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return TypeString, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	case "ANY":
+		return TypeAny, nil
+	default:
+		return TypeAny, fmt.Errorf("sqltypes: unknown column type %q", name)
+	}
+}
+
+// Admits reports whether a value of kind k may be stored in a column of
+// type t. NULL is storable everywhere; ints widen into float columns.
+func (t ColumnType) Admits(k Kind) bool {
+	switch t {
+	case TypeAny:
+		return true
+	case TypeInt:
+		return k == KindNull || k == KindInt
+	case TypeFloat:
+		return k == KindNull || k == KindInt || k == KindFloat
+	case TypeString:
+		return k == KindNull || k == KindString
+	case TypeBool:
+		return k == KindNull || k == KindBool
+	default:
+		return false
+	}
+}
+
+// Coerce converts v for storage in a column of type t, widening ints to
+// floats where needed. It errors when the value cannot be stored.
+func (t ColumnType) Coerce(v Value) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	switch t {
+	case TypeAny:
+		return v, nil
+	case TypeFloat:
+		if v.Kind() == KindInt {
+			return NewFloat(float64(v.Int())), nil
+		}
+		if v.Kind() == KindFloat {
+			return v, nil
+		}
+	case TypeInt:
+		if v.Kind() == KindInt {
+			return v, nil
+		}
+	case TypeString:
+		if v.Kind() == KindString {
+			return v, nil
+		}
+	case TypeBool:
+		if v.Kind() == KindBool {
+			return v, nil
+		}
+	}
+	return Null, fmt.Errorf("sqltypes: cannot store %s in %s column", v.Kind(), t)
+}
+
+// Column describes one column of a relation.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is an ordered list of columns. By SQLoop convention the first
+// column of an (iterative) CTE table is the primary key Rid.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from columns, rejecting duplicate names.
+func NewSchema(cols ...Column) (*Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("sqltypes: duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+	}
+	return &Schema{Columns: cols}, nil
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1 when absent.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	return &Schema{Columns: cols}
+}
+
+// Row is one tuple of values, positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// KindToColumnType maps a datum kind to the narrowest column type that
+// admits it; NULL maps to TypeAny.
+func KindToColumnType(k Kind) ColumnType {
+	switch k {
+	case KindInt:
+		return TypeInt
+	case KindFloat:
+		return TypeFloat
+	case KindString:
+		return TypeString
+	case KindBool:
+		return TypeBool
+	default:
+		return TypeAny
+	}
+}
+
+// UnifyColumnTypes returns a column type admitting both inputs,
+// preferring the narrower when one side is unknown and widening
+// int+float to float.
+func UnifyColumnTypes(a, b ColumnType) ColumnType {
+	if a == b {
+		return a
+	}
+	if a == TypeAny {
+		return b
+	}
+	if b == TypeAny {
+		return a
+	}
+	if (a == TypeInt && b == TypeFloat) || (a == TypeFloat && b == TypeInt) {
+		return TypeFloat
+	}
+	return TypeAny
+}

@@ -1,0 +1,146 @@
+package sqltypes
+
+import "testing"
+
+func TestParseColumnType(t *testing.T) {
+	tests := []struct {
+		in   string
+		want ColumnType
+	}{
+		{"INT", TypeInt}, {"integer", TypeInt}, {"BIGINT", TypeInt},
+		{"DOUBLE", TypeFloat}, {"float", TypeFloat}, {"REAL", TypeFloat},
+		{"TEXT", TypeString}, {"varchar", TypeString},
+		{"BOOLEAN", TypeBool}, {"bool", TypeBool},
+		{"ANY", TypeAny},
+	}
+	for _, tt := range tests {
+		got, err := ParseColumnType(tt.in)
+		if err != nil {
+			t.Fatalf("ParseColumnType(%q): %v", tt.in, err)
+		}
+		if got != tt.want {
+			t.Errorf("ParseColumnType(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if _, err := ParseColumnType("BLOB"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestSchemaDuplicateColumns(t *testing.T) {
+	_, err := NewSchema(Column{Name: "a"}, Column{Name: "A"})
+	if err == nil {
+		t.Fatal("expected duplicate-column error (case-insensitive)")
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s, err := NewSchema(Column{Name: "Node", Type: TypeInt}, Column{Name: "Rank", Type: TypeFloat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ColumnIndex("node"); got != 0 {
+		t.Errorf("ColumnIndex(node) = %d, want 0", got)
+	}
+	if got := s.ColumnIndex("RANK"); got != 1 {
+		t.Errorf("ColumnIndex(RANK) = %d, want 1", got)
+	}
+	if got := s.ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d, want -1", got)
+	}
+	if got := s.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "Node" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s, _ := NewSchema(Column{Name: "a", Type: TypeInt})
+	c := s.Clone()
+	c.Columns[0].Name = "b"
+	if s.Columns[0].Name != "a" {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	tests := []struct {
+		typ     ColumnType
+		in      Value
+		want    Value
+		wantErr bool
+	}{
+		{TypeFloat, NewInt(3), NewFloat(3), false},
+		{TypeFloat, NewFloat(2.5), NewFloat(2.5), false},
+		{TypeInt, NewInt(3), NewInt(3), false},
+		{TypeInt, NewFloat(3), Null, true},
+		{TypeString, NewString("x"), NewString("x"), false},
+		{TypeString, NewInt(1), Null, true},
+		{TypeBool, NewBool(true), NewBool(true), false},
+		{TypeAny, NewString("x"), NewString("x"), false},
+		{TypeInt, Null, Null, false},
+	}
+	for _, tt := range tests {
+		got, err := tt.typ.Coerce(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Coerce(%v, %v) err = %v, wantErr %v", tt.typ, tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && !tt.in.IsNull() {
+			if c, _ := Compare(got, tt.want); c != 0 || got.Kind() != tt.want.Kind() {
+				t.Errorf("Coerce(%v, %v) = %v, want %v", tt.typ, tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestAdmits(t *testing.T) {
+	if !TypeFloat.Admits(KindInt) {
+		t.Error("float column must admit int values")
+	}
+	if TypeInt.Admits(KindFloat) {
+		t.Error("int column must not admit float values")
+	}
+	if !TypeInt.Admits(KindNull) {
+		t.Error("columns must admit NULL")
+	}
+	if !TypeAny.Admits(KindBool) {
+		t.Error("ANY admits everything")
+	}
+}
+
+func TestUnifyColumnTypes(t *testing.T) {
+	tests := []struct {
+		a, b, want ColumnType
+	}{
+		{TypeInt, TypeInt, TypeInt},
+		{TypeInt, TypeFloat, TypeFloat},
+		{TypeFloat, TypeInt, TypeFloat},
+		{TypeAny, TypeString, TypeString},
+		{TypeString, TypeAny, TypeString},
+		{TypeString, TypeInt, TypeAny},
+	}
+	for _, tt := range tests {
+		if got := UnifyColumnTypes(tt.a, tt.b); got != tt.want {
+			t.Errorf("UnifyColumnTypes(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestKindToColumnType(t *testing.T) {
+	if KindToColumnType(KindInt) != TypeInt || KindToColumnType(KindNull) != TypeAny {
+		t.Error("KindToColumnType mapping wrong")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].Int() != 1 {
+		t.Error("Row.Clone must not alias")
+	}
+}

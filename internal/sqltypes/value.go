@@ -1,0 +1,480 @@
+// Package sqltypes defines the datum model shared by the SQL parser, the
+// embedded relational engine and the SQLoop middleware: typed values with
+// SQL NULL semantics, three-valued comparisons, arithmetic with implicit
+// numeric widening, and hashing for join/partition keys.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+// The supported value kinds. KindNull is deliberately the zero value so
+// that a zero Value is SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a single SQL datum. The zero value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns a BIGINT value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a TEXT value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the int64 payload. It is only meaningful for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float64 payload, widening an int payload.
+func (v Value) Float() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// Bool returns the bool payload. It is only meaningful for KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// IsTrue reports whether v is boolean TRUE (NULL and FALSE are not).
+func (v Value) IsTrue() bool { return v.kind == KindBool && v.b }
+
+// String renders the value the way a result printer would.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if math.IsInf(v.f, 1) {
+			return "Infinity"
+		}
+		if math.IsInf(v.f, -1) {
+			return "-Infinity"
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// GoValue converts v to the natural Go representation used by
+// database/sql (nil, int64, float64, string, bool).
+func (v Value) GoValue() any {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	case KindBool:
+		return v.b
+	default:
+		return nil
+	}
+}
+
+// FromGo converts a Go value produced by database/sql (or user bind
+// parameters) to a Value.
+func FromGo(x any) (Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return Null, nil
+	case int:
+		return NewInt(int64(t)), nil
+	case int32:
+		return NewInt(int64(t)), nil
+	case int64:
+		return NewInt(t), nil
+	case float32:
+		return NewFloat(float64(t)), nil
+	case float64:
+		return NewFloat(t), nil
+	case string:
+		return NewString(t), nil
+	case bool:
+		return NewBool(t), nil
+	case []byte:
+		return NewString(string(t)), nil
+	default:
+		return Null, fmt.Errorf("sqltypes: unsupported Go value %T", x)
+	}
+}
+
+// Compare orders a and b. NULL compares less than everything (this
+// ordering is used for sorting, not predicate evaluation; predicates use
+// CompareSQL). Numeric kinds compare by value with widening; otherwise
+// kinds must match.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0, nil
+		case a.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.kind != b.kind {
+		return 0, fmt.Errorf("sqltypes: cannot compare %s with %s", a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1, nil
+		case a.s > b.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1, nil
+		case a.b && !b.b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("sqltypes: cannot compare %s values", a.kind)
+	}
+}
+
+// CompareSQL implements SQL predicate comparison: if either side is NULL
+// the result is NULL (unknown). Otherwise it returns a bool Value per op.
+func CompareSQL(op CompareOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return Null, err
+	}
+	var r bool
+	switch op {
+	case CmpEQ:
+		r = c == 0
+	case CmpNE:
+		r = c != 0
+	case CmpLT:
+		r = c < 0
+	case CmpLE:
+		r = c <= 0
+	case CmpGT:
+		r = c > 0
+	case CmpGE:
+		r = c >= 0
+	default:
+		return Null, fmt.Errorf("sqltypes: unknown comparison op %d", op)
+	}
+	return NewBool(r), nil
+}
+
+// CompareOp enumerates SQL comparison operators.
+type CompareOp int
+
+// Comparison operators.
+const (
+	CmpEQ CompareOp = iota + 1
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", int(op))
+	}
+}
+
+// ArithOp enumerates SQL arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the SQL spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	default:
+		return fmt.Sprintf("ArithOp(%d)", int(op))
+	}
+}
+
+// Arith evaluates a op b with SQL semantics: NULL if either operand is
+// NULL, integer arithmetic when both are ints (division by zero errors),
+// float arithmetic otherwise.
+func Arith(op ArithOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("sqltypes: arithmetic %s on %s and %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case OpAdd:
+			return NewInt(a.i + b.i), nil
+		case OpSub:
+			return NewInt(a.i - b.i), nil
+		case OpMul:
+			return NewInt(a.i * b.i), nil
+		case OpDiv:
+			if b.i == 0 {
+				return Null, fmt.Errorf("sqltypes: division by zero")
+			}
+			return NewInt(a.i / b.i), nil
+		case OpMod:
+			if b.i == 0 {
+				return Null, fmt.Errorf("sqltypes: division by zero")
+			}
+			return NewInt(a.i % b.i), nil
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch op {
+	case OpAdd:
+		return NewFloat(af + bf), nil
+	case OpSub:
+		return NewFloat(af - bf), nil
+	case OpMul:
+		return NewFloat(af * bf), nil
+	case OpDiv:
+		if bf == 0 {
+			return Null, fmt.Errorf("sqltypes: division by zero")
+		}
+		return NewFloat(af / bf), nil
+	case OpMod:
+		if bf == 0 {
+			return Null, fmt.Errorf("sqltypes: division by zero")
+		}
+		return NewFloat(math.Mod(af, bf)), nil
+	}
+	return Null, fmt.Errorf("sqltypes: unknown arithmetic op %d", op)
+}
+
+// Hash returns a stable 64-bit hash of v, used for hash joins, GROUP BY
+// buckets and SQLoop's partition function. Int and float values that
+// represent the same number hash identically.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindInt:
+		mix(1)
+		u := uint64(v.i)
+		for s := 0; s < 64; s += 8 {
+			mix(byte(u >> s))
+		}
+	case KindFloat:
+		// Hash integral floats as ints so 1 and 1.0 join.
+		if f := v.f; f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			return NewInt(int64(f)).Hash()
+		}
+		mix(2)
+		u := math.Float64bits(v.f)
+		for s := 0; s < 64; s += 8 {
+			mix(byte(u >> s))
+		}
+	case KindString:
+		mix(3)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindBool:
+		mix(4)
+		if v.b {
+			mix(1)
+		}
+	}
+	return h
+}
+
+// Key returns a canonical comparable representation of v suitable for use
+// as a Go map key in joins and aggregation. Numeric values that are equal
+// under SQL comparison produce equal keys.
+type Key struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// MapKey converts v into a Key.
+func (v Value) MapKey() Key {
+	k := Key{kind: v.kind, i: v.i, f: v.f, s: v.s, b: v.b}
+	if v.kind == KindFloat {
+		if f := v.f; f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			return Key{kind: KindInt, i: int64(f)}
+		}
+	}
+	return k
+}
+
+// Value converts a Key back to the Value it was derived from.
+func (k Key) Value() Value {
+	return Value{kind: k.kind, i: k.i, f: k.f, s: k.s, b: k.b}
+}
+
+// CompareTotal orders any two values with a total order usable by
+// ordered containers (B-trees, sorted runs): NULL first, then numerics by
+// value, then strings, then bools. Unlike Compare it never errors.
+func CompareTotal(a, b Value) int {
+	ra, rb := totalRank(a), totalRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+// totalRank buckets values so cross-kind comparisons are well defined;
+// ints and floats share a bucket because Compare handles them.
+func totalRank(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	case KindString:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,266 @@
+package sqltypes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{"null", Null, KindNull, "NULL"},
+		{"int", NewInt(42), KindInt, "42"},
+		{"negint", NewInt(-7), KindInt, "-7"},
+		{"float", NewFloat(2.5), KindFloat, "2.5"},
+		{"inf", NewFloat(math.Inf(1)), KindFloat, "Infinity"},
+		{"neginf", NewFloat(math.Inf(-1)), KindFloat, "-Infinity"},
+		{"string", NewString("abc"), KindString, "abc"},
+		{"true", NewBool(true), KindBool, "true"},
+		{"false", NewBool(false), KindBool, "false"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if got := tt.v.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+}
+
+func TestFloatWidening(t *testing.T) {
+	if got := NewInt(3).Float(); got != 3.0 {
+		t.Errorf("NewInt(3).Float() = %v, want 3", got)
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewFloat(1.0), 0},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewInt(5), NewInt(5), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewFloat(math.Inf(1)), NewFloat(1e308), 1},
+	}
+	for _, tt := range tests {
+		got, err := Compare(tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareTypeMismatch(t *testing.T) {
+	if _, err := Compare(NewString("x"), NewInt(1)); err == nil {
+		t.Error("expected error comparing string with int")
+	}
+	if _, err := Compare(NewBool(true), NewString("t")); err == nil {
+		t.Error("expected error comparing bool with string")
+	}
+}
+
+func TestCompareSQLNullPropagation(t *testing.T) {
+	for _, op := range []CompareOp{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE} {
+		got, err := CompareSQL(op, Null, NewInt(1))
+		if err != nil {
+			t.Fatalf("CompareSQL(%v): %v", op, err)
+		}
+		if !got.IsNull() {
+			t.Errorf("CompareSQL(%v, NULL, 1) = %v, want NULL", op, got)
+		}
+	}
+}
+
+func TestCompareSQLOps(t *testing.T) {
+	tests := []struct {
+		op   CompareOp
+		a, b Value
+		want bool
+	}{
+		{CmpEQ, NewInt(1), NewInt(1), true},
+		{CmpNE, NewInt(1), NewInt(2), true},
+		{CmpLT, NewInt(1), NewInt(2), true},
+		{CmpLE, NewInt(2), NewInt(2), true},
+		{CmpGT, NewFloat(2.5), NewInt(2), true},
+		{CmpGE, NewInt(2), NewFloat(2.5), false},
+	}
+	for _, tt := range tests {
+		got, err := CompareSQL(tt.op, tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("CompareSQL: %v", err)
+		}
+		if got.IsNull() || got.Bool() != tt.want {
+			t.Errorf("CompareSQL(%v,%v,%v) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestArith(t *testing.T) {
+	tests := []struct {
+		op   ArithOp
+		a, b Value
+		want Value
+	}{
+		{OpAdd, NewInt(2), NewInt(3), NewInt(5)},
+		{OpSub, NewInt(2), NewInt(3), NewInt(-1)},
+		{OpMul, NewInt(4), NewInt(3), NewInt(12)},
+		{OpDiv, NewInt(7), NewInt(2), NewInt(3)},
+		{OpMod, NewInt(7), NewInt(2), NewInt(1)},
+		{OpAdd, NewInt(2), NewFloat(0.5), NewFloat(2.5)},
+		{OpMul, NewFloat(0.85), NewFloat(2.0), NewFloat(1.7)},
+		{OpDiv, NewFloat(1), NewFloat(4), NewFloat(0.25)},
+	}
+	for _, tt := range tests {
+		got, err := Arith(tt.op, tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("Arith(%v,%v,%v): %v", tt.op, tt.a, tt.b, err)
+		}
+		if c, _ := Compare(got, tt.want); c != 0 {
+			t.Errorf("Arith(%v,%v,%v) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestArithNullAndErrors(t *testing.T) {
+	if got, err := Arith(OpAdd, Null, NewInt(1)); err != nil || !got.IsNull() {
+		t.Errorf("NULL + 1 = (%v, %v), want NULL", got, err)
+	}
+	if _, err := Arith(OpDiv, NewInt(1), NewInt(0)); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+	if _, err := Arith(OpDiv, NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("expected float division-by-zero error")
+	}
+	if _, err := Arith(OpAdd, NewString("a"), NewInt(1)); err == nil {
+		t.Error("expected type error adding string")
+	}
+}
+
+func TestGoValueRoundTrip(t *testing.T) {
+	vals := []Value{Null, NewInt(9), NewFloat(1.25), NewString("s"), NewBool(true)}
+	for _, v := range vals {
+		back, err := FromGo(v.GoValue())
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", v, err)
+		}
+		if back.Kind() != v.Kind() {
+			t.Errorf("round trip of %v changed kind to %v", v, back.Kind())
+		}
+		if !v.IsNull() {
+			if c, _ := Compare(v, back); c != 0 {
+				t.Errorf("round trip of %v = %v", v, back)
+			}
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("expected error for unsupported Go type")
+	}
+}
+
+func TestHashIntFloatAgreement(t *testing.T) {
+	if NewInt(12345).Hash() != NewFloat(12345).Hash() {
+		t.Error("int and integral float must hash identically")
+	}
+	if NewInt(1).Hash() == NewInt(2).Hash() {
+		t.Error("distinct ints should (overwhelmingly) hash differently")
+	}
+}
+
+func TestMapKeyEquality(t *testing.T) {
+	if NewInt(7).MapKey() != NewFloat(7).MapKey() {
+		t.Error("int 7 and float 7.0 must have equal map keys")
+	}
+	if NewInt(7).MapKey() == NewInt(8).MapKey() {
+		t.Error("different values must have different keys")
+	}
+	v := NewString("hello")
+	if got := v.MapKey().Value(); got.Str() != "hello" {
+		t.Errorf("Key.Value() = %v", got)
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive for numeric values.
+func TestQuickCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		ab, _ := Compare(va, vb)
+		ba, _ := Compare(vb, va)
+		aa, _ := Compare(va, va)
+		return ab == -ba && aa == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash equality follows SQL equality for mixed int/float.
+func TestQuickHashConsistency(t *testing.T) {
+	f := func(x int32) bool {
+		return NewInt(int64(x)).Hash() == NewFloat(float64(x)).Hash() &&
+			NewInt(int64(x)).MapKey() == NewFloat(float64(x)).MapKey()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: addition then subtraction round-trips for ints.
+func TestQuickArithRoundTrip(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, err := Arith(OpAdd, NewInt(int64(a)), NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		back, err := Arith(OpSub, sum, NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		return back.Int() == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotal(t *testing.T) {
+	ordered := []Value{Null, NewInt(-5), NewFloat(0.5), NewInt(1), NewString("a"), NewBool(false), NewBool(true)}
+	for i := range ordered {
+		for j := range ordered {
+			got := CompareTotal(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("CompareTotal(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}

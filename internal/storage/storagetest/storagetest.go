@@ -1,0 +1,241 @@
+// Package storagetest provides a model-based conformance suite run
+// against every storage backend (heap, btree, lsm) so all three agree
+// with a reference map model under randomized operation sequences.
+package storagetest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/storage"
+)
+
+// Run exercises the full conformance suite against stores produced by
+// newStore.
+func Run(t *testing.T, newStore func() storage.Store) {
+	t.Helper()
+	t.Run("Basic", func(t *testing.T) { testBasic(t, newStore()) })
+	t.Run("DuplicateInsert", func(t *testing.T) { testDuplicate(t, newStore()) })
+	t.Run("UpdateDeleteMissing", func(t *testing.T) { testMissing(t, newStore()) })
+	t.Run("Clear", func(t *testing.T) { testClear(t, newStore()) })
+	t.Run("ScanEarlyStop", func(t *testing.T) { testScanEarlyStop(t, newStore()) })
+	t.Run("ModelRandomOps", func(t *testing.T) { testModel(t, newStore, 0xC0FFEE, 5000) })
+	t.Run("ModelChurn", func(t *testing.T) { testModel(t, newStore, 42, 20000) })
+	t.Run("MixedKeyKinds", func(t *testing.T) { testMixedKinds(t, newStore()) })
+}
+
+func key(i int64) sqltypes.Key { return sqltypes.NewInt(i).MapKey() }
+
+func row(i int64, s string) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(i), sqltypes.NewString(s)}
+}
+
+func testBasic(t *testing.T, s storage.Store) {
+	if s.Len() != 0 {
+		t.Fatalf("new store Len = %d", s.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := s.Insert(key(i), row(i, "v")); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	r, ok := s.Get(key(42))
+	if !ok || r[0].Int() != 42 {
+		t.Fatalf("Get(42) = %v, %v", r, ok)
+	}
+	if !s.Update(key(42), row(42, "updated")) {
+		t.Fatal("Update(42) reported missing")
+	}
+	r, _ = s.Get(key(42))
+	if r[1].Str() != "updated" {
+		t.Fatalf("after update, row = %v", r)
+	}
+	if !s.Delete(key(42)) {
+		t.Fatal("Delete(42) reported missing")
+	}
+	if _, ok := s.Get(key(42)); ok {
+		t.Fatal("Get(42) after delete succeeded")
+	}
+	if s.Len() != 99 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+}
+
+func testDuplicate(t *testing.T, s storage.Store) {
+	if err := s.Insert(key(1), row(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(key(1), row(1, "b")); err != storage.ErrDuplicateKey {
+		t.Fatalf("duplicate Insert err = %v, want ErrDuplicateKey", err)
+	}
+	// Delete then re-insert must succeed.
+	s.Delete(key(1))
+	if err := s.Insert(key(1), row(1, "c")); err != nil {
+		t.Fatalf("re-Insert after delete: %v", err)
+	}
+	r, _ := s.Get(key(1))
+	if r[1].Str() != "c" {
+		t.Fatalf("re-inserted row = %v", r)
+	}
+}
+
+func testMissing(t *testing.T, s storage.Store) {
+	if s.Update(key(9), row(9, "x")) {
+		t.Error("Update of missing key reported success")
+	}
+	if s.Delete(key(9)) {
+		t.Error("Delete of missing key reported success")
+	}
+}
+
+func testClear(t *testing.T, s storage.Store) {
+	for i := int64(0); i < 50; i++ {
+		_ = s.Insert(key(i), row(i, "v"))
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", s.Len())
+	}
+	n := 0
+	s.Scan(func(sqltypes.Key, sqltypes.Row) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("Scan after Clear visited %d rows", n)
+	}
+	if err := s.Insert(key(1), row(1, "again")); err != nil {
+		t.Fatalf("Insert after Clear: %v", err)
+	}
+}
+
+func testScanEarlyStop(t *testing.T, s storage.Store) {
+	for i := int64(0); i < 100; i++ {
+		_ = s.Insert(key(i), row(i, "v"))
+	}
+	n := 0
+	s.Scan(func(sqltypes.Key, sqltypes.Row) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early-stopped scan visited %d rows, want 10", n)
+	}
+}
+
+// testModel runs a randomized operation sequence against the store and a
+// map model, checking agreement after every operation batch.
+func testModel(t *testing.T, newStore func() storage.Store, seed int64, ops int) {
+	s := newStore()
+	model := make(map[sqltypes.Key]string)
+	rng := rand.New(rand.NewSource(seed))
+	keys := int64(500) // small key space forces collisions/churn
+	for i := 0; i < ops; i++ {
+		k := key(rng.Int63n(keys))
+		switch rng.Intn(4) {
+		case 0: // insert
+			v := randWord(rng)
+			err := s.Insert(k, sqltypes.Row{k.Value(), sqltypes.NewString(v)})
+			if _, exists := model[k]; exists {
+				if err != storage.ErrDuplicateKey {
+					t.Fatalf("op %d: Insert existing key err = %v", i, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: Insert new key err = %v", i, err)
+				}
+				model[k] = v
+			}
+		case 1: // update
+			v := randWord(rng)
+			ok := s.Update(k, sqltypes.Row{k.Value(), sqltypes.NewString(v)})
+			_, exists := model[k]
+			if ok != exists {
+				t.Fatalf("op %d: Update ok=%v model=%v", i, ok, exists)
+			}
+			if exists {
+				model[k] = v
+			}
+		case 2: // delete
+			ok := s.Delete(k)
+			_, exists := model[k]
+			if ok != exists {
+				t.Fatalf("op %d: Delete ok=%v model=%v", i, ok, exists)
+			}
+			delete(model, k)
+		case 3: // get
+			r, ok := s.Get(k)
+			v, exists := model[k]
+			if ok != exists {
+				t.Fatalf("op %d: Get ok=%v model=%v", i, ok, exists)
+			}
+			if exists && r[1].Str() != v {
+				t.Fatalf("op %d: Get = %q, model %q", i, r[1].Str(), v)
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", i, s.Len(), len(model))
+		}
+	}
+	// Final full-scan agreement.
+	got := make(map[sqltypes.Key]string, len(model))
+	var scanKeys []int64
+	s.Scan(func(k sqltypes.Key, r sqltypes.Row) bool {
+		got[k] = r[1].Str()
+		scanKeys = append(scanKeys, k.Value().Int())
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("scan saw %d rows, model has %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("scan disagrees at %v: %q vs %q", k, got[k], v)
+		}
+	}
+	// Ordered backends must scan in key order.
+	if s.Name() != "heap" && !sort.SliceIsSorted(scanKeys, func(i, j int) bool {
+		return scanKeys[i] < scanKeys[j]
+	}) {
+		t.Fatalf("%s scan out of order", s.Name())
+	}
+}
+
+func testMixedKinds(t *testing.T, s storage.Store) {
+	mixed := []sqltypes.Value{
+		sqltypes.NewInt(1),
+		sqltypes.NewFloat(2.5),
+		sqltypes.NewString("alpha"),
+		sqltypes.NewString("beta"),
+		sqltypes.NewBool(true),
+	}
+	for i, v := range mixed {
+		if err := s.Insert(v.MapKey(), sqltypes.Row{v, sqltypes.NewInt(int64(i))}); err != nil {
+			t.Fatalf("Insert(%v): %v", v, err)
+		}
+	}
+	if s.Len() != len(mixed) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, v := range mixed {
+		r, ok := s.Get(v.MapKey())
+		if !ok || r[1].Int() != int64(i) {
+			t.Fatalf("Get(%v) = %v, %v", v, r, ok)
+		}
+	}
+	// int 1 and float 1.0 are the same key.
+	if err := s.Insert(sqltypes.NewFloat(1.0).MapKey(), sqltypes.Row{}); err != storage.ErrDuplicateKey {
+		t.Fatalf("float 1.0 should collide with int 1, err = %v", err)
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 3+rng.Intn(8))
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,19 @@
+package storage_test
+
+import (
+	"testing"
+
+	"sqloop/internal/storage"
+	"sqloop/internal/storage/storagetest"
+)
+
+func TestHeapConformance(t *testing.T) {
+	storagetest.Run(t, storage.NewHeap)
+}
+
+func TestKindString(t *testing.T) {
+	if storage.KindHeap.String() != "heap" || storage.KindBTree.String() != "btree" ||
+		storage.KindLSM.String() != "lsm" {
+		t.Error("Kind.String wrong")
+	}
+}

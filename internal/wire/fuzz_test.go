@@ -1,0 +1,23 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame checks the frame decoder never panics or over-allocates
+// on malformed input.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteFrame(&good, &Request{SQL: "SELECT 1"})
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'e', 'l', 'l', 'o'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		_ = ReadFrame(bytes.NewReader(data), &req) // must not panic
+	})
+}

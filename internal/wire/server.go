@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/sqltypes"
+)
+
+// Server exposes an engine over TCP. Each accepted connection gets its
+// own engine session, mirroring the one-process-per-connection behaviour
+// SQLoop exploits for parallelism.
+type Server struct {
+	eng *engine.Engine
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine for network serving.
+func NewServer(eng *engine.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire server: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	sess := s.eng.NewSession()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol error: answer once, then drop the connection.
+				_ = WriteFrame(conn, &Response{Error: err.Error()})
+			}
+			return
+		}
+		resp := s.execute(sess, &req)
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(sess *engine.Session, req *Request) *Response {
+	args := make([]sqltypes.Value, len(req.Args))
+	for i, wv := range req.Args {
+		v, err := FromWire(wv)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		args[i] = v
+	}
+	res, err := sess.Exec(req.SQL, args...)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	resp := &Response{Columns: res.Columns, RowsAffected: res.RowsAffected}
+	if len(res.Rows) > 0 {
+		resp.Rows = make([][]WireValue, len(res.Rows))
+		for i, row := range res.Rows {
+			wr := make([]WireValue, len(row))
+			for j, v := range row {
+				wr[j] = ToWire(v)
+			}
+			resp.Rows[i] = wr
+		}
+	}
+	return resp
+}
+
+// Close stops accepting, closes every live connection and waits for
+// handler goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is one network connection speaking the wire protocol. It is
+// not safe for concurrent use (use one per goroutine, as with JDBC
+// connections).
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Exec executes one statement remotely.
+func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	req := Request{SQL: sql}
+	if len(args) > 0 {
+		req.Args = make([]WireValue, len(args))
+		for i, v := range args {
+			req.Args[i] = ToWire(v)
+		}
+	}
+	if err := WriteFrame(c.conn, &req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	res := &engine.Result{Columns: resp.Columns, RowsAffected: resp.RowsAffected}
+	if len(resp.Rows) > 0 {
+		res.Rows = make([]sqltypes.Row, len(resp.Rows))
+		for i, wr := range resp.Rows {
+			row := make(sqltypes.Row, len(wr))
+			for j, wv := range wr {
+				v, err := FromWire(wv)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+			res.Rows[i] = row
+		}
+	}
+	return res, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

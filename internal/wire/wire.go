@@ -1,0 +1,158 @@
+// Package wire implements the client/server protocol that lets SQLoop
+// reach a remote engine the way the paper's middleware reaches remote
+// databases over JDBC: newline-free, length-prefixed JSON frames over
+// TCP, one engine session per accepted connection.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"sqloop/internal/sqltypes"
+)
+
+// MaxFrameSize bounds a single frame; larger frames indicate a protocol
+// error or a hostile peer.
+const MaxFrameSize = 64 << 20
+
+// Request is one client → server message.
+type Request struct {
+	// SQL is the statement text to execute.
+	SQL string `json:"sql"`
+	// Args are the bind parameters.
+	Args []WireValue `json:"args,omitempty"`
+}
+
+// Response is one server → client message.
+type Response struct {
+	// Error is the execution error, empty on success.
+	Error string `json:"error,omitempty"`
+	// Columns names the result columns (queries only).
+	Columns []string `json:"columns,omitempty"`
+	// Rows holds the result rows.
+	Rows [][]WireValue `json:"rows,omitempty"`
+	// RowsAffected counts changed rows for DML.
+	RowsAffected int64 `json:"rowsAffected"`
+}
+
+// WireValue is the JSON encoding of one sqltypes.Value. Exactly one
+// pointer field is set, or all are nil for SQL NULL; infinities are
+// carried in Special because JSON has no literal for them.
+type WireValue struct {
+	Int     *int64   `json:"i,omitempty"`
+	Float   *float64 `json:"f,omitempty"`
+	Str     *string  `json:"s,omitempty"`
+	Bool    *bool    `json:"b,omitempty"`
+	Special string   `json:"x,omitempty"` // "+inf" | "-inf"
+}
+
+// ToWire converts a value for transmission.
+func ToWire(v sqltypes.Value) WireValue {
+	switch v.Kind() {
+	case sqltypes.KindInt:
+		i := v.Int()
+		return WireValue{Int: &i}
+	case sqltypes.KindFloat:
+		f := v.Float()
+		switch {
+		case math.IsInf(f, 1):
+			return WireValue{Special: "+inf"}
+		case math.IsInf(f, -1):
+			return WireValue{Special: "-inf"}
+		default:
+			return WireValue{Float: &f}
+		}
+	case sqltypes.KindString:
+		s := v.Str()
+		return WireValue{Str: &s}
+	case sqltypes.KindBool:
+		b := v.Bool()
+		return WireValue{Bool: &b}
+	default:
+		return WireValue{}
+	}
+}
+
+// FromWire decodes a transmitted value.
+func FromWire(w WireValue) (sqltypes.Value, error) {
+	set := 0
+	if w.Int != nil {
+		set++
+	}
+	if w.Float != nil {
+		set++
+	}
+	if w.Str != nil {
+		set++
+	}
+	if w.Bool != nil {
+		set++
+	}
+	if w.Special != "" {
+		set++
+	}
+	if set > 1 {
+		return sqltypes.Null, fmt.Errorf("wire: value sets %d fields", set)
+	}
+	switch {
+	case w.Int != nil:
+		return sqltypes.NewInt(*w.Int), nil
+	case w.Float != nil:
+		return sqltypes.NewFloat(*w.Float), nil
+	case w.Str != nil:
+		return sqltypes.NewString(*w.Str), nil
+	case w.Bool != nil:
+		return sqltypes.NewBool(*w.Bool), nil
+	case w.Special == "+inf":
+		return sqltypes.NewFloat(math.Inf(1)), nil
+	case w.Special == "-inf":
+		return sqltypes.NewFloat(math.Inf(-1)), nil
+	case w.Special != "":
+		return sqltypes.Null, fmt.Errorf("wire: unknown special value %q", w.Special)
+	default:
+		return sqltypes.Null, nil
+	}
+}
+
+// WriteFrame sends one length-prefixed JSON message.
+func WriteFrame(w io.Writer, msg any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame receives one length-prefixed JSON message into msg.
+func ReadFrame(r io.Reader, msg any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean connection close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}

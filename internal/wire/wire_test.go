@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/sqltypes"
+)
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []sqltypes.Value{
+		sqltypes.Null,
+		sqltypes.NewInt(42),
+		sqltypes.NewInt(-1),
+		sqltypes.NewFloat(2.5),
+		sqltypes.NewFloat(math.Inf(1)),
+		sqltypes.NewFloat(math.Inf(-1)),
+		sqltypes.NewString(""),
+		sqltypes.NewString("it's"),
+		sqltypes.NewBool(true),
+		sqltypes.NewBool(false),
+	}
+	for _, v := range vals {
+		back, err := FromWire(ToWire(v))
+		if err != nil {
+			t.Fatalf("FromWire(ToWire(%v)): %v", v, err)
+		}
+		if back.Kind() != v.Kind() {
+			t.Errorf("round trip of %v changed kind: %v", v, back.Kind())
+		}
+		if !v.IsNull() {
+			if c, _ := sqltypes.Compare(v, back); c != 0 {
+				t.Errorf("round trip of %v = %v", v, back)
+			}
+		}
+	}
+}
+
+func TestFromWireRejectsMultipleFields(t *testing.T) {
+	i, f := int64(1), 2.5
+	if _, err := FromWire(WireValue{Int: &i, Float: &f}); err == nil {
+		t.Error("expected error for multi-field value")
+	}
+	if _, err := FromWire(WireValue{Special: "nan?"}); err == nil {
+		t.Error("expected error for unknown special")
+	}
+}
+
+func TestQuickWireFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true // NaN not representable; engine never produces it
+		}
+		v, err := FromWire(ToWire(sqltypes.NewFloat(x)))
+		return err == nil && v.Float() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{SQL: "SELECT 1", Args: []WireValue{ToWire(sqltypes.NewInt(7))}}
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SQL != in.SQL || len(out.Args) != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length header
+	var out Request
+	if err := ReadFrame(&buf, &out); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`INSERT INTO t VALUES (?, ?), (?, ?)`,
+		sqltypes.NewInt(1), sqltypes.NewFloat(1.5),
+		sqltypes.NewInt(2), sqltypes.NewFloat(math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("inserted = %d", res.RowsAffected)
+	}
+	res, err = cl.Exec(`SELECT v FROM t ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Float() != 1.5 || !math.IsInf(res.Rows[1][0].Float(), 1) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// Errors travel back as errors, and the connection survives them.
+	if _, err := cl.Exec(`SELECT * FROM missing`); err == nil {
+		t.Fatal("expected remote error")
+	}
+	if _, err := cl.Exec(`SELECT COUNT(*) FROM t`); err != nil {
+		t.Fatalf("connection unusable after remote error: %v", err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if _, err := setup.Exec(`CREATE TABLE c (id BIGINT PRIMARY KEY, v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		go func(g int) {
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 20; i++ {
+				id := int64(g*100 + i)
+				if _, err := cl.Exec(`INSERT INTO c VALUES (?, ?)`,
+					sqltypes.NewInt(id), sqltypes.NewInt(id)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < clients; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := setup.Exec(`SELECT COUNT(*) FROM c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != clients*20 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,115 @@
+package sqloop
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Router holds connections to several target databases and redirects
+// queries on demand — the deployment sketched in the paper's §I: "it is
+// possible to create connections with multiple RDBMSs on different
+// machines by specifying the URL of each target database engine and use
+// SQLoop to redirect the queries on demand."
+type Router struct {
+	mu      sync.RWMutex
+	targets map[string]*SQLoop
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{targets: make(map[string]*SQLoop)}
+}
+
+// AddTarget connects a named target by DSN.
+func (r *Router) AddTarget(name, dsn string, opts Options) error {
+	s, err := Open(dsn, opts)
+	if err != nil {
+		return err
+	}
+	return r.AddInstance(name, s)
+}
+
+// AddEmbeddedTarget spins up an embedded engine as a named target.
+func (r *Router) AddEmbeddedTarget(name, profile string, opts Options) error {
+	s, err := OpenEmbedded(profile, opts, false)
+	if err != nil {
+		return err
+	}
+	return r.AddInstance(name, s)
+}
+
+// AddInstance registers an already-open SQLoop under name. The router
+// takes ownership (Close closes it).
+func (r *Router) AddInstance(name string, s *SQLoop) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.targets[name]; dup {
+		_ = s.Close()
+		return fmt.Errorf("sqloop: target %q already registered", name)
+	}
+	r.targets[name] = s
+	return nil
+}
+
+// Target returns the named instance.
+func (r *Router) Target(name string) (*SQLoop, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.targets[name]
+	if !ok {
+		return nil, fmt.Errorf("sqloop: unknown target %q", name)
+	}
+	return s, nil
+}
+
+// Targets lists registered target names, sorted.
+func (r *Router) Targets() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.targets))
+	for n := range r.targets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exec redirects one statement (iterative CTEs included) to the named
+// target.
+func (r *Router) Exec(ctx context.Context, target, query string) (*Result, error) {
+	s, err := r.Target(target)
+	if err != nil {
+		return nil, err
+	}
+	return s.Exec(ctx, query)
+}
+
+// ExecAll runs the same statement on every target, returning results by
+// target name; it stops at the first error.
+func (r *Router) ExecAll(ctx context.Context, query string) (map[string]*Result, error) {
+	out := make(map[string]*Result)
+	for _, name := range r.Targets() {
+		res, err := r.Exec(ctx, name, query)
+		if err != nil {
+			return nil, fmt.Errorf("target %s: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// Close closes every target, returning the first error.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, s := range r.targets {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.targets = make(map[string]*SQLoop)
+	return first
+}

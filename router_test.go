@@ -1,0 +1,108 @@
+package sqloop_test
+
+import (
+	"context"
+	"testing"
+
+	"sqloop"
+)
+
+func TestRouterRedirectsQueries(t *testing.T) {
+	r := sqloop.NewRouter()
+	defer r.Close()
+	if err := r.AddEmbeddedTarget("pg", "pgsim", sqloop.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddEmbeddedTarget("my", "mysim", sqloop.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// A remote target over the wire protocol, like a second machine.
+	srv, err := sqloop.Serve("mariasim", "127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := r.AddTarget("maria", srv.DSN(), sqloop.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	// Different state per target.
+	if _, err := r.Exec(ctx, "pg", `CREATE TABLE t (v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Exec(ctx, "pg", `INSERT INTO t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Exec(ctx, "my", `CREATE TABLE t (v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Exec(ctx, "my", `INSERT INTO t VALUES (10)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Exec(ctx, "pg", `SELECT SUM(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("pg sum = %v", res.Rows[0][0])
+	}
+	res, err = r.Exec(ctx, "my", `SELECT SUM(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 10 {
+		t.Fatalf("my sum = %v", res.Rows[0][0])
+	}
+
+	// Fan-out to every target, including the remote one.
+	if _, err := r.Exec(ctx, "maria", `CREATE TABLE t (v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.ExecAll(ctx, `SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("targets = %v", r.Targets())
+	}
+
+	// An iterative CTE redirected to a chosen target.
+	if _, err := r.Exec(ctx, "pg", `CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Exec(ctx, "pg", `INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.Exec(ctx, "pg", `
+WITH ITERATIVE hops(Node, H, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT hops.Node, LEAST(hops.H, hops.Delta),
+         COALESCE(MIN(N.H + E.weight), Infinity)
+  FROM hops
+  LEFT JOIN edges AS E ON hops.Node = E.dst
+  LEFT JOIN hops AS N ON N.Node = E.src
+  WHERE N.Delta != Infinity
+  GROUP BY hops.Node
+  UNTIL 0 UPDATES
+)
+SELECT H FROM hops WHERE Node = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 2.0 {
+		t.Fatalf("hops = %v", res.Rows[0][0])
+	}
+
+	// Errors.
+	if _, err := r.Exec(ctx, "nope", `SELECT 1`); err == nil {
+		t.Fatal("unknown target must error")
+	}
+	if err := r.AddEmbeddedTarget("pg", "pgsim", sqloop.Options{}); err == nil {
+		t.Fatal("duplicate target must error")
+	}
+}

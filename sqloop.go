@@ -1,0 +1,195 @@
+// Package sqloop is the public API of the SQLoop reproduction: a
+// middleware that extends SQL with iterative common table expressions
+//
+//	WITH ITERATIVE R AS (R0 ITERATE Ri UNTIL Tc) Qf
+//
+// and transparently parallelizes qualifying iterative queries with
+// synchronous, asynchronous (delta-accumulative) and prioritized
+// asynchronous execution against any engine reachable through
+// database/sql — including the embedded engine this repository ships
+// with its three storage profiles (pgsim, mysim, mariasim).
+//
+// Quick start:
+//
+//	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{})
+//	...
+//	res, err := db.Exec(ctx, `WITH ITERATIVE ... UNTIL 10 ITERATIONS) SELECT ...`)
+package sqloop
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"sqloop/internal/core"
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/graph"
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/wire"
+)
+
+// Re-exported core types: these aliases are the supported public
+// surface; internal/core is not importable outside this module.
+type (
+	// SQLoop is one middleware instance bound to a target database.
+	SQLoop = core.SQLoop
+	// Options configures a SQLoop instance.
+	Options = core.Options
+	// Result is the outcome of one Exec call.
+	Result = core.Result
+	// ExecStats describes how a CTE was executed.
+	ExecStats = core.ExecStats
+	// Mode selects the execution strategy.
+	Mode = core.Mode
+	// Analysis reports whether a query qualifies for parallel execution.
+	Analysis = core.Analysis
+)
+
+// Execution modes (see the package documentation of internal/core).
+const (
+	ModeAuto      = core.ModeAuto
+	ModeSingle    = core.ModeSingle
+	ModeSync      = core.ModeSync
+	ModeAsync     = core.ModeAsync
+	ModeAsyncPrio = core.ModeAsyncPrio
+)
+
+// ParseMode resolves a mode name ("auto", "single", "sync", "async",
+// "asyncp").
+func ParseMode(name string) (Mode, error) { return core.ParseMode(name) }
+
+// Open connects to a database by DSN through the bundled database/sql
+// driver. Supported DSNs: sqlsim://inproc/<handle> for engines
+// registered in-process and sqlsim://tcp/<host:port> for a remote
+// sqlsimd server.
+func Open(dsn string, opts Options) (*SQLoop, error) {
+	return core.Open(driver.DriverName, dsn, opts)
+}
+
+var embeddedSeq atomic.Int64
+
+// OpenEmbedded spins up an embedded engine with the named profile
+// ("pgsim"/"postgres", "mysim"/"mysql", "mariasim"/"mariadb") and
+// returns a SQLoop bound to it. withCost enables the calibrated latency
+// model used by the benchmark harness; leave it false for plain use.
+func OpenEmbedded(profile string, opts Options, withCost bool) (*SQLoop, error) {
+	cfg, err := engine.Profile(profile)
+	if err != nil {
+		return nil, err
+	}
+	if withCost {
+		cfg.Cost = engine.DefaultCost(cfg.Dialect)
+	}
+	eng := engine.New(cfg)
+	handle := "embedded-" + strconv.FormatInt(embeddedSeq.Add(1), 10)
+	driver.RegisterEngine(handle, eng)
+	if opts.Dialect == "" {
+		opts.Dialect = cfg.Dialect.String()
+	}
+	s, err := core.Open(driver.DriverName, driver.InprocDSN(handle), opts)
+	if err != nil {
+		driver.UnregisterEngine(handle)
+		return nil, err
+	}
+	return s, nil
+}
+
+// Server is a network-facing embedded engine (the standalone form of
+// cmd/sqlsimd), so SQLoop instances on other machines can reach it via
+// sqlsim://tcp DSNs — the paper's remote-database deployment.
+type Server struct {
+	srv  *wire.Server
+	addr string
+}
+
+// Serve starts an embedded engine with the given profile listening on
+// addr ("127.0.0.1:0" picks a free port).
+func Serve(profile, addr string, withCost bool) (*Server, error) {
+	cfg, err := engine.Profile(profile)
+	if err != nil {
+		return nil, err
+	}
+	if withCost {
+		cfg.Cost = engine.DefaultCost(cfg.Dialect)
+	}
+	srv := wire.NewServer(engine.New(cfg))
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv, addr: bound}, nil
+}
+
+// Addr returns the bound address (connect with sqloop.Open(TCPDSN)).
+func (s *Server) Addr() string { return s.addr }
+
+// DSN returns the DSN clients should open.
+func (s *Server) DSN() string { return driver.TCPDSN(s.addr) }
+
+// Close stops the server and its connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Profiles lists the available embedded engine profiles.
+func Profiles() []string { return []string{"pgsim", "mysim", "mariasim"} }
+
+// FormatRows renders a result set as a plain text table (a convenience
+// for the example programs and the CLI).
+func FormatRows(res *Result, max int) string {
+	out := ""
+	for _, c := range res.Columns {
+		out += fmt.Sprintf("%-16s", c)
+	}
+	out += "\n"
+	for i, row := range res.Rows {
+		if max > 0 && i >= max {
+			out += fmt.Sprintf("... (%d more rows)\n", len(res.Rows)-max)
+			break
+		}
+		for _, v := range row {
+			if v == nil {
+				out += fmt.Sprintf("%-16s", "NULL")
+			} else {
+				out += fmt.Sprintf("%-16v", v)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// LoadDataset generates one of the bundled synthetic datasets
+// ("google-web", "twitter-ego", "berkstan-web" — the stand-ins for the
+// paper's SNAP graphs) at the given node count and loads it into an
+// edges(src, dst, weight) table through s.
+func LoadDataset(s *SQLoop, name string, nodes, seed int64) (int, error) {
+	g, err := graph.ByName(name, nodes, seed)
+	if err != nil {
+		return 0, err
+	}
+	if err := graph.Load(context.Background(), s.DB(), "edges", g, 500); err != nil {
+		return 0, err
+	}
+	return len(g.Edges), nil
+}
+
+// Explain describes how SQLoop would execute a statement (see
+// core.Explain).
+type Explain = core.Explain
+
+// ExplainQuery is re-exported for convenience; it analyzes a statement
+// without executing it.
+func ExplainQuery(s *SQLoop, query string) (*Explain, error) { return s.ExplainQuery(query) }
+
+// GenerateScript renders the hand-written multi-statement SQL script
+// equivalent to an iterative CTE (the paper's §VI-D baseline), unrolled
+// for the given iteration count (taken from the query when it uses
+// UNTIL n ITERATIONS). dialect names the target engine's SQL flavour.
+func GenerateScript(query string, iterations int, dialect string) (string, error) {
+	d, err := sqlparser.ParseDialect(dialect)
+	if err != nil {
+		return "", err
+	}
+	return core.GenerateScript(query, iterations, d)
+}

@@ -1,0 +1,139 @@
+package sqloop_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sqloop"
+)
+
+func TestPublicAPIEmbedded(t *testing.T) {
+	for _, profile := range sqloop.Profiles() {
+		t.Run(profile, func(t *testing.T) {
+			db, err := sqloop.OpenEmbedded(profile, sqloop.Options{Mode: sqloop.ModeSync, Threads: 2, Partitions: 4}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			ctx := context.Background()
+			if _, err := sqloop.LoadDataset(db, "google-web", 200, 1); err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Exec(ctx, `
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL 5 ITERATIONS
+)
+SELECT COUNT(*) FROM PageRank`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rows[0][0].(int64) != 200 {
+				t.Fatalf("count = %v", res.Rows[0][0])
+			}
+			if !res.Stats.Parallelized || res.Stats.Iterations != 5 {
+				t.Fatalf("stats = %+v", res.Stats)
+			}
+		})
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	srv, err := sqloop.Serve("pgsim", "127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	db, err := sqloop.Open(srv.DSN(), sqloop.Options{Mode: sqloop.ModeAsync, Threads: 2, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := sqloop.LoadDataset(db, "twitter-ego", 200, 3); err != nil {
+		t.Fatal(err)
+	}
+	// An iterative CTE executed over the network: SQLoop drives the
+	// remote engine through many concurrent wire connections, the
+	// paper's remote-JDBC deployment.
+	res, err := db.Exec(ctx, `
+WITH ITERATIVE sssp(Node, Distance, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, sssp.Delta),
+         COALESCE(MIN(Neighbor.Distance + IncomingEdges.weight), Infinity)
+  FROM sssp
+  LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst
+  LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY sssp.Node
+  UNTIL 0 UPDATES
+)
+SELECT COUNT(*) FROM sssp WHERE Distance != Infinity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := res.Rows[0][0].(int64)
+	if reached < 150 {
+		t.Fatalf("only %d nodes reached", reached)
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	res := &sqloop.Result{
+		Columns: []string{"a", "b"},
+		Rows:    [][]any{{int64(1), "x"}, {nil, "y"}, {int64(3), "z"}},
+	}
+	out := sqloop.FormatRows(res, 2)
+	if !strings.Contains(out, "NULL") || !strings.Contains(out, "1 more row") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestOpenEmbeddedBadProfile(t *testing.T) {
+	if _, err := sqloop.OpenEmbedded("oracle", sqloop.Options{}, false); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+}
+
+func TestLoadDatasetBadName(t *testing.T) {
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := sqloop.LoadDataset(db, "friendster", 100, 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ex, err := sqloop.ExplainQuery(db, `SELECT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Kind != "statement" {
+		t.Fatalf("kind = %q", ex.Kind)
+	}
+}
