@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel executors and the observability layer are the concurrency
+# hot spots; keep them race-clean.
+race:
+	$(GO) test -race ./internal/core ./internal/obs
+
+# Tier-1 verification (ROADMAP.md): everything must stay green.
+tier1: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

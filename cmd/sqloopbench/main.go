@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds or all")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -86,6 +86,11 @@ func run(fig, query string, sc bench.Scale) error {
 	}
 	if fig == "all" || fig == "6" {
 		if err := bench.Fig6(ctx, w, sc); err != nil {
+			return err
+		}
+	}
+	if fig == "rounds" {
+		if err := bench.RoundTrace(ctx, w, sc); err != nil {
 			return err
 		}
 	}

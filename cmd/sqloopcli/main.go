@@ -8,12 +8,14 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"sqloop"
@@ -39,6 +41,9 @@ func run() error {
 		nodes    = flag.Int64("nodes", 2000, "dataset size when -dataset is set")
 		maxRows  = flag.Int("max-rows", 50, "result rows to print")
 		explain  = flag.Bool("explain", false, "analyze the statement instead of executing it")
+		analyze  = flag.Bool("analyze", false, "execute the statement and print its per-round profile (EXPLAIN ANALYZE)")
+		metrics  = flag.Bool("metrics", false, "print the metrics snapshot after execution")
+		cost     = flag.Bool("cost", false, "embedded engine: enable the calibrated latency model")
 		script   = flag.Bool("gen-script", false, "print the hand-written SQL script equivalent of an iterative CTE")
 	)
 	flag.Parse()
@@ -53,7 +58,11 @@ func run() error {
 	if *dsn != "" {
 		db, err = sqloop.Open(*dsn, opts)
 	} else {
-		db, err = sqloop.OpenEmbedded(*profile, opts, false)
+		var extra []sqloop.OpenOption
+		if *cost {
+			extra = append(extra, sqloop.WithCostModel())
+		}
+		db, err = sqloop.OpenEmbedded(*profile, opts, extra...)
 	}
 	if err != nil {
 		return err
@@ -84,7 +93,8 @@ func run() error {
 		}
 		sqlText = string(b)
 	default:
-		return fmt.Errorf("nothing to run: pass -e or -f")
+		// No -e / -f: interactive loop over stdin.
+		return repl(db, *maxRows)
 	}
 
 	if *explain {
@@ -113,6 +123,18 @@ func run() error {
 		return nil
 	}
 
+	if *analyze {
+		ea, err := db.ExplainAnalyzeQuery(context.Background(), sqlText)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ea.Render())
+		if *metrics {
+			fmt.Print(db.Metrics().Snapshot().Format())
+		}
+		return nil
+	}
+
 	start := time.Now()
 	res, err := db.ExecScript(context.Background(), sqlText)
 	if err != nil {
@@ -131,5 +153,79 @@ func run() error {
 		}
 	}
 	fmt.Println()
+	if *metrics {
+		fmt.Print(db.Metrics().Snapshot().Format())
+	}
 	return nil
+}
+
+// repl reads statements from stdin. SQL accumulates until a line ends
+// with ';'; backslash commands act immediately:
+//
+//	\metrics      print the instance's metrics snapshot
+//	\explain SQL  analyze a statement without executing it
+//	\q            quit
+func repl(db *sqloop.SQLoop, maxRows int) error {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	fmt.Println(`sqloopcli interactive — end statements with ';', \metrics for metrics, \q to quit`)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sqloop> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch cmd, rest, _ := strings.Cut(trimmed, " "); cmd {
+			case `\q`, `\quit`:
+				return nil
+			case `\metrics`:
+				fmt.Print(db.Metrics().Snapshot().Format())
+			case `\explain`:
+				ex, err := sqloop.ExplainQuery(db, strings.TrimSuffix(strings.TrimSpace(rest), ";"))
+				if err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Printf("kind: %s\nmode: %s\n", ex.Kind, ex.Mode)
+				}
+			default:
+				fmt.Printf("unknown command %s\n", cmd)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt()
+			continue
+		}
+		stmtText := buf.String()
+		buf.Reset()
+		start := time.Now()
+		res, err := db.ExecScript(context.Background(), stmtText)
+		if err != nil {
+			fmt.Println("error:", err)
+			prompt()
+			continue
+		}
+		if len(res.Columns) > 0 {
+			fmt.Print(sqloop.FormatRows(res, maxRows))
+		} else {
+			fmt.Printf("%d row(s) affected\n", res.RowsAffected)
+		}
+		fmt.Printf("-- %v", time.Since(start).Round(time.Millisecond))
+		if res.Stats.Iterations > 0 {
+			fmt.Printf(", %d iterations, mode %s", res.Stats.Iterations, res.Stats.Mode)
+		}
+		fmt.Println()
+		prompt()
+	}
+	return in.Err()
 }

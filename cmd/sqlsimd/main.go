@@ -27,7 +27,11 @@ func main() {
 }
 
 func run(addr, profile string, withCost bool) error {
-	srv, err := sqloop.Serve(profile, addr, withCost)
+	var extra []sqloop.OpenOption
+	if withCost {
+		extra = append(extra, sqloop.WithCostModel())
+	}
+	srv, err := sqloop.Serve(profile, addr, extra...)
 	if err != nil {
 		return err
 	}

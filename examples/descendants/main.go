@@ -53,7 +53,7 @@ func run(nodes, root int64, hops, threads, parts int) error {
 	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{
 		Mode: sqloop.ModeAsyncPrio, Threads: threads, Partitions: parts,
 		PriorityQuery: "SELECT 0 - MIN(Delta) FROM $PART WHERE Delta != Infinity",
-	}, false)
+	})
 	if err != nil {
 		return err
 	}

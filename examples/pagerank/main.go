@@ -47,7 +47,7 @@ func run(nodes int64, threads, parts int, profile string) error {
 	for _, mode := range []sqloop.Mode{sqloop.ModeSync, sqloop.ModeAsync, sqloop.ModeAsyncPrio} {
 		db, err := sqloop.OpenEmbedded(profile, sqloop.Options{
 			Mode: mode, Threads: threads, Partitions: parts,
-		}, false)
+		})
 		if err != nil {
 			return err
 		}

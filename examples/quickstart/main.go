@@ -19,7 +19,7 @@ func main() {
 }
 
 func run() error {
-	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{})
 	if err != nil {
 		return err
 	}

@@ -42,7 +42,7 @@ func main() {
 }
 
 func run(nodes, root int64) error {
-	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{})
 	if err != nil {
 		return err
 	}

@@ -59,7 +59,7 @@ func run(nodes, dest int64, threads, parts int) error {
 			// partition holding the closest frontier node goes first.
 			opts.PriorityQuery = "SELECT 0 - MIN(Delta) FROM $PART WHERE Delta != Infinity"
 		}
-		db, err := sqloop.OpenEmbedded("pgsim", opts, false)
+		db, err := sqloop.OpenEmbedded("pgsim", opts)
 		if err != nil {
 			return err
 		}

@@ -124,6 +124,39 @@ func Fig4PR(ctx context.Context, w io.Writer, sc Scale) error {
 	return nil
 }
 
+// RoundTrace prints the per-round execution trace of one PageRank run
+// per method: delta size, round runtime and straggler spread from
+// ExecStats.Rounds. It is the tabular form of the paper's per-iteration
+// convergence plots, built from the observability layer rather than the
+// external sampler.
+func RoundTrace(ctx context.Context, w io.Writer, sc Scale) error {
+	eng := sc.Engines[0]
+	fmt.Fprintf(w, "\n== Per-round trace / PR with %s, %d threads ==\n", EngineLabel(eng), sc.MaxThreads)
+	for _, mode := range parallelModes {
+		m, err := Run(ctx, Config{
+			Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+			Dataset: "google-web", Nodes: sc.PRNodes, Seed: sc.Seed,
+			WithCost: sc.WithCost, Priority: priorityFor(mode, PendingRankPriority),
+		}, PageRankQuery(sc.PRIters))
+		if err != nil {
+			return fmt.Errorf("round trace %s/%s: %w", eng, ModeLabel(mode), err)
+		}
+		fmt.Fprintf(w, "%-8s %d rounds in %s\n", ModeLabel(mode), m.Rounds, fmtDur(m.Elapsed))
+		fmt.Fprintf(w, "  %5s %10s %10s %6s %6s %12s %12s\n",
+			"round", "changed", "dur(s)", "parts", "msgs", "max-worker", "min-worker")
+		for i, r := range m.RoundStats {
+			if i >= 12 && len(m.RoundStats) > 14 {
+				fmt.Fprintf(w, "  ... (%d more rounds)\n", len(m.RoundStats)-i)
+				break
+			}
+			fmt.Fprintf(w, "  %5d %10d %10.3f %6d %6d %12s %12s\n",
+				r.Round, r.Changed, r.Duration.Seconds(), r.Partitions, r.MessageTables,
+				r.MaxWorker.Round(time.Microsecond), r.MinWorker.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
 // Fig4DQ regenerates the Fig. 4 DQ curves: execution time vs number of
 // nodes explored, per engine and method.
 func Fig4DQ(ctx context.Context, w io.Writer, sc Scale) error {

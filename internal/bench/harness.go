@@ -47,9 +47,13 @@ type Sample struct {
 
 // Metrics is the outcome of one experiment run.
 type Metrics struct {
-	Elapsed    time.Duration
-	Rounds     int
-	MsgTables  int
+	Elapsed   time.Duration
+	Rounds    int
+	MsgTables int
+	// RoundStats is the per-round execution trace (delta sizes, round
+	// runtimes, straggler spread) — the data behind the paper's §VI
+	// convergence plots.
+	RoundStats []core.RoundStats
 	Result     *core.Result
 	Samples    []Sample
 	FinalValue float64 // last sampled value (or NaN when sampling off)
@@ -141,11 +145,12 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 
 	after := eng.Stats()
 	m := &Metrics{
-		Elapsed:   elapsed,
-		Rounds:    res.Stats.Iterations,
-		MsgTables: res.Stats.MessageTables,
-		Result:    res,
-		Samples:   samples,
+		Elapsed:    elapsed,
+		Rounds:     res.Stats.Iterations,
+		MsgTables:  res.Stats.MessageTables,
+		RoundStats: res.Stats.Rounds,
+		Result:     res,
+		Samples:    samples,
 		Work: engine.StatsSnapshot{
 			RowsScanned:  after.RowsScanned - before.RowsScanned,
 			RowsJoined:   after.RowsJoined - before.RowsJoined,

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
 )
 
@@ -98,7 +99,24 @@ type Options struct {
 	// OnRound, when set, is called after every completed round/iteration
 	// with the 1-based round number and the number of rows changed in
 	// that round. It runs on the coordinator goroutine.
+	//
+	// OnRound is an adapter over the Observer event API: internally it
+	// is registered as a tracer that forwards obs.RoundEnd events. New
+	// code should prefer Observer, which also sees per-partition
+	// timings, fallback decisions and termination checks.
 	OnRound func(round int, changed int64)
+	// Observer, when set, receives typed execution events (see
+	// internal/obs): ExecStart/ExecEnd, RoundStart/RoundEnd with delta
+	// row counts, PartitionDone with per-worker timings, Fallback and
+	// TerminationCheck. Parallel executors emit PartitionDone from
+	// worker goroutines, so implementations must be safe for concurrent
+	// use.
+	Observer obs.Tracer
+	// Metrics, when non-nil, is used as the instance's registry instead
+	// of a fresh one. Sharing a registry lets other layers (the embedded
+	// engine, the driver) report into the same snapshot — OpenEmbedded
+	// relies on this.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset options.
@@ -145,6 +163,33 @@ type ExecStats struct {
 	MessageTables int
 	// Elapsed is the wall time of the CTE execution.
 	Elapsed time.Duration
+	// Rounds holds one entry per completed round/iteration — the
+	// per-iteration trace the paper's §VI evaluation plots (delta sizes,
+	// round runtimes, straggler spread). len(Rounds) == Iterations.
+	Rounds []RoundStats
+}
+
+// RoundStats is the trace of one completed round/iteration.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// Changed is the number of rows changed during the round (the
+	// per-iteration delta size).
+	Changed int64
+	// Duration is the wall time of the round. Under the asynchronous
+	// executors rounds are virtual (a round completes when the slowest
+	// partition advances), so Duration measures between completions.
+	Duration time.Duration
+	// Partitions counts partition tasks completed in the round (0 for
+	// the single-threaded executors).
+	Partitions int
+	// MessageTables counts message tables created during the round.
+	MessageTables int
+	// MaxWorker and MinWorker are the longest and shortest per-task
+	// worker times in the round — the straggler spread. Zero for the
+	// single-threaded executors.
+	MaxWorker time.Duration
+	MinWorker time.Duration
 }
 
 // SQLoop is one middleware instance bound to a target engine.
@@ -152,6 +197,13 @@ type SQLoop struct {
 	db      *sql.DB
 	opts    Options
 	dialect sqlparser.Dialect
+	// tracer is never nil: it fans out to Options.Observer and the
+	// OnRound adapter, or discards events when neither is set.
+	tracer obs.Tracer
+	// metrics is this instance's registry. Every statement the
+	// middleware issues is timed into it; OpenEmbedded additionally
+	// routes engine- and driver-level instruments here.
+	metrics *obs.Registry
 }
 
 // Open connects SQLoop to the database reachable at dsn via the named
@@ -174,8 +226,33 @@ func NewWithDB(db *sql.DB, opts Options) (*SQLoop, error) {
 	// Workers + coordinator + samplers all need simultaneous
 	// connections.
 	db.SetMaxOpenConns(opts.Threads + 8)
-	return &SQLoop{db: db, opts: opts, dialect: d}, nil
+	tracer := obs.Multi(opts.Observer, onRoundTracer(opts.OnRound))
+	if tracer == nil {
+		tracer = obs.NopTracer{}
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	return &SQLoop{db: db, opts: opts, dialect: d, tracer: tracer, metrics: metrics}, nil
 }
+
+// onRoundTracer adapts the legacy OnRound callback to the event API: it
+// forwards every RoundEnd. Returns nil when no callback is set.
+func onRoundTracer(fn func(round int, changed int64)) obs.Tracer {
+	if fn == nil {
+		return nil
+	}
+	return obs.FuncTracer(func(ev obs.Event) {
+		if re, ok := ev.(obs.RoundEnd); ok {
+			fn(re.Round, re.Changed)
+		}
+	})
+}
+
+// Metrics returns the instance's metrics registry. It always exists;
+// callers snapshot it with Metrics().Snapshot().
+func (s *SQLoop) Metrics() *obs.Registry { return s.metrics }
 
 // DB exposes the underlying database handle (for samplers and tools).
 func (s *SQLoop) DB() *sql.DB { return s.db }
@@ -212,7 +289,7 @@ func (s *SQLoop) ExecScript(ctx context.Context, script string) (*Result, error)
 		return nil, err
 	}
 	defer conn.Close()
-	c := &dbConn{conn: conn, dialect: s.dialect}
+	c := s.newConn(conn)
 	var res *Result
 	for _, st := range stmts {
 		if cte, ok := st.(*sqlparser.LoopCTEStmt); ok {
@@ -234,19 +311,50 @@ func (s *SQLoop) execPlain(ctx context.Context, st sqlparser.Statement) (*Result
 		return nil, err
 	}
 	defer conn.Close()
-	c := &dbConn{conn: conn, dialect: s.dialect}
-	return c.runStmt(ctx, st)
+	c := s.newConn(conn)
+	res, err := c.runStmt(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Mode = ModeSingle
+	return res, nil
 }
 
-// execLoopCTE dispatches recursive vs iterative execution.
+// execLoopCTE dispatches recursive vs iterative execution and brackets
+// it with ExecStart/ExecEnd events.
 func (s *SQLoop) execLoopCTE(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*Result, error) {
 	if err := validateCTE(cte); err != nil {
 		return nil, err
 	}
+	kind := "iterative"
 	if cte.Kind == sqlparser.CTERecursive {
-		return s.execRecursive(ctx, cte)
+		kind = "recursive"
 	}
-	return s.execIterative(ctx, cte)
+	s.tracer.Emit(obs.ExecStart{Kind: kind, CTE: cte.Name, Mode: s.opts.Mode.String()})
+	start := time.Now()
+	var res *Result
+	var err error
+	if cte.Kind == sqlparser.CTERecursive {
+		res, err = s.execRecursive(ctx, cte)
+	} else {
+		res, err = s.execIterative(ctx, cte)
+	}
+	end := obs.ExecEnd{CTE: cte.Name, Elapsed: time.Since(start)}
+	if err != nil {
+		end.Err = err.Error()
+		end.Mode = s.opts.Mode.String()
+	} else {
+		end.Mode = res.Stats.Mode.String()
+		end.Iterations = res.Stats.Iterations
+	}
+	s.tracer.Emit(end)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Counter("sqloop_cte_execs_total").Inc()
+	s.metrics.Counter("sqloop_rounds_total").Add(int64(res.Stats.Iterations))
+	s.metrics.Histogram("sqloop_cte_seconds").Observe(res.Stats.Elapsed)
+	return res, nil
 }
 
 // validateCTE enforces the structural rules of §III.
@@ -279,10 +387,40 @@ func countTableRefs(b sqlparser.SelectBody, name string) int {
 
 // dbConn wraps one pinned connection with dialect-aware statement
 // execution. All SQLoop-generated statements flow through runStmt so the
-// translation module (§IV-B) touches every query.
+// translation module (§IV-B) touches every query, and every statement's
+// latency lands in the instance's registry (resolved once here because
+// registry lookups take a lock).
 type dbConn struct {
 	conn    *sql.Conn
 	dialect sqlparser.Dialect
+
+	stmtLatency *obs.Histogram
+	stmtCount   *obs.Counter
+	rowsOut     *obs.Counter
+}
+
+// newConn wraps a pinned connection with the instance's dialect and
+// statement instruments.
+func (s *SQLoop) newConn(conn *sql.Conn) *dbConn {
+	return &dbConn{
+		conn:        conn,
+		dialect:     s.dialect,
+		stmtLatency: s.metrics.Histogram("sqloop_statement_seconds"),
+		stmtCount:   s.metrics.Counter("sqloop_statements_total"),
+		rowsOut:     s.metrics.Counter("sqloop_rows_returned_total"),
+	}
+}
+
+// observeStmt records one executed statement.
+func (c *dbConn) observeStmt(start time.Time, rows int64) {
+	if c.stmtLatency == nil {
+		return // bare dbConn (tests) — instruments not wired
+	}
+	c.stmtLatency.Observe(time.Since(start))
+	c.stmtCount.Inc()
+	if rows > 0 {
+		c.rowsOut.Add(rows)
+	}
 }
 
 // runStmt renders and executes one parsed statement.
@@ -309,6 +447,7 @@ func isQuery(st sqlparser.Statement) bool {
 }
 
 func (c *dbConn) exec(ctx context.Context, text string) (*Result, error) {
+	start := time.Now()
 	res, err := c.conn.ExecContext(ctx, text)
 	if err != nil {
 		return nil, fmt.Errorf("exec %q: %w", abbreviate(text), err)
@@ -317,10 +456,12 @@ func (c *dbConn) exec(ctx context.Context, text string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.observeStmt(start, 0)
 	return &Result{RowsAffected: n}, nil
 }
 
 func (c *dbConn) query(ctx context.Context, text string) (*Result, error) {
+	start := time.Now()
 	rows, err := c.conn.QueryContext(ctx, text)
 	if err != nil {
 		return nil, fmt.Errorf("query %q: %w", abbreviate(text), err)
@@ -345,6 +486,7 @@ func (c *dbConn) query(ctx context.Context, text string) (*Result, error) {
 	if err := rows.Err(); err != nil {
 		return nil, err
 	}
+	c.observeStmt(start, int64(len(out.Rows)))
 	return out, nil
 }
 

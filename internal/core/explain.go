@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
+	"text/tabwriter"
 
 	"sqloop/internal/sqlparser"
 )
@@ -49,6 +52,58 @@ func (s *SQLoop) ExplainQuery(query string) (*Explain, error) {
 		ex.Mode = s.opts.Mode
 	}
 	return ex, nil
+}
+
+// ExplainAnalysis is the EXPLAIN ANALYZE counterpart of Explain: the
+// static plan plus the observed execution profile of one actual run.
+type ExplainAnalysis struct {
+	Plan  *Explain
+	Stats ExecStats
+}
+
+// ExplainAnalyzeQuery executes the statement and returns the plan
+// together with the run's per-round profile. The query's result rows
+// are discarded; only the trace survives (mirroring EXPLAIN ANALYZE).
+func (s *SQLoop) ExplainAnalyzeQuery(ctx context.Context, query string) (*ExplainAnalysis, error) {
+	plan, err := s.ExplainQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Exec(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainAnalysis{Plan: plan, Stats: res.Stats}, nil
+}
+
+// Render formats the analysis as an aligned, human-readable report —
+// one header block followed by a per-round table when the run was
+// iterative.
+func (ea *ExplainAnalysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind: %s\n", ea.Plan.Kind)
+	fmt.Fprintf(&b, "mode: %s (ran as %s)\n", ea.Plan.Mode, ea.Stats.Mode)
+	if ea.Plan.Termination != "" {
+		fmt.Fprintf(&b, "until: %s\n", ea.Plan.Termination)
+	}
+	if ea.Stats.FallbackReason != "" {
+		fmt.Fprintf(&b, "fallback: %s\n", ea.Stats.FallbackReason)
+	}
+	fmt.Fprintf(&b, "iterations: %d  elapsed: %s\n", ea.Stats.Iterations, ea.Stats.Elapsed)
+	if ea.Stats.MessageTables > 0 {
+		fmt.Fprintf(&b, "message tables: %d\n", ea.Stats.MessageTables)
+	}
+	if len(ea.Stats.Rounds) > 0 {
+		b.WriteString("\n")
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "round\tchanged\tduration\tparts\tmsgs\tmax worker\tmin worker")
+		for _, r := range ea.Stats.Rounds {
+			fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%d\t%s\t%s\n",
+				r.Round, r.Changed, r.Duration, r.Partitions, r.MessageTables, r.MaxWorker, r.MinWorker)
+		}
+		tw.Flush()
+	}
+	return b.String()
 }
 
 // describeTermination renders a Tc in user terms.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
 )
 
@@ -19,7 +20,8 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		return nil, err
 	}
 	defer conn.Close()
-	c := &dbConn{conn: conn, dialect: s.dialect}
+	c := s.newConn(conn)
+	rt := newRoundTrace(s.tracer, false)
 
 	rName := strings.ToLower(cte.Name)
 	workName := "sqloop_" + rName + "_work" // current delta fed to Ri
@@ -63,6 +65,7 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 			return nil, fmt.Errorf("core: recursive CTE %s exceeded %d iterations", cte.Name, s.opts.MaxIterations)
 		}
 		iters++
+		rt.begin(iters)
 
 		// next = Ri evaluated against the working delta only. With set
 		// semantics (UNION without ALL) the delta is additionally pruned
@@ -84,9 +87,7 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		if err != nil {
 			return nil, err
 		}
-		if s.opts.OnRound != nil {
-			s.opts.OnRound(iters, int64(n))
-		}
+		rt.end(iters, int64(n))
 		if n == 0 {
 			break // fix point
 		}
@@ -106,7 +107,7 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 	if err != nil {
 		return nil, err
 	}
-	res.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start)}
+	res.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start), Rounds: rt.rounds}
 	return res, nil
 }
 
@@ -175,6 +176,8 @@ func (s *SQLoop) execIterative(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		}
 	case ModeSync, ModeAsync, ModeAsyncPrio:
 		if !an.Parallelizable {
+			s.tracer.Emit(obs.Fallback{CTE: cte.Name, Reason: an.Reason})
+			s.metrics.Counter("sqloop_fallbacks_total").Inc()
 			res, err := s.execIterativeSingle(ctx, cte)
 			if err != nil {
 				return nil, err
@@ -199,11 +202,12 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		return nil, err
 	}
 	defer conn.Close()
-	c := &dbConn{conn: conn, dialect: s.dialect}
+	c := s.newConn(conn)
+	rt := newRoundTrace(s.tracer, false)
 
 	rName := strings.ToLower(cte.Name)
 	tmpName := tmpTableName(cte.Name)
-	term := newTerminator(cte)
+	term := newTerminator(cte, s.tracer)
 	term.rTable = rName
 
 	cleanup := func() {
@@ -238,6 +242,7 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 			return nil, fmt.Errorf("core: iterative CTE %s exceeded %d iterations", cte.Name, s.opts.MaxIterations)
 		}
 		iters++
+		rt.begin(iters)
 
 		// Rtmp = Ri (R referenced live).
 		if _, err := c.runStmt(ctx, dropTable(tmpName)); err != nil {
@@ -267,9 +272,7 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		if err != nil {
 			return nil, err
 		}
-		if s.opts.OnRound != nil {
-			s.opts.OnRound(iters, res.RowsAffected)
-		}
+		rt.end(iters, res.RowsAffected)
 
 		done, err := term.satisfied(ctx, c, iters, res.RowsAffected)
 		if err != nil {
@@ -284,6 +287,6 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 	if err != nil {
 		return nil, err
 	}
-	out.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start)}
+	out.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start), Rounds: rt.rounds}
 	return out, nil
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"time"
+
+	"sqloop/internal/obs"
+)
+
+// roundTrace accumulates one executor run's per-round trace and emits
+// the round-level events. All methods run on the coordinator goroutine.
+//
+// The single-threaded and synchronous executors have real round
+// boundaries, so they call begin at the top of each round (emitting
+// RoundStart at the true start). The asynchronous executors only
+// discover that a round completed when the slowest partition advances;
+// they run in lazy mode, where end emits RoundStart immediately before
+// RoundEnd. Both shapes guarantee the invariant observers rely on:
+// count(RoundStart) == count(RoundEnd) == ExecStats.Iterations.
+type roundTrace struct {
+	tracer  obs.Tracer
+	lazy    bool
+	rounds  []RoundStats
+	startAt time.Time
+	parts   int
+	msgs    int
+	maxW    time.Duration
+	minW    time.Duration
+}
+
+func newRoundTrace(tracer obs.Tracer, lazy bool) *roundTrace {
+	return &roundTrace{tracer: tracer, lazy: lazy, startAt: time.Now()}
+}
+
+// begin opens a round (eager mode only).
+func (rt *roundTrace) begin(round int) {
+	rt.startAt = time.Now()
+	if !rt.lazy {
+		rt.tracer.Emit(obs.RoundStart{Round: round})
+	}
+}
+
+// task records one completed partition task and emits PartitionDone.
+func (rt *roundTrace) task(ev obs.PartitionDone) {
+	rt.parts++
+	if ev.Duration > rt.maxW {
+		rt.maxW = ev.Duration
+	}
+	if rt.minW == 0 || ev.Duration < rt.minW {
+		rt.minW = ev.Duration
+	}
+	rt.tracer.Emit(ev)
+}
+
+// msgTables counts message tables created during the current round.
+func (rt *roundTrace) msgTables(n int) { rt.msgs += n }
+
+// end closes the round: it emits RoundEnd (preceded by RoundStart in
+// lazy mode), appends the RoundStats entry and resets the per-round
+// accumulators for the next round.
+func (rt *roundTrace) end(round int, changed int64) {
+	if rt.lazy {
+		rt.tracer.Emit(obs.RoundStart{Round: round})
+	}
+	st := RoundStats{
+		Round:         round,
+		Changed:       changed,
+		Duration:      time.Since(rt.startAt),
+		Partitions:    rt.parts,
+		MessageTables: rt.msgs,
+		MaxWorker:     rt.maxW,
+		MinWorker:     rt.minW,
+	}
+	rt.tracer.Emit(obs.RoundEnd{
+		Round:         st.Round,
+		Changed:       st.Changed,
+		Duration:      st.Duration,
+		Partitions:    st.Partitions,
+		MessageTables: st.MessageTables,
+		MaxWorker:     st.MaxWorker,
+		MinWorker:     st.MinWorker,
+	})
+	rt.rounds = append(rt.rounds, st)
+	rt.startAt = time.Now()
+	rt.parts, rt.msgs, rt.maxW, rt.minW = 0, 0, 0, 0
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqloop/internal/obs"
+)
+
+// TestRoundEventsMatchIterations checks the observability invariant on
+// every execution mode: each run emits exactly one RoundStart and one
+// RoundEnd per iteration reported in ExecStats, and ExecStats.Rounds has
+// one entry per iteration.
+func TestRoundEventsMatchIterations(t *testing.T) {
+	for _, mode := range []Mode{ModeSingle, ModeSync, ModeAsync, ModeAsyncPrio} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rec := &obs.Recorder{}
+			s := newTestLoop(t, Options{
+				Mode: mode, Threads: 2, Partitions: 4, Observer: rec,
+			}, true)
+			res, err := s.Exec(context.Background(), fmt.Sprintf(pageRankCTE, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters := res.Stats.Iterations
+			if iters != 4 {
+				t.Fatalf("iterations = %d, want 4", iters)
+			}
+			if got := rec.Count("round_start"); got != iters {
+				t.Errorf("round_start events = %d, want %d", got, iters)
+			}
+			if got := rec.Count("round_end"); got != iters {
+				t.Errorf("round_end events = %d, want %d", got, iters)
+			}
+			if got := len(res.Stats.Rounds); got != iters {
+				t.Errorf("len(Stats.Rounds) = %d, want %d", got, iters)
+			}
+			if rec.Count("exec_start") != 1 || rec.Count("exec_end") != 1 {
+				t.Errorf("exec events = %d/%d, want 1/1",
+					rec.Count("exec_start"), rec.Count("exec_end"))
+			}
+			// Round numbers in the trace are 1-based and consecutive.
+			for i, r := range res.Stats.Rounds {
+				if r.Round != i+1 {
+					t.Errorf("Rounds[%d].Round = %d, want %d", i, r.Round, i+1)
+				}
+			}
+			// Parallel executors report partition tasks and worker times.
+			if mode != ModeSingle {
+				if rec.Count("partition_done") == 0 {
+					t.Error("no partition_done events from a parallel mode")
+				}
+				sawParts := false
+				for _, r := range res.Stats.Rounds {
+					if r.Partitions > 0 {
+						sawParts = true
+						if r.MaxWorker < r.MinWorker {
+							t.Errorf("round %d: MaxWorker %v < MinWorker %v",
+								r.Round, r.MaxWorker, r.MinWorker)
+						}
+					}
+				}
+				if !sawParts {
+					t.Error("no round recorded partition tasks")
+				}
+			}
+		})
+	}
+}
+
+// TestRoundDeltasConvergeSSSP runs SSSP on a chain graph in single mode:
+// the per-round changed counts must end at zero (the convergent final
+// round) and the trace must match the reported iteration count.
+func TestRoundDeltasConvergeSSSP(t *testing.T) {
+	rec := &obs.Recorder{}
+	s := newTestLoop(t, Options{Mode: ModeSingle, Observer: rec}, false)
+	res, err := s.Exec(context.Background(), ssspCTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := res.Stats.Rounds
+	if len(rounds) != res.Stats.Iterations || len(rounds) == 0 {
+		t.Fatalf("rounds = %d, iterations = %d", len(rounds), res.Stats.Iterations)
+	}
+	if last := rounds[len(rounds)-1].Changed; last != 0 {
+		t.Errorf("final round changed %d rows, want 0 (UNTIL 0 UPDATES)", last)
+	}
+	// The distance wavefront shrinks: once the per-round delta starts
+	// decreasing it never grows again on this fixture.
+	peaked := false
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].Changed < rounds[i-1].Changed {
+			peaked = true
+		} else if peaked && rounds[i].Changed > rounds[i-1].Changed {
+			t.Errorf("delta grew after shrinking: %v", changes(rounds))
+			break
+		}
+	}
+	// Each round evaluated the termination condition once.
+	if got := rec.Count("termination_check"); got != res.Stats.Iterations {
+		t.Errorf("termination_check events = %d, want %d", got, res.Stats.Iterations)
+	}
+}
+
+func changes(rs []RoundStats) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Changed
+	}
+	return out
+}
+
+// TestFallbackEventEmitted forces a parallel mode onto a query the
+// analyzer rejects and checks the Fallback event and metrics counter.
+func TestFallbackEventEmitted(t *testing.T) {
+	rec := &obs.Recorder{}
+	s := newTestLoop(t, Options{Mode: ModeSync, Observer: rec}, true)
+	// No aggregate over a self-join: not parallelizable.
+	q := `
+WITH ITERATIVE r(id, v) AS (
+  SELECT src, 1.0 FROM edges GROUP BY src
+  ITERATE
+  SELECT r.id, r.v + 1 FROM r
+  UNTIL 3 ITERATIONS
+)
+SELECT COUNT(*) FROM r`
+	res, err := s.Exec(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FallbackReason == "" {
+		t.Fatal("expected a fallback to single-threaded execution")
+	}
+	if rec.Count("fallback") != 1 {
+		t.Fatalf("fallback events = %d, want 1", rec.Count("fallback"))
+	}
+	for _, ev := range rec.Events() {
+		if fb, ok := ev.(obs.Fallback); ok && fb.Reason != res.Stats.FallbackReason {
+			t.Errorf("event reason %q != stats reason %q", fb.Reason, res.Stats.FallbackReason)
+		}
+	}
+	if s.Metrics().Counter("sqloop_fallbacks_total").Value() != 1 {
+		t.Error("sqloop_fallbacks_total not incremented")
+	}
+}
+
+// TestMetricsPopulatedAfterExec checks that an iterative Exec leaves a
+// non-empty metrics snapshot with statement latencies recorded.
+func TestMetricsPopulatedAfterExec(t *testing.T) {
+	s := newTestLoop(t, Options{Mode: ModeAsync, Threads: 2, Partitions: 4}, true)
+	if _, err := s.Exec(context.Background(), fmt.Sprintf(pageRankCTE, 3)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Empty() {
+		t.Fatal("metrics snapshot empty after iterative Exec")
+	}
+	if snap.Counters["sqloop_cte_execs_total"] != 1 {
+		t.Errorf("sqloop_cte_execs_total = %d", snap.Counters["sqloop_cte_execs_total"])
+	}
+	if snap.Counters["sqloop_rounds_total"] != 3 {
+		t.Errorf("sqloop_rounds_total = %d", snap.Counters["sqloop_rounds_total"])
+	}
+	h, ok := snap.Histograms["sqloop_statement_seconds"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("statement latency histogram missing/empty: %+v", snap.Histograms)
+	}
+	if snap.Counters["sqloop_statements_total"] != h.Count {
+		t.Errorf("statement counter %d != histogram count %d",
+			snap.Counters["sqloop_statements_total"], h.Count)
+	}
+	if snap.Format() == "" {
+		t.Error("Snapshot.Format returned nothing")
+	}
+}
+
+// TestOnRoundAdapterMatchesObserver runs with both the legacy callback
+// and an observer and checks they see identical round sequences.
+func TestOnRoundAdapterMatchesObserver(t *testing.T) {
+	type round struct {
+		n       int
+		changed int64
+	}
+	var legacy []round
+	rec := &obs.Recorder{}
+	s := newTestLoop(t, Options{
+		Mode:       ModeSync,
+		Threads:    2,
+		Partitions: 4,
+		OnRound:    func(n int, changed int64) { legacy = append(legacy, round{n, changed}) },
+		Observer:   rec,
+	}, true)
+	if _, err := s.Exec(context.Background(), fmt.Sprintf(pageRankCTE, 4)); err != nil {
+		t.Fatal(err)
+	}
+	var observed []round
+	for _, ev := range rec.Events() {
+		if re, ok := ev.(obs.RoundEnd); ok {
+			observed = append(observed, round{re.Round, re.Changed})
+		}
+	}
+	if len(legacy) != len(observed) {
+		t.Fatalf("legacy saw %d rounds, observer %d", len(legacy), len(observed))
+	}
+	for i := range legacy {
+		if legacy[i] != observed[i] {
+			t.Errorf("round %d: legacy %+v != observed %+v", i, legacy[i], observed[i])
+		}
+	}
+}
+
+// TestExplainAnalyze checks the EXPLAIN ANALYZE path returns the plan
+// plus a populated per-round profile and renders it.
+func TestExplainAnalyze(t *testing.T) {
+	s := newTestLoop(t, Options{Mode: ModeSync, Threads: 2, Partitions: 4}, true)
+	ea, err := s.ExplainAnalyzeQuery(context.Background(), fmt.Sprintf(pageRankCTE, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Plan.Kind != "iterative" {
+		t.Errorf("kind = %s", ea.Plan.Kind)
+	}
+	if ea.Stats.Iterations != 3 || len(ea.Stats.Rounds) != 3 {
+		t.Errorf("stats = %+v", ea.Stats)
+	}
+	out := ea.Render()
+	if out == "" {
+		t.Fatal("Render returned nothing")
+	}
+	for _, want := range []string{"iterations: 3", "round", "changed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
 )
 
@@ -171,6 +172,11 @@ type taskResult struct {
 	changed int64 // absorb + gather row changes
 	msgs    int   // message tables created
 	err     error
+	// dur is the task's wall time on the worker connection; phase names
+	// the task kind ("compute", "gather", "pair") for PartitionDone
+	// events and straggler accounting.
+	dur   time.Duration
+	phase string
 	// prio carries the refreshed partition priority (AsyncP runs the
 	// priority query on the worker at the end of each task, §V-E).
 	prio    float64
@@ -254,6 +260,8 @@ type parallelRun struct {
 	msgs    *msgRegistry
 	term    *terminator
 
+	rt *roundTrace
+
 	rounds []int  // per partition completed G+C rounds
 	clean  []bool // async quiescence flags
 	// lastGather tracks each partition's most recent gather change
@@ -276,7 +284,7 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 		return nil, err
 	}
 	defer conn.Close()
-	coord := &dbConn{conn: conn, dialect: s.dialect}
+	coord := s.newConn(conn)
 	rName := strings.ToLower(cte.Name)
 
 	// Seed R as a real table, then partition it.
@@ -300,8 +308,11 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 	pl := newPlan(cte, an, cols, s.opts.Partitions, !s.opts.DisableMaterialization)
 	run := &parallelRun{
 		s: s, cte: cte, pl: pl, mode: mode, coord: coord,
+		// Sync has real barriers, so its rounds trace eagerly; the async
+		// schedulers discover rounds at completion (lazy).
+		rt:         newRoundTrace(s.tracer, mode != ModeSync),
 		msgs:       newMsgRegistry(pl.p),
-		term:       newTerminator(cte),
+		term:       newTerminator(cte, s.tracer),
 		rounds:     make([]int, pl.p),
 		clean:      make([]bool, pl.p),
 		lastGather: make([]int64, pl.p),
@@ -357,6 +368,7 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 	run.stats.Mode = mode
 	run.stats.Parallelized = true
 	run.stats.Elapsed = time.Since(start)
+	run.stats.Rounds = run.rt.rounds
 	out.Stats = run.stats
 	return out, nil
 }
@@ -478,18 +490,24 @@ func (r *parallelRun) driveSync(ctx context.Context) error {
 			return fmt.Errorf("core: iterative CTE %s exceeded %d iterations", r.cte.Name, r.s.opts.MaxIterations)
 		}
 		iters++
+		r.rt.begin(iters)
 		var roundChanged int64
 
 		// Phase 1: Compute on every partition, then the barrier.
 		compute := func(x int) func(*dbConn) taskResult {
 			return func(c *dbConn) taskResult {
+				t0 := time.Now()
 				ch, msgs, err := r.computeTask(ctx, x, c, r.lastGather[x])
-				return taskResult{part: x, changed: ch, msgs: msgs, err: err}
+				return taskResult{part: x, changed: ch, msgs: msgs, err: err,
+					dur: time.Since(t0), phase: "compute"}
 			}
 		}
 		if err := r.runPhase(compute, func(res taskResult) {
 			roundChanged += res.changed
 			r.stats.MessageTables += res.msgs
+			r.rt.msgTables(res.msgs)
+			r.rt.task(obs.PartitionDone{Round: iters, Part: res.part,
+				Phase: res.phase, Changed: res.changed, Duration: res.dur})
 		}); err != nil {
 			return err
 		}
@@ -497,13 +515,17 @@ func (r *parallelRun) driveSync(ctx context.Context) error {
 		// Phase 2: Gather on every partition, then the barrier.
 		gather := func(x int) func(*dbConn) taskResult {
 			return func(c *dbConn) taskResult {
+				t0 := time.Now()
 				ch, err := r.gatherTask(ctx, x, c)
-				return taskResult{part: x, changed: ch, err: err}
+				return taskResult{part: x, changed: ch, err: err,
+					dur: time.Since(t0), phase: "gather"}
 			}
 		}
 		if err := r.runPhase(gather, func(res taskResult) {
 			roundChanged += res.changed
 			r.lastGather[res.part] = res.changed
+			r.rt.task(obs.PartitionDone{Round: iters, Part: res.part,
+				Phase: res.phase, Changed: res.changed, Duration: res.dur})
 		}); err != nil {
 			return err
 		}
@@ -511,9 +533,7 @@ func (r *parallelRun) driveSync(ctx context.Context) error {
 		if err := r.collectGarbage(ctx); err != nil {
 			return err
 		}
-		if r.s.opts.OnRound != nil {
-			r.s.opts.OnRound(iters, roundChanged)
-		}
+		r.rt.end(iters, roundChanged)
 		done, err := r.term.satisfied(ctx, r.coord, iters, roundChanged)
 		if err != nil {
 			return err
@@ -662,15 +682,17 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 		inflight[x] = true
 		inflightCount++
 		r.pool.tasks <- func(c *dbConn) taskResult {
+			t0 := time.Now()
 			gch, err := r.gatherTask(ctx, x, c)
 			if err != nil {
 				return taskResult{part: x, err: err}
 			}
 			cch, msgs, err := r.computeTask(ctx, x, c, gch)
-			res := taskResult{part: x, changed: gch + cch, msgs: msgs, err: err}
+			res := taskResult{part: x, changed: gch + cch, msgs: msgs, err: err, phase: "pair"}
 			if prio && err == nil {
 				res.prio, res.hasPrio, res.err = r.partitionPriority(ctx, x, c)
 			}
+			res.dur = time.Since(t0)
 			return res
 		}
 	}
@@ -687,18 +709,22 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 		// tasks serialize, and the coordinator only writes the cache
 		// while no task for x is in flight.
 		r.pool.tasks <- func(c *dbConn) taskResult {
+			t0 := time.Now()
 			gch, err := r.gatherTask(ctx, x, c)
-			res := taskResult{part: x, changed: gch, err: err, gatherOnly: true}
+			res := taskResult{part: x, changed: gch, err: err, gatherOnly: true, phase: "gather"}
 			if err != nil {
+				res.dur = time.Since(t0)
 				return res
 			}
 			if gch == 0 {
 				// Nothing accepted: the deltas, hence the priority, are
 				// unchanged.
 				res.prio, res.hasPrio = r.priority[x], r.hasPrio[x]
+				res.dur = time.Since(t0)
 				return res
 			}
 			res.prio, res.hasPrio, res.err = r.partitionPriority(ctx, x, c)
+			res.dur = time.Since(t0)
 			return res
 		}
 	}
@@ -706,19 +732,23 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 		inflight[x] = true
 		inflightCount++
 		r.pool.tasks <- func(c *dbConn) taskResult {
+			t0 := time.Now()
 			gch := r.lastGather[x]
 			r.lastGather[x] = 0
 			cch, msgs, err := r.computeTask(ctx, x, c, gch)
-			res := taskResult{part: x, changed: cch, msgs: msgs, err: err}
+			res := taskResult{part: x, changed: cch, msgs: msgs, err: err, phase: "compute"}
 			if err != nil {
+				res.dur = time.Since(t0)
 				return res
 			}
 			if gch == 0 && cch == 0 && msgs == 0 {
 				// Quiet fast path ran: deltas are untouched.
 				res.prio, res.hasPrio = r.priority[x], r.hasPrio[x]
+				res.dur = time.Since(t0)
 				return res
 			}
 			res.prio, res.hasPrio, res.err = r.partitionPriority(ctx, x, c)
+			res.dur = time.Since(t0)
 			return res
 		}
 	}
@@ -807,6 +837,15 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 		} else {
 			r.rounds[res.part]++
 		}
+		// The partition's round in progress: gather-only tasks run ahead
+		// of the round they feed.
+		evRound := r.rounds[res.part]
+		if res.gatherOnly {
+			evRound++
+		}
+		r.rt.task(obs.PartitionDone{Round: evRound, Part: res.part,
+			Phase: res.phase, Changed: res.changed, Duration: res.dur})
+		r.rt.msgTables(res.msgs)
 		roundChanged += res.changed
 		r.stats.MessageTables += res.msgs
 
@@ -839,9 +878,7 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 		if minRounds > lastRound {
 			lastRound = minRounds
 			r.stats.Iterations = minRounds
-			if r.s.opts.OnRound != nil {
-				r.s.opts.OnRound(minRounds, roundChanged)
-			}
+			r.rt.end(minRounds, roundChanged)
 			if needsBarrier {
 				checkPending = true
 			} else {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/sqltypes"
 )
@@ -21,10 +22,27 @@ type terminator struct {
 	rTable string
 	// deltaReady reports whether the Rdelta snapshot exists yet.
 	deltaReady bool
+	// tracer receives a TerminationCheck event per evaluation.
+	tracer obs.Tracer
 }
 
-func newTerminator(cte *sqlparser.LoopCTEStmt) *terminator {
-	return &terminator{cte: cte, term: cte.Until, rTable: cte.Name}
+func newTerminator(cte *sqlparser.LoopCTEStmt, tracer obs.Tracer) *terminator {
+	if tracer == nil {
+		tracer = obs.NopTracer{}
+	}
+	return &terminator{cte: cte, term: cte.Until, rTable: cte.Name, tracer: tracer}
+}
+
+// kindString names the condition for events and EXPLAIN output.
+func (t *terminator) kindString() string {
+	switch t.term.Kind {
+	case sqlparser.TermIterations:
+		return "iterations"
+	case sqlparser.TermUpdates:
+		return "updates"
+	default:
+		return "expr"
+	}
 }
 
 // needsDeltaSnapshot reports whether the condition references Rdelta.
@@ -65,6 +83,7 @@ func (t *terminator) satisfied(ctx context.Context, c *dbConn, iter int, updated
 	if err != nil {
 		return false, err
 	}
+	t.tracer.Emit(obs.TerminationCheck{Round: iter, Kind: t.kindString(), Updated: updated, Satisfied: done})
 	if !done && t.needsDeltaSnapshot() {
 		if err := t.refreshDelta(ctx, c); err != nil {
 			return false, err

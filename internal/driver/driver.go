@@ -18,8 +18,10 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"sqloop/internal/engine"
+	"sqloop/internal/obs"
 	"sqloop/internal/sqltypes"
 	"sqloop/internal/wire"
 )
@@ -48,6 +50,36 @@ func UnregisterEngine(handle string) {
 	engines.Lock()
 	defer engines.Unlock()
 	delete(engines.m, handle)
+}
+
+// dsnMetrics maps DSNs to metrics registries. database/sql constructs
+// connections itself from the DSN string alone, so attaching metrics to
+// connections requires the same process-wide mapping pattern as the
+// engine registry.
+var dsnMetrics = struct {
+	sync.RWMutex
+	m map[string]*obs.Registry
+}{m: make(map[string]*obs.Registry)}
+
+// SetDSNMetrics attaches a registry to every connection subsequently
+// opened for dsn: each statement is counted
+// (driver_statements_total) and timed (driver_statement_seconds), and
+// wire connections additionally report round-trips and traffic (see
+// wire.Client.SetMetrics). Pass nil to detach.
+func SetDSNMetrics(dsn string, r *obs.Registry) {
+	dsnMetrics.Lock()
+	defer dsnMetrics.Unlock()
+	if r == nil {
+		delete(dsnMetrics.m, dsn)
+		return
+	}
+	dsnMetrics.m[dsn] = r
+}
+
+func metricsFor(dsn string) *obs.Registry {
+	dsnMetrics.RLock()
+	defer dsnMetrics.RUnlock()
+	return dsnMetrics.m[dsn]
 }
 
 // InprocDSN returns the DSN for a registered engine handle.
@@ -81,6 +113,7 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("driver: DSN %q missing target", dsn)
 	}
+	reg := metricsFor(dsn)
 	switch kind {
 	case "inproc":
 		engines.RLock()
@@ -89,13 +122,16 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 		if eng == nil {
 			return nil, fmt.Errorf("driver: no engine registered as %q", target)
 		}
-		return &conn{exec: &inprocExec{sess: eng.NewSession()}}, nil
+		return newConn(&inprocExec{sess: eng.NewSession()}, reg), nil
 	case "tcp":
 		cl, err := wire.Dial(target)
 		if err != nil {
 			return nil, err
 		}
-		return &conn{exec: &wireExec{cl: cl}}, nil
+		if reg != nil {
+			cl.SetMetrics(reg)
+		}
+		return newConn(&wireExec{cl: cl}, reg), nil
 	default:
 		return nil, fmt.Errorf("driver: unknown DSN scheme %q", kind)
 	}
@@ -124,6 +160,18 @@ func (e *wireExec) close() error { return e.cl.Close() }
 // conn is one database/sql connection.
 type conn struct {
 	exec executor
+	// per-statement instruments, nil without SetDSNMetrics
+	stmtCount   *obs.Counter
+	stmtLatency *obs.Histogram
+}
+
+func newConn(e executor, reg *obs.Registry) *conn {
+	c := &conn{exec: e}
+	if reg != nil {
+		c.stmtCount = reg.Counter("driver_statements_total")
+		c.stmtLatency = reg.Histogram("driver_statement_seconds")
+	}
+	return c
 }
 
 var (
@@ -179,7 +227,14 @@ func (c *conn) run(ctx context.Context, query string, args []driver.NamedValue) 
 		}
 		vals[i] = v
 	}
-	return c.exec.exec(query, vals)
+	if c.stmtLatency == nil {
+		return c.exec.exec(query, vals)
+	}
+	start := time.Now()
+	res, err := c.exec.exec(query, vals)
+	c.stmtCount.Inc()
+	c.stmtLatency.Observe(time.Since(start))
+	return res, err
 }
 
 type tx struct{ c *conn }

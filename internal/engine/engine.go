@@ -17,6 +17,7 @@ import (
 
 	"sqloop/internal/btree"
 	"sqloop/internal/lsm"
+	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/sqltypes"
 	"sqloop/internal/storage"
@@ -67,6 +68,10 @@ type Engine struct {
 	rowid atomic.Int64 // synthetic key source for tables without a PK
 
 	stats Stats
+
+	// metrics, when set, receives per-statement latency and lock-wait
+	// observations in addition to the logical Stats counters.
+	metrics atomic.Pointer[obs.Registry]
 }
 
 // view is a named stored query.
@@ -85,6 +90,10 @@ type Stats struct {
 	RowsUpdated  atomic.Int64 // rows actually changed
 	RowsDeleted  atomic.Int64
 	Statements   atomic.Int64
+	// LockWaits counts lock acquisitions that found the lock held by
+	// another connection; LockWaitNanos accumulates the blocked time.
+	LockWaits     atomic.Int64
+	LockWaitNanos atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -96,6 +105,8 @@ type StatsSnapshot struct {
 	RowsUpdated  int64
 	RowsDeleted  int64
 	Statements   int64
+	LockWaits    int64
+	LockWait     time.Duration
 }
 
 // New creates an empty engine.
@@ -126,7 +137,18 @@ func (e *Engine) Stats() StatsSnapshot {
 		RowsUpdated:  e.stats.RowsUpdated.Load(),
 		RowsDeleted:  e.stats.RowsDeleted.Load(),
 		Statements:   e.stats.Statements.Load(),
+		LockWaits:    e.stats.LockWaits.Load(),
+		LockWait:     time.Duration(e.stats.LockWaitNanos.Load()),
 	}
+}
+
+// SetMetrics attaches a registry; the engine then reports statement
+// latency (engine_statement_seconds), statement counts
+// (engine_statements_total) and lock contention
+// (engine_lock_waits_total, engine_lock_wait_seconds) into it. Pass nil
+// to detach.
+func (e *Engine) SetMetrics(r *obs.Registry) {
+	e.metrics.Store(r)
 }
 
 // newStore builds a fresh store of the configured backend.
@@ -308,9 +330,14 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 // ExecStmt executes an already-parsed statement.
 func (s *Session) ExecStmt(st sqlparser.Statement, args []sqltypes.Value) (*Result, error) {
 	s.eng.stats.Statements.Add(1)
+	start := time.Now()
 	x := &executor{sess: s, eng: s.eng, args: args}
 	res, err := x.run(st)
 	x.chargeCost()
+	if r := s.eng.metrics.Load(); r != nil {
+		r.Counter("engine_statements_total").Inc()
+		r.Histogram("engine_statement_seconds").Observe(time.Since(start))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -380,8 +407,10 @@ func (t *Table) removeFromIndexes(pk sqltypes.Key, row sqltypes.Row) {
 
 // lockTables acquires the locks for the statement's read and write sets
 // in a global order (by table name) to stay deadlock free, and returns
-// an unlock func.
-func lockTables(reads, writes []*Table) func() {
+// an unlock func. Acquisitions that find a lock held by another
+// connection are counted as lock waits, with the blocked time
+// accumulated into Stats and the attached metrics registry.
+func (e *Engine) lockTables(reads, writes []*Table) func() {
 	type lk struct {
 		t     *Table
 		write bool
@@ -405,10 +434,20 @@ func lockTables(reads, writes []*Table) func() {
 	locked := make([]*lk, 0, len(names))
 	for _, n := range names {
 		l := m[n]
+		// TryLock distinguishes contended acquisitions without taxing the
+		// uncontended fast path.
 		if l.write {
-			l.t.mu.Lock()
+			if !l.t.mu.TryLock() {
+				w := time.Now()
+				l.t.mu.Lock()
+				e.noteLockWait(time.Since(w))
+			}
 		} else {
-			l.t.mu.RLock()
+			if !l.t.mu.TryRLock() {
+				w := time.Now()
+				l.t.mu.RLock()
+				e.noteLockWait(time.Since(w))
+			}
 		}
 		locked = append(locked, l)
 	}
@@ -420,6 +459,16 @@ func lockTables(reads, writes []*Table) func() {
 				locked[i].t.mu.RUnlock()
 			}
 		}
+	}
+}
+
+// noteLockWait records one contended lock acquisition.
+func (e *Engine) noteLockWait(d time.Duration) {
+	e.stats.LockWaits.Add(1)
+	e.stats.LockWaitNanos.Add(int64(d))
+	if r := e.metrics.Load(); r != nil {
+		r.Counter("engine_lock_waits_total").Inc()
+		r.Histogram("engine_lock_wait_seconds").Observe(d)
 	}
 }
 

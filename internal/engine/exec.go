@@ -19,7 +19,7 @@ func (x *executor) runCreateTable(s *sqlparser.CreateTableStmt) (*Result, error)
 		if err != nil {
 			return nil, err
 		}
-		unlock := lockTables(reads, nil)
+		unlock := x.eng.lockTables(reads, nil)
 		rel, err := x.evalBody(s.AsSelect)
 		unlock()
 		if err != nil {
@@ -219,7 +219,7 @@ func (x *executor) runInsert(s *sqlparser.InsertStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := lockTables(reads, []*Table{tbl})
+	unlock := x.eng.lockTables(reads, []*Table{tbl})
 	defer unlock()
 
 	rel, err := x.evalBody(s.Source)
@@ -306,7 +306,7 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := lockTables(reads, []*Table{tbl})
+	unlock := x.eng.lockTables(reads, []*Table{tbl})
 	defer unlock()
 
 	alias := s.Alias
@@ -527,7 +527,7 @@ func (x *executor) runDelete(s *sqlparser.DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := lockTables(reads, []*Table{tbl})
+	unlock := x.eng.lockTables(reads, []*Table{tbl})
 	defer unlock()
 
 	targetFrame := &frame{}

@@ -91,7 +91,7 @@ func (x *executor) runSelect(s *sqlparser.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := lockTables(reads, nil)
+	unlock := x.eng.lockTables(reads, nil)
 	defer unlock()
 
 	if err := x.bindCTEs(s.With); err != nil {

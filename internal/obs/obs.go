@@ -1,0 +1,236 @@
+// Package obs is SQLoop's dependency-free observability layer: a
+// Tracer interface carrying typed execution events, and a lightweight
+// metrics registry (counters, gauges, duration histograms) with
+// snapshot export. The paper's entire evaluation (§VI) depends on
+// seeing inside iterative execution — per-iteration runtimes, message
+// table counts, convergence of Sync vs. Async vs. AsyncP — and every
+// layer of this repository (core executors, embedded engine, driver,
+// wire protocol) reports through this package.
+//
+// The package deliberately imports nothing beyond the standard
+// library's sync/time/fmt so that any layer, including the engine and
+// the wire protocol, can depend on it without cycles.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one typed execution event. Concrete event types are plain
+// structs so observers can switch on them; Name returns a stable
+// snake_case identifier for logging and counting.
+type Event interface {
+	Name() string
+}
+
+// Tracer receives execution events. Implementations must be safe for
+// concurrent use: parallel executors emit PartitionDone from worker
+// goroutines while the coordinator emits round events.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// ExecStart is emitted once when an iterative or recursive CTE begins
+// executing (after validation, before any table work).
+type ExecStart struct {
+	// Kind is "iterative" or "recursive".
+	Kind string
+	// CTE is the CTE's declared name.
+	CTE string
+	// Mode names the requested execution mode (before auto-selection
+	// and fallback).
+	Mode string
+}
+
+// Name implements Event.
+func (ExecStart) Name() string { return "exec_start" }
+
+// ExecEnd is emitted once when the CTE execution finishes (successfully
+// or not).
+type ExecEnd struct {
+	// CTE is the CTE's declared name.
+	CTE string
+	// Mode names the mode that actually ran.
+	Mode string
+	// Iterations is the number of completed rounds.
+	Iterations int
+	// Elapsed is the wall time of the execution.
+	Elapsed time.Duration
+	// Err holds the failure message, empty on success.
+	Err string
+}
+
+// Name implements Event.
+func (ExecEnd) Name() string { return "exec_end" }
+
+// RoundStart is emitted when a round/iteration begins. Under the
+// asynchronous executors a "round" is virtual — it completes when the
+// slowest partition advances — so RoundStart is emitted at the moment
+// the round is recognized, immediately before its RoundEnd.
+type RoundStart struct {
+	// Round is the 1-based round number.
+	Round int
+}
+
+// Name implements Event.
+func (RoundStart) Name() string { return "round_start" }
+
+// RoundEnd is emitted when a round/iteration completes. One RoundEnd is
+// emitted per counted iteration in every mode, so observers can rely on
+// count(RoundEnd) == ExecStats.Iterations.
+type RoundEnd struct {
+	// Round is the 1-based round number.
+	Round int
+	// Changed is the number of rows changed during the round (the
+	// paper's per-iteration delta size).
+	Changed int64
+	// Duration is the wall time of the round.
+	Duration time.Duration
+	// Partitions counts partition tasks that completed in the round
+	// (0 for the single-threaded executors).
+	Partitions int
+	// MessageTables counts message tables created during the round.
+	MessageTables int
+	// MaxWorker and MinWorker are the longest and shortest per-partition
+	// worker times observed in the round — the straggler spread (§V-B
+	// barrier cost). Zero for the single-threaded executors.
+	MaxWorker time.Duration
+	MinWorker time.Duration
+}
+
+// Name implements Event.
+func (RoundEnd) Name() string { return "round_end" }
+
+// PartitionDone is emitted by the parallel executors whenever one
+// partition task finishes on a worker connection.
+type PartitionDone struct {
+	// Round is the partition's 1-based completed round count at the
+	// time the task finished.
+	Round int
+	// Part is the partition index.
+	Part int
+	// Phase is "compute", "gather" or "pair" (the fused
+	// gather-then-compute task of the async scheduler).
+	Phase string
+	// Changed is the number of rows the task changed.
+	Changed int64
+	// Duration is the task's wall time on the worker.
+	Duration time.Duration
+}
+
+// Name implements Event.
+func (PartitionDone) Name() string { return "partition_done" }
+
+// Fallback is emitted when a requested parallel mode falls back to
+// single-threaded execution because the analyzer (§V-A) did not qualify
+// the query.
+type Fallback struct {
+	// CTE is the CTE's declared name.
+	CTE string
+	// Reason is the analyzer's explanation.
+	Reason string
+}
+
+// Name implements Event.
+func (Fallback) Name() string { return "fallback" }
+
+// TerminationCheck is emitted each time the UNTIL condition (Table I of
+// the paper) is evaluated.
+type TerminationCheck struct {
+	// Round is the 1-based round the check ran after.
+	Round int
+	// Kind is "iterations", "updates" or "expr".
+	Kind string
+	// Updated is the row-change count handed to the check.
+	Updated int64
+	// Satisfied reports whether the condition held.
+	Satisfied bool
+}
+
+// Name implements Event.
+func (TerminationCheck) Name() string { return "termination_check" }
+
+// NopTracer discards every event.
+type NopTracer struct{}
+
+// Emit implements Tracer.
+func (NopTracer) Emit(Event) {}
+
+// FuncTracer adapts a function to the Tracer interface.
+type FuncTracer func(Event)
+
+// Emit implements Tracer.
+func (f FuncTracer) Emit(ev Event) { f(ev) }
+
+// multiTracer fans one event out to several tracers in order.
+type multiTracer []Tracer
+
+// Emit implements Tracer.
+func (m multiTracer) Emit(ev Event) {
+	for _, t := range m {
+		t.Emit(ev)
+	}
+}
+
+// Multi combines tracers, skipping nils. It returns nil when nothing
+// remains so callers can test for "no observer at all".
+func Multi(ts ...Tracer) Tracer {
+	var kept multiTracer
+	for _, t := range ts {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+// Recorder is a Tracer that stores every event, for tests and for
+// EXPLAIN ANALYZE-style reporting. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns how many recorded events carry the given Name.
+func (r *Recorder) Count(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.events {
+		if ev.Name() == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}

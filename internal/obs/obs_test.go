@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderAndMulti(t *testing.T) {
+	rec := &Recorder{}
+	var funcCount int
+	tr := Multi(nil, rec, FuncTracer(func(Event) { funcCount++ }))
+	tr.Emit(RoundStart{Round: 1})
+	tr.Emit(RoundEnd{Round: 1, Changed: 5})
+	tr.Emit(RoundStart{Round: 2})
+	if got := rec.Count("round_start"); got != 2 {
+		t.Errorf("round_start count = %d, want 2", got)
+	}
+	if got := rec.Count("round_end"); got != 1 {
+		t.Errorf("round_end count = %d, want 1", got)
+	}
+	if funcCount != 3 {
+		t.Errorf("func tracer saw %d events, want 3", funcCount)
+	}
+	evs := rec.Events()
+	if len(evs) != 3 || evs[1].Name() != "round_end" {
+		t.Errorf("events = %v", evs)
+	}
+	if re, ok := evs[1].(RoundEnd); !ok || re.Changed != 5 {
+		t.Errorf("round_end payload = %+v", evs[1])
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 {
+		t.Error("Reset left events behind")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils must be nil")
+	}
+	if Multi(rec) == nil {
+		t.Error("Multi of one tracer must not be nil")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	for ev, want := range map[Event]string{
+		ExecStart{}:        "exec_start",
+		ExecEnd{}:          "exec_end",
+		RoundStart{}:       "round_start",
+		RoundEnd{}:         "round_end",
+		PartitionDone{}:    "partition_done",
+		Fallback{}:         "fallback",
+		TerminationCheck{}: "termination_check",
+	} {
+		if ev.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", ev, ev.Name(), want)
+		}
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stmt_total").Add(3)
+	r.Counter("stmt_total").Inc()
+	if got := r.Counter("stmt_total").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Gauge("inflight").Set(7)
+	r.Gauge("inflight").Add(-2)
+	if got := r.Gauge("inflight").Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("latency")
+	h.Observe(5 * time.Microsecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(time.Minute) // overflow bucket
+	snap := r.Snapshot()
+	if snap.Empty() {
+		t.Fatal("snapshot must not be empty")
+	}
+	hs := snap.Histograms["latency"]
+	if hs.Count != 3 || hs.Min != 5*time.Microsecond || hs.Max != time.Minute {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	var bucketTotal int64
+	sawOverflow := false
+	for _, b := range hs.Buckets {
+		bucketTotal += b.Count
+		if b.UpperBound == 0 {
+			sawOverflow = true
+		}
+	}
+	if bucketTotal != 3 || !sawOverflow {
+		t.Errorf("buckets = %+v", hs.Buckets)
+	}
+	if hs.Mean() <= 0 {
+		t.Errorf("mean = %v", hs.Mean())
+	}
+	if out := snap.Format(); out == "" {
+		t.Error("Format returned nothing")
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := &Histogram{}
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+// TestConcurrentUse exercises the registry and a recorder from many
+// goroutines (run under -race by the CI target).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	rec := &Recorder{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+				rec.Emit(PartitionDone{Part: i, Round: j})
+				if j%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 1600 || snap.Gauges["g"] != 1600 || snap.Histograms["h"].Count != 1600 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if rec.Count("partition_done") != 1600 {
+		t.Errorf("recorded = %d", rec.Count("partition_done"))
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"sqloop/internal/engine"
+	"sqloop/internal/obs"
 	"sqloop/internal/sqltypes"
 )
 
@@ -15,8 +17,9 @@ import (
 // own engine session, mirroring the one-process-per-connection behaviour
 // SQLoop exploits for parallelism.
 type Server struct {
-	eng *engine.Engine
-	ln  net.Listener
+	eng     *engine.Engine
+	ln      net.Listener
+	metrics *obs.Registry
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -26,8 +29,18 @@ type Server struct {
 
 // NewServer wraps an engine for network serving.
 func NewServer(eng *engine.Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		eng:     eng,
+		conns:   make(map[net.Conn]struct{}),
+		metrics: obs.NewRegistry(),
+	}
 }
+
+// Metrics returns the server's registry: wire_requests_total,
+// wire_request_seconds (per-statement server-side latency),
+// wire_bytes_read_total, wire_bytes_written_total and
+// wire_connections_total accumulate while the server runs.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
 // background. It returns the bound address.
@@ -71,17 +84,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	sess := s.eng.NewSession()
+	s.metrics.Counter("wire_connections_total").Inc()
+	bytesIn := s.metrics.Counter("wire_bytes_read_total")
+	bytesOut := s.metrics.Counter("wire_bytes_written_total")
+	requests := s.metrics.Counter("wire_requests_total")
+	latency := s.metrics.Histogram("wire_request_seconds")
 	for {
 		var req Request
-		if err := ReadFrame(conn, &req); err != nil {
+		n, err := ReadFrameN(conn, &req)
+		bytesIn.Add(int64(n))
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol error: answer once, then drop the connection.
 				_ = WriteFrame(conn, &Response{Error: err.Error()})
 			}
 			return
 		}
+		requests.Inc()
+		start := time.Now()
 		resp := s.execute(sess, &req)
-		if err := WriteFrame(conn, resp); err != nil {
+		latency.Observe(time.Since(start))
+		wn, err := WriteFrameN(conn, resp)
+		bytesOut.Add(int64(wn))
+		if err != nil {
 			return
 		}
 	}
@@ -139,8 +164,15 @@ func (s *Server) Close() error {
 // not safe for concurrent use (use one per goroutine, as with JDBC
 // connections).
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	metrics *obs.Registry
 }
+
+// SetMetrics attaches a registry; the client then reports round-trips
+// (wire_roundtrips_total), client-observed latency
+// (wire_roundtrip_seconds) and traffic (wire_bytes_written_total /
+// wire_bytes_read_total) into it. Pass nil to detach.
+func (c *Client) SetMetrics(r *obs.Registry) { c.metrics = r }
 
 // Dial connects to a wire server.
 func Dial(addr string) (*Client, error) {
@@ -160,11 +192,22 @@ func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error
 			req.Args[i] = ToWire(v)
 		}
 	}
-	if err := WriteFrame(c.conn, &req); err != nil {
+	start := time.Now()
+	wn, err := WriteFrameN(c.conn, &req)
+	if c.metrics != nil {
+		c.metrics.Counter("wire_bytes_written_total").Add(int64(wn))
+	}
+	if err != nil {
 		return nil, err
 	}
 	var resp Response
-	if err := ReadFrame(c.conn, &resp); err != nil {
+	rn, err := ReadFrameN(c.conn, &resp)
+	if c.metrics != nil {
+		c.metrics.Counter("wire_bytes_read_total").Add(int64(rn))
+		c.metrics.Counter("wire_roundtrips_total").Inc()
+		c.metrics.Histogram("wire_roundtrip_seconds").Observe(time.Since(start))
+	}
+	if err != nil {
 		return nil, err
 	}
 	if resp.Error != "" {

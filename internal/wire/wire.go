@@ -119,40 +119,54 @@ func FromWire(w WireValue) (sqltypes.Value, error) {
 
 // WriteFrame sends one length-prefixed JSON message.
 func WriteFrame(w io.Writer, msg any) error {
+	_, err := WriteFrameN(w, msg)
+	return err
+}
+
+// WriteFrameN is WriteFrame reporting the bytes put on the wire
+// (header + payload), for traffic accounting.
+func WriteFrameN(w io.Writer, msg any) (int, error) {
 	payload, err := json.Marshal(msg)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
+		return 0, fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
+		return 0, fmt.Errorf("wire: write header: %w", err)
 	}
 	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
+		return len(hdr), fmt.Errorf("wire: write payload: %w", err)
 	}
-	return nil
+	return len(hdr) + len(payload), nil
 }
 
 // ReadFrame receives one length-prefixed JSON message into msg.
 func ReadFrame(r io.Reader, msg any) error {
+	_, err := ReadFrameN(r, msg)
+	return err
+}
+
+// ReadFrameN is ReadFrame reporting the bytes taken off the wire
+// (header + payload), for traffic accounting.
+func ReadFrameN(r io.Reader, msg any) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err // io.EOF passes through for clean connection close
+		return 0, err // io.EOF passes through for clean connection close
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+		return len(hdr), fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("wire: read payload: %w", err)
+		return len(hdr), fmt.Errorf("wire: read payload: %w", err)
 	}
 	if err := json.Unmarshal(payload, msg); err != nil {
-		return fmt.Errorf("wire: unmarshal: %w", err)
+		return len(hdr) + int(n), fmt.Errorf("wire: unmarshal: %w", err)
 	}
-	return nil
+	return len(hdr) + int(n), nil
 }

@@ -2,6 +2,7 @@ package sqloop
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,7 +34,7 @@ func (r *Router) AddTarget(name, dsn string, opts Options) error {
 
 // AddEmbeddedTarget spins up an embedded engine as a named target.
 func (r *Router) AddEmbeddedTarget(name, profile string, opts Options) error {
-	s, err := OpenEmbedded(profile, opts, false)
+	s, err := OpenEmbedded(profile, opts)
 	if err != nil {
 		return err
 	}
@@ -86,30 +87,51 @@ func (r *Router) Exec(ctx context.Context, target, query string) (*Result, error
 	return s.Exec(ctx, query)
 }
 
-// ExecAll runs the same statement on every target, returning results by
-// target name; it stops at the first error.
-func (r *Router) ExecAll(ctx context.Context, query string) (map[string]*Result, error) {
-	out := make(map[string]*Result)
-	for _, name := range r.Targets() {
-		res, err := r.Exec(ctx, name, query)
-		if err != nil {
-			return nil, fmt.Errorf("target %s: %w", name, err)
-		}
-		out[name] = res
+// ExecAll runs the same statement on every target concurrently (each
+// target is an independent database, so there is nothing to serialize).
+// It returns results by target name plus a per-target error map; errs is
+// nil when every target succeeded. A failed target has no entry in the
+// result map, so partial results stay usable.
+func (r *Router) ExecAll(ctx context.Context, query string) (map[string]*Result, map[string]error) {
+	names := r.Targets()
+	type outcome struct {
+		name string
+		res  *Result
+		err  error
 	}
-	return out, nil
+	ch := make(chan outcome, len(names))
+	for _, name := range names {
+		go func(name string) {
+			res, err := r.Exec(ctx, name, query)
+			ch <- outcome{name: name, res: res, err: err}
+		}(name)
+	}
+	out := make(map[string]*Result, len(names))
+	var errs map[string]error
+	for range names {
+		o := <-ch
+		if o.err != nil {
+			if errs == nil {
+				errs = make(map[string]error)
+			}
+			errs[o.name] = o.err
+			continue
+		}
+		out[o.name] = o.res
+	}
+	return out, errs
 }
 
-// Close closes every target, returning the first error.
+// Close closes every target, joining all errors.
 func (r *Router) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var first error
-	for _, s := range r.targets {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+	var errs []error
+	for name, s := range r.targets {
+		if err := s.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("target %s: %w", name, err))
 		}
 	}
 	r.targets = make(map[string]*SQLoop)
-	return first
+	return errors.Join(errs...)
 }

@@ -17,7 +17,7 @@ func TestRouterRedirectsQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A remote target over the wire protocol, like a second machine.
-	srv, err := sqloop.Serve("mariasim", "127.0.0.1:0", false)
+	srv, err := sqloop.Serve("mariasim", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +59,32 @@ func TestRouterRedirectsQueries(t *testing.T) {
 	if _, err := r.Exec(ctx, "maria", `CREATE TABLE t (v BIGINT)`); err != nil {
 		t.Fatal(err)
 	}
-	all, err := r.ExecAll(ctx, `SELECT COUNT(*) FROM t`)
-	if err != nil {
-		t.Fatal(err)
+	all, errs := r.ExecAll(ctx, `SELECT COUNT(*) FROM t`)
+	if errs != nil {
+		t.Fatal(errs)
 	}
 	if len(all) != 3 {
 		t.Fatalf("targets = %v", r.Targets())
+	}
+	// A failing statement reports per-target errors while the healthy
+	// targets still return results.
+	if _, err := r.Exec(ctx, "maria", `CREATE TABLE only_maria (v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	partial, errs := r.ExecAll(ctx, `SELECT COUNT(*) FROM only_maria`)
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if len(partial) != 1 || partial["maria"] == nil {
+		t.Fatalf("partial = %v", partial)
+	}
+	// Wire-server metrics accumulated across the remote target's work.
+	snap := srv.Metrics().Snapshot()
+	if snap.Counters["wire_requests_total"] == 0 {
+		t.Fatalf("wire metrics empty: %+v", snap.Counters)
+	}
+	if h, ok := snap.Histograms["wire_request_seconds"]; !ok || h.Count == 0 {
+		t.Fatalf("wire latency histogram empty: %+v", snap.Histograms)
 	}
 
 	// An iterative CTE redirected to a chosen target.

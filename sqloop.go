@@ -20,12 +20,15 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
+	"text/tabwriter"
 
 	"sqloop/internal/core"
 	"sqloop/internal/driver"
 	"sqloop/internal/engine"
 	"sqloop/internal/graph"
+	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/wire"
 )
@@ -45,7 +48,39 @@ type (
 	Mode = core.Mode
 	// Analysis reports whether a query qualifies for parallel execution.
 	Analysis = core.Analysis
+	// RoundStats is the per-round trace entry inside ExecStats.
+	RoundStats = core.RoundStats
 )
+
+// Re-exported observability types (see internal/obs). Observers receive
+// typed events through Options.Observer or WithObserver; metrics are
+// read with SQLoop.Metrics().Snapshot().
+type (
+	// Event is one typed execution event.
+	Event = obs.Event
+	// Tracer consumes events.
+	Tracer = obs.Tracer
+	// FuncTracer adapts a function to the Tracer interface.
+	FuncTracer = obs.FuncTracer
+	// Recorder is a Tracer that stores every event (tests, tooling).
+	Recorder = obs.Recorder
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+
+	// Event payload types.
+	ExecStartEvent        = obs.ExecStart
+	ExecEndEvent          = obs.ExecEnd
+	RoundStartEvent       = obs.RoundStart
+	RoundEndEvent         = obs.RoundEnd
+	PartitionDoneEvent    = obs.PartitionDone
+	FallbackEvent         = obs.Fallback
+	TerminationCheckEvent = obs.TerminationCheck
+)
+
+// MultiTracer fans events out to every non-nil tracer.
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
 
 // Execution modes (see the package documentation of internal/core).
 const (
@@ -65,22 +100,66 @@ func ParseMode(name string) (Mode, error) { return core.ParseMode(name) }
 // registered in-process and sqlsim://tcp/<host:port> for a remote
 // sqlsimd server.
 func Open(dsn string, opts Options) (*SQLoop, error) {
+	// Share one registry between the middleware and the driver (and, for
+	// tcp DSNs, the wire client), mirroring OpenEmbedded's wiring; the
+	// registration must precede core.Open so the first pooled connection
+	// reports into it.
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	driver.SetDSNMetrics(dsn, opts.Metrics)
 	return core.Open(driver.DriverName, dsn, opts)
 }
 
 var embeddedSeq atomic.Int64
 
+// OpenOption configures OpenEmbedded and Serve beyond Options — the
+// knobs that concern the embedded engine rather than the middleware.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	cost     bool
+	observer obs.Tracer
+}
+
+// WithCostModel enables the calibrated latency model used by the
+// benchmark harness, so multi-connection parallelism behaves like the
+// paper's multi-core server even on a small host.
+func WithCostModel() OpenOption {
+	return func(c *openConfig) { c.cost = true }
+}
+
+// WithObserver attaches a tracer in addition to any Options.Observer,
+// as a composable alternative to setting the struct field.
+func WithObserver(t Tracer) OpenOption {
+	return func(c *openConfig) { c.observer = obs.Multi(c.observer, t) }
+}
+
+func applyOpenOptions(extra []OpenOption) openConfig {
+	var c openConfig
+	for _, o := range extra {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
 // OpenEmbedded spins up an embedded engine with the named profile
 // ("pgsim"/"postgres", "mysim"/"mysql", "mariasim"/"mariadb") and
-// returns a SQLoop bound to it. withCost enables the calibrated latency
-// model used by the benchmark harness; leave it false for plain use.
-func OpenEmbedded(profile string, opts Options, withCost bool) (*SQLoop, error) {
+// returns a SQLoop bound to it. The engine and the driver report into
+// the instance's Metrics() registry, so one snapshot covers all layers.
+func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, error) {
+	oc := applyOpenOptions(extra)
 	cfg, err := engine.Profile(profile)
 	if err != nil {
 		return nil, err
 	}
-	if withCost {
+	if oc.cost {
 		cfg.Cost = engine.DefaultCost(cfg.Dialect)
+	}
+	if oc.observer != nil {
+		opts.Observer = obs.Multi(opts.Observer, oc.observer)
 	}
 	eng := engine.New(cfg)
 	handle := "embedded-" + strconv.FormatInt(embeddedSeq.Add(1), 10)
@@ -88,12 +167,30 @@ func OpenEmbedded(profile string, opts Options, withCost bool) (*SQLoop, error) 
 	if opts.Dialect == "" {
 		opts.Dialect = cfg.Dialect.String()
 	}
-	s, err := core.Open(driver.DriverName, driver.InprocDSN(handle), opts)
+	// One registry shared by the middleware, the driver connections and
+	// the engine: register it before core.Open so even the first pooled
+	// connection reports into it.
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	dsn := driver.InprocDSN(handle)
+	eng.SetMetrics(opts.Metrics)
+	driver.SetDSNMetrics(dsn, opts.Metrics)
+	s, err := core.Open(driver.DriverName, dsn, opts)
 	if err != nil {
 		driver.UnregisterEngine(handle)
+		driver.SetDSNMetrics(dsn, nil)
 		return nil, err
 	}
 	return s, nil
+}
+
+// OpenEmbeddedWithCost is the pre-option-API form of
+// OpenEmbedded(profile, opts, WithCostModel()).
+//
+// Deprecated: use OpenEmbedded with WithCostModel.
+func OpenEmbeddedWithCost(profile string, opts Options) (*SQLoop, error) {
+	return OpenEmbedded(profile, opts, WithCostModel())
 }
 
 // Server is a network-facing embedded engine (the standalone form of
@@ -106,20 +203,33 @@ type Server struct {
 
 // Serve starts an embedded engine with the given profile listening on
 // addr ("127.0.0.1:0" picks a free port).
-func Serve(profile, addr string, withCost bool) (*Server, error) {
+func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
+	oc := applyOpenOptions(extra)
 	cfg, err := engine.Profile(profile)
 	if err != nil {
 		return nil, err
 	}
-	if withCost {
+	if oc.cost {
 		cfg.Cost = engine.DefaultCost(cfg.Dialect)
 	}
-	srv := wire.NewServer(engine.New(cfg))
+	eng := engine.New(cfg)
+	srv := wire.NewServer(eng)
+	// Server-side statements and lock waits land in the same registry as
+	// the wire request metrics.
+	eng.SetMetrics(srv.Metrics())
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{srv: srv, addr: bound}, nil
+}
+
+// ServeWithCost is the pre-option-API form of
+// Serve(profile, addr, WithCostModel()).
+//
+// Deprecated: use Serve with WithCostModel.
+func ServeWithCost(profile, addr string) (*Server, error) {
+	return Serve(profile, addr, WithCostModel())
 }
 
 // Addr returns the bound address (connect with sqloop.Open(TCPDSN)).
@@ -131,32 +241,49 @@ func (s *Server) DSN() string { return driver.TCPDSN(s.addr) }
 // Close stops the server and its connections.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// Metrics returns the server's registry: per-statement wire latency,
+// request counts, traffic bytes and engine-side instruments.
+func (s *Server) Metrics() *MetricsRegistry { return s.srv.Metrics() }
+
 // Profiles lists the available embedded engine profiles.
 func Profiles() []string { return []string{"pgsim", "mysim", "mariasim"} }
 
 // FormatRows renders a result set as a plain text table (a convenience
-// for the example programs and the CLI).
+// for the example programs and the CLI). Columns are aligned to the
+// widest value instead of a fixed width.
 func FormatRows(res *Result, max int) string {
-	out := ""
-	for _, c := range res.Columns {
-		out += fmt.Sprintf("%-16s", c)
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for i, c := range res.Columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c)
 	}
-	out += "\n"
+	fmt.Fprintln(tw)
+	truncated := 0
 	for i, row := range res.Rows {
 		if max > 0 && i >= max {
-			out += fmt.Sprintf("... (%d more rows)\n", len(res.Rows)-max)
+			truncated = len(res.Rows) - max
 			break
 		}
-		for _, v := range row {
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(tw, "\t")
+			}
 			if v == nil {
-				out += fmt.Sprintf("%-16s", "NULL")
+				fmt.Fprint(tw, "NULL")
 			} else {
-				out += fmt.Sprintf("%-16v", v)
+				fmt.Fprintf(tw, "%v", v)
 			}
 		}
-		out += "\n"
+		fmt.Fprintln(tw)
 	}
-	return out
+	tw.Flush()
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... (%d more rows)\n", truncated)
+	}
+	return b.String()
 }
 
 // LoadDataset generates one of the bundled synthetic datasets
@@ -177,6 +304,10 @@ func LoadDataset(s *SQLoop, name string, nodes, seed int64) (int, error) {
 // Explain describes how SQLoop would execute a statement (see
 // core.Explain).
 type Explain = core.Explain
+
+// ExplainAnalysis pairs the static plan with the observed profile of
+// one actual run (see core.ExplainAnalysis); render it with Render.
+type ExplainAnalysis = core.ExplainAnalysis
 
 // ExplainQuery is re-exported for convenience; it analyzes a statement
 // without executing it.

@@ -11,7 +11,7 @@ import (
 func TestPublicAPIEmbedded(t *testing.T) {
 	for _, profile := range sqloop.Profiles() {
 		t.Run(profile, func(t *testing.T) {
-			db, err := sqloop.OpenEmbedded(profile, sqloop.Options{Mode: sqloop.ModeSync, Threads: 2, Partitions: 4}, false)
+			db, err := sqloop.OpenEmbedded(profile, sqloop.Options{Mode: sqloop.ModeSync, Threads: 2, Partitions: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -50,7 +50,7 @@ SELECT COUNT(*) FROM PageRank`)
 }
 
 func TestPublicAPIOverTCP(t *testing.T) {
-	srv, err := sqloop.Serve("pgsim", "127.0.0.1:0", false)
+	srv, err := sqloop.Serve("pgsim", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +107,13 @@ func TestFormatRows(t *testing.T) {
 }
 
 func TestOpenEmbeddedBadProfile(t *testing.T) {
-	if _, err := sqloop.OpenEmbedded("oracle", sqloop.Options{}, false); err == nil {
+	if _, err := sqloop.OpenEmbedded("oracle", sqloop.Options{}); err == nil {
 		t.Fatal("unknown profile must error")
 	}
 }
 
 func TestLoadDatasetBadName(t *testing.T) {
-	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,8 +123,68 @@ func TestLoadDatasetBadName(t *testing.T) {
 	}
 }
 
+func TestObservabilityFacade(t *testing.T) {
+	rec := &sqloop.Recorder{}
+	db, err := sqloop.OpenEmbedded("pgsim",
+		sqloop.Options{Mode: sqloop.ModeSync, Threads: 2, Partitions: 4},
+		sqloop.WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := sqloop.LoadDataset(db, "google-web", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(ctx, `
+WITH ITERATIVE PageRank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT PageRank.Node,
+         COALESCE(PageRank.Rank + PageRank.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM PageRank
+  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst
+  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY PageRank.Node
+  UNTIL 3 ITERATIONS
+)
+SELECT COUNT(*) FROM PageRank`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tracer attached through the functional option saw every round.
+	if got := rec.Count("round_end"); got != res.Stats.Iterations {
+		t.Errorf("round_end events = %d, want %d", got, res.Stats.Iterations)
+	}
+	if len(res.Stats.Rounds) != res.Stats.Iterations {
+		t.Errorf("Stats.Rounds has %d entries, want %d",
+			len(res.Stats.Rounds), res.Stats.Iterations)
+	}
+	// OpenEmbedded wires middleware, driver and engine into one shared
+	// registry, so a single snapshot spans all three layers.
+	snap := db.Metrics().Snapshot()
+	if snap.Empty() {
+		t.Fatal("metrics snapshot empty after iterative Exec")
+	}
+	for _, name := range []string{
+		"sqloop_statements_total",
+		"driver_statements_total",
+		"engine_statements_total",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("%s = 0, want > 0 (counters: %+v)", name, snap.Counters)
+		}
+	}
+	if h, ok := snap.Histograms["engine_statement_seconds"]; !ok || h.Count == 0 {
+		t.Errorf("engine latency histogram missing/empty")
+	}
+}
+
 func TestExplainFacade(t *testing.T) {
-	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{}, false)
+	db, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
