@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench clean
+.PHONY: all build vet test race fuzz tier1 bench clean
 
 all: tier1
 
@@ -13,10 +13,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel executors and the observability layer are the concurrency
-# hot spots; keep them race-clean.
+# The parallel executors, the observability layer, the checkpoint store
+# and the fault-injected transport/driver are the concurrency hot spots;
+# the root package holds the crash-recovery matrix. Keep them race-clean.
 race:
-	$(GO) test -race ./internal/core ./internal/obs
+	$(GO) test -race . ./internal/core ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver
+
+# The snapshot codec must reject arbitrary corruption without panicking.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=10s ./internal/ckpt
 
 # Tier-1 verification (ROADMAP.md): everything must stay green.
 tier1: build vet test race

@@ -45,6 +45,8 @@ func run() error {
 		metrics  = flag.Bool("metrics", false, "print the metrics snapshot after execution")
 		cost     = flag.Bool("cost", false, "embedded engine: enable the calibrated latency model")
 		script   = flag.Bool("gen-script", false, "print the hand-written SQL script equivalent of an iterative CTE")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for round-boundary snapshots (enables crash recovery)")
+		ckptN    = flag.Int("checkpoint-every", 2, "checkpoint every N rounds when -checkpoint-dir is set")
 	)
 	flag.Parse()
 
@@ -53,6 +55,9 @@ func run() error {
 		return err
 	}
 	opts := sqloop.Options{Mode: mode, Threads: *threads, Partitions: *parts, PriorityQuery: *prio}
+	if *ckptDir != "" {
+		opts.Checkpoint = sqloop.CheckpointOptions{Dir: *ckptDir, EveryRounds: *ckptN}
+	}
 
 	var db *sqloop.SQLoop
 	if *dsn != "" {
@@ -164,11 +169,12 @@ func run() error {
 //
 //	\metrics      print the instance's metrics snapshot
 //	\explain SQL  analyze a statement without executing it
+//	\checkpoints  list stored snapshots (needs -checkpoint-dir)
 //	\q            quit
 func repl(db *sqloop.SQLoop, maxRows int) error {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	fmt.Println(`sqloopcli interactive — end statements with ';', \metrics for metrics, \q to quit`)
+	fmt.Println(`sqloopcli interactive — end statements with ';', \metrics for metrics, \checkpoints for snapshots, \q to quit`)
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -187,6 +193,20 @@ func repl(db *sqloop.SQLoop, maxRows int) error {
 				return nil
 			case `\metrics`:
 				fmt.Print(db.Metrics().Snapshot().Format())
+			case `\checkpoints`:
+				infos, err := db.ListCheckpoints()
+				switch {
+				case err != nil:
+					fmt.Println("error:", err)
+				case len(infos) == 0:
+					fmt.Println("no checkpoints")
+				default:
+					for _, ci := range infos {
+						fmt.Printf("%s  %s/%s  round %d  %d bytes  %s\n",
+							ci.Key, ci.CTE, ci.Mode, ci.Round, ci.Size,
+							ci.ModTime.Format(time.RFC3339))
+					}
+				}
 			case `\explain`:
 				ex, err := sqloop.ExplainQuery(db, strings.TrimSuffix(strings.TrimSpace(rest), ";"))
 				if err != nil {

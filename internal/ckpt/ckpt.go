@@ -1,0 +1,374 @@
+// Package ckpt implements SQLoop's checkpoint/recovery snapshots: the
+// durable form of an iterative query's in-flight state (the recursion
+// table R or the per-partition delta tables, plus the round counter).
+// Long-running iterative queries — PageRank and SSSP run dozens to
+// hundreds of rounds — lose every completed round to a single dropped
+// connection without it; with it, core re-enters the loop at the last
+// checkpointed round boundary.
+//
+// Snapshots are engine-neutral: core reads the state through plain SQL
+// and hands this package column names and Go scalar rows, so the same
+// snapshot restores against any engine reachable through database/sql.
+// The on-disk format is versioned, CRC-checksummed and written through
+// an atomic rename, so a crash during Save never leaves a snapshot a
+// later run could half-read.
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Version is the current snapshot payload version. Decoders reject
+// snapshots written by a newer version instead of misreading them.
+const Version = 1
+
+// magic identifies a SQLoop checkpoint file. The trailing newline makes
+// accidental text files fail fast.
+const magic = "SQLCKPT\n"
+
+// maxPayload bounds a snapshot payload (1 GiB); anything larger is a
+// corrupt length field, not a real checkpoint.
+const maxPayload = 1 << 30
+
+// fileExt is the snapshot file suffix inside a Store directory.
+const fileExt = ".ckpt"
+
+// CorruptError reports a snapshot that failed structural validation
+// (bad magic, bad checksum, truncated payload, unknown version).
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return "ckpt: corrupt snapshot: " + e.Reason }
+
+// Snapshot is the full recoverable state of one iterative execution at
+// a round boundary.
+type Snapshot struct {
+	// Key identifies the execution: Key(query, mode, engine DSN).
+	Key string `json:"key"`
+	// Query is the normalized statement text (for listing/debugging;
+	// the key, not this field, decides matches).
+	Query string `json:"query"`
+	// Mode names the execution mode the snapshot was taken under; a
+	// snapshot only resumes the same mode.
+	Mode string `json:"mode"`
+	// Engine is the DSN of the target database.
+	Engine string `json:"engine"`
+	// CTE is the CTE's declared name.
+	CTE string `json:"cte"`
+	// Round is the last completed round; a resumed run continues from
+	// Round instead of 0.
+	Round int `json:"round"`
+	// Partitions is the partition count of a parallel run (0 for the
+	// single-threaded executors). A snapshot only resumes under the
+	// same partitioning — PARTHASH assignments depend on it.
+	Partitions int `json:"partitions,omitempty"`
+	// PartRounds is the per-partition completed round count of an
+	// asynchronous run (partitions run ahead of the global round).
+	PartRounds []int `json:"partRounds,omitempty"`
+	// Columns are the CTE's public column names.
+	Columns []string `json:"columns"`
+	// Tables is the captured working state.
+	Tables []TableState `json:"tables"`
+	// CreatedAt is the wall-clock time the snapshot was taken.
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// TableState is one captured working table.
+type TableState struct {
+	Name    string    `json:"name"`
+	Columns []string  `json:"columns"`
+	Rows    [][]Value `json:"rows"`
+}
+
+// Value is the JSON encoding of one SQL scalar. Exactly one pointer
+// field is set, or all nil for SQL NULL; non-finite floats ride in
+// Special because JSON has no literal for them.
+type Value struct {
+	Int     *int64   `json:"i,omitempty"`
+	Float   *float64 `json:"f,omitempty"`
+	Str     *string  `json:"s,omitempty"`
+	Bool    *bool    `json:"b,omitempty"`
+	Special string   `json:"x,omitempty"` // "+inf" | "-inf" | "nan"
+}
+
+// EncodeValue converts a database/sql scan value for storage.
+func EncodeValue(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Value{}, nil
+	case int64:
+		return Value{Int: &x}, nil
+	case int:
+		i := int64(x)
+		return Value{Int: &i}, nil
+	case float64:
+		switch {
+		case math.IsInf(x, 1):
+			return Value{Special: "+inf"}, nil
+		case math.IsInf(x, -1):
+			return Value{Special: "-inf"}, nil
+		case math.IsNaN(x):
+			return Value{Special: "nan"}, nil
+		default:
+			return Value{Float: &x}, nil
+		}
+	case string:
+		return Value{Str: &x}, nil
+	case []byte:
+		s := string(x)
+		return Value{Str: &s}, nil
+	case bool:
+		return Value{Bool: &x}, nil
+	default:
+		return Value{}, fmt.Errorf("ckpt: unsupported value type %T", v)
+	}
+}
+
+// Decode converts a stored value back to its Go scalar.
+func (v Value) Decode() (any, error) {
+	set := 0
+	if v.Int != nil {
+		set++
+	}
+	if v.Float != nil {
+		set++
+	}
+	if v.Str != nil {
+		set++
+	}
+	if v.Bool != nil {
+		set++
+	}
+	if v.Special != "" {
+		set++
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("ckpt: value sets %d fields", set)
+	}
+	switch {
+	case v.Int != nil:
+		return *v.Int, nil
+	case v.Float != nil:
+		return *v.Float, nil
+	case v.Str != nil:
+		return *v.Str, nil
+	case v.Bool != nil:
+		return *v.Bool, nil
+	case v.Special == "+inf":
+		return math.Inf(1), nil
+	case v.Special == "-inf":
+		return math.Inf(-1), nil
+	case v.Special == "nan":
+		return math.NaN(), nil
+	case v.Special != "":
+		return nil, fmt.Errorf("ckpt: unknown special value %q", v.Special)
+	default:
+		return nil, nil
+	}
+}
+
+// Key derives the snapshot identity from the normalized query text, the
+// execution mode and the engine DSN. Callers must canonicalize the
+// query (core formats the parsed statement) so whitespace and case
+// variants of the same query share a checkpoint.
+func Key(query, mode, dsn string) string {
+	h := sha256.New()
+	io.WriteString(h, query)
+	h.Write([]byte{0})
+	io.WriteString(h, mode)
+	h.Write([]byte{0})
+	io.WriteString(h, dsn)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Encode writes one snapshot: magic, version, payload length, CRC-32
+// (IEEE) of the payload, then the JSON payload. It returns the total
+// bytes written.
+func Encode(w io.Writer, s *Snapshot) (int64, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: marshal: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("ckpt: snapshot of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [20]byte
+	copy(hdr[:8], magic)
+	binary.BigEndian.PutUint32(hdr[8:12], Version)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("ckpt: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return int64(len(hdr)), fmt.Errorf("ckpt: write payload: %w", err)
+	}
+	return int64(len(hdr) + len(payload)), nil
+}
+
+// Decode reads and validates one snapshot.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, &CorruptError{Reason: "truncated header"}
+	}
+	if string(hdr[:8]) != magic {
+		return nil, &CorruptError{Reason: "bad magic"}
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != Version {
+		return nil, &CorruptError{Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > maxPayload {
+		return nil, &CorruptError{Reason: fmt.Sprintf("payload length %d exceeds limit", n)}
+	}
+	sum := binary.BigEndian.Uint32(hdr[16:20])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, &CorruptError{Reason: "truncated payload"}
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, &CorruptError{Reason: "checksum mismatch"}
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, &CorruptError{Reason: "unmarshal: " + err.Error()}
+	}
+	return &s, nil
+}
+
+// Info describes one stored snapshot (for listing, e.g. the CLI's
+// \checkpoints command).
+type Info struct {
+	Key     string
+	CTE     string
+	Mode    string
+	Round   int
+	Query   string
+	Size    int64
+	ModTime time.Time
+}
+
+// Store manages the snapshot files of one checkpoint directory. One
+// file per key; Save replaces atomically.
+type Store struct{ dir string }
+
+// NewStore opens (creating if needed) the checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(key string) string { return filepath.Join(st.dir, key+fileExt) }
+
+// Save durably writes the snapshot for its key, replacing any previous
+// one. The write goes to a temp file first and is renamed into place,
+// so readers only ever see complete snapshots. Returns the byte size.
+func (st *Store) Save(s *Snapshot) (int64, error) {
+	f, err := os.CreateTemp(st.dir, "."+s.Key+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	tmp := f.Name()
+	n, err := Encode(f, s)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, st.path(s.Key))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// Load reads the snapshot for key. A missing snapshot returns
+// (nil, nil); a corrupt one returns a *CorruptError.
+func (st *Store) Load(key string) (*Snapshot, error) {
+	f, err := os.Open(st.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	if s.Key != key {
+		return nil, &CorruptError{Reason: fmt.Sprintf("key mismatch: file %s holds %s", key, s.Key)}
+	}
+	return s, nil
+}
+
+// Remove deletes the snapshot for key (no error when absent).
+func (st *Store) Remove(key string) error {
+	err := os.Remove(st.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// List describes every readable snapshot in the directory, newest
+// first. Corrupt or foreign files are skipped, not errors: a listing
+// must not fail because one snapshot is damaged.
+func (st *Store) List() ([]Info, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var out []Info
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, fileExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		key := strings.TrimSuffix(name, fileExt)
+		s, err := st.Load(key)
+		if err != nil || s == nil {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Info{
+			Key:     s.Key,
+			CTE:     s.CTE,
+			Mode:    s.Mode,
+			Round:   s.Round,
+			Query:   s.Query,
+			Size:    fi.Size(),
+			ModTime: fi.ModTime(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ModTime.After(out[j].ModTime) })
+	return out, nil
+}

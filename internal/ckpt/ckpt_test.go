@@ -1,0 +1,251 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// sampleSnapshot builds a snapshot exercising every value kind.
+func sampleSnapshot() *Snapshot {
+	i := int64(42)
+	f := 3.5
+	s := "node-1"
+	b := true
+	return &Snapshot{
+		Key:        Key("SELECT 1", "async", "sqlsim://tcp/127.0.0.1:1"),
+		Query:      "SELECT 1",
+		Mode:       "async",
+		Engine:     "sqlsim://tcp/127.0.0.1:1",
+		CTE:        "pr",
+		Round:      6,
+		Partitions: 4,
+		PartRounds: []int{6, 7, 6, 6},
+		Columns:    []string{"id", "rank", "delta"},
+		Tables: []TableState{
+			{
+				Name:    "sqloop_pr_pt0",
+				Columns: []string{"id", "rank", "delta"},
+				Rows: [][]Value{
+					{{Int: &i}, {Float: &f}, {Str: &s}},
+					{{Bool: &b}, {Special: "+inf"}, {}},
+					{{Special: "-inf"}, {Special: "nan"}, {Int: &i}},
+				},
+			},
+			{Name: "sqloop_pr_pt1", Columns: []string{"id"}, Rows: nil},
+		},
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	var buf bytes.Buffer
+	n, err := Encode(&buf, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    good[:10],
+		"bad magic":       append([]byte("NOTCKPT\n"), good[8:]...),
+		"truncated":       good[:len(good)-5],
+		"flipped payload": flipByte(good, len(good)-3),
+		"flipped crc":     flipByte(good, 17),
+		"bad version":     flipByte(good, 11),
+	}
+	for name, data := range cases {
+		_, err := Decode(bytes.NewReader(data))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: want CorruptError, got %v", name, err)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestValueEncodeDecode(t *testing.T) {
+	for _, v := range []any{nil, int64(7), 2.25, "x", true, math.Inf(1), math.Inf(-1)} {
+		enc, err := EncodeValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("value %v round-tripped to %v", v, got)
+		}
+	}
+	// NaN compares unequal to itself; check the kind explicitly.
+	enc, err := EncodeValue(math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := got.(float64); !ok || !math.IsNaN(f) {
+		t.Errorf("NaN round-tripped to %v", got)
+	}
+	// []byte flattens to string (database/sql hands text back as bytes
+	// with some drivers).
+	enc, err = EncodeValue([]byte("bs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := enc.Decode(); got != "bs" {
+		t.Errorf("[]byte round-tripped to %v", got)
+	}
+	if _, err := EncodeValue(struct{}{}); err == nil {
+		t.Error("EncodeValue accepted a struct")
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	k1 := Key("SELECT * FROM r", "sync", "dsn-a")
+	if k1 != Key("SELECT * FROM r", "sync", "dsn-a") {
+		t.Error("identical inputs produced different keys")
+	}
+	for name, other := range map[string]string{
+		"query": Key("SELECT * FROM s", "sync", "dsn-a"),
+		"mode":  Key("SELECT * FROM r", "async", "dsn-a"),
+		"dsn":   Key("SELECT * FROM r", "sync", "dsn-b"),
+	} {
+		if other == k1 {
+			t.Errorf("changing the %s did not change the key", name)
+		}
+	}
+	if len(k1) != 16 {
+		t.Errorf("key %q is not 16 hex chars", k1)
+	}
+}
+
+func TestStoreSaveLoadListRemove(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampleSnapshot()
+	n, err := st.Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("Save reported %d bytes", n)
+	}
+
+	got, err := st.Load(s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Round != s.Round || len(got.Tables) != len(s.Tables) {
+		t.Fatalf("Load returned %+v", got)
+	}
+
+	// Replacement: a later snapshot at a higher round wins.
+	s2 := sampleSnapshot()
+	s2.Round = 8
+	if _, err := st.Save(s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.Load(s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 8 {
+		t.Fatalf("replacement not visible: round %d", got.Round)
+	}
+
+	infos, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Key != s.Key || infos[0].Round != 8 || infos[0].Size <= 0 {
+		t.Fatalf("List returned %+v", infos)
+	}
+
+	if err := st.Remove(s.Key); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Load(s.Key); err != nil || got != nil {
+		t.Fatalf("Load after Remove: %v, %v", got, err)
+	}
+	if err := st.Remove(s.Key); err != nil {
+		t.Fatalf("Remove of a missing snapshot: %v", err)
+	}
+}
+
+func TestLoadMissingAndCorrupt(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Load("deadbeefdeadbeef"); err != nil || got != nil {
+		t.Fatalf("missing snapshot: %v, %v", got, err)
+	}
+	// A corrupt file must surface as CorruptError, and List must skip it.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "deadbeefdeadbeef.ckpt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Load("deadbeefdeadbeef")
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CorruptError, got %v", err)
+	}
+	infos, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("List included the corrupt file: %+v", infos)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after Save", len(entries))
+	}
+}

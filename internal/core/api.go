@@ -10,6 +10,7 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strings"
 	"time"
@@ -117,6 +118,63 @@ type Options struct {
 	// engine, the driver) report into the same snapshot — OpenEmbedded
 	// relies on this.
 	Metrics *obs.Registry
+	// Checkpoint enables crash recovery for iterative and recursive
+	// CTEs: execution state is snapshotted to disk at round boundaries
+	// and a failed run resumes from the last snapshot instead of the
+	// seed. Disabled when Dir is empty.
+	Checkpoint CheckpointOptions
+}
+
+// CheckpointOptions configures the checkpoint & recovery subsystem.
+type CheckpointOptions struct {
+	// Dir is the snapshot directory; empty disables checkpointing.
+	Dir string
+	// EveryRounds is the checkpoint interval K: state is saved after
+	// every K-th completed round (default 1).
+	EveryRounds int
+	// MaxRecoveries bounds how many times one Exec call may restore
+	// from a snapshot and continue after a recoverable failure
+	// (default 3).
+	MaxRecoveries int
+	// RetryBackoff is the base sleep before a recovery attempt; each
+	// attempt doubles it, with up to 50% jitter (default 100ms).
+	RetryBackoff time.Duration
+}
+
+// enabled reports whether checkpointing is on.
+func (c CheckpointOptions) enabled() bool { return c.Dir != "" }
+
+// every returns the normalized interval.
+func (c CheckpointOptions) every() int {
+	if c.EveryRounds < 1 {
+		return 1
+	}
+	return c.EveryRounds
+}
+
+// recoveries returns the normalized recovery bound.
+func (c CheckpointOptions) recoveries() int {
+	if c.MaxRecoveries < 1 {
+		return 3
+	}
+	return c.MaxRecoveries
+}
+
+// backoff returns the sleep before recovery attempt n (1-based),
+// doubling from the base with up to 50% jitter.
+func (c CheckpointOptions) backoff(n int) time.Duration {
+	d := c.RetryBackoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= 5*time.Second {
+			d = 5 * time.Second
+			break
+		}
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 // withDefaults fills unset options.
@@ -167,6 +225,13 @@ type ExecStats struct {
 	// per-iteration trace the paper's §VI evaluation plots (delta sizes,
 	// round runtimes, straggler spread). len(Rounds) == Iterations.
 	Rounds []RoundStats
+	// ResumedFromRound is the checkpointed round this execution resumed
+	// after (0 when the run started from the seed). Recovery within one
+	// Exec call and an explicit ResumeQuery both set it.
+	ResumedFromRound int
+	// Recoveries counts how many times this Exec call restarted from a
+	// snapshot after a recoverable failure.
+	Recoveries int
 }
 
 // RoundStats is the trace of one completed round/iteration.
@@ -197,6 +262,9 @@ type SQLoop struct {
 	db      *sql.DB
 	opts    Options
 	dialect sqlparser.Dialect
+	// dsn identifies the engine for checkpoint keys (empty when the
+	// instance was built from a bare *sql.DB).
+	dsn string
 	// tracer is never nil: it fans out to Options.Observer and the
 	// OnRound adapter, or discards events when neither is set.
 	tracer obs.Tracer
@@ -213,7 +281,12 @@ func Open(driverName, dsn string, opts Options) (*SQLoop, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open %s: %w", dsn, err)
 	}
-	return NewWithDB(db, opts)
+	s, err := NewWithDB(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.dsn = dsn
+	return s, nil
 }
 
 // NewWithDB wraps an existing database handle.
@@ -332,12 +405,33 @@ func (s *SQLoop) execLoopCTE(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*
 	}
 	s.tracer.Emit(obs.ExecStart{Kind: kind, CTE: cte.Name, Mode: s.opts.Mode.String()})
 	start := time.Now()
-	var res *Result
-	var err error
-	if cte.Kind == sqlparser.CTERecursive {
-		res, err = s.execRecursive(ctx, cte)
-	} else {
-		res, err = s.execIterative(ctx, cte)
+	run := func() (*Result, error) {
+		if cte.Kind == sqlparser.CTERecursive {
+			return s.execRecursive(ctx, cte)
+		}
+		return s.execIterative(ctx, cte)
+	}
+	res, err := run()
+	// Recovery loop: with checkpointing on, a transport-level failure
+	// (lost engine connection) restarts the executor, which restores
+	// from the latest snapshot — including any taken by the attempt
+	// that just failed — instead of the seed.
+	if err != nil && s.opts.Checkpoint.enabled() {
+		for attempt := 1; attempt <= s.opts.Checkpoint.recoveries() && recoverable(err); attempt++ {
+			backoff := s.opts.Checkpoint.backoff(attempt)
+			s.tracer.Emit(obs.Retry{CTE: cte.Name, Attempt: attempt, Err: err.Error(), Backoff: backoff})
+			s.metrics.Counter("sqloop_recoveries_total").Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			var res2 *Result
+			if res2, err = run(); err == nil {
+				res2.Stats.Recoveries = attempt
+				res = res2
+			}
+		}
 	}
 	end := obs.ExecEnd{CTE: cte.Name, Elapsed: time.Since(start)}
 	if err != nil {

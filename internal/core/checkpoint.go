@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"sqloop/internal/ckpt"
+	"sqloop/internal/obs"
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/sqltypes"
+)
+
+// This file connects the executors to internal/ckpt. All snapshot I/O
+// goes through engine-neutral SQL on the coordinator connection: the
+// middleware can checkpoint any engine it can query, exactly as it can
+// execute against any engine it can reach — no storage-format access,
+// no engine cooperation.
+//
+// Snapshots are only taken at round boundaries, where the executors'
+// invariants make the visible state self-contained: the terminator has
+// just refreshed Rdelta to equal R, the Sync barrier has drained every
+// message table, and the async executors drain in-flight messages into
+// the partition deltas before saving (the same soft barrier their
+// termination checks use). Restoring therefore only needs the table
+// contents and the round counter.
+
+// CheckpointInfo describes one stored snapshot (see ckpt.Info).
+type CheckpointInfo = ckpt.Info
+
+// ckptRun is one execution's checkpoint context; a nil *ckptRun means
+// checkpointing is disabled and every method no-ops.
+type ckptRun struct {
+	s       *SQLoop
+	store   *ckpt.Store
+	key     string
+	query   string
+	mode    string
+	cteName string
+	every   int
+	// resumed is the snapshot this run restores from; nil for a fresh
+	// start. Executors clear it when its shape does not match theirs
+	// (e.g. the partition count changed between runs).
+	resumed *ckpt.Snapshot
+}
+
+// newCkptRun opens the snapshot store and loads any snapshot matching
+// this query under the current mode and engine. Corrupt snapshots are
+// discarded, not fatal: a damaged file must not make the query
+// unrunnable.
+func (s *SQLoop) newCkptRun(cte *sqlparser.LoopCTEStmt) (*ckptRun, error) {
+	if !s.opts.Checkpoint.enabled() {
+		return nil, nil
+	}
+	store, err := ckpt.NewStore(s.opts.Checkpoint.Dir)
+	if err != nil {
+		return nil, err
+	}
+	query := sqlparser.Format(cte)
+	r := &ckptRun{
+		s: s, store: store,
+		query:   query,
+		mode:    s.opts.Mode.String(),
+		cteName: cte.Name,
+		every:   s.opts.Checkpoint.every(),
+	}
+	r.key = ckpt.Key(query, r.mode, s.dsn)
+	snap, err := store.Load(r.key)
+	if err != nil {
+		var ce *ckpt.CorruptError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		_ = store.Remove(r.key)
+		snap = nil
+	}
+	r.resumed = snap
+	return r, nil
+}
+
+// due reports whether a checkpoint is scheduled after the given round.
+func (r *ckptRun) due(round int) bool {
+	return r != nil && round > 0 && round%r.every == 0
+}
+
+// restoring reports whether this run starts from a snapshot.
+func (r *ckptRun) restoring() bool { return r != nil && r.resumed != nil }
+
+// save reads the named tables through SQL and writes one snapshot.
+func (r *ckptRun) save(ctx context.Context, c *dbConn, round, partitions int, partRounds []int, cols, tables []string) error {
+	if r == nil {
+		return nil
+	}
+	start := time.Now()
+	snap := &ckpt.Snapshot{
+		Key: r.key, Query: r.query, Mode: r.mode, Engine: r.s.dsn,
+		CTE: r.cteName, Round: round, Partitions: partitions,
+		PartRounds: append([]int(nil), partRounds...),
+		Columns:    append([]string(nil), cols...),
+		CreatedAt:  time.Now().UTC(),
+	}
+	for _, t := range tables {
+		ts, err := r.readTable(ctx, c, t)
+		if err != nil {
+			return err
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	n, err := r.store.Save(snap)
+	if err != nil {
+		return fmt.Errorf("checkpoint of %s at round %d: %w", r.cteName, round, err)
+	}
+	elapsed := time.Since(start)
+	r.s.tracer.Emit(obs.Checkpoint{CTE: r.cteName, Round: round,
+		Tables: len(snap.Tables), Bytes: n, Elapsed: elapsed})
+	r.s.metrics.Counter("sqloop_checkpoints_total").Inc()
+	r.s.metrics.Counter("sqloop_checkpoint_bytes_total").Add(n)
+	r.s.metrics.Histogram("sqloop_checkpoint_seconds").Observe(elapsed)
+	return nil
+}
+
+// readTable captures one table's full contents.
+func (r *ckptRun) readTable(ctx context.Context, c *dbConn, name string) (ckpt.TableState, error) {
+	res, err := c.runStmt(ctx, &sqlparser.SelectStmt{Body: selectStar(name)})
+	if err != nil {
+		return ckpt.TableState{}, err
+	}
+	ts := ckpt.TableState{Name: name, Columns: res.Columns, Rows: make([][]ckpt.Value, len(res.Rows))}
+	for i, row := range res.Rows {
+		enc := make([]ckpt.Value, len(row))
+		for j, v := range row {
+			ev, err := ckpt.EncodeValue(v)
+			if err != nil {
+				return ckpt.TableState{}, fmt.Errorf("checkpoint %s: %w", name, err)
+			}
+			enc[j] = ev
+		}
+		ts.Rows[i] = enc
+	}
+	return ts, nil
+}
+
+// restoreTable recreates one table from snapshot state, batching rows
+// into VALUES inserts.
+func (r *ckptRun) restoreTable(ctx context.Context, c *dbConn, ts ckpt.TableState, pk bool) error {
+	if _, err := c.runStmt(ctx, dropTable(ts.Name)); err != nil {
+		return err
+	}
+	if _, err := c.runStmt(ctx, createAnyTable(ts.Name, ts.Columns, pk)); err != nil {
+		return err
+	}
+	const batch = 500
+	for lo := 0; lo < len(ts.Rows); lo += batch {
+		hi := min(lo+batch, len(ts.Rows))
+		vals := &sqlparser.Values{Rows: make([][]sqlparser.Expr, 0, hi-lo)}
+		for _, row := range ts.Rows[lo:hi] {
+			exprs := make([]sqlparser.Expr, len(row))
+			for j, v := range row {
+				gv, err := v.Decode()
+				if err != nil {
+					return fmt.Errorf("restore %s: %w", ts.Name, err)
+				}
+				sv, err := sqltypes.FromGo(gv)
+				if err != nil {
+					return fmt.Errorf("restore %s: %w", ts.Name, err)
+				}
+				exprs[j] = litVal(sv)
+			}
+			vals.Rows = append(vals.Rows, exprs)
+		}
+		if _, err := c.runStmt(ctx, &sqlparser.InsertStmt{Table: ts.Name, Source: vals}); err != nil {
+			return fmt.Errorf("restore %s: %w", ts.Name, err)
+		}
+	}
+	return nil
+}
+
+// markResumed emits the restore event once the executor has committed
+// to starting from the snapshot.
+func (r *ckptRun) markResumed() {
+	r.s.tracer.Emit(obs.Restore{CTE: r.cteName, Round: r.resumed.Round, Key: r.key})
+	r.s.metrics.Counter("sqloop_restores_total").Inc()
+}
+
+// finish removes the snapshot after a successful completion and stamps
+// the stats; a completed query must not resume on its next run.
+func (r *ckptRun) finish(stats *ExecStats) {
+	if r == nil {
+		return
+	}
+	if r.resumed != nil {
+		stats.ResumedFromRound = r.resumed.Round
+	}
+	_ = r.store.Remove(r.key)
+}
+
+// recoverable classifies an execution failure as transport-level (the
+// engine connection died; the data survived) rather than semantic.
+// ConnLost is duck-typed so core does not import the driver package.
+func recoverable(err error) bool {
+	var lost interface{ ConnLost() bool }
+	if errors.As(err, &lost) && lost.ConnLost() {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// ListCheckpoints lists every snapshot in the configured directory,
+// newest first.
+func (s *SQLoop) ListCheckpoints() ([]CheckpointInfo, error) {
+	if !s.opts.Checkpoint.enabled() {
+		return nil, fmt.Errorf("core: checkpointing is not enabled (set Options.Checkpoint.Dir)")
+	}
+	store, err := ckpt.NewStore(s.opts.Checkpoint.Dir)
+	if err != nil {
+		return nil, err
+	}
+	return store.List()
+}
+
+// ResumeQuery runs query, requiring a stored snapshot to resume from:
+// it errors when no snapshot matches the query under the current mode
+// and engine. Exec picks snapshots up automatically; ResumeQuery is for
+// callers that must know they are resuming (the CLI after a crash).
+func (s *SQLoop) ResumeQuery(ctx context.Context, query string) (*Result, error) {
+	if !s.opts.Checkpoint.enabled() {
+		return nil, fmt.Errorf("core: checkpointing is not enabled (set Options.Checkpoint.Dir)")
+	}
+	st, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	cte, ok := st.(*sqlparser.LoopCTEStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: ResumeQuery requires an iterative or recursive CTE")
+	}
+	key := ckpt.Key(sqlparser.Format(cte), s.opts.Mode.String(), s.dsn)
+	store, err := ckpt.NewStore(s.opts.Checkpoint.Dir)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := store.Load(key)
+	if err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("core: no checkpoint for this query (key %s)", key)
+	}
+	return s.execLoopCTE(ctx, cte)
+}

@@ -43,20 +43,44 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		}
 	}
 
-	// Seed: R and the working delta both start as R0. Column names come
-	// from the CTE declaration when present, else from the seed query.
-	cols, err := s.seedTable(ctx, c, cte, rName, false)
+	ck, err := s.newCkptRun(cte)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.runStmt(ctx, createAnyTable(workName, cols, false)); err != nil {
-		return nil, err
-	}
-	if _, err := c.runStmt(ctx, insertBody(workName, selectStar(rName))); err != nil {
-		return nil, err
+	// A recursive snapshot holds exactly R and the working delta.
+	if ck.restoring() && len(ck.resumed.Tables) != 2 {
+		ck.resumed = nil
 	}
 
+	var cols []string
 	iters := 0
+	if ck.restoring() {
+		// Resume: R and work come back from the snapshot; the iteration
+		// counter continues where the checkpoint left it.
+		cols = ck.resumed.Columns
+		for _, ts := range ck.resumed.Tables {
+			if err := ck.restoreTable(ctx, c, ts, false); err != nil {
+				return nil, err
+			}
+		}
+		iters = ck.resumed.Round
+		ck.markResumed()
+	} else {
+		// Seed: R and the working delta both start as R0. Column names
+		// come from the CTE declaration when present, else from the seed
+		// query.
+		cols, err = s.seedTable(ctx, c, cte, rName, false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, createAnyTable(workName, cols, false)); err != nil {
+			return nil, err
+		}
+		if _, err := c.runStmt(ctx, insertBody(workName, selectStar(rName))); err != nil {
+			return nil, err
+		}
+	}
+
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -101,6 +125,11 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		if _, err := c.runStmt(ctx, insertBody(workName, selectStar(nextName))); err != nil {
 			return nil, err
 		}
+		if ck.due(iters) {
+			if err := ck.save(ctx, c, iters, 0, nil, cols, []string{rName, workName}); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res, err := s.runFinal(ctx, c, cte, rName)
@@ -108,6 +137,7 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		return nil, err
 	}
 	res.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start), Rounds: rt.rounds}
+	ck.finish(&res.Stats)
 	return res, nil
 }
 
@@ -225,15 +255,36 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		}
 	}
 
-	cols, err := s.seedTable(ctx, c, cte, rName, true)
+	ck, err := s.newCkptRun(cte)
 	if err != nil {
 		return nil, err
 	}
+	// An iterative single-mode snapshot holds exactly R.
+	if ck.restoring() && (ck.resumed.Partitions != 0 || len(ck.resumed.Tables) != 1) {
+		ck.resumed = nil
+	}
+
+	var cols []string
+	iters := 0
+	if ck.restoring() {
+		cols = ck.resumed.Columns
+		if err := ck.restoreTable(ctx, c, ck.resumed.Tables[0], true); err != nil {
+			return nil, err
+		}
+		iters = ck.resumed.Round
+		ck.markResumed()
+	} else {
+		cols, err = s.seedTable(ctx, c, cte, rName, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Rdelta == R at every round boundary (the terminator refreshes it
+	// after each check), so prepare can rebuild it from R when resuming.
 	if err := term.prepare(ctx, c); err != nil {
 		return nil, err
 	}
 
-	iters := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -281,6 +332,11 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		if done {
 			break
 		}
+		if ck.due(iters) {
+			if err := ck.save(ctx, c, iters, 0, nil, cols, []string{rName}); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	out, err := s.runFinal(ctx, c, cte, rName)
@@ -288,5 +344,6 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		return nil, err
 	}
 	out.Stats = ExecStats{Mode: ModeSingle, Iterations: iters, Elapsed: time.Since(start), Rounds: rt.rounds}
+	ck.finish(&out.Stats)
 	return out, nil
 }

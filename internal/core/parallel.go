@@ -273,6 +273,11 @@ type parallelRun struct {
 	hasPrio    []bool
 	prioQuery  string
 
+	// ckpt is this run's checkpoint context (nil when disabled);
+	// startRound is the round the run resumes after (0 for fresh starts).
+	ckpt       *ckptRun
+	startRound int
+
 	stats ExecStats
 }
 
@@ -296,9 +301,28 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 	if _, err := coord.runStmt(ctx, dropView(rName)); err != nil {
 		return nil, err
 	}
-	cols, err := s.seedTable(ctx, coord, cte, rName, true)
+
+	ck, err := s.newCkptRun(cte)
 	if err != nil {
 		return nil, err
+	}
+	// A parallel snapshot holds one table per partition plus each
+	// partition's round counter; anything else (the partition count
+	// changed, or the snapshot came from a single-mode run) is unusable.
+	if ck.restoring() && (ck.resumed.Partitions != s.opts.Partitions ||
+		len(ck.resumed.PartRounds) != s.opts.Partitions ||
+		len(ck.resumed.Tables) != s.opts.Partitions) {
+		ck.resumed = nil
+	}
+
+	var cols []string
+	if ck.restoring() {
+		cols = ck.resumed.Columns
+	} else {
+		cols, err = s.seedTable(ctx, coord, cte, rName, true)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(cols) <= an.DeltaItem {
 		return nil, fmt.Errorf("core: CTE %s declares %d columns but the delta is item %d",
@@ -326,11 +350,30 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 		run.prioQuery = pl.defaultPriorityQuery()
 	}
 
+	run.ckpt = ck
 	defer run.cleanup(context.WithoutCancel(ctx))
 
-	for _, st := range pl.partitionStmts() {
-		if _, err := coord.runStmt(ctx, st); err != nil {
-			return nil, fmt.Errorf("partitioning %s: %w", cte.Name, err)
+	if ck.restoring() {
+		// Resume: the partition tables come back from the snapshot (the
+		// save drained every message table first, so the tables are the
+		// whole state); R is re-exposed as the view over their union.
+		for _, ts := range ck.resumed.Tables {
+			if err := ck.restoreTable(ctx, coord, ts, true); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := coord.runStmt(ctx, &sqlparser.CreateViewStmt{Name: pl.rQL, Body: pl.unionBody()}); err != nil {
+			return nil, fmt.Errorf("restoring view of %s: %w", cte.Name, err)
+		}
+		copy(run.rounds, ck.resumed.PartRounds)
+		run.startRound = ck.resumed.Round
+		run.stats.Iterations = ck.resumed.Round
+		ck.markResumed()
+	} else {
+		for _, st := range pl.partitionStmts() {
+			if _, err := coord.runStmt(ctx, st); err != nil {
+				return nil, fmt.Errorf("partitioning %s: %w", cte.Name, err)
+			}
 		}
 	}
 	if pl.materialized {
@@ -369,8 +412,21 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 	run.stats.Parallelized = true
 	run.stats.Elapsed = time.Since(start)
 	run.stats.Rounds = run.rt.rounds
+	ck.finish(&run.stats)
 	out.Stats = run.stats
 	return out, nil
+}
+
+// saveParallelCkpt snapshots every partition table along with the
+// per-partition round counters. Callers must guarantee the message
+// registry is empty (drained) so the partition tables are the complete
+// iterative state.
+func (r *parallelRun) saveParallelCkpt(ctx context.Context, round int) error {
+	names := make([]string, r.pl.p)
+	for x := range names {
+		names[x] = r.pl.partName(x)
+	}
+	return r.ckpt.save(ctx, r.coord, round, r.pl.p, r.rounds, r.pl.cols, names)
 }
 
 // cleanup drops every working object.
@@ -481,7 +537,7 @@ func (r *parallelRun) collectGarbage(ctx context.Context) error {
 // Compute task, a barrier, phase two every Gather task, a barrier, then
 // the termination check.
 func (r *parallelRun) driveSync(ctx context.Context) error {
-	iters := 0
+	iters := r.startRound
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -542,6 +598,16 @@ func (r *parallelRun) driveSync(ctx context.Context) error {
 		if done {
 			return nil
 		}
+		// Post-gather barrier: every message table has been consumed and
+		// collected, so the partition tables are the full state.
+		if r.ckpt.due(iters) {
+			for x := range r.rounds {
+				r.rounds[x] = iters
+			}
+			if err := r.saveParallelCkpt(ctx, iters); err != nil {
+				return err
+			}
+		}
 	}
 }
 
@@ -586,7 +652,7 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 	inflightCount := 0
 	next := 0 // round-robin cursor
 	var roundChanged int64
-	lastRound := 0
+	lastRound := r.startRound
 	taskErr := error(nil)
 	done := false
 	// Expression- and count-based conditions need a stable view of R:
@@ -595,6 +661,11 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 	needsBarrier := r.term.term.Kind == sqlparser.TermExpr ||
 		(r.term.term.Kind == sqlparser.TermUpdates && r.term.term.N > 0)
 	checkPending := false
+	// Checkpoints reuse the same soft-barrier machinery: when a round
+	// crosses a checkpoint boundary, dispatch pauses, in-flight tasks
+	// drain, pending messages are delivered into the deltas, and the
+	// partition tables are snapshotted as the complete state.
+	ckptPending := false
 
 	// Every partition runs at least one round even for UNTIL 0
 	// ITERATIONS, matching the single-threaded executor.
@@ -757,8 +828,9 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Fill free workers (unless a termination check is pending).
-		for inflightCount < len(r.pool.conns) && taskErr == nil && !done && !checkPending {
+		// Fill free workers (unless a termination check or checkpoint is
+		// pending).
+		for inflightCount < len(r.pool.conns) && taskErr == nil && !done && !checkPending && !ckptPending {
 			x, kind, ok := pick()
 			if debugAsync {
 				fmt.Printf("DBG pick x=%d kind=%d ok=%v inflight=%d done=%v hasPrio=%v\n",
@@ -805,6 +877,40 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 				// The drain moved mass into deltas behind the cached
 				// priorities' backs; recompute them or the scheduler
 				// would wrongly conclude there is no work left.
+				for x := 0; x < r.pl.p; x++ {
+					if err := r.refreshPriority(ctx, x); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		if ckptPending && !checkPending && !done && inflightCount == 0 && taskErr == nil {
+			// Checkpoint soft barrier reached: deliver every pending
+			// message so the partition tables alone carry the state, then
+			// snapshot them.
+			for x := 0; x < r.pl.p; x++ {
+				if r.msgs.hasUnread(x) {
+					ch, err := r.gatherTask(ctx, x, r.coord)
+					if err != nil {
+						return err
+					}
+					roundChanged += ch
+					if ch > 0 {
+						r.lastGather[x] += ch
+						r.clean[x] = false
+					}
+				}
+			}
+			if err := r.collectGarbage(ctx); err != nil {
+				return err
+			}
+			if err := r.saveParallelCkpt(ctx, lastRound); err != nil {
+				return err
+			}
+			ckptPending = false
+			if prio {
+				// Same cache-staleness hazard as the termination drain.
 				for x := 0; x < r.pl.p; x++ {
 					if err := r.refreshPriority(ctx, x); err != nil {
 						return err
@@ -890,6 +996,9 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 				if d {
 					done = true
 				}
+			}
+			if !done && r.ckpt.due(minRounds) {
+				ckptPending = true
 			}
 		}
 		// Quiescence may only be judged with no tasks in flight: an

@@ -14,6 +14,7 @@ import (
 	"context"
 	"database/sql"
 	"database/sql/driver"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -124,14 +125,11 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 		}
 		return newConn(&inprocExec{sess: eng.NewSession()}, reg), nil
 	case "tcp":
-		cl, err := wire.Dial(target)
-		if err != nil {
+		e := &wireExec{addr: target, reg: reg, policy: retryFor(dsn)}
+		if err := e.dialRetry(); err != nil {
 			return nil, err
 		}
-		if reg != nil {
-			cl.SetMetrics(reg)
-		}
-		return newConn(&wireExec{cl: cl}, reg), nil
+		return newConn(e, reg), nil
 	default:
 		return nil, fmt.Errorf("driver: unknown DSN scheme %q", kind)
 	}
@@ -150,12 +148,91 @@ func (e *inprocExec) exec(sql string, args []sqltypes.Value) (*engine.Result, er
 }
 func (e *inprocExec) close() error { return nil }
 
-type wireExec struct{ cl *wire.Client }
+// wireExec is the remote transport with the retry layer on top: dial
+// failures and never-sent requests retry with backoff on a fresh
+// connection; sent-but-unanswered requests surface as ConnLostError
+// (see retry.go). A conn serves one goroutine at a time under
+// database/sql, so the mutable cl needs no lock.
+type wireExec struct {
+	cl     *wire.Client
+	addr   string
+	reg    *obs.Registry
+	policy RetryPolicy
+}
+
+// dialRetry (re)connects under the retry policy.
+func (e *wireExec) dialRetry() error {
+	if e.cl != nil {
+		_ = e.cl.Close()
+		e.cl = nil
+	}
+	var lastErr error
+	for attempt := 1; attempt <= e.policy.attempts(); attempt++ {
+		if attempt > 1 {
+			if e.reg != nil {
+				e.reg.Counter("driver_retries_total").Inc()
+			}
+			e.policy.sleep(attempt - 1)
+		}
+		cl, err := wire.Dial(e.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if e.reg != nil {
+			cl.SetMetrics(e.reg)
+			e.reg.Counter("driver_redials_total").Inc()
+		}
+		e.cl = cl
+		return nil
+	}
+	return lastErr
+}
 
 func (e *wireExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
-	return e.cl.Exec(sql, args...)
+	var lastErr error
+	for attempt := 1; attempt <= e.policy.attempts(); attempt++ {
+		if attempt > 1 {
+			if e.reg != nil {
+				e.reg.Counter("driver_retries_total").Inc()
+			}
+			e.policy.sleep(attempt - 1)
+		}
+		if e.cl == nil {
+			if err := e.dialRetry(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		res, err := e.cl.Exec(sql, args...)
+		if err == nil {
+			return res, nil
+		}
+		var oe *wire.OpError
+		if !errors.As(err, &oe) {
+			return nil, err // remote execution error, not a transport failure
+		}
+		if oe.Sent {
+			// The statement may have executed server-side. Heal the
+			// connection for the caller's next statement, but do not
+			// re-execute: only a layer with checkpoints can recover.
+			_ = e.dialRetry()
+			return nil, &ConnLostError{Err: err}
+		}
+		// The request never reached the engine: retrying is safe.
+		_ = e.cl.Close()
+		e.cl = nil
+		lastErr = err
+	}
+	return nil, &ConnLostError{Err: lastErr}
 }
-func (e *wireExec) close() error { return e.cl.Close() }
+
+func (e *wireExec) close() error {
+	if e.cl == nil {
+		return nil
+	}
+	return e.cl.Close()
+}
 
 // conn is one database/sql connection.
 type conn struct {

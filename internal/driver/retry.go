@@ -1,0 +1,116 @@
+package driver
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the driver's fault-tolerance layer. The wire client
+// classifies every transport failure (wire.OpError.Sent); this layer
+// turns that classification into policy: requests that provably never
+// reached the server are retried transparently on a fresh connection
+// with exponential backoff, while requests that may have executed
+// server-side surface as ConnLostError so core's checkpoint recovery
+// can decide — the driver must never re-execute a possibly-applied
+// statement.
+
+// RetryPolicy bounds the driver's transparent dial/exec retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries for one statement or
+	// dial, including the first. Values below 1 mean 1 (no retry).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each subsequent
+	// retry doubles it (plus up to 50% jitter) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry sleep.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is used for wire DSNs without a SetDSNRetry
+// override: four tries over roughly a tenth of a second, enough to
+// ride out an engine restart without stalling a failed cluster.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseBackoff: 10 * time.Millisecond,
+	MaxBackoff:  250 * time.Millisecond,
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// sleep blocks for the backoff of retry number n (1-based), doubling
+// from BaseBackoff and adding up to 50% jitter so a pool of
+// reconnecting workers does not stampede the engine in lockstep.
+func (p RetryPolicy) sleep(n int) {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseBackoff
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	time.Sleep(d)
+}
+
+// dsnRetry maps DSNs to retry policies, the same process-wide pattern
+// as SetDSNMetrics (database/sql builds connections from the DSN
+// string alone).
+var dsnRetry = struct {
+	sync.RWMutex
+	m map[string]RetryPolicy
+}{m: make(map[string]RetryPolicy)}
+
+// SetDSNRetry overrides the retry policy for connections subsequently
+// opened for dsn. A zero policy restores the default.
+func SetDSNRetry(dsn string, p RetryPolicy) {
+	dsnRetry.Lock()
+	defer dsnRetry.Unlock()
+	if p == (RetryPolicy{}) {
+		delete(dsnRetry.m, dsn)
+		return
+	}
+	dsnRetry.m[dsn] = p
+}
+
+func retryFor(dsn string) RetryPolicy {
+	dsnRetry.RLock()
+	defer dsnRetry.RUnlock()
+	if p, ok := dsnRetry.m[dsn]; ok {
+		return p
+	}
+	return DefaultRetryPolicy
+}
+
+// ConnLostError reports a statement whose request reached the engine
+// but whose outcome is unknown (the connection died before the
+// response). The driver has already re-established the connection for
+// whatever the caller does next; re-running the lost statement is the
+// caller's call, because it may have been applied. Core's checkpoint
+// recovery detects this error through the ConnLost method (duck-typed
+// via errors.As, keeping core free of a driver import).
+type ConnLostError struct {
+	// Err is the underlying transport failure.
+	Err error
+}
+
+// Error implements error.
+func (e *ConnLostError) Error() string {
+	return "driver: connection lost with statement outcome unknown: " + e.Err.Error()
+}
+
+// Unwrap exposes the transport failure.
+func (e *ConnLostError) Unwrap() error { return e.Err }
+
+// ConnLost marks the error for duck-typed detection by higher layers.
+func (e *ConnLostError) ConnLost() bool { return true }

@@ -1,0 +1,208 @@
+package driver
+
+import (
+	"database/sql"
+	"errors"
+	"testing"
+	"time"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/obs"
+	"sqloop/internal/wire"
+)
+
+// retryTestServer serves a fresh engine over TCP and returns the DSN
+// and address.
+func retryTestServer(t *testing.T) (string, string) {
+	t.Helper()
+	eng := engine.New(engine.Config{})
+	srv := wire.NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return TCPDSN(addr), addr
+}
+
+// fastRetry keeps test backoff under a millisecond per attempt.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}
+
+func TestRetryTransientInjectedError(t *testing.T) {
+	dsn, addr := retryTestServer(t)
+	reg := obs.NewRegistry()
+	SetDSNMetrics(dsn, reg)
+	defer SetDSNMetrics(dsn, nil)
+	SetDSNRetry(dsn, fastRetry)
+	defer SetDSNRetry(dsn, RetryPolicy{})
+	// Injected transient errors on ops 2 and 3: the INSERT should
+	// succeed on its third try without the caller noticing.
+	wire.SetAddrInjector(addr, wire.NewInjector(
+		wire.Fault{AtOp: 2, Kind: wire.FaultErr},
+		wire.Fault{AtOp: 3, Kind: wire.FaultErr},
+	))
+	defer wire.SetAddrInjector(addr, nil)
+
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec(`CREATE TABLE r (id BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO r VALUES (1)`); err != nil {
+		t.Fatalf("retry did not absorb transient faults: %v", err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM r`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+	if got := reg.Counter("driver_retries_total").Value(); got < 2 {
+		t.Fatalf("driver_retries_total = %d, want >= 2", got)
+	}
+}
+
+func TestRetryDropBeforeSendReconnects(t *testing.T) {
+	dsn, addr := retryTestServer(t)
+	reg := obs.NewRegistry()
+	SetDSNMetrics(dsn, reg)
+	defer SetDSNMetrics(dsn, nil)
+	SetDSNRetry(dsn, fastRetry)
+	defer SetDSNRetry(dsn, RetryPolicy{})
+	wire.SetAddrInjector(addr, wire.NewInjector(
+		wire.Fault{AtOp: 2, Kind: wire.FaultDropBeforeSend},
+	))
+	defer wire.SetAddrInjector(addr, nil)
+
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec(`CREATE TABLE r (id BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	// The connection is killed before the request leaves the client;
+	// the driver must redial and run the statement exactly once.
+	if _, err := db.Exec(`INSERT INTO r VALUES (7)`); err != nil {
+		t.Fatalf("reconnect retry failed: %v", err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM r WHERE id = 7`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("statement ran %d times, want exactly 1", n)
+	}
+	if got := reg.Counter("driver_redials_total").Value(); got < 2 {
+		t.Fatalf("driver_redials_total = %d, want >= 2 (initial dial + reconnect)", got)
+	}
+}
+
+func TestDropAfterSendSurfacesConnLost(t *testing.T) {
+	dsn, addr := retryTestServer(t)
+	SetDSNRetry(dsn, fastRetry)
+	defer SetDSNRetry(dsn, RetryPolicy{})
+	wire.SetAddrInjector(addr, wire.NewInjector(
+		wire.Fault{AtOp: 2, Kind: wire.FaultDropAfterSend},
+	))
+	defer wire.SetAddrInjector(addr, nil)
+
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec(`CREATE TABLE r (id BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Exec(`INSERT INTO r VALUES (9)`)
+	var cl *ConnLostError
+	if !errors.As(err, &cl) {
+		t.Fatalf("err = %v, want *ConnLostError", err)
+	}
+	var lost interface{ ConnLost() bool }
+	if !errors.As(err, &lost) || !lost.ConnLost() {
+		t.Fatal("ConnLostError does not satisfy the duck-typed ConnLost interface")
+	}
+	// The driver healed the connection: the next statement works, and
+	// the lost INSERT was applied exactly once, never replayed. The
+	// server handler applies the in-flight statement asynchronously, so
+	// poll briefly before judging.
+	var n int
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := db.QueryRow(`SELECT COUNT(*) FROM r WHERE id = 9`).Scan(&n); err != nil {
+			t.Fatalf("connection not healed after ConnLost: %v", err)
+		}
+		if n == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n != 1 {
+		t.Fatalf("lost statement applied %d times", n)
+	}
+}
+
+func TestRetryExhaustionReturnsConnLost(t *testing.T) {
+	dsn, addr := retryTestServer(t)
+	SetDSNRetry(dsn, RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond})
+	defer SetDSNRetry(dsn, RetryPolicy{})
+	// Every attempt (and every redial) is dropped before sending; op 1
+	// is spared for the CREATE below.
+	faults := make([]wire.Fault, 0, 28)
+	for op := int64(2); op < 30; op++ {
+		faults = append(faults, wire.Fault{AtOp: op, Kind: wire.FaultDropBeforeSend})
+	}
+	wire.SetAddrInjector(addr, wire.NewInjector(faults...))
+	defer wire.SetAddrInjector(addr, nil)
+
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec(`CREATE TABLE r (id BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Exec(`INSERT INTO r VALUES (1)`)
+	var lost interface{ ConnLost() bool }
+	if !errors.As(err, &lost) {
+		t.Fatalf("exhausted retries returned %v, want ConnLost error", err)
+	}
+}
+
+func TestRemoteErrorsAreNotRetried(t *testing.T) {
+	dsn, _ := retryTestServer(t)
+	reg := obs.NewRegistry()
+	SetDSNMetrics(dsn, reg)
+	defer SetDSNMetrics(dsn, nil)
+	SetDSNRetry(dsn, fastRetry)
+	defer SetDSNRetry(dsn, RetryPolicy{})
+
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`SELECT * FROM missing`); err == nil {
+		t.Fatal("expected remote error")
+	}
+	if got := reg.Counter("driver_retries_total").Value(); got != 0 {
+		t.Fatalf("remote execution error triggered %d retries", got)
+	}
+}

@@ -151,6 +151,54 @@ type TerminationCheck struct {
 // Name implements Event.
 func (TerminationCheck) Name() string { return "termination_check" }
 
+// Checkpoint is emitted after the execution state of an iterative or
+// recursive CTE is snapshotted to disk at a round boundary.
+type Checkpoint struct {
+	// CTE is the CTE's declared name.
+	CTE string
+	// Round is the 1-based round the snapshot captures.
+	Round int
+	// Tables is the number of state tables in the snapshot.
+	Tables int
+	// Bytes is the snapshot file size.
+	Bytes int64
+	// Elapsed is the wall time spent reading state and writing the file.
+	Elapsed time.Duration
+}
+
+// Name implements Event.
+func (Checkpoint) Name() string { return "checkpoint" }
+
+// Restore is emitted when an execution starts from a snapshot instead
+// of the seed query.
+type Restore struct {
+	// CTE is the CTE's declared name.
+	CTE string
+	// Round is the checkpointed round execution resumes after.
+	Round int
+	// Key identifies the snapshot (query+mode+engine hash).
+	Key string
+}
+
+// Name implements Event.
+func (Restore) Name() string { return "restore" }
+
+// Retry is emitted when CTE execution restarts after a recoverable
+// failure (a lost engine connection with checkpointing enabled).
+type Retry struct {
+	// CTE is the CTE's declared name.
+	CTE string
+	// Attempt is the 1-based recovery attempt.
+	Attempt int
+	// Err is the failure that triggered the retry.
+	Err string
+	// Backoff is the sleep taken before this attempt.
+	Backoff time.Duration
+}
+
+// Name implements Event.
+func (Retry) Name() string { return "retry" }
+
 // NopTracer discards every event.
 type NopTracer struct{}
 

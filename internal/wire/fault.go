@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the wire protocol's fault-injection layer: a transport
+// hook that can drop, delay or error client round trips on a schedule.
+// Recovery code paths — driver reconnect/retry, core checkpoint
+// restore — are only trustworthy if a test can kill the connection at
+// an exact point in an iterative execution and watch the query finish;
+// the injector provides that exact point.
+
+// ErrInjected marks a failure produced by a FaultErr injection rather
+// than a real transport problem.
+var ErrInjected = errors.New("wire: injected fault")
+
+// FaultKind selects what an injected fault does to the round trip.
+type FaultKind int
+
+const (
+	// FaultDropBeforeSend closes the connection before the request is
+	// written: the statement never reaches the server, so retrying it
+	// on a fresh connection is safe.
+	FaultDropBeforeSend FaultKind = iota + 1
+	// FaultDropAfterSend closes the connection after the request is
+	// written but before the response is read: the statement may have
+	// executed server-side, so the client cannot safely retry it — the
+	// failure surfaces as an OpError with Sent set.
+	FaultDropAfterSend
+	// FaultErr fails the round trip with ErrInjected without touching
+	// the connection (a transient error: the next attempt succeeds).
+	FaultErr
+	// FaultDelay sleeps Delay before the request is written (for
+	// deadline and slow-peer testing).
+	FaultDelay
+)
+
+// String names the kind for test output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDropBeforeSend:
+		return "drop-before-send"
+	case FaultDropAfterSend:
+		return "drop-after-send"
+	case FaultErr:
+		return "err"
+	case FaultDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// AtOp is the 1-based client round-trip count at which the fault
+	// fires. The counter is shared by every client attached to the same
+	// Injector (including reconnects), so schedules keep meaning across
+	// redials.
+	AtOp int64
+	// Kind is what happens.
+	Kind FaultKind
+	// Delay is the sleep for FaultDelay.
+	Delay time.Duration
+}
+
+// Injector holds a fault schedule and the shared operation counter.
+// Attach one to an address with SetAddrInjector (every subsequent Dial
+// to that address consults it) or to a single client via
+// Client.SetInjector. Safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	ops    int64
+	faults []Fault
+	fired  int64 // count of faults that actually triggered
+}
+
+// NewInjector builds an injector with a fixed schedule.
+func NewInjector(faults ...Fault) *Injector {
+	return &Injector{faults: append([]Fault(nil), faults...)}
+}
+
+// Arm schedules kind to fire on the next round trip, wherever the
+// shared counter currently stands. Tests use it to react to execution
+// events ("drop the connection right after the first checkpoint").
+func (i *Injector) Arm(kind FaultKind) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faults = append(i.faults, Fault{AtOp: i.ops + 1, Kind: kind})
+}
+
+// Ops returns the round trips counted so far.
+func (i *Injector) Ops() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// Fired returns how many faults have triggered.
+func (i *Injector) Fired() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// next advances the op counter and returns the fault scheduled for this
+// op, if any.
+func (i *Injector) next() *Fault {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.ops++
+	for idx := range i.faults {
+		if i.faults[idx].AtOp == i.ops {
+			i.fired++
+			f := i.faults[idx]
+			return &f
+		}
+	}
+	return nil
+}
+
+// addrInjectors maps server addresses to injectors, mirroring the
+// driver's DSN → metrics registry pattern: Dial constructs clients from
+// the address string alone, so attaching a fault schedule requires a
+// process-wide mapping.
+var addrInjectors = struct {
+	sync.RWMutex
+	m map[string]*Injector
+}{m: make(map[string]*Injector)}
+
+// SetAddrInjector attaches inj to every client subsequently dialed to
+// addr (pass nil to detach). Reconnects to the same address share the
+// same injector, and therefore the same op counter.
+func SetAddrInjector(addr string, inj *Injector) {
+	addrInjectors.Lock()
+	defer addrInjectors.Unlock()
+	if inj == nil {
+		delete(addrInjectors.m, addr)
+		return
+	}
+	addrInjectors.m[addr] = inj
+}
+
+func injectorFor(addr string) *Injector {
+	addrInjectors.RLock()
+	defer addrInjectors.RUnlock()
+	return addrInjectors.m[addr]
+}
+
+// OpError is the failure of one client round trip. Sent distinguishes
+// the two recovery situations: a request that never reached the
+// transport is safe to retry on a new connection; once it was sent, the
+// statement may have executed server-side and only a higher layer
+// (core's checkpoint recovery) can decide what to do.
+type OpError struct {
+	// Op is the phase that failed: "dial", "write", "read", "inject".
+	Op string
+	// Sent reports whether the request reached the transport.
+	Sent bool
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *OpError) Error() string { return "wire " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *OpError) Unwrap() error { return e.Err }

@@ -91,7 +91,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	latency := s.metrics.Histogram("wire_request_seconds")
 	for {
 		var req Request
-		n, err := ReadFrameN(conn, &req)
+		n, err := readFrameTimed(conn, &req, DefaultFrameTimeout)
 		bytesIn.Add(int64(n))
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -104,7 +104,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		start := time.Now()
 		resp := s.execute(sess, &req)
 		latency.Observe(time.Since(start))
+		_ = conn.SetWriteDeadline(time.Now().Add(DefaultFrameTimeout))
 		wn, err := WriteFrameN(conn, resp)
+		_ = conn.SetWriteDeadline(time.Time{})
 		bytesOut.Add(int64(wn))
 		if err != nil {
 			return
@@ -164,8 +166,10 @@ func (s *Server) Close() error {
 // not safe for concurrent use (use one per goroutine, as with JDBC
 // connections).
 type Client struct {
-	conn    net.Conn
-	metrics *obs.Registry
+	conn         net.Conn
+	metrics      *obs.Registry
+	injector     *Injector
+	frameTimeout time.Duration
 }
 
 // SetMetrics attaches a registry; the client then reports round-trips
@@ -174,16 +178,34 @@ type Client struct {
 // wire_bytes_read_total) into it. Pass nil to detach.
 func (c *Client) SetMetrics(r *obs.Registry) { c.metrics = r }
 
-// Dial connects to a wire server.
+// SetInjector attaches a fault injector to this client only (Dial
+// already attaches any injector registered for the address).
+func (c *Client) SetInjector(i *Injector) { c.injector = i }
+
+// SetFrameTimeout bounds each frame transfer (a read or write of one
+// request/response). Zero disables deadlines. The default is
+// DefaultFrameTimeout.
+func (c *Client) SetFrameTimeout(d time.Duration) { c.frameTimeout = d }
+
+// DefaultFrameTimeout is the per-frame deadline clients and servers
+// apply unless overridden: generous enough for the cost-model's
+// simulated multi-second statements, short enough that a dead peer
+// surfaces as an error instead of a hung coordinator.
+const DefaultFrameTimeout = 2 * time.Minute
+
+// Dial connects to a wire server, attaching any injector registered
+// for addr.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire dial %s: %w", addr, err)
+		return nil, &OpError{Op: "dial", Err: fmt.Errorf("wire dial %s: %w", addr, err)}
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, injector: injectorFor(addr), frameTimeout: DefaultFrameTimeout}, nil
 }
 
-// Exec executes one statement remotely.
+// Exec executes one statement remotely. Transport failures come back
+// as *OpError; its Sent field tells retrying callers whether the
+// request could have reached the server.
 func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	req := Request{SQL: sql}
 	if len(args) > 0 {
@@ -192,23 +214,57 @@ func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error
 			req.Args[i] = ToWire(v)
 		}
 	}
+	dropAfterSend := false
+	if c.injector != nil {
+		if f := c.injector.next(); f != nil {
+			switch f.Kind {
+			case FaultDelay:
+				time.Sleep(f.Delay)
+			case FaultErr:
+				return nil, &OpError{Op: "inject", Err: ErrInjected}
+			case FaultDropBeforeSend:
+				_ = c.conn.Close()
+			case FaultDropAfterSend:
+				dropAfterSend = true
+			}
+		}
+	}
 	start := time.Now()
+	if c.frameTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.frameTimeout))
+	}
 	wn, err := WriteFrameN(c.conn, &req)
+	if c.frameTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
 	if c.metrics != nil {
 		c.metrics.Counter("wire_bytes_written_total").Add(int64(wn))
 	}
 	if err != nil {
-		return nil, err
+		// A failed write means the server never saw a complete frame,
+		// so the statement did not execute: safe to retry elsewhere.
+		return nil, &OpError{Op: "write", Err: err}
+	}
+	if dropAfterSend {
+		_ = c.conn.Close()
+	}
+	if c.frameTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.frameTimeout))
 	}
 	var resp Response
 	rn, err := ReadFrameN(c.conn, &resp)
+	if c.frameTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Time{})
+	}
 	if c.metrics != nil {
 		c.metrics.Counter("wire_bytes_read_total").Add(int64(rn))
 		c.metrics.Counter("wire_roundtrips_total").Inc()
 		c.metrics.Histogram("wire_roundtrip_seconds").Observe(time.Since(start))
 	}
 	if err != nil {
-		return nil, err
+		// The request was sent; the statement may have executed even
+		// though the response was lost. Not retryable at this layer.
+		return nil, &OpError{Op: "read", Sent: true, Err: err}
 	}
 	if resp.Error != "" {
 		return nil, errors.New(resp.Error)

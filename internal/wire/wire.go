@@ -7,16 +7,25 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"time"
 
 	"sqloop/internal/sqltypes"
 )
 
 // MaxFrameSize bounds a single frame; larger frames indicate a protocol
-// error or a hostile peer.
+// error or a hostile peer. Enforced on both the read and the write
+// path: an oversized outgoing frame fails before a single byte reaches
+// the wire, so the peer never sees a half-frame.
 const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge marks a frame exceeding MaxFrameSize, in either
+// direction. Test with errors.Is; the wrapping error carries the size.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 // Request is one client → server message.
 type Request struct {
@@ -131,7 +140,7 @@ func WriteFrameN(w io.Writer, msg any) (int, error) {
 		return 0, fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(payload) > MaxFrameSize {
-		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+		return 0, fmt.Errorf("outgoing frame of %d bytes: %w", len(payload), ErrFrameTooLarge)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -142,6 +151,33 @@ func WriteFrameN(w io.Writer, msg any) (int, error) {
 		return len(hdr), fmt.Errorf("wire: write payload: %w", err)
 	}
 	return len(hdr) + len(payload), nil
+}
+
+// readFrameTimed is ReadFrameN for a net.Conn with the payload under a
+// deadline: the wait for the header is unbounded (idle connections may
+// sit between statements indefinitely), but once a frame is announced
+// the rest of it must arrive within d. Zero d disables the deadline.
+func readFrameTimed(conn net.Conn, msg any, d time.Duration) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, err // io.EOF passes through for clean connection close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return len(hdr), fmt.Errorf("incoming frame of %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	if d > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+		defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return len(hdr), fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return len(hdr) + int(n), fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return len(hdr) + int(n), nil
 }
 
 // ReadFrame receives one length-prefixed JSON message into msg.
@@ -159,7 +195,7 @@ func ReadFrameN(r io.Reader, msg any) (int, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return len(hdr), fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+		return len(hdr), fmt.Errorf("incoming frame of %d bytes: %w", n, ErrFrameTooLarge)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -82,8 +83,20 @@ func TestFrameSizeLimit(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length header
 	var out Request
-	if err := ReadFrame(&buf, &out); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+	if err := ReadFrame(&buf, &out); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	big := Request{SQL: strings.Repeat("x", MaxFrameSize+1)}
+	err := WriteFrame(&buf, &big)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized frame leaked %d bytes onto the wire", buf.Len())
 	}
 }
 

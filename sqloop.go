@@ -50,6 +50,12 @@ type (
 	Analysis = core.Analysis
 	// RoundStats is the per-round trace entry inside ExecStats.
 	RoundStats = core.RoundStats
+	// CheckpointOptions configures round-boundary snapshots and
+	// crash recovery (Options.Checkpoint).
+	CheckpointOptions = core.CheckpointOptions
+	// CheckpointInfo describes one stored snapshot
+	// (SQLoop.ListCheckpoints).
+	CheckpointInfo = core.CheckpointInfo
 )
 
 // Re-exported observability types (see internal/obs). Observers receive
@@ -77,6 +83,9 @@ type (
 	PartitionDoneEvent    = obs.PartitionDone
 	FallbackEvent         = obs.Fallback
 	TerminationCheckEvent = obs.TerminationCheck
+	CheckpointEvent       = obs.Checkpoint
+	RestoreEvent          = obs.Restore
+	RetryEvent            = obs.Retry
 )
 
 // MultiTracer fans events out to every non-nil tracer.
