@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache or all")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -91,6 +91,11 @@ func run(fig, query string, sc bench.Scale) error {
 	}
 	if fig == "rounds" {
 		if err := bench.RoundTrace(ctx, w, sc); err != nil {
+			return err
+		}
+	}
+	if fig == "stmtcache" {
+		if err := bench.StmtCacheFig(ctx, w, sc); err != nil {
 			return err
 		}
 	}

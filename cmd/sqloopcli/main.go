@@ -47,6 +47,7 @@ func run() error {
 		script   = flag.Bool("gen-script", false, "print the hand-written SQL script equivalent of an iterative CTE")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for round-boundary snapshots (enables crash recovery)")
 		ckptN    = flag.Int("checkpoint-every", 2, "checkpoint every N rounds when -checkpoint-dir is set")
+		noCache  = flag.Bool("no-stmt-cache", false, "disable the statement/plan cache (escape hatch; parses every statement from text)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,9 @@ func run() error {
 	if *ckptDir != "" {
 		opts.Checkpoint = sqloop.CheckpointOptions{Dir: *ckptDir, EveryRounds: *ckptN}
 	}
+	if *noCache {
+		opts.DisableStmtCache = true
+	}
 
 	var db *sqloop.SQLoop
 	if *dsn != "" {
@@ -66,6 +70,9 @@ func run() error {
 		var extra []sqloop.OpenOption
 		if *cost {
 			extra = append(extra, sqloop.WithCostModel())
+		}
+		if *noCache {
+			extra = append(extra, sqloop.WithoutStmtCache())
 		}
 		db, err = sqloop.OpenEmbedded(*profile, opts, extra...)
 	}

@@ -157,6 +157,46 @@ func RoundTrace(ctx context.Context, w io.Writer, sc Scale) error {
 	return nil
 }
 
+// StmtCacheFig compares PageRank runs with the statement/plan cache
+// enabled and disabled: total time, per-round statement overhead and
+// the cache hit rate. With the cache on, every round from the second
+// onward re-executes statements prepared in round one, so the hit rate
+// climbs toward 1 as rounds accumulate.
+func StmtCacheFig(ctx context.Context, w io.Writer, sc Scale) error {
+	modes := []core.Mode{core.ModeSingle, core.ModeSync, core.ModeAsync, core.ModeAsyncPrio}
+	for _, eng := range sc.Engines {
+		fmt.Fprintf(w, "\n== Statement cache / PR with %s, %d threads: cache on vs off ==\n",
+			EngineLabel(eng), sc.MaxThreads)
+		fmt.Fprintf(w, "%-12s %10s %10s %12s %12s %10s\n",
+			"mode", "cache", "time(s)", "stmts/round", "ms/round", "hit-rate")
+		for _, mode := range modes {
+			for _, disable := range []bool{false, true} {
+				m, err := Run(ctx, Config{
+					Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+					Dataset: "google-web", Nodes: sc.PRNodes, Seed: sc.Seed,
+					WithCost: sc.WithCost, Priority: priorityFor(mode, PendingRankPriority),
+					DisableStmtCache: disable,
+				}, PageRankQuery(sc.PRIters))
+				if err != nil {
+					return fmt.Errorf("stmtcache %s/%s: %w", eng, ModeLabel(mode), err)
+				}
+				label := "on"
+				if disable {
+					label = "off"
+				}
+				msPerRound := 0.0
+				if m.Rounds > 0 {
+					msPerRound = m.Elapsed.Seconds() * 1000 / float64(m.Rounds)
+				}
+				fmt.Fprintf(w, "%-12s %10s %10.3f %12.1f %12.3f %10.3f\n",
+					ModeLabel(mode), label, m.Elapsed.Seconds(),
+					m.StmtsPerRound(), msPerRound, m.StmtCache.HitRate())
+			}
+		}
+	}
+	return nil
+}
+
 // Fig4DQ regenerates the Fig. 4 DQ curves: execution time vs number of
 // nodes explored, per engine and method.
 func Fig4DQ(ctx context.Context, w io.Writer, sc Scale) error {

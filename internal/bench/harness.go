@@ -37,6 +37,10 @@ type Config struct {
 	SampleEvery time.Duration
 	// SampleQuery is what the sampler evaluates (e.g. the sum of rank).
 	SampleQuery string
+	// DisableStmtCache turns off both the engine's parse+plan cache and
+	// the middleware's per-connection prepared statements, for
+	// cache-ablation runs (the -fig stmtcache comparison).
+	DisableStmtCache bool
 }
 
 // Sample is one convergence observation.
@@ -62,6 +66,17 @@ type Metrics struct {
 	ConvergenceTime time.Duration
 	// Work is the engine's logical work delta over the run.
 	Work engine.StatsSnapshot
+	// StmtCache is the engine statement-cache delta over the run (all
+	// zero when the cache is disabled).
+	StmtCache engine.StmtCacheStats
+}
+
+// StmtsPerRound is the statement overhead per completed round.
+func (m *Metrics) StmtsPerRound() float64 {
+	if m.Rounds == 0 {
+		return float64(m.Work.Statements)
+	}
+	return float64(m.Work.Statements) / float64(m.Rounds)
 }
 
 var handleSeq atomic.Int64
@@ -76,6 +91,9 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 	if cfg.WithCost {
 		engCfg.Cost = engine.DefaultCost(engCfg.Dialect)
 	}
+	if cfg.DisableStmtCache {
+		engCfg.StmtCacheSize = -1
+	}
 	eng := engine.New(engCfg)
 	handle := "bench-" + strconv.FormatInt(handleSeq.Add(1), 10)
 	driver.RegisterEngine(handle, eng)
@@ -88,6 +106,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		Dialect:                engCfg.Dialect.String(),
 		PriorityQuery:          cfg.Priority,
 		DisableMaterialization: cfg.DisableMaterialization,
+		DisableStmtCache:       cfg.DisableStmtCache,
 	})
 	if err != nil {
 		return nil, err
@@ -102,6 +121,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		return nil, err
 	}
 	before := eng.Stats()
+	cacheBefore := eng.StmtCacheStats()
 
 	// Convergence sampler: a separate connection polling the live CTE
 	// view, like the paper's sampling thread (§VI-A).
@@ -144,6 +164,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 	}
 
 	after := eng.Stats()
+	cacheAfter := eng.StmtCacheStats()
 	m := &Metrics{
 		Elapsed:    elapsed,
 		Rounds:     res.Stats.Iterations,
@@ -159,6 +180,12 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 			RowsUpdated:  after.RowsUpdated - before.RowsUpdated,
 			RowsDeleted:  after.RowsDeleted - before.RowsDeleted,
 			Statements:   after.Statements - before.Statements,
+		},
+		StmtCache: engine.StmtCacheStats{
+			Hits:      cacheAfter.Hits - cacheBefore.Hits,
+			Misses:    cacheAfter.Misses - cacheBefore.Misses,
+			Evictions: cacheAfter.Evictions - cacheBefore.Evictions,
+			Size:      cacheAfter.Size,
 		},
 	}
 	m.ConvergenceTime = elapsed

@@ -66,6 +66,12 @@ type Snapshot struct {
 	Engine string `json:"engine"`
 	// CTE is the CTE's declared name.
 	CTE string `json:"cte"`
+	// Token is the per-execution working-table namespace token the
+	// snapshot's table names were minted under. Empty for snapshots
+	// from before tokens existed; restoring with an empty token
+	// reproduces the historical (un-namespaced) table names, so old
+	// snapshots stay loadable without a version bump.
+	Token string `json:"token,omitempty"`
 	// Round is the last completed round; a resumed run continues from
 	// Round instead of 0.
 	Round int `json:"round"`

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"database/sql"
 	"fmt"
@@ -97,6 +98,12 @@ type Options struct {
 	// optimization (§V-B); used by the SQL-script baseline and ablation
 	// benchmarks.
 	DisableMaterialization bool
+	// DisableStmtCache turns off the per-connection prepared-statement
+	// cache: every statement is then sent to the engine as fresh text.
+	// Escape hatch for engines with unstable prepared-statement support
+	// and for cache-ablation benchmarks (results must be identical
+	// either way).
+	DisableStmtCache bool
 	// OnRound, when set, is called after every completed round/iteration
 	// with the 1-based round number and the number of rows changed in
 	// that round. It runs on the coordinator goroutine.
@@ -363,6 +370,7 @@ func (s *SQLoop) ExecScript(ctx context.Context, script string) (*Result, error)
 	}
 	defer conn.Close()
 	c := s.newConn(conn)
+	defer c.closeStmts()
 	var res *Result
 	for _, st := range stmts {
 		if cte, ok := st.(*sqlparser.LoopCTEStmt); ok {
@@ -385,6 +393,7 @@ func (s *SQLoop) execPlain(ctx context.Context, st sqlparser.Statement) (*Result
 	}
 	defer conn.Close()
 	c := s.newConn(conn)
+	defer c.closeStmts()
 	res, err := c.runStmt(ctx, st)
 	if err != nil {
 		return nil, err
@@ -488,20 +497,117 @@ type dbConn struct {
 	conn    *sql.Conn
 	dialect sqlparser.Dialect
 
+	// stmts caches prepared statements by rendered text so the
+	// round-loop's repeated statements prepare once and bind thereafter
+	// (nil disables caching). dbConn is single-goroutine, so the cache
+	// is unsynchronized.
+	stmts *stmtLRU
+
 	stmtLatency *obs.Histogram
 	stmtCount   *obs.Counter
 	rowsOut     *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // newConn wraps a pinned connection with the instance's dialect and
 // statement instruments.
 func (s *SQLoop) newConn(conn *sql.Conn) *dbConn {
-	return &dbConn{
+	c := &dbConn{
 		conn:        conn,
 		dialect:     s.dialect,
 		stmtLatency: s.metrics.Histogram("sqloop_statement_seconds"),
 		stmtCount:   s.metrics.Counter("sqloop_statements_total"),
 		rowsOut:     s.metrics.Counter("sqloop_rows_returned_total"),
+		cacheHits:   s.metrics.Counter("sqloop_conn_stmt_cache_hits"),
+		cacheMisses: s.metrics.Counter("sqloop_conn_stmt_cache_misses"),
+	}
+	if !s.opts.DisableStmtCache {
+		c.stmts = newStmtLRU(dbConnStmtCacheSize)
+	}
+	return c
+}
+
+// dbConnStmtCacheSize bounds each connection's prepared-statement
+// cache; the round-loop's working set (a handful of templates per CTE)
+// fits with a wide margin.
+const dbConnStmtCacheSize = 128
+
+// stmtLRU is a bounded, single-goroutine LRU of prepared statements
+// keyed by rendered statement text. Eviction closes the statement.
+type stmtLRU struct {
+	max int
+	lru *list.List // of *stmtLRUEntry, front = most recent
+	m   map[string]*list.Element
+}
+
+type stmtLRUEntry struct {
+	text string
+	st   *sql.Stmt
+}
+
+func newStmtLRU(max int) *stmtLRU {
+	return &stmtLRU{max: max, lru: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (l *stmtLRU) get(text string) *sql.Stmt {
+	el, ok := l.m[text]
+	if !ok {
+		return nil
+	}
+	l.lru.MoveToFront(el)
+	return el.Value.(*stmtLRUEntry).st
+}
+
+func (l *stmtLRU) put(text string, st *sql.Stmt) {
+	l.m[text] = l.lru.PushFront(&stmtLRUEntry{text: text, st: st})
+	for l.lru.Len() > l.max {
+		el := l.lru.Back()
+		ent := el.Value.(*stmtLRUEntry)
+		l.lru.Remove(el)
+		delete(l.m, ent.text)
+		_ = ent.st.Close()
+	}
+}
+
+func (l *stmtLRU) closeAll() {
+	for el := l.lru.Front(); el != nil; el = el.Next() {
+		_ = el.Value.(*stmtLRUEntry).st.Close()
+	}
+	l.lru.Init()
+	l.m = make(map[string]*list.Element)
+}
+
+// preparedFor returns a cached prepared statement for text, preparing
+// and caching on first use. A nil return means "use the direct text
+// path" — caching disabled, or the engine refused to prepare (the
+// direct execution will then surface the real error or just work).
+func (c *dbConn) preparedFor(ctx context.Context, text string) *sql.Stmt {
+	if c.stmts == nil {
+		return nil
+	}
+	if st := c.stmts.get(text); st != nil {
+		if c.cacheHits != nil {
+			c.cacheHits.Inc()
+		}
+		return st
+	}
+	if c.cacheMisses != nil {
+		c.cacheMisses.Inc()
+	}
+	st, err := c.conn.PrepareContext(ctx, text)
+	if err != nil {
+		return nil
+	}
+	c.stmts.put(text, st)
+	return st
+}
+
+// closeStmts releases every cached prepared statement. Call before the
+// underlying connection goes back to the pool.
+func (c *dbConn) closeStmts() {
+	if c.stmts != nil {
+		c.stmts.closeAll()
 	}
 }
 
@@ -542,7 +648,15 @@ func isQuery(st sqlparser.Statement) bool {
 
 func (c *dbConn) exec(ctx context.Context, text string) (*Result, error) {
 	start := time.Now()
-	res, err := c.conn.ExecContext(ctx, text)
+	var (
+		res sql.Result
+		err error
+	)
+	if st := c.preparedFor(ctx, text); st != nil {
+		res, err = st.ExecContext(ctx)
+	} else {
+		res, err = c.conn.ExecContext(ctx, text)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("exec %q: %w", abbreviate(text), err)
 	}
@@ -556,7 +670,15 @@ func (c *dbConn) exec(ctx context.Context, text string) (*Result, error) {
 
 func (c *dbConn) query(ctx context.Context, text string) (*Result, error) {
 	start := time.Now()
-	rows, err := c.conn.QueryContext(ctx, text)
+	var (
+		rows *sql.Rows
+		err  error
+	)
+	if st := c.preparedFor(ctx, text); st != nil {
+		rows, err = st.QueryContext(ctx)
+	} else {
+		rows, err = c.conn.QueryContext(ctx, text)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("query %q: %w", abbreviate(text), err)
 	}

@@ -41,10 +41,37 @@ type ckptRun struct {
 	mode    string
 	cteName string
 	every   int
+	// token is the execution's working-table namespace token, recorded
+	// in every snapshot so a restore can recreate the same table names.
+	token string
 	// resumed is the snapshot this run restores from; nil for a fresh
 	// start. Executors clear it when its shape does not match theirs
 	// (e.g. the partition count changed between runs).
 	resumed *ckpt.Snapshot
+}
+
+// execToken settles the run's namespace token: a restored run adopts
+// the snapshot's token (its table names embed it), a fresh run mints a
+// new one. Safe on a nil receiver (checkpointing disabled): the token
+// is then always fresh.
+func (r *ckptRun) execToken() string {
+	if r == nil {
+		return newExecToken()
+	}
+	if r.token == "" {
+		if r.resumed != nil {
+			r.token = r.resumed.Token
+			// Pre-token snapshots carry no token; adopting "" would
+			// collapse to the un-namespaced legacy names they were
+			// written under, which is exactly what restoring them needs.
+			if r.token == "" {
+				return r.token
+			}
+		} else {
+			r.token = newExecToken()
+		}
+	}
+	return r.token
 }
 
 // newCkptRun opens the snapshot store and loads any snapshot matching
@@ -97,7 +124,7 @@ func (r *ckptRun) save(ctx context.Context, c *dbConn, round, partitions int, pa
 	start := time.Now()
 	snap := &ckpt.Snapshot{
 		Key: r.key, Query: r.query, Mode: r.mode, Engine: r.s.dsn,
-		CTE: r.cteName, Round: round, Partitions: partitions,
+		CTE: r.cteName, Token: r.token, Round: round, Partitions: partitions,
 		PartRounds: append([]int(nil), partRounds...),
 		Columns:    append([]string(nil), cols...),
 		CreatedAt:  time.Now().UTC(),

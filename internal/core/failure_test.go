@@ -3,10 +3,21 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
 )
+
+// pinToken fixes the per-execution namespace token for the duration of
+// a test, so working-table names become deterministic and sabotage /
+// stale-table tests can target the real physical names.
+func pinToken(t *testing.T, tok string) {
+	t.Helper()
+	old := newExecToken
+	newExecToken = func() string { return tok }
+	t.Cleanup(func() { newExecToken = old })
+}
 
 // TestParallelRunSurvivesDroppedDependency drops the relation table out
 // from under a running parallel CTE: the run must fail with an error
@@ -14,6 +25,9 @@ import (
 func TestParallelRunSurvivesDroppedDependency(t *testing.T) {
 	for _, mode := range []Mode{ModeSync, ModeAsync} {
 		t.Run(mode.String(), func(t *testing.T) {
+			// Working tables are namespaced per execution; pin the token
+			// so the sabotage below hits this run's materialized join.
+			pinToken(t, "t0")
 			s := newTestLoop(t, Options{Mode: mode, Threads: 2, Partitions: 4}, true)
 			ctx := context.Background()
 
@@ -38,7 +52,7 @@ func TestParallelRunSurvivesDroppedDependency(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := 0; i < 100; i++ {
-				if _, err := sab.ExecContext(ctx, `DROP TABLE sqloop_pagerank_mjoin`); err == nil {
+				if _, err := sab.ExecContext(ctx, `DROP TABLE sqloop_pagerank_t0_mjoin`); err == nil {
 					break
 				}
 			}
@@ -68,13 +82,17 @@ func TestParallelRunSurvivesDroppedDependency(t *testing.T) {
 // pre-creating stale working tables under SQLoop's names; a new run must
 // replace them and succeed.
 func TestStaleWorkingTablesAreReplaced(t *testing.T) {
+	// Pin the token so the stale tables collide with the names the run
+	// will actually use (a real crash with random tokens cannot collide,
+	// but the drop-before-create paths must still hold).
+	pinToken(t, "t0")
 	s := newTestLoop(t, Options{Mode: ModeSync, Threads: 2, Partitions: 4}, true)
 	ctx := context.Background()
 	stale := []string{
 		`CREATE TABLE pagerank (junk BIGINT)`,
-		`CREATE TABLE sqloop_pagerank_tmp (junk BIGINT)`,
-		`CREATE TABLE sqloop_pagerank_mjoin (junk BIGINT)`,
-		`CREATE TABLE sqloop_pagerank_pt0 (junk BIGINT)`,
+		`CREATE TABLE sqloop_pagerank_t0_mjoin (junk BIGINT)`,
+		`CREATE TABLE sqloop_pagerank_t0_pt0 (junk BIGINT)`,
+		`CREATE TABLE sqloop_pagerank_t0_delta (junk BIGINT)`,
 		`CREATE TABLE pagerankdelta (junk BIGINT)`,
 	}
 	for _, q := range stale {
@@ -121,5 +139,56 @@ func TestConcurrentIndependentCTEs(t *testing.T) {
 		if err != nil {
 			t.Errorf("cte %d: %v", i, err)
 		}
+	}
+}
+
+// TestConcurrentSameNamedCTEs runs the SAME iterative CTE (same name,
+// same relation table) several times concurrently through one SQLoop
+// instance. Per-execution name tokens must keep the runs' working
+// tables apart — before tokens, both runs wrote R/Rdelta/partition
+// tables under identical names and clobbered each other's state.
+func TestConcurrentSameNamedCTEs(t *testing.T) {
+	const iters = 5
+	want := refPageRank(iters, true)
+	for _, mode := range []Mode{ModeSingle, ModeSync, ModeAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestLoop(t, Options{Mode: mode, Threads: 2, Partitions: 2}, true)
+			ctx := context.Background()
+			const runs = 3
+			var wg sync.WaitGroup
+			results := make([]*Result, runs)
+			errs := make([]error, runs)
+			wg.Add(runs)
+			for i := 0; i < runs; i++ {
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = s.Exec(ctx, fmt.Sprintf(pageRankCTE, iters))
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < runs; i++ {
+				if errs[i] != nil {
+					t.Fatalf("run %d: %v", i, errs[i])
+				}
+				got := rowsToMap(t, results[i])
+				if len(got) != len(want) {
+					t.Fatalf("run %d: %d nodes, want %d", i, len(got), len(want))
+				}
+				for n, v := range got {
+					if v < 0.15-1e-9 {
+						t.Errorf("run %d: node %d rank %v below base rank", i, n, v)
+					}
+				}
+				// Exact values are only defined for synchronized
+				// schedules (cf. TestAvgAggregateAllModes).
+				if mode == ModeSingle || mode == ModeSync {
+					for n, v := range want {
+						if math.Abs(got[n]-v) > 1e-9 {
+							t.Errorf("run %d: node %d = %v, want %v", i, n, got[n], v)
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -21,27 +21,8 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 	}
 	defer conn.Close()
 	c := s.newConn(conn)
+	defer c.closeStmts()
 	rt := newRoundTrace(s.tracer, false)
-
-	rName := strings.ToLower(cte.Name)
-	workName := "sqloop_" + rName + "_work" // current delta fed to Ri
-	nextName := "sqloop_" + rName + "_next" // rows produced by Ri
-
-	cleanup := func() {
-		cctx := context.WithoutCancel(ctx)
-		_, _ = c.runStmt(cctx, dropTable(workName))
-		_, _ = c.runStmt(cctx, dropTable(nextName))
-		if !s.opts.KeepTable {
-			_, _ = c.runStmt(cctx, dropTable(rName))
-		}
-	}
-	defer cleanup()
-	// Stale tables from a crashed run must not break this one.
-	for _, n := range []string{rName, workName, nextName} {
-		if _, err := c.runStmt(ctx, dropTable(n)); err != nil {
-			return nil, err
-		}
-	}
 
 	ck, err := s.newCkptRun(cte)
 	if err != nil {
@@ -50,6 +31,48 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 	// A recursive snapshot holds exactly R and the working delta.
 	if ck.restoring() && len(ck.resumed.Tables) != 2 {
 		ck.resumed = nil
+	}
+	// The namespace token must be settled after the snapshot decision:
+	// a restored run reuses the snapshot's token (its table names embed
+	// it), a fresh run mints its own so concurrent executions of
+	// same-named CTEs never share working tables.
+	tok := ck.execToken()
+
+	rUser := strings.ToLower(cte.Name)
+	rName := rTableName(tok, cte.Name)
+	workName := workTableName(tok, cte.Name) // current delta fed to Ri
+	nextName := nextTableName(tok, cte.Name) // rows produced by Ri
+
+	cleanup := func() {
+		cctx := context.WithoutCancel(ctx)
+		_, _ = c.runStmt(cctx, dropTable(workName))
+		_, _ = c.runStmt(cctx, dropTable(nextName))
+		if s.opts.KeepTable {
+			materializeKeepTable(cctx, c, rUser, rName)
+		} else {
+			// The user name holds at most this execution's advisory
+			// view; the working table lives under the tokenized name.
+			_, _ = c.runStmt(cctx, dropView(rUser))
+			_, _ = c.runStmt(cctx, dropTable(rName))
+		}
+	}
+	defer cleanup()
+	// Stale user-visible objects from a crashed legacy run must not
+	// break this one (the tokenized names cannot pre-exist).
+	if _, err := c.runStmt(ctx, dropView(rUser)); err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, dropTable(rUser)); err != nil {
+		return nil, err
+	}
+	if tok == "" {
+		// Restoring a pre-token snapshot: the legacy working names come
+		// back into use, so stale copies must go first.
+		for _, n := range []string{workName, nextName} {
+			if _, err := c.runStmt(ctx, dropTable(n)); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	var cols []string
@@ -69,7 +92,7 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		// Seed: R and the working delta both start as R0. Column names
 		// come from the CTE declaration when present, else from the seed
 		// query.
-		cols, err = s.seedTable(ctx, c, cte, rName, false)
+		cols, err = s.seedTable(ctx, c, cte, tok, rName, false)
 		if err != nil {
 			return nil, err
 		}
@@ -80,6 +103,33 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 			return nil, err
 		}
 	}
+	publishAdvisoryView(ctx, c, rUser, rName)
+
+	// Round statement templates are generated once, outside the loop:
+	// every iteration re-executes the same statements, so the engine's
+	// statement cache serves them from round two onward. `next` is
+	// created here with R's column layout (ANY-typed, like every working
+	// table, so value kinds may drift between rounds) and refilled by
+	// TRUNCATE + INSERT — steady-state rounds contain no DDL, which is
+	// what lets the cached round statements stay valid across rounds.
+	//
+	// next = Ri evaluated against the working delta only. With set
+	// semantics (UNION without ALL) the delta is additionally pruned
+	// against everything already in R — classic semi-naive
+	// deduplication, without which transitive closure over cyclic
+	// data never reaches its fix point.
+	step := renameTableRefs(cte.Step, cte.Name, workName)
+	if !cte.UnionAll {
+		step = &sqlparser.SetOp{Kind: sqlparser.SetExcept, Left: step, Right: selectStar(rName)}
+	}
+	if _, err := c.runStmt(ctx, dropTable(nextName)); err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, createAnyTable(nextName, cols, false)); err != nil {
+		return nil, err
+	}
+	truncNext := &sqlparser.TruncateStmt{Table: nextName}
+	fillNext := insertBody(nextName, step)
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -91,27 +141,15 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		iters++
 		rt.begin(iters)
 
-		// next = Ri evaluated against the working delta only. With set
-		// semantics (UNION without ALL) the delta is additionally pruned
-		// against everything already in R — classic semi-naive
-		// deduplication, without which transitive closure over cyclic
-		// data never reaches its fix point.
-		step := renameTableRefs(cte.Step, cte.Name, workName)
-		if !cte.UnionAll {
-			step = &sqlparser.SetOp{Kind: sqlparser.SetExcept, Left: step, Right: selectStar(rName)}
-		}
-		if _, err := c.runStmt(ctx, dropTable(nextName)); err != nil {
+		if _, err := c.runStmt(ctx, truncNext); err != nil {
 			return nil, err
 		}
-		create := &sqlparser.CreateTableStmt{Name: nextName, AsSelect: step, Unlogged: true}
-		if _, err := c.runStmt(ctx, create); err != nil {
-			return nil, err
-		}
-		n, _, err := c.scalar(ctx, sqlparser.FormatDialect(countStmt(nextName), c.dialect))
+		res, err := c.runStmt(ctx, fillNext)
 		if err != nil {
 			return nil, err
 		}
-		rt.end(iters, int64(n))
+		n := res.RowsAffected
+		rt.end(iters, n)
 		if n == 0 {
 			break // fix point
 		}
@@ -132,7 +170,7 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 		}
 	}
 
-	res, err := s.runFinal(ctx, c, cte, rName)
+	res, err := s.runFinal(ctx, c, cte, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -144,12 +182,12 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 // seedTable creates the CTE table (first column primary key for
 // iterative CTEs, §III-A) and fills it from R0, returning the column
 // names in use.
-func (s *SQLoop) seedTable(ctx context.Context, c *dbConn, cte *sqlparser.LoopCTEStmt, rName string, pk bool) ([]string, error) {
+func (s *SQLoop) seedTable(ctx context.Context, c *dbConn, cte *sqlparser.LoopCTEStmt, tok, rName string, pk bool) ([]string, error) {
 	cols := cte.Columns
 	if len(cols) == 0 {
 		// Derive names by materializing the seed once into a scratch
 		// table and probing its header.
-		scratch := "sqloop_" + rName + "_seed"
+		scratch := seedScratchName(tok, cte.Name)
 		if _, err := c.runStmt(ctx, dropTable(scratch)); err != nil {
 			return nil, err
 		}
@@ -182,10 +220,39 @@ func (s *SQLoop) seedTable(ctx context.Context, c *dbConn, cte *sqlparser.LoopCT
 	return cols, nil
 }
 
-// runFinal executes Qf with the CTE name resolving to rName.
-func (s *SQLoop) runFinal(ctx context.Context, c *dbConn, cte *sqlparser.LoopCTEStmt, rName string) (*Result, error) {
-	final := renameTableRefs(cte.Final, cte.Name, rName)
+// runFinal executes Qf with the CTE name (and Rdelta) resolving to this
+// execution's tokenized tables.
+func (s *SQLoop) runFinal(ctx context.Context, c *dbConn, cte *sqlparser.LoopCTEStmt, tok string) (*Result, error) {
+	final := retargetCTE(cte.Final, cte, tok)
 	return c.runStmt(ctx, &sqlparser.SelectStmt{Body: final})
+}
+
+// publishAdvisoryView exposes the execution's working table under the
+// user-visible CTE name as a read-only view, so external observers (the
+// bench sampler, concurrent readers) can watch progress. Best effort:
+// the name may legitimately be occupied (a user table, another
+// execution's view), and execution correctness never depends on it —
+// every internal reference is retargeted at the tokenized tables.
+func publishAdvisoryView(ctx context.Context, c *dbConn, user, phys string) {
+	if user == phys {
+		return
+	}
+	_, _ = c.runStmt(ctx, dropView(user))
+	_, _ = c.runStmt(ctx, &sqlparser.CreateViewStmt{Name: user, Body: selectStar(phys)})
+}
+
+// materializeKeepTable re-publishes the final R under the user-visible
+// CTE name for Options.KeepTable, replacing whatever holds the name.
+// No-op when the working table already is the user name (legacy,
+// token-less executions).
+func materializeKeepTable(ctx context.Context, c *dbConn, user, phys string) {
+	if user == phys {
+		return
+	}
+	_, _ = c.runStmt(ctx, dropView(user))
+	_, _ = c.runStmt(ctx, dropTable(user))
+	_, _ = c.runStmt(ctx, &sqlparser.CreateTableStmt{Name: user, AsSelect: selectStar(phys), Unlogged: true})
+	_, _ = c.runStmt(ctx, dropTable(phys))
 }
 
 // execIterative runs WITH ITERATIVE. It analyzes Ri (§V-A); when the
@@ -233,27 +300,8 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 	}
 	defer conn.Close()
 	c := s.newConn(conn)
+	defer c.closeStmts()
 	rt := newRoundTrace(s.tracer, false)
-
-	rName := strings.ToLower(cte.Name)
-	tmpName := tmpTableName(cte.Name)
-	term := newTerminator(cte, s.tracer)
-	term.rTable = rName
-
-	cleanup := func() {
-		cctx := context.WithoutCancel(ctx)
-		_, _ = c.runStmt(cctx, dropTable(tmpName))
-		_ = term.cleanup(cctx, c)
-		if !s.opts.KeepTable {
-			_, _ = c.runStmt(cctx, dropTable(rName))
-		}
-	}
-	defer cleanup()
-	for _, n := range []string{rName, tmpName, deltaTableName(cte.Name)} {
-		if _, err := c.runStmt(ctx, dropTable(n)); err != nil {
-			return nil, err
-		}
-	}
 
 	ck, err := s.newCkptRun(cte)
 	if err != nil {
@@ -262,6 +310,41 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 	// An iterative single-mode snapshot holds exactly R.
 	if ck.restoring() && (ck.resumed.Partitions != 0 || len(ck.resumed.Tables) != 1) {
 		ck.resumed = nil
+	}
+	tok := ck.execToken()
+
+	rUser := strings.ToLower(cte.Name)
+	rName := rTableName(tok, cte.Name)
+	tmpName := tmpTableName(tok, cte.Name)
+	term := newTerminator(cte, s.tracer, tok)
+	term.rTable = rName
+
+	cleanup := func() {
+		cctx := context.WithoutCancel(ctx)
+		_, _ = c.runStmt(cctx, dropTable(tmpName))
+		_ = term.cleanup(cctx, c)
+		if s.opts.KeepTable {
+			materializeKeepTable(cctx, c, rUser, rName)
+		} else {
+			_, _ = c.runStmt(cctx, dropView(rUser))
+			_, _ = c.runStmt(cctx, dropTable(rName))
+		}
+	}
+	defer cleanup()
+	// Stale user-visible objects from a crashed legacy run must not
+	// break this one (tokenized names cannot pre-exist).
+	if _, err := c.runStmt(ctx, dropView(rUser)); err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, dropTable(rUser)); err != nil {
+		return nil, err
+	}
+	if tok == "" {
+		for _, n := range []string{tmpName, deltaTableName(tok, cte.Name)} {
+			if _, err := c.runStmt(ctx, dropTable(n)); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	var cols []string
@@ -274,16 +357,41 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		iters = ck.resumed.Round
 		ck.markResumed()
 	} else {
-		cols, err = s.seedTable(ctx, c, cte, rName, true)
+		cols, err = s.seedTable(ctx, c, cte, tok, rName, true)
 		if err != nil {
 			return nil, err
 		}
 	}
+	publishAdvisoryView(ctx, c, rUser, rName)
 	// Rdelta == R at every round boundary (the terminator refreshes it
 	// after each check), so prepare can rebuild it from R when resuming.
 	if err := term.prepare(ctx, c); err != nil {
 		return nil, err
 	}
+
+	// The per-round statement templates are built once and contain no
+	// DDL: Rtmp is created here with R's column layout (ANY-typed, like
+	// every working table) and refilled by TRUNCATE + INSERT each round,
+	// so the cached round statements stay valid across rounds instead of
+	// being invalidated by working-table churn. Ri references R (and
+	// Rdelta) live; its table refs are retargeted at this execution's
+	// tokenized tables. An Ri whose column count differs from R's is
+	// rejected by the positional INSERT.
+	if _, err := c.runStmt(ctx, dropTable(tmpName)); err != nil {
+		return nil, err
+	}
+	if _, err := c.runStmt(ctx, createAnyTable(tmpName, cols, false)); err != nil {
+		return nil, err
+	}
+	truncTmp := &sqlparser.TruncateStmt{Table: tmpName}
+	fillTmp := insertBody(tmpName, retargetCTE(cte.Step, cte, tok))
+	// UPDATE R by matching Rid with Rtmp's first column: only rows whose
+	// keys intersect are touched (§III-A).
+	upd := &sqlparser.UpdateStmt{Table: rName, Where: eq(col(rName, cols[0]), col("t", cols[0]))}
+	for i := 1; i < len(cols); i++ {
+		upd.Sets = append(upd.Sets, sqlparser.Assignment{Column: cols[i], Value: col("t", cols[i])})
+	}
+	upd.From = []sqlparser.TableExpr{tblAs(tmpName, "t")}
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -296,29 +404,12 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		rt.begin(iters)
 
 		// Rtmp = Ri (R referenced live).
-		if _, err := c.runStmt(ctx, dropTable(tmpName)); err != nil {
+		if _, err := c.runStmt(ctx, truncTmp); err != nil {
 			return nil, err
 		}
-		create := &sqlparser.CreateTableStmt{Name: tmpName, AsSelect: cte.Step, Unlogged: true}
-		if _, err := c.runStmt(ctx, create); err != nil {
+		if _, err := c.runStmt(ctx, fillTmp); err != nil {
 			return nil, fmt.Errorf("iteration %d of %s: %w", iters, cte.Name, err)
 		}
-		tmpCols, err := columnNamesOf(ctx, c, tmpName)
-		if err != nil {
-			return nil, err
-		}
-		if len(tmpCols) != len(cols) {
-			return nil, fmt.Errorf("core: Ri of %s returns %d columns, table has %d",
-				cte.Name, len(tmpCols), len(cols))
-		}
-
-		// UPDATE R by matching Rid with Rtmp's first column: only rows
-		// whose keys intersect are touched (§III-A).
-		upd := &sqlparser.UpdateStmt{Table: rName, Where: eq(col(rName, cols[0]), col("t", tmpCols[0]))}
-		for i := 1; i < len(cols); i++ {
-			upd.Sets = append(upd.Sets, sqlparser.Assignment{Column: cols[i], Value: col("t", tmpCols[i])})
-		}
-		upd.From = []sqlparser.TableExpr{tblAs(tmpName, "t")}
 		res, err := c.runStmt(ctx, upd)
 		if err != nil {
 			return nil, err
@@ -339,7 +430,7 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 		}
 	}
 
-	out, err := s.runFinal(ctx, c, cte, rName)
+	out, err := s.runFinal(ctx, c, cte, tok)
 	if err != nil {
 		return nil, err
 	}

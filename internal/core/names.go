@@ -2,24 +2,86 @@ package core
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/sqltypes"
 )
 
 // Working-table naming. All internal tables carry the sqloop_ prefix so
-// they never collide with user tables; the CTE table itself and the
-// delta snapshot use user-visible names (R and Rdelta, §III-B).
-func tmpTableName(cte string) string   { return "sqloop_" + strings.ToLower(cte) + "_tmp" }
-func deltaTableName(cte string) string { return strings.ToLower(cte) + "delta" }
-func mjoinTableName(cte string) string { return "sqloop_" + strings.ToLower(cte) + "_mjoin" }
-func partTableName(cte string, i int) string {
-	return fmt.Sprintf("sqloop_%s_pt%d", strings.ToLower(cte), i)
+// they never collide with user tables. Each execution additionally
+// namespaces its working tables with a per-execution token so two
+// concurrent executions of same-named CTEs cannot clobber each other's
+// state; an empty token collapses every name to the historical layout
+// (R and Rdelta under user-visible names, §III-B), which is what
+// GenerateScript emits and what pre-token checkpoints restore to.
+
+// newExecToken mints the per-execution namespace token. It is a
+// variable so tests can pin a deterministic token.
+var newExecToken = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("c%d", tokenFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
 }
-func msgTableName(cte string, seq int64) string {
-	return fmt.Sprintf("sqloop_%s_msg%d", strings.ToLower(cte), seq)
+
+var tokenFallback atomic.Int64
+
+// namePrefix is the shared sqloop_<cte>_[<tok>_] prefix of every
+// internal working table.
+func namePrefix(tok, cte string) string {
+	if tok == "" {
+		return "sqloop_" + strings.ToLower(cte) + "_"
+	}
+	return "sqloop_" + strings.ToLower(cte) + "_" + tok + "_"
+}
+
+// rTableName is the physical table (or view, in parallel mode) the CTE
+// name resolves to during execution. With no token it is the
+// user-visible lower-cased CTE name itself.
+func rTableName(tok, cte string) string {
+	if tok == "" {
+		return strings.ToLower(cte)
+	}
+	return namePrefix(tok, cte) + "r"
+}
+
+func tmpTableName(tok, cte string) string { return namePrefix(tok, cte) + "tmp" }
+
+func deltaTableName(tok, cte string) string {
+	if tok == "" {
+		return strings.ToLower(cte) + "delta"
+	}
+	return namePrefix(tok, cte) + "delta"
+}
+
+func mjoinTableName(tok, cte string) string  { return namePrefix(tok, cte) + "mjoin" }
+func workTableName(tok, cte string) string   { return namePrefix(tok, cte) + "work" }
+func nextTableName(tok, cte string) string   { return namePrefix(tok, cte) + "next" }
+func seedScratchName(tok, cte string) string { return namePrefix(tok, cte) + "seed" }
+
+func partTableName(tok, cte string, i int) string {
+	return fmt.Sprintf("%spt%d", namePrefix(tok, cte), i)
+}
+func msgTableName(tok, cte string, seq int64) string {
+	return fmt.Sprintf("%smsg%d", namePrefix(tok, cte), seq)
+}
+
+// retargetCTE deep-copies body with references to the CTE's
+// user-visible names (R and Rdelta) redirected at this execution's
+// tokenized working tables. With an empty token both renames are
+// no-ops by construction.
+func retargetCTE(body sqlparser.SelectBody, cte *sqlparser.LoopCTEStmt, tok string) sqlparser.SelectBody {
+	out := renameTableRefs(body, cte.Name, rTableName(tok, cte.Name))
+	if tok != "" {
+		out = renameTableRefs(out, strings.ToLower(cte.Name)+"delta", deltaTableName(tok, cte.Name))
+	}
+	return out
 }
 
 // --- tiny AST builders used by the plan generator ---

@@ -209,7 +209,7 @@ func newWorkerPool(ctx context.Context, s *SQLoop, n int) (*workerPool, error) {
 			_ = p.close()
 			return nil, fmt.Errorf("core: worker %d connection: %w", i, err)
 		}
-		c := &dbConn{conn: conn, dialect: s.dialect}
+		c := s.newConn(conn)
 		p.conns = append(p.conns, c)
 		p.closers = append(p.closers, conn.Close)
 	}
@@ -234,6 +234,9 @@ func (p *workerPool) close() error {
 		p.tasks = nil
 	}
 	p.wg.Wait()
+	for _, c := range p.conns {
+		c.closeStmts()
+	}
 	var err error
 	for _, cl := range p.closers {
 		if e := cl(); e != nil && err == nil {
@@ -290,17 +293,7 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 	}
 	defer conn.Close()
 	coord := s.newConn(conn)
-	rName := strings.ToLower(cte.Name)
-
-	// Seed R as a real table, then partition it.
-	for _, n := range []string{rName, deltaTableName(cte.Name)} {
-		if _, err := coord.runStmt(ctx, dropTable(n)); err != nil {
-			return nil, err
-		}
-	}
-	if _, err := coord.runStmt(ctx, dropView(rName)); err != nil {
-		return nil, err
-	}
+	defer coord.closeStmts()
 
 	ck, err := s.newCkptRun(cte)
 	if err != nil {
@@ -314,12 +307,31 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 		len(ck.resumed.Tables) != s.opts.Partitions) {
 		ck.resumed = nil
 	}
+	tok := ck.execToken()
+
+	rUser := strings.ToLower(cte.Name)
+	rName := rTableName(tok, cte.Name)
+
+	// Stale user-visible objects from a crashed legacy run must not
+	// break this one (tokenized names cannot pre-exist).
+	if _, err := coord.runStmt(ctx, dropView(rUser)); err != nil {
+		return nil, err
+	}
+	if _, err := coord.runStmt(ctx, dropTable(rUser)); err != nil {
+		return nil, err
+	}
+	if tok == "" {
+		if _, err := coord.runStmt(ctx, dropTable(deltaTableName(tok, cte.Name))); err != nil {
+			return nil, err
+		}
+	}
 
 	var cols []string
 	if ck.restoring() {
 		cols = ck.resumed.Columns
 	} else {
-		cols, err = s.seedTable(ctx, coord, cte, rName, true)
+		// Seed R as a real table, then partition it.
+		cols, err = s.seedTable(ctx, coord, cte, tok, rName, true)
 		if err != nil {
 			return nil, err
 		}
@@ -329,14 +341,14 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 			cte.Name, len(cols), an.DeltaItem+1)
 	}
 
-	pl := newPlan(cte, an, cols, s.opts.Partitions, !s.opts.DisableMaterialization)
+	pl := newPlan(cte, an, cols, s.opts.Partitions, tok, !s.opts.DisableMaterialization)
 	run := &parallelRun{
 		s: s, cte: cte, pl: pl, mode: mode, coord: coord,
 		// Sync has real barriers, so its rounds trace eagerly; the async
 		// schedulers discover rounds at completion (lazy).
 		rt:         newRoundTrace(s.tracer, mode != ModeSync),
 		msgs:       newMsgRegistry(pl.p),
-		term:       newTerminator(cte, s.tracer),
+		term:       newTerminator(cte, s.tracer, tok),
 		rounds:     make([]int, pl.p),
 		clean:      make([]bool, pl.p),
 		lastGather: make([]int64, pl.p),
@@ -344,7 +356,7 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 		priority:   make([]float64, pl.p),
 		hasPrio:    make([]bool, pl.p),
 	}
-	run.term.rTable = rName
+	run.term.rTable = pl.rQL
 	run.prioQuery = s.opts.PriorityQuery
 	if run.prioQuery == "" {
 		run.prioQuery = pl.defaultPriorityQuery()
@@ -376,6 +388,7 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 			}
 		}
 	}
+	publishAdvisoryView(ctx, coord, rUser, pl.rQL)
 	if pl.materialized {
 		for _, st := range pl.mjoinStmts() {
 			if _, err := coord.runStmt(ctx, st); err != nil {
@@ -404,7 +417,7 @@ func (s *SQLoop) execIterativeParallel(ctx context.Context, cte *sqlparser.LoopC
 		return nil, err
 	}
 
-	out, err := s.runFinal(ctx, coord, cte, rName)
+	out, err := s.runFinal(ctx, coord, cte, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -437,6 +450,12 @@ func (r *parallelRun) cleanup(ctx context.Context) {
 	for _, st := range r.pl.cleanupStmts(r.s.opts.KeepTable) {
 		_, _ = r.coord.runStmt(ctx, st)
 	}
+	user := strings.ToLower(r.cte.Name)
+	if user != r.pl.rQL {
+		// Retire the advisory view regardless of KeepTable; keepStmts
+		// already re-published the data under the user name.
+		_, _ = r.coord.runStmt(ctx, dropView(user))
+	}
 	if !r.s.opts.KeepTable {
 		_, _ = r.coord.runStmt(ctx, dropTable(r.pl.rQL))
 	}
@@ -464,7 +483,7 @@ func (r *parallelRun) computeTask(ctx context.Context, x int, c *dbConn, gatherC
 		return 0, 0, nil
 	}
 	r.computed[x].Store(true)
-	msgName := msgTableName(r.cte.Name, r.nameSeq.Add(1))
+	msgName := msgTableName(r.pl.tok, r.cte.Name, r.nameSeq.Add(1))
 	if _, err := c.runStmt(ctx, r.pl.messageStmt(x, msgName)); err != nil {
 		return 0, 0, fmt.Errorf("compute(messages) pt%d: %w", x, err)
 	}

@@ -14,7 +14,8 @@ type plan struct {
 	an   Analysis
 	cols []string // CTE column names, cols[0] = Rid
 	p    int      // partition count
-	rQL  string   // lower-cased CTE/view name
+	tok  string   // per-execution namespace token
+	rQL  string   // name R resolves to (tokenized view over the partitions)
 
 	valueSets []sqlparser.Assignment // absorb-phase SET list (non-delta items)
 	deltaCol  string
@@ -31,13 +32,14 @@ const (
 )
 
 // newPlan derives the plan from a successful analysis.
-func newPlan(cte *sqlparser.LoopCTEStmt, an Analysis, cols []string, parts int, materialize bool) *plan {
+func newPlan(cte *sqlparser.LoopCTEStmt, an Analysis, cols []string, parts int, tok string, materialize bool) *plan {
 	pl := &plan{
 		cte:          cte,
 		an:           an,
 		cols:         cols,
 		p:            parts,
-		rQL:          strings.ToLower(cte.Name),
+		tok:          tok,
+		rQL:          rTableName(tok, cte.Name),
 		deltaCol:     cols[an.DeltaItem],
 		idCol:        cols[0],
 		materialized: materialize,
@@ -57,7 +59,7 @@ func newPlan(cte *sqlparser.LoopCTEStmt, an Analysis, cols []string, parts int, 
 }
 
 // partName is the partition table for index x.
-func (pl *plan) partName(x int) string { return partTableName(pl.cte.Name, x) }
+func (pl *plan) partName(x int) string { return partTableName(pl.tok, pl.cte.Name, x) }
 
 // partitionStmts splits table R into p hash partitions and replaces R
 // with a view over their union (§V-B). AVG plans add the hidden
@@ -107,7 +109,7 @@ func (pl *plan) unionBody() sqlparser.SelectBody {
 // relation table projected to (src_id, dst_id, used attributes), indexed
 // on src_id so Compute's outgoing-message join is a lookup.
 func (pl *plan) mjoinStmts() []sqlparser.Statement {
-	name := mjoinTableName(pl.cte.Name)
+	name := mjoinTableName(pl.tok, pl.cte.Name)
 	sel := &sqlparser.Select{
 		From: []sqlparser.TableExpr{tblAs(pl.an.EdgeTable, pl.an.EdgeAlias)},
 		Items: []sqlparser.SelectItem{
@@ -233,7 +235,7 @@ func (pl *plan) messageStmt(x int, msgName string) sqlparser.Statement {
 		from = &sqlparser.JoinExpr{
 			Type:  sqlparser.JoinInner,
 			Left:  tblAs(pl.partName(x), n),
-			Right: tblAs(mjoinTableName(pl.cte.Name), "mj"),
+			Right: tblAs(mjoinTableName(pl.tok, pl.cte.Name), "mj"),
 			On:    eq(col(n, pl.idCol), col("mj", "src_id")),
 		}
 		dstExpr = col("mj", "dst_id")
@@ -386,13 +388,17 @@ func (pl *plan) gatherStmt(x int, msgTables []string) sqlparser.Statement {
 	return upd
 }
 
-// keepStmts re-materialize the CTE view as a real table (for
-// Options.KeepTable) before the partitions are dropped.
+// keepStmts re-materialize the CTE's final contents as a real table
+// under the user-visible name (for Options.KeepTable) before the
+// partitions are dropped.
 func (pl *plan) keepStmts() []sqlparser.Statement {
-	return []sqlparser.Statement{
-		dropView(pl.rQL),
-		&sqlparser.CreateTableStmt{Name: pl.rQL, AsSelect: pl.unionBody(), Unlogged: true},
+	user := strings.ToLower(pl.cte.Name)
+	stmts := []sqlparser.Statement{dropView(pl.rQL)}
+	if user != pl.rQL {
+		stmts = append(stmts, dropView(user), dropTable(user))
 	}
+	stmts = append(stmts, &sqlparser.CreateTableStmt{Name: user, AsSelect: pl.unionBody(), Unlogged: true})
+	return stmts
 }
 
 // cleanupStmts drop every working object (message tables are handled by
@@ -407,7 +413,7 @@ func (pl *plan) cleanupStmts(keep bool) []sqlparser.Statement {
 	for x := 0; x < pl.p; x++ {
 		stmts = append(stmts, dropTable(pl.partName(x)))
 	}
-	stmts = append(stmts, dropTable(mjoinTableName(pl.cte.Name)))
+	stmts = append(stmts, dropTable(mjoinTableName(pl.tok, pl.cte.Name)))
 	return stmts
 }
 

@@ -41,8 +41,10 @@ func GenerateScript(query string, iterations int, dialect sqlparser.Dialect) (st
 		return "", fmt.Errorf("core: GenerateScript requires declared CTE columns")
 	}
 
+	// The hand-written script uses the legacy un-namespaced names: it is
+	// meant to be read (and run) by a human, not raced concurrently.
 	rName := strings.ToLower(cte.Name)
-	tmpName := tmpTableName(cte.Name)
+	tmpName := tmpTableName("", cte.Name)
 	var sb strings.Builder
 	emit := func(st sqlparser.Statement) {
 		sb.WriteString(sqlparser.FormatDialect(st, dialect))

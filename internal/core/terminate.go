@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"sqloop/internal/obs"
 	"sqloop/internal/sqlparser"
@@ -20,17 +21,20 @@ type terminator struct {
 	// rTable is what the CTE name resolves to right now (a table in
 	// single mode, a view over partitions in parallel mode).
 	rTable string
+	// token is the execution's working-table namespace token; the
+	// Rdelta snapshot lives under it.
+	token string
 	// deltaReady reports whether the Rdelta snapshot exists yet.
 	deltaReady bool
 	// tracer receives a TerminationCheck event per evaluation.
 	tracer obs.Tracer
 }
 
-func newTerminator(cte *sqlparser.LoopCTEStmt, tracer obs.Tracer) *terminator {
+func newTerminator(cte *sqlparser.LoopCTEStmt, tracer obs.Tracer, token string) *terminator {
 	if tracer == nil {
 		tracer = obs.NopTracer{}
 	}
-	return &terminator{cte: cte, term: cte.Until, rTable: cte.Name, tracer: tracer}
+	return &terminator{cte: cte, term: cte.Until, rTable: cte.Name, token: token, tracer: tracer}
 }
 
 // kindString names the condition for events and EXPLAIN output.
@@ -61,17 +65,30 @@ func (t *terminator) prepare(ctx context.Context, c *dbConn) error {
 
 // refreshDelta re-snapshots R into Rdelta ("at the end of each
 // iteration, it simply copies the data from R to a new Rdelta table",
-// §III-B).
+// §III-B). The table is created once with R's column layout (ANY-typed,
+// so value kinds may drift between rounds) and refilled by TRUNCATE +
+// INSERT: the per-round snapshot involves no DDL, so it neither
+// invalidates cached statements over Rdelta nor re-pins column types.
 func (t *terminator) refreshDelta(ctx context.Context, c *dbConn) error {
-	name := deltaTableName(t.cte.Name)
-	if _, err := c.runStmt(ctx, dropTable(name)); err != nil {
+	name := deltaTableName(t.token, t.cte.Name)
+	if !t.deltaReady {
+		cols, err := columnNamesOf(ctx, c, t.rTable)
+		if err != nil {
+			return err
+		}
+		if _, err := c.runStmt(ctx, dropTable(name)); err != nil {
+			return err
+		}
+		if _, err := c.runStmt(ctx, createAnyTable(name, cols, false)); err != nil {
+			return err
+		}
+		t.deltaReady = true
+	} else if _, err := c.runStmt(ctx, &sqlparser.TruncateStmt{Table: name}); err != nil {
 		return err
 	}
-	create := &sqlparser.CreateTableStmt{Name: name, AsSelect: selectStar(t.rTable), Unlogged: true}
-	if _, err := c.runStmt(ctx, create); err != nil {
+	if _, err := c.runStmt(ctx, insertBody(name, selectStar(t.rTable))); err != nil {
 		return fmt.Errorf("snapshot %s: %w", name, err)
 	}
-	t.deltaReady = true
 	return nil
 }
 
@@ -111,6 +128,11 @@ func (t *terminator) check(ctx context.Context, c *dbConn, iter int, updated int
 // CTE name (and Rdelta) at the current physical tables.
 func (t *terminator) checkExpr(ctx context.Context, c *dbConn) (bool, error) {
 	body := renameTableRefs(t.term.Expr, t.cte.Name, t.rTable)
+	if t.token != "" {
+		// References to Rdelta in the user's condition are written
+		// against the un-namespaced name; retarget them too.
+		body = renameTableRefs(body, strings.ToLower(t.cte.Name)+"delta", deltaTableName(t.token, t.cte.Name))
+	}
 	stmt := &sqlparser.SelectStmt{Body: body}
 
 	// With a comparison the query must return one value: expr <,=,> e.
@@ -154,7 +176,7 @@ func (t *terminator) cleanup(ctx context.Context, c *dbConn) error {
 	if !t.deltaReady {
 		return nil
 	}
-	_, err := c.runStmt(ctx, dropTable(deltaTableName(t.cte.Name)))
+	_, err := c.runStmt(ctx, dropTable(deltaTableName(t.token, t.cte.Name)))
 	return err
 }
 

@@ -125,7 +125,7 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 		}
 		return newConn(&inprocExec{sess: eng.NewSession()}, reg), nil
 	case "tcp":
-		e := &wireExec{addr: target, reg: reg, policy: retryFor(dsn)}
+		e := newWireExec(target, reg, retryFor(dsn))
 		if err := e.dialRetry(); err != nil {
 			return nil, err
 		}
@@ -138,41 +138,126 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 // executor abstracts the two transports.
 type executor interface {
 	exec(sql string, args []sqltypes.Value) (*engine.Result, error)
+	prepare(sql string) (prepared, error)
 	close() error
 }
+
+// prepared is one prepared statement on an executor.
+type prepared interface {
+	exec(args []sqltypes.Value) (*engine.Result, error)
+	close() error
+}
+
+// errConnClosed reports an operation aborted because the connection
+// was closed, possibly while a retry backoff was still pending.
+var errConnClosed = errors.New("driver: connection closed")
 
 type inprocExec struct{ sess *engine.Session }
 
 func (e *inprocExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
 	return e.sess.Exec(sql, args...)
 }
+
+func (e *inprocExec) prepare(sql string) (prepared, error) {
+	id, err := e.sess.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &inprocPrepared{sess: e.sess, id: id}, nil
+}
 func (e *inprocExec) close() error { return nil }
+
+// inprocPrepared pins a parsed statement in the engine session.
+type inprocPrepared struct {
+	sess *engine.Session
+	id   int64
+}
+
+func (p *inprocPrepared) exec(args []sqltypes.Value) (*engine.Result, error) {
+	return p.sess.ExecPrepared(p.id, args)
+}
+func (p *inprocPrepared) close() error { return p.sess.ClosePrepared(p.id) }
 
 // wireExec is the remote transport with the retry layer on top: dial
 // failures and never-sent requests retry with backoff on a fresh
 // connection; sent-but-unanswered requests surface as ConnLostError
-// (see retry.go). A conn serves one goroutine at a time under
-// database/sql, so the mutable cl needs no lock.
+// (see retry.go). database/sql serves a conn to one goroutine at a
+// time, but Close may arrive from another goroutine while a backoff
+// sleep is pending, so the client pointer is mutex-guarded and the
+// closed channel interrupts any sleeping retry loop.
 type wireExec struct {
-	cl     *wire.Client
+	mu  sync.Mutex
+	cl  *wire.Client
+	gen uint64 // dial generation; prepared handles are valid for one gen
+
 	addr   string
 	reg    *obs.Registry
 	policy RetryPolicy
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newWireExec(addr string, reg *obs.Registry, policy RetryPolicy) *wireExec {
+	return &wireExec{addr: addr, reg: reg, policy: policy, closed: make(chan struct{})}
+}
+
+func (e *wireExec) isClosed() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// client returns the live wire client, nil when disconnected.
+func (e *wireExec) client() *wire.Client {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cl
+}
+
+// generation reports the current dial generation; it changes whenever
+// dialRetry establishes a fresh connection, invalidating every
+// server-side prepared handle from earlier generations.
+func (e *wireExec) generation() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
+// dropClient discards cl if it is still current (a failed request whose
+// statement never reached the engine).
+func (e *wireExec) dropClient(cl *wire.Client) {
+	e.mu.Lock()
+	if e.cl == cl {
+		e.cl = nil
+	}
+	e.mu.Unlock()
+	_ = cl.Close()
 }
 
 // dialRetry (re)connects under the retry policy.
 func (e *wireExec) dialRetry() error {
+	e.mu.Lock()
 	if e.cl != nil {
 		_ = e.cl.Close()
 		e.cl = nil
 	}
+	e.mu.Unlock()
 	var lastErr error
 	for attempt := 1; attempt <= e.policy.attempts(); attempt++ {
 		if attempt > 1 {
 			if e.reg != nil {
 				e.reg.Counter("driver_retries_total").Inc()
 			}
-			e.policy.sleep(attempt - 1)
+			if !e.policy.sleep(attempt-1, e.closed) {
+				return errConnClosed
+			}
+		}
+		if e.isClosed() {
+			return errConnClosed
 		}
 		cl, err := wire.Dial(e.addr)
 		if err != nil {
@@ -183,28 +268,65 @@ func (e *wireExec) dialRetry() error {
 			cl.SetMetrics(e.reg)
 			e.reg.Counter("driver_redials_total").Inc()
 		}
+		e.mu.Lock()
+		if e.isClosed() {
+			// Closed while dialing: don't resurrect the connection.
+			e.mu.Unlock()
+			_ = cl.Close()
+			return errConnClosed
+		}
 		e.cl = cl
+		e.gen++
+		e.mu.Unlock()
 		return nil
 	}
 	return lastErr
 }
 
 func (e *wireExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
+	return e.withRetry(func(cl *wire.Client) (*engine.Result, error) {
+		return cl.Exec(sql, args...)
+	})
+}
+
+func (e *wireExec) prepare(sql string) (prepared, error) {
+	// Lazy: the PREPARE frame goes out with the first execution, so a
+	// handle prepared just before a connection failure costs nothing.
+	return &wirePrepared{e: e, sql: sql}, nil
+}
+
+// withRetry runs one logical statement through the retry policy:
+// dialing if disconnected, classifying transport failures via
+// wire.OpError.Sent, and retrying never-sent requests on a fresh
+// connection. Sent-but-unanswered requests heal the connection and
+// surface as ConnLostError (only a layer with checkpoints may rerun a
+// possibly-applied statement).
+func (e *wireExec) withRetry(op func(cl *wire.Client) (*engine.Result, error)) (*engine.Result, error) {
 	var lastErr error
 	for attempt := 1; attempt <= e.policy.attempts(); attempt++ {
 		if attempt > 1 {
 			if e.reg != nil {
 				e.reg.Counter("driver_retries_total").Inc()
 			}
-			e.policy.sleep(attempt - 1)
+			if !e.policy.sleep(attempt-1, e.closed) {
+				return nil, errConnClosed
+			}
 		}
-		if e.cl == nil {
+		if e.isClosed() {
+			return nil, errConnClosed
+		}
+		cl := e.client()
+		if cl == nil {
 			if err := e.dialRetry(); err != nil {
 				lastErr = err
 				continue
 			}
+			cl = e.client()
+			if cl == nil {
+				return nil, errConnClosed
+			}
 		}
-		res, err := e.cl.Exec(sql, args...)
+		res, err := op(cl)
 		if err == nil {
 			return res, nil
 		}
@@ -220,18 +342,58 @@ func (e *wireExec) exec(sql string, args []sqltypes.Value) (*engine.Result, erro
 			return nil, &ConnLostError{Err: err}
 		}
 		// The request never reached the engine: retrying is safe.
-		_ = e.cl.Close()
-		e.cl = nil
+		e.dropClient(cl)
 		lastErr = err
 	}
 	return nil, &ConnLostError{Err: lastErr}
 }
 
 func (e *wireExec) close() error {
-	if e.cl == nil {
+	e.closeOnce.Do(func() { close(e.closed) })
+	e.mu.Lock()
+	cl := e.cl
+	e.cl = nil
+	e.mu.Unlock()
+	if cl == nil {
 		return nil
 	}
-	return e.cl.Close()
+	return cl.Close()
+}
+
+// wirePrepared is a prepared handle over the wire transport. The
+// server-side handle lives in the per-connection session, so it dies
+// whenever the connection does; the handle is therefore keyed to the
+// wireExec dial generation and re-prepared transparently the first
+// time it runs after the retry/recovery path has healed the
+// connection.
+type wirePrepared struct {
+	e      *wireExec
+	sql    string
+	handle int64
+	gen    uint64 // 0 = not yet prepared (dial generations start at 1)
+}
+
+func (p *wirePrepared) exec(args []sqltypes.Value) (*engine.Result, error) {
+	return p.e.withRetry(func(cl *wire.Client) (*engine.Result, error) {
+		if gen := p.e.generation(); p.gen != gen {
+			h, err := cl.Prepare(p.sql)
+			if err != nil {
+				return nil, err
+			}
+			p.handle, p.gen = h, gen
+		}
+		return cl.ExecPrepared(p.handle, args...)
+	})
+}
+
+func (p *wirePrepared) close() error {
+	if p.gen == 0 || p.gen != p.e.generation() {
+		return nil // never prepared, or the handle died with its connection
+	}
+	if cl := p.e.client(); cl != nil {
+		_ = cl.ClosePrepared(p.handle) // best-effort release
+	}
+	return nil
 }
 
 // conn is one database/sql connection.
@@ -257,10 +419,17 @@ var (
 	_ driver.QueryerContext = (*conn)(nil)
 )
 
-// Prepare returns a trivial statement handle (the engine re-parses per
-// execution; statement caching is not load-bearing for SQLoop).
+// Prepare creates a real prepared statement: inproc handles pin the
+// parsed statement in the engine session (through the engine's
+// statement cache), wire handles prepare server-side on first
+// execution and transparently re-prepare after the retry/recovery
+// path heals the connection.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	return &stmt{c: c, query: query}, nil
+	ps, err := c.exec.prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{c: c, query: query, ps: ps}, nil
 }
 
 // Close releases the underlying session/connection.
@@ -329,27 +498,49 @@ func (t *tx) Rollback() error {
 type stmt struct {
 	c     *conn
 	query string
+	ps    prepared
 }
 
 var _ driver.Stmt = (*stmt)(nil)
 
-func (s *stmt) Close() error  { return nil }
+func (s *stmt) Close() error  { return s.ps.close() }
 func (s *stmt) NumInput() int { return -1 }
 
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	return s.c.ExecContext(context.Background(), s.query, namedValues(args))
+	res, err := s.run(args)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{n: res.RowsAffected}, nil
 }
 
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	return s.c.QueryContext(context.Background(), s.query, namedValues(args))
+	res, err := s.run(args)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
 }
 
-func namedValues(args []driver.Value) []driver.NamedValue {
-	out := make([]driver.NamedValue, len(args))
+// run executes the prepared handle, converting args and reporting the
+// same per-statement instruments as the unprepared path.
+func (s *stmt) run(args []driver.Value) (*engine.Result, error) {
+	vals := make([]sqltypes.Value, len(args))
 	for i, a := range args {
-		out[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+		v, err := sqltypes.FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("driver: arg %d: %w", i+1, err)
+		}
+		vals[i] = v
 	}
-	return out
+	if s.c.stmtLatency == nil {
+		return s.ps.exec(vals)
+	}
+	start := time.Now()
+	res, err := s.ps.exec(vals)
+	s.c.stmtCount.Inc()
+	s.c.stmtLatency.Observe(time.Since(start))
+	return res, err
 }
 
 type execResult struct{ n int64 }

@@ -46,8 +46,11 @@ func (p RetryPolicy) attempts() int {
 
 // sleep blocks for the backoff of retry number n (1-based), doubling
 // from BaseBackoff and adding up to 50% jitter so a pool of
-// reconnecting workers does not stampede the engine in lockstep.
-func (p RetryPolicy) sleep(n int) {
+// reconnecting workers does not stampede the engine in lockstep. It
+// returns false without waiting out the backoff when done closes —
+// Close during a backoff window must abort the wait, not ride it out
+// and redial. A nil done makes the sleep uninterruptible.
+func (p RetryPolicy) sleep(n int, done <-chan struct{}) bool {
 	d := p.BaseBackoff
 	if d <= 0 {
 		d = DefaultRetryPolicy.BaseBackoff
@@ -60,7 +63,18 @@ func (p RetryPolicy) sleep(n int) {
 		}
 	}
 	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
-	time.Sleep(d)
+	if done == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
 }
 
 // dsnRetry maps DSNs to retry policies, the same process-wide pattern

@@ -185,6 +185,95 @@ func TestRetryExhaustionReturnsConnLost(t *testing.T) {
 	}
 }
 
+func TestCloseDuringBackoffReturnsPromptly(t *testing.T) {
+	_, addr := retryTestServer(t)
+	// Every op is dropped before sending, so the first statement enters
+	// the retry loop immediately.
+	faults := make([]wire.Fault, 0, 50)
+	for op := int64(1); op <= 50; op++ {
+		faults = append(faults, wire.Fault{AtOp: op, Kind: wire.FaultDropBeforeSend})
+	}
+	wire.SetAddrInjector(addr, wire.NewInjector(faults...))
+	defer wire.SetAddrInjector(addr, nil)
+
+	// Hour-scale backoff: if Close failed to interrupt the sleeping
+	// retry loop, the exec below would ride out the full backoff instead
+	// of returning.
+	e := newWireExec(addr, nil, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.exec(`SELECT 1`, nil)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt fail and the backoff start
+	start := time.Now()
+	_ = e.close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, errConnClosed) {
+			t.Fatalf("exec after close = %v, want errConnClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt the retry backoff")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("exec returned %v after close, want a prompt return", d)
+	}
+}
+
+func TestPreparedReprepareAfterConnectionLoss(t *testing.T) {
+	dsn, addr := retryTestServer(t)
+	reg := obs.NewRegistry()
+	SetDSNMetrics(dsn, reg)
+	defer SetDSNMetrics(dsn, nil)
+	SetDSNRetry(dsn, fastRetry)
+	defer SetDSNRetry(dsn, RetryPolicy{})
+	// Op schedule: 1 = CREATE, 2 = PREPARE, 3 = first EXEC_PREPARED,
+	// 4 = second EXEC_PREPARED — killed before it reaches the server, so
+	// the driver redials and the server-side handle dies with its
+	// session. The injector must be attached before the first dial.
+	wire.SetAddrInjector(addr, wire.NewInjector(
+		wire.Fault{AtOp: 4, Kind: wire.FaultDropBeforeSend},
+	))
+	defer wire.SetAddrInjector(addr, nil)
+
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec(`CREATE TABLE r (id BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare(`INSERT INTO r VALUES (?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// First execution pins a server-side handle on this dial generation.
+	if _, err := st.Exec(1); err != nil {
+		t.Fatal(err)
+	}
+	// The handle must be re-prepared transparently on the healed
+	// connection.
+	if _, err := st.Exec(2); err != nil {
+		t.Fatalf("prepared exec after connection loss: %v", err)
+	}
+
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM r`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2 (re-prepared statement lost or replayed rows)", n)
+	}
+	if got := reg.Counter("driver_redials_total").Value(); got < 2 {
+		t.Fatalf("driver_redials_total = %d, want >= 2 (initial dial + reconnect)", got)
+	}
+}
+
 func TestRemoteErrorsAreNotRetried(t *testing.T) {
 	dsn, _ := retryTestServer(t)
 	reg := obs.NewRegistry()

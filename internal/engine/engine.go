@@ -33,6 +33,9 @@ type Config struct {
 	// multi-connection parallelism behaves like a multi-core server even
 	// on a single-CPU host. nil disables all charging.
 	Cost *CostModel
+	// StmtCacheSize bounds the parsed-statement cache: 0 uses the
+	// default (512 entries), negative disables caching entirely.
+	StmtCacheSize int
 }
 
 // Profile returns the engine configuration that simulates the named
@@ -66,6 +69,19 @@ type Engine struct {
 	views  map[string]*view
 
 	rowid atomic.Int64 // synthetic key source for tables without a PK
+
+	// catalogGen counts catalog changes (any CREATE/DROP of tables,
+	// views or indexes); cached parses whose dependency set is unknown
+	// are valid only for the generation they were taken under. Atomic
+	// because CREATE INDEX takes only the table lock, not the catalog
+	// mutex.
+	catalogGen atomic.Uint64
+	// objGens holds one generation counter per catalog object name
+	// (lowercased string -> *atomic.Uint64): relcache-style invalidation
+	// so DDL on one object leaves cached statements over others valid.
+	objGens sync.Map
+	// stmts caches parsed statements (nil = caching disabled).
+	stmts *stmtCache
 
 	stats Stats
 
@@ -114,11 +130,18 @@ func New(cfg Config) *Engine {
 	if cfg.Backend == 0 {
 		cfg.Backend = storage.KindHeap
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		tables: make(map[string]*Table),
 		views:  make(map[string]*view),
 	}
+	switch {
+	case cfg.StmtCacheSize > 0:
+		e.stmts = newStmtCache(cfg.StmtCacheSize)
+	case cfg.StmtCacheSize == 0:
+		e.stmts = newStmtCache(defaultStmtCacheSize)
+	}
+	return e
 }
 
 // Dialect reports the engine's SQL dialect profile.
@@ -271,6 +294,11 @@ type Session struct {
 	// quanta instead of per statement keeps timer jitter (which is
 	// per-sleep and systematically positive) from swamping the model.
 	costDebt time.Duration
+
+	// prepared holds the session's open prepared statements by handle
+	// (see prepare.go). Lazily allocated; handles die with the session.
+	prepared map[int64]*preparedStmt
+	nextStmt int64
 }
 
 // costQuantum is the minimum accumulated charge worth one real sleep.
@@ -301,9 +329,10 @@ type undoRec struct {
 // NewSession opens a connection to the engine.
 func (e *Engine) NewSession() *Session { return &Session{eng: e} }
 
-// Exec parses and executes one statement with optional bind parameters.
+// Exec parses (through the statement cache) and executes one statement
+// with optional bind parameters.
 func (s *Session) Exec(sql string, args ...sqltypes.Value) (*Result, error) {
-	st, err := sqlparser.Parse(sql)
+	st, _, err := s.eng.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}

@@ -92,6 +92,7 @@ func (x *executor) createTableObject(lc string, s *sqlparser.CreateTableStmt, sc
 		indexes: make(map[string]*hashIndex),
 	}
 	x.eng.tables[lc] = t
+	x.eng.noteDDL(lc)
 	return t, nil
 }
 
@@ -137,7 +138,10 @@ func (x *executor) runCreateIndex(s *sqlparser.CreateIndexStmt) (*Result, error)
 		return true
 	})
 	x.work.scanned += int64(tbl.store.Len())
+	// The table name is bumped too: an index changes how statements over
+	// the table would plan, so their cached entries must revalidate.
 	tbl.indexes[lc] = ix
+	x.eng.noteDDL(lc, s.Table)
 	return &Result{}, nil
 }
 
@@ -152,6 +156,7 @@ func (x *executor) runCreateView(s *sqlparser.CreateViewStmt) (*Result, error) {
 		return nil, fmt.Errorf("engine: view %q already exists", s.Name)
 	}
 	x.eng.views[lc] = &view{name: lc, body: s.Body}
+	x.eng.noteDDL(lc)
 	return &Result{}, nil
 }
 
@@ -168,6 +173,7 @@ func (x *executor) runDrop(s *sqlparser.DropStmt) (*Result, error) {
 			return nil, &ErrTableNotFound{Name: s.Name}
 		}
 		delete(x.eng.tables, lc)
+		x.eng.noteDDL(lc)
 	case sqlparser.DropView:
 		if _, ok := x.eng.views[lc]; !ok {
 			if s.IfExists {
@@ -176,12 +182,14 @@ func (x *executor) runDrop(s *sqlparser.DropStmt) (*Result, error) {
 			return nil, &ErrTableNotFound{Name: s.Name}
 		}
 		delete(x.eng.views, lc)
+		x.eng.noteDDL(lc)
 	case sqlparser.DropIndex:
 		for _, t := range x.eng.tables {
 			t.mu.Lock()
 			if _, ok := t.indexes[lc]; ok {
 				delete(t.indexes, lc)
 				t.mu.Unlock()
+				x.eng.noteDDL(lc, t.name)
 				return &Result{}, nil
 			}
 			t.mu.Unlock()

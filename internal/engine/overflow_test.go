@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+// TestSumAvgInt64Overflow checks the aggregate accumulator's overflow
+// behaviour: an int64 SUM that would wrap promotes to float, keeping
+// magnitude and sign at the cost of integer precision; AVG divides the
+// promoted sum. Non-overflowing integer sums stay exact int64.
+func TestSumAvgInt64Overflow(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE big (v BIGINT)`)
+	mustExec(t, s, `INSERT INTO big VALUES (?)`, sqltypes.NewInt(math.MaxInt64))
+	mustExec(t, s, `INSERT INTO big VALUES (?)`, sqltypes.NewInt(math.MaxInt64))
+
+	res := mustExec(t, s, `SELECT SUM(v) FROM big`)
+	sum := res.Rows[0][0]
+	if sum.Kind() != sqltypes.KindFloat {
+		t.Fatalf("overflowing SUM kind = %v, want float promotion", sum.Kind())
+	}
+	want := 2 * float64(math.MaxInt64)
+	if math.Abs(sum.Float()-want) > want*1e-12 {
+		t.Fatalf("SUM = %v, want ~%v", sum.Float(), want)
+	}
+
+	res = mustExec(t, s, `SELECT AVG(v) FROM big`)
+	avg := res.Rows[0][0]
+	if avg.Kind() != sqltypes.KindFloat {
+		t.Fatalf("AVG kind = %v, want float", avg.Kind())
+	}
+	if wantAvg := float64(math.MaxInt64); math.Abs(avg.Float()-wantAvg) > wantAvg*1e-12 {
+		t.Fatalf("AVG = %v, want ~%v", avg.Float(), wantAvg)
+	}
+
+	// Negative direction overflows the same way.
+	mustExec(t, s, `CREATE TABLE neg (v BIGINT)`)
+	mustExec(t, s, `INSERT INTO neg VALUES (?)`, sqltypes.NewInt(math.MinInt64))
+	mustExec(t, s, `INSERT INTO neg VALUES (?)`, sqltypes.NewInt(math.MinInt64))
+	res = mustExec(t, s, `SELECT SUM(v) FROM neg`)
+	nsum := res.Rows[0][0]
+	if nsum.Kind() != sqltypes.KindFloat {
+		t.Fatalf("negative overflowing SUM kind = %v, want float", nsum.Kind())
+	}
+	if nwant := 2 * float64(math.MinInt64); math.Abs(nsum.Float()-nwant) > -nwant*1e-12 {
+		t.Fatalf("SUM = %v, want ~%v", nsum.Float(), nwant)
+	}
+
+	// A sum that fits stays an exact integer.
+	mustExec(t, s, `CREATE TABLE small (v BIGINT)`)
+	mustExec(t, s, `INSERT INTO small VALUES (?)`, sqltypes.NewInt(math.MaxInt64-1))
+	mustExec(t, s, `INSERT INTO small VALUES (?)`, sqltypes.NewInt(1))
+	res = mustExec(t, s, `SELECT SUM(v) FROM small`)
+	ssum := res.Rows[0][0]
+	if ssum.Kind() != sqltypes.KindInt || ssum.Int() != math.MaxInt64 {
+		t.Fatalf("in-range SUM = %v (%v), want exact int64 %d", ssum, ssum.Kind(), int64(math.MaxInt64))
+	}
+}

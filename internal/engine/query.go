@@ -672,8 +672,15 @@ func (x *executor) computeAggregate(fc *sqlparser.FuncCall, f *frame, rows []sql
 				sumFloat += v.Float()
 			} else if isFloat {
 				sumFloat += v.Float()
+			} else if s, ok := addInt64(sumInt, v.Int()); ok {
+				sumInt = s
 			} else {
-				sumInt += v.Int()
+				// Int64 overflow: promote the accumulator to float rather
+				// than wrapping silently (see DESIGN.md, aggregates). The
+				// result loses integer precision but keeps its magnitude
+				// and sign.
+				isFloat = true
+				sumFloat = float64(sumInt) + float64(v.Int())
 			}
 		case "MIN", "MAX":
 			if best.IsNull() {
@@ -713,4 +720,13 @@ func (x *executor) computeAggregate(fc *sqlparser.FuncCall, f *frame, rows []sql
 	default:
 		return sqltypes.Null, fmt.Errorf("engine: unknown aggregate %s", fc.Name)
 	}
+}
+
+// addInt64 adds two int64s, reporting false on overflow.
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
 }

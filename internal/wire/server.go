@@ -123,7 +123,29 @@ func (s *Server) execute(sess *engine.Session, req *Request) *Response {
 		}
 		args[i] = v
 	}
-	res, err := sess.Exec(req.SQL, args...)
+	var (
+		res *engine.Result
+		err error
+	)
+	switch req.Op {
+	case OpExec:
+		res, err = sess.Exec(req.SQL, args...)
+	case OpPrepare:
+		h, perr := sess.Prepare(req.SQL)
+		if perr != nil {
+			return &Response{Error: perr.Error()}
+		}
+		return &Response{Handle: h}
+	case OpExecPrepared:
+		res, err = sess.ExecPrepared(req.Handle, args)
+	case OpClosePrepared:
+		if cerr := sess.ClosePrepared(req.Handle); cerr != nil {
+			return &Response{Error: cerr.Error()}
+		}
+		return &Response{}
+	default:
+		return &Response{Error: fmt.Sprintf("wire: unknown operation %q", req.Op)}
+	}
 	if err != nil {
 		return &Response{Error: err.Error()}
 	}
@@ -208,12 +230,77 @@ func Dial(addr string) (*Client, error) {
 // request could have reached the server.
 func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	req := Request{SQL: sql}
-	if len(args) > 0 {
-		req.Args = make([]WireValue, len(args))
-		for i, v := range args {
-			req.Args[i] = ToWire(v)
+	wireArgs(&req, args)
+	resp, err := c.roundTrip(&req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Prepare parses sql in the server-side session and returns a handle
+// for ExecPrepared. The handle is valid only on this connection.
+func (c *Client) Prepare(sql string) (int64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPrepare, SQL: sql})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Handle, nil
+}
+
+// ExecPrepared executes a prepared handle with bind args; the round
+// trip carries only the handle and the values, no statement text.
+func (c *Client) ExecPrepared(handle int64, args ...sqltypes.Value) (*engine.Result, error) {
+	req := Request{Op: OpExecPrepared, Handle: handle}
+	wireArgs(&req, args)
+	resp, err := c.roundTrip(&req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// ClosePrepared releases a server-side handle.
+func (c *Client) ClosePrepared(handle int64) error {
+	_, err := c.roundTrip(&Request{Op: OpClosePrepared, Handle: handle})
+	return err
+}
+
+// wireArgs encodes bind values into the request.
+func wireArgs(req *Request, args []sqltypes.Value) {
+	if len(args) == 0 {
+		return
+	}
+	req.Args = make([]WireValue, len(args))
+	for i, v := range args {
+		req.Args[i] = ToWire(v)
+	}
+}
+
+// decodeResult converts a successful response into an engine result.
+func decodeResult(resp *Response) (*engine.Result, error) {
+	res := &engine.Result{Columns: resp.Columns, RowsAffected: resp.RowsAffected}
+	if len(resp.Rows) > 0 {
+		res.Rows = make([]sqltypes.Row, len(resp.Rows))
+		for i, wr := range resp.Rows {
+			row := make(sqltypes.Row, len(wr))
+			for j, wv := range wr {
+				v, err := FromWire(wv)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+			res.Rows[i] = row
 		}
 	}
+	return res, nil
+}
+
+// roundTrip sends one request frame and reads its response, applying
+// injector faults, metrics and the OpError Sent classification shared
+// by every operation.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
 	dropAfterSend := false
 	if c.injector != nil {
 		if f := c.injector.next(); f != nil {
@@ -233,7 +320,7 @@ func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error
 	if c.frameTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.frameTimeout))
 	}
-	wn, err := WriteFrameN(c.conn, &req)
+	wn, err := WriteFrameN(c.conn, req)
 	if c.frameTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
@@ -269,22 +356,7 @@ func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error
 	if resp.Error != "" {
 		return nil, errors.New(resp.Error)
 	}
-	res := &engine.Result{Columns: resp.Columns, RowsAffected: resp.RowsAffected}
-	if len(resp.Rows) > 0 {
-		res.Rows = make([]sqltypes.Row, len(resp.Rows))
-		for i, wr := range resp.Rows {
-			row := make(sqltypes.Row, len(wr))
-			for j, wv := range wr {
-				v, err := FromWire(wv)
-				if err != nil {
-					return nil, err
-				}
-				row[j] = v
-			}
-			res.Rows[i] = row
-		}
-	}
-	return res, nil
+	return &resp, nil
 }
 
 // Close closes the connection.

@@ -27,10 +27,30 @@ const MaxFrameSize = 64 << 20
 // direction. Test with errors.Is; the wrapping error carries the size.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
+// Request operations. The zero value (OpExec) keeps the PR-1/PR-2
+// frame layout: old clients never set "op" and old servers never see
+// one, so mixed-version pairs keep exchanging plain Exec frames.
+const (
+	// OpExec executes statement text directly.
+	OpExec = ""
+	// OpPrepare parses SQL once server-side and returns a handle.
+	OpPrepare = "prepare"
+	// OpExecPrepared executes a previously prepared handle with bind
+	// args — steady-state round trips carry no statement text.
+	OpExecPrepared = "exec_prepared"
+	// OpClosePrepared releases a handle.
+	OpClosePrepared = "close_prepared"
+)
+
 // Request is one client → server message.
 type Request struct {
-	// SQL is the statement text to execute.
-	SQL string `json:"sql"`
+	// Op selects the operation; empty means OpExec.
+	Op string `json:"op,omitempty"`
+	// SQL is the statement text (OpExec and OpPrepare).
+	SQL string `json:"sql,omitempty"`
+	// Handle identifies a prepared statement (OpExecPrepared,
+	// OpClosePrepared). Handles are scoped to this connection's session.
+	Handle int64 `json:"handle,omitempty"`
 	// Args are the bind parameters.
 	Args []WireValue `json:"args,omitempty"`
 }
@@ -39,6 +59,8 @@ type Request struct {
 type Response struct {
 	// Error is the execution error, empty on success.
 	Error string `json:"error,omitempty"`
+	// Handle is the prepared-statement id (OpPrepare replies only).
+	Handle int64 `json:"handle,omitempty"`
 	// Columns names the result columns (queries only).
 	Columns []string `json:"columns,omitempty"`
 	// Rows holds the result rows.

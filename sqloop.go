@@ -127,8 +127,9 @@ var embeddedSeq atomic.Int64
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	cost     bool
-	observer obs.Tracer
+	cost        bool
+	observer    obs.Tracer
+	noStmtCache bool
 }
 
 // WithCostModel enables the calibrated latency model used by the
@@ -142,6 +143,15 @@ func WithCostModel() OpenOption {
 // as a composable alternative to setting the struct field.
 func WithObserver(t Tracer) OpenOption {
 	return func(c *openConfig) { c.observer = obs.Multi(c.observer, t) }
+}
+
+// WithoutStmtCache disables the embedded engine's parse+plan statement
+// cache and the middleware's per-connection prepared-statement cache —
+// an escape hatch for debugging and for cache-ablation benchmarks.
+// Every statement is then parsed and planned from its text on each
+// execution, the behaviour before prepared statements existed.
+func WithoutStmtCache() OpenOption {
+	return func(c *openConfig) { c.noStmtCache = true }
 }
 
 func applyOpenOptions(extra []OpenOption) openConfig {
@@ -166,6 +176,10 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 	}
 	if oc.cost {
 		cfg.Cost = engine.DefaultCost(cfg.Dialect)
+	}
+	if oc.noStmtCache {
+		cfg.StmtCacheSize = -1
+		opts.DisableStmtCache = true
 	}
 	if oc.observer != nil {
 		opts.Observer = obs.Multi(opts.Observer, oc.observer)
@@ -220,6 +234,9 @@ func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	}
 	if oc.cost {
 		cfg.Cost = engine.DefaultCost(cfg.Dialect)
+	}
+	if oc.noStmtCache {
+		cfg.StmtCacheSize = -1
 	}
 	eng := engine.New(cfg)
 	srv := wire.NewServer(eng)
