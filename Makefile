@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz tier1 bench clean
+.PHONY: all build vet test race fuzz tier1 bench bench-smoke clean
 
 all: tier1
 
@@ -13,11 +13,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel executors, the observability layer, the checkpoint store
-# and the fault-injected transport/driver are the concurrency hot spots;
-# the root package holds the crash-recovery matrix. Keep them race-clean.
+# The parallel executors, the observability layer, the checkpoint store,
+# the fault-injected transport/driver and the engine's compiled-program
+# cache are the concurrency hot spots; the root package holds the
+# crash-recovery matrix. Keep them race-clean.
 race:
-	$(GO) test -race . ./internal/core ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver
+	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver
 
 # The snapshot codec must reject arbitrary corruption without panicking.
 fuzz:
@@ -28,6 +29,11 @@ tier1: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick allocation check of the hot row path: the compiled-expression
+# and wire-codec micro-benchmarks at a fixed, small iteration count.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime=100x -benchmem ./internal/engine ./internal/wire
 
 clean:
 	$(GO) clean ./...

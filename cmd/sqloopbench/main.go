@@ -19,7 +19,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4 or all")
+	out := flag.String("out", "BENCH_PR4.json", "output path for the -fig pr4 report")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -53,12 +54,12 @@ func main() {
 		sc.Partitions = *parts
 	}
 
-	if err := run(*fig, *query, sc); err != nil {
+	if err := run(*fig, *query, *out, sc); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(fig, query string, sc bench.Scale) error {
+func run(fig, query, out string, sc bench.Scale) error {
 	ctx := context.Background()
 	w := os.Stdout
 	want := func(f, q string) bool {
@@ -96,6 +97,11 @@ func run(fig, query string, sc bench.Scale) error {
 	}
 	if fig == "stmtcache" {
 		if err := bench.StmtCacheFig(ctx, w, sc); err != nil {
+			return err
+		}
+	}
+	if fig == "pr4" {
+		if err := bench.PR4Fig(ctx, w, sc, out); err != nil {
 			return err
 		}
 	}

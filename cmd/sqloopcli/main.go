@@ -29,25 +29,26 @@ func main() {
 
 func run() error {
 	var (
-		dsn      = flag.String("dsn", "", "target DSN (empty: embedded engine)")
-		profile  = flag.String("profile", "pgsim", "embedded engine profile")
-		modeName = flag.String("mode", "auto", "execution mode: auto, single, sync, async, asyncp")
-		threads  = flag.Int("threads", 0, "worker threads (0: half the CPUs)")
-		parts    = flag.Int("partitions", 0, "hash partitions (0: 256)")
-		prio     = flag.String("priority", "", "AsyncP priority query ($PART placeholder)")
-		exec     = flag.String("e", "", "SQL to execute")
-		file     = flag.String("f", "", "file with SQL script ('-' for stdin)")
-		dataset  = flag.String("dataset", "", "preload a synthetic dataset: google-web, twitter-ego, berkstan-web")
-		nodes    = flag.Int64("nodes", 2000, "dataset size when -dataset is set")
-		maxRows  = flag.Int("max-rows", 50, "result rows to print")
-		explain  = flag.Bool("explain", false, "analyze the statement instead of executing it")
-		analyze  = flag.Bool("analyze", false, "execute the statement and print its per-round profile (EXPLAIN ANALYZE)")
-		metrics  = flag.Bool("metrics", false, "print the metrics snapshot after execution")
-		cost     = flag.Bool("cost", false, "embedded engine: enable the calibrated latency model")
-		script   = flag.Bool("gen-script", false, "print the hand-written SQL script equivalent of an iterative CTE")
-		ckptDir  = flag.String("checkpoint-dir", "", "directory for round-boundary snapshots (enables crash recovery)")
-		ckptN    = flag.Int("checkpoint-every", 2, "checkpoint every N rounds when -checkpoint-dir is set")
-		noCache  = flag.Bool("no-stmt-cache", false, "disable the statement/plan cache (escape hatch; parses every statement from text)")
+		dsn       = flag.String("dsn", "", "target DSN (empty: embedded engine)")
+		profile   = flag.String("profile", "pgsim", "embedded engine profile")
+		modeName  = flag.String("mode", "auto", "execution mode: auto, single, sync, async, asyncp")
+		threads   = flag.Int("threads", 0, "worker threads (0: half the CPUs)")
+		parts     = flag.Int("partitions", 0, "hash partitions (0: 256)")
+		prio      = flag.String("priority", "", "AsyncP priority query ($PART placeholder)")
+		exec      = flag.String("e", "", "SQL to execute")
+		file      = flag.String("f", "", "file with SQL script ('-' for stdin)")
+		dataset   = flag.String("dataset", "", "preload a synthetic dataset: google-web, twitter-ego, berkstan-web")
+		nodes     = flag.Int64("nodes", 2000, "dataset size when -dataset is set")
+		maxRows   = flag.Int("max-rows", 50, "result rows to print")
+		explain   = flag.Bool("explain", false, "analyze the statement instead of executing it")
+		analyze   = flag.Bool("analyze", false, "execute the statement and print its per-round profile (EXPLAIN ANALYZE)")
+		metrics   = flag.Bool("metrics", false, "print the metrics snapshot after execution")
+		cost      = flag.Bool("cost", false, "embedded engine: enable the calibrated latency model")
+		script    = flag.Bool("gen-script", false, "print the hand-written SQL script equivalent of an iterative CTE")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for round-boundary snapshots (enables crash recovery)")
+		ckptN     = flag.Int("checkpoint-every", 2, "checkpoint every N rounds when -checkpoint-dir is set")
+		noCache   = flag.Bool("no-stmt-cache", false, "disable the statement/plan cache (escape hatch; parses every statement from text)")
+		noCompile = flag.Bool("no-compile", false, "disable the expression compiler (escape hatch; interprets expressions from their ASTs)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,9 @@ func run() error {
 	if *noCache {
 		opts.DisableStmtCache = true
 	}
+	if *noCompile {
+		opts.DisableExprCompile = true
+	}
 
 	var db *sqloop.SQLoop
 	if *dsn != "" {
@@ -73,6 +77,9 @@ func run() error {
 		}
 		if *noCache {
 			extra = append(extra, sqloop.WithoutStmtCache())
+		}
+		if *noCompile {
+			extra = append(extra, sqloop.WithoutExprCompile())
 		}
 		db, err = sqloop.OpenEmbedded(*profile, opts, extra...)
 	}

@@ -41,6 +41,10 @@ type Config struct {
 	// the middleware's per-connection prepared statements, for
 	// cache-ablation runs (the -fig stmtcache comparison).
 	DisableStmtCache bool
+	// DisableExprCompile turns off the engine's expression compiler so
+	// every predicate and projection is interpreted from its AST, for
+	// compile-ablation runs (the -fig pr4 comparison).
+	DisableExprCompile bool
 }
 
 // Sample is one convergence observation.
@@ -94,6 +98,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 	if cfg.DisableStmtCache {
 		engCfg.StmtCacheSize = -1
 	}
+	engCfg.DisableExprCompile = cfg.DisableExprCompile
 	eng := engine.New(engCfg)
 	handle := "bench-" + strconv.FormatInt(handleSeq.Add(1), 10)
 	driver.RegisterEngine(handle, eng)
@@ -107,6 +112,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		PriorityQuery:          cfg.Priority,
 		DisableMaterialization: cfg.DisableMaterialization,
 		DisableStmtCache:       cfg.DisableStmtCache,
+		DisableExprCompile:     cfg.DisableExprCompile,
 	})
 	if err != nil {
 		return nil, err

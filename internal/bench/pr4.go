@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"sqloop/internal/core"
+	"sqloop/internal/engine"
+	"sqloop/internal/sqltypes"
+	"sqloop/internal/wire"
+)
+
+// PR4Run is one SSSP matrix measurement in BENCH_PR4.json: a backend ×
+// mode × compile-switch cell, with the wall time, engine row
+// throughput and the size the result relation occupies on the wire
+// under each response codec.
+type PR4Run struct {
+	Figure          string  `json:"figure"`
+	Backend         string  `json:"backend"` // heap | btree | lsm
+	Profile         string  `json:"profile"`
+	Mode            string  `json:"mode"`
+	Compile         bool    `json:"compile"`
+	Rounds          int     `json:"rounds"`
+	RowsScanned     int64   `json:"rows_scanned"`
+	RowsPerSec      float64 `json:"rows_per_sec"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Result          float64 `json:"result"`
+	WireBytesJSON   int     `json:"wire_bytes_json"`
+	WireBytesBinary int     `json:"wire_bytes_binary"`
+}
+
+// PR4Micro is one allocation micro-measurement in BENCH_PR4.json:
+// steady-state allocations per prepared-statement execution with the
+// expression compiler off (interpreted) and on (compiled).
+type PR4Micro struct {
+	Figure         string  `json:"figure"`
+	Name           string  `json:"name"`
+	AllocsInterp   float64 `json:"allocs_per_op_interp"`
+	AllocsCompiled float64 `json:"allocs_per_op_compiled"`
+	Ratio          float64 `json:"ratio"`
+}
+
+// PR4Report is the top-level BENCH_PR4.json document (schema in
+// EXPERIMENTS.md).
+type PR4Report struct {
+	Figure string     `json:"figure"`
+	Runs   []PR4Run   `json:"runs"`
+	Micro  []PR4Micro `json:"micro"`
+}
+
+// backendFor maps an engine profile to its storage backend name.
+func backendFor(profile string) string {
+	cfg, err := engine.Profile(profile)
+	if err != nil {
+		return profile
+	}
+	return cfg.Backend.String()
+}
+
+// wireSizes measures how many payload bytes the final result relation
+// occupies as a wire response under the JSON codec and under the
+// binary codec.
+func wireSizes(res *core.Result) (jsonBytes, binBytes int, err error) {
+	resp := &wire.Response{Columns: res.Columns}
+	rows := make([]sqltypes.Row, len(res.Rows))
+	wr := make([][]wire.WireValue, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make(sqltypes.Row, len(r))
+		wvs := make([]wire.WireValue, len(r))
+		for j, g := range r {
+			v, err := sqltypes.FromGo(g)
+			if err != nil {
+				return 0, 0, err
+			}
+			row[j] = v
+			wvs[j] = wire.ToWire(v)
+		}
+		rows[i] = row
+		wr[i] = wvs
+	}
+	resp.Rows = wr
+	jb, err := json.Marshal(resp)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp.Rows = nil
+	return len(jb), len(wire.AppendBinaryResponse(nil, resp, rows)), nil
+}
+
+// pr4Modes is the SSSP matrix's mode axis: the sequential SQL-script
+// rewrite plus the three parallel schedulers.
+var pr4Modes = []core.Mode{core.ModeSingle, core.ModeSync, core.ModeAsync, core.ModeAsyncPrio}
+
+// PR4Fig reruns the SSSP matrix (every engine backend × mode) with the
+// expression compiler on and off, verifies the two halves agree, and
+// writes the measurements plus allocation micro-benchmarks to outPath
+// as BENCH_PR4.json.
+func PR4Fig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	report := &PR4Report{Figure: "pr4"}
+	for _, eng := range sc.Engines {
+		backend := backendFor(eng)
+		fmt.Fprintf(w, "\n== PR4 / SSSP with %s (%s): compile on vs off ==\n", EngineLabel(eng), backend)
+		fmt.Fprintf(w, "%-12s %8s %10s %12s %12s %12s\n",
+			"mode", "compile", "time(s)", "rows/sec", "json-bytes", "bin-bytes")
+		for _, mode := range pr4Modes {
+			var results [2]float64
+			for i, disable := range []bool{false, true} {
+				m, err := Run(ctx, Config{
+					Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+					Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+					WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+					DisableExprCompile: disable,
+				}, SSSPQuery(sc.SSSPDest))
+				if err != nil {
+					return fmt.Errorf("pr4 %s/%s: %w", eng, ModeLabel(mode), err)
+				}
+				results[i] = m.ScalarResult()
+				jb, bb, err := wireSizes(m.Result)
+				if err != nil {
+					return fmt.Errorf("pr4 %s/%s: wire sizes: %w", eng, ModeLabel(mode), err)
+				}
+				rps := 0.0
+				if m.Elapsed > 0 {
+					rps = float64(m.Work.RowsScanned) / m.Elapsed.Seconds()
+				}
+				label := "on"
+				if disable {
+					label = "off"
+				}
+				fmt.Fprintf(w, "%-12s %8s %10.3f %12.0f %12d %12d\n",
+					ModeLabel(mode), label, m.Elapsed.Seconds(), rps, jb, bb)
+				report.Runs = append(report.Runs, PR4Run{
+					Figure: "pr4-sssp", Backend: backend, Profile: eng,
+					Mode: ModeLabel(mode), Compile: !disable,
+					Rounds: m.Rounds, RowsScanned: m.Work.RowsScanned,
+					RowsPerSec: rps, WallSeconds: m.Elapsed.Seconds(),
+					Result: results[i], WireBytesJSON: jb, WireBytesBinary: bb,
+				})
+			}
+			if results[0] != results[1] {
+				return fmt.Errorf("pr4 %s/%s: compile on/off results differ: %v vs %v",
+					eng, ModeLabel(mode), results[0], results[1])
+			}
+		}
+	}
+
+	micro, err := pr4Micro()
+	if err != nil {
+		return err
+	}
+	report.Micro = micro
+	fmt.Fprintf(w, "\n== PR4 / steady-state allocations per statement: interpreted vs compiled ==\n")
+	fmt.Fprintf(w, "%-16s %14s %14s %8s\n", "workload", "interp", "compiled", "ratio")
+	for _, mr := range micro {
+		fmt.Fprintf(w, "%-16s %14.1f %14.1f %8.2f\n", mr.Name, mr.AllocsInterp, mr.AllocsCompiled, mr.Ratio)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d runs, %d micro rows)\n", outPath, len(report.Runs), len(micro))
+	return nil
+}
+
+// pr4Micro measures steady-state allocations of three hot-path
+// statements through prepared statements, interpreted vs compiled.
+// Statements are sized so per-row expression work dominates the fixed
+// per-execution overhead.
+func pr4Micro() ([]PR4Micro, error) {
+	workloads := []struct{ name, sql string }{
+		{"FilterEval", "SELECT a FROM t WHERE ABS(b) < 500 AND COALESCE(a, 0) % 7 = 1"},
+		{"GroupByHash", "SELECT a % 10, COUNT(*), SUM(b) FROM t GROUP BY a % 10"},
+		{"HashJoinProbe", "SELECT COUNT(*) FROM t JOIN u ON t.a = u.a WHERE u.b >= 0"},
+	}
+	out := make([]PR4Micro, 0, len(workloads))
+	for _, wl := range workloads {
+		var allocs [2]float64
+		for i, disable := range []bool{true, false} {
+			cfg, err := engine.Profile("pgsim")
+			if err != nil {
+				return nil, err
+			}
+			cfg.DisableExprCompile = disable
+			sess := engine.New(cfg).NewSession()
+			if err := pr4Load(sess); err != nil {
+				return nil, err
+			}
+			h, err := sess.Prepare(wl.sql)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sess.ExecPrepared(h, nil); err != nil {
+				return nil, err
+			}
+			allocs[i] = testing.AllocsPerRun(20, func() {
+				_, _ = sess.ExecPrepared(h, nil)
+			})
+		}
+		ratio := 0.0
+		if allocs[1] > 0 {
+			ratio = allocs[0] / allocs[1]
+		}
+		out = append(out, PR4Micro{
+			Figure: "pr4-micro", Name: wl.name,
+			AllocsInterp: allocs[0], AllocsCompiled: allocs[1], Ratio: ratio,
+		})
+	}
+	return out, nil
+}
+
+// pr4Load builds the micro-benchmark tables: t with 2000 rows and u
+// with 500 rows keyed to join against t.
+func pr4Load(sess *engine.Session) error {
+	stmts := []string{
+		"CREATE TABLE t (a INT, b INT)",
+		"CREATE TABLE u (a INT, b INT)",
+	}
+	for _, s := range stmts {
+		if _, err := sess.Exec(s); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := sess.Exec("INSERT INTO t VALUES (?, ?)",
+			sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64((i*37)%1000))); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := sess.Exec("INSERT INTO u VALUES (?, ?)",
+			sqltypes.NewInt(int64(i*3)), sqltypes.NewInt(int64(i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -104,6 +104,13 @@ type Options struct {
 	// and for cache-ablation benchmarks (results must be identical
 	// either way).
 	DisableStmtCache bool
+	// DisableExprCompile turns off the embedded engine's expression
+	// compiler: every expression is then interpreted by walking its AST
+	// on each row, the behaviour before compiled programs existed. A/B
+	// switch for compile-ablation benchmarks (results must be identical
+	// either way). Only honoured by OpenEmbedded — the middleware cannot
+	// reconfigure a remote engine.
+	DisableExprCompile bool
 	// OnRound, when set, is called after every completed round/iteration
 	// with the 1-based round number and the number of rows changed in
 	// that round. It runs on the coordinator goroutine.

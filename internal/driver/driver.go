@@ -83,6 +83,32 @@ func metricsFor(dsn string) *obs.Registry {
 	return dsnMetrics.m[dsn]
 }
 
+// dsnWireVer caps the wire protocol version per DSN (same
+// process-wide mapping pattern as dsnMetrics). Absent entries use
+// wire.WireVersion, i.e. the binary codec when the server speaks it.
+var dsnWireVer = struct {
+	sync.RWMutex
+	m map[string]int
+}{m: make(map[string]int)}
+
+// SetDSNWireVersion caps the protocol version for connections
+// subsequently opened for dsn: 0 forces JSON responses (a
+// pre-binary-codec client), wire.WireVersion restores the default.
+func SetDSNWireVersion(dsn string, ver int) {
+	dsnWireVer.Lock()
+	defer dsnWireVer.Unlock()
+	dsnWireVer.m[dsn] = ver
+}
+
+func wireVerFor(dsn string) int {
+	dsnWireVer.RLock()
+	defer dsnWireVer.RUnlock()
+	if v, ok := dsnWireVer.m[dsn]; ok {
+		return v
+	}
+	return wire.WireVersion
+}
+
 // InprocDSN returns the DSN for a registered engine handle.
 func InprocDSN(handle string) string { return "sqlsim://inproc/" + handle }
 
@@ -125,7 +151,7 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 		}
 		return newConn(&inprocExec{sess: eng.NewSession()}, reg), nil
 	case "tcp":
-		e := newWireExec(target, reg, retryFor(dsn))
+		e := newWireExec(target, reg, retryFor(dsn), wireVerFor(dsn))
 		if err := e.dialRetry(); err != nil {
 			return nil, err
 		}
@@ -193,13 +219,14 @@ type wireExec struct {
 	addr   string
 	reg    *obs.Registry
 	policy RetryPolicy
+	maxVer int
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
-func newWireExec(addr string, reg *obs.Registry, policy RetryPolicy) *wireExec {
-	return &wireExec{addr: addr, reg: reg, policy: policy, closed: make(chan struct{})}
+func newWireExec(addr string, reg *obs.Registry, policy RetryPolicy, maxVer int) *wireExec {
+	return &wireExec{addr: addr, reg: reg, policy: policy, maxVer: maxVer, closed: make(chan struct{})}
 }
 
 func (e *wireExec) isClosed() bool {
@@ -259,7 +286,7 @@ func (e *wireExec) dialRetry() error {
 		if e.isClosed() {
 			return errConnClosed
 		}
-		cl, err := wire.Dial(e.addr)
+		cl, err := wire.DialVersion(e.addr, e.maxVer)
 		if err != nil {
 			lastErr = err
 			continue

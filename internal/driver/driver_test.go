@@ -2,7 +2,9 @@ package driver
 
 import (
 	"database/sql"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"sqloop/internal/engine"
@@ -238,5 +240,89 @@ func TestConnectionsAreIndependentSessions(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("count = %d, want only c2's row", n)
+	}
+}
+
+// TestWireVersionBinaryVsJSON runs the same queries through a
+// binary-framed connection and a JSON-capped one against a single
+// server, checking database/sql sees identical rows — including the
+// values JSON encodes specially (infinities, NULL, unicode).
+func TestWireVersionBinaryVsJSON(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := wire.NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dsn := TCPDSN(addr)
+	defer SetDSNWireVersion(dsn, wire.WireVersion)
+
+	setup, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		v := any(float64(i) / 4)
+		s := any(fmt.Sprintf("héllo-%d", i))
+		if i%5 == 0 {
+			v = math.Inf(1)
+		}
+		if i%7 == 0 {
+			s = nil
+		}
+		if _, err := setup.Exec(`INSERT INTO t VALUES (?, ?, ?)`, int64(i), v, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setup.Close()
+
+	read := func(ver int) string {
+		t.Helper()
+		SetDSNWireVersion(dsn, ver)
+		db, err := sql.Open(DriverName, dsn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		rows, err := db.Query(`SELECT id, v, s FROM t ORDER BY id`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out strings.Builder
+		for rows.Next() {
+			var (
+				id int64
+				v  float64
+				s  sql.NullString
+			)
+			if err := rows.Scan(&id, &v, &s); err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&out, "%d|%v|%v;", id, v, s)
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	binary := read(wire.WireVersion)
+	jsonOut := read(0)
+	if binary != jsonOut {
+		t.Fatalf("binary and JSON connections disagree:\n%s\nvs\n%s", binary, jsonOut)
+	}
+	if binary == "" {
+		t.Fatal("no rows read")
+	}
+	if got := srv.Metrics().Counter("sqloop_wire_rows_encoded").Value(); got == 0 {
+		t.Fatal("binary connection never used the binary codec")
+	}
+	if got := srv.Metrics().Counter("sqloop_wire_bytes_json").Value(); got == 0 {
+		t.Fatal("JSON-capped connection never used the JSON codec")
 	}
 }

@@ -199,7 +199,7 @@ func TestCloseDuringBackoffReturnsPromptly(t *testing.T) {
 	// Hour-scale backoff: if Close failed to interrupt the sleeping
 	// retry loop, the exec below would ride out the full backoff instead
 	// of returning.
-	e := newWireExec(addr, nil, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour})
+	e := newWireExec(addr, nil, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}, wire.WireVersion)
 	errc := make(chan error, 1)
 	go func() {
 		_, err := e.exec(`SELECT 1`, nil)

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+// newCompileTestPair returns two sessions over identically-loaded
+// engines, one with the expression compiler on and one with it off.
+func newCompileTestPair(t *testing.T, load func(t *testing.T, s *Session)) (compiled, interp *Session) {
+	t.Helper()
+	compiled = New(Config{}).NewSession()
+	interp = New(Config{DisableExprCompile: true}).NewSession()
+	load(t, compiled)
+	load(t, interp)
+	return compiled, interp
+}
+
+// renderResult formats a result so comparison is bit-exact: column
+// names, affected count, and every value with its Go type (so 2 and
+// 2.0 render differently, as do NULL and empty string).
+func renderResult(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cols=%v affected=%d\n", res.Columns, res.RowsAffected)
+	for _, row := range res.Rows {
+		for _, v := range row {
+			gv := v.GoValue()
+			fmt.Fprintf(&b, "%T:%v|", gv, gv)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func loadCompileCorpus(t *testing.T, s *Session) {
+	t.Helper()
+	mustExec(t, s, `CREATE TABLE nums (id BIGINT PRIMARY KEY, a BIGINT, f DOUBLE, name TEXT, flag BOOLEAN)`)
+	for i := 1; i <= 40; i++ {
+		name := fmt.Sprintf("row_%d", i)
+		if i%7 == 0 {
+			mustExec(t, s, `INSERT INTO nums VALUES (?, NULL, NULL, NULL, NULL)`, sqltypes.NewInt(int64(i)))
+			continue
+		}
+		mustExec(t, s, `INSERT INTO nums VALUES (?, ?, ?, ?, ?)`,
+			sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i%9)),
+			sqltypes.NewFloat(float64(i)*0.5), sqltypes.NewString(name),
+			sqltypes.NewBool(i%2 == 0))
+	}
+	// Rows that stress key hashing: 2 vs 2.0 group keys, NaN floats,
+	// negative zero, infinities.
+	mustExec(t, s, `CREATE TABLE mix (k DOUBLE, v BIGINT)`)
+	for i, k := range []float64{2.0, 2.5, math.NaN(), math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0.0} {
+		mustExec(t, s, `INSERT INTO mix VALUES (?, ?)`, sqltypes.NewFloat(k), sqltypes.NewInt(int64(i+1)))
+	}
+	mustExec(t, s, `CREATE TABLE other (a BIGINT, label TEXT)`)
+	mustExec(t, s, `INSERT INTO other VALUES (1, 'one'), (2, 'two'), (3, 'three'), (4, 'four'), (NULL, 'none')`)
+}
+
+// TestCompiledVsInterpretedEquivalence runs a corpus covering every
+// compiled operator against an interpreter-only engine and requires
+// bit-identical results.
+func TestCompiledVsInterpretedEquivalence(t *testing.T) {
+	corpus := []string{
+		// Filters: arithmetic, comparison, logic, NULL handling.
+		`SELECT id, a FROM nums WHERE a * 2 + 1 > 7 ORDER BY id`,
+		`SELECT id FROM nums WHERE a IS NULL ORDER BY id`,
+		`SELECT id FROM nums WHERE NOT (flag AND a > 3) ORDER BY id`,
+		`SELECT id FROM nums WHERE a IN (1, 3, 5, NULL) ORDER BY id`,
+		`SELECT id FROM nums WHERE a NOT IN (1, 3) ORDER BY id`,
+		`SELECT id FROM nums WHERE f BETWEEN 3.0 AND 12.5 ORDER BY id`,
+		// Projections: CASE, functions, casts, constant folding.
+		`SELECT id, CASE WHEN a > 5 THEN 'hi' WHEN a IS NULL THEN 'null' ELSE 'lo' END FROM nums ORDER BY id`,
+		`SELECT id, COALESCE(a, -1), ABS(0 - f), UPPER(name) FROM nums ORDER BY id`,
+		`SELECT id, CAST(f AS BIGINT), CAST(a AS TEXT) FROM nums ORDER BY id`,
+		`SELECT id, 1 + 2 * 3, 'x' || 'y' FROM nums WHERE id <= 3 ORDER BY id`,
+		// LIKE in all shapes.
+		`SELECT id FROM nums WHERE name LIKE 'row_1%' ORDER BY id`,
+		`SELECT id FROM nums WHERE name LIKE '%_3' ORDER BY id`,
+		`SELECT id FROM nums WHERE name LIKE 'row!_7' ESCAPE '!' ORDER BY id`,
+		`SELECT id FROM nums WHERE name LIKE '%ow%2%' ORDER BY id`,
+		`SELECT id FROM nums WHERE name NOT LIKE 'row_1%' ORDER BY id`,
+		// GROUP BY / HAVING / aggregates, including NULL keys and
+		// expression keys.
+		`SELECT a, COUNT(*), SUM(f) FROM nums GROUP BY a ORDER BY 1`,
+		`SELECT a % 3, MIN(f), MAX(f), AVG(f) FROM nums WHERE a IS NOT NULL GROUP BY a % 3 ORDER BY 1`,
+		`SELECT a, COUNT(*) FROM nums GROUP BY a HAVING COUNT(*) > 4 ORDER BY a`,
+		`SELECT flag, COUNT(DISTINCT a) FROM nums GROUP BY flag ORDER BY 1`,
+		// Hash-sensitive keys: NaN, ±0, 2 vs 2.0, infinities.
+		`SELECT k, COUNT(*), SUM(v) FROM mix GROUP BY k ORDER BY 2, 3`,
+		`SELECT DISTINCT k FROM mix ORDER BY 1`,
+		// DISTINCT and set operations.
+		`SELECT DISTINCT a FROM nums ORDER BY 1`,
+		`SELECT a FROM nums UNION SELECT a FROM other ORDER BY 1`,
+		`SELECT a FROM nums INTERSECT SELECT a FROM other ORDER BY 1`,
+		`SELECT a FROM nums EXCEPT SELECT a FROM other ORDER BY 1`,
+		// Joins: hash equi-join, residual conjuncts, nested loop.
+		`SELECT n.id, o.label FROM nums AS n JOIN other AS o ON n.a = o.a ORDER BY n.id, o.label`,
+		`SELECT n.id, o.label FROM nums AS n JOIN other AS o ON n.a = o.a AND n.id > 10 ORDER BY n.id, o.label`,
+		`SELECT n.id, o.label FROM nums AS n LEFT JOIN other AS o ON n.a = o.a ORDER BY n.id, o.label`,
+		`SELECT n.id, o.label FROM nums AS n JOIN other AS o ON n.a < o.a WHERE n.id <= 5 ORDER BY n.id, o.label`,
+		// ORDER BY: ordinals, aliases, expressions, DESC, multi-key.
+		`SELECT id, a AS alias_a FROM nums ORDER BY alias_a, id`,
+		`SELECT id, f FROM nums ORDER BY 2 DESC, 1`,
+		`SELECT id FROM nums ORDER BY a * -1, id DESC`,
+		// Subqueries stay on the interpreter path but must agree too.
+		`SELECT id FROM nums WHERE a = (SELECT MIN(a) FROM nums) ORDER BY id`,
+		`SELECT id FROM nums WHERE EXISTS (SELECT 1 FROM other WHERE other.a = nums.a) ORDER BY id`,
+	}
+	compiled, interp := newCompileTestPair(t, loadCompileCorpus)
+	for _, q := range corpus {
+		got, err1 := compiled.Exec(q)
+		want, err2 := interp.Exec(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s:\ncompiled err = %v\ninterp err = %v", q, err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("%s: error mismatch:\ncompiled: %v\ninterp: %v", q, err1, err2)
+			}
+			continue
+		}
+		if g, w := renderResult(got), renderResult(want); g != w {
+			t.Fatalf("%s:\ncompiled:\n%s\ninterp:\n%s", q, g, w)
+		}
+	}
+}
+
+// TestCompiledVsInterpretedDML checks UPDATE/DELETE (including the
+// UPDATE ... FROM hash-join path) change the same rows either way.
+func TestCompiledVsInterpretedDML(t *testing.T) {
+	steps := []string{
+		`UPDATE nums SET f = f * 2 WHERE a % 2 = 0`,
+		`UPDATE nums SET a = o.a + 100 FROM other AS o WHERE nums.a = o.a AND nums.id < 20`,
+		`UPDATE nums SET name = 'neg' FROM other AS o WHERE nums.id > o.a + 30`,
+		`DELETE FROM nums WHERE f > 30.0`,
+		`DELETE FROM nums WHERE a IS NULL`,
+	}
+	compiled, interp := newCompileTestPair(t, loadCompileCorpus)
+	for _, q := range steps {
+		got, err1 := compiled.Exec(q)
+		want, err2 := interp.Exec(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: compiled err %v, interp err %v", q, err1, err2)
+		}
+		if got.RowsAffected != want.RowsAffected {
+			t.Fatalf("%s: affected %d (compiled) vs %d (interp)", q, got.RowsAffected, want.RowsAffected)
+		}
+		const check = `SELECT id, a, f, name, flag FROM nums ORDER BY id`
+		g := renderResult(mustExec(t, compiled, check))
+		w := renderResult(mustExec(t, interp, check))
+		if g != w {
+			t.Fatalf("after %s: table state diverged:\ncompiled:\n%s\ninterp:\n%s", q, g, w)
+		}
+	}
+}
+
+// TestCompileErrorTimingMatchesInterpreter: lowering must never report
+// errors earlier than the interpreter would. A WHERE referencing an
+// unknown function or dividing by zero fails identically, and a DML
+// WHERE over zero rows fails (or not) exactly as before.
+func TestCompileErrorTimingMatchesInterpreter(t *testing.T) {
+	queries := []string{
+		`SELECT id FROM nums WHERE a / 0 > 1`,
+		`SELECT 1 / 0 FROM nums`,
+		`SELECT NOSUCHFUNC(a) FROM nums`,
+		`SELECT id FROM nums WHERE ? > 1`, // missing bind parameter
+	}
+	compiled, interp := newCompileTestPair(t, loadCompileCorpus)
+	for _, q := range queries {
+		_, err1 := compiled.Exec(q)
+		_, err2 := interp.Exec(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s:\ncompiled err = %v\ninterp err = %v", q, err1, err2)
+		}
+		if err1 != nil && err1.Error() != err2.Error() {
+			t.Fatalf("%s: error text mismatch:\ncompiled: %v\ninterp: %v", q, err1, err2)
+		}
+	}
+	// DML on an empty table: an invalid expression must not fail at
+	// lowering time when no row is ever evaluated.
+	for _, s := range []*Session{compiled, interp} {
+		mustExec(t, s, `CREATE TABLE empty_t (x BIGINT)`)
+		if _, err := s.Exec(`UPDATE empty_t SET x = 1 / 0 WHERE x / 0 = 1`); err != nil {
+			t.Fatalf("zero-row UPDATE evaluated its expressions: %v", err)
+		}
+		if _, err := s.Exec(`DELETE FROM empty_t WHERE x / 0 = 1`); err != nil {
+			t.Fatalf("zero-row DELETE evaluated its WHERE: %v", err)
+		}
+	}
+}
+
+// TestLikeLargeInput is the precompiled-LIKE regression test: matching
+// against inputs far larger than the pattern must stay correct for
+// every pattern shape the matcher splits into.
+func TestLikeLargeInput(t *testing.T) {
+	big := strings.Repeat("abcdefghij", 10_000) // 100 KB
+	cases := []struct {
+		pattern string
+		want    bool
+	}{
+		{"%cdef%", true},
+		{"%cdxf%", false},
+		{"abcde%", true},
+		{"bbcde%", false},
+		{"%ghij", true},
+		{"%ghia", false},
+		{"%abc%hij%abc%", true},
+		{"a%j", true},
+		{"a_cdefghij%", true},
+		{"_" + strings.Repeat("%", 5) + "j", true},
+		{big, true},         // exact, no wildcards
+		{big[:1000], false}, // exact prefix only
+		{"%" + big[:100] + "%", true},
+	}
+	compiled, interp := newCompileTestPair(t, func(t *testing.T, s *Session) {
+		mustExec(t, s, `CREATE TABLE big (s TEXT)`)
+		mustExec(t, s, `INSERT INTO big VALUES (?)`, sqltypes.NewString(big))
+	})
+	for _, tc := range cases {
+		for name, s := range map[string]*Session{"compiled": compiled, "interp": interp} {
+			res, err := s.Exec(`SELECT COUNT(*) FROM big WHERE s LIKE ?`, sqltypes.NewString(tc.pattern))
+			if err != nil {
+				t.Fatalf("%s LIKE %.40q: %v", name, tc.pattern, err)
+			}
+			got := res.Rows[0][0].Int() == 1
+			if got != tc.want {
+				t.Errorf("%s: LIKE %.40q = %v, want %v", name, tc.pattern, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestPreparedStatementsNeverRelower: after the first execution of a
+// prepared statement, steady-state rounds must reuse cached programs
+// instead of lowering expressions again.
+func TestPreparedStatementsNeverRelower(t *testing.T) {
+	eng := New(Config{})
+	s := eng.NewSession()
+	mustExec(t, s, `CREATE TABLE t (a BIGINT, b BIGINT)`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, s, `INSERT INTO t VALUES (?, ?)`, sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i%5)))
+	}
+	h, err := s.Prepare(`SELECT b, COUNT(*) FROM t WHERE a % 3 = ? GROUP BY b ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := []sqltypes.Value{sqltypes.NewInt(1)}
+	if _, err := s.ExecPrepared(h, arg); err != nil {
+		t.Fatal(err)
+	}
+	compilesAfterFirst, _ := eng.ExprCompileStats()
+	for i := 0; i < 20; i++ {
+		if _, err := s.ExecPrepared(h, arg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compiles, hits := eng.ExprCompileStats()
+	if compiles != compilesAfterFirst {
+		t.Errorf("steady-state executions re-lowered expressions: %d compiles after first run, %d after 20 more",
+			compilesAfterFirst, compiles)
+	}
+	if hits == 0 {
+		t.Errorf("expected program cache hits in steady state, got 0")
+	}
+}
+
+// TestExprCompileDisabledCompilesNothing: the A/B switch must keep the
+// engine on the pure interpreter.
+func TestExprCompileDisabledCompilesNothing(t *testing.T) {
+	eng := New(Config{DisableExprCompile: true})
+	s := eng.NewSession()
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1), (2), (3)`)
+	mustExec(t, s, `SELECT a * 2 FROM t WHERE a > 1 ORDER BY a`)
+	if compiles, _ := eng.ExprCompileStats(); compiles != 0 {
+		t.Errorf("DisableExprCompile engine compiled %d programs", compiles)
+	}
+}
+
+// --- micro-benchmarks -------------------------------------------------
+
+// benchSession builds a session with the benchmark tables loaded.
+func benchSession(b *testing.B, disableCompile bool) *Session {
+	b.Helper()
+	s := New(Config{DisableExprCompile: disableCompile}).NewSession()
+	exec := func(sql string, args ...sqltypes.Value) {
+		if _, err := s.Exec(sql, args...); err != nil {
+			b.Fatalf("Exec(%q): %v", sql, err)
+		}
+	}
+	exec(`CREATE TABLE t (a BIGINT, b BIGINT)`)
+	exec(`CREATE TABLE u (a BIGINT, b BIGINT)`)
+	for i := 0; i < 1000; i++ {
+		exec(`INSERT INTO t VALUES (?, ?)`, sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64((i*37)%1000)))
+	}
+	for i := 0; i < 250; i++ {
+		exec(`INSERT INTO u VALUES (?, ?)`, sqltypes.NewInt(int64(i*3)), sqltypes.NewInt(int64(i)))
+	}
+	return s
+}
+
+// benchStatement runs one prepared statement under both engines as
+// interp/compiled sub-benchmarks.
+func benchStatement(b *testing.B, sql string) {
+	for name, disable := range map[string]bool{"interp": true, "compiled": false} {
+		b.Run(name, func(b *testing.B) {
+			s := benchSession(b, disable)
+			h, err := s.Prepare(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.ExecPrepared(h, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ExecPrepared(h, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFilterEval(b *testing.B) {
+	benchStatement(b, `SELECT a FROM t WHERE ABS(b) < 500 AND COALESCE(a, 0) % 7 = 1`)
+}
+
+func BenchmarkGroupByHash(b *testing.B) {
+	benchStatement(b, `SELECT a % 10, COUNT(*), SUM(b) FROM t GROUP BY a % 10`)
+}
+
+func BenchmarkHashJoinProbe(b *testing.B) {
+	benchStatement(b, `SELECT COUNT(*) FROM t JOIN u ON t.a = u.a WHERE u.b >= 0`)
+}

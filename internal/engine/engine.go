@@ -36,6 +36,11 @@ type Config struct {
 	// StmtCacheSize bounds the parsed-statement cache: 0 uses the
 	// default (512 entries), negative disables caching entirely.
 	StmtCacheSize int
+	// DisableExprCompile turns off the compiled hot row path: expressions
+	// are evaluated by the tree-walking interpreter and operator keys use
+	// string encoding instead of 64-bit row hashes. Results are identical
+	// either way; this is the A/B switch for the perf experiments.
+	DisableExprCompile bool
 }
 
 // Profile returns the engine configuration that simulates the named
@@ -82,6 +87,12 @@ type Engine struct {
 	objGens sync.Map
 	// stmts caches parsed statements (nil = caching disabled).
 	stmts *stmtCache
+
+	// exprCompiles counts expression lowerings; exprCacheHits counts
+	// program-cache reuses. Steady-state iterative rounds should grow
+	// only the latter (see compile.go).
+	exprCompiles  atomic.Int64
+	exprCacheHits atomic.Int64
 
 	stats Stats
 
@@ -332,11 +343,11 @@ func (e *Engine) NewSession() *Session { return &Session{eng: e} }
 // Exec parses (through the statement cache) and executes one statement
 // with optional bind parameters.
 func (s *Session) Exec(sql string, args ...sqltypes.Value) (*Result, error) {
-	st, _, err := s.eng.cachedParse(sql)
+	st, _, progs, err := s.eng.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(st, args)
+	return s.execStmt(st, args, progs)
 }
 
 // ExecScript executes a semicolon-separated script, returning the result
@@ -358,9 +369,15 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 
 // ExecStmt executes an already-parsed statement.
 func (s *Session) ExecStmt(st sqlparser.Statement, args []sqltypes.Value) (*Result, error) {
+	return s.execStmt(st, args, nil)
+}
+
+// execStmt executes a parsed statement, optionally reusing compiled
+// expression programs cached on its statement-cache entry.
+func (s *Session) execStmt(st sqlparser.Statement, args []sqltypes.Value, progs *progCache) (*Result, error) {
 	s.eng.stats.Statements.Add(1)
 	start := time.Now()
-	x := &executor{sess: s, eng: s.eng, args: args}
+	x := &executor{sess: s, eng: s.eng, args: args, progs: progs}
 	res, err := x.run(st)
 	x.chargeCost()
 	if r := s.eng.metrics.Load(); r != nil {

@@ -16,6 +16,7 @@ import (
 type frame struct {
 	rels  []relMeta
 	width int
+	sigv  string // memoized layout signature (see sig)
 }
 
 // relMeta is one relation inside a frame.
@@ -30,7 +31,32 @@ func (f *frame) addRel(name string, cols []string) relMeta {
 	rm := relMeta{name: name, cols: cols, off: f.width}
 	f.rels = append(f.rels, rm)
 	f.width += len(cols)
+	f.sigv = ""
 	return rm
+}
+
+// sig returns a canonical layout signature for the frame: two frames
+// with equal signatures resolve every column reference to the same
+// offset (resolve is case-insensitive, so names are lowercased). It
+// keys compiled-program cache entries across executions.
+func (f *frame) sig() string {
+	if f.sigv == "" {
+		var sb strings.Builder
+		sb.WriteByte('#')
+		for _, r := range f.rels {
+			sb.WriteString(strings.ToLower(r.name))
+			sb.WriteByte('[')
+			for i, c := range r.cols {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strings.ToLower(c))
+			}
+			sb.WriteByte(']')
+		}
+		f.sigv = sb.String()
+	}
+	return f.sigv
 }
 
 // concat combines two frames (as a join does), left columns first.

@@ -352,10 +352,15 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 
 	if from == nil {
 		env := &evalEnv{frame: targetFrame, x: x}
+		var whereProg program
+		if s.Where != nil {
+			whereProg = x.prog(s.Where, targetFrame)
+		}
+		setProgs := x.setProgs(s.Sets, targetFrame)
 		tbl.store.Scan(func(key sqltypes.Key, row sqltypes.Row) bool {
 			env.row = row
-			if s.Where != nil {
-				v, e := env.evalExpr(s.Where)
+			if whereProg != nil {
+				v, e := whereProg(env)
 				if e != nil {
 					err = e
 					return false
@@ -364,7 +369,7 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 					return true
 				}
 			}
-			newRow, changed, e := applySets(tbl, s.Sets, setCols, env, row)
+			newRow, changed, e := applySets(tbl, s.Sets, setCols, setProgs, env, row)
 			if e != nil {
 				err = e
 				return false
@@ -386,16 +391,21 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 		tKeys, fKeys, residual := splitEquiConjuncts(s.Where, targetFrame, from.frame)
 		env := &evalEnv{frame: combinedFrame, x: x}
 
-		var build map[string][]sqltypes.Row
+		var build *rowIndex
+		var buildRows [][]sqltypes.Row
 		if len(tKeys) > 0 {
-			build = make(map[string][]sqltypes.Row, len(from.rows))
+			build = x.newRowIndex(len(from.rows))
 			fenv := &evalEnv{frame: from.frame, x: x}
+			fProgs := make([]program, len(fKeys))
+			for i, ke := range fKeys {
+				fProgs[i] = x.prog(ke, from.frame)
+			}
 			kv := make(sqltypes.Row, len(fKeys))
 			for _, fr := range from.rows {
 				fenv.row = fr
 				null := false
-				for i, ke := range fKeys {
-					v, e := fenv.evalExpr(ke)
+				for i, p := range fProgs {
+					v, e := p(fenv)
 					if e != nil {
 						return nil, e
 					}
@@ -408,21 +418,38 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 				if null {
 					continue
 				}
-				k := encodeRowKey(kv)
-				build[k] = append(build[k], fr)
+				id, isNew := build.bucket(kv, false)
+				if isNew {
+					buildRows = append(buildRows, nil)
+				}
+				buildRows[id] = append(buildRows[id], fr)
 			}
 		}
 
+		// Predicate: residual conjuncts when hash-joining, the full WHERE
+		// otherwise (nested loop).
+		var predProg program
+		if build != nil {
+			predProg = x.residualProg(residual, combinedFrame)
+		} else if s.Where != nil {
+			predProg = x.prog(s.Where, combinedFrame)
+		}
+		tProgs := make([]program, len(tKeys))
+		for i, ke := range tKeys {
+			tProgs[i] = x.prog(ke, targetFrame)
+		}
+		setProgs := x.setProgs(s.Sets, combinedFrame)
+
 		tenv := &evalEnv{frame: targetFrame, x: x}
 		combined := make(sqltypes.Row, combinedFrame.width)
+		kv := make(sqltypes.Row, len(tKeys))
 		tbl.store.Scan(func(key sqltypes.Key, row sqltypes.Row) bool {
 			candidates := from.rows
 			if build != nil {
 				tenv.row = row
-				kv := make(sqltypes.Row, len(tKeys))
 				null := false
-				for i, ke := range tKeys {
-					v, e := tenv.evalExpr(ke)
+				for i, p := range tProgs {
+					v, e := p(tenv)
 					if e != nil {
 						err = e
 						return false
@@ -436,19 +463,19 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 				if null {
 					return true
 				}
-				candidates = build[encodeRowKey(kv)]
+				if id := build.lookup(kv); id >= 0 {
+					candidates = buildRows[id]
+				} else {
+					candidates = nil
+				}
 			}
 			for _, fr := range candidates {
 				copy(combined, row)
 				copy(combined[len(row):], fr)
 				env.row = combined
 				x.work.joined++
-				pred := residual
-				if build == nil {
-					pred = s.Where
-				}
-				if pred != nil {
-					v, e := env.evalExpr(pred)
+				if predProg != nil {
+					v, e := predProg(env)
 					if e != nil {
 						err = e
 						return false
@@ -457,7 +484,7 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 						continue
 					}
 				}
-				newRow, changed, e := applySets(tbl, s.Sets, setCols, env, row)
+				newRow, changed, e := applySets(tbl, s.Sets, setCols, setProgs, env, row)
 				if e != nil {
 					err = e
 					return false
@@ -488,14 +515,24 @@ func (x *executor) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 	return &Result{RowsAffected: n}, nil
 }
 
+// setProgs lowers the SET assignment expressions against the frame the
+// rows will be evaluated in (target-only or target+FROM combined).
+func (x *executor) setProgs(sets []sqlparser.Assignment, f *frame) []program {
+	progs := make([]program, len(sets))
+	for i, a := range sets {
+		progs[i] = x.prog(a.Value, f)
+	}
+	return progs
+}
+
 // applySets computes the updated row; changed reports whether any value
 // differs from the original (MySQL-style changed-rows counting, which
 // SQLoop's UNTIL n UPDATES termination relies on).
-func applySets(tbl *Table, sets []sqlparser.Assignment, setCols []int, env *evalEnv, row sqltypes.Row) (sqltypes.Row, bool, error) {
+func applySets(tbl *Table, sets []sqlparser.Assignment, setCols []int, setProgs []program, env *evalEnv, row sqltypes.Row) (sqltypes.Row, bool, error) {
 	newRow := row.Clone()
 	changed := false
 	for i, a := range sets {
-		v, err := env.evalExpr(a.Value)
+		v, err := setProgs[i](env)
 		if err != nil {
 			return nil, false, err
 		}
@@ -546,11 +583,15 @@ func (x *executor) runDelete(s *sqlparser.DeleteStmt) (*Result, error) {
 		key sqltypes.Key
 		row sqltypes.Row
 	}
+	var whereProg program
+	if s.Where != nil {
+		whereProg = x.prog(s.Where, targetFrame)
+	}
 	var victims []victim
 	tbl.store.Scan(func(key sqltypes.Key, row sqltypes.Row) bool {
-		if s.Where != nil {
+		if whereProg != nil {
 			env.row = row
-			v, e := env.evalExpr(s.Where)
+			v, e := whereProg(env)
 			if e != nil {
 				err = e
 				return false

@@ -248,15 +248,21 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 	}
 
 	if len(leftKeys) > 0 {
-		// Hash join: build on right, probe from left.
-		build := make(map[string][]sqltypes.Row, len(right.rows))
+		// Hash join: build on right, probe from left. Distinct key rows
+		// get dense bucket ids; buildRows holds each bucket's rows.
+		rightProgs := make([]program, len(rightKeys))
+		for i, ke := range rightKeys {
+			rightProgs[i] = x.prog(ke, right.frame)
+		}
+		build := x.newRowIndex(len(right.rows))
+		var buildRows [][]sqltypes.Row
 		renv := &evalEnv{frame: right.frame, x: x}
 		kvals := make(sqltypes.Row, len(rightKeys))
 		for _, rb := range right.rows {
 			renv.row = rb
 			null := false
-			for i, ke := range rightKeys {
-				v, err := renv.evalExpr(ke)
+			for i, p := range rightProgs {
+				v, err := p(renv)
 				if err != nil {
 					return nil, err
 				}
@@ -269,9 +275,17 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 			if null {
 				continue // NULL keys never match
 			}
-			k := encodeRowKey(kvals)
-			build[k] = append(build[k], rb)
+			id, isNew := build.bucket(kvals, false)
+			if isNew {
+				buildRows = append(buildRows, nil)
+			}
+			buildRows[id] = append(buildRows[id], rb)
 		}
+		leftProgs := make([]program, len(leftKeys))
+		for i, ke := range leftKeys {
+			leftProgs[i] = x.prog(ke, left.frame)
+		}
+		resProg := x.residualProg(residual, outFrame)
 		lenv := &evalEnv{frame: left.frame, x: x}
 		cenv := &evalEnv{frame: outFrame, x: x}
 		lvals := make(sqltypes.Row, len(leftKeys))
@@ -279,8 +293,8 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 		for _, ra := range left.rows {
 			lenv.row = ra
 			null := false
-			for i, ke := range leftKeys {
-				v, err := lenv.evalExpr(ke)
+			for i, p := range leftProgs {
+				v, err := p(lenv)
 				if err != nil {
 					return nil, err
 				}
@@ -292,13 +306,17 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 			}
 			matched := false
 			if !null {
-				for _, rb := range build[encodeRowKey(lvals)] {
+				var bucket []sqltypes.Row
+				if id := build.lookup(lvals); id >= 0 {
+					bucket = buildRows[id]
+				}
+				for _, rb := range bucket {
 					joined++
-					if residual != nil {
+					if resProg != nil {
 						copy(combined, ra)
 						copy(combined[len(ra):], rb)
 						cenv.row = combined
-						v, err := cenv.evalExpr(residual)
+						v, err := resProg(cenv)
 						if err != nil {
 							return nil, err
 						}
@@ -316,6 +334,7 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 		}
 	} else {
 		// Nested loop.
+		onProg := x.prog(j.On, outFrame)
 		cenv := &evalEnv{frame: outFrame, x: x}
 		combined := make(sqltypes.Row, outFrame.width)
 		for _, ra := range left.rows {
@@ -325,7 +344,7 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 				copy(combined, ra)
 				copy(combined[len(ra):], rb)
 				cenv.row = combined
-				v, err := cenv.evalExpr(j.On)
+				v, err := onProg(cenv)
 				if err != nil {
 					return nil, err
 				}
@@ -345,9 +364,12 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 }
 
 // splitEquiConjuncts decomposes an ON clause into hash-joinable key
-// pairs (left expr, right expr) and a residual predicate evaluated on
-// the combined row.
-func splitEquiConjuncts(on sqlparser.Expr, lf, rf *frame) (leftKeys, rightKeys []sqlparser.Expr, residual sqlparser.Expr) {
+// pairs (left expr, right expr) and the residual conjuncts to evaluate
+// on the combined row (as a left-associative AND chain; see
+// residualProg). Returning the original conjunct nodes instead of a
+// synthesized AND tree keeps them compilable through the per-node
+// program cache.
+func splitEquiConjuncts(on sqlparser.Expr, lf, rf *frame) (leftKeys, rightKeys, residual []sqlparser.Expr) {
 	var conjuncts []sqlparser.Expr
 	var flatten func(e sqlparser.Expr)
 	flatten = func(e sqlparser.Expr) {
@@ -375,11 +397,7 @@ func splitEquiConjuncts(on sqlparser.Expr, lf, rf *frame) (leftKeys, rightKeys [
 				continue
 			}
 		}
-		if residual == nil {
-			residual = c
-		} else {
-			residual = &sqlparser.LogicalExpr{Op: sqlparser.LogicAnd, Left: residual, Right: c}
-		}
+		residual = append(residual, c)
 	}
 	return leftKeys, rightKeys, residual
 }
@@ -670,6 +688,8 @@ func (x *executor) tryIndexJoin(j *sqlparser.JoinExpr, left *source) (*source, b
 	outFrame := concatFrames(left.frame, rightFrame)
 	out := &source{frame: outFrame}
 	nullsRight := make(sqltypes.Row, rightFrame.width)
+	keyProg := x.prog(leftKeys[0], left.frame)
+	resProg := x.residualProg(residual, outFrame)
 	lenv := &evalEnv{frame: left.frame, x: x}
 	cenv := &evalEnv{frame: outFrame, x: x}
 	combined := make(sqltypes.Row, outFrame.width)
@@ -677,7 +697,7 @@ func (x *executor) tryIndexJoin(j *sqlparser.JoinExpr, left *source) (*source, b
 
 	for _, ra := range left.rows {
 		lenv.row = ra
-		kv, err := lenv.evalExpr(leftKeys[0])
+		kv, err := keyProg(lenv)
 		if err != nil {
 			return nil, false, err
 		}
@@ -697,11 +717,11 @@ func (x *executor) tryIndexJoin(j *sqlparser.JoinExpr, left *source) (*source, b
 			}
 			for _, rb := range candidates {
 				joined++
-				if residual != nil {
+				if resProg != nil {
 					copy(combined, ra)
 					copy(combined[len(ra):], rb)
 					cenv.row = combined
-					v, err := cenv.evalExpr(residual)
+					v, err := resProg(cenv)
 					if err != nil {
 						return nil, false, err
 					}

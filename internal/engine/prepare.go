@@ -70,6 +70,10 @@ type stmtCacheEntry struct {
 	key  stmtKey
 	st   sqlparser.Statement
 	deps depSnapshot
+	// progs collects the compiled expression programs of this statement
+	// (see compile.go); it lives and dies with the entry, so DDL
+	// invalidation discards programs along with the parse.
+	progs *progCache
 }
 
 // stmtCache is the bounded, mutex-guarded LRU.
@@ -304,16 +308,17 @@ func depsExpr(e sqlparser.Expr, add func(string)) {
 }
 
 // cachedParse parses sql through the statement cache and reports the
-// dependency snapshot the result is valid under. With the cache
-// disabled it degrades to a plain parse.
-func (e *Engine) cachedParse(sql string) (sqlparser.Statement, depSnapshot, error) {
+// dependency snapshot the result is valid under, plus the entry's
+// compiled-program cache. With the statement cache disabled it degrades
+// to a plain parse with a statement-local program cache.
+func (e *Engine) cachedParse(sql string) (sqlparser.Statement, depSnapshot, *progCache, error) {
 	c := e.stmts
 	if c == nil {
 		st, err := sqlparser.Parse(sql)
 		if err != nil {
-			return nil, depSnapshot{}, err
+			return nil, depSnapshot{}, nil, err
 		}
-		return st, e.snapshotDeps(st), nil
+		return st, e.snapshotDeps(st), newProgCache(), nil
 	}
 	key := stmtKey{dialect: e.cfg.Dialect, sql: sql}
 	c.mu.Lock()
@@ -326,7 +331,7 @@ func (e *Engine) cachedParse(sql string) (sqlparser.Statement, depSnapshot, erro
 			if r := e.metrics.Load(); r != nil {
 				r.Counter("sqloop_stmt_cache_hits").Inc()
 			}
-			return ent.st, ent.deps, nil
+			return ent.st, ent.deps, ent.progs, nil
 		}
 		// Stale dependencies: drop the entry and re-parse below. This is
 		// the DDL-invalidation miss.
@@ -339,12 +344,18 @@ func (e *Engine) cachedParse(sql string) (sqlparser.Statement, depSnapshot, erro
 	if err != nil {
 		// Parse failures are not cached: the error path is cold and a
 		// poisoned entry could mask a later fix of a generated statement.
-		return nil, depSnapshot{}, err
+		return nil, depSnapshot{}, nil, err
 	}
 	deps := e.snapshotDeps(st)
+	progs := newProgCache()
 	c.mu.Lock()
-	if _, ok := c.m[key]; !ok {
-		c.m[key] = c.lru.PushFront(&stmtCacheEntry{key: key, st: st, deps: deps})
+	if el, ok := c.m[key]; ok {
+		// Another session cached the same statement while we parsed:
+		// share its AST and programs instead of splitting the cache.
+		ent := el.Value.(*stmtCacheEntry)
+		st, deps, progs = ent.st, ent.deps, ent.progs
+	} else {
+		c.m[key] = c.lru.PushFront(&stmtCacheEntry{key: key, st: st, deps: deps, progs: progs})
 		for c.lru.Len() > c.max {
 			back := c.lru.Back()
 			c.lru.Remove(back)
@@ -360,20 +371,21 @@ func (e *Engine) cachedParse(sql string) (sqlparser.Statement, depSnapshot, erro
 	if r := e.metrics.Load(); r != nil {
 		r.Counter("sqloop_stmt_cache_misses").Inc()
 	}
-	return st, deps, nil
+	return st, deps, progs, nil
 }
 
 // preparedStmt is one session-held prepared statement.
 type preparedStmt struct {
-	sql  string
-	st   sqlparser.Statement
-	deps depSnapshot
+	sql   string
+	st    sqlparser.Statement
+	deps  depSnapshot
+	progs *progCache
 }
 
 // Prepare parses (through the cache) and pins a statement, returning a
 // session-scoped handle for ExecPrepared. Handles die with the session.
 func (s *Session) Prepare(sql string) (int64, error) {
-	st, deps, err := s.eng.cachedParse(sql)
+	st, deps, progs, err := s.eng.cachedParse(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -381,7 +393,7 @@ func (s *Session) Prepare(sql string) (int64, error) {
 		s.prepared = make(map[int64]*preparedStmt)
 	}
 	s.nextStmt++
-	s.prepared[s.nextStmt] = &preparedStmt{sql: sql, st: st, deps: deps}
+	s.prepared[s.nextStmt] = &preparedStmt{sql: sql, st: st, deps: deps, progs: progs}
 	return s.nextStmt, nil
 }
 
@@ -405,13 +417,13 @@ func (s *Session) ExecPrepared(id int64, args []sqltypes.Value) (*Result, error)
 			}
 		}
 	} else {
-		st, deps, err := s.eng.cachedParse(ps.sql)
+		st, deps, progs, err := s.eng.cachedParse(ps.sql)
 		if err != nil {
 			return nil, err
 		}
-		ps.st, ps.deps = st, deps
+		ps.st, ps.deps, ps.progs = st, deps, progs
 	}
-	return s.ExecStmt(ps.st, args)
+	return s.execStmt(ps.st, args, ps.progs)
 }
 
 // ClosePrepared releases a handle. Closing an unknown handle is an

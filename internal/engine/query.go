@@ -27,6 +27,9 @@ type executor struct {
 	work workCounters
 	// inCache memoizes uncorrelated IN-subquery results per statement.
 	inCache map[*sqlparser.InExpr][]sqltypes.Value
+	// progs, when non-nil, is the compiled-program cache shared by every
+	// execution of this (cached or prepared) statement.
+	progs *progCache
 }
 
 // chargeCost accrues the simulated latency of the statement's work to
@@ -181,51 +184,45 @@ func (x *executor) evalSetOp(s *sqlparser.SetOp) (*relation, error) {
 	out := &relation{cols: left.cols}
 	switch s.Kind {
 	case sqlparser.SetIntersect:
-		inRight := make(map[string]struct{}, len(right.rows))
+		inRight := x.newRowIndex(len(right.rows))
 		for _, r := range right.rows {
-			inRight[encodeRowKey(r)] = struct{}{}
+			inRight.bucket(r, true)
 		}
-		seen := make(map[string]struct{}, len(left.rows))
+		seen := x.newRowIndex(len(left.rows))
 		for _, r := range left.rows {
-			k := encodeRowKey(r)
-			if _, ok := inRight[k]; !ok {
+			if inRight.lookup(r) < 0 {
 				continue
 			}
-			if _, dup := seen[k]; dup {
+			if _, isNew := seen.bucket(r, true); !isNew {
 				continue
 			}
-			seen[k] = struct{}{}
 			out.rows = append(out.rows, r)
 		}
 	case sqlparser.SetExcept:
-		inRight := make(map[string]struct{}, len(right.rows))
+		inRight := x.newRowIndex(len(right.rows))
 		for _, r := range right.rows {
-			inRight[encodeRowKey(r)] = struct{}{}
+			inRight.bucket(r, true)
 		}
-		seen := make(map[string]struct{}, len(left.rows))
+		seen := x.newRowIndex(len(left.rows))
 		for _, r := range left.rows {
-			k := encodeRowKey(r)
-			if _, ok := inRight[k]; ok {
+			if inRight.lookup(r) >= 0 {
 				continue
 			}
-			if _, dup := seen[k]; dup {
+			if _, isNew := seen.bucket(r, true); !isNew {
 				continue
 			}
-			seen[k] = struct{}{}
 			out.rows = append(out.rows, r)
 		}
 	default:
 		if s.All {
 			out.rows = append(append([]sqltypes.Row(nil), left.rows...), right.rows...)
 		} else {
-			seen := make(map[string]struct{}, len(left.rows)+len(right.rows))
+			seen := x.newRowIndex(len(left.rows) + len(right.rows))
 			for _, src := range [][]sqltypes.Row{left.rows, right.rows} {
 				for _, r := range src {
-					k := encodeRowKey(r)
-					if _, dup := seen[k]; dup {
+					if _, isNew := seen.bucket(r, true); !isNew {
 						continue
 					}
-					seen[k] = struct{}{}
 					out.rows = append(out.rows, r)
 				}
 			}
@@ -273,18 +270,26 @@ func sortRelationByOrdinals(rel *relation, items []sqlparser.OrderItem) error {
 			return fmt.Errorf("engine: ORDER BY on set operations supports ordinals and column names only")
 		}
 	}
-	sort.SliceStable(rel.rows, func(a, b int) bool {
-		for i, col := range idx {
-			c := sqltypes.CompareTotal(rel.rows[a][col], rel.rows[b][col])
-			if items[i].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
+	// Decorate-sort-undecorate: extract the key columns once, sort a
+	// permutation, then reorder the rows.
+	keys := make([][]sqltypes.Value, len(rel.rows))
+	desc := make([]bool, len(items))
+	for i, it := range items {
+		desc[i] = it.Desc
+	}
+	for i, r := range rel.rows {
+		k := make([]sqltypes.Value, len(idx))
+		for j, col := range idx {
+			k[j] = r[col]
 		}
-		return false
-	})
+		keys[i] = k
+	}
+	perm := sortIndexByKeys(len(rel.rows), keys, desc)
+	sorted := make([]sqltypes.Row, len(rel.rows))
+	for i, k := range perm {
+		sorted[i] = rel.rows[k]
+	}
+	rel.rows = sorted
 	return nil
 }
 
@@ -310,20 +315,24 @@ type source struct {
 	rows  []sqltypes.Row
 }
 
-// evalSelect evaluates a SELECT core.
+// evalSelect evaluates a SELECT core. Per-row expressions run as
+// compiled programs from the statement's (cached) select plan; with
+// Config.DisableExprCompile the same plan structure carries
+// interpreter thunks, so both modes share one code path.
 func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 	src, err := x.evalFromList(s.From, s.Where)
 	if err != nil {
 		return nil, err
 	}
 
-	// WHERE.
+	// WHERE (before star expansion, matching interpreter error order).
 	if s.Where != nil {
+		p := x.prog(s.Where, src.frame)
 		kept := src.rows[:0:0]
 		env := &evalEnv{frame: src.frame, x: x}
 		for _, r := range src.rows {
 			env.row = r
-			v, err := env.evalExpr(s.Where)
+			v, err := p(env)
 			if err != nil {
 				return nil, err
 			}
@@ -334,11 +343,11 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 		src.rows = kept
 	}
 
-	// Expand stars now that the input frame is known.
-	items, err := expandStars(s.Items, src.frame)
+	plan, err := x.selectPlan(s, src.frame)
 	if err != nil {
 		return nil, err
 	}
+	items, cols := plan.items, plan.cols
 
 	// Static validation so reference errors surface on empty inputs too.
 	for _, it := range items {
@@ -346,7 +355,6 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 			return nil, err
 		}
 	}
-	cols := outputColumns(items)
 	for _, e := range []sqlparser.Expr{s.Where, s.Having} {
 		if e != nil {
 			if err := x.validateExpr(e, src.frame, nil); err != nil {
@@ -365,44 +373,33 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 		}
 	}
 
-	// Split grouped vs plain path.
-	var aggs []*sqlparser.FuncCall
-	for _, it := range items {
-		collectAggregates(it.Expr, &aggs)
-	}
-	collectAggregates(s.Having, &aggs)
-	for _, o := range s.OrderBy {
-		collectAggregates(o.Expr, &aggs)
-	}
-
 	type outRow struct {
 		row sqltypes.Row
 		env *evalEnv
 	}
 	var outputs []outRow
 
-	if len(s.GroupBy) > 0 || len(aggs) > 0 {
-		groups, order, err := x.groupRows(src, s.GroupBy)
+	if len(s.GroupBy) > 0 || len(plan.aggs) > 0 {
+		groups, err := x.groupRows(src, plan.groupBy)
 		if err != nil {
 			return nil, err
 		}
-		for _, gk := range order {
-			g := groups[gk]
-			env := &evalEnv{frame: src.frame, x: x, aggs: make(map[*sqlparser.FuncCall]sqltypes.Value, len(aggs))}
+		for _, g := range groups {
+			env := &evalEnv{frame: src.frame, x: x, aggs: make(map[*sqlparser.FuncCall]sqltypes.Value, len(plan.aggs))}
 			if len(g.rows) > 0 {
 				env.row = g.rows[0]
 			} else {
 				env.row = make(sqltypes.Row, src.frame.width)
 			}
-			for _, fc := range aggs {
-				v, err := x.computeAggregate(fc, src.frame, g.rows)
+			for _, fc := range plan.aggs {
+				v, err := x.computeAggregate(fc, plan.aggArgs[fc], src.frame, g.rows)
 				if err != nil {
 					return nil, err
 				}
 				env.aggs[fc] = v
 			}
-			if s.Having != nil {
-				hv, err := env.evalExpr(s.Having)
+			if plan.having != nil {
+				hv, err := plan.having(env)
 				if err != nil {
 					return nil, err
 				}
@@ -410,7 +407,7 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 					continue
 				}
 			}
-			row, err := projectRow(items, env)
+			row, err := projectRow(plan.itemProgs, env)
 			if err != nil {
 				return nil, err
 			}
@@ -418,11 +415,9 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 			x.work.grouped += int64(len(g.rows))
 		}
 	} else {
-		env := &evalEnv{frame: src.frame, x: x}
 		for _, r := range src.rows {
 			rowEnv := &evalEnv{frame: src.frame, x: x, row: r}
-			env.row = r
-			row, err := projectRow(items, rowEnv)
+			row, err := projectRow(plan.itemProgs, rowEnv)
 			if err != nil {
 				return nil, err
 			}
@@ -432,49 +427,32 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 
 	// DISTINCT.
 	if s.Distinct {
-		seen := make(map[string]struct{}, len(outputs))
+		ix := x.newRowIndex(len(outputs))
 		kept := outputs[:0]
 		for _, o := range outputs {
-			k := encodeRowKey(o.row)
-			if _, dup := seen[k]; dup {
-				continue
+			if _, isNew := ix.bucket(o.row, true); isNew {
+				kept = append(kept, o)
 			}
-			seen[k] = struct{}{}
-			kept = append(kept, o)
 		}
 		outputs = kept
 	}
 
-	// ORDER BY: resolve each key against output columns (alias/ordinal)
-	// or evaluate in the originating row environment.
-	if len(s.OrderBy) > 0 {
+	// ORDER BY: decorate-sort-undecorate — each key is computed exactly
+	// once per output row, then rows are reordered by a precomputed
+	// permutation.
+	if len(plan.orderFns) > 0 {
 		keys := make([][]sqltypes.Value, len(outputs))
 		for i, o := range outputs {
-			keys[i] = make([]sqltypes.Value, len(s.OrderBy))
-			for j, item := range s.OrderBy {
-				v, err := orderKey(item.Expr, o.row, cols, o.env)
+			keys[i] = make([]sqltypes.Value, len(plan.orderFns))
+			for j, fn := range plan.orderFns {
+				v, err := fn(o.row, o.env)
 				if err != nil {
 					return nil, err
 				}
 				keys[i][j] = v
 			}
 		}
-		idx := make([]int, len(outputs))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			for j, item := range s.OrderBy {
-				c := sqltypes.CompareTotal(keys[idx[a]][j], keys[idx[b]][j])
-				if item.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
+		idx := sortIndexByKeys(len(outputs), keys, plan.desc)
 		sorted := make([]outRow, len(outputs))
 		for i, k := range idx {
 			sorted[i] = outputs[k]
@@ -500,27 +478,27 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 	return rel, nil
 }
 
-// orderKey computes one ORDER BY key for an output row.
-func orderKey(e sqlparser.Expr, out sqltypes.Row, cols []string, env *evalEnv) (sqltypes.Value, error) {
-	switch t := e.(type) {
-	case *sqlparser.Literal:
-		if t.Val.Kind() == sqltypes.KindInt {
-			n := int(t.Val.Int())
-			if n >= 1 && n <= len(out) {
-				return out[n-1], nil
-			}
-			return sqltypes.Null, fmt.Errorf("engine: ORDER BY position %d out of range", n)
-		}
-	case *sqlparser.ColumnRef:
-		if t.Table == "" {
-			for j, c := range cols {
-				if strings.EqualFold(c, t.Name) {
-					return out[j], nil
-				}
-			}
-		}
+// sortIndexByKeys returns the stable ordering of n rows under the
+// decorated sort keys (one slice per row, with per-key direction).
+func sortIndexByKeys(n int, keys [][]sqltypes.Value, desc []bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
 	}
-	return env.evalExpr(e)
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j := range desc {
+			c := sqltypes.CompareTotal(ka[j], kb[j])
+			if desc[j] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return idx
 }
 
 // expandStars replaces * and t.* items with explicit column references.
@@ -568,10 +546,12 @@ func outputColumns(items []sqlparser.SelectItem) []string {
 	return cols
 }
 
-func projectRow(items []sqlparser.SelectItem, env *evalEnv) (sqltypes.Row, error) {
-	row := make(sqltypes.Row, len(items))
-	for i, it := range items {
-		v, err := env.evalExpr(it.Expr)
+// projectRow materializes one output row from the compiled item
+// programs.
+func projectRow(itemProgs []program, env *evalEnv) (sqltypes.Row, error) {
+	row := make(sqltypes.Row, len(itemProgs))
+	for i, p := range itemProgs {
+		v, err := p(env)
 		if err != nil {
 			return nil, err
 		}
@@ -585,41 +565,40 @@ type group struct {
 	rows []sqltypes.Row
 }
 
-// groupRows buckets the source rows by the GROUP BY keys, preserving
-// first-seen order. With no keys it forms a single (possibly empty)
-// group.
-func (x *executor) groupRows(src *source, keys []sqlparser.Expr) (map[string]*group, []string, error) {
-	groups := make(map[string]*group)
-	var order []string
-	if len(keys) == 0 {
-		groups[""] = &group{rows: src.rows}
-		return groups, []string{""}, nil
+// groupRows buckets the source rows by the compiled GROUP BY key
+// programs, preserving first-seen order (the row index hands out dense
+// ids in insertion order). With no keys it forms a single (possibly
+// empty) group.
+func (x *executor) groupRows(src *source, keyProgs []program) ([]*group, error) {
+	if len(keyProgs) == 0 {
+		return []*group{{rows: src.rows}}, nil
 	}
+	ix := x.newRowIndex(0)
+	var groups []*group
 	env := &evalEnv{frame: src.frame, x: x}
-	kvals := make(sqltypes.Row, len(keys))
+	kvals := make(sqltypes.Row, len(keyProgs))
 	for _, r := range src.rows {
 		env.row = r
-		for i, k := range keys {
-			v, err := env.evalExpr(k)
+		for i, p := range keyProgs {
+			v, err := p(env)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			kvals[i] = v
 		}
-		gk := encodeRowKey(kvals)
-		g, ok := groups[gk]
-		if !ok {
-			g = &group{}
-			groups[gk] = g
-			order = append(order, gk)
+		id, isNew := ix.bucket(kvals, false)
+		if isNew {
+			groups = append(groups, &group{})
 		}
-		g.rows = append(g.rows, r)
+		groups[id].rows = append(groups[id].rows, r)
 	}
-	return groups, order, nil
+	return groups, nil
 }
 
-// computeAggregate evaluates one aggregate call over a group.
-func (x *executor) computeAggregate(fc *sqlparser.FuncCall, f *frame, rows []sqltypes.Row) (sqltypes.Value, error) {
+// computeAggregate evaluates one aggregate call over a group; argProg
+// is the call's compiled argument (nil for COUNT(*) and malformed
+// calls, which error out before it is used).
+func (x *executor) computeAggregate(fc *sqlparser.FuncCall, argProg program, f *frame, rows []sqltypes.Row) (sqltypes.Value, error) {
 	if fc.Star {
 		if fc.Name != "COUNT" {
 			return sqltypes.Null, fmt.Errorf("engine: %s(*) is not valid", fc.Name)
@@ -636,14 +615,16 @@ func (x *executor) computeAggregate(fc *sqlparser.FuncCall, f *frame, rows []sql
 		sumFloat float64
 		isFloat  bool
 		best     = sqltypes.Null
-		seen     map[string]struct{}
+		seen     *rowIndex
+		scratch  sqltypes.Row
 	)
 	if fc.Distinct {
-		seen = make(map[string]struct{})
+		seen = x.newRowIndex(0)
+		scratch = make(sqltypes.Row, 1)
 	}
 	for _, r := range rows {
 		env.row = r
-		v, err := env.evalExpr(fc.Args[0])
+		v, err := argProg(env)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -651,11 +632,10 @@ func (x *executor) computeAggregate(fc *sqlparser.FuncCall, f *frame, rows []sql
 			continue
 		}
 		if fc.Distinct {
-			k := encodeRowKey(sqltypes.Row{v})
-			if _, dup := seen[k]; dup {
+			scratch[0] = v
+			if _, isNew := seen.bucket(scratch, false); !isNew {
 				continue
 			}
-			seen[k] = struct{}{}
 		}
 		count++
 		switch fc.Name {

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqloop/internal/sqltypes"
+)
+
+// WireVersion is the highest protocol version this build speaks.
+// Version 0 is the original JSON-only protocol; version 1 adds the
+// binary response codec negotiated via OpHello.
+const WireVersion = 1
+
+// binaryMagic is the first payload byte of every binary response
+// frame. JSON responses always start with '{' (0x7B), so one byte
+// disambiguates the two encodings and lets a reader accept either.
+const binaryMagic = 0xBF
+
+// Value tags in the binary codec. Bools get two tags so true/false
+// need no payload byte, and NULL is a bare tag.
+const (
+	tagNull  = 0
+	tagInt   = 1 // zigzag varint
+	tagFloat = 2 // 8-byte big-endian IEEE 754 (NaN and ±Inf round-trip natively)
+	tagStr   = 3 // uvarint length + bytes
+	tagFalse = 4
+	tagTrue  = 5
+)
+
+// zigzag maps signed to unsigned so small negative ints stay short.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, zigzag(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v sqltypes.Value) []byte {
+	switch v.Kind() {
+	case sqltypes.KindInt:
+		b = append(b, tagInt)
+		return appendVarint(b, v.Int())
+	case sqltypes.KindFloat:
+		b = append(b, tagFloat)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		return append(b, buf[:]...)
+	case sqltypes.KindString:
+		b = append(b, tagStr)
+		return appendString(b, v.Str())
+	case sqltypes.KindBool:
+		if v.Bool() {
+			return append(b, tagTrue)
+		}
+		return append(b, tagFalse)
+	default:
+		return append(b, tagNull)
+	}
+}
+
+// AppendBinaryResponse encodes a response and its rows into the
+// version-1 binary frame payload. Rows are passed separately from the
+// Response so the server's hot path never materializes the per-value
+// pointer structs the JSON encoding needs.
+func AppendBinaryResponse(b []byte, resp *Response, rows []sqltypes.Row) []byte {
+	b = append(b, binaryMagic, 1)
+	b = appendString(b, resp.Error)
+	b = appendVarint(b, resp.Handle)
+	b = appendVarint(b, resp.RowsAffected)
+	b = appendUvarint(b, uint64(len(resp.Columns)))
+	for _, c := range resp.Columns {
+		b = appendString(b, c)
+	}
+	b = appendUvarint(b, uint64(len(rows)))
+	for _, row := range rows {
+		b = appendUvarint(b, uint64(len(row)))
+		for _, v := range row {
+			b = appendValue(b, v)
+		}
+	}
+	return b
+}
+
+// binReader walks a binary payload with strict bounds checking: any
+// truncated or oversized field fails decoding instead of panicking.
+type binReader struct {
+	b   []byte
+	off int
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: binary frame: bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	u, err := r.uvarint()
+	return unzigzag(u), err
+}
+
+func (r *binReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("wire: binary frame: %d-byte field exceeds remaining %d bytes", n, len(r.b)-r.off)
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *binReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	return string(b), err
+}
+
+func (r *binReader) value() (sqltypes.Value, error) {
+	if r.off >= len(r.b) {
+		return sqltypes.Null, fmt.Errorf("wire: binary frame: truncated value")
+	}
+	tag := r.b[r.off]
+	r.off++
+	switch tag {
+	case tagNull:
+		return sqltypes.Null, nil
+	case tagInt:
+		v, err := r.varint()
+		return sqltypes.NewInt(v), err
+	case tagFloat:
+		b, err := r.bytes(8)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b))), nil
+	case tagStr:
+		s, err := r.string()
+		return sqltypes.NewString(s), err
+	case tagFalse:
+		return sqltypes.NewBool(false), nil
+	case tagTrue:
+		return sqltypes.NewBool(true), nil
+	default:
+		return sqltypes.Null, fmt.Errorf("wire: binary frame: unknown value tag %d", tag)
+	}
+}
+
+// DecodeBinaryResponse decodes a version-1 binary frame payload. The
+// returned rows are engine values directly; the Response's JSON Rows
+// field stays empty.
+func DecodeBinaryResponse(payload []byte) (*Response, []sqltypes.Row, error) {
+	if len(payload) < 2 || payload[0] != binaryMagic {
+		return nil, nil, fmt.Errorf("wire: not a binary response frame")
+	}
+	if payload[1] != 1 {
+		return nil, nil, fmt.Errorf("wire: unsupported binary frame version %d", payload[1])
+	}
+	r := &binReader{b: payload, off: 2}
+	resp := &Response{}
+	var err error
+	if resp.Error, err = r.string(); err != nil {
+		return nil, nil, err
+	}
+	if resp.Handle, err = r.varint(); err != nil {
+		return nil, nil, err
+	}
+	if resp.RowsAffected, err = r.varint(); err != nil {
+		return nil, nil, err
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if ncols > uint64(len(payload)) {
+		return nil, nil, fmt.Errorf("wire: binary frame: %d columns exceeds frame size", ncols)
+	}
+	if ncols > 0 {
+		resp.Columns = make([]string, ncols)
+		for i := range resp.Columns {
+			if resp.Columns[i], err = r.string(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	nrows, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if nrows > uint64(len(payload)) {
+		return nil, nil, fmt.Errorf("wire: binary frame: %d rows exceeds frame size", nrows)
+	}
+	var rows []sqltypes.Row
+	if nrows > 0 {
+		rows = make([]sqltypes.Row, nrows)
+		for i := range rows {
+			width, err := r.uvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			if width > uint64(len(payload)) {
+				return nil, nil, fmt.Errorf("wire: binary frame: row of %d values exceeds frame size", width)
+			}
+			row := make(sqltypes.Row, width)
+			for j := range row {
+				if row[j], err = r.value(); err != nil {
+					return nil, nil, err
+				}
+			}
+			rows[i] = row
+		}
+	}
+	if r.off != len(payload) {
+		return nil, nil, fmt.Errorf("wire: binary frame: %d trailing bytes", len(payload)-r.off)
+	}
+	return resp, rows, nil
+}

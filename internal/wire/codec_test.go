@@ -1,0 +1,322 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"testing"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/sqltypes"
+)
+
+// codecRows is a value corpus covering every tag and the encodings
+// JSON handles badly: NaN, infinities, empty strings, unicode,
+// negative ints, NULL.
+func codecRows() []sqltypes.Row {
+	return []sqltypes.Row{
+		{sqltypes.NewInt(0), sqltypes.NewInt(-1), sqltypes.NewInt(math.MaxInt64), sqltypes.NewInt(math.MinInt64)},
+		{sqltypes.NewFloat(2.5), sqltypes.NewFloat(math.Inf(1)), sqltypes.NewFloat(math.Inf(-1)), sqltypes.NewFloat(math.NaN())},
+		{sqltypes.NewFloat(math.Copysign(0, -1)), sqltypes.NewFloat(math.SmallestNonzeroFloat64), sqltypes.NewFloat(math.MaxFloat64), sqltypes.Null},
+		{sqltypes.NewString(""), sqltypes.NewString("it's"), sqltypes.NewString("héllo 世界 🚀"), sqltypes.NewString("a\x00b")},
+		{sqltypes.NewBool(true), sqltypes.NewBool(false), sqltypes.Null, sqltypes.NewString("trailing")},
+	}
+}
+
+func sameValue(a, b sqltypes.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.IsNull() {
+		return true
+	}
+	if a.Kind() == sqltypes.KindFloat {
+		// Bit-exact: NaN == NaN, -0 != 0.
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	}
+	c, err := sqltypes.Compare(a, b)
+	return err == nil && c == 0
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	in := &Response{
+		Error:        "",
+		Handle:       -7,
+		RowsAffected: 1 << 40,
+		Columns:      []string{"a", "", "héllo"},
+	}
+	rows := codecRows()
+	payload := AppendBinaryResponse(nil, in, rows)
+	out, gotRows, err := DecodeBinaryResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != in.Error || out.Handle != in.Handle || out.RowsAffected != in.RowsAffected {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Columns) != len(in.Columns) || out.Columns[2] != "héllo" {
+		t.Fatalf("columns = %v", out.Columns)
+	}
+	if len(gotRows) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(gotRows), len(rows))
+	}
+	for i, row := range rows {
+		for j, v := range row {
+			if !sameValue(gotRows[i][j], v) {
+				t.Errorf("row %d col %d: %v != %v", i, j, gotRows[i][j], v)
+			}
+		}
+	}
+}
+
+func TestBinaryResponseErrorRoundTrip(t *testing.T) {
+	in := &Response{Error: "engine: table missing"}
+	out, rows, err := DecodeBinaryResponse(AppendBinaryResponse(nil, in, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != in.Error || rows != nil {
+		t.Fatalf("got %+v rows %v", out, rows)
+	}
+}
+
+// TestBinaryDecodeRejectsCorruptFrames: truncations and bit flips must
+// fail with errors, never panic or over-allocate.
+func TestBinaryDecodeRejectsCorruptFrames(t *testing.T) {
+	payload := AppendBinaryResponse(nil, &Response{Columns: []string{"a"}}, codecRows())
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, err := DecodeBinaryResponse(payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	for i := range payload {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0xFF
+		_, _, _ = DecodeBinaryResponse(mut) // must not panic
+	}
+	if _, _, err := DecodeBinaryResponse(append(payload, 0)); err == nil {
+		t.Fatal("trailing garbage decoded successfully")
+	}
+}
+
+// startCodecServer serves a fresh engine with one loaded table.
+func startCodecServer(t *testing.T, maxVer int) (*Server, string) {
+	t.Helper()
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng)
+	srv.SetMaxWireVersion(maxVer)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	sess := eng.NewSession()
+	if _, err := sess.Exec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		v := float64(i) * 0.5
+		if i%10 == 0 {
+			v = math.Inf(1)
+		}
+		if _, err := sess.Exec(`INSERT INTO t VALUES (?, ?, ?)`,
+			sqltypes.NewInt(int64(i)), sqltypes.NewFloat(v),
+			sqltypes.NewString(fmt.Sprintf("row-%d-héllo", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, addr
+}
+
+const codecQuery = `SELECT id, v, s FROM t ORDER BY id`
+
+// TestCodecNegotiation covers the four version pairings: each must
+// execute correctly and settle on min(client, server).
+func TestCodecNegotiation(t *testing.T) {
+	cases := []struct {
+		name             string
+		serverMax, clMax int
+		wantVer          int
+	}{
+		{"both-new", WireVersion, WireVersion, 1},
+		{"old-server", 0, WireVersion, 0},
+		{"old-client", WireVersion, 0, 0},
+		{"both-old", 0, 0, 0},
+	}
+	var want string
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, addr := startCodecServer(t, tc.serverMax)
+			cl, err := DialVersion(addr, tc.clMax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			if cl.WireVer() != tc.wantVer {
+				t.Fatalf("negotiated version %d, want %d", cl.WireVer(), tc.wantVer)
+			}
+			res, err := cl.Exec(codecQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fmt.Sprintf("%v %v", res.Columns, res.Rows)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("results differ across codecs:\n%s\nvs\n%s", got, want)
+			}
+			// Remote errors still travel on the negotiated codec.
+			if _, err := cl.Exec(`SELECT * FROM missing`); err == nil {
+				t.Fatal("expected remote error")
+			}
+			if _, err := cl.Exec(`SELECT COUNT(*) FROM t`); err != nil {
+				t.Fatalf("connection unusable after remote error: %v", err)
+			}
+		})
+	}
+}
+
+// TestHelloAgainstPreHelloServer: a server that answers OpHello with
+// an unknown-operation error (the protocol before negotiation existed)
+// must downgrade the client to JSON instead of failing the dial.
+func TestHelloAgainstPreHelloServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// A pre-hello server: JSON frames only, unknown ops get an error
+		// response and the connection stays open.
+		for {
+			var req Request
+			if err := ReadFrame(conn, &req); err != nil {
+				return
+			}
+			resp := &Response{}
+			switch req.Op {
+			case OpExec:
+				resp.Columns = []string{"one"}
+				i := int64(1)
+				resp.Rows = [][]WireValue{{{Int: &i}}}
+			default:
+				resp.Error = fmt.Sprintf("wire: unknown operation %q", req.Op)
+			}
+			if err := WriteFrame(conn, resp); err != nil {
+				return
+			}
+		}
+	}()
+
+	cl, err := DialVersion(ln.Addr().String(), WireVersion)
+	if err != nil {
+		t.Fatalf("dial against pre-hello server failed: %v", err)
+	}
+	defer cl.Close()
+	if cl.WireVer() != 0 {
+		t.Fatalf("negotiated version %d against pre-hello server, want 0", cl.WireVer())
+	}
+	res, err := cl.Exec(`SELECT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestBinaryBytesBeatJSON runs the same workload over a version-0 and
+// a version-1 connection to one server and checks the server-side
+// byte counters: the binary encoding must be strictly smaller.
+func TestBinaryBytesBeatJSON(t *testing.T) {
+	srv, addr := startCodecServer(t, WireVersion)
+
+	for _, ver := range []int{0, WireVersion} {
+		cl, err := DialVersion(addr, ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := cl.Exec(codecQuery); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl.Close()
+	}
+
+	jsonBytes := srv.Metrics().Counter("sqloop_wire_bytes_json").Value()
+	binBytes := srv.Metrics().Counter("sqloop_wire_bytes_binary").Value()
+	rowsEnc := srv.Metrics().Counter("sqloop_wire_rows_encoded").Value()
+	if binBytes == 0 || jsonBytes == 0 {
+		t.Fatalf("metrics missing: json=%d binary=%d", jsonBytes, binBytes)
+	}
+	if binBytes >= jsonBytes {
+		t.Fatalf("binary codec not smaller: binary=%d json=%d", binBytes, jsonBytes)
+	}
+	if rowsEnc != 5*50 {
+		t.Fatalf("sqloop_wire_rows_encoded = %d, want %d", rowsEnc, 5*50)
+	}
+}
+
+// BenchmarkWireCodecJSONvsBinary compares the response codecs on a
+// 1000-row result: full encode + decode per op.
+func BenchmarkWireCodecJSONvsBinary(b *testing.B) {
+	rows := make([]sqltypes.Row, 1000)
+	for i := range rows {
+		rows[i] = sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewFloat(float64(i) * 0.25),
+			sqltypes.NewString(fmt.Sprintf("node-%d", i)),
+		}
+	}
+	resp := &Response{Columns: []string{"id", "rank", "label"}}
+
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp.Rows = make([][]WireValue, len(rows))
+			for j, row := range rows {
+				wr := make([]WireValue, len(row))
+				for k, v := range row {
+					wr[k] = ToWire(v)
+				}
+				resp.Rows[j] = wr
+			}
+			payload, err := json.Marshal(resp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			var out Response
+			if err := json.Unmarshal(payload, &out); err != nil {
+				b.Fatal(err)
+			}
+			for _, wr := range out.Rows {
+				for _, wv := range wr {
+					if _, err := FromWire(wv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		resp.Rows = nil
+	})
+
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := []byte(nil)
+		for i := 0; i < b.N; i++ {
+			buf = AppendBinaryResponse(buf[:0], resp, rows)
+			b.SetBytes(int64(len(buf)))
+			if _, _, err := DecodeBinaryResponse(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

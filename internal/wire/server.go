@@ -20,6 +20,7 @@ type Server struct {
 	eng     *engine.Engine
 	ln      net.Listener
 	metrics *obs.Registry
+	maxVer  int
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,8 +34,14 @@ func NewServer(eng *engine.Engine) *Server {
 		eng:     eng,
 		conns:   make(map[net.Conn]struct{}),
 		metrics: obs.NewRegistry(),
+		maxVer:  WireVersion,
 	}
 }
+
+// SetMaxWireVersion caps the protocol version the server will
+// negotiate; 0 forces JSON responses for every connection, emulating a
+// pre-binary-codec server. Call before Listen.
+func (s *Server) SetMaxWireVersion(v int) { s.maxVer = v }
 
 // Metrics returns the server's registry: wire_requests_total,
 // wire_request_seconds (per-statement server-side latency),
@@ -89,6 +96,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	bytesOut := s.metrics.Counter("wire_bytes_written_total")
 	requests := s.metrics.Counter("wire_requests_total")
 	latency := s.metrics.Histogram("wire_request_seconds")
+	rowsEncoded := s.metrics.Counter("sqloop_wire_rows_encoded")
+	bytesJSON := s.metrics.Counter("sqloop_wire_bytes_json")
+	bytesBinary := s.metrics.Counter("sqloop_wire_bytes_binary")
+	ver := 0 // protocol version for this connection, raised by OpHello
 	for {
 		var req Request
 		n, err := readFrameTimed(conn, &req, DefaultFrameTimeout)
@@ -102,10 +113,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		requests.Inc()
 		start := time.Now()
-		resp := s.execute(sess, &req)
+		var resp *Response
+		var rows []sqltypes.Row
+		if req.Op == OpHello {
+			// Version negotiation: settle on the lower of the two peers.
+			// The reply itself is always JSON so pre-binary clients could
+			// at least parse an error.
+			ver = min(req.WireVer, s.maxVer)
+			resp = &Response{WireVer: ver}
+		} else {
+			resp, rows = s.execute(sess, &req)
+		}
 		latency.Observe(time.Since(start))
 		_ = conn.SetWriteDeadline(time.Now().Add(DefaultFrameTimeout))
-		wn, err := WriteFrameN(conn, resp)
+		var wn int
+		if ver >= 1 && req.Op != OpHello {
+			wn, err = writeRawFrameN(conn, AppendBinaryResponse(nil, resp, rows))
+			rowsEncoded.Add(int64(len(rows)))
+			bytesBinary.Add(int64(wn))
+		} else {
+			resp.Rows = toWireRows(rows)
+			wn, err = WriteFrameN(conn, resp)
+			bytesJSON.Add(int64(wn))
+		}
 		_ = conn.SetWriteDeadline(time.Time{})
 		bytesOut.Add(int64(wn))
 		if err != nil {
@@ -114,12 +144,31 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) execute(sess *engine.Session, req *Request) *Response {
+// toWireRows converts engine rows to the JSON value encoding.
+func toWireRows(rows []sqltypes.Row) [][]WireValue {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([][]WireValue, len(rows))
+	for i, row := range rows {
+		wr := make([]WireValue, len(row))
+		for j, v := range row {
+			wr[j] = ToWire(v)
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+// execute runs one request and returns the response shell plus any
+// result rows. Rows stay as engine values so the negotiated codec —
+// not this function — decides how they hit the wire.
+func (s *Server) execute(sess *engine.Session, req *Request) (*Response, []sqltypes.Row) {
 	args := make([]sqltypes.Value, len(req.Args))
 	for i, wv := range req.Args {
 		v, err := FromWire(wv)
 		if err != nil {
-			return &Response{Error: err.Error()}
+			return &Response{Error: err.Error()}, nil
 		}
 		args[i] = v
 	}
@@ -133,34 +182,23 @@ func (s *Server) execute(sess *engine.Session, req *Request) *Response {
 	case OpPrepare:
 		h, perr := sess.Prepare(req.SQL)
 		if perr != nil {
-			return &Response{Error: perr.Error()}
+			return &Response{Error: perr.Error()}, nil
 		}
-		return &Response{Handle: h}
+		return &Response{Handle: h}, nil
 	case OpExecPrepared:
 		res, err = sess.ExecPrepared(req.Handle, args)
 	case OpClosePrepared:
 		if cerr := sess.ClosePrepared(req.Handle); cerr != nil {
-			return &Response{Error: cerr.Error()}
+			return &Response{Error: cerr.Error()}, nil
 		}
-		return &Response{}
+		return &Response{}, nil
 	default:
-		return &Response{Error: fmt.Sprintf("wire: unknown operation %q", req.Op)}
+		return &Response{Error: fmt.Sprintf("wire: unknown operation %q", req.Op)}, nil
 	}
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return &Response{Error: err.Error()}, nil
 	}
-	resp := &Response{Columns: res.Columns, RowsAffected: res.RowsAffected}
-	if len(res.Rows) > 0 {
-		resp.Rows = make([][]WireValue, len(res.Rows))
-		for i, row := range res.Rows {
-			wr := make([]WireValue, len(row))
-			for j, v := range row {
-				wr[j] = ToWire(v)
-			}
-			resp.Rows[i] = wr
-		}
-	}
-	return resp
+	return &Response{Columns: res.Columns, RowsAffected: res.RowsAffected}, res.Rows
 }
 
 // Close stops accepting, closes every live connection and waits for
@@ -192,7 +230,12 @@ type Client struct {
 	metrics      *obs.Registry
 	injector     *Injector
 	frameTimeout time.Duration
+	ver          int // negotiated protocol version
 }
+
+// WireVer reports the protocol version negotiated at dial time: 0 for
+// JSON responses, 1 when the server streams binary row frames.
+func (c *Client) WireVer() int { return c.ver }
 
 // SetMetrics attaches a registry; the client then reports round-trips
 // (wire_roundtrips_total), client-observed latency
@@ -216,13 +259,52 @@ func (c *Client) SetFrameTimeout(d time.Duration) { c.frameTimeout = d }
 const DefaultFrameTimeout = 2 * time.Minute
 
 // Dial connects to a wire server, attaching any injector registered
-// for addr.
+// for addr and negotiating the highest protocol version both peers
+// speak.
 func Dial(addr string) (*Client, error) {
+	return DialVersion(addr, WireVersion)
+}
+
+// DialVersion is Dial with the client's protocol version capped at
+// maxVer; 0 skips negotiation entirely and behaves like a
+// pre-binary-codec client.
+func DialVersion(addr string, maxVer int) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, &OpError{Op: "dial", Err: fmt.Errorf("wire dial %s: %w", addr, err)}
 	}
-	return &Client{conn: conn, injector: injectorFor(addr), frameTimeout: DefaultFrameTimeout}, nil
+	c := &Client{conn: conn, injector: injectorFor(addr), frameTimeout: DefaultFrameTimeout}
+	if maxVer >= 1 {
+		if err := c.hello(maxVer); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// hello negotiates the protocol version. It deliberately bypasses
+// roundTrip: the handshake is part of dialing, so fault injectors —
+// which count application round trips — must not see it. An error
+// reply (a server that predates OpHello) downgrades to version 0.
+func (c *Client) hello(maxVer int) error {
+	if c.frameTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.frameTimeout))
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if err := WriteFrame(c.conn, &Request{Op: OpHello, WireVer: maxVer}); err != nil {
+		return &OpError{Op: "hello", Err: err}
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return &OpError{Op: "hello", Sent: true, Err: err}
+	}
+	if resp.Error != "" {
+		c.ver = 0 // old server: keep speaking JSON
+		return nil
+	}
+	c.ver = min(resp.WireVer, maxVer)
+	return nil
 }
 
 // Exec executes one statement remotely. Transport failures come back
@@ -280,6 +362,10 @@ func wireArgs(req *Request, args []sqltypes.Value) {
 // decodeResult converts a successful response into an engine result.
 func decodeResult(resp *Response) (*engine.Result, error) {
 	res := &engine.Result{Columns: resp.Columns, RowsAffected: resp.RowsAffected}
+	if resp.binRows != nil {
+		res.Rows = resp.binRows
+		return res, nil
+	}
 	if len(resp.Rows) > 0 {
 		res.Rows = make([]sqltypes.Row, len(resp.Rows))
 		for i, wr := range resp.Rows {
@@ -338,8 +424,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	if c.frameTimeout > 0 {
 		_ = c.conn.SetReadDeadline(time.Now().Add(c.frameTimeout))
 	}
-	var resp Response
-	rn, err := ReadFrameN(c.conn, &resp)
+	payload, rn, err := readRawFrameN(c.conn)
 	if c.frameTimeout > 0 {
 		_ = c.conn.SetReadDeadline(time.Time{})
 	}
@@ -353,10 +438,14 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		// though the response was lost. Not retryable at this layer.
 		return nil, &OpError{Op: "read", Sent: true, Err: err}
 	}
+	resp, err := decodeResponsePayload(payload)
+	if err != nil {
+		return nil, &OpError{Op: "read", Sent: true, Err: err}
+	}
 	if resp.Error != "" {
 		return nil, errors.New(resp.Error)
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // Close closes the connection.

@@ -40,6 +40,11 @@ const (
 	OpExecPrepared = "exec_prepared"
 	// OpClosePrepared releases a handle.
 	OpClosePrepared = "close_prepared"
+	// OpHello negotiates the protocol version for a connection. Servers
+	// that predate it answer with an unknown-operation error, which
+	// clients treat as version 0 (JSON responses) — so mixed-version
+	// pairs degrade transparently instead of failing.
+	OpHello = "hello"
 )
 
 // Request is one client → server message.
@@ -53,6 +58,9 @@ type Request struct {
 	Handle int64 `json:"handle,omitempty"`
 	// Args are the bind parameters.
 	Args []WireValue `json:"args,omitempty"`
+	// WireVer is the highest protocol version the client speaks
+	// (OpHello only).
+	WireVer int `json:"wireVer,omitempty"`
 }
 
 // Response is one server → client message.
@@ -67,6 +75,13 @@ type Response struct {
 	Rows [][]WireValue `json:"rows,omitempty"`
 	// RowsAffected counts changed rows for DML.
 	RowsAffected int64 `json:"rowsAffected"`
+	// WireVer is the version the server settled on (OpHello replies
+	// only).
+	WireVer int `json:"wireVer,omitempty"`
+
+	// binRows carries rows decoded from a binary frame; JSON responses
+	// leave it nil and use Rows instead.
+	binRows []sqltypes.Row
 }
 
 // WireValue is the JSON encoding of one sqltypes.Value. Exactly one
@@ -173,6 +188,60 @@ func WriteFrameN(w io.Writer, msg any) (int, error) {
 		return len(hdr), fmt.Errorf("wire: write payload: %w", err)
 	}
 	return len(hdr) + len(payload), nil
+}
+
+// writeRawFrameN sends one length-prefixed payload without re-encoding
+// it (the binary response path builds its payload directly).
+func writeRawFrameN(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > MaxFrameSize {
+		return 0, fmt.Errorf("outgoing frame of %d bytes: %w", len(payload), ErrFrameTooLarge)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return len(hdr), fmt.Errorf("wire: write payload: %w", err)
+	}
+	return len(hdr) + len(payload), nil
+}
+
+// readRawFrameN receives one length-prefixed payload verbatim, letting
+// the caller dispatch on the encoding (binary frames start with
+// binaryMagic, JSON ones with '{').
+func readRawFrameN(r io.Reader) ([]byte, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err // io.EOF passes through for clean connection close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, len(hdr), fmt.Errorf("incoming frame of %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, len(hdr), fmt.Errorf("wire: read payload: %w", err)
+	}
+	return payload, len(hdr) + int(n), nil
+}
+
+// decodeResponsePayload turns a raw response payload into a Response,
+// accepting either encoding. Binary rows land in resp.binRows.
+func decodeResponsePayload(payload []byte) (*Response, error) {
+	if len(payload) > 0 && payload[0] == binaryMagic {
+		resp, rows, err := DecodeBinaryResponse(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp.binRows = rows
+		return resp, nil
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &resp, nil
 }
 
 // readFrameTimed is ReadFrameN for a net.Conn with the payload under a

@@ -165,8 +165,14 @@ func runCrashRecovery(t *testing.T, profile string, mode sqloop.Mode, query stri
 		}
 	}))
 	opts.Observer = observer
+	// EveryRounds must be 1: the async schedulers checkpoint when the
+	// minimum per-partition round counter hits a multiple of K, and on
+	// this small graph some schedules reach quiescence before every
+	// partition finishes round 2 — with K=2 the fault would then never
+	// arm. Every partition completes round 1 before quiescence, so K=1
+	// guarantees a checkpoint in every schedule.
 	opts.Checkpoint = sqloop.CheckpointOptions{
-		Dir: t.TempDir(), EveryRounds: 2, RetryBackoff: time.Millisecond,
+		Dir: t.TempDir(), EveryRounds: 1, RetryBackoff: time.Millisecond,
 	}
 	s, err := sqloop.Open(dsn, opts)
 	if err != nil {

@@ -127,9 +127,10 @@ var embeddedSeq atomic.Int64
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	cost        bool
-	observer    obs.Tracer
-	noStmtCache bool
+	cost          bool
+	observer      obs.Tracer
+	noStmtCache   bool
+	noExprCompile bool
 }
 
 // WithCostModel enables the calibrated latency model used by the
@@ -152,6 +153,15 @@ func WithObserver(t Tracer) OpenOption {
 // execution, the behaviour before prepared statements existed.
 func WithoutStmtCache() OpenOption {
 	return func(c *openConfig) { c.noStmtCache = true }
+}
+
+// WithoutExprCompile disables the embedded engine's expression
+// compiler (the option-API form of Options.DisableExprCompile, and the
+// only form Serve accepts). Expressions are then interpreted from
+// their ASTs on every row — the A/B baseline for compile-ablation
+// benchmarks.
+func WithoutExprCompile() OpenOption {
+	return func(c *openConfig) { c.noExprCompile = true }
 }
 
 func applyOpenOptions(extra []OpenOption) openConfig {
@@ -180,6 +190,9 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 	if oc.noStmtCache {
 		cfg.StmtCacheSize = -1
 		opts.DisableStmtCache = true
+	}
+	if oc.noExprCompile || opts.DisableExprCompile {
+		cfg.DisableExprCompile = true
 	}
 	if oc.observer != nil {
 		opts.Observer = obs.Multi(opts.Observer, oc.observer)
@@ -237,6 +250,9 @@ func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	}
 	if oc.noStmtCache {
 		cfg.StmtCacheSize = -1
+	}
+	if oc.noExprCompile {
+		cfg.DisableExprCompile = true
 	}
 	eng := engine.New(cfg)
 	srv := wire.NewServer(eng)
