@@ -14,15 +14,18 @@ test:
 	$(GO) test ./...
 
 # The parallel executors, the observability layer, the checkpoint store,
-# the fault-injected transport/driver and the engine's compiled-program
-# cache are the concurrency hot spots; the root package holds the
-# crash-recovery matrix. Keep them race-clean.
+# the fault-injected transport/driver, the engine's compiled-program
+# cache and the shard partitioner are the concurrency hot spots; the
+# root package holds the crash-recovery matrix. Keep them race-clean.
 race:
-	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver
+	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard
 
-# The snapshot codec must reject arbitrary corruption without panicking.
+# The snapshot codec must reject arbitrary corruption without panicking,
+# and the shard router must stay bit-compatible with the engine's
+# PARTHASH for every key and shard count.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=10s ./internal/ckpt
+	$(GO) test -run=NONE -fuzz=FuzzShardRouteRoundTrip -fuzztime=10s ./internal/shard
 
 # Tier-1 verification (ROADMAP.md): everything must stay green.
 tier1: build vet test race

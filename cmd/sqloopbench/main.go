@@ -19,8 +19,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4 or all")
-	out := flag.String("out", "BENCH_PR4.json", "output path for the -fig pr4 report")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards or all")
+	out := flag.String("out", "", "output path for the -fig pr4 / -fig shards report")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -52,6 +52,12 @@ func main() {
 	}
 	if *parts > 0 {
 		sc.Partitions = *parts
+	}
+	if *out == "" {
+		*out = "BENCH_PR4.json"
+		if *fig == "shards" {
+			*out = "BENCH_PR5.json"
+		}
 	}
 
 	if err := run(*fig, *query, *out, sc); err != nil {
@@ -102,6 +108,11 @@ func run(fig, query, out string, sc bench.Scale) error {
 	}
 	if fig == "pr4" {
 		if err := bench.PR4Fig(ctx, w, sc, out); err != nil {
+			return err
+		}
+	}
+	if fig == "shards" {
+		if err := bench.PR5Fig(ctx, w, sc, out); err != nil {
 			return err
 		}
 	}

@@ -33,6 +33,7 @@ func run() error {
 		profile   = flag.String("profile", "pgsim", "embedded engine profile")
 		modeName  = flag.String("mode", "auto", "execution mode: auto, single, sync, async, asyncp")
 		threads   = flag.Int("threads", 0, "worker threads (0: half the CPUs)")
+		shards    = flag.Int("shards", 1, "embedded engine endpoints; >1 runs iterative CTEs scale-out across a shard group")
 		parts     = flag.Int("partitions", 0, "hash partitions (0: 256)")
 		prio      = flag.String("priority", "", "AsyncP priority query ($PART placeholder)")
 		exec      = flag.String("e", "", "SQL to execute")
@@ -68,7 +69,11 @@ func run() error {
 	}
 
 	var db *sqloop.SQLoop
+	var group *sqloop.ShardGroup
 	if *dsn != "" {
+		if *shards > 1 {
+			return fmt.Errorf("-shards needs the embedded engine; omit -dsn or use a Router shard group programmatically")
+		}
 		db, err = sqloop.Open(*dsn, opts)
 	} else {
 		var extra []sqloop.OpenOption
@@ -81,17 +86,33 @@ func run() error {
 		if *noCompile {
 			extra = append(extra, sqloop.WithoutExprCompile())
 		}
-		db, err = sqloop.OpenEmbedded(*profile, opts, extra...)
+		if *shards > 1 {
+			group, err = sqloop.OpenEmbeddedShards(*profile, *shards, opts, extra...)
+			if err == nil {
+				db = group.Shard(0)
+			}
+		} else {
+			db, err = sqloop.OpenEmbedded(*profile, opts, extra...)
+		}
 	}
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	if group != nil {
+		defer group.Close()
+	} else {
+		defer db.Close()
+	}
 
 	if *dataset != "" {
-		n, err := sqloop.LoadDataset(db, *dataset, *nodes, 42)
-		if err != nil {
-			return err
+		// A shard group keeps base relations whole on every endpoint; only
+		// the iterative working table is hash-partitioned.
+		var n int
+		for _, target := range dataTargets(db, group) {
+			n, err = sqloop.LoadDataset(target, *dataset, *nodes, 42)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Printf("loaded %s: %d nodes, %d edges\n", *dataset, *nodes, n)
 	}
@@ -155,7 +176,12 @@ func run() error {
 	}
 
 	start := time.Now()
-	res, err := db.ExecScript(context.Background(), sqlText)
+	var res *sqloop.Result
+	if group != nil {
+		res, err = group.ExecScript(context.Background(), sqlText)
+	} else {
+		res, err = db.ExecScript(context.Background(), sqlText)
+	}
 	if err != nil {
 		return err
 	}
@@ -167,15 +193,31 @@ func run() error {
 	fmt.Printf("-- %v", time.Since(start).Round(time.Millisecond))
 	if res.Stats.Iterations > 0 {
 		fmt.Printf(", %d iterations, mode %s", res.Stats.Iterations, res.Stats.Mode)
+		if res.Stats.ShardCount > 1 {
+			fmt.Printf(", %d shards (%d rows exchanged)", res.Stats.ShardCount, res.Stats.CrossShardRows)
+		}
 		if res.Stats.FallbackReason != "" {
 			fmt.Printf(" (fell back to single-threaded: %s)", res.Stats.FallbackReason)
 		}
 	}
 	fmt.Println()
 	if *metrics {
-		fmt.Print(db.Metrics().Snapshot().Format())
+		if group != nil {
+			fmt.Print(group.Metrics().Snapshot().Format())
+		} else {
+			fmt.Print(db.Metrics().Snapshot().Format())
+		}
 	}
 	return nil
+}
+
+// dataTargets lists the instances a dataset load must reach: the single
+// instance, or every endpoint of a shard group.
+func dataTargets(db *sqloop.SQLoop, group *sqloop.ShardGroup) []*sqloop.SQLoop {
+	if group == nil {
+		return []*sqloop.SQLoop{db}
+	}
+	return group.Shards()
 }
 
 // repl reads statements from stdin. SQL accumulates until a line ends

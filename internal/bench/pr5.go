@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"sqloop/internal/core"
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/graph"
+)
+
+// PR5Run is one scale-out measurement in BENCH_PR5.json: an engine ×
+// mode × shard-count cell of the sharded SSSP experiment, with the wall
+// time, round count and the number of delta rows shipped between shards.
+type PR5Run struct {
+	Figure         string  `json:"figure"`
+	Backend        string  `json:"backend"` // heap | btree | lsm
+	Profile        string  `json:"profile"`
+	Mode           string  `json:"mode"`
+	Shards         int     `json:"shards"`
+	Rounds         int     `json:"rounds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	CrossShardRows int64   `json:"cross_shard_rows"`
+	Result         float64 `json:"result"`
+}
+
+// PR5Report is the top-level BENCH_PR5.json document (schema in
+// EXPERIMENTS.md).
+type PR5Report struct {
+	Figure string   `json:"figure"`
+	Runs   []PR5Run `json:"runs"`
+}
+
+// pr5ShardCounts is the scale-out axis: the same query on one, two and
+// four engine endpoints.
+var pr5ShardCounts = []int{1, 2, 4}
+
+// pr5Modes is the scheduler axis; ModeSingle is covered by the 1-shard
+// delegation path already, so only the parallel schedulers sweep here.
+var pr5Modes = []core.Mode{core.ModeSync, core.ModeAsync, core.ModeAsyncPrio}
+
+// runSharded executes query on a fresh group of n embedded engines with
+// the dataset loaded on every shard, returning the result and wall time.
+func runSharded(ctx context.Context, cfg Config, n int, query string) (*core.Result, time.Duration, error) {
+	engCfg, err := engine.Profile(cfg.Profile)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.WithCost {
+		engCfg.Cost = engine.DefaultCost(engCfg.Dialect)
+	}
+	opts := core.Options{
+		Mode:          cfg.Mode,
+		Threads:       cfg.Threads,
+		Partitions:    cfg.Partitions,
+		Dialect:       engCfg.Dialect.String(),
+		PriorityQuery: cfg.Priority,
+	}
+	handles := make([]string, 0, n)
+	unregister := func() {
+		for _, h := range handles {
+			driver.UnregisterEngine(h)
+		}
+	}
+	shards := make([]*core.SQLoop, 0, n)
+	for i := 0; i < n; i++ {
+		handle := "bench-shard-" + strconv.FormatInt(handleSeq.Add(1), 10)
+		driver.RegisterEngine(handle, engine.New(engCfg))
+		handles = append(handles, handle)
+		s, err := core.Open(driver.DriverName, driver.InprocDSN(handle), opts)
+		if err != nil {
+			for _, sh := range shards {
+				_ = sh.Close()
+			}
+			unregister()
+			return nil, 0, err
+		}
+		shards = append(shards, s)
+	}
+	grp, err := core.NewShardGroup(shards, opts, true)
+	if err != nil {
+		for _, sh := range shards {
+			_ = sh.Close()
+		}
+		unregister()
+		return nil, 0, err
+	}
+	defer func() {
+		_ = grp.Close()
+		unregister()
+	}()
+
+	g, err := graph.ByName(cfg.Dataset, cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Every shard holds the full edge relation; the group hash-partitions
+	// only the working table.
+	for i := 0; i < n; i++ {
+		if err := graph.Load(ctx, grp.Shard(i).DB(), "edges", g, 500); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	started := time.Now()
+	res, err := grp.Exec(ctx, query)
+	elapsed := time.Since(started)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, elapsed, nil
+}
+
+// pr5Scalar extracts the single numeric result cell (the SSSP distance).
+func pr5Scalar(res *core.Result) float64 {
+	if res == nil || len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+		return 0
+	}
+	switch v := res.Rows[0][0].(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		return 0
+	}
+}
+
+// PR5Fig reruns sharded SSSP across every engine backend, scheduler and
+// shard count, verifies every shard count of a cell agrees bit for bit,
+// and writes the measurements to outPath as BENCH_PR5.json.
+func PR5Fig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	report := &PR5Report{Figure: "pr5"}
+	for _, eng := range sc.Engines {
+		backend := backendFor(eng)
+		fmt.Fprintf(w, "\n== PR5 / sharded SSSP with %s (%s): scale-out across engine endpoints ==\n",
+			EngineLabel(eng), backend)
+		fmt.Fprintf(w, "%-8s %8s %10s %8s %12s %10s\n",
+			"mode", "shards", "time(s)", "rounds", "exchanged", "result")
+		for _, mode := range pr5Modes {
+			results := make([]float64, 0, len(pr5ShardCounts))
+			for _, n := range pr5ShardCounts {
+				cfg := Config{
+					Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+					Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+					WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+				}
+				res, elapsed, err := runSharded(ctx, cfg, n, SSSPQuery(sc.SSSPDest))
+				if err != nil {
+					return fmt.Errorf("pr5 %s/%s/%d shards: %w", eng, ModeLabel(mode), n, err)
+				}
+				val := pr5Scalar(res)
+				results = append(results, val)
+				fmt.Fprintf(w, "%-8s %8d %10.3f %8d %12d %10.3f\n",
+					ModeLabel(mode), n, elapsed.Seconds(), res.Stats.Iterations,
+					res.Stats.CrossShardRows, val)
+				report.Runs = append(report.Runs, PR5Run{
+					Figure: "pr5-sssp", Backend: backend, Profile: eng,
+					Mode: ModeLabel(mode), Shards: n,
+					Rounds: res.Stats.Iterations, WallSeconds: elapsed.Seconds(),
+					CrossShardRows: res.Stats.CrossShardRows, Result: val,
+				})
+			}
+			for _, v := range results[1:] {
+				if v != results[0] {
+					return fmt.Errorf("pr5 %s/%s: results diverge across shard counts: %v",
+						eng, ModeLabel(mode), results)
+				}
+			}
+		}
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d runs)\n", outPath, len(report.Runs))
+	return nil
+}

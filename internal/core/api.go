@@ -246,6 +246,13 @@ type ExecStats struct {
 	// Recoveries counts how many times this Exec call restarted from a
 	// snapshot after a recoverable failure.
 	Recoveries int
+	// ShardCount is how many engine endpoints executed the CTE (0 for a
+	// plain single-instance run, 1 when a shard group fell back to a
+	// whole-run on one shard).
+	ShardCount int
+	// CrossShardRows counts message rows routed between shards over the
+	// whole execution (0 unless ShardCount > 1).
+	CrossShardRows int64
 }
 
 // RoundStats is the trace of one completed round/iteration.

@@ -1,0 +1,434 @@
+package core
+
+// Differential conformance suite for sharded execution: the same
+// iterative CTE runs on one instance and on a shard group, and the
+// final result sets must match BIT-IDENTICALLY — same columns, same row
+// order (the finals sort on the unique key), same Go types, same
+// values. Only schedule-independent fix points qualify: SSSP (MIN over
+// path sums), connected components (MIN label propagation) and a
+// PageRank variant on a DAG whose weights, damping factor and seed are
+// dyadic rationals, so every float operation is exact and SUM order
+// cannot matter.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/obs"
+)
+
+// newTestShardGroup builds a ShardGroup of n fresh embedded engines of
+// the named profile. The group borrows the shards (own = false); their
+// lifecycle belongs to t.Cleanup.
+func newTestShardGroup(t *testing.T, profile string, n int, opts Options) *ShardGroup {
+	t.Helper()
+	cfg, err := engine.Profile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Dialect = cfg.Dialect.String()
+	shards := make([]*SQLoop, n)
+	for i := range shards {
+		eng := engine.New(cfg)
+		handle := fmt.Sprintf("%s-shard%d-%p", strings.ReplaceAll(t.Name(), "/", "_"), i, &shards)
+		driver.RegisterEngine(handle, eng)
+		t.Cleanup(func() { driver.UnregisterEngine(handle) })
+		s, err := Open(driver.DriverName, driver.InprocDSN(handle), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		shards[i] = s
+	}
+	g, err := NewShardGroup(shards, opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// shardEdge is one weighted directed edge of a conformance graph.
+type shardEdge struct {
+	src, dst int64
+	w        float64
+}
+
+// diffGraph has two weakly-connected components, cycles and enough
+// diameter that every fix point below needs at least three rounds.
+var diffGraph = []shardEdge{
+	{1, 2, 1}, {2, 3, 1}, {3, 4, 2}, {4, 5, 1}, {5, 6, 3},
+	{6, 2, 1}, {1, 7, 10}, {7, 6, 1}, {3, 8, 2}, {8, 9, 1},
+	{9, 10, 1}, {10, 8, 4},
+	{20, 21, 1}, {21, 22, 2}, {22, 20, 1}, // separate component
+}
+
+// diffDAG is a layered DAG whose out-degrees are all powers of two, so
+// the 1/outdeg edge weights are dyadic rationals and PageRank-style
+// accumulation is exact in binary floating point.
+var diffDAG = []shardEdge{
+	{1, 2, 0}, {1, 3, 0},
+	{2, 4, 0}, {2, 5, 0}, {3, 5, 0}, {3, 6, 0},
+	{4, 7, 0}, {5, 7, 0}, {5, 8, 0}, {6, 8, 0},
+	{7, 9, 0}, {7, 10, 0}, {8, 10, 0},
+	{9, 11, 0}, {10, 11, 0}, {10, 12, 0},
+}
+
+// loadShardFixtures creates the conformance relations through exec so
+// the same statements hit the single instance and (broadcast) every
+// shard: edges (weighted, directed), biedges (both directions, weight
+// 0, for label propagation) and dag (out-degree-normalized dyadic
+// weights).
+func loadShardFixtures(t *testing.T, exec func(string) (*Result, error)) {
+	t.Helper()
+	must := func(q string) {
+		t.Helper()
+		if _, err := exec(q); err != nil {
+			t.Fatalf("fixture %q: %v", q, err)
+		}
+	}
+	must(`CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`)
+	must(`CREATE TABLE biedges (src BIGINT, dst BIGINT, weight DOUBLE)`)
+	must(`CREATE TABLE dag (src BIGINT, dst BIGINT, weight DOUBLE)`)
+	var rows, birows []string
+	nodes := map[int64]bool{}
+	for _, e := range diffGraph {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %g)", e.src, e.dst, e.w))
+		birows = append(birows,
+			fmt.Sprintf("(%d, %d, 0.0)", e.src, e.dst),
+			fmt.Sprintf("(%d, %d, 0.0)", e.dst, e.src))
+		nodes[e.src], nodes[e.dst] = true, true
+	}
+	// Self-loops make synchronous min-propagation monotone: without
+	// them a bipartite component's deltas oscillate between its two
+	// color classes forever and UNTIL 0 UPDATES never quiesces.
+	for n := range nodes {
+		birows = append(birows, fmt.Sprintf("(%d, %d, 0.0)", n, n))
+	}
+	must(`INSERT INTO edges VALUES ` + strings.Join(rows, ", "))
+	must(`INSERT INTO biedges VALUES ` + strings.Join(birows, ", "))
+	outdeg := map[int64]int{}
+	for _, e := range diffDAG {
+		outdeg[e.src]++
+	}
+	var dagRows []string
+	for _, e := range diffDAG {
+		dagRows = append(dagRows, fmt.Sprintf("(%d, %d, %g)", e.src, e.dst, 1.0/float64(outdeg[e.src])))
+	}
+	must(`INSERT INTO dag VALUES ` + strings.Join(dagRows, ", "))
+}
+
+// The conformance queries. Every final sorts on the unique key so row
+// order is part of the bit-identity contract.
+
+const shardSSSP = `
+WITH ITERATIVE sssp(Node, Distance, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, sssp.Delta),
+         COALESCE(MIN(Neighbor.Distance + IncomingEdges.weight), Infinity)
+  FROM sssp
+  LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst
+  LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY sssp.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Distance FROM sssp ORDER BY Node`
+
+const shardCC = `
+WITH ITERATIVE cc(Node, Label, Delta) AS (
+  SELECT src, src + 0.0, src + 0.0
+  FROM (SELECT src FROM biedges UNION SELECT dst AS src FROM biedges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT cc.Node,
+         LEAST(cc.Label, cc.Delta),
+         COALESCE(MIN(Neighbor.Delta + Links.weight), Infinity)
+  FROM cc
+  LEFT JOIN biedges AS Links ON cc.Node = Links.dst
+  LEFT JOIN cc AS Neighbor ON Neighbor.Node = Links.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY cc.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Label FROM cc ORDER BY Node`
+
+const shardDAGRank = `
+WITH ITERATIVE dagrank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.25
+  FROM (SELECT src FROM dag UNION SELECT dst AS src FROM dag) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT dagrank.Node,
+         COALESCE(dagrank.Rank + dagrank.Delta, 0.25),
+         COALESCE(0.5 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM dagrank
+  LEFT JOIN dag AS IncomingEdges ON dagrank.Node = IncomingEdges.dst
+  LEFT JOIN dagrank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY dagrank.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Rank + Delta AS Rank FROM dagrank ORDER BY Node`
+
+// shardDAGRankExpr is the same fix point terminated by a decomposable
+// aggregate UNTIL, exercising the cross-shard termination merge.
+const shardDAGRankExpr = `
+WITH ITERATIVE dagrank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.25
+  FROM (SELECT src FROM dag UNION SELECT dst AS src FROM dag) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT dagrank.Node,
+         COALESCE(dagrank.Rank + dagrank.Delta, 0.25),
+         COALESCE(0.5 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM dagrank
+  LEFT JOIN dag AS IncomingEdges ON dagrank.Node = IncomingEdges.dst
+  LEFT JOIN dagrank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY dagrank.Node
+  UNTIL (SELECT MAX(dagrank.Delta) FROM dagrank) < 0.0000001
+)
+SELECT Node, Rank + Delta AS Rank FROM dagrank ORDER BY Node`
+
+// requireIdenticalRows compares two results for bit identity: columns,
+// row count, row order, and the exact Go type and value of every cell.
+func requireIdenticalRows(t *testing.T, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Columns, got.Columns) {
+		t.Fatalf("columns differ: want %v, got %v", want.Columns, got.Columns)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("row counts differ: want %d, got %d", len(want.Rows), len(got.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			w, g := want.Rows[i][j], got.Rows[i][j]
+			if reflect.TypeOf(w) != reflect.TypeOf(g) || !reflect.DeepEqual(w, g) {
+				t.Fatalf("row %d col %d: want %T(%v), got %T(%v)", i, j, w, w, g, g)
+			}
+		}
+	}
+}
+
+// singleNodeReference runs the query on one instance in ModeSingle.
+func singleNodeReference(t *testing.T, profile, query string) *Result {
+	t.Helper()
+	g := newTestShardGroup(t, profile, 1, Options{Mode: ModeSingle})
+	loadShardFixtures(t, func(q string) (*Result, error) {
+		return g.Exec(context.Background(), q)
+	})
+	res, err := g.Exec(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedDifferential is the conformance matrix: every storage
+// profile x execution mode x shard count x query must reproduce the
+// single-node ModeSingle result bit for bit.
+func TestShardedDifferential(t *testing.T) {
+	queries := map[string]string{
+		"sssp":        shardSSSP,
+		"cc":          shardCC,
+		"dagrank":     shardDAGRank,
+		"dagrankExpr": shardDAGRankExpr,
+	}
+	profiles := []string{"pgsim", "mysim", "mariasim"}
+	modes := []Mode{ModeSync, ModeAsync, ModeAsyncPrio}
+	for _, profile := range profiles {
+		t.Run(profile, func(t *testing.T) {
+			for name, query := range queries {
+				want := singleNodeReference(t, profile, query)
+				for _, mode := range modes {
+					for _, n := range []int{1, 2, 4} {
+						t.Run(fmt.Sprintf("%s/%s/%dshards", name, mode, n), func(t *testing.T) {
+							g := newTestShardGroup(t, profile, n, Options{Mode: mode})
+							ctx := context.Background()
+							loadShardFixtures(t, func(q string) (*Result, error) {
+								return g.Exec(ctx, q)
+							})
+							res, err := g.Exec(ctx, query)
+							if err != nil {
+								t.Fatal(err)
+							}
+							requireIdenticalRows(t, want, res)
+							if n > 1 {
+								if res.Stats.ShardCount != n {
+									t.Errorf("ShardCount = %d, want %d", res.Stats.ShardCount, n)
+								}
+								if !res.Stats.Parallelized {
+									t.Error("sharded run did not report Parallelized")
+								}
+								if res.Stats.FallbackReason != "" {
+									t.Errorf("sharded run fell back: %s", res.Stats.FallbackReason)
+								}
+							} else if res.Stats.ShardCount != 1 {
+								t.Errorf("single-shard group ShardCount = %d, want 1", res.Stats.ShardCount)
+							}
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCrossShardTraffic pins the observability contract: a
+// multi-shard run over a connected graph must actually exchange rows,
+// report them in ExecStats and the metrics registry, and emit
+// shard_exchange events.
+func TestShardedCrossShardTraffic(t *testing.T) {
+	rec := &obs.Recorder{}
+	g := newTestShardGroup(t, "pgsim", 4, Options{Mode: ModeSync, Observer: rec})
+	ctx := context.Background()
+	loadShardFixtures(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
+	res, err := g.Exec(ctx, shardSSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CrossShardRows == 0 {
+		t.Error("CrossShardRows = 0 for a connected graph on 4 shards")
+	}
+	if rec.Count("shard_exchange") == 0 {
+		t.Error("no shard_exchange events were emitted")
+	}
+	snap := g.Metrics().Snapshot()
+	if snap.Counters["sqloop_shard_rows_exchanged"] != res.Stats.CrossShardRows {
+		t.Errorf("metric sqloop_shard_rows_exchanged = %d, want %d",
+			snap.Counters["sqloop_shard_rows_exchanged"], res.Stats.CrossShardRows)
+	}
+	if rec.Count("exec_start") != 1 || rec.Count("exec_end") != 1 {
+		t.Errorf("exec bracket events: start=%d end=%d, want 1/1",
+			rec.Count("exec_start"), rec.Count("exec_end"))
+	}
+	if rec.Count("round_end") != res.Stats.Iterations {
+		t.Errorf("round_end events = %d, want %d", rec.Count("round_end"), res.Stats.Iterations)
+	}
+}
+
+// TestShardedFallbacks pins the downgrade paths: recursive CTEs,
+// ModeSingle and non-decomposable UNTIL conditions all run whole on
+// shard 0 and still return correct results.
+func TestShardedFallbacks(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("recursive", func(t *testing.T) {
+		g := newTestShardGroup(t, "pgsim", 2, Options{})
+		loadShardFixtures(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
+		res, err := g.Exec(ctx, `
+WITH RECURSIVE reach(Node) AS (
+  VALUES (1)
+  UNION
+  SELECT dst FROM reach, edges WHERE reach.Node = edges.src
+)
+SELECT Node FROM reach ORDER BY Node`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.ShardCount != 1 {
+			t.Errorf("recursive CTE ShardCount = %d, want 1", res.Stats.ShardCount)
+		}
+		// Nodes reachable from 1 in diffGraph: the whole first component.
+		if len(res.Rows) != 10 {
+			t.Errorf("reach returned %d rows, want 10", len(res.Rows))
+		}
+	})
+
+	t.Run("undecomposable-until", func(t *testing.T) {
+		rec := &obs.Recorder{}
+		g := newTestShardGroup(t, "pgsim", 2, Options{Mode: ModeSync, Observer: rec})
+		loadShardFixtures(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
+		// DISTINCT inside the UNTIL aggregate blocks the cross-shard
+		// merge (COUNT DISTINCT does not decompose) but not the
+		// single-node parallel plan.
+		query := strings.Replace(shardDAGRankExpr,
+			"(SELECT MAX(dagrank.Delta) FROM dagrank) < 0.0000001",
+			"(SELECT COUNT(DISTINCT dagrank.Delta) FROM dagrank) < 2", 1)
+		res, err := g.Exec(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.ShardCount != 1 {
+			t.Errorf("ShardCount = %d, want 1 after termination fallback", res.Stats.ShardCount)
+		}
+		if res.Stats.FallbackReason == "" {
+			t.Error("fallback reason missing from stats")
+		}
+		if rec.Count("fallback") == 0 {
+			t.Error("no fallback event emitted for undecomposable UNTIL")
+		}
+	})
+}
+
+// TestShardedBroadcastErrors pins the broadcast contract: a statement
+// that fails on any shard reports which shard failed.
+func TestShardedBroadcastErrors(t *testing.T) {
+	g := newTestShardGroup(t, "pgsim", 2, Options{})
+	ctx := context.Background()
+	if _, err := g.Exec(ctx, `SELECT * FROM nope`); err == nil ||
+		!strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("broadcast error = %v, want shard-indexed error", err)
+	}
+}
+
+// TestShardedCheckpointResume runs a sharded execution with
+// checkpointing, puts the first snapshot back after the clean run has
+// removed it (the crashed-process simulation of the single-node suite),
+// and requires the resumed sharded run to restore every shard's
+// partition and still match the single-node result bit for bit.
+func TestShardedCheckpointResume(t *testing.T) {
+	want := singleNodeReference(t, "pgsim", shardSSSP)
+	for _, mode := range []Mode{ModeSync, ModeAsync} {
+		for _, n := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/%dshards", mode, n), func(t *testing.T) {
+				dir := t.TempDir()
+				keeper := newSnapshotKeeper(dir)
+				rec := &obs.Recorder{}
+				g := newTestShardGroup(t, "pgsim", n, Options{
+					Mode:       mode,
+					Observer:   obs.Multi(rec, keeper),
+					Checkpoint: CheckpointOptions{Dir: dir, EveryRounds: 1},
+				})
+				ctx := context.Background()
+				loadShardFixtures(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
+
+				res, err := g.Exec(ctx, shardSSSP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.ResumedFromRound != 0 {
+					t.Fatalf("fresh run reports ResumedFromRound = %d", res.Stats.ResumedFromRound)
+				}
+				if rec.Count("checkpoint") < 1 {
+					t.Fatal("no checkpoint events were emitted")
+				}
+				requireIdenticalRows(t, want, res)
+
+				keeper.restore(t)
+				res2, err := g.Exec(ctx, shardSSSP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res2.Stats.ResumedFromRound < 1 {
+					t.Fatalf("ResumedFromRound = %d, want >= 1", res2.Stats.ResumedFromRound)
+				}
+				if res2.Stats.ShardCount != n {
+					t.Fatalf("resumed ShardCount = %d, want %d", res2.Stats.ShardCount, n)
+				}
+				if rec.Count("restore") != 1 {
+					t.Fatalf("restore events = %d, want 1", rec.Count("restore"))
+				}
+				requireIdenticalRows(t, want, res2)
+			})
+		}
+	}
+}

@@ -1,0 +1,1393 @@
+package core
+
+// Scale-out execution (shard-parallel): one iterative CTE executes
+// across N engine endpoints at once. Each shard is a full SQLoop
+// instance bound to its own engine (embedded or remote, mixed backends
+// allowed); every shard holds the complete input relations but exactly
+// one hash partition of the CTE table. The plan generator's partition
+// count is the shard count, so PARTHASH(id, S) = s names the rows shard
+// s owns, and the per-partition Compute/Gather statements of §V-C run
+// unchanged — each against its shard's local partition.
+//
+// What is new versus the in-process parallel executor is the delta
+// exchange: a shard's message table holds rows for every destination
+// id, but only the locally-owned rows are reachable by the local
+// gather. After each compute wave the coordinator reads each shard's
+// remote-owned message rows (PARTHASH(id, S) <> s), routes them Go-side
+// with shard.Route — which hashes bit-identically to the engines'
+// PARTHASH — ships them through the shard batch codec, and inserts them
+// as receive tables on their owning shards. Termination conditions are
+// merged at the coordinator: iteration counts globally, update counts
+// sum, and aggregate UNTIL expressions are decomposed per §V-D
+// (SUM/COUNT add, MIN/MAX fold, AVG ships as SUM+COUNT).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqloop/internal/ckpt"
+	"sqloop/internal/obs"
+	"sqloop/internal/shard"
+	"sqloop/internal/sqlparser"
+	"sqloop/internal/sqltypes"
+)
+
+// ShardGroup executes statements across a fixed set of SQLoop
+// instances, one per engine endpoint. Iterative CTEs run sharded;
+// everything else is broadcast to every shard (each shard must see the
+// same base relations for a sharded execution to be meaningful).
+type ShardGroup struct {
+	shards []*SQLoop
+	opts   Options
+	owned  bool
+	// tracer and metrics are the group's own: coordinator-level events
+	// (rounds, exchanges, termination checks) land here, while each
+	// shard's statement-level instruments stay in its own registry.
+	tracer  obs.Tracer
+	metrics *obs.Registry
+}
+
+// NewShardGroup builds a group over existing instances. With own set
+// the group closes the shards on Close; borrowed shards (e.g. router
+// targets) stay open.
+func NewShardGroup(shards []*SQLoop, opts Options, own bool) (*ShardGroup, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: shard group needs at least one shard")
+	}
+	opts = opts.withDefaults()
+	tracer := obs.Multi(opts.Observer, onRoundTracer(opts.OnRound))
+	if tracer == nil {
+		tracer = obs.NopTracer{}
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	return &ShardGroup{shards: shards, opts: opts, owned: own, tracer: tracer, metrics: metrics}, nil
+}
+
+// Size returns the number of shards.
+func (g *ShardGroup) Size() int { return len(g.shards) }
+
+// Shards returns the member instances in shard order.
+func (g *ShardGroup) Shards() []*SQLoop { return append([]*SQLoop(nil), g.shards...) }
+
+// Shard returns the instance executing partition i.
+func (g *ShardGroup) Shard(i int) *SQLoop { return g.shards[i] }
+
+// Options returns the group's effective options.
+func (g *ShardGroup) Options() Options { return g.opts }
+
+// Metrics returns the group-level registry (cross-shard rows,
+// checkpoint and round counters).
+func (g *ShardGroup) Metrics() *obs.Registry { return g.metrics }
+
+// Close releases owned shards.
+func (g *ShardGroup) Close() error {
+	if !g.owned {
+		return nil
+	}
+	var errs []error
+	for _, sh := range g.shards {
+		if err := sh.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// signature identifies this exact shard topology for checkpoint keys: a
+// snapshot taken by a 4-shard group must never be restored by a 2-shard
+// group or a plain instance.
+func (g *ShardGroup) signature() string {
+	dsns := make([]string, len(g.shards))
+	for i, sh := range g.shards {
+		dsns[i] = sh.dsn
+	}
+	return strings.Join(dsns, ";") + "|shards=" + strconv.Itoa(len(g.shards))
+}
+
+// loopFor builds a synthetic SQLoop over shard i's engine that runs
+// under the GROUP's options, tracer and metrics — used for whole-run
+// fallbacks and for checkpoint plumbing. Its dsn is the group
+// signature so checkpoint keys carry the shard dimension.
+func (g *ShardGroup) loopFor(i int) *SQLoop {
+	sh := g.shards[i]
+	return &SQLoop{db: sh.db, opts: g.opts, dialect: sh.dialect,
+		dsn: g.signature(), tracer: g.tracer, metrics: g.metrics}
+}
+
+// Exec runs one statement: iterative CTEs execute sharded, everything
+// else is broadcast to all shards (shard 0's result is returned).
+func (g *ShardGroup) Exec(ctx context.Context, query string) (*Result, error) {
+	st, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if cte, ok := st.(*sqlparser.LoopCTEStmt); ok {
+		return g.execShardedCTE(ctx, cte)
+	}
+	return g.broadcast(ctx, st)
+}
+
+// ExecScript runs a multi-statement script: CTEs sharded, the rest
+// broadcast. Returns the last statement's result.
+func (g *ShardGroup) ExecScript(ctx context.Context, script string) (*Result, error) {
+	stmts, err := sqlparser.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	for _, st := range stmts {
+		if cte, ok := st.(*sqlparser.LoopCTEStmt); ok {
+			res, err = g.execShardedCTE(ctx, cte)
+		} else {
+			res, err = g.broadcast(ctx, st)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// broadcast runs a plain statement on every shard so base relations
+// stay replicated; shard 0's result is returned.
+func (g *ShardGroup) broadcast(ctx context.Context, st sqlparser.Statement) (*Result, error) {
+	var out *Result
+	for s, sh := range g.shards {
+		res, err := sh.execPlain(ctx, st)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+		if s == 0 {
+			out = res
+		}
+	}
+	return out, nil
+}
+
+// execShardedCTE is the sharded twin of execLoopCTE: it decides whether
+// the CTE can execute across shards, falls back to a whole-run on shard
+// 0 otherwise, and brackets the sharded run with the ExecStart/ExecEnd
+// events and the checkpoint recovery loop.
+func (g *ShardGroup) execShardedCTE(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*Result, error) {
+	if err := validateCTE(cte); err != nil {
+		return nil, err
+	}
+	// Structural non-starters run whole on shard 0 (which already
+	// brackets itself with events): a single shard IS a whole run,
+	// ModeSingle asks for one, and recursion has no partitioned plan.
+	if len(g.shards) == 1 || g.opts.Mode == ModeSingle || cte.Kind == sqlparser.CTERecursive {
+		res, err := g.loopFor(0).execLoopCTE(ctx, cte)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ShardCount = 1
+		return res, nil
+	}
+	an := analyzeStep(cte)
+	reason := ""
+	var tp *shardTermPlan
+	if !an.Parallelizable {
+		// The inner executor will emit its own Fallback event if a
+		// parallel mode was requested; no shard-level event here.
+		reason = an.Reason
+	} else {
+		var why string
+		if tp, why = decomposeTerm(cte); why != "" {
+			// A sharding-specific limitation: the plan parallelizes but
+			// the UNTIL condition cannot be merged across shards.
+			reason = why
+			g.tracer.Emit(obs.Fallback{CTE: cte.Name, Reason: reason})
+			g.metrics.Counter("sqloop_fallbacks_total").Inc()
+		}
+	}
+	if reason != "" {
+		res, err := g.loopFor(0).execLoopCTE(ctx, cte)
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats.FallbackReason == "" {
+			res.Stats.FallbackReason = reason
+		}
+		res.Stats.ShardCount = 1
+		return res, nil
+	}
+	mode := g.opts.Mode
+	if mode == ModeAuto {
+		mode = ModeAsync
+	}
+
+	g.tracer.Emit(obs.ExecStart{Kind: "iterative", CTE: cte.Name, Mode: g.opts.Mode.String()})
+	start := time.Now()
+	run := func() (*Result, error) { return g.execSharded(ctx, cte, an, mode, tp) }
+	res, err := run()
+	// Recovery loop, mirroring execLoopCTE: a transport-level failure on
+	// any shard restarts the whole group run, which restores every
+	// shard's partition from the latest group snapshot.
+	if err != nil && g.opts.Checkpoint.enabled() {
+		for attempt := 1; attempt <= g.opts.Checkpoint.recoveries() && recoverable(err); attempt++ {
+			backoff := g.opts.Checkpoint.backoff(attempt)
+			g.tracer.Emit(obs.Retry{CTE: cte.Name, Attempt: attempt, Err: err.Error(), Backoff: backoff})
+			g.metrics.Counter("sqloop_recoveries_total").Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			var res2 *Result
+			if res2, err = run(); err == nil {
+				res2.Stats.Recoveries = attempt
+				res = res2
+			}
+		}
+	}
+	end := obs.ExecEnd{CTE: cte.Name, Elapsed: time.Since(start)}
+	if err != nil {
+		end.Err = err.Error()
+		end.Mode = g.opts.Mode.String()
+	} else {
+		end.Mode = res.Stats.Mode.String()
+		end.Iterations = res.Stats.Iterations
+	}
+	g.tracer.Emit(end)
+	if err != nil {
+		return nil, err
+	}
+	g.metrics.Counter("sqloop_cte_execs_total").Inc()
+	g.metrics.Counter("sqloop_rounds_total").Add(int64(res.Stats.Iterations))
+	g.metrics.Histogram("sqloop_cte_seconds").Observe(res.Stats.Elapsed)
+	return res, nil
+}
+
+// shardTermPlan is a decomposed UNTIL expression: one aggregate over
+// the CTE, evaluated per shard and merged at the coordinator (§V-D
+// decomposition rules applied to the termination side).
+type shardTermPlan struct {
+	agg   string          // SUM, COUNT, MIN, MAX or AVG
+	star  bool            // COUNT(*)
+	arg   sqlparser.Expr  // aggregate argument (nil for COUNT(*))
+	alias string          // the CTE's alias inside the condition
+	where sqlparser.Expr  // optional row filter, references the CTE only
+	cmpOp sqltypes.CompareOp
+	cmpTo sqltypes.Value  // numeric comparison literal
+}
+
+// decomposeTerm decides whether the UNTIL condition can be evaluated
+// across shards. ITERATIONS and UPDATES conditions always merge (round
+// counts are global, update counts sum); an expression condition must
+// be a single decomposable aggregate over the CTE compared to a numeric
+// literal. The returned reason is empty when sharding may proceed.
+func decomposeTerm(cte *sqlparser.LoopCTEStmt) (*shardTermPlan, string) {
+	term := cte.Until
+	if term.Kind != sqlparser.TermExpr {
+		return nil, ""
+	}
+	if term.Delta {
+		return nil, "UNTIL condition references the Rdelta snapshot"
+	}
+	if term.Any {
+		return nil, "UNTIL ANY conditions do not decompose across shards"
+	}
+	if term.CmpOp == 0 {
+		return nil, "UNTIL condition is not an aggregate comparison"
+	}
+	lit, ok := term.CmpTo.(*sqlparser.Literal)
+	if !ok || !lit.Val.IsNumeric() {
+		return nil, "UNTIL comparison target is not a numeric literal"
+	}
+	sel, ok := term.Expr.(*sqlparser.Select)
+	if !ok {
+		return nil, "UNTIL condition uses set operations"
+	}
+	if sel.Distinct || len(sel.GroupBy) > 0 || sel.Having != nil ||
+		len(sel.OrderBy) > 0 || sel.Limit != nil || sel.Offset != nil {
+		return nil, "UNTIL condition is not a plain aggregate query"
+	}
+	if len(sel.From) != 1 {
+		return nil, "UNTIL condition must read the CTE table only"
+	}
+	tn, ok := sel.From[0].(*sqlparser.TableName)
+	if !ok || !strings.EqualFold(tn.Name, cte.Name) {
+		return nil, "UNTIL condition must read the CTE table only"
+	}
+	if len(sel.Items) != 1 || sel.Items[0].Star {
+		return nil, "UNTIL condition must compute exactly one aggregate"
+	}
+	fc, ok := sel.Items[0].Expr.(*sqlparser.FuncCall)
+	if !ok || fc.Distinct {
+		return nil, "UNTIL condition must compute exactly one aggregate"
+	}
+	tp := &shardTermPlan{agg: fc.Name, alias: tn.Alias, where: sel.Where,
+		cmpOp: term.CmpOp, cmpTo: lit.Val}
+	if tp.alias == "" {
+		tp.alias = tn.Name
+	}
+	switch fc.Name {
+	case "COUNT":
+		tp.star = fc.Star
+		if !fc.Star {
+			if len(fc.Args) != 1 {
+				return nil, "UNTIL aggregate must take one argument"
+			}
+			tp.arg = fc.Args[0]
+		}
+	case "SUM", "MIN", "MAX", "AVG":
+		if fc.Star || len(fc.Args) != 1 {
+			return nil, "UNTIL aggregate must take one argument"
+		}
+		tp.arg = fc.Args[0]
+	default:
+		return nil, fmt.Sprintf("UNTIL aggregate %s does not decompose across shards", fc.Name)
+	}
+	// Subqueries could read anything; the merge only reasons about
+	// per-shard partitions of the one CTE table.
+	bad := false
+	scan := func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			switch t := x.(type) {
+			case *sqlparser.Subquery, *sqlparser.ExistsExpr:
+				bad = true
+			case *sqlparser.InExpr:
+				if t.Sub != nil {
+					bad = true
+				}
+			}
+			return !bad
+		})
+	}
+	scan(tp.where)
+	scan(tp.arg)
+	if bad {
+		return nil, "UNTIL condition contains a subquery"
+	}
+	return tp, ""
+}
+
+// shardedRun is one sharded execution in flight.
+type shardedRun struct {
+	g    *ShardGroup
+	cte  *sqlparser.LoopCTEStmt
+	pl   *plan // partition count == shard count
+	mode Mode
+	// conns pins one connection per shard; conns[s] is only ever used
+	// by shard s's worker goroutine or by the coordinator between waves.
+	conns []*dbConn
+	tp    *shardTermPlan // nil unless the UNTIL is a decomposed aggregate
+	tok   string
+	ck    *ckptRun
+	rt    *roundTrace
+
+	nameSeq atomic.Int64
+	// pending[s] lists message tables shard s has not gathered yet
+	// (its own compute output plus receive tables routed to it).
+	pending    [][]string
+	lastGather []int64
+	computed   []bool
+	rounds     []int
+	startRound int
+	crossRows  int64
+
+	stats ExecStats
+}
+
+// execSharded runs one iterative CTE across every shard.
+func (g *ShardGroup) execSharded(ctx context.Context, cte *sqlparser.LoopCTEStmt, an Analysis, mode Mode, tp *shardTermPlan) (*Result, error) {
+	start := time.Now()
+	S := len(g.shards)
+	loop0 := g.loopFor(0)
+
+	ck, err := loop0.newCkptRun(cte)
+	if err != nil {
+		return nil, err
+	}
+	// A group snapshot holds one partition table per shard; anything
+	// else (different shard count, a single-instance snapshot) is
+	// unusable for this topology.
+	if ck.restoring() && (ck.resumed.Partitions != S ||
+		len(ck.resumed.PartRounds) != S || len(ck.resumed.Tables) != S) {
+		ck.resumed = nil
+	}
+	tok := ck.execToken()
+
+	conns := make([]*dbConn, S)
+	var closers []func() error
+	defer func() {
+		for _, cl := range closers {
+			_ = cl()
+		}
+	}()
+	for s, sh := range g.shards {
+		conn, err := sh.db.Conn(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d connection: %w", s, err)
+		}
+		c := sh.newConn(conn)
+		conns[s] = c
+		closers = append(closers, func() error {
+			c.closeStmts()
+			return conn.Close()
+		})
+	}
+
+	rUser := strings.ToLower(cte.Name)
+	rName := rTableName(tok, cte.Name)
+
+	run := &shardedRun{
+		g: g, cte: cte, mode: mode, conns: conns, tp: tp, tok: tok, ck: ck,
+		rt:         newRoundTrace(g.tracer, false),
+		pending:    make([][]string, S),
+		lastGather: make([]int64, S),
+		computed:   make([]bool, S),
+		rounds:     make([]int, S),
+	}
+
+	// Stale user-visible objects from a crashed legacy run must not
+	// break this one on any shard.
+	if err := run.forEach(func(s int) error {
+		if _, err := conns[s].runStmt(ctx, dropView(rUser)); err != nil {
+			return err
+		}
+		_, err := conns[s].runStmt(ctx, dropTable(rUser))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	var cols []string
+	if ck.restoring() {
+		cols = ck.resumed.Columns
+	} else {
+		// Every shard evaluates the full R0 (the seed is tiny next to the
+		// iteration) and then keeps only its own partition. Shard 0 runs
+		// first so derived column names are settled before the fan-out.
+		cols, err = loop0.seedTable(ctx, conns[0], cte, tok, rName, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := run.forEach(func(s int) error {
+			if s == 0 {
+				return nil
+			}
+			sc, err := loop0.seedTable(ctx, conns[s], cte, tok, rName, true)
+			if err != nil {
+				return fmt.Errorf("seeding shard %d: %w", s, err)
+			}
+			if len(sc) != len(cols) {
+				return fmt.Errorf("core: shard %d derived %d seed columns, shard 0 derived %d",
+					s, len(sc), len(cols))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(cols) <= an.DeltaItem {
+		return nil, fmt.Errorf("core: CTE %s declares %d columns but the delta is item %d",
+			cte.Name, len(cols), an.DeltaItem+1)
+	}
+
+	run.pl = newPlan(cte, an, cols, S, tok, !g.opts.DisableMaterialization)
+	defer run.cleanup(context.WithoutCancel(ctx))
+
+	if ck.restoring() {
+		if err := run.forEach(func(s int) error {
+			if err := ck.restoreTable(ctx, conns[s], ck.resumed.Tables[s], true); err != nil {
+				return err
+			}
+			_, err := conns[s].runStmt(ctx, &sqlparser.CreateViewStmt{
+				Name: run.pl.rQL, Body: run.localViewBody(s)})
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		copy(run.rounds, ck.resumed.PartRounds)
+		run.startRound = ck.resumed.Round
+		run.stats.Iterations = ck.resumed.Round
+		ck.markResumed()
+	} else {
+		if err := run.forEach(func(s int) error {
+			for _, st := range run.localPartitionStmts(s) {
+				if _, err := conns[s].runStmt(ctx, st); err != nil {
+					return fmt.Errorf("partitioning %s on shard %d: %w", cte.Name, s, err)
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := run.forEach(func(s int) error {
+		publishAdvisoryView(ctx, conns[s], rUser, run.pl.rQL)
+		if run.pl.materialized {
+			for _, st := range run.pl.mjoinStmts() {
+				if _, err := conns[s].runStmt(ctx, st); err != nil {
+					return fmt.Errorf("materializing join on shard %d: %w", s, err)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	switch mode {
+	case ModeSync:
+		err = run.driveSync(ctx)
+	case ModeAsyncPrio:
+		err = run.driveAsync(ctx, true)
+	default:
+		err = run.driveAsync(ctx, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out, err := run.mergeFinal(ctx)
+	if err != nil {
+		return nil, err
+	}
+	run.stats.Mode = mode
+	run.stats.Parallelized = true
+	run.stats.ShardCount = S
+	run.stats.CrossShardRows = run.crossRows
+	run.stats.Elapsed = time.Since(start)
+	run.stats.Rounds = run.rt.rounds
+	ck.finish(&run.stats)
+	out.Stats = run.stats
+	return out, nil
+}
+
+// forEach runs fn concurrently for every shard index and joins the
+// errors. Each invocation touches only its own shard's connection and
+// its own slice slots, so no locking is needed.
+func (r *shardedRun) forEach(fn func(s int) error) error {
+	errs := make([]error, len(r.conns))
+	var wg sync.WaitGroup
+	for s := range r.conns {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// localPartitionStmts is partitionStmts restricted to the one partition
+// this shard owns: filter the seeded table down to PARTHASH(id,S)=s,
+// drop the full copy, and re-expose the CTE name as a view over the
+// local partition alone (the union view of the in-process executor
+// would claim rows this shard does not have).
+func (r *shardedRun) localPartitionStmts(s int) []sqlparser.Statement {
+	pl := r.pl
+	partCols := append([]string(nil), pl.cols...)
+	if pl.avg {
+		partCols = append(partCols, avgSumCol, avgCntCol)
+	}
+	sel := &sqlparser.Select{
+		From:  []sqlparser.TableExpr{tbl(pl.rQL)},
+		Where: eq(fn("PARTHASH", col("", pl.idCol), intLit(int64(pl.p))), intLit(int64(s))),
+	}
+	for _, c := range pl.cols {
+		sel.Items = append(sel.Items, item(col("", c), ""))
+	}
+	if pl.avg {
+		sel.Items = append(sel.Items,
+			item(litVal(sqltypes.NewFloat(0)), avgSumCol),
+			item(litVal(sqltypes.NewFloat(0)), avgCntCol))
+	}
+	return []sqlparser.Statement{
+		dropTable(pl.partName(s)),
+		createAnyTable(pl.partName(s), partCols, true),
+		insertBody(pl.partName(s), sel),
+		dropTable(pl.rQL),
+		&sqlparser.CreateViewStmt{Name: pl.rQL, Body: r.localViewBody(s)},
+	}
+}
+
+// localViewBody selects the public CTE columns from this shard's
+// partition table.
+func (r *shardedRun) localViewBody(s int) sqlparser.SelectBody {
+	sel := &sqlparser.Select{From: []sqlparser.TableExpr{tbl(r.pl.partName(s))}}
+	for _, c := range r.pl.cols {
+		sel.Items = append(sel.Items, item(col("", c), c))
+	}
+	return sel
+}
+
+// computeShard runs the three Compute steps on shard s (absorb, emit
+// messages, reset). It returns the rows changed by the absorb and the
+// message table name ("" when the shard emitted nothing).
+func (r *shardedRun) computeShard(ctx context.Context, s int, gatherChanged int64) (int64, string, error) {
+	c := r.conns[s]
+	var changed int64
+	hasAbsorb := len(r.pl.valueSets) > 0
+	if hasAbsorb {
+		res, err := c.runStmt(ctx, r.pl.absorbStmt(s))
+		if err != nil {
+			return 0, "", fmt.Errorf("compute(absorb) shard %d: %w", s, err)
+		}
+		changed = res.RowsAffected
+	}
+	// Quiet-shard fast path (same proof as the in-process executor):
+	// after a compute every delta is at the identity; if the preceding
+	// gather accepted nothing and the absorb changed nothing, the
+	// activity filter would yield an empty message table.
+	if hasAbsorb && r.computed[s] && gatherChanged == 0 && changed == 0 {
+		return 0, "", nil
+	}
+	r.computed[s] = true
+	msgName := msgTableName(r.pl.tok, r.cte.Name, r.nameSeq.Add(1))
+	if _, err := c.runStmt(ctx, r.pl.messageStmt(s, msgName)); err != nil {
+		return 0, "", fmt.Errorf("compute(messages) shard %d: %w", s, err)
+	}
+	n, ok, err := c.scalar(ctx, sqlparser.FormatDialect(countStmt(msgName), c.dialect))
+	if err != nil {
+		return 0, "", err
+	}
+	if !ok || n == 0 {
+		if _, err := c.runStmt(ctx, dropTable(msgName)); err != nil {
+			return 0, "", err
+		}
+		msgName = ""
+	}
+	if _, err := c.runStmt(ctx, r.pl.resetStmt(s)); err != nil {
+		return 0, "", fmt.Errorf("compute(reset) shard %d: %w", s, err)
+	}
+	return changed, msgName, nil
+}
+
+// exchange is the cross-shard delta wave: for every shard that emitted
+// a message table this cycle, read the rows owned by other shards,
+// route them Go-side, ship them through the batch codec and insert them
+// as receive tables on their owners. The local table keeps all rows —
+// the owner-filtered gather ignores the shipped ones — so no deletes
+// are needed.
+func (r *shardedRun) exchange(ctx context.Context, round int, msgs []string) error {
+	S := len(r.conns)
+	any := false
+	for _, m := range msgs {
+		if m != "" {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	msgCols := []string{"id", "val"}
+	if r.pl.avg {
+		msgCols = append(msgCols, "cnt")
+	}
+
+	// Phase one, parallel per source shard: read outbound rows, route by
+	// owner, encode each destination's batch for the wire.
+	outbound := make([][][]byte, S)
+	durs := make([]time.Duration, S)
+	moved := make([]int64, S)
+	if err := r.forEach(func(s int) error {
+		name := msgs[s]
+		if name == "" {
+			return nil
+		}
+		r.pending[s] = append(r.pending[s], name)
+		t0 := time.Now()
+		sel := &sqlparser.Select{
+			From: []sqlparser.TableExpr{tbl(name)},
+			Where: &sqlparser.ComparisonExpr{Op: sqltypes.CmpNE,
+				Left:  fn("PARTHASH", col("", "id"), intLit(int64(S))),
+				Right: intLit(int64(s))},
+		}
+		for _, c := range msgCols {
+			sel.Items = append(sel.Items, item(col("", c), c))
+		}
+		res, err := r.conns[s].runStmt(ctx, &sqlparser.SelectStmt{Body: sel})
+		if err != nil {
+			return fmt.Errorf("exchange read on shard %d: %w", s, err)
+		}
+		if len(res.Rows) == 0 {
+			durs[s] = time.Since(t0)
+			return nil
+		}
+		parts, err := shard.Route(shard.Batch{Columns: msgCols, Rows: res.Rows}, 0, S)
+		if err != nil {
+			return fmt.Errorf("exchange route from shard %d: %w", s, err)
+		}
+		enc := make([][]byte, S)
+		for d := 0; d < S; d++ {
+			if d == s || len(parts[d].Rows) == 0 {
+				continue
+			}
+			enc[d] = shard.EncodeBatch(parts[d])
+			moved[s] += int64(len(parts[d].Rows))
+		}
+		outbound[s] = enc
+		durs[s] = time.Since(t0)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Phase two, parallel per destination shard: decode every inbound
+	// batch and materialize it as a receive table for the next gather.
+	rx := make([]int, S)
+	if err := r.forEach(func(d int) error {
+		for s := 0; s < S; s++ {
+			if outbound[s] == nil || outbound[s][d] == nil {
+				continue
+			}
+			b, err := shard.DecodeBatch(outbound[s][d])
+			if err != nil {
+				return fmt.Errorf("exchange decode on shard %d: %w", d, err)
+			}
+			rxName := msgTableName(r.pl.tok, r.cte.Name, r.nameSeq.Add(1))
+			if err := r.insertBatch(ctx, r.conns[d], rxName, b); err != nil {
+				return fmt.Errorf("exchange insert on shard %d: %w", d, err)
+			}
+			r.pending[d] = append(r.pending[d], rxName)
+			rx[d]++
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for s := 0; s < S; s++ {
+		r.stats.MessageTables += rx[s]
+		r.rt.msgTables(rx[s])
+		if moved[s] > 0 {
+			r.crossRows += moved[s]
+			r.g.metrics.Counter("sqloop_shard_rows_exchanged").Add(moved[s])
+			r.g.tracer.Emit(obs.ShardExchange{Round: round, Shard: s,
+				Rows: moved[s], Tables: 1, Duration: durs[s]})
+		}
+	}
+	return nil
+}
+
+// insertBatch materializes a decoded batch as a table on c.
+func (r *shardedRun) insertBatch(ctx context.Context, c *dbConn, name string, b shard.Batch) error {
+	if _, err := c.runStmt(ctx, createAnyTable(name, b.Columns, false)); err != nil {
+		return err
+	}
+	const batch = 500
+	for lo := 0; lo < len(b.Rows); lo += batch {
+		hi := min(lo+batch, len(b.Rows))
+		vals := &sqlparser.Values{Rows: make([][]sqlparser.Expr, 0, hi-lo)}
+		for _, row := range b.Rows[lo:hi] {
+			exprs := make([]sqlparser.Expr, len(row))
+			for j, v := range row {
+				sv, err := sqltypes.FromGo(v)
+				if err != nil {
+					return fmt.Errorf("batch value: %w", err)
+				}
+				exprs[j] = litVal(sv)
+			}
+			vals.Rows = append(vals.Rows, exprs)
+		}
+		if _, err := c.runStmt(ctx, &sqlparser.InsertStmt{Table: name, Source: vals}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherShard accumulates shard s's pending message tables into its
+// partition delta and drops them.
+func (r *shardedRun) gatherShard(ctx context.Context, s int) (int64, error) {
+	names := r.pending[s]
+	if len(names) == 0 {
+		return 0, nil
+	}
+	res, err := r.conns[s].runStmt(ctx, r.pl.gatherStmt(s, names))
+	if err != nil {
+		return 0, fmt.Errorf("gather shard %d: %w", s, err)
+	}
+	for _, n := range names {
+		if _, err := r.conns[s].runStmt(ctx, dropTable(n)); err != nil {
+			return 0, err
+		}
+	}
+	r.pending[s] = nil
+	return res.RowsAffected, nil
+}
+
+// drainGather delivers every pending message into the partition deltas
+// (gathers create no new messages, so one wave suffices). The accepted
+// changes are credited to lastGather so the next compute cannot take
+// its quiet fast path past them.
+func (r *shardedRun) drainGather(ctx context.Context) (int64, error) {
+	changes := make([]int64, len(r.conns))
+	err := r.forEach(func(s int) error {
+		ch, err := r.gatherShard(ctx, s)
+		if err != nil {
+			return err
+		}
+		changes[s] = ch
+		r.lastGather[s] += ch
+		return nil
+	})
+	var total int64
+	for _, c := range changes {
+		total += c
+	}
+	return total, err
+}
+
+// pendingEmpty reports whether any shard still has undelivered
+// messages.
+func (r *shardedRun) pendingEmpty() bool {
+	for _, p := range r.pending {
+		if len(p) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// termKindString mirrors terminator.kindString for coordinator-emitted
+// events.
+func (r *shardedRun) termKindString() string {
+	switch r.cte.Until.Kind {
+	case sqlparser.TermIterations:
+		return "iterations"
+	case sqlparser.TermUpdates:
+		return "updates"
+	default:
+		return "expr"
+	}
+}
+
+func (r *shardedRun) emitTermCheck(round int, updated int64, satisfied bool) {
+	r.g.tracer.Emit(obs.TerminationCheck{Round: round, Kind: r.termKindString(),
+		Updated: updated, Satisfied: satisfied})
+}
+
+// checkExprMerged evaluates the decomposed UNTIL aggregate: the same
+// single-aggregate query runs on every shard's local partition (through
+// the rQL view), the partials merge per §V-D, and the merged value
+// feeds the original comparison. Fresh AST nodes are built per check so
+// no shared statement tree is ever mutated.
+func (r *shardedRun) checkExprMerged(ctx context.Context) (bool, error) {
+	aggStmt := func(aggName string, arg sqlparser.Expr, star bool) *sqlparser.SelectStmt {
+		fc := &sqlparser.FuncCall{Name: aggName, Star: star}
+		if !star {
+			fc.Args = []sqlparser.Expr{sqlparser.CloneExpr(arg)}
+		}
+		sel := &sqlparser.Select{
+			Items: []sqlparser.SelectItem{item(fc, "")},
+			From:  []sqlparser.TableExpr{&sqlparser.TableName{Name: r.pl.rQL, Alias: r.tp.alias}},
+		}
+		if r.tp.where != nil {
+			sel.Where = sqlparser.CloneExpr(r.tp.where)
+		}
+		return &sqlparser.SelectStmt{Body: sel}
+	}
+	runAgg := func(aggName string, arg sqlparser.Expr, star bool) ([]float64, []bool, error) {
+		vals := make([]float64, len(r.conns))
+		oks := make([]bool, len(r.conns))
+		err := r.forEach(func(s int) error {
+			c := r.conns[s]
+			v, ok, err := c.scalar(ctx, sqlparser.FormatDialect(aggStmt(aggName, arg, star), c.dialect))
+			if err != nil {
+				return fmt.Errorf("termination check on shard %d: %w", s, err)
+			}
+			vals[s], oks[s] = v, ok
+			return nil
+		})
+		return vals, oks, err
+	}
+
+	var merged float64
+	switch r.tp.agg {
+	case "AVG":
+		// AVG does not merge; ship (SUM, COUNT) and divide at the
+		// coordinator, the same decomposition the message path uses.
+		sums, soks, err := runAgg("SUM", r.tp.arg, false)
+		if err != nil {
+			return false, err
+		}
+		cnts, _, err := runAgg("COUNT", r.tp.arg, false)
+		if err != nil {
+			return false, err
+		}
+		var sum, cnt float64
+		for s := range sums {
+			if soks[s] {
+				sum += sums[s]
+			}
+			cnt += cnts[s]
+		}
+		if cnt <= 0 {
+			return false, nil // AVG over no rows is NULL: not satisfied
+		}
+		merged = sum / cnt
+	case "MIN", "MAX":
+		vals, oks, err := runAgg(r.tp.agg, r.tp.arg, false)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for s := range vals {
+			if !oks[s] {
+				continue // NULL on an empty shard contributes nothing
+			}
+			if !found ||
+				(r.tp.agg == "MIN" && vals[s] < merged) ||
+				(r.tp.agg == "MAX" && vals[s] > merged) {
+				merged = vals[s]
+				found = true
+			}
+		}
+		if !found {
+			return false, nil // all shards NULL: not satisfied
+		}
+	default: // SUM, COUNT
+		vals, oks, err := runAgg(r.tp.agg, r.tp.arg, r.tp.star)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for s := range vals {
+			if oks[s] {
+				merged += vals[s]
+				found = true
+			}
+		}
+		if r.tp.agg == "SUM" && !found {
+			return false, nil // SUM over no rows anywhere is NULL
+		}
+	}
+	cmp, err := sqltypes.CompareSQL(r.tp.cmpOp, sqltypes.NewFloat(merged), r.tp.cmpTo)
+	if err != nil {
+		return false, err
+	}
+	return cmp.IsTrue(), nil
+}
+
+// driveSync is the sharded Synchronous Execution: compute on every
+// shard concurrently, barrier, exchange remote deltas, gather on every
+// shard concurrently, barrier, then the merged termination check.
+func (r *shardedRun) driveSync(ctx context.Context) error {
+	S := len(r.conns)
+	term := r.cte.Until
+	iters := r.startRound
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if iters >= r.g.opts.MaxIterations {
+			return fmt.Errorf("core: iterative CTE %s exceeded %d iterations", r.cte.Name, r.g.opts.MaxIterations)
+		}
+		iters++
+		r.rt.begin(iters)
+		var roundChanged int64
+		msgs := make([]string, S)
+		changes := make([]int64, S)
+		durs := make([]time.Duration, S)
+
+		if err := r.forEach(func(s int) error {
+			t0 := time.Now()
+			ch, msg, err := r.computeShard(ctx, s, r.lastGather[s])
+			changes[s], msgs[s], durs[s] = ch, msg, time.Since(t0)
+			return err
+		}); err != nil {
+			return err
+		}
+		for s := 0; s < S; s++ {
+			roundChanged += changes[s]
+			if msgs[s] != "" {
+				r.stats.MessageTables++
+				r.rt.msgTables(1)
+			}
+			r.rt.task(obs.PartitionDone{Round: iters, Part: s, Phase: "compute",
+				Changed: changes[s], Duration: durs[s]})
+		}
+
+		if err := r.exchange(ctx, iters, msgs); err != nil {
+			return err
+		}
+
+		if err := r.forEach(func(s int) error {
+			t0 := time.Now()
+			ch, err := r.gatherShard(ctx, s)
+			changes[s], durs[s] = ch, time.Since(t0)
+			return err
+		}); err != nil {
+			return err
+		}
+		for s := 0; s < S; s++ {
+			roundChanged += changes[s]
+			r.lastGather[s] = changes[s]
+			r.rt.task(obs.PartitionDone{Round: iters, Part: s, Phase: "gather",
+				Changed: changes[s], Duration: durs[s]})
+		}
+
+		r.rt.end(iters, roundChanged)
+		r.stats.Iterations = iters
+
+		var done bool
+		var err error
+		switch term.Kind {
+		case sqlparser.TermIterations:
+			done = int64(iters) >= term.N
+		case sqlparser.TermUpdates:
+			done = roundChanged <= term.N
+		default:
+			if done, err = r.checkExprMerged(ctx); err != nil {
+				return err
+			}
+		}
+		r.emitTermCheck(iters, roundChanged, done)
+		if done {
+			return nil
+		}
+		// Post-gather barrier: every message table has been delivered, so
+		// the partition tables are the complete state.
+		if r.ck.due(iters) {
+			for x := range r.rounds {
+				r.rounds[x] = iters
+			}
+			if err := r.saveCkpt(ctx, iters); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// driveAsync is the sharded Asynchronous Execution: each cycle fuses
+// gather-then-compute per shard (all shards concurrent), then exchanges
+// remote deltas. With prio set it becomes the prioritized variant: the
+// per-shard priority query orders the shards and each shard's exchange
+// happens immediately after its own cycle, so high-priority shards see
+// the freshest deltas first.
+func (r *shardedRun) driveAsync(ctx context.Context, prio bool) error {
+	S := len(r.conns)
+	term := r.cte.Until
+	iterTarget := term.N
+	if iterTarget < 1 {
+		iterTarget = 1
+	}
+	prioQuery := r.g.opts.PriorityQuery
+	if prioQuery == "" {
+		prioQuery = r.pl.defaultPriorityQuery()
+	}
+	cycle := r.startRound
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if cycle >= r.g.opts.MaxIterations {
+			return fmt.Errorf("core: iterative CTE %s exceeded %d iterations", r.cte.Name, r.g.opts.MaxIterations)
+		}
+		cycle++
+		r.rt.begin(cycle)
+		var cycleChanged int64
+		newMsgs := 0
+		changes := make([]int64, S)
+		durs := make([]time.Duration, S)
+
+		if prio {
+			order, err := r.priorityOrder(ctx, prioQuery)
+			if err != nil {
+				return err
+			}
+			// Sequential, in priority order, exchanging after every shard:
+			// a later shard's gather sees the earlier shards' fresh deltas
+			// within the same cycle.
+			for _, s := range order {
+				t0 := time.Now()
+				gch, err := r.gatherShard(ctx, s)
+				if err != nil {
+					return err
+				}
+				eff := gch + r.lastGather[s]
+				r.lastGather[s] = 0
+				cch, msg, err := r.computeShard(ctx, s, eff)
+				if err != nil {
+					return err
+				}
+				changes[s] = gch + cch
+				durs[s] = time.Since(t0)
+				if msg != "" {
+					newMsgs++
+					r.stats.MessageTables++
+					r.rt.msgTables(1)
+					one := make([]string, S)
+					one[s] = msg
+					if err := r.exchange(ctx, cycle, one); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			msgs := make([]string, S)
+			if err := r.forEach(func(s int) error {
+				t0 := time.Now()
+				gch, err := r.gatherShard(ctx, s)
+				if err != nil {
+					return err
+				}
+				eff := gch + r.lastGather[s]
+				r.lastGather[s] = 0
+				cch, msg, err := r.computeShard(ctx, s, eff)
+				if err != nil {
+					return err
+				}
+				changes[s], msgs[s], durs[s] = gch+cch, msg, time.Since(t0)
+				return nil
+			}); err != nil {
+				return err
+			}
+			for s := 0; s < S; s++ {
+				if msgs[s] != "" {
+					newMsgs++
+					r.stats.MessageTables++
+					r.rt.msgTables(1)
+				}
+			}
+			if err := r.exchange(ctx, cycle, msgs); err != nil {
+				return err
+			}
+		}
+
+		for s := 0; s < S; s++ {
+			cycleChanged += changes[s]
+			r.rt.task(obs.PartitionDone{Round: cycle, Part: s, Phase: "pair",
+				Changed: changes[s], Duration: durs[s]})
+		}
+		r.rt.end(cycle, cycleChanged)
+		r.stats.Iterations = cycle
+		r.rounds = fillRounds(r.rounds, cycle)
+
+		switch term.Kind {
+		case sqlparser.TermIterations:
+			if int64(cycle) >= iterTarget {
+				// Deliver in-flight messages so no accumulated change is
+				// silently lost (the Sync method's final gather ran too).
+				if _, err := r.drainGather(ctx); err != nil {
+					return err
+				}
+				return nil
+			}
+		case sqlparser.TermUpdates:
+			if term.N == 0 {
+				// Quiescence: nothing changed, nothing emitted, nothing in
+				// flight — more cycles are provably no-ops.
+				if cycleChanged == 0 && newMsgs == 0 && r.pendingEmpty() {
+					return nil
+				}
+			} else {
+				drained, err := r.drainGather(ctx)
+				if err != nil {
+					return err
+				}
+				total := cycleChanged + drained
+				done := total <= term.N
+				r.emitTermCheck(cycle, total, done)
+				if done {
+					return nil
+				}
+			}
+		default: // decomposed TermExpr
+			drained, err := r.drainGather(ctx)
+			if err != nil {
+				return err
+			}
+			done, err := r.checkExprMerged(ctx)
+			if err != nil {
+				return err
+			}
+			r.emitTermCheck(cycle, cycleChanged+drained, done)
+			if done {
+				return nil
+			}
+			if cycleChanged+drained == 0 && newMsgs == 0 {
+				return fmt.Errorf("core: %s converged without satisfying its UNTIL condition", r.cte.Name)
+			}
+		}
+
+		if r.ck.due(cycle) {
+			// Same soft barrier the in-process async executor uses: drain
+			// pending messages so the partitions alone carry the state.
+			if _, err := r.drainGather(ctx); err != nil {
+				return err
+			}
+			if err := r.saveCkpt(ctx, cycle); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// fillRounds sets every shard's completed-round counter (sharded cycles
+// advance all shards together).
+func fillRounds(rounds []int, n int) []int {
+	for i := range rounds {
+		rounds[i] = n
+	}
+	return rounds
+}
+
+// priorityOrder evaluates the priority query on every shard's partition
+// and returns shard indices in descending priority. Shards whose query
+// yields no value sort last but still run — every shard must advance
+// every cycle for the global round count to stay meaningful.
+func (r *shardedRun) priorityOrder(ctx context.Context, q string) ([]int, error) {
+	type sp struct {
+		s  int
+		p  float64
+		ok bool
+	}
+	sps := make([]sp, len(r.conns))
+	if err := r.forEach(func(s int) error {
+		text := strings.ReplaceAll(q, "$PART", r.pl.partName(s))
+		v, ok, err := r.conns[s].scalar(ctx, text)
+		if err != nil {
+			return fmt.Errorf("priority query on shard %d: %w", s, err)
+		}
+		sps[s] = sp{s: s, p: v, ok: ok}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(sps, func(i, j int) bool {
+		if sps[i].ok != sps[j].ok {
+			return sps[i].ok
+		}
+		return sps[i].p > sps[j].p
+	})
+	order := make([]int, len(sps))
+	for i, e := range sps {
+		order[i] = e.s
+	}
+	return order, nil
+}
+
+// mergeFinal collects every shard's partition onto shard 0 under the
+// rQL name and runs the final query there.
+func (r *shardedRun) mergeFinal(ctx context.Context) (*Result, error) {
+	c0 := r.conns[0]
+	if _, err := c0.runStmt(ctx, dropView(r.pl.rQL)); err != nil {
+		return nil, err
+	}
+	if _, err := c0.runStmt(ctx, createAnyTable(r.pl.rQL, r.pl.cols, true)); err != nil {
+		return nil, err
+	}
+	if _, err := c0.runStmt(ctx, insertBody(r.pl.rQL, r.localViewBody(0))); err != nil {
+		return nil, err
+	}
+	for s := 1; s < len(r.conns); s++ {
+		res, err := r.conns[s].runStmt(ctx, &sqlparser.SelectStmt{Body: r.localViewBody(s)})
+		if err != nil {
+			return nil, fmt.Errorf("final merge read from shard %d: %w", s, err)
+		}
+		if err := r.insertRows(ctx, c0, r.pl.rQL, res.Rows); err != nil {
+			return nil, fmt.Errorf("final merge insert from shard %d: %w", s, err)
+		}
+	}
+	final := retargetCTE(r.cte.Final, r.cte, r.tok)
+	return c0.runStmt(ctx, &sqlparser.SelectStmt{Body: final})
+}
+
+// insertRows batch-inserts driver rows into a table on c.
+func (r *shardedRun) insertRows(ctx context.Context, c *dbConn, table string, rows [][]any) error {
+	const batch = 500
+	for lo := 0; lo < len(rows); lo += batch {
+		hi := min(lo+batch, len(rows))
+		vals := &sqlparser.Values{Rows: make([][]sqlparser.Expr, 0, hi-lo)}
+		for _, row := range rows[lo:hi] {
+			exprs := make([]sqlparser.Expr, len(row))
+			for j, v := range row {
+				sv, err := sqltypes.FromGo(v)
+				if err != nil {
+					return err
+				}
+				exprs[j] = litVal(sv)
+			}
+			vals.Rows = append(vals.Rows, exprs)
+		}
+		if _, err := c.runStmt(ctx, &sqlparser.InsertStmt{Table: table, Source: vals}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanup drops every working object on every shard. KeepTable
+// re-publishes the merged result under the user name on shard 0.
+func (r *shardedRun) cleanup(ctx context.Context) {
+	rUser := strings.ToLower(r.cte.Name)
+	_ = r.forEach(func(s int) error {
+		c := r.conns[s]
+		for _, name := range r.pending[s] {
+			_, _ = c.runStmt(ctx, dropTable(name))
+		}
+		if s == 0 && r.g.opts.KeepTable {
+			materializeKeepTable(ctx, c, rUser, r.pl.rQL)
+			_, _ = c.runStmt(ctx, dropView(r.pl.rQL))
+		} else {
+			_, _ = c.runStmt(ctx, dropView(rUser))
+			_, _ = c.runStmt(ctx, dropView(r.pl.rQL))
+			_, _ = c.runStmt(ctx, dropTable(r.pl.rQL))
+		}
+		_, _ = c.runStmt(ctx, dropTable(r.pl.partName(s)))
+		_, _ = c.runStmt(ctx, dropTable(mjoinTableName(r.pl.tok, r.cte.Name)))
+		return nil
+	})
+}
+
+// saveCkpt writes one group snapshot: every shard's partition table
+// (read over that shard's own connection) plus the per-shard round
+// counters, under the group-signature key. Callers must have drained
+// pending messages first.
+func (r *shardedRun) saveCkpt(ctx context.Context, round int) error {
+	ck := r.ck
+	if ck == nil {
+		return nil
+	}
+	start := time.Now()
+	snap := &ckpt.Snapshot{
+		Key: ck.key, Query: ck.query, Mode: ck.mode, Engine: ck.s.dsn,
+		CTE: ck.cteName, Token: ck.token, Round: round, Partitions: r.pl.p,
+		PartRounds: append([]int(nil), r.rounds...),
+		Columns:    append([]string(nil), r.pl.cols...),
+		CreatedAt:  time.Now().UTC(),
+	}
+	tables := make([]ckpt.TableState, len(r.conns))
+	if err := r.forEach(func(s int) error {
+		ts, err := ck.readTable(ctx, r.conns[s], r.pl.partName(s))
+		if err != nil {
+			return err
+		}
+		tables[s] = ts
+		return nil
+	}); err != nil {
+		return err
+	}
+	snap.Tables = tables
+	n, err := ck.store.Save(snap)
+	if err != nil {
+		return fmt.Errorf("checkpoint of %s at round %d: %w", ck.cteName, round, err)
+	}
+	elapsed := time.Since(start)
+	r.g.tracer.Emit(obs.Checkpoint{CTE: ck.cteName, Round: round,
+		Tables: len(snap.Tables), Bytes: n, Elapsed: elapsed})
+	r.g.metrics.Counter("sqloop_checkpoints_total").Inc()
+	r.g.metrics.Counter("sqloop_checkpoint_bytes_total").Add(n)
+	r.g.metrics.Histogram("sqloop_checkpoint_seconds").Observe(elapsed)
+	return nil
+}

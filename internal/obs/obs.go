@@ -169,6 +169,25 @@ type Checkpoint struct {
 // Name implements Event.
 func (Checkpoint) Name() string { return "checkpoint" }
 
+// ShardExchange is emitted once per source shard per exchange wave of
+// a sharded execution: the rows this shard's message tables emitted for
+// keys owned by other shards, routed to their owners between rounds.
+type ShardExchange struct {
+	// Round is the 1-based round (or async cycle) the exchange follows.
+	Round int
+	// Shard is the source shard index the rows were read from.
+	Shard int
+	// Rows is how many rows left this shard for other shards.
+	Rows int64
+	// Tables is the number of message tables drained on this shard.
+	Tables int
+	// Duration is the wall time of the read+route+insert wave.
+	Duration time.Duration
+}
+
+// Name implements Event.
+func (ShardExchange) Name() string { return "shard_exchange" }
+
 // Restore is emitted when an execution starts from a snapshot instead
 // of the seed query.
 type Restore struct {

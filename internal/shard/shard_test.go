@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+// TestPartitionMatchesValueHash pins the Go-side partitioner to the
+// engine's PARTHASH definition: int64(Value.Hash() & MaxInt64) % n.
+func TestPartitionMatchesValueHash(t *testing.T) {
+	keys := []any{int64(0), int64(1), int64(-7), int64(12345), 3.5, 2.0, "node-9", true, false}
+	for _, n := range []int{1, 2, 3, 4, 7, 256} {
+		for _, k := range keys {
+			v, err := sqltypes.FromGo(k)
+			if err != nil {
+				t.Fatalf("FromGo(%v): %v", k, err)
+			}
+			want := 0
+			if n > 1 {
+				want = int(int64(v.Hash()&math.MaxInt64) % int64(n))
+			}
+			if got := Partition(k, n); got != want {
+				t.Errorf("Partition(%v, %d) = %d, want %d", k, n, got, want)
+			}
+		}
+	}
+	if got := Partition(nil, 4); got != 0 {
+		t.Errorf("Partition(nil, 4) = %d, want 0", got)
+	}
+	if got := Partition(int64(99), 0); got != 0 {
+		t.Errorf("Partition(99, 0) = %d, want 0", got)
+	}
+}
+
+// TestIntegralFloatAgreesWithInt documents the Value.Hash invariant the
+// exchange relies on: an integral float partitions like the equal int,
+// so a DOUBLE id column routes identically to a BIGINT one.
+func TestIntegralFloatAgreesWithInt(t *testing.T) {
+	for _, n := range []int{2, 4, 16} {
+		for i := int64(-5); i < 50; i++ {
+			if a, b := Partition(i, n), Partition(float64(i), n); a != b {
+				t.Fatalf("Partition(%d, %d)=%d but Partition(%g, %d)=%d", i, n, a, float64(i), n, b)
+			}
+		}
+	}
+}
+
+func TestRoutePreservesMultiset(t *testing.T) {
+	b := Batch{
+		Columns: []string{"id", "val"},
+		Rows: [][]any{
+			{int64(1), 1.5}, {int64(2), 2.5}, {int64(3), nil},
+			{int64(1), -1.0}, {nil, 9.0}, {int64(100), 0.0},
+		},
+	}
+	for _, n := range []int{1, 2, 4} {
+		parts, err := Route(b, 0, n)
+		if err != nil {
+			t.Fatalf("Route(n=%d): %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("Route(n=%d) returned %d batches", n, len(parts))
+		}
+		var merged [][]any
+		for s, p := range parts {
+			for _, row := range p.Rows {
+				if got := Partition(row[0], n); got != s {
+					t.Errorf("n=%d: row %v landed in shard %d, owner is %d", n, row, s, got)
+				}
+				merged = append(merged, row)
+			}
+		}
+		if got, want := multisetKey(merged), multisetKey(b.Rows); got != want {
+			t.Errorf("n=%d: routed multiset %q != input %q", n, got, want)
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	b := Batch{Columns: []string{"id"}, Rows: [][]any{{int64(1)}}}
+	if _, err := Route(b, 0, 0); err == nil {
+		t.Error("Route with 0 shards should fail")
+	}
+	if _, err := Route(b, 2, 2); err == nil {
+		t.Error("Route with out-of-range key column should fail")
+	}
+	bad := Batch{Columns: []string{"id", "val"}, Rows: [][]any{{int64(1)}}}
+	if _, err := Route(bad, 0, 2); err == nil {
+		t.Error("Route with ragged row should fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Batch{
+		{},
+		{Columns: []string{"id"}},
+		{Columns: []string{"id", "val", "cnt"}, Rows: [][]any{
+			{int64(1), 3.25, int64(2)},
+			{int64(-9), math.Inf(1), int64(0)},
+			{nil, -0.0, int64(math.MaxInt64)},
+			{int64(math.MinInt64), 1e308, int64(-1)},
+		}},
+		{Columns: []string{"s", "b"}, Rows: [][]any{
+			{"", true}, {"héllo\x00world", false}, {"x", nil},
+		}},
+	}
+	for i, b := range cases {
+		enc := EncodeBatch(b)
+		dec, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(b), normalize(dec)) {
+			t.Errorf("case %d: round trip mismatch:\n in: %#v\nout: %#v", i, b, dec)
+		}
+	}
+}
+
+// TestEncodeNormalizesWideTypes checks int and []byte inputs decode as
+// the driver's canonical int64 / string.
+func TestEncodeNormalizesWideTypes(t *testing.T) {
+	b := Batch{Columns: []string{"a", "b"}, Rows: [][]any{{7, []byte("raw")}}}
+	dec, err := DecodeBatch(EncodeBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Rows[0][0]; got != int64(7) {
+		t.Errorf("int encoded as %T(%v), want int64(7)", got, got)
+	}
+	if got := dec.Rows[0][1]; got != "raw" {
+		t.Errorf("[]byte encoded as %T(%v), want \"raw\"", got, got)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	good := EncodeBatch(Batch{Columns: []string{"id", "val"}, Rows: [][]any{{int64(1), 2.0}, {int64(3), nil}}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   {batchMagic},
+		"bad magic":      append([]byte{0x00}, good[1:]...),
+		"bad version":    append([]byte{batchMagic, 99}, good[2:]...),
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0xFF),
+		"huge col count": {batchMagic, batchVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// normalize maps rows into comparable canonical forms (nil slices vs
+// empty slices, NaN-safe floats).
+func normalize(b Batch) [][]string {
+	out := make([][]string, 0, len(b.Rows)+1)
+	out = append(out, append([]string(nil), b.Columns...))
+	for _, row := range b.Rows {
+		r := make([]string, len(row))
+		for i, v := range row {
+			r[i] = canonValue(v)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func canonValue(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "∅"
+	case int:
+		return fmt.Sprintf("i%d", t)
+	case int64:
+		return fmt.Sprintf("i%d", t)
+	case float64:
+		return fmt.Sprintf("f%016x", math.Float64bits(t))
+	case []byte:
+		return "s" + string(t)
+	case string:
+		return "s" + t
+	case bool:
+		return fmt.Sprintf("b%v", t)
+	default:
+		return fmt.Sprintf("?%v", t)
+	}
+}
+
+func multisetKey(rows [][]any) string {
+	keys := make([]string, len(rows))
+	for i, row := range rows {
+		s := ""
+		for _, v := range row {
+			s += canonValue(v) + "|"
+		}
+		keys[i] = s
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"sqloop/internal/core"
 )
 
 // Router holds connections to several target databases and redirects
@@ -52,6 +54,42 @@ func (r *Router) AddInstance(name string, s *SQLoop) error {
 	}
 	r.targets[name] = s
 	return nil
+}
+
+// RemoveTarget closes the named target and unregisters it. In-flight
+// statements on the target finish or fail per database/sql semantics
+// (Close waits for checked-out connections); new Exec calls for the
+// name fail with unknown target.
+func (r *Router) RemoveTarget(name string) error {
+	r.mu.Lock()
+	s, ok := r.targets[name]
+	if ok {
+		delete(r.targets, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sqloop: unknown target %q", name)
+	}
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("sqloop: closing target %q: %w", name, err)
+	}
+	return nil
+}
+
+// ShardGroup builds a scale-out execution group from named targets, in
+// the order given (target i executes hash partition i). The group
+// borrows the targets — Router.Close still owns them — so closing the
+// group never closes router targets.
+func (r *Router) ShardGroup(opts Options, names ...string) (*ShardGroup, error) {
+	shards := make([]*SQLoop, len(names))
+	for i, name := range names {
+		s, err := r.Target(name)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = s
+	}
+	return core.NewShardGroup(shards, opts, false)
 }
 
 // Target returns the named instance.

@@ -126,3 +126,131 @@ SELECT H FROM hops WHERE Node = 3`)
 		t.Fatal("duplicate target must error")
 	}
 }
+
+func TestRouterRemoveTarget(t *testing.T) {
+	r := sqloop.NewRouter()
+	defer r.Close()
+	for _, name := range []string{"a", "b", "c"} {
+		if err := r.AddEmbeddedTarget(name, "pgsim", sqloop.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if _, errs := r.ExecAll(ctx, `CREATE TABLE t (v BIGINT)`); errs != nil {
+		t.Fatal(errs)
+	}
+
+	if err := r.RemoveTarget("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Targets(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Targets after removal = %v", got)
+	}
+	if _, err := r.Exec(ctx, "b", `SELECT 1`); err == nil {
+		t.Fatal("removed target must be unknown")
+	}
+	if err := r.RemoveTarget("b"); err == nil {
+		t.Fatal("double removal must error")
+	}
+	// Remaining targets keep working.
+	all, errs := r.ExecAll(ctx, `SELECT COUNT(*) FROM t`)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	if len(all) != 2 || all["a"] == nil || all["c"] == nil {
+		t.Fatalf("ExecAll after removal = %v", all)
+	}
+}
+
+// TestRouterExecAllWithClosedTarget removes a target whose *SQLoop a
+// caller still holds mid-flight: statements against the closed handle
+// must fail with an error, not hang or panic, and ExecAll on the
+// router must no longer include it.
+func TestRouterExecAllWithClosedTarget(t *testing.T) {
+	r := sqloop.NewRouter()
+	defer r.Close()
+	for _, name := range []string{"x", "y"} {
+		if err := r.AddEmbeddedTarget(name, "pgsim", sqloop.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	stale, err := r.Target("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveTarget("y"); err != nil {
+		t.Fatal(err)
+	}
+	// The stale handle is closed: its pool rejects new work.
+	if _, err := stale.Exec(ctx, `SELECT 1`); err == nil {
+		t.Fatal("Exec on a removed target's handle must error")
+	}
+	out, errs := r.ExecAll(ctx, `SELECT 1`)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	if len(out) != 1 || out["x"] == nil {
+		t.Fatalf("ExecAll after mid-flight removal = %v", out)
+	}
+}
+
+// TestRouterShardGroup drives a scale-out group built from router
+// targets and checks the borrowed-shards contract: closing the group
+// leaves the targets usable.
+func TestRouterShardGroup(t *testing.T) {
+	r := sqloop.NewRouter()
+	defer r.Close()
+	for _, name := range []string{"s0", "s1"} {
+		if err := r.AddEmbeddedTarget(name, "pgsim", sqloop.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := r.ShardGroup(sqloop.Options{Mode: sqloop.ModeSync}, "s0", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := g.Exec(ctx, `CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Exec(ctx, `INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Exec(ctx, `
+WITH ITERATIVE hops(Node, H, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT hops.Node, LEAST(hops.H, hops.Delta),
+         COALESCE(MIN(N.H + E.weight), Infinity)
+  FROM hops
+  LEFT JOIN edges AS E ON hops.Node = E.dst
+  LEFT JOIN hops AS N ON N.Node = E.src
+  WHERE N.Delta != Infinity
+  GROUP BY hops.Node
+  UNTIL 0 UPDATES
+)
+SELECT H FROM hops WHERE Node = 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 3.0 {
+		t.Fatalf("hops = %v", res.Rows[0][0])
+	}
+	if res.Stats.ShardCount != 2 {
+		t.Fatalf("ShardCount = %d, want 2", res.Stats.ShardCount)
+	}
+	// The group borrows: closing it must not close router targets.
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Exec(ctx, "s0", `SELECT 1`); err != nil {
+		t.Fatalf("router target closed by borrowed group: %v", err)
+	}
+	if _, err := r.ShardGroup(sqloop.Options{}, "s0", "nope"); err == nil {
+		t.Fatal("unknown shard target must error")
+	}
+}

@@ -56,6 +56,10 @@ type (
 	// CheckpointInfo describes one stored snapshot
 	// (SQLoop.ListCheckpoints).
 	CheckpointInfo = core.CheckpointInfo
+	// ShardGroup executes iterative CTEs across several engine
+	// endpoints at once (scale-out), hash-partitioning the working
+	// table and exchanging deltas between rounds.
+	ShardGroup = core.ShardGroup
 )
 
 // Re-exported observability types (see internal/obs). Observers receive
@@ -86,6 +90,7 @@ type (
 	CheckpointEvent       = obs.Checkpoint
 	RestoreEvent          = obs.Restore
 	RetryEvent            = obs.Retry
+	ShardExchangeEvent    = obs.ShardExchange
 )
 
 // MultiTracer fans events out to every non-nil tracer.
@@ -219,6 +224,35 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 		return nil, err
 	}
 	return s, nil
+}
+
+// NewShardGroup builds a scale-out execution group from already-open
+// instances (mixed backends and remote servers allowed; shard i
+// executes hash partition i). The group borrows the shards; closing it
+// leaves them open.
+func NewShardGroup(shards []*SQLoop, opts Options) (*ShardGroup, error) {
+	return core.NewShardGroup(shards, opts, false)
+}
+
+// OpenEmbeddedShards spins up n embedded engines of the named profile
+// and groups them for scale-out execution. The group owns the engines:
+// Close shuts all of them down.
+func OpenEmbeddedShards(profile string, n int, opts Options, extra ...OpenOption) (*ShardGroup, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sqloop: shard count %d, need at least 1", n)
+	}
+	shards := make([]*SQLoop, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := OpenEmbedded(profile, opts, extra...)
+		if err != nil {
+			for _, prev := range shards {
+				_ = prev.Close()
+			}
+			return nil, err
+		}
+		shards = append(shards, s)
+	}
+	return core.NewShardGroup(shards, opts, true)
 }
 
 // OpenEmbeddedWithCost is the pre-option-API form of
