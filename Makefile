@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz tier1 bench bench-smoke clean
+.PHONY: all build vet test race fuzz tier1 bench bench-smoke bench-traffic check-deprecated clean
 
 all: tier1
 
@@ -15,10 +15,11 @@ test:
 
 # The parallel executors, the observability layer, the checkpoint store,
 # the fault-injected transport/driver, the engine's compiled-program
-# cache and the shard partitioner are the concurrency hot spots; the
-# root package holds the crash-recovery matrix. Keep them race-clean.
+# cache, the shard partitioner and the serving layer's session pool /
+# round scheduler are the concurrency hot spots; the root package holds
+# the crash-recovery matrix. Keep them race-clean.
 race:
-	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard
+	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard ./internal/serve
 
 # The snapshot codec must reject arbitrary corruption without panicking,
 # and the shard router must stay bit-compatible with the engine's
@@ -27,8 +28,18 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=10s ./internal/ckpt
 	$(GO) test -run=NONE -fuzz=FuzzShardRouteRoundTrip -fuzztime=10s ./internal/shard
 
+# The deleted pre-option-API shims must stay deleted, and the legacy
+# per-DSN setters may only appear inside internal/driver (where the
+# deprecated wrappers live and are tested). Doc files are exempt.
+check-deprecated: vet
+	@! grep -rn --include='*.go' -E 'OpenEmbeddedWithCost|ServeWithCost' . \
+		|| { echo 'deleted deprecated symbol referenced'; exit 1; }
+	@! grep -rln --include='*.go' -E 'SetDSNMetrics|SetDSNRetry|SetDSNWireVersion' . \
+		| grep -v '^\./internal/driver/' \
+		|| { echo 'legacy SetDSN* setter used outside internal/driver'; exit 1; }
+
 # Tier-1 verification (ROADMAP.md): everything must stay green.
-tier1: build vet test race
+tier1: build vet test race check-deprecated
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +48,12 @@ bench:
 # and wire-codec micro-benchmarks at a fixed, small iteration count.
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime=100x -benchmem ./internal/engine ./internal/wire
+
+# Smoke-scale run of the PR6 serving-traffic experiment (open-loop
+# mixed load against the pooled server); the full run writes
+# BENCH_PR6.json via `go run ./cmd/sqloopbench -fig traffic`.
+bench-traffic:
+	$(GO) run ./cmd/sqloopbench -fig traffic -quick -out /tmp/sqloop_traffic_smoke.json
 
 clean:
 	$(GO) clean ./...

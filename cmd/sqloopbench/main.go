@@ -19,8 +19,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards or all")
-	out := flag.String("out", "", "output path for the -fig pr4 / -fig shards report")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards, traffic or all")
+	out := flag.String("out", "", "output path for the -fig pr4 / shards / traffic report")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -54,9 +54,13 @@ func main() {
 		sc.Partitions = *parts
 	}
 	if *out == "" {
-		*out = "BENCH_PR4.json"
-		if *fig == "shards" {
+		switch *fig {
+		case "shards":
 			*out = "BENCH_PR5.json"
+		case "traffic":
+			*out = "BENCH_PR6.json"
+		default:
+			*out = "BENCH_PR4.json"
 		}
 	}
 
@@ -113,6 +117,11 @@ func run(fig, query, out string, sc bench.Scale) error {
 	}
 	if fig == "shards" {
 		if err := bench.PR5Fig(ctx, w, sc, out); err != nil {
+			return err
+		}
+	}
+	if fig == "traffic" {
+		if err := bench.TrafficFig(ctx, w, sc, out); err != nil {
 			return err
 		}
 	}

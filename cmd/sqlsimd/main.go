@@ -20,17 +20,26 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:5499", "listen address")
 	profile := flag.String("profile", "pgsim", "engine profile: pgsim, mysim or mariasim")
 	withCost := flag.Bool("cost", false, "enable the calibrated latency model")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent request cap (0 = default 8)")
+	queueDepth := flag.Int("queue-depth", 0, "per-tenant wait queue cap (0 = default 64)")
+	tenantLimit := flag.Int("tenant-limit", 0, "per-tenant concurrent request cap (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = unbounded)")
 	flag.Parse()
-	if err := run(*addr, *profile, *withCost); err != nil {
+	extra := []sqloop.OpenOption{
+		sqloop.WithMaxSessions(*maxSessions),
+		sqloop.WithQueueDepth(*queueDepth),
+		sqloop.WithTenantLimit(*tenantLimit),
+		sqloop.WithDeadline(*deadline),
+	}
+	if *withCost {
+		extra = append(extra, sqloop.WithCostModel())
+	}
+	if err := run(*addr, *profile, extra); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, profile string, withCost bool) error {
-	var extra []sqloop.OpenOption
-	if withCost {
-		extra = append(extra, sqloop.WithCostModel())
-	}
+func run(addr, profile string, extra []sqloop.OpenOption) error {
 	srv, err := sqloop.Serve(profile, addr, extra...)
 	if err != nil {
 		return err

@@ -25,6 +25,17 @@ type Scale struct {
 	Engines    []string
 	WithCost   bool
 	Seed       int64
+
+	// Serving-traffic experiment (BENCH_PR6.json): an open-loop point
+	// query stream plus a background iterative tenant, swept across
+	// client connection budgets against a fixed-size session pool.
+	TrafficConns    []int         // client concurrency sweep
+	TrafficRate     int           // offered arrivals per second
+	TrafficSeconds  float64       // generator duration per level
+	TrafficNodes    int64         // edge relation size
+	TrafficSessions int           // server session pool size
+	TrafficQueue    int           // per-tenant admission queue depth
+	TrafficDeadline time.Duration // per point query deadline
 }
 
 // DefaultScale is the scaled-down default used by cmd/sqloopbench.
@@ -42,6 +53,14 @@ func DefaultScale() Scale {
 		Engines:    Engines(),
 		WithCost:   true,
 		Seed:       42,
+
+		TrafficConns:    []int{2, 8, 32},
+		TrafficRate:     200,
+		TrafficSeconds:  3,
+		TrafficNodes:    800,
+		TrafficSessions: 4,
+		TrafficQueue:    64,
+		TrafficDeadline: 2 * time.Second,
 	}
 }
 
@@ -54,6 +73,10 @@ func (s Scale) Quick() Scale {
 	s.Threads = []int{1, 2, 4}
 	s.MaxThreads = 4
 	s.Engines = []string{"pgsim"}
+	s.TrafficConns = []int{2, 4, 8}
+	s.TrafficRate = 100
+	s.TrafficSeconds = 1
+	s.TrafficNodes = 400
 	return s
 }
 

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqloop/internal/core"
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/graph"
+	"sqloop/internal/obs"
+	"sqloop/internal/serve"
+	"sqloop/internal/wire"
+)
+
+// The PR6 traffic experiment: an open-loop generator fires point
+// queries at a pooled server at a fixed arrival rate while a second
+// tenant runs iterative CTEs in the background, sweeping the client
+// concurrency (connection) budget. Open loop means arrivals never wait
+// for completions, so queueing delay shows up in the latency tail
+// instead of silently throttling the offered load — the
+// coordinated-omission-free way to measure a serving layer.
+
+// TrafficRun is one concurrency level of BENCH_PR6.json.
+type TrafficRun struct {
+	Figure      string  `json:"figure"`
+	Backend     string  `json:"backend"`
+	Profile     string  `json:"profile"`
+	Connections int     `json:"connections"`  // client connection budget
+	RatePerSec  int     `json:"rate_per_sec"` // offered point-query arrival rate
+	Offered     int     `json:"offered"`      // point queries issued
+	Completed   int     `json:"completed"`
+	Rejected    int     `json:"rejected"`          // server admission rejections
+	Deadlined   int     `json:"deadline_exceeded"` // per-request deadline expiries
+	Errors      int     `json:"errors"`            // anything else
+	Throughput  float64 `json:"throughput_per_sec"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	P999Millis  float64 `json:"p999_ms"`
+	IterRounds  int64   `json:"iter_rounds"` // background tenant's completed CTE rounds
+	IterExecs   int64   `json:"iter_execs"`  // background tenant's completed executions
+}
+
+// TrafficReport is the top-level BENCH_PR6.json document.
+type TrafficReport struct {
+	Figure      string       `json:"figure"`
+	MaxSessions int          `json:"max_sessions"`
+	QueueDepth  int          `json:"queue_depth"`
+	Runs        []TrafficRun `json:"runs"`
+}
+
+// trafficServer is the system under test: an embedded engine behind
+// the wire protocol with the multi-tenant session pool enabled.
+func trafficServer(profile string, withCost bool, pool serve.Config) (*wire.Server, string, error) {
+	engCfg, err := engine.Profile(profile)
+	if err != nil {
+		return nil, "", err
+	}
+	if withCost {
+		engCfg.Cost = engine.DefaultCost(engCfg.Dialect)
+	}
+	eng := engine.New(engCfg)
+	srv := wire.NewServer(eng)
+	eng.SetMetrics(srv.Metrics())
+	srv.EnablePool(pool)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, addr, nil
+}
+
+// percentile reads the q-quantile from an already-sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// trafficIterLoop runs iterative CTEs back to back as tenant "iter"
+// until ctx is cancelled, reporting completed rounds and executions.
+func trafficIterLoop(ctx context.Context, dsn, query string, rounds, execs *atomic.Int64) error {
+	s, err := core.Open(driver.DriverName, dsn, core.Options{
+		Mode:    core.ModeSingle,
+		Dialect: "postgres",
+		Observer: obs.FuncTracer(func(e obs.Event) {
+			if _, ok := e.(obs.RoundEnd); ok {
+				rounds.Add(1)
+			}
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for ctx.Err() == nil {
+		if _, err := s.Exec(ctx, query); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		execs.Add(1)
+	}
+	return nil
+}
+
+// trafficLevel drives one concurrency level against a fresh server and
+// returns its measurements.
+func trafficLevel(ctx context.Context, sc Scale, profile string, conns int) (TrafficRun, error) {
+	run := TrafficRun{
+		Figure: "pr6-traffic", Backend: backendFor(profile), Profile: profile,
+		Connections: conns, RatePerSec: sc.TrafficRate,
+	}
+	srv, addr, err := trafficServer(profile, sc.WithCost, serve.Config{
+		MaxSessions: sc.TrafficSessions, QueueDepth: sc.TrafficQueue,
+	})
+	if err != nil {
+		return run, err
+	}
+	defer srv.Close()
+	base := driver.TCPDSN(addr)
+
+	// Load the shared edge relation through a setup tenant.
+	loader, err := core.Open(driver.DriverName, driver.TenantDSN(base, "setup", 0),
+		core.Options{Dialect: "postgres"})
+	if err != nil {
+		return run, err
+	}
+	g, err := graph.ByName("twitter-ego", sc.TrafficNodes, sc.Seed)
+	if err != nil {
+		_ = loader.Close()
+		return run, err
+	}
+	if err := graph.Load(ctx, loader.DB(), "edges", g, 500); err != nil {
+		_ = loader.Close()
+		return run, err
+	}
+	if err := loader.Close(); err != nil {
+		return run, err
+	}
+
+	// Background iterative tenant: SSSP fix points back to back.
+	bg, bgCancel := context.WithCancel(ctx)
+	defer bgCancel()
+	var iterRounds, iterExecs atomic.Int64
+	iterDone := make(chan error, 1)
+	go func() {
+		iterDone <- trafficIterLoop(bg, driver.TenantDSN(base, "iter", 0),
+			SSSPQuery(sc.SSSPDest%sc.TrafficNodes), &iterRounds, &iterExecs)
+	}()
+
+	// Point-query tenant: an open-loop arrival process over a bounded
+	// connection budget. database/sql queues requests beyond the budget
+	// client-side, so that wait is part of the measured latency.
+	point, err := core.Open(driver.DriverName, driver.TenantDSN(base, "point", 0),
+		core.Options{Dialect: "postgres"})
+	if err != nil {
+		return run, err
+	}
+	defer point.Close()
+	db := point.DB()
+	db.SetMaxOpenConns(conns)
+
+	total := int(float64(sc.TrafficRate) * sc.TrafficSeconds)
+	interval := time.Second / time.Duration(sc.TrafficRate)
+	var (
+		mu        sync.Mutex
+		durations = make([]time.Duration, 0, total)
+		rejected  atomic.Int64
+		deadlined atomic.Int64
+		failed    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	started := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < total; i++ {
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return run, ctx.Err()
+		}
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			qctx, cancel := context.WithTimeout(ctx, sc.TrafficDeadline)
+			defer cancel()
+			src := int64(seq) % sc.TrafficNodes
+			t0 := time.Now()
+			var n int64
+			err := db.QueryRowContext(qctx,
+				fmt.Sprintf("SELECT COUNT(*) FROM edges WHERE src = %d", src)).Scan(&n)
+			d := time.Since(t0)
+			switch {
+			case err == nil:
+				mu.Lock()
+				durations = append(durations, d)
+				mu.Unlock()
+			case errors.Is(err, serve.ErrAdmissionRejected):
+				rejected.Add(1)
+			case errors.Is(err, context.DeadlineExceeded):
+				deadlined.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+	bgCancel()
+	if err := <-iterDone; err != nil {
+		return run, fmt.Errorf("background iterative tenant: %w", err)
+	}
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	run.Offered = total
+	run.Completed = len(durations)
+	run.Rejected = int(rejected.Load())
+	run.Deadlined = int(deadlined.Load())
+	run.Errors = int(failed.Load())
+	run.Throughput = float64(len(durations)) / elapsed.Seconds()
+	run.P50Millis = millis(percentile(durations, 0.50))
+	run.P99Millis = millis(percentile(durations, 0.99))
+	run.P999Millis = millis(percentile(durations, 0.999))
+	run.IterRounds = iterRounds.Load()
+	run.IterExecs = iterExecs.Load()
+	return run, nil
+}
+
+// TrafficFig sweeps the open-loop mixed workload across client
+// concurrency levels and writes BENCH_PR6.json.
+func TrafficFig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	profile := sc.Engines[0]
+	report := &TrafficReport{
+		Figure: "pr6-traffic", MaxSessions: sc.TrafficSessions, QueueDepth: sc.TrafficQueue,
+	}
+	fmt.Fprintf(w, "\n== PR6 / serving traffic with %s: %d req/s open loop + background iterative tenant, %d sessions ==\n",
+		EngineLabel(profile), sc.TrafficRate, sc.TrafficSessions)
+	fmt.Fprintf(w, "%-6s %9s %9s %8s %8s %8s %9s %9s %9s %7s\n",
+		"conns", "offered", "done", "rej", "dline", "thru/s", "p50(ms)", "p99(ms)", "p999(ms)", "rounds")
+	for _, conns := range sc.TrafficConns {
+		run, err := trafficLevel(ctx, sc, profile, conns)
+		if err != nil {
+			return fmt.Errorf("traffic level %d conns: %w", conns, err)
+		}
+		if run.Errors > 0 {
+			return fmt.Errorf("traffic level %d conns: %d unexpected query errors", conns, run.Errors)
+		}
+		fmt.Fprintf(w, "%-6d %9d %9d %8d %8d %8.0f %9.2f %9.2f %9.2f %7d\n",
+			run.Connections, run.Offered, run.Completed, run.Rejected, run.Deadlined,
+			run.Throughput, run.P50Millis, run.P99Millis, run.P999Millis, run.IterRounds)
+		report.Runs = append(report.Runs, run)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d levels)\n", outPath, len(report.Runs))
+	return nil
+}

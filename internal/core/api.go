@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sqloop/internal/obs"
+	"sqloop/internal/serve"
 	"sqloop/internal/sqlparser"
 )
 
@@ -137,6 +138,18 @@ type Options struct {
 	// and a failed run resumes from the last snapshot instead of the
 	// seed. Disabled when Dir is empty.
 	Checkpoint CheckpointOptions
+	// Tenant names this instance's tenant for admission control and
+	// fair scheduling; empty means the default tenant. Only meaningful
+	// together with Scheduler.
+	Tenant string
+	// Scheduler, when set, admits every iterative/recursive execution
+	// before it runs (per-tenant concurrent-execution limits, typed
+	// *serve.AdmissionError rejections) and fair-schedules concurrent
+	// executions: the round loops yield their slot at round boundaries
+	// so two tenants' fix-point computations interleave rounds instead
+	// of serializing. Share one Scheduler across the instances that
+	// should compete fairly.
+	Scheduler *serve.Scheduler
 }
 
 // CheckpointOptions configures the checkpoint & recovery subsystem.
@@ -425,6 +438,17 @@ func (s *SQLoop) execLoopCTE(ctx context.Context, cte *sqlparser.LoopCTEStmt) (*
 	kind := "iterative"
 	if cte.Kind == sqlparser.CTERecursive {
 		kind = "recursive"
+	}
+	// Admission: one scheduler slot per execution, spanning the whole
+	// run including recovery attempts — the ticket's round-boundary
+	// yields keep concurrent executions fair, not the recovery loop.
+	if s.opts.Scheduler != nil {
+		ticket, err := s.opts.Scheduler.Admit(ctx, s.opts.Tenant)
+		if err != nil {
+			return nil, err
+		}
+		defer ticket.Done()
+		ctx = withTicket(ctx, ticket)
 	}
 	s.tracer.Emit(obs.ExecStart{Kind: kind, CTE: cte.Name, Mode: s.opts.Mode.String()})
 	start := time.Now()

@@ -168,6 +168,11 @@ func (s *SQLoop) execRecursive(ctx context.Context, cte *sqlparser.LoopCTEStmt) 
 				return nil, err
 			}
 		}
+		// Round boundary: hand the scheduler slot to any waiting
+		// execution before starting the next round.
+		if err := yieldRound(ctx); err != nil {
+			return nil, err
+		}
 	}
 
 	res, err := s.runFinal(ctx, c, cte, tok)
@@ -427,6 +432,11 @@ func (s *SQLoop) execIterativeSingle(ctx context.Context, cte *sqlparser.LoopCTE
 			if err := ck.save(ctx, c, iters, 0, nil, cols, []string{rName}); err != nil {
 				return nil, err
 			}
+		}
+		// Round boundary: hand the scheduler slot to any waiting
+		// execution before starting the next round.
+		if err := yieldRound(ctx); err != nil {
+			return nil, err
 		}
 	}
 

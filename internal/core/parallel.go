@@ -627,6 +627,11 @@ func (r *parallelRun) driveSync(ctx context.Context) error {
 				return err
 			}
 		}
+		// Round boundary (post-gather barrier): hand the scheduler slot
+		// to any waiting execution before the next round.
+		if err := yieldRound(ctx); err != nil {
+			return err
+		}
 	}
 }
 
@@ -1018,6 +1023,15 @@ func (r *parallelRun) driveAsync(ctx context.Context, prio bool) error {
 			}
 			if !done && r.ckpt.due(minRounds) {
 				ckptPending = true
+			}
+			// Lazy round boundary: the slowest partition just advanced,
+			// which is the async mode's closest analogue of a barrier.
+			// Workers keep draining their in-flight tasks while the
+			// coordinator waits for its slot back.
+			if !done {
+				if err := yieldRound(ctx); err != nil {
+					return err
+				}
 			}
 		}
 		// Quiescence may only be judged with no tasks in flight: an

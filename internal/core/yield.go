@@ -1,0 +1,34 @@
+package core
+
+import (
+	"context"
+
+	"sqloop/internal/serve"
+)
+
+// Fair round scheduling (the serving layer's contract with the round
+// loops): when an execution was admitted through a serve.Scheduler,
+// its ticket travels down to the executors in the context, and every
+// round loop calls yieldRound at the round boundary — the same place
+// the checkpoint barrier sits, where no statement is in flight and the
+// CTE tables are consistent. With slot contention the scheduler parks
+// this execution there and runs another tenant's round; without it the
+// yield is a single mutex acquisition.
+
+// ticketKey carries the admission ticket in the context.
+type ticketKey struct{}
+
+// withTicket attaches an admission ticket for the round loops.
+func withTicket(ctx context.Context, t *serve.Ticket) context.Context {
+	return context.WithValue(ctx, ticketKey{}, t)
+}
+
+// yieldRound marks a round boundary. It returns ctx.Err() when the
+// wait for a fresh slot was cancelled; unscheduled executions (no
+// ticket in ctx) pay only the context lookup.
+func yieldRound(ctx context.Context) error {
+	if t, ok := ctx.Value(ticketKey{}).(*serve.Ticket); ok {
+		return t.Yield(ctx)
+	}
+	return nil
+}

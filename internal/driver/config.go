@@ -1,0 +1,135 @@
+package driver
+
+import (
+	"sync"
+	"time"
+
+	"sqloop/internal/obs"
+	"sqloop/internal/wire"
+)
+
+// Config is the complete per-DSN configuration, applied to every
+// connection subsequently opened for that DSN. database/sql constructs
+// connections from the DSN string alone, so per-DSN state must live in
+// a process-wide map; Configure replaces the whole entry atomically —
+// unlike the three legacy Set* setters, a reader can never observe a
+// half-updated combination.
+type Config struct {
+	// Metrics receives per-statement counters and latency histograms
+	// (driver_statements_total, driver_statement_seconds) plus, for
+	// wire DSNs, round-trip and traffic instruments.
+	Metrics *obs.Registry
+	// Retry bounds transparent dial/exec retries for wire DSNs; the
+	// zero value means DefaultRetryPolicy.
+	Retry RetryPolicy
+	// WireVer caps the negotiated wire protocol version: 0 means the
+	// build's wire.WireVersion, negative forces the version-0 JSON
+	// protocol.
+	WireVer int
+	// Tenant identifies connections to the server's admission control;
+	// empty means the server's default tenant. A tenant=<id> DSN query
+	// parameter fills this when the Config leaves it empty.
+	Tenant string
+	// Deadline bounds each statement issued without a context deadline
+	// (queue wait plus execution, enforced server-side); 0 means none.
+	// A deadline=<duration> DSN query parameter fills this when the
+	// Config leaves it zero.
+	Deadline time.Duration
+}
+
+// dsnConfigs is the process-wide DSN → Config map.
+var dsnConfigs = struct {
+	sync.RWMutex
+	m map[string]Config
+}{m: make(map[string]Config)}
+
+// Configure sets the complete configuration for dsn in one atomic
+// replacement. A zero Config removes the entry.
+func Configure(dsn string, cfg Config) {
+	dsnConfigs.Lock()
+	defer dsnConfigs.Unlock()
+	if cfg == (Config{}) {
+		delete(dsnConfigs.m, dsn)
+		return
+	}
+	dsnConfigs.m[dsn] = cfg
+}
+
+// ConfigFor reads the current configuration for dsn (zero Config if
+// none) — read-modify-Configure lets callers adjust one field without
+// clobbering the rest.
+func ConfigFor(dsn string) Config { return configFor(dsn) }
+
+// configFor reads the configuration for dsn (zero Config if none).
+func configFor(dsn string) Config {
+	dsnConfigs.RLock()
+	defer dsnConfigs.RUnlock()
+	return dsnConfigs.m[dsn]
+}
+
+// updateConfig applies one field mutation under the write lock — the
+// compatibility shim for the legacy piecewise setters.
+func updateConfig(dsn string, f func(*Config)) {
+	dsnConfigs.Lock()
+	defer dsnConfigs.Unlock()
+	c := dsnConfigs.m[dsn]
+	f(&c)
+	if c == (Config{}) {
+		delete(dsnConfigs.m, dsn)
+		return
+	}
+	dsnConfigs.m[dsn] = c
+}
+
+// SetDSNMetrics attaches a registry to every connection subsequently
+// opened for dsn. Pass nil to detach.
+//
+// Deprecated: use Configure, which replaces the whole per-DSN
+// configuration atomically instead of mutating one field at a time.
+func SetDSNMetrics(dsn string, r *obs.Registry) {
+	updateConfig(dsn, func(c *Config) { c.Metrics = r })
+}
+
+// SetDSNRetry overrides the retry policy for connections subsequently
+// opened for dsn. A zero policy restores the default.
+//
+// Deprecated: use Configure.
+func SetDSNRetry(dsn string, p RetryPolicy) {
+	updateConfig(dsn, func(c *Config) { c.Retry = p })
+}
+
+// SetDSNWireVersion caps the protocol version for connections
+// subsequently opened for dsn: 0 forces JSON responses (a
+// pre-binary-codec client), wire.WireVersion restores the default.
+//
+// Deprecated: use Configure (note Configure's WireVer uses 0 for the
+// default and negative values to force JSON).
+func SetDSNWireVersion(dsn string, ver int) {
+	if ver < 1 {
+		ver = -1 // legacy call convention: 0 forced the JSON protocol
+	}
+	updateConfig(dsn, func(c *Config) { c.WireVer = ver })
+}
+
+// metricsFor, retryFor and wireVerFor read single fields for the
+// driver's internals.
+
+func metricsFor(dsn string) *obs.Registry { return configFor(dsn).Metrics }
+
+func retryFor(dsn string) RetryPolicy {
+	if p := configFor(dsn).Retry; p != (RetryPolicy{}) {
+		return p
+	}
+	return DefaultRetryPolicy
+}
+
+func wireVerFor(dsn string) int {
+	switch v := configFor(dsn).WireVer; {
+	case v == 0:
+		return wire.WireVersion
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -53,67 +54,33 @@ func UnregisterEngine(handle string) {
 	delete(engines.m, handle)
 }
 
-// dsnMetrics maps DSNs to metrics registries. database/sql constructs
-// connections itself from the DSN string alone, so attaching metrics to
-// connections requires the same process-wide mapping pattern as the
-// engine registry.
-var dsnMetrics = struct {
-	sync.RWMutex
-	m map[string]*obs.Registry
-}{m: make(map[string]*obs.Registry)}
-
-// SetDSNMetrics attaches a registry to every connection subsequently
-// opened for dsn: each statement is counted
-// (driver_statements_total) and timed (driver_statement_seconds), and
-// wire connections additionally report round-trips and traffic (see
-// wire.Client.SetMetrics). Pass nil to detach.
-func SetDSNMetrics(dsn string, r *obs.Registry) {
-	dsnMetrics.Lock()
-	defer dsnMetrics.Unlock()
-	if r == nil {
-		delete(dsnMetrics.m, dsn)
-		return
-	}
-	dsnMetrics.m[dsn] = r
-}
-
-func metricsFor(dsn string) *obs.Registry {
-	dsnMetrics.RLock()
-	defer dsnMetrics.RUnlock()
-	return dsnMetrics.m[dsn]
-}
-
-// dsnWireVer caps the wire protocol version per DSN (same
-// process-wide mapping pattern as dsnMetrics). Absent entries use
-// wire.WireVersion, i.e. the binary codec when the server speaks it.
-var dsnWireVer = struct {
-	sync.RWMutex
-	m map[string]int
-}{m: make(map[string]int)}
-
-// SetDSNWireVersion caps the protocol version for connections
-// subsequently opened for dsn: 0 forces JSON responses (a
-// pre-binary-codec client), wire.WireVersion restores the default.
-func SetDSNWireVersion(dsn string, ver int) {
-	dsnWireVer.Lock()
-	defer dsnWireVer.Unlock()
-	dsnWireVer.m[dsn] = ver
-}
-
-func wireVerFor(dsn string) int {
-	dsnWireVer.RLock()
-	defer dsnWireVer.RUnlock()
-	if v, ok := dsnWireVer.m[dsn]; ok {
-		return v
-	}
-	return wire.WireVersion
-}
-
 // InprocDSN returns the DSN for a registered engine handle.
 func InprocDSN(handle string) string { return "sqlsim://inproc/" + handle }
 
 // TCPDSN returns the DSN for a remote engine at addr.
 func TCPDSN(addr string) string { return "sqlsim://tcp/" + addr }
+
+// TenantDSN appends tenant (and a per-statement deadline, when
+// positive) as DSN query parameters. Two tenants sharing one server
+// address need distinct DSN strings so database/sql pools their
+// connections separately, which is exactly what query parameters give:
+//
+//	sqlsim://tcp/127.0.0.1:4000?tenant=acme&deadline=300ms
+func TenantDSN(dsn, tenant string, deadline time.Duration) string {
+	sep := "?"
+	if strings.Contains(dsn, "?") {
+		sep = "&"
+	}
+	out := dsn
+	if tenant != "" {
+		out += sep + "tenant=" + url.QueryEscape(tenant)
+		sep = "&"
+	}
+	if deadline > 0 {
+		out += sep + "deadline=" + url.QueryEscape(deadline.String())
+	}
+	return out
+}
 
 // Driver implements database/sql/driver.Driver.
 type Driver struct{}
@@ -130,7 +97,9 @@ func init() {
 	registerOnce.Do(func() { sql.Register(DriverName, Driver{}) })
 }
 
-// Open creates one connection for the DSN.
+// Open creates one connection for the DSN. The DSN may carry
+// tenant=<id> and deadline=<duration> query parameters; an explicit
+// Configure for the same DSN string takes precedence field by field.
 func (Driver) Open(dsn string) (driver.Conn, error) {
 	rest, ok := strings.CutPrefix(dsn, "sqlsim://")
 	if !ok {
@@ -140,7 +109,11 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("driver: DSN %q missing target", dsn)
 	}
-	reg := metricsFor(dsn)
+	cfg := configFor(dsn)
+	target, err := applyDSNParams(target, &cfg)
+	if err != nil {
+		return nil, fmt.Errorf("driver: DSN %q: %w", dsn, err)
+	}
 	switch kind {
 	case "inproc":
 		engines.RLock()
@@ -149,28 +122,65 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 		if eng == nil {
 			return nil, fmt.Errorf("driver: no engine registered as %q", target)
 		}
-		return newConn(&inprocExec{sess: eng.NewSession()}, reg), nil
+		return newConn(&inprocExec{sess: eng.NewSession()}, cfg.Metrics), nil
 	case "tcp":
-		e := newWireExec(target, reg, retryFor(dsn), wireVerFor(dsn))
-		if err := e.dialRetry(); err != nil {
+		e := newWireExec(target, cfg, retryFor(dsn), wireVerFor(dsn))
+		if err := e.dialRetry(context.Background()); err != nil {
 			return nil, err
 		}
-		return newConn(e, reg), nil
+		return newConn(e, cfg.Metrics), nil
 	default:
 		return nil, fmt.Errorf("driver: unknown DSN scheme %q", kind)
 	}
 }
 
-// executor abstracts the two transports.
+// applyDSNParams strips the query part off a DSN target and merges the
+// recognized parameters into cfg (Configure-set fields win).
+func applyDSNParams(target string, cfg *Config) (string, error) {
+	target, query, ok := strings.Cut(target, "?")
+	if !ok {
+		return target, nil
+	}
+	vals, err := url.ParseQuery(query)
+	if err != nil {
+		return "", err
+	}
+	for key := range vals {
+		switch key {
+		case "tenant", "deadline":
+		default:
+			return "", fmt.Errorf("unknown DSN parameter %q", key)
+		}
+	}
+	if cfg.Tenant == "" {
+		cfg.Tenant = vals.Get("tenant")
+	}
+	if cfg.Deadline == 0 {
+		if s := vals.Get("deadline"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				return "", fmt.Errorf("deadline parameter: %w", err)
+			}
+			cfg.Deadline = d
+		}
+	}
+	return target, nil
+}
+
+// executor abstracts the two transports. All execution is
+// context-first: the wire transport carries the context's deadline to
+// the server and aborts retry backoffs on cancellation; the inproc
+// transport checks the context at statement boundaries (engine
+// statements themselves are not interruptible).
 type executor interface {
-	exec(sql string, args []sqltypes.Value) (*engine.Result, error)
+	exec(ctx context.Context, sql string, args []sqltypes.Value) (*engine.Result, error)
 	prepare(sql string) (prepared, error)
 	close() error
 }
 
 // prepared is one prepared statement on an executor.
 type prepared interface {
-	exec(args []sqltypes.Value) (*engine.Result, error)
+	exec(ctx context.Context, args []sqltypes.Value) (*engine.Result, error)
 	close() error
 }
 
@@ -180,7 +190,10 @@ var errConnClosed = errors.New("driver: connection closed")
 
 type inprocExec struct{ sess *engine.Session }
 
-func (e *inprocExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
+func (e *inprocExec) exec(ctx context.Context, sql string, args []sqltypes.Value) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.sess.Exec(sql, args...)
 }
 
@@ -199,7 +212,10 @@ type inprocPrepared struct {
 	id   int64
 }
 
-func (p *inprocPrepared) exec(args []sqltypes.Value) (*engine.Result, error) {
+func (p *inprocPrepared) exec(ctx context.Context, args []sqltypes.Value) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return p.sess.ExecPrepared(p.id, args)
 }
 func (p *inprocPrepared) close() error { return p.sess.ClosePrepared(p.id) }
@@ -216,17 +232,27 @@ type wireExec struct {
 	cl  *wire.Client
 	gen uint64 // dial generation; prepared handles are valid for one gen
 
-	addr   string
-	reg    *obs.Registry
-	policy RetryPolicy
-	maxVer int
+	addr     string
+	reg      *obs.Registry
+	policy   RetryPolicy
+	maxVer   int
+	tenant   string
+	deadline time.Duration
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
-func newWireExec(addr string, reg *obs.Registry, policy RetryPolicy, maxVer int) *wireExec {
-	return &wireExec{addr: addr, reg: reg, policy: policy, maxVer: maxVer, closed: make(chan struct{})}
+func newWireExec(addr string, cfg Config, policy RetryPolicy, maxVer int) *wireExec {
+	return &wireExec{
+		addr:     addr,
+		reg:      cfg.Metrics,
+		policy:   policy,
+		maxVer:   maxVer,
+		tenant:   cfg.Tenant,
+		deadline: cfg.Deadline,
+		closed:   make(chan struct{}),
+	}
 }
 
 func (e *wireExec) isClosed() bool {
@@ -265,28 +291,37 @@ func (e *wireExec) dropClient(cl *wire.Client) {
 	_ = cl.Close()
 }
 
-// dialRetry (re)connects under the retry policy.
-func (e *wireExec) dialRetry() error {
+// dialRetry (re)connects under the retry policy. ctx aborts a pending
+// backoff sleep; it does not bound the dial itself.
+func (e *wireExec) dialRetry(ctx context.Context) error {
 	e.mu.Lock()
 	if e.cl != nil {
 		_ = e.cl.Close()
 		e.cl = nil
 	}
 	e.mu.Unlock()
+	dialVer := e.maxVer
+	if dialVer < 1 {
+		dialVer = -1 // wire.DialOpts convention: negative forces JSON
+	}
 	var lastErr error
 	for attempt := 1; attempt <= e.policy.attempts(); attempt++ {
 		if attempt > 1 {
 			if e.reg != nil {
 				e.reg.Counter("driver_retries_total").Inc()
 			}
-			if !e.policy.sleep(attempt-1, e.closed) {
-				return errConnClosed
+			if err := e.policy.sleep(ctx, attempt-1, e.closed); err != nil {
+				return err
 			}
 		}
 		if e.isClosed() {
 			return errConnClosed
 		}
-		cl, err := wire.DialVersion(e.addr, e.maxVer)
+		cl, err := wire.DialOpts(e.addr, wire.DialOptions{
+			MaxVer:   dialVer,
+			Tenant:   e.tenant,
+			Deadline: e.deadline,
+		})
 		if err != nil {
 			lastErr = err
 			continue
@@ -310,9 +345,9 @@ func (e *wireExec) dialRetry() error {
 	return lastErr
 }
 
-func (e *wireExec) exec(sql string, args []sqltypes.Value) (*engine.Result, error) {
-	return e.withRetry(func(cl *wire.Client) (*engine.Result, error) {
-		return cl.Exec(sql, args...)
+func (e *wireExec) exec(ctx context.Context, sql string, args []sqltypes.Value) (*engine.Result, error) {
+	return e.withRetry(ctx, func(cl *wire.Client) (*engine.Result, error) {
+		return cl.ExecContext(ctx, sql, args...)
 	})
 }
 
@@ -327,24 +362,31 @@ func (e *wireExec) prepare(sql string) (prepared, error) {
 // wire.OpError.Sent, and retrying never-sent requests on a fresh
 // connection. Sent-but-unanswered requests heal the connection and
 // surface as ConnLostError (only a layer with checkpoints may rerun a
-// possibly-applied statement).
-func (e *wireExec) withRetry(op func(cl *wire.Client) (*engine.Result, error)) (*engine.Result, error) {
+// possibly-applied statement). Admission rejections are also retried —
+// the server provably never ran the statement — and surface typed
+// (*serve.AdmissionError) when the attempts run out, so callers can
+// classify them with errors.Is. Backoff sleeps abort on ctx
+// cancellation as well as on Close.
+func (e *wireExec) withRetry(ctx context.Context, op func(cl *wire.Client) (*engine.Result, error)) (*engine.Result, error) {
 	var lastErr error
 	for attempt := 1; attempt <= e.policy.attempts(); attempt++ {
 		if attempt > 1 {
 			if e.reg != nil {
 				e.reg.Counter("driver_retries_total").Inc()
 			}
-			if !e.policy.sleep(attempt-1, e.closed) {
-				return nil, errConnClosed
+			if err := e.policy.sleep(ctx, attempt-1, e.closed); err != nil {
+				return nil, err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if e.isClosed() {
 			return nil, errConnClosed
 		}
 		cl := e.client()
 		if cl == nil {
-			if err := e.dialRetry(); err != nil {
+			if err := e.dialRetry(ctx); err != nil {
 				lastErr = err
 				continue
 			}
@@ -357,6 +399,15 @@ func (e *wireExec) withRetry(op func(cl *wire.Client) (*engine.Result, error)) (
 		if err == nil {
 			return res, nil
 		}
+		if isAdmissionRejected(err) {
+			// Backpressure, not failure: the connection is healthy and
+			// the statement never ran. Back off and resubmit.
+			if e.reg != nil {
+				e.reg.Counter("driver_admission_rejections_total").Inc()
+			}
+			lastErr = err
+			continue
+		}
 		var oe *wire.OpError
 		if !errors.As(err, &oe) {
 			return nil, err // remote execution error, not a transport failure
@@ -365,14 +416,24 @@ func (e *wireExec) withRetry(op func(cl *wire.Client) (*engine.Result, error)) (
 			// The statement may have executed server-side. Heal the
 			// connection for the caller's next statement, but do not
 			// re-execute: only a layer with checkpoints can recover.
-			_ = e.dialRetry()
+			_ = e.dialRetry(ctx)
 			return nil, &ConnLostError{Err: err}
 		}
 		// The request never reached the engine: retrying is safe.
 		e.dropClient(cl)
 		lastErr = err
 	}
+	if isAdmissionRejected(lastErr) {
+		return nil, lastErr // typed: callers match serve.ErrAdmissionRejected
+	}
 	return nil, &ConnLostError{Err: lastErr}
+}
+
+// isAdmissionRejected duck-types serve.AdmissionError without naming
+// the concrete type, mirroring how core detects ConnLostError.
+func isAdmissionRejected(err error) bool {
+	var ar interface{ AdmissionRejected() bool }
+	return errors.As(err, &ar) && ar.AdmissionRejected()
 }
 
 func (e *wireExec) close() error {
@@ -400,8 +461,8 @@ type wirePrepared struct {
 	gen    uint64 // 0 = not yet prepared (dial generations start at 1)
 }
 
-func (p *wirePrepared) exec(args []sqltypes.Value) (*engine.Result, error) {
-	return p.e.withRetry(func(cl *wire.Client) (*engine.Result, error) {
+func (p *wirePrepared) exec(ctx context.Context, args []sqltypes.Value) (*engine.Result, error) {
+	return p.e.withRetry(ctx, func(cl *wire.Client) (*engine.Result, error) {
 		if gen := p.e.generation(); p.gen != gen {
 			h, err := cl.Prepare(p.sql)
 			if err != nil {
@@ -409,7 +470,7 @@ func (p *wirePrepared) exec(args []sqltypes.Value) (*engine.Result, error) {
 			}
 			p.handle, p.gen = h, gen
 		}
-		return cl.ExecPrepared(p.handle, args...)
+		return cl.ExecPreparedContext(ctx, p.handle, args...)
 	})
 }
 
@@ -464,7 +525,7 @@ func (c *conn) Close() error { return c.exec.close() }
 
 // Begin starts an explicit transaction.
 func (c *conn) Begin() (driver.Tx, error) {
-	if _, err := c.exec.exec("BEGIN", nil); err != nil {
+	if _, err := c.exec.exec(context.Background(), "BEGIN", nil); err != nil {
 		return nil, err
 	}
 	return &tx{c: c}, nil
@@ -501,10 +562,10 @@ func (c *conn) run(ctx context.Context, query string, args []driver.NamedValue) 
 		vals[i] = v
 	}
 	if c.stmtLatency == nil {
-		return c.exec.exec(query, vals)
+		return c.exec.exec(ctx, query, vals)
 	}
 	start := time.Now()
-	res, err := c.exec.exec(query, vals)
+	res, err := c.exec.exec(ctx, query, vals)
 	c.stmtCount.Inc()
 	c.stmtLatency.Observe(time.Since(start))
 	return res, err
@@ -513,12 +574,12 @@ func (c *conn) run(ctx context.Context, query string, args []driver.NamedValue) 
 type tx struct{ c *conn }
 
 func (t *tx) Commit() error {
-	_, err := t.c.exec.exec("COMMIT", nil)
+	_, err := t.c.exec.exec(context.Background(), "COMMIT", nil)
 	return err
 }
 
 func (t *tx) Rollback() error {
-	_, err := t.c.exec.exec("ROLLBACK", nil)
+	_, err := t.c.exec.exec(context.Background(), "ROLLBACK", nil)
 	return err
 }
 
@@ -528,13 +589,17 @@ type stmt struct {
 	ps    prepared
 }
 
-var _ driver.Stmt = (*stmt)(nil)
+var (
+	_ driver.Stmt             = (*stmt)(nil)
+	_ driver.StmtExecContext  = (*stmt)(nil)
+	_ driver.StmtQueryContext = (*stmt)(nil)
+)
 
 func (s *stmt) Close() error  { return s.ps.close() }
 func (s *stmt) NumInput() int { return -1 }
 
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	res, err := s.run(args)
+	res, err := s.run(context.Background(), args)
 	if err != nil {
 		return nil, err
 	}
@@ -542,16 +607,49 @@ func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
 }
 
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	res, err := s.run(args)
+	res, err := s.run(context.Background(), args)
 	if err != nil {
 		return nil, err
 	}
 	return &rows{res: res}, nil
 }
 
+// ExecContext executes the prepared handle with the caller's context:
+// its deadline reaches the server and its cancellation aborts retry
+// backoffs, same as the unprepared path.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	res, err := s.run(ctx, namedValues(args))
+	if err != nil {
+		return nil, err
+	}
+	return execResult{n: res.RowsAffected}, nil
+}
+
+// QueryContext is ExecContext for queries.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	res, err := s.run(ctx, namedValues(args))
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// namedValues flattens ordinal NamedValues to plain values (the driver
+// does not support named parameters).
+func namedValues(args []driver.NamedValue) []driver.Value {
+	out := make([]driver.Value, len(args))
+	for i, a := range args {
+		out[i] = a.Value
+	}
+	return out
+}
+
 // run executes the prepared handle, converting args and reporting the
 // same per-statement instruments as the unprepared path.
-func (s *stmt) run(args []driver.Value) (*engine.Result, error) {
+func (s *stmt) run(ctx context.Context, args []driver.Value) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	vals := make([]sqltypes.Value, len(args))
 	for i, a := range args {
 		v, err := sqltypes.FromGo(a)
@@ -561,10 +659,10 @@ func (s *stmt) run(args []driver.Value) (*engine.Result, error) {
 		vals[i] = v
 	}
 	if s.c.stmtLatency == nil {
-		return s.ps.exec(vals)
+		return s.ps.exec(ctx, vals)
 	}
 	start := time.Now()
-	res, err := s.ps.exec(vals)
+	res, err := s.ps.exec(ctx, vals)
 	s.c.stmtCount.Inc()
 	s.c.stmtLatency.Observe(time.Since(start))
 	return res, err

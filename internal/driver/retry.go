@@ -1,8 +1,8 @@
 package driver
 
 import (
+	"context"
 	"math/rand"
-	"sync"
 	"time"
 )
 
@@ -46,11 +46,11 @@ func (p RetryPolicy) attempts() int {
 
 // sleep blocks for the backoff of retry number n (1-based), doubling
 // from BaseBackoff and adding up to 50% jitter so a pool of
-// reconnecting workers does not stampede the engine in lockstep. It
-// returns false without waiting out the backoff when done closes —
-// Close during a backoff window must abort the wait, not ride it out
-// and redial. A nil done makes the sleep uninterruptible.
-func (p RetryPolicy) sleep(n int, done <-chan struct{}) bool {
+// reconnecting workers does not stampede the engine in lockstep. The
+// wait aborts early — returning errConnClosed or ctx.Err() — when the
+// connection closes or the caller's context is done: a cancelled
+// statement must not ride out its backoff window before noticing.
+func (p RetryPolicy) sleep(ctx context.Context, n int, done <-chan struct{}) error {
 	d := p.BaseBackoff
 	if d <= 0 {
 		d = DefaultRetryPolicy.BaseBackoff
@@ -63,47 +63,16 @@ func (p RetryPolicy) sleep(n int, done <-chan struct{}) bool {
 		}
 	}
 	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
-	if done == nil {
-		time.Sleep(d)
-		return true
-	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return true
+		return nil
 	case <-done:
-		return false
+		return errConnClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-}
-
-// dsnRetry maps DSNs to retry policies, the same process-wide pattern
-// as SetDSNMetrics (database/sql builds connections from the DSN
-// string alone).
-var dsnRetry = struct {
-	sync.RWMutex
-	m map[string]RetryPolicy
-}{m: make(map[string]RetryPolicy)}
-
-// SetDSNRetry overrides the retry policy for connections subsequently
-// opened for dsn. A zero policy restores the default.
-func SetDSNRetry(dsn string, p RetryPolicy) {
-	dsnRetry.Lock()
-	defer dsnRetry.Unlock()
-	if p == (RetryPolicy{}) {
-		delete(dsnRetry.m, dsn)
-		return
-	}
-	dsnRetry.m[dsn] = p
-}
-
-func retryFor(dsn string) RetryPolicy {
-	dsnRetry.RLock()
-	defer dsnRetry.RUnlock()
-	if p, ok := dsnRetry.m[dsn]; ok {
-		return p
-	}
-	return DefaultRetryPolicy
 }
 
 // ConnLostError reports a statement whose request reached the engine

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"database/sql"
 	"errors"
 	"testing"
@@ -199,10 +200,10 @@ func TestCloseDuringBackoffReturnsPromptly(t *testing.T) {
 	// Hour-scale backoff: if Close failed to interrupt the sleeping
 	// retry loop, the exec below would ride out the full backoff instead
 	// of returning.
-	e := newWireExec(addr, nil, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}, wire.WireVersion)
+	e := newWireExec(addr, Config{}, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}, wire.WireVersion)
 	errc := make(chan error, 1)
 	go func() {
-		_, err := e.exec(`SELECT 1`, nil)
+		_, err := e.exec(context.Background(), `SELECT 1`, nil)
 		errc <- err
 	}()
 	time.Sleep(50 * time.Millisecond) // let the first attempt fail and the backoff start

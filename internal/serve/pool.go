@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// job states (atomic): a job is claimed exactly once, either by a
+// worker (queued → running) or by its abandoning submitter
+// (queued → abandoned), so a caller that gives up on a queued job can
+// return immediately without racing the worker over shared results.
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobAbandoned
+)
+
+type job struct {
+	ctx      context.Context
+	fn       func(context.Context)
+	state    atomic.Int32
+	done     chan struct{}
+	enqueued time.Time
+	// err is set (before done closes) when the job completed without
+	// running fn — a deadline that expired while the job was queued.
+	err error
+}
+
+// tenantQueue is one tenant's FIFO of queued jobs plus its admission
+// accounting. Queues are kept in Pool.tenants even while empty so the
+// admitted counter survives between bursts.
+type tenantQueue struct {
+	name     string
+	jobs     []*job
+	admitted int  // queued + running
+	ringed   bool // present in the ready ring
+}
+
+// Pool is the bounded session pool: MaxSessions workers drain per-tenant
+// queues round-robin. Submissions beyond a tenant's queue depth or
+// admitted limit are rejected with *AdmissionError instead of queuing
+// unboundedly — backpressure the caller can see and retry.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with at least one queued job, FIFO
+	ready   chan struct{}  // buffered wake-ups, one per queued job
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewPool starts the worker goroutines. Close releases them.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:     cfg,
+		tenants: make(map[string]*tenantQueue),
+		// One token per queued job; sized generously so enqueue never
+		// blocks (bounded by MaxSessions*QueueDepth admission anyway).
+		ready: make(chan struct{}, 1<<16),
+	}
+	p.wg.Add(cfg.MaxSessions)
+	for i := 0; i < cfg.MaxSessions; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Do submits fn for tenant and blocks until it has run, the context is
+// done, or admission rejects it. fn receives a context bounded by the
+// pool's default deadline (when ctx carries none). When Do returns a
+// non-nil error, fn did not and will not run.
+func (p *Pool) Do(ctx context.Context, tenant string, fn func(context.Context)) error {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if _, ok := ctx.Deadline(); !ok && p.cfg.DefaultDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.DefaultDeadline)
+		defer cancel()
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enqueued: time.Now()}
+	if err := p.enqueue(tenant, j); err != nil {
+		p.count("serve_rejected_total")
+		p.count("serve_rejected_" + err.Reason + "_total")
+		return err
+	}
+	p.count("serve_admitted_total")
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobQueued, jobAbandoned) {
+			// Claimed before any worker: fn will never run. The queue
+			// entry is lazily skipped by the worker that drains it.
+			p.finish(tenant)
+			return ctx.Err()
+		}
+		// A worker got there first: wait for fn to finish so the
+		// caller's result variables are safe to read (fn observes the
+		// same ctx and is expected to wind down promptly).
+		<-j.done
+		return j.err
+	}
+}
+
+// enqueue admits and queues one job, waking a worker.
+func (p *Pool) enqueue(tenant string, j *job) *AdmissionError {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return &AdmissionError{Tenant: tenant, Reason: ReasonClosed}
+	}
+	tq := p.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: tenant}
+		p.tenants[tenant] = tq
+	}
+	if len(tq.jobs) >= p.cfg.QueueDepth {
+		p.mu.Unlock()
+		return &AdmissionError{Tenant: tenant, Reason: ReasonQueueFull}
+	}
+	if p.cfg.TenantLimit > 0 && tq.admitted >= p.cfg.TenantLimit {
+		p.mu.Unlock()
+		return &AdmissionError{Tenant: tenant, Reason: ReasonTenantLimit}
+	}
+	tq.jobs = append(tq.jobs, j)
+	tq.admitted++
+	if !tq.ringed {
+		tq.ringed = true
+		p.ring = append(p.ring, tq)
+	}
+	// The wake-up token is sent under the lock so Close (which closes
+	// the channel under the same lock, after flipping closed) can never
+	// race a send.
+	select {
+	case p.ready <- struct{}{}:
+	default:
+	}
+	p.mu.Unlock()
+	p.gaugeAdd("serve_queue_depth", 1)
+	return nil
+}
+
+// next pops the next job fairly: the tenant at the ring head gives up
+// one job and, if it still has queued work, rejoins at the tail — a
+// round-robin over tenants, FIFO within each tenant.
+func (p *Pool) next() (*tenantQueue, *job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.ring) > 0 {
+		tq := p.ring[0]
+		p.ring = p.ring[1:]
+		if len(tq.jobs) == 0 {
+			tq.ringed = false
+			continue
+		}
+		j := tq.jobs[0]
+		tq.jobs = tq.jobs[1:]
+		if len(tq.jobs) > 0 {
+			p.ring = append(p.ring, tq)
+		} else {
+			tq.ringed = false
+		}
+		return tq, j
+	}
+	return nil, nil
+}
+
+// finish settles a job's admission accounting (called by the worker
+// that ran it, or by the submitter that abandoned it while queued).
+func (p *Pool) finish(tenant string) {
+	p.mu.Lock()
+	if tq := p.tenants[tenant]; tq != nil {
+		tq.admitted--
+	}
+	p.mu.Unlock()
+}
+
+// worker is one session slot: each ready token corresponds to one
+// enqueued job (tokens for abandoned jobs drain as no-ops).
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for range p.ready {
+		tq, j := p.next()
+		if j == nil {
+			continue
+		}
+		p.gaugeAdd("serve_queue_depth", -1)
+		if !j.state.CompareAndSwap(jobQueued, jobRunning) {
+			continue // abandoned while queued; submitter already settled it
+		}
+		p.observe("serve_queue_wait_seconds", time.Since(j.enqueued))
+		if err := j.ctx.Err(); err != nil {
+			// Deadline spent entirely in the queue: complete the job
+			// without running fn so Do returns and reports ctx.Err.
+			j.err = err
+			p.count("serve_deadline_in_queue_total")
+		} else {
+			p.gaugeAdd("serve_active_sessions", 1)
+			start := time.Now()
+			j.fn(j.ctx)
+			p.observe(TenantMetric("serve_exec_seconds", tq.name), time.Since(start))
+			p.gaugeAdd("serve_active_sessions", -1)
+		}
+		p.finish(tq.name)
+		close(j.done)
+	}
+}
+
+// Close stops the workers after the jobs already claimed finish.
+// Queued-but-unclaimed jobs complete too: the ready channel is drained
+// before it is closed only by the workers themselves.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.ready)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats reports the pool's live accounting (tests, diagnostics).
+func (p *Pool) Stats() (queued, admitted int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tq := range p.tenants {
+		queued += len(tq.jobs)
+		admitted += tq.admitted
+	}
+	return queued, admitted
+}
+
+// metric helpers — all nil-safe so an unmetered pool pays one branch.
+
+func (p *Pool) count(name string) {
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+func (p *Pool) gaugeAdd(name string, d int64) {
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.Gauge(name).Add(d)
+	}
+}
+
+func (p *Pool) observe(name string, d time.Duration) {
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.Histogram(name).Observe(d)
+	}
+}

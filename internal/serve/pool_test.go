@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqloop/internal/obs"
+)
+
+// gatedPool builds a 1-worker pool whose worker is parked on a gate
+// job, so tests can stage queues deterministically before any job runs.
+func gatedPool(t *testing.T, cfg Config) (p *Pool, release func()) {
+	t.Helper()
+	cfg.MaxSessions = 1
+	p = NewPool(cfg)
+	t.Cleanup(p.Close)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), "gate", func(context.Context) {
+			close(started)
+			<-gate
+		})
+	}()
+	<-started
+	var once sync.Once
+	return p, func() { once.Do(func() { close(gate) }) }
+}
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(Config{MaxSessions: 4})
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		tenant := string(rune('a' + i%3))
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), tenant, func(context.Context) { ran.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 jobs", ran.Load())
+	}
+	if q, a := p.Stats(); q != 0 || a != 0 {
+		t.Fatalf("leaked accounting: queued=%d admitted=%d", q, a)
+	}
+}
+
+// TestPoolFairRoundRobin stages two tenants' bursts behind a parked
+// worker and requires the drain order to alternate tenants — tenant A's
+// burst must not run to completion before tenant B's first job.
+func TestPoolFairRoundRobin(t *testing.T) {
+	p, release := gatedPool(t, Config{})
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = p.Do(context.Background(), tenant, func(context.Context) {
+					mu.Lock()
+					order = append(order, tenant)
+					mu.Unlock()
+				})
+			}()
+			// Each submission must be queued before the next so the
+			// per-tenant FIFO order (and the ring order) is settled.
+			waitQueued(t, p, 1+i+map[string]int{"a": 0, "b": n}[tenant])
+		}
+	}
+	enqueue("a", 4)
+	enqueue("b", 4)
+	release()
+	wg.Wait()
+	want := []string{"a", "b", "a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d jobs, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("drain order %v, want alternating %v", order, want)
+		}
+	}
+}
+
+// waitQueued blocks until the pool holds n queued jobs (excluding the
+// gate job, which is running, not queued).
+func waitQueued(t *testing.T, p *Pool, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := p.Stats(); q >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			q, a := p.Stats()
+			t.Fatalf("queue never reached %d (queued=%d admitted=%d)", n, q, a)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolQueueFullRejection(t *testing.T) {
+	p, release := gatedPool(t, Config{QueueDepth: 2})
+	defer release()
+	for i := 0; i < 2; i++ {
+		go func() { _ = p.Do(context.Background(), "a", func(context.Context) {}) }()
+	}
+	waitQueued(t, p, 2)
+	err := p.Do(context.Background(), "a", func(context.Context) { t.Error("rejected job ran") })
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueFull {
+		t.Fatalf("err = %v, want AdmissionError{queue_full}", err)
+	}
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("errors.Is(err, ErrAdmissionRejected) = false for %v", err)
+	}
+	if ae.Tenant != "a" {
+		t.Fatalf("rejected tenant %q, want a", ae.Tenant)
+	}
+}
+
+func TestPoolTenantLimitRejection(t *testing.T) {
+	p, release := gatedPool(t, Config{TenantLimit: 1})
+	defer release()
+	go func() { _ = p.Do(context.Background(), "a", func(context.Context) {}) }()
+	waitQueued(t, p, 1)
+	err := p.Do(context.Background(), "a", func(context.Context) { t.Error("rejected job ran") })
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonTenantLimit {
+		t.Fatalf("err = %v, want AdmissionError{tenant_limit}", err)
+	}
+	// Another tenant is unaffected by a's limit.
+	if err := p.Do(contextWithTimeout(t, time.Second), "b", func(context.Context) {}); err == nil {
+		t.Fatal("tenant b should queue (then time out behind the gate), not be rejected")
+	} else if errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("tenant b rejected: %v", err)
+	}
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestPoolAbandonQueued cancels a queued job's context and requires Do
+// to return promptly without ever running the job.
+func TestPoolAbandonQueued(t *testing.T) {
+	p, release := gatedPool(t, Config{})
+	var ran atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, "a", func(context.Context) { ran.Store(true) })
+	}()
+	waitQueued(t, p, 1)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancelling a queued job")
+	}
+	release()
+	// Drain through another job, then confirm the abandoned fn never ran.
+	if err := p.Do(context.Background(), "a", func(context.Context) {}); err != nil {
+		t.Fatalf("follow-up Do: %v", err)
+	}
+	if ran.Load() {
+		t.Fatal("abandoned job ran")
+	}
+	if q, a := p.Stats(); q != 0 || a != 0 {
+		t.Fatalf("leaked accounting after abandon: queued=%d admitted=%d", q, a)
+	}
+}
+
+func TestPoolDefaultDeadline(t *testing.T) {
+	p := NewPool(Config{MaxSessions: 1, DefaultDeadline: 40 * time.Millisecond})
+	defer p.Close()
+	var got time.Duration
+	err := p.Do(context.Background(), "a", func(ctx context.Context) {
+		if dl, ok := ctx.Deadline(); ok {
+			got = time.Until(dl)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got <= 0 || got > 40*time.Millisecond {
+		t.Fatalf("job deadline headroom %v, want (0, 40ms]", got)
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(Config{MaxSessions: 2, QueueDepth: 1, Metrics: reg})
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		if err := p.Do(context.Background(), "acme", func(context.Context) {}); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve_admitted_total"]; got != 5 {
+		t.Fatalf("serve_admitted_total = %d, want 5", got)
+	}
+	if got := snap.Gauges["serve_queue_depth"]; got != 0 {
+		t.Fatalf("serve_queue_depth = %d, want 0 at rest", got)
+	}
+	h, ok := snap.Histograms[TenantMetric("serve_exec_seconds", "acme")]
+	if !ok || h.Count != 5 {
+		t.Fatalf("per-tenant exec histogram = %+v (present=%v), want count 5", h, ok)
+	}
+}
+
+func TestPoolClosedRejects(t *testing.T) {
+	p := NewPool(Config{MaxSessions: 1})
+	p.Close()
+	err := p.Do(context.Background(), "a", func(context.Context) {})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonClosed {
+		t.Fatalf("err = %v, want AdmissionError{closed}", err)
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"sqloop/internal/obs"
+)
+
+// Scheduler fairly schedules concurrent iterative executions: each
+// execution holds one of a bounded number of slots only for the
+// duration of one round and yields at the round boundary (core's
+// checkpoint barrier), where the slot passes to the longest-waiting
+// execution. Two tenants' fix-point loops therefore interleave rounds
+// instead of serializing, even on a single slot.
+//
+// It also carries per-tenant admission control for executions: a tenant
+// at its concurrent-execution limit is turned away with a typed
+// *AdmissionError before any work runs.
+type Scheduler struct {
+	workers     int
+	tenantLimit int
+	metrics     *obs.Registry // nil disables instrumentation
+
+	mu      sync.Mutex
+	free    int
+	waiters *list.List // of chan struct{}, FIFO
+	active  map[string]int
+}
+
+// NewScheduler builds a fair round scheduler with the given number of
+// concurrently-running rounds (slots; minimum 1) and per-tenant
+// concurrent-execution limit (0 = unlimited).
+func NewScheduler(workers, tenantLimit int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if tenantLimit < 0 {
+		tenantLimit = 0
+	}
+	return &Scheduler{
+		workers:     workers,
+		tenantLimit: tenantLimit,
+		free:        workers,
+		waiters:     list.New(),
+		active:      make(map[string]int),
+	}
+}
+
+// SetMetrics attaches a registry for the scheduler's admission counters
+// and wait histograms; call before the scheduler is shared.
+func (s *Scheduler) SetMetrics(r *obs.Registry) { s.metrics = r }
+
+// count/observe/gauge are nil-safe metric helpers.
+
+func (s *Scheduler) count(name string) {
+	if s.metrics != nil {
+		s.metrics.Counter(name).Inc()
+	}
+}
+
+func (s *Scheduler) observe(name string, d time.Duration) {
+	if s.metrics != nil {
+		s.metrics.Histogram(name).Observe(d)
+	}
+}
+
+func (s *Scheduler) gaugeAdd(name string, delta int64) {
+	if s.metrics != nil {
+		s.metrics.Gauge(name).Add(delta)
+	}
+}
+
+// Ticket is one admitted iterative execution's claim on the scheduler.
+// Yield must be called at every round boundary; Done exactly once when
+// the execution finishes (success or failure).
+type Ticket struct {
+	s       *Scheduler
+	tenant  string
+	holding bool // the ticket currently owns a slot
+	done    bool
+}
+
+// Admit registers one iterative execution for tenant, blocking until a
+// slot is free (FIFO) or ctx is done. The error is *AdmissionError for
+// a tenant over its execution limit and ctx.Err() for a cancelled wait.
+func (s *Scheduler) Admit(ctx context.Context, tenant string) (*Ticket, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	s.mu.Lock()
+	if s.tenantLimit > 0 && s.active[tenant] >= s.tenantLimit {
+		s.mu.Unlock()
+		s.count("serve_exec_rejected_total")
+		return nil, &AdmissionError{Tenant: tenant, Reason: ReasonTenantLimit}
+	}
+	s.active[tenant]++
+	s.mu.Unlock()
+	s.count("serve_exec_admitted_total")
+	s.gaugeAdd("serve_exec_active", 1)
+	start := time.Now()
+	if err := s.acquire(ctx); err != nil {
+		s.release(tenant, false)
+		return nil, err
+	}
+	s.observe(TenantMetric("serve_exec_admit_wait_seconds", tenant), time.Since(start))
+	return &Ticket{s: s, tenant: tenant, holding: true}, nil
+}
+
+// acquire takes one slot, joining the FIFO wait queue when none is
+// free.
+func (s *Scheduler) acquire(ctx context.Context) error {
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.mu.Unlock()
+		return nil
+	}
+	grant := make(chan struct{})
+	el := s.waiters.PushBack(grant)
+	s.mu.Unlock()
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		// The grant may have raced the cancellation: if the channel is
+		// already closed, a slot was handed to us and must be passed
+		// on, not leaked.
+		select {
+		case <-grant:
+			s.handoffLocked()
+		default:
+			s.waiters.Remove(el)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// handoffLocked passes one held slot to the first waiter, or frees it.
+func (s *Scheduler) handoffLocked() {
+	if el := s.waiters.Front(); el != nil {
+		s.waiters.Remove(el)
+		close(el.Value.(chan struct{}))
+		return
+	}
+	s.free++
+}
+
+// release settles one execution's admission count and, when
+// holdingSlot, returns its slot to the fair queue.
+func (s *Scheduler) release(tenant string, holdingSlot bool) {
+	s.mu.Lock()
+	if holdingSlot {
+		s.handoffLocked()
+	}
+	if s.active[tenant] > 0 {
+		s.active[tenant]--
+	}
+	s.mu.Unlock()
+	s.gaugeAdd("serve_exec_active", -1)
+}
+
+// Yield marks a round boundary: if any other execution is waiting for a
+// slot, the caller's slot is handed over and the caller rejoins the
+// FIFO queue; with no contention it keeps its slot and returns
+// immediately. The returned error is ctx.Err() when the re-acquire wait
+// is cancelled — the ticket no longer holds a slot then, and only Done
+// (still required, now slotless) remains to settle admission.
+func (t *Ticket) Yield(ctx context.Context) error {
+	s := t.s
+	s.mu.Lock()
+	if s.waiters.Len() == 0 {
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+	s.handoffLocked()
+	t.holding = false
+	s.mu.Unlock()
+	s.count("serve_round_yields_total")
+	start := time.Now()
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	t.holding = true
+	s.observe("serve_round_wait_seconds", time.Since(start))
+	return nil
+}
+
+// Done releases the execution's slot and admission count. Idempotent.
+func (t *Ticket) Done() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.s.release(t.tenant, t.holding)
+	t.holding = false
+}
+
+// Tenant reports the tenant the ticket was admitted for.
+func (t *Ticket) Tenant() string { return t.tenant }
+
+// Waiting reports how many executions are queued for a slot (tests,
+// diagnostics).
+func (s *Scheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiters.Len()
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sqloop/internal/obs"
+)
+
+// waitWaiters blocks until n executions queue for a slot.
+func waitWaiters(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Waiting() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d waiters (have %d)", n, s.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerInterleavesRounds is the fairness core: two executions
+// on ONE slot must strictly alternate rounds — neither runs its whole
+// fix-point while the other waits.
+func TestSchedulerInterleavesRounds(t *testing.T) {
+	s := NewScheduler(1, 0)
+	const rounds = 5
+	var mu sync.Mutex
+	var order []string
+
+	ta, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("admit a: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tb, err := s.Admit(context.Background(), "b") // blocks: a holds the slot
+		if err != nil {
+			t.Errorf("admit b: %v", err)
+			return
+		}
+		defer tb.Done()
+		for r := 1; r <= rounds; r++ {
+			mu.Lock()
+			order = append(order, fmt.Sprintf("b%d", r))
+			mu.Unlock()
+			if err := tb.Yield(context.Background()); err != nil {
+				t.Errorf("b yield: %v", err)
+				return
+			}
+		}
+	}()
+	waitWaiters(t, s, 1) // b is queued before a runs a single round
+	for r := 1; r <= rounds; r++ {
+		mu.Lock()
+		order = append(order, fmt.Sprintf("a%d", r))
+		mu.Unlock()
+		if err := ta.Yield(context.Background()); err != nil {
+			t.Fatalf("a yield: %v", err)
+		}
+	}
+	ta.Done()
+	wg.Wait()
+
+	want := []string{"a1", "b1", "a2", "b2", "a3", "b3", "a4", "b4", "a5", "b5"}
+	if len(order) != len(want) {
+		t.Fatalf("recorded %v, want %d rounds", order, len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round order %v, want strict alternation %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerYieldWithoutContentionKeepsSlot(t *testing.T) {
+	s := NewScheduler(1, 0)
+	tk, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if err := tk.Yield(context.Background()); err != nil {
+			t.Fatalf("yield %d: %v", i, err)
+		}
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("100 uncontended yields took %v", d)
+	}
+	tk.Done()
+	if s.free != 1 {
+		t.Fatalf("slot not returned: free = %d", s.free)
+	}
+}
+
+func TestSchedulerTenantLimit(t *testing.T) {
+	s := NewScheduler(4, 1)
+	tk, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	_, err = s.Admit(context.Background(), "a")
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonTenantLimit {
+		t.Fatalf("second admit = %v, want AdmissionError{tenant_limit}", err)
+	}
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("errors.Is sentinel match failed for %v", err)
+	}
+	// A different tenant is unaffected; after Done the tenant re-admits.
+	tb, err := s.Admit(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("admit b: %v", err)
+	}
+	tb.Done()
+	tk.Done()
+	tk2, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("re-admit a after Done: %v", err)
+	}
+	tk2.Done()
+}
+
+func TestSchedulerAdmitCancelledWhileWaiting(t *testing.T) {
+	s := NewScheduler(1, 0)
+	tk, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, "b")
+		errc <- err
+	}()
+	waitWaiters(t, s, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled admit = %v, want context.Canceled", err)
+	}
+	tk.Done()
+	// The slot must not have leaked to the cancelled waiter.
+	tk2, err := s.Admit(context.Background(), "c")
+	if err != nil {
+		t.Fatalf("admit after cancel: %v", err)
+	}
+	tk2.Done()
+}
+
+func TestSchedulerYieldCancelled(t *testing.T) {
+	s := NewScheduler(1, 0)
+	ta, _ := s.Admit(context.Background(), "a")
+	done := make(chan *Ticket, 1)
+	go func() {
+		tb, err := s.Admit(context.Background(), "b")
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- tb
+	}()
+	waitWaiters(t, s, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// a's yield hands the slot to b, then a's re-acquire is cancelled.
+	if err := ta.Yield(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("yield = %v, want context.Canceled", err)
+	}
+	ta.Done() // slotless Done must not corrupt the free count
+	tb := <-done
+	if tb == nil {
+		t.Fatal("b was never admitted")
+	}
+	tb.Done()
+	if s.free != 1 {
+		t.Fatalf("free slots = %d after all Done, want 1", s.free)
+	}
+}
+
+func TestSchedulerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler(1, 1)
+	s.SetMetrics(reg)
+	tk, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if _, err := s.Admit(context.Background(), "a"); err == nil {
+		t.Fatal("expected tenant-limit rejection")
+	}
+	tk.Done()
+	snap := reg.Snapshot()
+	if snap.Counters["serve_exec_admitted_total"] != 1 || snap.Counters["serve_exec_rejected_total"] != 1 {
+		t.Fatalf("admission counters = %v", snap.Counters)
+	}
+	if snap.Gauges["serve_exec_active"] != 0 {
+		t.Fatalf("serve_exec_active = %d at rest", snap.Gauges["serve_exec_active"])
+	}
+}

@@ -1,0 +1,128 @@
+// Package serve is SQLoop's multi-tenant serving layer: the piece that
+// stands between "one goroutine per connection" and "heavy traffic from
+// many tenants". It provides
+//
+//   - Pool: a bounded server-side session pool. Incoming statements are
+//     enqueued per tenant and executed by a fixed set of worker
+//     goroutines that visit tenant queues round-robin, so one tenant's
+//     statement flood cannot head-of-line-block everyone else's point
+//     queries.
+//   - Scheduler: fair round scheduling of concurrent iterative
+//     executions. An iterative CTE is a long-running job; each
+//     execution holds a slot only for the duration of one round and
+//     yields at the round boundary, so two tenants' loops interleave
+//     rounds instead of serializing whole fix-point computations.
+//   - Admission control: per-tenant concurrent-execution and
+//     queue-depth limits, rejected with a typed *AdmissionError that
+//     upper layers (the wire protocol, the driver's retry
+//     classification) recognize.
+//
+// The package imports only internal/obs and the standard library so
+// every layer — the wire server, the driver and core's executors — can
+// depend on it without cycles.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sqloop/internal/obs"
+)
+
+// ErrAdmissionRejected is the sentinel every admission failure matches
+// via errors.Is, regardless of the rejection reason.
+var ErrAdmissionRejected = errors.New("serve: admission rejected")
+
+// Rejection reasons carried by AdmissionError.Reason.
+const (
+	// ReasonQueueFull marks a tenant whose statement queue is at its
+	// depth limit.
+	ReasonQueueFull = "queue_full"
+	// ReasonTenantLimit marks a tenant at its concurrent-execution
+	// limit.
+	ReasonTenantLimit = "tenant_limit"
+	// ReasonClosed marks a pool or scheduler that is shutting down.
+	ReasonClosed = "closed"
+)
+
+// AdmissionError reports a request or execution turned away by
+// admission control before any work ran. It is safe to retry after
+// backoff: nothing was executed.
+type AdmissionError struct {
+	// Tenant is the tenant the rejected work belonged to.
+	Tenant string
+	// Reason is one of the Reason* constants.
+	Reason string
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: admission rejected for tenant %q: %s", e.Tenant, e.Reason)
+}
+
+// Is matches ErrAdmissionRejected so callers can use errors.Is without
+// caring about the reason.
+func (e *AdmissionError) Is(target error) bool { return target == ErrAdmissionRejected }
+
+// AdmissionRejected marks the error for duck-typed detection (the same
+// pattern as driver.ConnLostError.ConnLost), keeping layers that cannot
+// import this package able to classify it.
+func (e *AdmissionError) AdmissionRejected() bool { return true }
+
+// DefaultTenant is the tenant id used when a client never identified
+// itself (pre-multi-tenant clients, tests).
+const DefaultTenant = "default"
+
+// Config bounds a Pool (and, through the public API, a Scheduler).
+// The zero value is usable: every field falls back to its default.
+type Config struct {
+	// MaxSessions is the number of worker goroutines executing
+	// statements — the server's concurrency bound (default
+	// DefaultMaxSessions).
+	MaxSessions int
+	// QueueDepth caps each tenant's queued-but-not-running statements;
+	// submissions beyond it are rejected with ReasonQueueFull (default
+	// DefaultQueueDepth).
+	QueueDepth int
+	// TenantLimit caps one tenant's admitted (queued + running) work
+	// items; 0 means unlimited. Rejections carry ReasonTenantLimit.
+	TenantLimit int
+	// DefaultDeadline bounds each work item that arrives without its
+	// own deadline; 0 means no deadline.
+	DefaultDeadline time.Duration
+	// Metrics receives the pool's gauges, counters and histograms;
+	// nil disables instrumentation.
+	Metrics *obs.Registry
+}
+
+// Defaults for Config fields left at zero.
+const (
+	DefaultMaxSessions = 8
+	DefaultQueueDepth  = 64
+)
+
+// withDefaults normalizes the config.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.TenantLimit < 0 {
+		c.TenantLimit = 0
+	}
+	return c
+}
+
+// TenantMetric renders a per-tenant instrument name in the
+// label-in-name convention the registry uses (it has no label
+// dimension): e.g. TenantMetric("serve_exec_seconds", "acme") →
+// `serve_exec_seconds{tenant=acme}`.
+func TenantMetric(base, tenant string) string {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	return base + "{tenant=" + tenant + "}"
+}

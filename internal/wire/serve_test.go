@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/serve"
+)
+
+// slowServer boots a pooled wire server whose every statement takes
+// ~cost, so tests can fill the single worker and its queue on purpose.
+func slowServer(t *testing.T, cfg serve.Config, cost time.Duration) (srv *Server, addr string) {
+	t.Helper()
+	eng := engine.New(engine.Config{Cost: &engine.CostModel{PerStatement: cost, Scale: 1}})
+	srv = NewServer(eng)
+	srv.EnablePool(cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, addr
+}
+
+func TestPooledServerExecutesAndMeters(t *testing.T) {
+	srv, addr := slowServer(t, serve.Config{MaxSessions: 2}, 0)
+	cl, err := DialOpts(addr, DialOptions{Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(`CREATE TABLE p (id BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO p VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`SELECT COUNT(*) FROM p`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("select: %v / %v", res, err)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.Counters["serve_admitted_total"] != 3 {
+		t.Fatalf("serve_admitted_total = %d, want 3", snap.Counters["serve_admitted_total"])
+	}
+	if h, ok := snap.Histograms[serve.TenantMetric("serve_exec_seconds", "acme")]; !ok || h.Count != 3 {
+		t.Fatalf("per-tenant histogram missing or short: %+v (present=%v)", h, ok)
+	}
+}
+
+// TestPooledServerQueueFull drives one slow statement plus one queued
+// statement into a MaxSessions=1/QueueDepth=1 server; the third must be
+// rejected as a typed admission error that survives the wire.
+func TestPooledServerQueueFull(t *testing.T) {
+	_, addr := slowServer(t, serve.Config{MaxSessions: 1, QueueDepth: 1}, 300*time.Millisecond)
+	dial := func() *Client {
+		t.Helper()
+		cl, err := DialOpts(addr, DialOptions{Tenant: "a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = cl.Close() })
+		return cl
+	}
+	running, queued, rejecter := dial(), dial(), dial()
+	done := make(chan error, 2)
+	go func() { _, err := running.Exec(`CREATE TABLE q1 (id BIGINT PRIMARY KEY)`); done <- err }()
+	time.Sleep(75 * time.Millisecond) // statement is on the worker
+	go func() { _, err := queued.Exec(`CREATE TABLE q2 (id BIGINT PRIMARY KEY)`); done <- err }()
+	time.Sleep(75 * time.Millisecond) // statement is in the queue (depth 1: full)
+
+	_, err := rejecter.Exec(`CREATE TABLE q3 (id BIGINT PRIMARY KEY)`)
+	var ae *serve.AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *serve.AdmissionError across the wire", err)
+	}
+	if ae.Reason != serve.ReasonQueueFull || ae.Tenant != "a" {
+		t.Fatalf("admission error = %+v, want queue_full for tenant a", ae)
+	}
+	if !errors.Is(err, serve.ErrAdmissionRejected) {
+		t.Fatalf("errors.Is sentinel match failed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("admitted statement %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestPooledServerDeadlineInQueue submits a statement whose deadline
+// cannot survive the queue wait behind a slow statement; the server
+// must answer CodeDeadlineExceeded without running it, and the client
+// must surface context.DeadlineExceeded.
+func TestPooledServerDeadlineInQueue(t *testing.T) {
+	_, addr := slowServer(t, serve.Config{MaxSessions: 1}, 300*time.Millisecond)
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	impatient, err := DialOpts(addr, DialOptions{Tenant: "b", Deadline: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer impatient.Close()
+
+	done := make(chan error, 1)
+	go func() { _, err := slow.Exec(`CREATE TABLE d1 (id BIGINT PRIMARY KEY)`); done <- err }()
+	time.Sleep(75 * time.Millisecond) // slow statement holds the only worker
+
+	_, err = impatient.Exec(`CREATE TABLE d2 (id BIGINT PRIMARY KEY)`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded across the wire", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow statement failed: %v", err)
+	}
+	// The connection survives a deadline rejection.
+	if _, err := impatient.ExecContext(context.Background(), `SELECT COUNT(*) FROM d1`); err != nil {
+		t.Fatalf("connection unusable after deadline rejection: %v", err)
+	}
+}
+
+// TestExecContextDeadlineStamp checks the client carries a context
+// deadline to the server even on a connection with no default.
+func TestExecContextDeadlineStamp(t *testing.T) {
+	_, addr := slowServer(t, serve.Config{MaxSessions: 1}, 300*time.Millisecond)
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	done := make(chan error, 1)
+	go func() { _, err := slow.Exec(`CREATE TABLE e1 (id BIGINT PRIMARY KEY)`); done <- err }()
+	time.Sleep(75 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.ExecContext(ctx, `CREATE TABLE e2 (id BIGINT PRIMARY KEY)`); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow statement failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,17 +11,21 @@ import (
 
 	"sqloop/internal/engine"
 	"sqloop/internal/obs"
+	"sqloop/internal/serve"
 	"sqloop/internal/sqltypes"
 )
 
 // Server exposes an engine over TCP. Each accepted connection gets its
 // own engine session, mirroring the one-process-per-connection behaviour
-// SQLoop exploits for parallelism.
+// SQLoop exploits for parallelism. With a session pool enabled
+// (EnablePool), connections only hold sessions; statements execute on
+// the pool's bounded workers under per-tenant admission control.
 type Server struct {
 	eng     *engine.Engine
 	ln      net.Listener
 	metrics *obs.Registry
 	maxVer  int
+	pool    *serve.Pool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -42,6 +47,18 @@ func NewServer(eng *engine.Engine) *Server {
 // negotiate; 0 forces JSON responses for every connection, emulating a
 // pre-binary-codec server. Call before Listen.
 func (s *Server) SetMaxWireVersion(v int) { s.maxVer = v }
+
+// EnablePool routes every statement through a bounded serve.Pool:
+// MaxSessions worker goroutines drain per-tenant queues round-robin,
+// and submissions beyond a tenant's queue depth or admitted limit are
+// rejected with CodeAdmissionRejected instead of piling up. A nil
+// cfg.Metrics defaults to the server's registry. Call before Listen.
+func (s *Server) EnablePool(cfg serve.Config) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.metrics
+	}
+	s.pool = serve.NewPool(cfg)
+}
 
 // Metrics returns the server's registry: wire_requests_total,
 // wire_request_seconds (per-statement server-side latency),
@@ -100,6 +117,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	bytesJSON := s.metrics.Counter("sqloop_wire_bytes_json")
 	bytesBinary := s.metrics.Counter("sqloop_wire_bytes_binary")
 	ver := 0 // protocol version for this connection, raised by OpHello
+	tenant := serve.DefaultTenant
 	for {
 		var req Request
 		n, err := readFrameTimed(conn, &req, DefaultFrameTimeout)
@@ -118,16 +136,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		if req.Op == OpHello {
 			// Version negotiation: settle on the lower of the two peers.
 			// The reply itself is always JSON so pre-binary clients could
-			// at least parse an error.
+			// at least parse an error. The hello also pins the session's
+			// tenant for admission control.
 			ver = min(req.WireVer, s.maxVer)
+			if req.Tenant != "" {
+				tenant = req.Tenant
+			}
 			resp = &Response{WireVer: ver}
 		} else {
-			resp, rows = s.execute(sess, &req)
+			resp, rows = s.dispatch(sess, &req, tenant)
 		}
 		latency.Observe(time.Since(start))
 		_ = conn.SetWriteDeadline(time.Now().Add(DefaultFrameTimeout))
 		var wn int
-		if ver >= 1 && req.Op != OpHello {
+		if ver >= 1 && req.Op != OpHello && resp.Code == "" {
 			wn, err = writeRawFrameN(conn, AppendBinaryResponse(nil, resp, rows))
 			rowsEncoded.Add(int64(len(rows)))
 			bytesBinary.Add(int64(wn))
@@ -160,10 +182,61 @@ func toWireRows(rows []sqltypes.Row) [][]WireValue {
 	return out
 }
 
+// dispatch executes one statement under the session pool (when
+// enabled) with the request's deadline as a context bound. Without a
+// pool it degrades to direct execution, preserving pre-pool behaviour.
+func (s *Server) dispatch(sess *engine.Session, req *Request, tenant string) (*Response, []sqltypes.Row) {
+	ctx := context.Background()
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
+	if s.pool == nil {
+		return s.execute(ctx, sess, req)
+	}
+	var (
+		resp *Response
+		rows []sqltypes.Row
+	)
+	err := s.pool.Do(ctx, tenant, func(ctx context.Context) {
+		resp, rows = s.execute(ctx, sess, req)
+	})
+	if err != nil {
+		// The statement never ran: admission rejection, or the deadline
+		// was spent entirely in the queue.
+		return errorResponse(err), nil
+	}
+	return resp, rows
+}
+
+// errorResponse classifies a serving-layer error into a typed wire
+// response so clients can reconstruct it (retry decisions depend on
+// the class, not the message text).
+func errorResponse(err error) *Response {
+	var ae *serve.AdmissionError
+	switch {
+	case errors.As(err, &ae):
+		return &Response{Error: err.Error(), Code: CodeAdmissionRejected, Reason: ae.Reason}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Response{Error: err.Error(), Code: CodeDeadlineExceeded}
+	case errors.Is(err, context.Canceled):
+		return &Response{Error: err.Error(), Code: CodeCanceled}
+	default:
+		return &Response{Error: err.Error()}
+	}
+}
+
 // execute runs one request and returns the response shell plus any
 // result rows. Rows stay as engine values so the negotiated codec —
-// not this function — decides how they hit the wire.
-func (s *Server) execute(sess *engine.Session, req *Request) (*Response, []sqltypes.Row) {
+// not this function — decides how they hit the wire. The context is
+// checked at the statement boundary: engine statements themselves are
+// not interruptible, so an expired deadline fails here rather than
+// mid-execution.
+func (s *Server) execute(ctx context.Context, sess *engine.Session, req *Request) (*Response, []sqltypes.Row) {
+	if err := ctx.Err(); err != nil {
+		return errorResponse(err), nil
+	}
 	args := make([]sqltypes.Value, len(req.Args))
 	for i, wv := range req.Args {
 		v, err := FromWire(wv)
@@ -219,6 +292,11 @@ func (s *Server) Close() error {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
+	// Handlers are gone, so no new submissions: the pool drains what it
+	// already accepted and stops.
+	if s.pool != nil {
+		s.pool.Close()
+	}
 	return err
 }
 
@@ -230,7 +308,9 @@ type Client struct {
 	metrics      *obs.Registry
 	injector     *Injector
 	frameTimeout time.Duration
-	ver          int // negotiated protocol version
+	ver          int           // negotiated protocol version
+	tenant       string        // tenant pinned at hello time
+	deadline     time.Duration // default per-statement deadline
 }
 
 // WireVer reports the protocol version negotiated at dial time: 0 for
@@ -258,23 +338,61 @@ func (c *Client) SetFrameTimeout(d time.Duration) { c.frameTimeout = d }
 // surfaces as an error instead of a hung coordinator.
 const DefaultFrameTimeout = 2 * time.Minute
 
+// DialOptions configures DialOpts.
+type DialOptions struct {
+	// MaxVer caps the negotiated protocol version. 0 means the build's
+	// WireVersion; a negative value forces the version-0 JSON protocol.
+	MaxVer int
+	// Tenant identifies the connection to the server's admission
+	// control; empty means serve.DefaultTenant.
+	Tenant string
+	// Deadline bounds each statement that executes without a
+	// caller-supplied context deadline; 0 means none.
+	Deadline time.Duration
+}
+
 // Dial connects to a wire server, attaching any injector registered
 // for addr and negotiating the highest protocol version both peers
 // speak.
 func Dial(addr string) (*Client, error) {
-	return DialVersion(addr, WireVersion)
+	return DialOpts(addr, DialOptions{})
 }
 
 // DialVersion is Dial with the client's protocol version capped at
 // maxVer; 0 skips negotiation entirely and behaves like a
 // pre-binary-codec client.
 func DialVersion(addr string, maxVer int) (*Client, error) {
+	if maxVer < 1 {
+		maxVer = -1
+	}
+	return DialOpts(addr, DialOptions{MaxVer: maxVer})
+}
+
+// DialOpts is Dial with explicit options: protocol cap, tenant
+// identity (carried in the hello frame) and a default per-statement
+// deadline.
+func DialOpts(addr string, o DialOptions) (*Client, error) {
+	maxVer := o.MaxVer
+	switch {
+	case maxVer == 0:
+		maxVer = WireVersion
+	case maxVer < 0:
+		maxVer = 0
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, &OpError{Op: "dial", Err: fmt.Errorf("wire dial %s: %w", addr, err)}
 	}
-	c := &Client{conn: conn, injector: injectorFor(addr), frameTimeout: DefaultFrameTimeout}
-	if maxVer >= 1 {
+	c := &Client{
+		conn:         conn,
+		injector:     injectorFor(addr),
+		frameTimeout: DefaultFrameTimeout,
+		tenant:       o.Tenant,
+		deadline:     o.Deadline,
+	}
+	// The hello both negotiates the version and registers the tenant,
+	// so it is needed even for a JSON-only client that has a tenant.
+	if maxVer >= 1 || o.Tenant != "" {
 		if err := c.hello(maxVer); err != nil {
 			_ = conn.Close()
 			return nil, err
@@ -282,6 +400,10 @@ func DialVersion(addr string, maxVer int) (*Client, error) {
 	}
 	return c, nil
 }
+
+// Tenant reports the tenant this connection identified as at dial
+// time; empty means the server's default tenant.
+func (c *Client) Tenant() string { return c.tenant }
 
 // hello negotiates the protocol version. It deliberately bypasses
 // roundTrip: the handshake is part of dialing, so fault injectors —
@@ -292,7 +414,7 @@ func (c *Client) hello(maxVer int) error {
 		_ = c.conn.SetDeadline(time.Now().Add(c.frameTimeout))
 		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
 	}
-	if err := WriteFrame(c.conn, &Request{Op: OpHello, WireVer: maxVer}); err != nil {
+	if err := WriteFrame(c.conn, &Request{Op: OpHello, WireVer: maxVer, Tenant: c.tenant}); err != nil {
 		return &OpError{Op: "hello", Err: err}
 	}
 	var resp Response
@@ -311,13 +433,55 @@ func (c *Client) hello(maxVer int) error {
 // as *OpError; its Sent field tells retrying callers whether the
 // request could have reached the server.
 func (c *Client) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	return c.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec with the context's deadline carried to the
+// server as the statement's DeadlineMillis budget (queue wait plus
+// execution). A context without a deadline falls back to the
+// connection's default deadline from DialOptions.
+func (c *Client) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	req := Request{SQL: sql}
 	wireArgs(&req, args)
-	resp, err := c.roundTrip(&req)
+	return c.execCtx(ctx, &req)
+}
+
+// execCtx stamps the effective deadline onto req and round-trips it.
+func (c *Client) execCtx(ctx context.Context, req *Request) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req.DeadlineMillis = deadlineMillis(ctx, c.deadline)
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
 	return decodeResult(resp)
+}
+
+// deadlineMillis renders the tighter of the context deadline and the
+// connection default as a wire millisecond budget; 0 means unbounded.
+// Sub-millisecond remainders round up to 1ms so an almost-expired
+// context still reaches the server as a deadline, not as "none".
+func deadlineMillis(ctx context.Context, fallback time.Duration) int64 {
+	d := fallback
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem < time.Millisecond {
+			rem = time.Millisecond // expired/nearly-expired must not read as "none"
+		}
+		if d <= 0 || rem < d {
+			d = rem
+		}
+	}
+	if d <= 0 {
+		return 0
+	}
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // Prepare parses sql in the server-side session and returns a handle
@@ -333,13 +497,15 @@ func (c *Client) Prepare(sql string) (int64, error) {
 // ExecPrepared executes a prepared handle with bind args; the round
 // trip carries only the handle and the values, no statement text.
 func (c *Client) ExecPrepared(handle int64, args ...sqltypes.Value) (*engine.Result, error) {
+	return c.ExecPreparedContext(context.Background(), handle, args...)
+}
+
+// ExecPreparedContext is ExecPrepared with the context's deadline
+// carried to the server, as in ExecContext.
+func (c *Client) ExecPreparedContext(ctx context.Context, handle int64, args ...sqltypes.Value) (*engine.Result, error) {
 	req := Request{Op: OpExecPrepared, Handle: handle}
 	wireArgs(&req, args)
-	resp, err := c.roundTrip(&req)
-	if err != nil {
-		return nil, err
-	}
-	return decodeResult(resp)
+	return c.execCtx(ctx, &req)
 }
 
 // ClosePrepared releases a server-side handle.
@@ -443,9 +609,29 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, &OpError{Op: "read", Sent: true, Err: err}
 	}
 	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
+		return nil, decodeError(resp, c.tenant)
 	}
 	return resp, nil
+}
+
+// decodeError reconstructs a typed error from a coded response, so
+// errors.Is/As classification works identically for embedded and
+// remote serving: admission rejections come back as *serve.
+// AdmissionError, deadline and cancellation as the context sentinels.
+func decodeError(resp *Response, tenant string) error {
+	switch resp.Code {
+	case CodeAdmissionRejected:
+		if tenant == "" {
+			tenant = serve.DefaultTenant
+		}
+		return &serve.AdmissionError{Tenant: tenant, Reason: resp.Reason}
+	case CodeDeadlineExceeded:
+		return fmt.Errorf("wire: server: %s: %w", resp.Error, context.DeadlineExceeded)
+	case CodeCanceled:
+		return fmt.Errorf("wire: server: %s: %w", resp.Error, context.Canceled)
+	default:
+		return errors.New(resp.Error)
+	}
 }
 
 // Close closes the connection.

@@ -61,7 +61,29 @@ type Request struct {
 	// WireVer is the highest protocol version the client speaks
 	// (OpHello only).
 	WireVer int `json:"wireVer,omitempty"`
+	// Tenant identifies the connection's tenant for admission control
+	// and fair scheduling (OpHello only; the server pins it to the
+	// session). Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMillis bounds this statement's queue wait plus execution,
+	// in milliseconds from server receipt; 0 means no deadline.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 }
+
+// Machine-readable error classes carried in Response.Code. Responses
+// with a Code are always JSON-framed (the binary codec is reserved for
+// the row hot path), which every client build can decode.
+const (
+	// CodeAdmissionRejected marks a statement turned away by admission
+	// control before executing; Response.Reason carries the
+	// serve.Reason* detail. Safe to retry after backoff.
+	CodeAdmissionRejected = "admission_rejected"
+	// CodeDeadlineExceeded marks a statement whose deadline expired
+	// before or during execution. Not safe to blindly retry.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCanceled marks a statement cancelled before completion.
+	CodeCanceled = "canceled"
+)
 
 // Response is one server → client message.
 type Response struct {
@@ -78,6 +100,11 @@ type Response struct {
 	// WireVer is the version the server settled on (OpHello replies
 	// only).
 	WireVer int `json:"wireVer,omitempty"`
+	// Code classifies Error for machine handling (Code* constants);
+	// empty for success and plain execution errors.
+	Code string `json:"code,omitempty"`
+	// Reason refines Code (the admission rejection reason).
+	Reason string `json:"reason,omitempty"`
 
 	// binRows carries rows decoded from a binary frame; JSON responses
 	// leave it nil and use Rows instead.

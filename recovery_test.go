@@ -126,11 +126,12 @@ func runCrashRecovery(t *testing.T, profile string, mode sqloop.Mode, query stri
 	dsn := srv.DSN()
 	ctx := context.Background()
 
-	// Keep the driver's reconnect loop fast under test.
-	driver.SetDSNRetry(dsn, driver.RetryPolicy{
+	// Keep the driver's reconnect loop fast under test. sqloop.Open
+	// below merges its metrics registry into this same per-DSN entry.
+	driver.Configure(dsn, driver.Config{Retry: driver.RetryPolicy{
 		MaxAttempts: 4, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
-	})
-	defer driver.SetDSNRetry(dsn, driver.RetryPolicy{})
+	}})
+	defer driver.Configure(dsn, driver.Config{})
 	// The injector must be registered before any connection dials so
 	// every connection (coordinator and workers) shares it; it carries
 	// no scheduled faults until the test arms it.

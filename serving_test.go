@@ -1,0 +1,360 @@
+package sqloop_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sqloop"
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/serve"
+	"sqloop/internal/wire"
+)
+
+// prTenantQuery is the embedded-suite PageRank with a caller-chosen CTE
+// name, so two tenants can iterate concurrently on one shared server
+// without their working tables colliding.
+func prTenantQuery(name string, iters int) string {
+	return fmt.Sprintf(`
+WITH ITERATIVE %[1]s(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.15
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT %[1]s.Node,
+         COALESCE(%[1]s.Rank + %[1]s.Delta, 0.15),
+         COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM %[1]s
+  LEFT JOIN edges AS IncomingEdges ON %[1]s.Node = IncomingEdges.dst
+  LEFT JOIN %[1]s AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY %[1]s.Node
+  UNTIL %[2]d ITERATIONS
+)
+SELECT COUNT(*) FROM %[1]s`, name, iters)
+}
+
+// slowPoolServer starts a pooled wire server whose engine charges a
+// fixed latency per statement, making session occupancy deterministic.
+func slowPoolServer(t *testing.T, profile string, perStmt time.Duration, pool serve.Config) (srv *wire.Server, dsn string) {
+	t.Helper()
+	cfg, err := engine.Profile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cost = &engine.CostModel{PerStatement: perStmt, Scale: 1}
+	eng := engine.New(cfg)
+	srv = wire.NewServer(eng)
+	srv.EnablePool(pool)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, driver.TCPDSN(addr)
+}
+
+// roundLog collects (tenant, round) RoundEnd observations from several
+// concurrently executing loops into one timeline.
+type roundLog struct {
+	mu      sync.Mutex
+	tenants []string
+	rounds  []int
+}
+
+func (l *roundLog) tracer(tenant string, slow time.Duration) sqloop.Tracer {
+	return sqloop.FuncTracer(func(e sqloop.Event) {
+		if re, ok := e.(sqloop.RoundEndEvent); ok {
+			l.mu.Lock()
+			l.tenants = append(l.tenants, tenant)
+			l.rounds = append(l.rounds, re.Round)
+			l.mu.Unlock()
+			if slow > 0 {
+				time.Sleep(slow)
+			}
+		}
+	})
+}
+
+// stats summarises the merged timeline: per-tenant event counts, the
+// number of tenant switches, and the longest same-tenant run.
+func (l *roundLog) stats() (counts map[string]int, switches, maxRun int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	counts = make(map[string]int)
+	run := 0
+	for i, tn := range l.tenants {
+		counts[tn]++
+		if i > 0 && tn != l.tenants[i-1] {
+			switches++
+			run = 1
+		} else {
+			run++
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	return counts, switches, maxRun
+}
+
+// TestSchedulerFairRoundInterleave proves the embedded fairness
+// contract: two iterative executions sharing a one-slot RoundScheduler
+// hand the slot over at every round boundary, so their per-round trace
+// events strictly interleave instead of running back to back.
+func TestSchedulerFairRoundInterleave(t *testing.T) {
+	const rounds = 6
+	sched := sqloop.NewRoundScheduler(1, 0)
+	log := &roundLog{}
+
+	open := func(tenant string) *sqloop.SQLoop {
+		s, err := sqloop.OpenEmbedded("pgsim", sqloop.Options{
+			Mode:      sqloop.ModeSingle,
+			Scheduler: sched,
+			Tenant:    tenant,
+			Observer:  log.tracer(tenant, 2*time.Millisecond),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		if _, err := sqloop.LoadDataset(s, "google-web", 150, 1); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := open("a"), open("b")
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, s := range []*sqloop.SQLoop{a, b} {
+		wg.Add(1)
+		go func(i int, s *sqloop.SQLoop) {
+			defer wg.Done()
+			_, errs[i] = s.Exec(ctx, prTenantQuery("pr", rounds))
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("execution %d: %v", i, err)
+		}
+	}
+
+	counts, switches, maxRun := log.stats()
+	if counts["a"] != rounds || counts["b"] != rounds {
+		t.Fatalf("round counts = %v, want %d each", counts, rounds)
+	}
+	// Strict alternation allows a same-tenant run of 2 only at the very
+	// start (before the second execution was admitted); anything longer
+	// means a tenant monopolised the slot across a round boundary.
+	if maxRun > 2 {
+		t.Fatalf("longest same-tenant run = %d (timeline %v), want <= 2", maxRun, log.tenants)
+	}
+	if switches < 2*rounds-4 {
+		t.Fatalf("only %d tenant switches in %v, want >= %d", switches, log.tenants, 2*rounds-4)
+	}
+}
+
+// TestServeFairRoundInterleave proves the same property across the
+// wire: one single-session server, two tenants' client-side round
+// loops — per-tenant round-robin admission makes their RoundEnd events
+// interleave rather than letting the first loop drain completely.
+func TestServeFairRoundInterleave(t *testing.T) {
+	const rounds = 5
+	_, base := slowPoolServer(t, "pgsim", 4*time.Millisecond,
+		serve.Config{MaxSessions: 1, QueueDepth: 64})
+
+	loader, err := sqloop.Open(base, sqloop.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqloop.LoadDataset(loader, "google-web", 150, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log := &roundLog{}
+	open := func(tenant string) *sqloop.SQLoop {
+		s, err := sqloop.Open(sqloop.TenantDSN(base, tenant, 0), sqloop.Options{
+			Mode:     sqloop.ModeSingle,
+			Observer: log.tracer(tenant, 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	a, b := open("a"), open("b")
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	queries := []string{prTenantQuery("ranka", rounds), prTenantQuery("rankb", rounds)}
+	for i, s := range []*sqloop.SQLoop{a, b} {
+		wg.Add(1)
+		go func(i int, s *sqloop.SQLoop, q string) {
+			defer wg.Done()
+			_, errs[i] = s.Exec(ctx, q)
+		}(i, s, queries[i])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("execution %d: %v", i, err)
+		}
+	}
+
+	counts, switches, _ := log.stats()
+	if counts["a"] != rounds || counts["b"] != rounds {
+		t.Fatalf("round counts = %v, want %d each", counts, rounds)
+	}
+	// The loops' statements are multiplexed per tenant, so the rounds
+	// must overlap: several switches, not one block after the other.
+	if switches < 3 {
+		t.Fatalf("only %d tenant switches in %v, want >= 3 (rounds did not interleave)", switches, log.tenants)
+	}
+}
+
+// TestServeAdmissionReject drives a saturated one-session server on
+// every backend and checks the overflow request surfaces as a typed
+// admission error through database/sql, with the tenant attached.
+func TestServeAdmissionReject(t *testing.T) {
+	for _, profile := range sqloop.Profiles() {
+		t.Run(profile, func(t *testing.T) {
+			_, base := slowPoolServer(t, profile, 250*time.Millisecond,
+				serve.Config{MaxSessions: 1, QueueDepth: 1})
+			dsn := sqloop.TenantDSN(base, "acme", 0)
+			// Admission rejections are retried transparently by default;
+			// pin a single attempt so the rejection reaches the test.
+			driver.Configure(dsn, driver.Config{Retry: driver.RetryPolicy{
+				MaxAttempts: 1, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+			}})
+			defer driver.Configure(dsn, driver.Config{})
+
+			s, err := sqloop.Open(dsn, sqloop.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			db := s.DB()
+
+			// First statement occupies the session for 250ms, the second
+			// fills the depth-1 queue, the third must be turned away.
+			errs := make([]error, 3)
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					time.Sleep(time.Duration(i) * 60 * time.Millisecond)
+					_, errs[i] = db.ExecContext(context.Background(),
+						fmt.Sprintf("CREATE TABLE staged_%d (a INTEGER)", i))
+				}(i)
+			}
+			wg.Wait()
+
+			var rejected, succeeded int
+			for _, err := range errs {
+				switch {
+				case err == nil:
+					succeeded++
+				case errors.Is(err, sqloop.ErrAdmissionRejected):
+					rejected++
+					var ae *sqloop.AdmissionError
+					if !errors.As(err, &ae) {
+						t.Fatalf("rejection %v does not unwrap to *AdmissionError", err)
+					}
+					if ae.Tenant != "acme" {
+						t.Fatalf("rejection tenant = %q, want acme", ae.Tenant)
+					}
+				default:
+					t.Fatalf("unexpected error class: %v", err)
+				}
+			}
+			if rejected == 0 {
+				t.Fatalf("no admission rejection among %v", errs)
+			}
+			if succeeded == 0 {
+				t.Fatalf("no statement succeeded among %v", errs)
+			}
+		})
+	}
+}
+
+// TestDeadlineExpiresMidRound checks deadline propagation on every
+// backend: a context deadline shorter than the fix point cuts the
+// iterative loop at a statement boundary mid-round-loop and surfaces
+// as context.DeadlineExceeded, leaving the instance usable.
+func TestDeadlineExpiresMidRound(t *testing.T) {
+	for _, profile := range sqloop.Profiles() {
+		t.Run(profile, func(t *testing.T) {
+			log := &roundLog{}
+			s, err := sqloop.OpenEmbedded(profile, sqloop.Options{
+				Mode: sqloop.ModeSingle,
+				// Each round costs >= 5ms, so the 60ms deadline expires a
+				// few rounds into the 1000-iteration loop.
+				Observer: log.tracer("t", 5*time.Millisecond),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := sqloop.LoadDataset(s, "google-web", 120, 1); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+			defer cancel()
+			_, err = s.Exec(ctx, prTenantQuery("deadpr", 1000))
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			counts, _, _ := log.stats()
+			if counts["t"] == 0 || counts["t"] >= 1000 {
+				t.Fatalf("deadline cut after %d rounds, want mid-loop", counts["t"])
+			}
+
+			// The session survives the expired execution.
+			if _, err := s.Exec(context.Background(), prTenantQuery("alivepr", 2)); err != nil {
+				t.Fatalf("instance unusable after deadline: %v", err)
+			}
+		})
+	}
+}
+
+// TestServeDeadlineExpiresMidRound is the wire-protocol variant: the
+// client context deadline rides each request frame, the server aborts
+// the in-flight statement, and the client loop stops mid-round with
+// the canonical sentinel.
+func TestServeDeadlineExpiresMidRound(t *testing.T) {
+	_, base := slowPoolServer(t, "pgsim", 3*time.Millisecond, serve.Config{})
+
+	s, err := sqloop.Open(sqloop.TenantDSN(base, "t", 0), sqloop.Options{Mode: sqloop.ModeSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := sqloop.LoadDataset(s, "google-web", 120, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	_, err = s.Exec(ctx, prTenantQuery("deadpr", 1000))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The connection survives; a bounded loop completes afterwards.
+	if _, err := s.Exec(context.Background(), prTenantQuery("alivepr", 2)); err != nil {
+		t.Fatalf("connection unusable after deadline: %v", err)
+	}
+}

@@ -23,12 +23,14 @@ import (
 	"strings"
 	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
 	"sqloop/internal/core"
 	"sqloop/internal/driver"
 	"sqloop/internal/engine"
 	"sqloop/internal/graph"
 	"sqloop/internal/obs"
+	"sqloop/internal/serve"
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/wire"
 )
@@ -61,6 +63,40 @@ type (
 	// table and exchanging deltas between rounds.
 	ShardGroup = core.ShardGroup
 )
+
+// Re-exported serving-layer types (see internal/serve): multi-tenant
+// admission control and fair round scheduling.
+type (
+	// RoundScheduler fair-schedules concurrent iterative executions:
+	// each holds a slot for one round at a time and yields at round
+	// boundaries, so tenants' fix-point loops interleave rounds. Attach
+	// one shared instance via Options.Scheduler (with Options.Tenant).
+	RoundScheduler = serve.Scheduler
+	// AdmissionError reports work turned away by admission control
+	// (per-tenant limits, full queues) before anything executed.
+	AdmissionError = serve.AdmissionError
+)
+
+// ErrAdmissionRejected matches every admission failure via errors.Is,
+// whether it happened in-process (Options.Scheduler) or server-side
+// across the wire protocol.
+var ErrAdmissionRejected = serve.ErrAdmissionRejected
+
+// NewRoundScheduler builds a fair round scheduler with the given
+// number of concurrently-running rounds (minimum 1) and per-tenant
+// concurrent-execution limit (0 = unlimited).
+func NewRoundScheduler(slots, tenantLimit int) *RoundScheduler {
+	return serve.NewScheduler(slots, tenantLimit)
+}
+
+// TenantDSN appends tenant identity (and, when positive, a default
+// per-statement deadline) to a DSN as query parameters, giving each
+// tenant its own connection pool against a shared server:
+//
+//	sqloop.Open(sqloop.TenantDSN(srv.DSN(), "acme", 300*time.Millisecond), opts)
+func TenantDSN(dsn, tenant string, deadline time.Duration) string {
+	return driver.TenantDSN(dsn, tenant, deadline)
+}
 
 // Re-exported observability types (see internal/obs). Observers receive
 // typed events through Options.Observer or WithObserver; metrics are
@@ -121,7 +157,9 @@ func Open(dsn string, opts Options) (*SQLoop, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
-	driver.SetDSNMetrics(dsn, opts.Metrics)
+	dcfg := driver.ConfigFor(dsn)
+	dcfg.Metrics = opts.Metrics
+	driver.Configure(dsn, dcfg)
 	return core.Open(driver.DriverName, dsn, opts)
 }
 
@@ -136,6 +174,41 @@ type openConfig struct {
 	observer      obs.Tracer
 	noStmtCache   bool
 	noExprCompile bool
+
+	// Serving-layer knobs (Serve only; OpenEmbedded has no sessions to
+	// pool and ignores them).
+	maxSessions int
+	queueDepth  int
+	tenantLimit int
+	deadline    time.Duration
+}
+
+// WithMaxSessions caps how many requests a server executes at once;
+// excess requests queue per tenant and are drained fairly (round-robin
+// across tenants). 0 keeps the default (8).
+func WithMaxSessions(n int) OpenOption {
+	return func(c *openConfig) { c.maxSessions = n }
+}
+
+// WithQueueDepth caps each tenant's wait queue; a request arriving
+// beyond the cap is rejected immediately with ErrAdmissionRejected
+// instead of waiting. 0 keeps the default (64).
+func WithQueueDepth(n int) OpenOption {
+	return func(c *openConfig) { c.queueDepth = n }
+}
+
+// WithTenantLimit caps how many of one tenant's requests may run
+// concurrently, so a single tenant cannot occupy every session. 0
+// means no per-tenant cap.
+func WithTenantLimit(n int) OpenOption {
+	return func(c *openConfig) { c.tenantLimit = n }
+}
+
+// WithDeadline bounds every request that arrives without its own
+// deadline: queue wait plus execution, enforced at statement and round
+// boundaries. 0 means unbounded.
+func WithDeadline(d time.Duration) OpenOption {
+	return func(c *openConfig) { c.deadline = d }
 }
 
 // WithCostModel enables the calibrated latency model used by the
@@ -216,11 +289,11 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 	}
 	dsn := driver.InprocDSN(handle)
 	eng.SetMetrics(opts.Metrics)
-	driver.SetDSNMetrics(dsn, opts.Metrics)
+	driver.Configure(dsn, driver.Config{Metrics: opts.Metrics})
 	s, err := core.Open(driver.DriverName, dsn, opts)
 	if err != nil {
 		driver.UnregisterEngine(handle)
-		driver.SetDSNMetrics(dsn, nil)
+		driver.Configure(dsn, driver.Config{})
 		return nil, err
 	}
 	return s, nil
@@ -255,14 +328,6 @@ func OpenEmbeddedShards(profile string, n int, opts Options, extra ...OpenOption
 	return core.NewShardGroup(shards, opts, true)
 }
 
-// OpenEmbeddedWithCost is the pre-option-API form of
-// OpenEmbedded(profile, opts, WithCostModel()).
-//
-// Deprecated: use OpenEmbedded with WithCostModel.
-func OpenEmbeddedWithCost(profile string, opts Options) (*SQLoop, error) {
-	return OpenEmbedded(profile, opts, WithCostModel())
-}
-
 // Server is a network-facing embedded engine (the standalone form of
 // cmd/sqlsimd), so SQLoop instances on other machines can reach it via
 // sqlsim://tcp DSNs — the paper's remote-database deployment.
@@ -272,7 +337,9 @@ type Server struct {
 }
 
 // Serve starts an embedded engine with the given profile listening on
-// addr ("127.0.0.1:0" picks a free port).
+// addr ("127.0.0.1:0" picks a free port). The server admits requests
+// through a bounded multi-tenant session pool — size it with
+// WithMaxSessions, WithQueueDepth, WithTenantLimit and WithDeadline.
 func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	oc := applyOpenOptions(extra)
 	cfg, err := engine.Profile(profile)
@@ -293,19 +360,17 @@ func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	// Server-side statements and lock waits land in the same registry as
 	// the wire request metrics.
 	eng.SetMetrics(srv.Metrics())
+	srv.EnablePool(serve.Config{
+		MaxSessions:     oc.maxSessions,
+		QueueDepth:      oc.queueDepth,
+		TenantLimit:     oc.tenantLimit,
+		DefaultDeadline: oc.deadline,
+	})
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{srv: srv, addr: bound}, nil
-}
-
-// ServeWithCost is the pre-option-API form of
-// Serve(profile, addr, WithCostModel()).
-//
-// Deprecated: use Serve with WithCostModel.
-func ServeWithCost(profile, addr string) (*Server, error) {
-	return Serve(profile, addr, WithCostModel())
 }
 
 // Addr returns the bound address (connect with sqloop.Open(TCPDSN)).
