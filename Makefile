@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz tier1 bench bench-smoke bench-traffic check-deprecated clean
+.PHONY: all build vet test race fuzz crash tier1 bench bench-smoke bench-traffic check-deprecated clean
 
 all: tier1
 
@@ -15,18 +15,27 @@ test:
 
 # The parallel executors, the observability layer, the checkpoint store,
 # the fault-injected transport/driver, the engine's compiled-program
-# cache, the shard partitioner and the serving layer's session pool /
-# round scheduler are the concurrency hot spots; the root package holds
-# the crash-recovery matrix. Keep them race-clean.
+# cache, the shard partitioner, the serving layer's session pool /
+# round scheduler and the pager's buffer pool are the concurrency hot
+# spots; the root package holds the crash-recovery matrix. Keep them
+# race-clean.
 race:
-	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard ./internal/serve
+	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard ./internal/serve ./internal/pager
 
 # The snapshot codec must reject arbitrary corruption without panicking,
-# and the shard router must stay bit-compatible with the engine's
-# PARTHASH for every key and shard count.
+# the shard router must stay bit-compatible with the engine's PARTHASH
+# for every key and shard count, and the WAL record codec must decode
+# arbitrary bytes without panicking and re-encode canonically.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=10s ./internal/ckpt
 	$(GO) test -run=NONE -fuzz=FuzzShardRouteRoundTrip -fuzztime=10s ./internal/shard
+	$(GO) test -run=NONE -fuzz=FuzzWALRecordRoundTrip -fuzztime=10s ./internal/pager
+
+# The crash matrix: cut the write-ahead log at every byte offset and
+# require recovery to surface exactly the committed prefix, with and
+# without a checkpointed page file underneath.
+crash:
+	$(GO) test -run 'TestCrash' -count=1 ./internal/pager
 
 # The deleted pre-option-API shims must stay deleted, and the legacy
 # per-DSN setters may only appear inside internal/driver (where the
@@ -39,7 +48,7 @@ check-deprecated: vet
 		|| { echo 'legacy SetDSN* setter used outside internal/driver'; exit 1; }
 
 # Tier-1 verification (ROADMAP.md): everything must stay green.
-tier1: build vet test race check-deprecated
+tier1: build vet test race crash check-deprecated
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -19,8 +19,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards, traffic or all")
-	out := flag.String("out", "", "output path for the -fig pr4 / shards / traffic report")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards, traffic, io or all")
+	out := flag.String("out", "", "output path for the -fig pr4 / shards / traffic / io report")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -59,6 +59,8 @@ func main() {
 			*out = "BENCH_PR5.json"
 		case "traffic":
 			*out = "BENCH_PR6.json"
+		case "io":
+			*out = "BENCH_PR7.json"
 		default:
 			*out = "BENCH_PR4.json"
 		}
@@ -122,6 +124,11 @@ func run(fig, query, out string, sc bench.Scale) error {
 	}
 	if fig == "traffic" {
 		if err := bench.TrafficFig(ctx, w, sc, out); err != nil {
+			return err
+		}
+	}
+	if fig == "io" {
+		if err := bench.IOFig(ctx, w, sc, out); err != nil {
 			return err
 		}
 	}

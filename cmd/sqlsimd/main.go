@@ -24,12 +24,24 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "per-tenant wait queue cap (0 = default 64)")
 	tenantLimit := flag.Int("tenant-limit", 0, "per-tenant concurrent request cap (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = unbounded)")
+	backend := flag.String("backend", "", "storage backend: heap, btree, lsm or disk (default heap)")
+	dataDir := flag.String("data-dir", "", "data directory for -backend disk (default: a temp dir removed on exit)")
+	poolPages := flag.Int("buffer-pool-pages", 0, "disk backend buffer pool size in 8 KiB pages (0 = default)")
 	flag.Parse()
 	extra := []sqloop.OpenOption{
 		sqloop.WithMaxSessions(*maxSessions),
 		sqloop.WithQueueDepth(*queueDepth),
 		sqloop.WithTenantLimit(*tenantLimit),
 		sqloop.WithDeadline(*deadline),
+	}
+	if *backend != "" {
+		extra = append(extra, sqloop.WithBackend(*backend))
+	}
+	if *dataDir != "" {
+		extra = append(extra, sqloop.WithDataDir(*dataDir))
+	}
+	if *poolPages != 0 {
+		extra = append(extra, sqloop.WithBufferPoolPages(*poolPages))
 	}
 	if *withCost {
 		extra = append(extra, sqloop.WithCostModel())

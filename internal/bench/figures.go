@@ -26,6 +26,10 @@ type Scale struct {
 	WithCost   bool
 	Seed       int64
 
+	// IOPoolPages is the -fig io buffer pool sweep for the disk backend,
+	// in 8 KiB pages.
+	IOPoolPages []int
+
 	// Serving-traffic experiment (BENCH_PR6.json): an open-loop point
 	// query stream plus a background iterative tenant, swept across
 	// client connection budgets against a fixed-size session pool.
@@ -53,6 +57,8 @@ func DefaultScale() Scale {
 		Engines:    Engines(),
 		WithCost:   true,
 		Seed:       42,
+
+		IOPoolPages: []int{64, 512, 4096},
 
 		TrafficConns:    []int{2, 8, 32},
 		TrafficRate:     200,

@@ -11,6 +11,8 @@ import (
 	"sqloop/internal/driver"
 	"sqloop/internal/engine"
 	"sqloop/internal/graph"
+	"sqloop/internal/obs"
+	"sqloop/internal/storage"
 )
 
 // Config describes one experiment run.
@@ -45,6 +47,22 @@ type Config struct {
 	// every predicate and projection is interpreted from its AST, for
 	// compile-ablation runs (the -fig pr4 comparison).
 	DisableExprCompile bool
+	// Backend selects the engine's storage backend by name (heap, btree,
+	// lsm, disk); empty keeps the profile default. The disk backend runs
+	// with DataDir and BufferPoolPages (both optional) and reports pager
+	// I/O in Metrics.Pager (the -fig io comparison).
+	Backend         string
+	DataDir         string
+	BufferPoolPages int
+}
+
+// PagerStats is the durable backend's I/O delta over one run, all zero
+// for the in-memory backends.
+type PagerStats struct {
+	PageReads  int64
+	PageWrites int64
+	Evictions  int64
+	HitRatePct int64 // buffer pool hit rate, percent
 }
 
 // Sample is one convergence observation.
@@ -73,6 +91,9 @@ type Metrics struct {
 	// StmtCache is the engine statement-cache delta over the run (all
 	// zero when the cache is disabled).
 	StmtCache engine.StmtCacheStats
+	// Pager is the buffer pool / page I/O activity of the run (disk
+	// backend only).
+	Pager PagerStats
 }
 
 // StmtsPerRound is the statement overhead per completed round.
@@ -99,10 +120,29 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		engCfg.StmtCacheSize = -1
 	}
 	engCfg.DisableExprCompile = cfg.DisableExprCompile
+	if cfg.Backend != "" {
+		kind, err := storage.ParseKind(cfg.Backend)
+		if err != nil {
+			return nil, err
+		}
+		engCfg.Backend = kind
+		engCfg.DataDir = cfg.DataDir
+		engCfg.BufferPoolPages = cfg.BufferPoolPages
+	}
 	eng := engine.New(engCfg)
+	var pagerReg *obs.Registry
+	if engCfg.Backend == storage.KindDisk {
+		pagerReg = obs.NewRegistry()
+		eng.SetMetrics(pagerReg)
+	}
 	handle := "bench-" + strconv.FormatInt(handleSeq.Add(1), 10)
 	driver.RegisterEngine(handle, eng)
-	defer driver.UnregisterEngine(handle)
+	defer func() {
+		driver.UnregisterEngine(handle)
+		// The disk backend holds page files, WALs and possibly a temp
+		// data directory; the in-memory backends make this a no-op.
+		_ = eng.Close()
+	}()
 
 	s, err := core.Open(driver.DriverName, driver.InprocDSN(handle), core.Options{
 		Mode:                   cfg.Mode,
@@ -193,6 +233,15 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 			Evictions: cacheAfter.Evictions - cacheBefore.Evictions,
 			Size:      cacheAfter.Size,
 		},
+	}
+	if pagerReg != nil {
+		snap := pagerReg.Snapshot()
+		m.Pager = PagerStats{
+			PageReads:  snap.Counters["sqloop_pager_page_reads"],
+			PageWrites: snap.Counters["sqloop_pager_page_writes"],
+			Evictions:  snap.Counters["sqloop_pager_evictions"],
+			HitRatePct: snap.Gauges["sqloop_pager_hit_rate_percent"],
+		}
 	}
 	m.ConvergenceTime = elapsed
 	if n := len(samples); n > 0 {

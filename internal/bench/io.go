@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// IORun is one durability-cost measurement in BENCH_PR7.json: an
+// engine × mode × backend cell of the SSSP workload, where the disk
+// backend sweeps the buffer pool size. RoundsPerSec is the headline
+// series: how much iteration throughput the durable pager costs
+// relative to the in-memory heap at each pool size.
+type IORun struct {
+	Figure       string  `json:"figure"`
+	Profile      string  `json:"profile"`
+	Mode         string  `json:"mode"`
+	Backend      string  `json:"backend"`    // heap | disk
+	PoolPages    int     `json:"pool_pages"` // 8 KiB pages; 0 for heap
+	Rounds       int     `json:"rounds"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	PageReads    int64   `json:"page_reads"`
+	PageWrites   int64   `json:"page_writes"`
+	Evictions    int64   `json:"evictions"`
+	HitRatePct   int64   `json:"hit_rate_percent"`
+	Result       float64 `json:"result"`
+}
+
+// IOReport is the top-level BENCH_PR7.json document (schema in
+// EXPERIMENTS.md).
+type IOReport struct {
+	Figure string  `json:"figure"`
+	Runs   []IORun `json:"runs"`
+}
+
+// roundsPerSec is the throughput headline; 0 when the run measured no
+// wall time (degenerate smoke scales).
+func roundsPerSec(rounds int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(rounds) / seconds
+}
+
+// IOFig compares the in-memory heap backend against the durable pager
+// backend on SSSP, sweeping the disk buffer pool across sc.IOPoolPages.
+// Every disk run must reproduce the heap result exactly — durability
+// may cost throughput, never answers. Measurements go to outPath as
+// BENCH_PR7.json.
+func IOFig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	report := &IOReport{Figure: "io"}
+	for _, eng := range sc.Engines {
+		fmt.Fprintf(w, "\n== IO / SSSP with %s: heap vs durable pager, %d nodes ==\n",
+			EngineLabel(eng), sc.SSSPNodes)
+		fmt.Fprintf(w, "%-8s %-8s %10s %10s %8s %10s %10s %10s %9s %8s\n",
+			"mode", "backend", "pool", "time(s)", "rounds", "rounds/s",
+			"pg-reads", "pg-writes", "evicted", "hit%")
+		for _, mode := range parallelModes {
+			base := Config{
+				Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+				Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+				WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+			}
+			query := SSSPQuery(sc.SSSPDest)
+
+			heap, err := Run(ctx, base, query)
+			if err != nil {
+				return fmt.Errorf("io %s/%s heap: %w", eng, ModeLabel(mode), err)
+			}
+			want := heap.ScalarResult()
+			fmt.Fprintf(w, "%-8s %-8s %10s %10.3f %8d %10.2f %10s %10s %9s %8s\n",
+				ModeLabel(mode), "heap", "-", heap.Elapsed.Seconds(), heap.Rounds,
+				roundsPerSec(heap.Rounds, heap.Elapsed.Seconds()), "-", "-", "-", "-")
+			report.Runs = append(report.Runs, IORun{
+				Figure: "io-sssp", Profile: eng, Mode: ModeLabel(mode), Backend: "heap",
+				Rounds: heap.Rounds, WallSeconds: heap.Elapsed.Seconds(),
+				RoundsPerSec: roundsPerSec(heap.Rounds, heap.Elapsed.Seconds()),
+				Result:       want,
+			})
+
+			for _, pool := range sc.IOPoolPages {
+				cfg := base
+				cfg.Backend = "disk"
+				cfg.BufferPoolPages = pool
+				disk, err := Run(ctx, cfg, query)
+				if err != nil {
+					return fmt.Errorf("io %s/%s disk pool=%d: %w", eng, ModeLabel(mode), pool, err)
+				}
+				if got := disk.ScalarResult(); got != want {
+					return fmt.Errorf("io %s/%s disk pool=%d: result %v diverges from heap %v",
+						eng, ModeLabel(mode), pool, got, want)
+				}
+				fmt.Fprintf(w, "%-8s %-8s %10d %10.3f %8d %10.2f %10d %10d %9d %8d\n",
+					ModeLabel(mode), "disk", pool, disk.Elapsed.Seconds(), disk.Rounds,
+					roundsPerSec(disk.Rounds, disk.Elapsed.Seconds()),
+					disk.Pager.PageReads, disk.Pager.PageWrites,
+					disk.Pager.Evictions, disk.Pager.HitRatePct)
+				report.Runs = append(report.Runs, IORun{
+					Figure: "io-sssp", Profile: eng, Mode: ModeLabel(mode), Backend: "disk",
+					PoolPages: pool, Rounds: disk.Rounds, WallSeconds: disk.Elapsed.Seconds(),
+					RoundsPerSec: roundsPerSec(disk.Rounds, disk.Elapsed.Seconds()),
+					PageReads:    disk.Pager.PageReads, PageWrites: disk.Pager.PageWrites,
+					Evictions: disk.Pager.Evictions, HitRatePct: disk.Pager.HitRatePct,
+					Result: disk.ScalarResult(),
+				})
+			}
+		}
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d runs)\n", outPath, len(report.Runs))
+	return nil
+}

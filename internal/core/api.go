@@ -138,6 +138,22 @@ type Options struct {
 	// and a failed run resumes from the last snapshot instead of the
 	// seed. Disabled when Dir is empty.
 	Checkpoint CheckpointOptions
+	// AfterCheckpoint, when set, runs after every successfully saved
+	// snapshot. OpenEmbedded points it at the embedded engine's
+	// Checkpoint method when the backend is durable, so a middleware
+	// snapshot also flushes the engine's dirty pages and truncates its
+	// write-ahead logs — the WAL↔checkpoint truncation contract. The
+	// middleware itself attaches no meaning to it.
+	AfterCheckpoint func() error
+	// DataDir is passed through to OpenEmbedded's engine as the disk
+	// backend's data directory (page + WAL files). Empty means a
+	// throwaway temp directory. Ignored for in-memory backends and for
+	// remote engines.
+	DataDir string
+	// BufferPoolPages sizes the embedded disk backend's buffer pool in
+	// 8 KiB pages (0 = default 256). Ignored for in-memory backends and
+	// remote engines.
+	BufferPoolPages int
 	// Tenant names this instance's tenant for admission control and
 	// fair scheduling; empty means the default tenant. Only meaningful
 	// together with Scheduler.

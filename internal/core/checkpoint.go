@@ -146,6 +146,11 @@ func (r *ckptRun) save(ctx context.Context, c *dbConn, round, partitions int, pa
 	r.s.metrics.Counter("sqloop_checkpoints_total").Inc()
 	r.s.metrics.Counter("sqloop_checkpoint_bytes_total").Add(n)
 	r.s.metrics.Histogram("sqloop_checkpoint_seconds").Observe(elapsed)
+	if hook := r.s.opts.AfterCheckpoint; hook != nil {
+		if err := hook(); err != nil {
+			return fmt.Errorf("after-checkpoint hook at round %d: %w", round, err)
+		}
+	}
 	return nil
 }
 

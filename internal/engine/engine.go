@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"sqloop/internal/btree"
 	"sqloop/internal/lsm"
 	"sqloop/internal/obs"
+	"sqloop/internal/pager"
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/sqltypes"
 	"sqloop/internal/storage"
@@ -41,6 +43,13 @@ type Config struct {
 	// string encoding instead of 64-bit row hashes. Results are identical
 	// either way; this is the A/B switch for the perf experiments.
 	DisableExprCompile bool
+	// DataDir is where the disk backend keeps its page and WAL files.
+	// Empty means a throwaway temp directory (removed by Close). Ignored
+	// by the in-memory backends.
+	DataDir string
+	// BufferPoolPages bounds the disk backend's buffer pool in 8 KiB
+	// pages, shared across all tables (0 = default 256 = 2 MiB).
+	BufferPoolPages int
 }
 
 // Profile returns the engine configuration that simulates the named
@@ -99,6 +108,19 @@ type Engine struct {
 	// metrics, when set, receives per-statement latency and lock-wait
 	// observations in addition to the logical Stats counters.
 	metrics atomic.Pointer[obs.Registry]
+
+	// pagerMu guards the lazily-opened durable backend (Backend ==
+	// storage.KindDisk). pagerTemp marks a DataDir the engine created
+	// itself and removes on Close.
+	pagerMu   sync.Mutex
+	pager     *pager.DB
+	pagerDir  string
+	pagerTemp bool
+
+	// recoverErr is a failed disk-catalog recovery (set once in New,
+	// read-only after); while non-nil every statement errors instead of
+	// running over an engine that silently dropped durable tables.
+	recoverErr error
 }
 
 // view is a named stored query.
@@ -152,6 +174,9 @@ func New(cfg Config) *Engine {
 	case cfg.StmtCacheSize == 0:
 		e.stmts = newStmtCache(defaultStmtCacheSize)
 	}
+	if cfg.Backend == storage.KindDisk && cfg.DataDir != "" {
+		e.recoverErr = e.recoverDiskCatalog()
+	}
 	return e
 }
 
@@ -179,22 +204,99 @@ func (e *Engine) Stats() StatsSnapshot {
 // SetMetrics attaches a registry; the engine then reports statement
 // latency (engine_statement_seconds), statement counts
 // (engine_statements_total) and lock contention
-// (engine_lock_waits_total, engine_lock_wait_seconds) into it. Pass nil
-// to detach.
+// (engine_lock_waits_total, engine_lock_wait_seconds) into it. The disk
+// backend additionally reports page I/O and buffer-pool hit rate. Pass
+// nil to detach.
 func (e *Engine) SetMetrics(r *obs.Registry) {
 	e.metrics.Store(r)
+	e.pagerMu.Lock()
+	if e.pager != nil {
+		e.pager.SetMetrics(r)
+	}
+	e.pagerMu.Unlock()
 }
 
-// newStore builds a fresh store of the configured backend.
-func (e *Engine) newStore() storage.Store {
+// newStore builds a fresh store of the configured backend. name is the
+// catalog name of the owning table; the disk backend derives its file
+// names from it.
+func (e *Engine) newStore(name string) (storage.Store, error) {
 	switch e.cfg.Backend {
 	case storage.KindBTree:
-		return btree.New()
+		return btree.New(), nil
 	case storage.KindLSM:
-		return lsm.New()
+		return lsm.New(), nil
+	case storage.KindDisk:
+		db, err := e.pagerDB()
+		if err != nil {
+			return nil, err
+		}
+		return db.CreateStore(name)
 	default:
-		return storage.NewHeap()
+		return storage.NewHeap(), nil
 	}
+}
+
+// pagerDB opens the durable backend on first use.
+func (e *Engine) pagerDB() (*pager.DB, error) {
+	e.pagerMu.Lock()
+	defer e.pagerMu.Unlock()
+	if e.pager != nil {
+		return e.pager, nil
+	}
+	dir := e.cfg.DataDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "sqloop-pager-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+		e.pagerTemp = true
+	}
+	db, err := pager.OpenDB(dir, pager.Options{
+		BufferPoolPages: e.cfg.BufferPoolPages,
+		Metrics:         e.metrics.Load(),
+	})
+	if err != nil {
+		if e.pagerTemp {
+			os.RemoveAll(dir)
+			e.pagerTemp = false
+		}
+		return nil, err
+	}
+	e.pager, e.pagerDir = db, dir
+	return db, nil
+}
+
+// Checkpoint flushes the disk backend's dirty pages and truncates its
+// write-ahead logs, bounding recovery replay. A no-op for the
+// in-memory backends and before the first disk table exists.
+func (e *Engine) Checkpoint() error {
+	e.pagerMu.Lock()
+	db := e.pager
+	e.pagerMu.Unlock()
+	if db == nil {
+		return nil
+	}
+	return db.Checkpoint()
+}
+
+// Close releases the disk backend's files (flushing dirty state first)
+// and removes the data directory when the engine created it as a temp
+// dir. In-memory engines have nothing to release.
+func (e *Engine) Close() error {
+	e.pagerMu.Lock()
+	defer e.pagerMu.Unlock()
+	if e.pager == nil {
+		return nil
+	}
+	err := e.pager.Close()
+	if e.pagerTemp {
+		if rmErr := os.RemoveAll(e.pagerDir); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	e.pager = nil
+	return err
 }
 
 // Table is one base table: schema, primary data store and secondary hash
@@ -407,8 +509,10 @@ func (s *Session) rollback() {
 	}
 	undo := s.tx.undo
 	s.tx = nil
+	touched := make(map[*Table]struct{})
 	for i := len(undo) - 1; i >= 0; i-- {
 		r := undo[i]
+		touched[r.table] = struct{}{}
 		r.table.mu.Lock()
 		switch r.kind {
 		case undoInsert:
@@ -429,6 +533,13 @@ func (s *Session) rollback() {
 			}
 		}
 		r.table.mu.Unlock()
+	}
+	// The undo writes themselves must be durable before anyone else sees
+	// the rolled-back state.
+	for t := range touched {
+		t.mu.Lock()
+		t.commitStore()
+		t.mu.Unlock()
 	}
 }
 
@@ -500,10 +611,25 @@ func (e *Engine) lockTables(reads, writes []*Table) func() {
 	return func() {
 		for i := len(locked) - 1; i >= 0; i-- {
 			if locked[i].write {
+				// Statement boundary: a durable store's mutations become
+				// crash-safe before the write lock is released, so no other
+				// connection can observe rows a crash could take back.
+				locked[i].t.commitStore()
 				locked[i].t.mu.Unlock()
 			} else {
 				locked[i].t.mu.RUnlock()
 			}
+		}
+	}
+}
+
+// commitStore commits the table's store when the backend is durable.
+// Must be called with the table's write lock held. Storage I/O failure
+// at a commit point is not recoverable mid-statement.
+func (t *Table) commitStore() {
+	if c, ok := t.store.(storage.Committer); ok {
+		if err := c.Commit(); err != nil {
+			panic(fmt.Sprintf("engine: commit of table %q failed: %v", t.name, err))
 		}
 	}
 }

@@ -41,6 +41,7 @@ func (x *executor) runCreateTable(s *sqlparser.CreateTableStmt) (*Result, error)
 				return nil, err
 			}
 		}
+		t.commitStore()
 		x.work.written += int64(len(rel.rows))
 		x.eng.stats.RowsInserted.Add(int64(len(rel.rows)))
 		return &Result{RowsAffected: int64(len(rel.rows))}, nil
@@ -84,14 +85,25 @@ func (x *executor) createTableObject(lc string, s *sqlparser.CreateTableStmt, sc
 	if _, exists := x.eng.views[lc]; exists {
 		return nil, fmt.Errorf("engine: view %q already exists", s.Name)
 	}
+	store, err := x.eng.newStore(lc)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		name:    lc,
 		schema:  schema,
 		pkCol:   pk,
-		store:   x.eng.newStore(),
+		store:   store,
 		indexes: make(map[string]*hashIndex),
 	}
 	x.eng.tables[lc] = t
+	if err := x.eng.saveDiskCatalog(); err != nil {
+		delete(x.eng.tables, lc)
+		if d, ok := store.(storage.Dropper); ok {
+			_ = d.Drop()
+		}
+		return nil, fmt.Errorf("engine: persisting catalog for %q: %w", s.Name, err)
+	}
 	x.eng.noteDDL(lc)
 	return t, nil
 }
@@ -166,7 +178,8 @@ func (x *executor) runDrop(s *sqlparser.DropStmt) (*Result, error) {
 	defer x.eng.mu.Unlock()
 	switch s.Kind {
 	case sqlparser.DropTable:
-		if _, ok := x.eng.tables[lc]; !ok {
+		t, ok := x.eng.tables[lc]
+		if !ok {
 			if s.IfExists {
 				return &Result{}, nil
 			}
@@ -174,6 +187,17 @@ func (x *executor) runDrop(s *sqlparser.DropStmt) (*Result, error) {
 		}
 		delete(x.eng.tables, lc)
 		x.eng.noteDDL(lc)
+		if err := x.eng.saveDiskCatalog(); err != nil {
+			return nil, fmt.Errorf("engine: persisting catalog after dropping %q: %w", s.Name, err)
+		}
+		if d, ok := t.store.(storage.Dropper); ok {
+			t.mu.Lock()
+			err := d.Drop()
+			t.mu.Unlock()
+			if err != nil {
+				return nil, fmt.Errorf("engine: dropping storage of %q: %w", s.Name, err)
+			}
+		}
 	case sqlparser.DropView:
 		if _, ok := x.eng.views[lc]; !ok {
 			if s.IfExists {

@@ -312,6 +312,12 @@ func depsExpr(e sqlparser.Expr, add func(string)) {
 // compiled-program cache. With the statement cache disabled it degrades
 // to a plain parse with a statement-local program cache.
 func (e *Engine) cachedParse(sql string) (sqlparser.Statement, depSnapshot, *progCache, error) {
+	// A failed disk-catalog recovery must not look like an empty engine:
+	// statements could then silently re-create (and wipe) tables whose
+	// data is still on disk. Fail every statement instead.
+	if err := e.recoverErr; err != nil {
+		return nil, depSnapshot{}, nil, fmt.Errorf("engine: disk catalog recovery failed: %w", err)
+	}
 	c := e.stmts
 	if c == nil {
 		st, err := sqlparser.Parse(sql)

@@ -1,0 +1,317 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"sqloop/internal/obs"
+)
+
+// pageFile is one store's data file: a headerless array of CRC-stamped
+// pages. The logical page count can exceed the file size — freshly
+// allocated pages live only in the buffer pool until first flush.
+type pageFile struct {
+	f     *os.File
+	path  string
+	pages uint32
+	// wal is the owning store's log: the buffer pool commits it before
+	// writing one of this file's dirty pages (write-ahead rule), so
+	// on-disk pages only ever contain committed data.
+	wal *wal
+}
+
+func openPageFile(path string) (*pageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if rem := size % PageSize; rem != 0 {
+		// A torn file extension; drop the partial page. Its rows, if
+		// any, are still in the WAL.
+		size -= rem
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &pageFile{f: f, path: path, pages: uint32(size / PageSize)}, nil
+}
+
+// readPage loads page id into p, verifying the checksum and the page's
+// self-identification.
+func (pf *pageFile) readPage(id uint32, p page) error {
+	if _, err := pf.f.ReadAt(p, int64(id)*PageSize); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Allocated but never flushed: logically an empty page.
+			p.init(id)
+			return nil
+		}
+		return err
+	}
+	if crc32.ChecksumIEEE(p[4:]) != binary.LittleEndian.Uint32(p[offCRC:]) {
+		return &CorruptPageError{Path: pf.path, PageID: id, Reason: "checksum mismatch"}
+	}
+	if p.pageID() != id {
+		return &CorruptPageError{Path: pf.path, PageID: id, Reason: fmt.Sprintf("page identifies as %d", p.pageID())}
+	}
+	return nil
+}
+
+// writePage stamps the checksum and writes page id.
+func (pf *pageFile) writePage(id uint32, p page) error {
+	binary.LittleEndian.PutUint32(p[offCRC:], crc32.ChecksumIEEE(p[4:]))
+	_, err := pf.f.WriteAt(p, int64(id)*PageSize)
+	return err
+}
+
+// allocate reserves the next page ID. The page exists only in the
+// buffer pool until flushed.
+func (pf *pageFile) allocate() uint32 {
+	id := pf.pages
+	pf.pages++
+	return id
+}
+
+// truncate discards every page (Clear).
+func (pf *pageFile) truncate() error {
+	if err := pf.f.Truncate(0); err != nil {
+		return err
+	}
+	pf.pages = 0
+	return nil
+}
+
+func (pf *pageFile) sync() error  { return pf.f.Sync() }
+func (pf *pageFile) close() error { return pf.f.Close() }
+
+// frameKey identifies a cached page.
+type frameKey struct {
+	file *pageFile
+	id   uint32
+}
+
+// frame is one buffer-pool slot.
+type frame struct {
+	key   frameKey
+	data  page
+	pin   int
+	ref   bool // clock reference bit
+	dirty bool
+	valid bool
+}
+
+// BufferManager is the shared buffer pool: a fixed set of page frames
+// with pin/unpin, dirty tracking and clock (second-chance) eviction.
+// One BufferManager serves every store of a DB, so Config's
+// BufferPoolPages bounds the pager's total memory regardless of table
+// count. Safe for concurrent use.
+type BufferManager struct {
+	mu     sync.Mutex
+	frames []frame
+	table  map[frameKey]int
+	hand   int
+
+	hits, misses atomic.Int64
+
+	// Cached instruments (nil until SetMetrics): the pin path is too
+	// hot for registry lookups.
+	reads, writes, evictions *obs.Counter
+	hitRate                  *obs.Gauge
+}
+
+// minPoolPages is the floor on pool size: scans and moves pin two
+// pages at once, and a pool too small to hold a working set degrades
+// to I/O-per-access but must never deadlock.
+const minPoolPages = 8
+
+// newBufferManager builds a pool of n frames (floored at minPoolPages;
+// 0 selects the default of 256 = 2 MiB).
+func newBufferManager(n int) *BufferManager {
+	if n == 0 {
+		n = 256
+	}
+	if n < minPoolPages {
+		n = minPoolPages
+	}
+	return &BufferManager{
+		frames: make([]frame, n),
+		table:  make(map[frameKey]int, n),
+	}
+}
+
+// SetMetrics attaches a registry: sqloop_pager_page_reads/writes/
+// evictions counters and the sqloop_pager_hit_rate_percent gauge.
+func (bm *BufferManager) SetMetrics(r *obs.Registry) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if r == nil {
+		bm.reads, bm.writes, bm.evictions, bm.hitRate = nil, nil, nil, nil
+		return
+	}
+	bm.reads = r.Counter("sqloop_pager_page_reads")
+	bm.writes = r.Counter("sqloop_pager_page_writes")
+	bm.evictions = r.Counter("sqloop_pager_evictions")
+	bm.hitRate = r.Gauge("sqloop_pager_hit_rate_percent")
+}
+
+// pin fetches page id of pf into a frame and pins it. With load=false
+// the page is freshly formatted instead of read — the allocation path.
+// The caller must unpin exactly once.
+func (bm *BufferManager) pin(pf *pageFile, id uint32, load bool) (*frame, error) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	k := frameKey{file: pf, id: id}
+	if i, ok := bm.table[k]; ok {
+		f := &bm.frames[i]
+		f.pin++
+		f.ref = true
+		bm.hits.Add(1)
+		bm.noteHitRate()
+		return f, nil
+	}
+	bm.misses.Add(1)
+	i, err := bm.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &bm.frames[i]
+	if f.valid {
+		if f.dirty {
+			if err := bm.flushFrameLocked(f); err != nil {
+				return nil, err
+			}
+		}
+		delete(bm.table, f.key)
+		if bm.evictions != nil {
+			bm.evictions.Inc()
+		}
+	}
+	if f.data == nil {
+		f.data = make(page, PageSize)
+	}
+	if load {
+		if err := pf.readPage(id, f.data); err != nil {
+			f.valid = false
+			return nil, err
+		}
+		if bm.reads != nil {
+			bm.reads.Inc()
+		}
+	} else {
+		f.data.init(id)
+	}
+	f.key = k
+	f.pin = 1
+	f.ref = true
+	f.dirty = false
+	f.valid = true
+	bm.table[k] = i
+	bm.noteHitRate()
+	return f, nil
+}
+
+// unpin releases one pin, recording whether the caller modified the
+// page.
+func (bm *BufferManager) unpin(f *frame, dirty bool) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// victimLocked runs the clock hand: skip pinned frames, clear one
+// reference bit per lap, take the first unpinned unreferenced frame.
+func (bm *BufferManager) victimLocked() (int, error) {
+	for scanned := 0; scanned < 2*len(bm.frames); scanned++ {
+		i := bm.hand
+		bm.hand = (bm.hand + 1) % len(bm.frames)
+		f := &bm.frames[i]
+		if f.pin > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return i, nil
+	}
+	return 0, fmt.Errorf("pager: buffer pool exhausted (%d pages, all pinned)", len(bm.frames))
+}
+
+// flushFrameLocked writes one dirty frame. The WAL is committed first:
+// a page on disk must never contain operations the log has not made
+// durable, or recovery could surface uncommitted rows.
+func (bm *BufferManager) flushFrameLocked(f *frame) error {
+	if f.key.file.wal != nil {
+		if err := f.key.file.wal.commit(); err != nil {
+			return err
+		}
+	}
+	if err := f.key.file.writePage(f.key.id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	if bm.writes != nil {
+		bm.writes.Inc()
+	}
+	return nil
+}
+
+// flushFile writes every dirty frame of pf (checkpoint/close).
+func (bm *BufferManager) flushFile(pf *pageFile) error {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for i := range bm.frames {
+		f := &bm.frames[i]
+		if f.valid && f.key.file == pf && f.dirty {
+			if err := bm.flushFrameLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invalidateFile drops every frame of pf without flushing (Clear/Drop).
+func (bm *BufferManager) invalidateFile(pf *pageFile) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for i := range bm.frames {
+		f := &bm.frames[i]
+		if f.valid && f.key.file == pf {
+			delete(bm.table, f.key)
+			f.valid = false
+			f.dirty = false
+			f.ref = false
+		}
+	}
+}
+
+// noteHitRate publishes the cumulative hit rate as a percentage.
+func (bm *BufferManager) noteHitRate() {
+	if bm.hitRate == nil {
+		return
+	}
+	h, m := bm.hits.Load(), bm.misses.Load()
+	if h+m > 0 {
+		bm.hitRate.Set(h * 100 / (h + m))
+	}
+}
+
+// Stats reports cumulative pin hits and misses (tests, bench).
+func (bm *BufferManager) Stats() (hits, misses int64) {
+	return bm.hits.Load(), bm.misses.Load()
+}

@@ -1,0 +1,107 @@
+package pager
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBufferPoolEviction(t *testing.T) {
+	dir := t.TempDir()
+	pf, err := openPageFile(filepath.Join(dir, "t.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.close()
+	bm := newBufferManager(minPoolPages)
+
+	// Touch 4x the pool size in pages; each gets a distinct payload.
+	n := uint32(4 * minPoolPages)
+	for id := uint32(0); id < n; id++ {
+		pf.allocate()
+		f, err := bm.pin(pf, id, false)
+		if err != nil {
+			t.Fatalf("pin(%d): %v", id, err)
+		}
+		if _, ok := f.data.addCell([]byte{byte(id), byte(id >> 8)}); !ok {
+			t.Fatal("addCell failed on empty page")
+		}
+		bm.unpin(f, true)
+	}
+	// Everything must read back correctly through eviction churn.
+	for id := uint32(0); id < n; id++ {
+		f, err := bm.pin(pf, id, true)
+		if err != nil {
+			t.Fatalf("re-pin(%d): %v", id, err)
+		}
+		cell, live := f.data.cell(0)
+		if !live || cell[0] != byte(id) || cell[1] != byte(id>>8) {
+			t.Fatalf("page %d cell = %v, %v", id, cell, live)
+		}
+		if f.data.pageID() != id {
+			t.Fatalf("page %d identifies as %d", id, f.data.pageID())
+		}
+		bm.unpin(f, false)
+	}
+	hits, misses := bm.Stats()
+	if misses < int64(n) {
+		t.Fatalf("misses = %d, want >= %d (pool is 4x oversubscribed)", misses, n)
+	}
+	_ = hits
+}
+
+func TestBufferPoolExhaustion(t *testing.T) {
+	dir := t.TempDir()
+	pf, err := openPageFile(filepath.Join(dir, "t.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.close()
+	bm := newBufferManager(minPoolPages)
+	var pinned []*frame
+	for i := 0; i < minPoolPages; i++ {
+		pf.allocate()
+		f, err := bm.pin(pf, uint32(i), false)
+		if err != nil {
+			t.Fatalf("pin(%d): %v", i, err)
+		}
+		pinned = append(pinned, f)
+	}
+	pf.allocate()
+	if _, err := bm.pin(pf, uint32(minPoolPages), false); err == nil {
+		t.Fatal("pin succeeded with every frame pinned")
+	}
+	// Releasing one pin unblocks the pool.
+	bm.unpin(pinned[0], false)
+	f, err := bm.pin(pf, uint32(minPoolPages), false)
+	if err != nil {
+		t.Fatalf("pin after unpin: %v", err)
+	}
+	bm.unpin(f, false)
+	for _, f := range pinned[1:] {
+		bm.unpin(f, false)
+	}
+}
+
+func TestBufferPoolHitTracking(t *testing.T) {
+	dir := t.TempDir()
+	pf, err := openPageFile(filepath.Join(dir, "t.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.close()
+	bm := newBufferManager(64)
+	pf.allocate()
+	f, _ := bm.pin(pf, 0, false)
+	bm.unpin(f, true)
+	for i := 0; i < 9; i++ {
+		f, err := bm.pin(pf, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm.unpin(f, false)
+	}
+	hits, misses := bm.Stats()
+	if hits != 9 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 9/1", hits, misses)
+	}
+}

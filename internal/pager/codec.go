@@ -1,0 +1,126 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqloop/internal/sqltypes"
+)
+
+// Value codec: one tag byte followed by the payload. Integers use
+// zigzag varints, floats 8-byte big-endian IEEE 754, strings a
+// uvarint-prefixed byte run. The same encoding serves page cells and
+// WAL record bodies, so FuzzWALRecordRoundTrip covers both.
+const (
+	tagNull  byte = 0
+	tagInt   byte = 1
+	tagFloat byte = 2
+	tagStr   byte = 3
+	tagTrue  byte = 4
+	tagFalse byte = 5
+)
+
+func appendValue(b []byte, v sqltypes.Value) []byte {
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		return append(b, tagNull)
+	case sqltypes.KindInt:
+		b = append(b, tagInt)
+		return binary.AppendVarint(b, v.Int())
+	case sqltypes.KindFloat:
+		b = append(b, tagFloat)
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(v.Float()))
+	case sqltypes.KindString:
+		b = append(b, tagStr)
+		b = binary.AppendUvarint(b, uint64(len(v.Str())))
+		return append(b, v.Str()...)
+	case sqltypes.KindBool:
+		if v.Bool() {
+			return append(b, tagTrue)
+		}
+		return append(b, tagFalse)
+	default:
+		// Unreachable: sqltypes has no further kinds.
+		return append(b, tagNull)
+	}
+}
+
+func decodeValue(b []byte) (sqltypes.Value, int, error) {
+	if len(b) == 0 {
+		return sqltypes.Null, 0, fmt.Errorf("pager: truncated value")
+	}
+	switch b[0] {
+	case tagNull:
+		return sqltypes.Null, 1, nil
+	case tagInt:
+		v, n := binary.Varint(b[1:])
+		if n <= 0 {
+			return sqltypes.Null, 0, fmt.Errorf("pager: bad varint")
+		}
+		return sqltypes.NewInt(v), 1 + n, nil
+	case tagFloat:
+		if len(b) < 9 {
+			return sqltypes.Null, 0, fmt.Errorf("pager: truncated float")
+		}
+		return sqltypes.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b[1:]))), 9, nil
+	case tagStr:
+		l, n := binary.Uvarint(b[1:])
+		if n <= 0 || l > uint64(len(b)-1-n) {
+			return sqltypes.Null, 0, fmt.Errorf("pager: bad string length")
+		}
+		start := 1 + n
+		return sqltypes.NewString(string(b[start : start+int(l)])), start + int(l), nil
+	case tagTrue:
+		return sqltypes.NewBool(true), 1, nil
+	case tagFalse:
+		return sqltypes.NewBool(false), 1, nil
+	default:
+		return sqltypes.Null, 0, fmt.Errorf("pager: unknown value tag %d", b[0])
+	}
+}
+
+// encodeCell serializes one (key, row) pair: the key value, a uvarint
+// column count, then each column value.
+func encodeCell(key sqltypes.Key, row sqltypes.Row) []byte {
+	b := make([]byte, 0, 16+8*len(row))
+	b = appendValue(b, key.Value())
+	b = binary.AppendUvarint(b, uint64(len(row)))
+	for _, v := range row {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+// maxRowColumns bounds the decoded column count; it exists only to
+// reject corrupt cells before allocating.
+const maxRowColumns = 1 << 16
+
+func decodeCell(b []byte) (sqltypes.Key, sqltypes.Row, error) {
+	kv, n, err := decodeValue(b)
+	if err != nil {
+		return sqltypes.Key{}, nil, err
+	}
+	b = b[n:]
+	ncols, n := binary.Uvarint(b)
+	if n <= 0 || ncols > maxRowColumns {
+		return sqltypes.Key{}, nil, fmt.Errorf("pager: bad column count")
+	}
+	b = b[n:]
+	var row sqltypes.Row
+	if ncols > 0 {
+		row = make(sqltypes.Row, 0, ncols)
+		for i := uint64(0); i < ncols; i++ {
+			v, n, err := decodeValue(b)
+			if err != nil {
+				return sqltypes.Key{}, nil, err
+			}
+			row = append(row, v)
+			b = b[n:]
+		}
+	}
+	if len(b) != 0 {
+		return sqltypes.Key{}, nil, fmt.Errorf("pager: %d trailing bytes after cell", len(b))
+	}
+	return kv.MapKey(), row, nil
+}

@@ -1,0 +1,226 @@
+// Package pager is the durable page-based storage subsystem: fixed-size
+// slotted pages with CRC-protected typed headers, a shared buffer pool
+// with clock eviction, and a per-store write-ahead log with redo
+// recovery. Its DiskStore implements storage.Store, so the engine, all
+// four execution modes, sharding and the serving layer run on it with
+// zero changes above the storage line (ROADMAP: "graphs larger than
+// RAM"). See DESIGN.md ("Durable page storage") for the on-disk formats
+// and the recovery protocol.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page, on disk and in the buffer
+// pool.
+const PageSize = 8192
+
+// Page header layout (little endian):
+//
+//	[0:4)   crc32 (IEEE) of bytes [4:PageSize), stamped at flush time
+//	[4:8)   pageID
+//	[8:16)  lsn of the last WAL record applied to this page
+//	[16:18) cell count (slots allocated, live or dead)
+//	[18:20) freeHi: start of the cell data region (cells grow downward)
+//	[20:22) live cell count
+//	[22:24) reserved
+//
+// Slots follow the header, 4 bytes each (offset uint16, length uint16);
+// offset 0 marks a dead slot. Cell data grows from PageSize downward to
+// freeHi.
+const (
+	pageHdrSize = 24
+	slotSize    = 4
+
+	offCRC    = 0
+	offPageID = 4
+	offLSN    = 8
+	offCells  = 16
+	offFreeHi = 18
+	offLive   = 20
+)
+
+// MaxCell is the largest cell payload one page can hold.
+const MaxCell = PageSize - pageHdrSize - slotSize
+
+// page is one 8 KiB page image. All accessors assume len(p) == PageSize.
+type page []byte
+
+// init formats p as an empty page with the given ID.
+func (p page) init(id uint32) {
+	for i := range p {
+		p[i] = 0
+	}
+	binary.LittleEndian.PutUint32(p[offPageID:], id)
+	binary.LittleEndian.PutUint16(p[offFreeHi:], PageSize)
+}
+
+func (p page) pageID() uint32    { return binary.LittleEndian.Uint32(p[offPageID:]) }
+func (p page) lsn() uint64       { return binary.LittleEndian.Uint64(p[offLSN:]) }
+func (p page) setLSN(l uint64)   { binary.LittleEndian.PutUint64(p[offLSN:], l) }
+func (p page) cellCount() int    { return int(binary.LittleEndian.Uint16(p[offCells:])) }
+func (p page) liveCells() int    { return int(binary.LittleEndian.Uint16(p[offLive:])) }
+func (p page) freeHi() int       { return int(binary.LittleEndian.Uint16(p[offFreeHi:])) }
+func (p page) setFreeHi(v int)   { binary.LittleEndian.PutUint16(p[offFreeHi:], uint16(v)) }
+func (p page) setCells(n int)    { binary.LittleEndian.PutUint16(p[offCells:], uint16(n)) }
+func (p page) setLive(n int)     { binary.LittleEndian.PutUint16(p[offLive:], uint16(n)) }
+func (p page) slotPos(i int) int { return pageHdrSize + slotSize*i }
+
+func (p page) slot(i int) (off, length int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p[pos:])), int(binary.LittleEndian.Uint16(p[pos+2:]))
+}
+
+func (p page) setSlot(i, off, length int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p[pos:], uint16(off))
+	binary.LittleEndian.PutUint16(p[pos+2:], uint16(length))
+}
+
+// cell returns the payload of slot i and whether the slot is live.
+func (p page) cell(i int) ([]byte, bool) {
+	off, length := p.slot(i)
+	if off == 0 {
+		return nil, false
+	}
+	return p[off : off+length], true
+}
+
+// freeSpace is the contiguous gap between the slot array and the cell
+// data region.
+func (p page) freeSpace() int {
+	return p.freeHi() - (pageHdrSize + slotSize*p.cellCount())
+}
+
+// deadSpace is the total payload bytes held by dead cells — bytes a
+// compaction would reclaim (the slots themselves stay allocated, except
+// a trailing run which compaction trims).
+func (p page) deadSpace() int {
+	live := 0
+	for i := 0; i < p.cellCount(); i++ {
+		if off, length := p.slot(i); off != 0 {
+			live += length
+		}
+	}
+	return PageSize - p.freeHi() - live
+}
+
+// addCell stores data in the page, compacting first when fragmentation
+// is the only obstacle. It reuses a dead slot when one exists so that
+// delete/insert churn does not grow the slot array without bound.
+// Returns the slot index and whether the cell fit.
+func (p page) addCell(data []byte) (int, bool) {
+	slot := -1
+	for i := 0; i < p.cellCount(); i++ {
+		if off, _ := p.slot(i); off == 0 {
+			slot = i
+			break
+		}
+	}
+	need := len(data)
+	if slot < 0 {
+		need += slotSize
+	}
+	if p.freeSpace() < need {
+		if p.freeSpace()+p.deadSpace() < need {
+			return 0, false
+		}
+		p.compact()
+		// compact may have trimmed trailing dead slots, invalidating a
+		// reused-slot choice; recheck.
+		slot = -1
+		for i := 0; i < p.cellCount(); i++ {
+			if off, _ := p.slot(i); off == 0 {
+				slot = i
+				break
+			}
+		}
+		need = len(data)
+		if slot < 0 {
+			need += slotSize
+		}
+		if p.freeSpace() < need {
+			return 0, false
+		}
+	}
+	if slot < 0 {
+		slot = p.cellCount()
+		p.setCells(slot + 1)
+	}
+	off := p.freeHi() - len(data)
+	copy(p[off:], data)
+	p.setFreeHi(off)
+	p.setSlot(slot, off, len(data))
+	p.setLive(p.liveCells() + 1)
+	return slot, true
+}
+
+// updateCellInPlace overwrites slot i's payload when the new payload is
+// no larger than the old one. The freed suffix bytes become dead space
+// reclaimed by the next compaction.
+func (p page) updateCellInPlace(i int, data []byte) bool {
+	off, length := p.slot(i)
+	if off == 0 || len(data) > length {
+		return false
+	}
+	copy(p[off:], data)
+	p.setSlot(i, off, len(data))
+	return true
+}
+
+// delCell kills slot i. The payload bytes become dead space.
+func (p page) delCell(i int) {
+	if off, _ := p.slot(i); off == 0 {
+		return
+	}
+	p.setSlot(i, 0, 0)
+	p.setLive(p.liveCells() - 1)
+}
+
+// compact rewrites the cell data region so all live payloads are
+// contiguous at the top of the page, and trims trailing dead slots.
+// Live slot indices are preserved — the store's in-memory index refers
+// to (page, slot) pairs across compactions.
+func (p page) compact() {
+	var buf [PageSize]byte
+	hi := PageSize
+	n := p.cellCount()
+	type loc struct{ off, length int }
+	locs := make([]loc, n)
+	for i := 0; i < n; i++ {
+		off, length := p.slot(i)
+		if off == 0 {
+			locs[i] = loc{}
+			continue
+		}
+		hi -= length
+		copy(buf[hi:], p[off:off+length])
+		locs[i] = loc{off: hi, length: length}
+	}
+	copy(p[hi:], buf[hi:])
+	for i, l := range locs {
+		p.setSlot(i, l.off, l.length)
+	}
+	for n > 0 {
+		if off, _ := p.slot(n - 1); off != 0 {
+			break
+		}
+		n--
+	}
+	p.setCells(n)
+	p.setFreeHi(hi)
+}
+
+// CorruptPageError reports a page whose checksum or self-identification
+// failed on read — a torn write or external damage.
+type CorruptPageError struct {
+	Path   string
+	PageID uint32
+	Reason string
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("pager: corrupt page %d in %s: %s", e.PageID, e.Path, e.Reason)
+}

@@ -1,0 +1,165 @@
+package pager
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func newTestPage() page {
+	p := make(page, PageSize)
+	p.init(3)
+	return p
+}
+
+func TestPageInit(t *testing.T) {
+	p := newTestPage()
+	if p.pageID() != 3 {
+		t.Fatalf("pageID = %d", p.pageID())
+	}
+	if p.cellCount() != 0 || p.liveCells() != 0 {
+		t.Fatalf("fresh page has cells: %d/%d", p.cellCount(), p.liveCells())
+	}
+	if p.freeHi() != PageSize {
+		t.Fatalf("freeHi = %d", p.freeHi())
+	}
+	if p.freeSpace() != PageSize-pageHdrSize {
+		t.Fatalf("freeSpace = %d", p.freeSpace())
+	}
+}
+
+func TestPageAddGetDelete(t *testing.T) {
+	p := newTestPage()
+	var slots []int
+	for i := 0; i < 10; i++ {
+		data := []byte(fmt.Sprintf("cell-%02d", i))
+		slot, ok := p.addCell(data)
+		if !ok {
+			t.Fatalf("addCell(%d) did not fit", i)
+		}
+		slots = append(slots, slot)
+	}
+	if p.liveCells() != 10 {
+		t.Fatalf("liveCells = %d", p.liveCells())
+	}
+	for i, slot := range slots {
+		cell, live := p.cell(slot)
+		if !live || string(cell) != fmt.Sprintf("cell-%02d", i) {
+			t.Fatalf("cell(%d) = %q, %v", slot, cell, live)
+		}
+	}
+	p.delCell(slots[4])
+	if _, live := p.cell(slots[4]); live {
+		t.Fatal("deleted cell still live")
+	}
+	if p.liveCells() != 9 {
+		t.Fatalf("liveCells after delete = %d", p.liveCells())
+	}
+	// The dead slot is reused before the array grows.
+	slot, ok := p.addCell([]byte("reborn"))
+	if !ok || slot != slots[4] {
+		t.Fatalf("addCell after delete = slot %d, want %d", slot, slots[4])
+	}
+}
+
+func TestPageFillToCapacity(t *testing.T) {
+	p := newTestPage()
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	n := 0
+	for {
+		if _, ok := p.addCell(data); !ok {
+			break
+		}
+		n++
+	}
+	want := (PageSize - pageHdrSize) / (100 + slotSize)
+	if n != want {
+		t.Fatalf("page held %d 100-byte cells, want %d", n, want)
+	}
+	// A max-size cell exactly fills an empty page.
+	p2 := newTestPage()
+	if _, ok := p2.addCell(make([]byte, MaxCell)); !ok {
+		t.Fatal("MaxCell-sized cell did not fit an empty page")
+	}
+	if p2.freeSpace() != 0 {
+		t.Fatalf("freeSpace after MaxCell = %d", p2.freeSpace())
+	}
+	if _, ok := p2.addCell([]byte{1}); ok {
+		t.Fatal("cell fit a full page")
+	}
+}
+
+func TestPageCompactionReclaimsDeadSpace(t *testing.T) {
+	p := newTestPage()
+	big := bytes.Repeat([]byte{1}, 1000)
+	var slots []int
+	for {
+		slot, ok := p.addCell(big)
+		if !ok {
+			break
+		}
+		slots = append(slots, slot)
+	}
+	// Kill every other cell, then insert something that only fits after
+	// compaction.
+	for i := 0; i < len(slots); i += 2 {
+		p.delCell(slots[i])
+	}
+	free, dead := p.freeSpace(), p.deadSpace()
+	if dead < 1000 {
+		t.Fatalf("deadSpace = %d after deletes", dead)
+	}
+	huge := bytes.Repeat([]byte{2}, free+500)
+	slot, ok := p.addCell(huge)
+	if !ok {
+		t.Fatalf("addCell(%d bytes) failed with free=%d dead=%d", len(huge), free, dead)
+	}
+	if cell, live := p.cell(slot); !live || !bytes.Equal(cell, huge) {
+		t.Fatal("compacted-in cell corrupt")
+	}
+	// Survivors kept their slot indices and payloads.
+	for i := 1; i < len(slots); i += 2 {
+		cell, live := p.cell(slots[i])
+		if !live || !bytes.Equal(cell, big) {
+			t.Fatalf("survivor slot %d corrupt after compaction", slots[i])
+		}
+	}
+}
+
+func TestPageUpdateInPlace(t *testing.T) {
+	p := newTestPage()
+	slot, _ := p.addCell([]byte("0123456789"))
+	if !p.updateCellInPlace(slot, []byte("short")) {
+		t.Fatal("shrinking update rejected")
+	}
+	cell, _ := p.cell(slot)
+	if string(cell) != "short" {
+		t.Fatalf("cell = %q", cell)
+	}
+	if p.updateCellInPlace(slot, []byte("longer than the old payload")) {
+		t.Fatal("growing update accepted in place")
+	}
+	if p.updateCellInPlace(slot, []byte("12345")) != true {
+		t.Fatal("equal-size update rejected")
+	}
+}
+
+func TestPageCompactTrimsTrailingDeadSlots(t *testing.T) {
+	p := newTestPage()
+	var slots []int
+	for i := 0; i < 5; i++ {
+		s, _ := p.addCell([]byte("x"))
+		slots = append(slots, s)
+	}
+	p.delCell(slots[3])
+	p.delCell(slots[4])
+	p.compact()
+	if p.cellCount() != 3 {
+		t.Fatalf("cellCount after trim = %d, want 3", p.cellCount())
+	}
+	for i := 0; i < 3; i++ {
+		if _, live := p.cell(slots[i]); !live {
+			t.Fatalf("live slot %d lost in compaction", i)
+		}
+	}
+}

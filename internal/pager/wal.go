@@ -1,0 +1,291 @@
+package pager
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"sqloop/internal/sqltypes"
+)
+
+// Write-ahead log. The file begins with an 8-byte magic; records are
+// length-prefixed and CRC'd:
+//
+//	[0:4)  payload length (little endian uint32)
+//	[4:8)  crc32 (IEEE) of the payload
+//	[8:..) payload: [type byte][body]
+//
+// Record types: insert/update carry a cell (key + row), delete carries
+// a key, clear/commit/checkpoint carry nothing. A record's LSN is the
+// file offset of its length prefix. Appends are buffered; Commit
+// appends a commit record, flushes and fsyncs — the durability point.
+// Redo recovery replays complete committed batches from the head and
+// discards torn or uncommitted trailing records by truncating the file
+// back to the last commit boundary.
+const walMagic = "SQLPWAL1"
+
+type recType byte
+
+// WAL record types.
+const (
+	recInsert     recType = 1
+	recUpdate     recType = 2
+	recDelete     recType = 3
+	recClear      recType = 4
+	recCommit     recType = 5
+	recCheckpoint recType = 6
+)
+
+// maxWALRecord bounds a record payload; longer length prefixes are
+// treated as corruption (a cell cannot exceed a page).
+const maxWALRecord = 1 << 20
+
+// walRec is one decoded record.
+type walRec struct {
+	typ recType
+	key sqltypes.Key
+	row sqltypes.Row
+}
+
+// encodeRecPayload renders the payload (type byte + body) of a record.
+func encodeRecPayload(r walRec) []byte {
+	switch r.typ {
+	case recInsert, recUpdate:
+		return append([]byte{byte(r.typ)}, encodeCell(r.key, r.row)...)
+	case recDelete:
+		return appendValue([]byte{byte(r.typ)}, r.key.Value())
+	default:
+		return []byte{byte(r.typ)}
+	}
+}
+
+// decodeRecPayload parses a payload produced by encodeRecPayload.
+func decodeRecPayload(b []byte) (walRec, error) {
+	if len(b) == 0 {
+		return walRec{}, fmt.Errorf("pager: empty WAL record")
+	}
+	r := walRec{typ: recType(b[0])}
+	body := b[1:]
+	switch r.typ {
+	case recInsert, recUpdate:
+		key, row, err := decodeCell(body)
+		if err != nil {
+			return walRec{}, err
+		}
+		r.key, r.row = key, row
+	case recDelete:
+		v, n, err := decodeValue(body)
+		if err != nil {
+			return walRec{}, err
+		}
+		if n != len(body) {
+			return walRec{}, fmt.Errorf("pager: %d trailing bytes after delete record", len(body)-n)
+		}
+		r.key = v.MapKey()
+	case recClear, recCommit, recCheckpoint:
+		if len(body) != 0 {
+			return walRec{}, fmt.Errorf("pager: %d unexpected body bytes in %d record", len(body), r.typ)
+		}
+	default:
+		return walRec{}, fmt.Errorf("pager: unknown WAL record type %d", r.typ)
+	}
+	return r, nil
+}
+
+// appendRecFrame appends the framed record (length, crc, payload).
+func appendRecFrame(b []byte, r walRec) []byte {
+	payload := encodeRecPayload(r)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// wal is the append side of one store's log. Safe for concurrent use:
+// the buffer pool commits a victim page's log from whatever goroutine
+// triggers the eviction.
+type wal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	size    int64 // logical end offset; the next record's LSN
+	pending bool  // records appended since the last commit record
+	noSync  bool
+}
+
+// openWAL opens (creating if needed) the log at path, positioned to
+// append at offset size. A fresh file gets the magic header.
+func openWAL(path string, size int64, noSync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{f: f, path: path, noSync: noSync}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		size = int64(len(walMagic))
+	} else {
+		// Recovery decided the good prefix; drop everything after it.
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.size = size
+	w.w = bufio.NewWriter(f)
+	return w, nil
+}
+
+// append logs one record, returning its LSN. Not durable until commit.
+func (w *wal) append(r walRec) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(r)
+}
+
+func (w *wal) appendLocked(r walRec) (uint64, error) {
+	lsn := uint64(w.size)
+	frame := appendRecFrame(nil, r)
+	if _, err := w.w.Write(frame); err != nil {
+		return 0, err
+	}
+	w.size += int64(len(frame))
+	if r.typ != recCommit && r.typ != recCheckpoint {
+		w.pending = true
+	}
+	return lsn, nil
+}
+
+// commit makes everything logged so far durable: a commit record, a
+// buffer flush and (unless noSync) an fsync. No-op when nothing is
+// pending.
+func (w *wal) commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.pending {
+		return nil
+	}
+	if _, err := w.appendLocked(walRec{typ: recCommit}); err != nil {
+		return err
+	}
+	w.pending = false
+	return w.flushLocked()
+}
+
+func (w *wal) flushLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.noSync {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// reset truncates the log back to its header and stamps a checkpoint
+// record — the WAL half of the checkpoint contract. The caller must
+// have made the page file durable first.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	w.size = int64(len(walMagic))
+	w.w.Reset(w.f)
+	w.pending = false
+	if _, err := w.appendLocked(walRec{typ: recCheckpoint}); err != nil {
+		return err
+	}
+	return w.flushLocked()
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL reads the log at path and calls apply for every record of
+// every complete committed batch, in order. It returns the offset just
+// past the last commit (or checkpoint) record — the good prefix. Torn
+// trailing records (bad magic aside — that is an error), short frames,
+// CRC mismatches, unparseable payloads and uncommitted batches are all
+// discarded silently: they are exactly what a crash leaves behind.
+func replayWAL(path string, apply func(walRec) error) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+		return 0, fmt.Errorf("pager: %s is not a WAL file", path)
+	}
+	off := int64(len(walMagic))
+	goodEnd := off
+	var batch []walRec
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			break
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		if length == 0 || length > maxWALRecord || uint64(len(rest)-8) < uint64(length) {
+			break
+		}
+		payload := rest[8 : 8+length]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			break
+		}
+		rec, err := decodeRecPayload(payload)
+		if err != nil {
+			break
+		}
+		off += int64(8 + length)
+		switch rec.typ {
+		case recCommit:
+			for _, r := range batch {
+				if err := apply(r); err != nil {
+					return 0, err
+				}
+			}
+			batch = batch[:0]
+			goodEnd = off
+		case recCheckpoint:
+			// Only ever written at the head of a fresh log; a batch in
+			// progress would be a bug, not a crash artifact.
+			goodEnd = off
+		default:
+			batch = append(batch, rec)
+		}
+	}
+	return goodEnd, nil
+}

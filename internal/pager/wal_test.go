@@ -1,0 +1,217 @@
+package pager
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+func intKey(i int64) sqltypes.Key { return sqltypes.NewInt(i).MapKey() }
+
+func testRow(i int64) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(i), sqltypes.NewString("row")}
+}
+
+func collectWAL(t *testing.T, path string) []walRec {
+	t.Helper()
+	var recs []walRec
+	if _, err := replayWAL(path, func(r walRec) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replayWAL: %v", err)
+	}
+	return recs
+}
+
+func TestWALAppendCommitReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if _, err := w.append(walRec{typ: recInsert, key: intKey(i), row: testRow(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.append(walRec{typ: recDelete, key: intKey(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collectWAL(t, path)
+	if len(recs) != 11 {
+		t.Fatalf("replayed %d records, want 11", len(recs))
+	}
+	if recs[10].typ != recDelete || recs[10].key != intKey(3) {
+		t.Fatalf("last record = %+v", recs[10])
+	}
+	if recs[2].typ != recInsert || recs[2].row[1].Str() != "row" {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestWALUncommittedBatchDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(walRec{typ: recInsert, key: intKey(1), row: testRow(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch, flushed to disk but never committed.
+	if _, err := w.append(walRec{typ: recInsert, key: intKey(2), row: testRow(2)}); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	if err := w.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Unlock()
+	w.f.Close() // abandon without commit: the "crash"
+
+	recs := collectWAL(t, path)
+	if len(recs) != 1 || recs[0].key != intKey(1) {
+		t.Fatalf("replay = %+v, want only committed record", recs)
+	}
+}
+
+func TestWALTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(walRec{typ: recInsert, key: intKey(1), row: testRow(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.commit(); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.size
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage that looks like the start of a frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	goodEnd, err := replayWAL(path, func(walRec) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodEnd != goodSize {
+		t.Fatalf("goodEnd = %d, want %d", goodEnd, goodSize)
+	}
+	// Reopening at goodEnd truncates the garbage.
+	w2, err := openWAL(path, goodEnd, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+	st, _ := os.Stat(path)
+	if st.Size() != goodSize {
+		t.Fatalf("file size after reopen = %d, want %d", st.Size(), goodSize)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if _, err := w.append(walRec{typ: recInsert, key: intKey(i), row: testRow(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collectWAL(t, path); len(recs) != 0 {
+		t.Fatalf("replay after reset returned %d records", len(recs))
+	}
+	st, _ := os.Stat(path)
+	// magic + one checkpoint record frame (8 + 1 payload byte).
+	if want := int64(len(walMagic)) + 9; st.Size() != want {
+		t.Fatalf("reset WAL size = %d, want %d", st.Size(), want)
+	}
+}
+
+func TestWALCommitNoPendingIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.commit(); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	st, _ := os.Stat(path)
+	if st.Size() != int64(len(walMagic)) {
+		t.Fatalf("empty commits grew the log to %d bytes", st.Size())
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayWAL(path, func(walRec) error { return nil }); err == nil {
+		t.Fatal("replayWAL accepted bad magic")
+	}
+}
+
+func TestWALRecPayloadRoundTrip(t *testing.T) {
+	recs := []walRec{
+		{typ: recInsert, key: intKey(42), row: sqltypes.Row{sqltypes.NewInt(42), sqltypes.NewFloat(3.5), sqltypes.NewString("αβγ"), sqltypes.NewBool(true), sqltypes.Null}},
+		{typ: recUpdate, key: sqltypes.NewString("k").MapKey(), row: sqltypes.Row{}},
+		{typ: recDelete, key: sqltypes.NewFloat(2.5).MapKey()},
+		{typ: recClear},
+		{typ: recCommit},
+		{typ: recCheckpoint},
+	}
+	for _, want := range recs {
+		got, err := decodeRecPayload(encodeRecPayload(want))
+		if err != nil {
+			t.Fatalf("%d: %v", want.typ, err)
+		}
+		if got.typ != want.typ || got.key != want.key || len(got.row) != len(want.row) {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		for i := range want.row {
+			if got.row[i].Kind() != want.row[i].Kind() || sqltypes.CompareTotal(got.row[i], want.row[i]) != 0 {
+				t.Fatalf("row[%d]: %v != %v", i, got.row[i], want.row[i])
+			}
+		}
+	}
+}

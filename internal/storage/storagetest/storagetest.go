@@ -1,6 +1,7 @@
 // Package storagetest provides a model-based conformance suite run
-// against every storage backend (heap, btree, lsm) so all three agree
-// with a reference map model under randomized operation sequences.
+// against every storage backend (heap, btree, lsm, disk) so all four
+// agree with a reference map model under randomized operation
+// sequences.
 package storagetest
 
 import (
@@ -24,6 +25,8 @@ func Run(t *testing.T, newStore func() storage.Store) {
 	t.Run("ModelRandomOps", func(t *testing.T) { testModel(t, newStore, 0xC0FFEE, 5000) })
 	t.Run("ModelChurn", func(t *testing.T) { testModel(t, newStore, 42, 20000) })
 	t.Run("MixedKeyKinds", func(t *testing.T) { testMixedKinds(t, newStore()) })
+	t.Run("TombstoneAfterDelete", func(t *testing.T) { testTombstone(t, newStore()) })
+	t.Run("ClearThenReinsert", func(t *testing.T) { testClearReinsert(t, newStore()) })
 }
 
 func key(i int64) sqltypes.Key { return sqltypes.NewInt(i).MapKey() }
@@ -195,8 +198,10 @@ func testModel(t *testing.T, newStore func() storage.Store, seed int64, ops int)
 			t.Fatalf("scan disagrees at %v: %q vs %q", k, got[k], v)
 		}
 	}
-	// Ordered backends must scan in key order.
-	if s.Name() != "heap" && !sort.SliceIsSorted(scanKeys, func(i, j int) bool {
+	// Ordered backends must scan in key order; heap (insertion order)
+	// and disk (page order) make no ordering promise.
+	ordered := s.Name() == "btree" || s.Name() == "lsm"
+	if ordered && !sort.SliceIsSorted(scanKeys, func(i, j int) bool {
 		return scanKeys[i] < scanKeys[j]
 	}) {
 		t.Fatalf("%s scan out of order", s.Name())
@@ -228,6 +233,63 @@ func testMixedKinds(t *testing.T, s storage.Store) {
 	// int 1 and float 1.0 are the same key.
 	if err := s.Insert(sqltypes.NewFloat(1.0).MapKey(), sqltypes.Row{}); err != storage.ErrDuplicateKey {
 		t.Fatalf("float 1.0 should collide with int 1, err = %v", err)
+	}
+}
+
+// testTombstone hammers the delete → absent → re-insert cycle on a
+// single key: backends with tombstones or dead slots (lsm, disk) must
+// not resurrect old values or leak live-count.
+func testTombstone(t *testing.T, s storage.Store) {
+	k := key(7)
+	for gen := 0; gen < 200; gen++ {
+		v := sqltypes.NewInt(int64(gen))
+		if err := s.Insert(k, sqltypes.Row{v}); err != nil {
+			t.Fatalf("gen %d: Insert: %v", gen, err)
+		}
+		r, ok := s.Get(k)
+		if !ok || r[0].Int() != int64(gen) {
+			t.Fatalf("gen %d: Get = %v, %v", gen, r, ok)
+		}
+		if !s.Delete(k) {
+			t.Fatalf("gen %d: Delete reported missing", gen)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("gen %d: key visible after delete", gen)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("gen %d: Len = %d after delete", gen, s.Len())
+		}
+	}
+	n := 0
+	s.Scan(func(sqltypes.Key, sqltypes.Row) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("scan visited %d rows over tombstones", n)
+	}
+}
+
+// testClearReinsert alternates bulk load, Clear and reload, checking
+// that cleared state never bleeds into the next generation.
+func testClearReinsert(t *testing.T, s storage.Store) {
+	for gen := int64(0); gen < 5; gen++ {
+		for i := int64(0); i < 300; i++ {
+			if err := s.Insert(key(i), row(i*10+gen, "g")); err != nil {
+				t.Fatalf("gen %d: Insert(%d): %v", gen, i, err)
+			}
+		}
+		if s.Len() != 300 {
+			t.Fatalf("gen %d: Len = %d", gen, s.Len())
+		}
+		r, ok := s.Get(key(123))
+		if !ok || r[0].Int() != 1230+gen {
+			t.Fatalf("gen %d: Get(123) = %v, %v", gen, r, ok)
+		}
+		s.Clear()
+		if s.Len() != 0 {
+			t.Fatalf("gen %d: Len after Clear = %d", gen, s.Len())
+		}
+		if _, ok := s.Get(key(123)); ok {
+			t.Fatalf("gen %d: Get succeeded after Clear", gen)
+		}
 	}
 }
 

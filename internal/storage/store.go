@@ -32,9 +32,26 @@ type Store interface {
 	Scan(fn func(key sqltypes.Key, row sqltypes.Row) bool)
 	// Clear removes all rows.
 	Clear()
-	// Name identifies the backend ("heap", "btree", "lsm").
+	// Name identifies the backend ("heap", "btree", "lsm", "disk").
 	Name() string
 }
+
+// Durable backends implement these optional interfaces in addition to
+// Store; the engine type-asserts for them at statement and checkpoint
+// boundaries. In-memory backends implement none of them.
+type (
+	// Committer makes all operations logged so far durable (WAL commit
+	// record + fsync). The engine commits every write-locked store at
+	// statement end, so a crash loses at most the statement in flight.
+	Committer interface{ Commit() error }
+	// Checkpointer flushes all dirty pages to the data file and
+	// truncates the write-ahead log — the WAL↔checkpoint contract: once
+	// a higher-level snapshot is durable, the log tail before it is
+	// dead weight.
+	Checkpointer interface{ Checkpoint() error }
+	// Dropper releases the store's on-disk files (DROP TABLE).
+	Dropper interface{ Drop() error }
+)
 
 // ErrDuplicateKey is returned by Insert when the key already exists.
 var ErrDuplicateKey = fmt.Errorf("storage: duplicate primary key")
@@ -42,11 +59,14 @@ var ErrDuplicateKey = fmt.Errorf("storage: duplicate primary key")
 // Kind selects a storage backend.
 type Kind int
 
-// Backend kinds. The engine maps its three dialect profiles onto these.
+// Backend kinds. The engine maps its three dialect profiles onto the
+// in-memory kinds; KindDisk is the durable page-based backend
+// (internal/pager) selected explicitly via DataDir-aware options.
 const (
 	KindHeap Kind = iota + 1
 	KindBTree
 	KindLSM
+	KindDisk
 )
 
 // String names the kind.
@@ -58,8 +78,27 @@ func (k Kind) String() string {
 		return "btree"
 	case KindLSM:
 		return "lsm"
+	case KindDisk:
+		return "disk"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a backend name ("heap", "btree", "lsm", "disk") to
+// its Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "heap":
+		return KindHeap, nil
+	case "btree":
+		return KindBTree, nil
+	case "lsm":
+		return KindLSM, nil
+	case "disk":
+		return KindDisk, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown backend %q (want heap, btree, lsm or disk)", name)
 	}
 }
 
@@ -129,7 +168,12 @@ func (h *heapStore) Delete(key sqltypes.Key) bool {
 }
 
 func (h *heapStore) compact() {
-	live := h.log[:0]
+	// Copy the survivors into a right-sized slice instead of compacting
+	// in place: in-place compaction keeps the full backing array (and
+	// the dead rows beyond the new length) reachable, so a large
+	// transient working table would pin its peak memory for the life of
+	// the store.
+	live := make([]heapEntry, 0, len(h.log)-h.dead)
 	for _, e := range h.log {
 		if !e.dead {
 			h.rows[e.key] = len(live)

@@ -13,7 +13,19 @@ func TestHeapConformance(t *testing.T) {
 
 func TestKindString(t *testing.T) {
 	if storage.KindHeap.String() != "heap" || storage.KindBTree.String() != "btree" ||
-		storage.KindLSM.String() != "lsm" {
+		storage.KindLSM.String() != "lsm" || storage.KindDisk.String() != "disk" {
 		t.Error("Kind.String wrong")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"heap", "btree", "lsm", "disk"} {
+		k, err := storage.ParseKind(name)
+		if err != nil || k.String() != name {
+			t.Errorf("ParseKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := storage.ParseKind("papyrus"); err == nil {
+		t.Error("ParseKind accepted an unknown backend")
 	}
 }

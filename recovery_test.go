@@ -117,8 +117,8 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 	}
 }
 
-func runCrashRecovery(t *testing.T, profile string, mode sqloop.Mode, query string) {
-	srv, err := sqloop.Serve(profile, "127.0.0.1:0")
+func runCrashRecovery(t *testing.T, profile string, mode sqloop.Mode, query string, serveOpts ...sqloop.OpenOption) {
+	srv, err := sqloop.Serve(profile, "127.0.0.1:0", serveOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,4 +223,30 @@ func runCrashRecovery(t *testing.T, profile string, mode sqloop.Mode, query stri
 // checkpoint path over the wire as well.
 func TestCrashRecoverySingleMode(t *testing.T) {
 	runCrashRecovery(t, "pgsim", sqloop.ModeSingle, recoveryPageRank)
+}
+
+// TestCrashRecoveryDiskBackend runs the interruption matrix against a
+// server on the durable pager backend with a deliberately small buffer
+// pool, so the kill lands while table state straddles the buffer pool,
+// the page files and the write-ahead logs. The recovered result must
+// match the uninterrupted run, same as for the in-memory backends.
+func TestCrashRecoveryDiskBackend(t *testing.T) {
+	modes := []struct {
+		mode  sqloop.Mode
+		name  string
+		query string
+	}{
+		{sqloop.ModeSingle, "single", recoveryPageRank},
+		{sqloop.ModeSync, "sync", recoveryPageRank},
+		{sqloop.ModeAsync, "async", fmt.Sprintf(recoverySSSP, "0 UPDATES")},
+		{sqloop.ModeAsyncPrio, "asyncp", fmt.Sprintf(recoverySSSP, "8 ITERATIONS")},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			runCrashRecovery(t, "pgsim", m.mode, m.query,
+				sqloop.WithBackend("disk"),
+				sqloop.WithDataDir(t.TempDir()),
+				sqloop.WithBufferPoolPages(64))
+		})
+	}
 }

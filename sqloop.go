@@ -32,6 +32,7 @@ import (
 	"sqloop/internal/obs"
 	"sqloop/internal/serve"
 	"sqloop/internal/sqlparser"
+	"sqloop/internal/storage"
 	"sqloop/internal/wire"
 )
 
@@ -174,6 +175,9 @@ type openConfig struct {
 	observer      obs.Tracer
 	noStmtCache   bool
 	noExprCompile bool
+	backend       string
+	dataDir       string
+	poolPages     int
 
 	// Serving-layer knobs (Serve only; OpenEmbedded has no sessions to
 	// pool and ignores them).
@@ -209,6 +213,28 @@ func WithTenantLimit(n int) OpenOption {
 // boundaries. 0 means unbounded.
 func WithDeadline(d time.Duration) OpenOption {
 	return func(c *openConfig) { c.deadline = d }
+}
+
+// WithBackend overrides the profile's storage backend ("heap",
+// "btree", "lsm", "disk"). "disk" selects the durable pager: tables
+// live in 8 KiB slotted pages under a data directory, every mutation
+// is write-ahead logged, and a crash loses at most the uncommitted
+// tail of the last statement. Unknown names fail Open/Serve.
+func WithBackend(name string) OpenOption {
+	return func(c *openConfig) { c.backend = name }
+}
+
+// WithDataDir sets where the disk backend keeps its page and WAL files
+// (the option-API form of Options.DataDir). Empty keeps the default: a
+// throwaway temp directory.
+func WithDataDir(dir string) OpenOption {
+	return func(c *openConfig) { c.dataDir = dir }
+}
+
+// WithBufferPoolPages sizes the disk backend's shared buffer pool in
+// 8 KiB pages (0 keeps the default of 256 = 2 MiB).
+func WithBufferPoolPages(n int) OpenOption {
+	return func(c *openConfig) { c.poolPages = n }
 }
 
 // WithCostModel enables the calibrated latency model used by the
@@ -252,6 +278,27 @@ func applyOpenOptions(extra []OpenOption) openConfig {
 	return c
 }
 
+// applyStorageOptions resolves the backend/data-dir/pool-size knobs
+// (option API first, Options fields as fallback) onto an engine config.
+func applyStorageOptions(cfg *engine.Config, oc openConfig, dataDir string, poolPages int) error {
+	if oc.backend != "" {
+		k, err := storage.ParseKind(oc.backend)
+		if err != nil {
+			return err
+		}
+		cfg.Backend = k
+	}
+	cfg.DataDir = dataDir
+	if oc.dataDir != "" {
+		cfg.DataDir = oc.dataDir
+	}
+	cfg.BufferPoolPages = poolPages
+	if oc.poolPages != 0 {
+		cfg.BufferPoolPages = oc.poolPages
+	}
+	return nil
+}
+
 // OpenEmbedded spins up an embedded engine with the named profile
 // ("pgsim"/"postgres", "mysim"/"mysql", "mariasim"/"mariadb") and
 // returns a SQLoop bound to it. The engine and the driver report into
@@ -275,7 +322,16 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 	if oc.observer != nil {
 		opts.Observer = obs.Multi(opts.Observer, oc.observer)
 	}
+	if err := applyStorageOptions(&cfg, oc, opts.DataDir, opts.BufferPoolPages); err != nil {
+		return nil, err
+	}
 	eng := engine.New(cfg)
+	// A middleware checkpoint on a durable engine also flushes the
+	// engine's pages and truncates its WALs, so a post-crash restart
+	// replays only the post-snapshot tail.
+	if cfg.Backend == storage.KindDisk && opts.AfterCheckpoint == nil {
+		opts.AfterCheckpoint = eng.Checkpoint
+	}
 	handle := "embedded-" + strconv.FormatInt(embeddedSeq.Add(1), 10)
 	driver.RegisterEngine(handle, eng)
 	if opts.Dialect == "" {
@@ -354,6 +410,9 @@ func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	}
 	if oc.noExprCompile {
 		cfg.DisableExprCompile = true
+	}
+	if err := applyStorageOptions(&cfg, oc, "", 0); err != nil {
+		return nil, err
 	}
 	eng := engine.New(cfg)
 	srv := wire.NewServer(eng)
