@@ -20,7 +20,7 @@ test:
 # spots; the root package holds the crash-recovery matrix. Keep them
 # race-clean.
 race:
-	$(GO) test -race . ./internal/core ./internal/engine ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard ./internal/serve ./internal/pager
+	$(GO) test -race . ./internal/core ./internal/engine ./internal/vec ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard ./internal/serve ./internal/pager
 
 # The snapshot codec must reject arbitrary corruption without panicking,
 # the shard router must stay bit-compatible with the engine's PARTHASH
@@ -53,10 +53,11 @@ tier1: build vet test race crash check-deprecated
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Quick allocation check of the hot row path: the compiled-expression
-# and wire-codec micro-benchmarks at a fixed, small iteration count.
+# Quick allocation check of the hot row path: the compiled-expression,
+# vectorized-batch and wire-codec micro-benchmarks at a fixed, small
+# iteration count.
 bench-smoke:
-	$(GO) test -run XXX -bench . -benchtime=100x -benchmem ./internal/engine ./internal/wire
+	$(GO) test -run XXX -bench . -benchtime=100x -benchmem ./internal/engine ./internal/vec ./internal/wire
 
 # Smoke-scale run of the PR6 serving-traffic experiment (open-loop
 # mixed load against the pooled server); the full run writes

@@ -50,6 +50,7 @@ func run() error {
 		ckptN     = flag.Int("checkpoint-every", 2, "checkpoint every N rounds when -checkpoint-dir is set")
 		noCache   = flag.Bool("no-stmt-cache", false, "disable the statement/plan cache (escape hatch; parses every statement from text)")
 		noCompile = flag.Bool("no-compile", false, "disable the expression compiler (escape hatch; interprets expressions from their ASTs)")
+		noVec     = flag.Bool("no-vectorize", false, "disable vectorized batch execution (escape hatch; compiled programs run row-at-a-time)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,9 @@ func run() error {
 	}
 	if *noCompile {
 		opts.DisableExprCompile = true
+	}
+	if *noVec {
+		opts.DisableVectorize = true
 	}
 
 	var db *sqloop.SQLoop
@@ -85,6 +89,9 @@ func run() error {
 		}
 		if *noCompile {
 			extra = append(extra, sqloop.WithoutExprCompile())
+		}
+		if *noVec {
+			extra = append(extra, sqloop.WithoutVectorize())
 		}
 		if *shards > 1 {
 			group, err = sqloop.OpenEmbeddedShards(*profile, *shards, opts, extra...)

@@ -47,6 +47,10 @@ type Config struct {
 	// every predicate and projection is interpreted from its AST, for
 	// compile-ablation runs (the -fig pr4 comparison).
 	DisableExprCompile bool
+	// DisableVectorize turns off vectorized batch execution while
+	// keeping compiled programs, for vectorize-ablation runs (the
+	// -fig vec comparison).
+	DisableVectorize bool
 	// Backend selects the engine's storage backend by name (heap, btree,
 	// lsm, disk); empty keeps the profile default. The disk backend runs
 	// with DataDir and BufferPoolPages (both optional) and reports pager
@@ -94,6 +98,11 @@ type Metrics struct {
 	// Pager is the buffer pool / page I/O activity of the run (disk
 	// backend only).
 	Pager PagerStats
+	// VecBatches / VecFallbacks count vectorized windows executed and
+	// windows that fell back to row-at-a-time execution during the run
+	// (both zero with vectorization disabled).
+	VecBatches   int64
+	VecFallbacks int64
 }
 
 // StmtsPerRound is the statement overhead per completed round.
@@ -120,6 +129,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		engCfg.StmtCacheSize = -1
 	}
 	engCfg.DisableExprCompile = cfg.DisableExprCompile
+	engCfg.DisableVectorize = cfg.DisableVectorize
 	if cfg.Backend != "" {
 		kind, err := storage.ParseKind(cfg.Backend)
 		if err != nil {
@@ -153,6 +163,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		DisableMaterialization: cfg.DisableMaterialization,
 		DisableStmtCache:       cfg.DisableStmtCache,
 		DisableExprCompile:     cfg.DisableExprCompile,
+		DisableVectorize:       cfg.DisableVectorize,
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +179,7 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 	}
 	before := eng.Stats()
 	cacheBefore := eng.StmtCacheStats()
+	vecBatchesBefore, vecFallbacksBefore := eng.VecStats()
 
 	// Convergence sampler: a separate connection polling the live CTE
 	// view, like the paper's sampling thread (§VI-A).
@@ -234,6 +246,9 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 			Size:      cacheAfter.Size,
 		},
 	}
+	vecBatchesAfter, vecFallbacksAfter := eng.VecStats()
+	m.VecBatches = vecBatchesAfter - vecBatchesBefore
+	m.VecFallbacks = vecFallbacksAfter - vecFallbacksBefore
 	if pagerReg != nil {
 		snap := pagerReg.Snapshot()
 		m.Pager = PagerStats{

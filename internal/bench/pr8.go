@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/sqltypes"
+)
+
+// PR8Run is one SSSP matrix measurement in BENCH_PR8.json: a backend ×
+// mode × vectorize-switch cell, with the wall time, engine row
+// throughput and the engine's batch/fallback counters for the run.
+type PR8Run struct {
+	Figure       string  `json:"figure"`
+	Backend      string  `json:"backend"` // heap | btree | lsm
+	Profile      string  `json:"profile"`
+	Mode         string  `json:"mode"`
+	Vectorize    bool    `json:"vectorize"`
+	Rounds       int     `json:"rounds"`
+	RowsScanned  int64   `json:"rows_scanned"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Result       float64 `json:"result"`
+	VecBatches   int64   `json:"vec_batches"`
+	VecFallbacks int64   `json:"vec_fallbacks"`
+}
+
+// PR8Micro is one hot-loop micro-measurement in BENCH_PR8.json:
+// steady-state per-row time and allocations per prepared-statement
+// execution with vectorization off (compiled row-at-a-time) and on
+// (batch kernels). Both configurations keep the expression compiler
+// enabled, so the delta isolates the batch layer.
+type PR8Micro struct {
+	Figure     string  `json:"figure"`
+	Name       string  `json:"name"`
+	Rows       int     `json:"rows"`
+	NsPerRowRo float64 `json:"ns_per_row_rowpath"`
+	NsPerRowV  float64 `json:"ns_per_row_vectorized"`
+	Speedup    float64 `json:"speedup"`
+	AllocsRo   float64 `json:"allocs_per_op_rowpath"`
+	AllocsV    float64 `json:"allocs_per_op_vectorized"`
+}
+
+// PR8Report is the top-level BENCH_PR8.json document (schema in
+// EXPERIMENTS.md).
+type PR8Report struct {
+	Figure string     `json:"figure"`
+	Runs   []PR8Run   `json:"runs"`
+	Micro  []PR8Micro `json:"micro"`
+}
+
+// PR8Fig reruns the SSSP matrix (every engine backend × mode) with
+// vectorized batch execution on and off, verifies the two halves
+// agree, and writes the measurements plus per-row micro-benchmarks to
+// outPath as BENCH_PR8.json.
+func PR8Fig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	report := &PR8Report{Figure: "vec"}
+	for _, eng := range sc.Engines {
+		backend := backendFor(eng)
+		fmt.Fprintf(w, "\n== PR8 / SSSP with %s (%s): vectorize on vs off ==\n", EngineLabel(eng), backend)
+		fmt.Fprintf(w, "%-12s %10s %10s %12s %10s %10s\n",
+			"mode", "vectorize", "time(s)", "rows/sec", "batches", "fallbacks")
+		for _, mode := range pr4Modes {
+			var results [2]float64
+			for i, disable := range []bool{false, true} {
+				m, err := Run(ctx, Config{
+					Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+					Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+					WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+					DisableVectorize: disable,
+				}, SSSPQuery(sc.SSSPDest))
+				if err != nil {
+					return fmt.Errorf("pr8 %s/%s: %w", eng, ModeLabel(mode), err)
+				}
+				results[i] = m.ScalarResult()
+				rps := 0.0
+				if m.Elapsed > 0 {
+					rps = float64(m.Work.RowsScanned) / m.Elapsed.Seconds()
+				}
+				label := "on"
+				if disable {
+					label = "off"
+				}
+				fmt.Fprintf(w, "%-12s %10s %10.3f %12.0f %10d %10d\n",
+					ModeLabel(mode), label, m.Elapsed.Seconds(), rps, m.VecBatches, m.VecFallbacks)
+				report.Runs = append(report.Runs, PR8Run{
+					Figure: "pr8-sssp", Backend: backend, Profile: eng,
+					Mode: ModeLabel(mode), Vectorize: !disable,
+					Rounds: m.Rounds, RowsScanned: m.Work.RowsScanned,
+					RowsPerSec: rps, WallSeconds: m.Elapsed.Seconds(),
+					Result:     results[i],
+					VecBatches: m.VecBatches, VecFallbacks: m.VecFallbacks,
+				})
+				if disable && m.VecBatches != 0 {
+					return fmt.Errorf("pr8 %s/%s: vectorize off still ran %d batches",
+						eng, ModeLabel(mode), m.VecBatches)
+				}
+			}
+			if results[0] != results[1] {
+				return fmt.Errorf("pr8 %s/%s: vectorize on/off results differ: %v vs %v",
+					eng, ModeLabel(mode), results[0], results[1])
+			}
+		}
+	}
+
+	micro, err := pr8Micro()
+	if err != nil {
+		return err
+	}
+	report.Micro = micro
+	fmt.Fprintf(w, "\n== PR8 / hot-loop ns per row: compiled row-at-a-time vs vectorized ==\n")
+	fmt.Fprintf(w, "%-16s %12s %12s %8s %12s %12s\n",
+		"workload", "row ns/row", "vec ns/row", "speedup", "row allocs", "vec allocs")
+	for _, mr := range micro {
+		fmt.Fprintf(w, "%-16s %12.1f %12.1f %7.2fx %12.1f %12.1f\n",
+			mr.Name, mr.NsPerRowRo, mr.NsPerRowV, mr.Speedup, mr.AllocsRo, mr.AllocsV)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d runs, %d micro rows)\n", outPath, len(report.Runs), len(micro))
+	return nil
+}
+
+// pr8Micro measures the per-row cost of three hot-path statements
+// through prepared statements, vectorize off vs on (compiler enabled
+// in both). Each pair is first cross-checked for identical rendered
+// results — the batch layer must be invisible to queries.
+func pr8Micro() ([]PR8Micro, error) {
+	const tableRows = 2000
+	workloads := []struct{ name, sql string }{
+		{"VecFilter", "SELECT a FROM t WHERE b < 500 AND a % 7 = 1"},
+		{"VecGroupBy", "SELECT a % 10, COUNT(*), SUM(b) FROM t GROUP BY a % 10"},
+		{"VecJoinProbe", "SELECT COUNT(*) FROM t JOIN u ON t.a = u.a WHERE u.b >= 0"},
+	}
+	out := make([]PR8Micro, 0, len(workloads))
+	for _, wl := range workloads {
+		var nsPerOp, allocs [2]float64
+		var rendered [2]string
+		for i, disable := range []bool{true, false} {
+			cfg, err := engine.Profile("pgsim")
+			if err != nil {
+				return nil, err
+			}
+			cfg.DisableVectorize = disable
+			sess := engine.New(cfg).NewSession()
+			if err := pr4Load(sess); err != nil {
+				return nil, err
+			}
+			h, err := sess.Prepare(wl.sql)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sess.ExecPrepared(h, nil)
+			if err != nil {
+				return nil, err
+			}
+			rendered[i] = renderRows(res.Rows)
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for j := 0; j < b.N; j++ {
+					if _, err := sess.ExecPrepared(h, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			nsPerOp[i] = float64(br.NsPerOp())
+			allocs[i] = testing.AllocsPerRun(20, func() {
+				_, _ = sess.ExecPrepared(h, nil)
+			})
+		}
+		if rendered[0] != rendered[1] {
+			return nil, fmt.Errorf("pr8 %s: vectorize on/off results differ", wl.name)
+		}
+		speedup := 0.0
+		if nsPerOp[1] > 0 {
+			speedup = nsPerOp[0] / nsPerOp[1]
+		}
+		out = append(out, PR8Micro{
+			Figure: "pr8-micro", Name: wl.name, Rows: tableRows,
+			NsPerRowRo: nsPerOp[0] / tableRows, NsPerRowV: nsPerOp[1] / tableRows,
+			Speedup: speedup, AllocsRo: allocs[0], AllocsV: allocs[1],
+		})
+	}
+	return out, nil
+}
+
+// renderRows prints a result row set with value types, so the
+// identical-result gate catches type drift (int vs float) that a plain
+// string render would mask.
+func renderRows(rows []sqltypes.Row) string {
+	s := ""
+	for _, r := range rows {
+		for _, v := range r {
+			s += fmt.Sprintf("%T:%v|", v.GoValue(), v.GoValue())
+		}
+		s += "\n"
+	}
+	return s
+}

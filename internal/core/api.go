@@ -112,6 +112,13 @@ type Options struct {
 	// either way). Only honoured by OpenEmbedded — the middleware cannot
 	// reconfigure a remote engine.
 	DisableExprCompile bool
+	// DisableVectorize turns off the embedded engine's vectorized batch
+	// execution while keeping compiled programs: expressions then run
+	// compiled but row-at-a-time. A/B switch for vectorize-ablation
+	// benchmarks (results must be identical either way). Implied by
+	// DisableExprCompile — the batch kernels ride on compiled programs.
+	// Only honoured by OpenEmbedded, like DisableExprCompile.
+	DisableVectorize bool
 	// OnRound, when set, is called after every completed round/iteration
 	// with the 1-based round number and the number of rows changed in
 	// that round. It runs on the coordinator goroutine.

@@ -44,6 +44,39 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// backoffCeiling caps the doubling when the policy sets no MaxBackoff.
+// Without a cap, enough doublings overflow int64 into a negative
+// duration, and the jitter draw below panics (rand.Int63n requires a
+// positive bound).
+const backoffCeiling = time.Minute
+
+// backoff computes the deterministic (pre-jitter) sleep before retry
+// number n (1-based): BaseBackoff doubled per retry, clamped to
+// MaxBackoff — or to backoffCeiling when the policy leaves MaxBackoff
+// unset, so high attempt counts can never overflow the doubling.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseBackoff
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = backoffCeiling
+	}
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+		if d <= 0 || d >= max {
+			// d <= 0 is int64 overflow wrapping negative.
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // sleep blocks for the backoff of retry number n (1-based), doubling
 // from BaseBackoff and adding up to 50% jitter so a pool of
 // reconnecting workers does not stampede the engine in lockstep. The
@@ -51,18 +84,10 @@ func (p RetryPolicy) attempts() int {
 // connection closes or the caller's context is done: a cancelled
 // statement must not ride out its backoff window before noticing.
 func (p RetryPolicy) sleep(ctx context.Context, n int, done <-chan struct{}) error {
-	d := p.BaseBackoff
-	if d <= 0 {
-		d = DefaultRetryPolicy.BaseBackoff
+	d := p.backoff(n)
+	if j := int64(d)/2 + 1; j > 0 {
+		d += time.Duration(rand.Int63n(j))
 	}
-	for i := 1; i < n; i++ {
-		d *= 2
-		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
-			d = p.MaxBackoff
-			break
-		}
-	}
-	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

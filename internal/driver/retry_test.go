@@ -275,6 +275,62 @@ func TestPreparedReprepareAfterConnectionLoss(t *testing.T) {
 	}
 }
 
+// TestBackoffNeverOverflows: with no MaxBackoff configured, the
+// unbounded doubling used to overflow int64 into a negative duration at
+// high attempt numbers, and the jitter draw (rand.Int63n over a
+// negative bound) panicked inside the retry loop. The backoff must stay
+// positive and bounded for every attempt count.
+func TestBackoffNeverOverflows(t *testing.T) {
+	policies := []RetryPolicy{
+		{MaxAttempts: 200, BaseBackoff: 10 * time.Millisecond}, // no cap: the overflow case
+		{MaxAttempts: 200},                                     // all defaults zero
+		{MaxAttempts: 200, BaseBackoff: time.Hour},             // base above the ceiling
+		DefaultRetryPolicy,
+	}
+	for _, p := range policies {
+		prev := time.Duration(0)
+		for n := 1; n <= 200; n++ {
+			d := p.backoff(n)
+			if d <= 0 {
+				t.Fatalf("policy %+v attempt %d: backoff %v, want > 0", p, n, d)
+			}
+			ceiling := p.MaxBackoff
+			if ceiling <= 0 {
+				ceiling = backoffCeiling
+			}
+			if d > ceiling {
+				t.Fatalf("policy %+v attempt %d: backoff %v exceeds cap %v", p, n, d, ceiling)
+			}
+			if d < prev {
+				t.Fatalf("policy %+v attempt %d: backoff %v decreased from %v", p, n, d, prev)
+			}
+			prev = d
+		}
+	}
+	// The full sleep path (including the jitter draw) must not panic at
+	// an attempt count that used to produce a negative doubled duration.
+	// The draw happens before the timer, so a short context deadline
+	// bounds the test without weakening the panic check.
+	p := RetryPolicy{MaxAttempts: 100, BaseBackoff: time.Nanosecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.sleep(ctx, 100, nil); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("sleep at high attempt: %v", err)
+	}
+}
+
+// TestBackoffMatchesLegacyForSaneConfigs: the clamp must not change the
+// schedule of a policy with an explicit MaxBackoff.
+func TestBackoffMatchesLegacyForSaneConfigs(t *testing.T) {
+	p := fastRetry // 100µs base, 1ms cap
+	want := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond, 800 * time.Microsecond, time.Millisecond, time.Millisecond}
+	for i, w := range want {
+		if d := p.backoff(i + 1); d != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
 func TestRemoteErrorsAreNotRetried(t *testing.T) {
 	dsn, _ := retryTestServer(t)
 	reg := obs.NewRegistry()

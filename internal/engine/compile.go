@@ -618,6 +618,28 @@ type selPlan struct {
 	aggArgs  map[*sqlparser.FuncCall]program
 	orderFns []orderKeyFn
 	desc     []bool
+
+	// Batch-execution lowerings (nil / empty when vectorization is off).
+	// vecItems holds one batch node per select item for the non-grouped
+	// projection. vecGB holds the GROUP BY key nodes followed by the
+	// argument nodes of the vectorizable aggregates listed in vecAggs.
+	// vecAggsAll reports that every aggregate of the plan is in vecAggs,
+	// so batch grouping need not materialize per-group row lists.
+	// orderRowOnly reports that every ORDER BY key reads only the
+	// projected output row (ordinals and output aliases), so batch
+	// projection may drop the per-row environments.
+	vecItems     *vplan
+	vecGB        *vplan
+	vecAggs      []vecAggSpec
+	vecAggsAll   bool
+	orderRowOnly bool
+}
+
+// vecAggSpec is one vectorizable aggregate: the call and the index of
+// its argument node in vecGB.nodes (-1 for COUNT(*), which has none).
+type vecAggSpec struct {
+	fc   *sqlparser.FuncCall
+	node int
 }
 
 // orderKeyFn produces one ORDER BY key for an output row: ordinals and
@@ -692,16 +714,56 @@ func (x *executor) buildSelectPlan(s *sqlparser.Select, f *frame) (*selPlan, err
 			p.aggArgs[fc] = x.compileHere(fc.Args[0], f)
 		}
 	}
+	p.orderRowOnly = true
 	for _, o := range s.OrderBy {
-		p.orderFns = append(p.orderFns, x.orderKeyFn(o.Expr, p.cols, f))
+		fn, rowOnly := x.orderKeyFn(o.Expr, p.cols, f)
+		p.orderFns = append(p.orderFns, fn)
 		p.desc = append(p.desc, o.Desc)
+		if !rowOnly {
+			p.orderRowOnly = false
+		}
+	}
+	if x.vecOK() {
+		itemExprs := make([]sqlparser.Expr, len(items))
+		for i, it := range items {
+			itemExprs[i] = it.Expr
+		}
+		p.vecItems = compileVecPlan(itemExprs, f)
+		if len(s.GroupBy) > 0 || len(p.aggs) > 0 {
+			gbExprs := append([]sqlparser.Expr(nil), s.GroupBy...)
+			p.vecAggsAll = true
+			for _, fc := range p.aggs {
+				switch {
+				case fc.Star && fc.Name == "COUNT":
+					p.vecAggs = append(p.vecAggs, vecAggSpec{fc: fc, node: -1})
+				case !fc.Star && !fc.Distinct && len(fc.Args) == 1 && isVecAggName(fc.Name):
+					p.vecAggs = append(p.vecAggs, vecAggSpec{fc: fc, node: len(gbExprs)})
+					gbExprs = append(gbExprs, fc.Args[0])
+				default:
+					p.vecAggsAll = false
+				}
+			}
+			p.vecGB = compileVecPlan(gbExprs, f)
+		}
 	}
 	return p, nil
 }
 
+// isVecAggName reports whether the aggregate has a streaming batch
+// accumulator (vecAgg); others run through computeAggregate per group.
+func isVecAggName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
 // orderKeyFn resolves one ORDER BY expression once, mirroring the
 // per-row resolution the interpreter used to do inside the sort.
-func (x *executor) orderKeyFn(e sqlparser.Expr, cols []string, f *frame) orderKeyFn {
+// rowOnly reports that the key reads only the projected output row, not
+// the row's originating environment.
+func (x *executor) orderKeyFn(e sqlparser.Expr, cols []string, f *frame) (orderKeyFn, bool) {
 	switch t := e.(type) {
 	case *sqlparser.Literal:
 		if t.Val.Kind() == sqltypes.KindInt {
@@ -711,7 +773,7 @@ func (x *executor) orderKeyFn(e sqlparser.Expr, cols []string, f *frame) orderKe
 					return out[n-1], nil
 				}
 				return sqltypes.Null, fmt.Errorf("engine: ORDER BY position %d out of range", n)
-			}
+			}, true
 		}
 	case *sqlparser.ColumnRef:
 		if t.Table == "" {
@@ -720,7 +782,7 @@ func (x *executor) orderKeyFn(e sqlparser.Expr, cols []string, f *frame) orderKe
 					j := j
 					return func(out sqltypes.Row, env *evalEnv) (sqltypes.Value, error) {
 						return out[j], nil
-					}
+					}, true
 				}
 			}
 		}
@@ -728,7 +790,7 @@ func (x *executor) orderKeyFn(e sqlparser.Expr, cols []string, f *frame) orderKe
 	p := x.compileHere(e, f)
 	return func(out sqltypes.Row, env *evalEnv) (sqltypes.Value, error) {
 		return p(env)
-	}
+	}, false
 }
 
 // progKey identifies a cached program: the expression node (by
@@ -748,10 +810,31 @@ type progCache struct {
 	mu   sync.RWMutex
 	m    map[progKey]program
 	sels map[selKey]*selPlan
+	// vecs caches single-expression batch plans (WHERE, join keys). A
+	// nil value is cached too: it records that the plan had nothing to
+	// vectorize, so the row path is taken without recompiling.
+	vecs map[progKey]*vplan
 }
 
 func newProgCache() *progCache {
-	return &progCache{m: make(map[progKey]program), sels: make(map[selKey]*selPlan)}
+	return &progCache{
+		m:    make(map[progKey]program),
+		sels: make(map[selKey]*selPlan),
+		vecs: make(map[progKey]*vplan),
+	}
+}
+
+func (pc *progCache) getVec(k progKey) (*vplan, bool) {
+	pc.mu.RLock()
+	p, ok := pc.vecs[k]
+	pc.mu.RUnlock()
+	return p, ok
+}
+
+func (pc *progCache) putVec(k progKey, p *vplan) {
+	pc.mu.Lock()
+	pc.vecs[k] = p
+	pc.mu.Unlock()
 }
 
 func (pc *progCache) getSel(k selKey) *selPlan {

@@ -43,6 +43,13 @@ type Config struct {
 	// string encoding instead of 64-bit row hashes. Results are identical
 	// either way; this is the A/B switch for the perf experiments.
 	DisableExprCompile bool
+	// DisableVectorize turns off batch (vectorized) execution over the
+	// compiled programs: filters, projections, grouping and join probes
+	// run row-at-a-time instead of in column batches. Implied by
+	// DisableExprCompile (the batch path rides on compiled programs).
+	// Results are identical either way; this is the A/B switch for the
+	// PR 8 perf experiments.
+	DisableVectorize bool
 	// DataDir is where the disk backend keeps its page and WAL files.
 	// Empty means a throwaway temp directory (removed by Close). Ignored
 	// by the in-memory backends.
@@ -102,6 +109,12 @@ type Engine struct {
 	// only the latter (see compile.go).
 	exprCompiles  atomic.Int64
 	exprCacheHits atomic.Int64
+
+	// vecBatches counts batch windows executed on the vectorized path;
+	// vecFallbacks counts windows (or whole grouped inputs) that bailed
+	// to row-at-a-time execution to reproduce an interpreter error.
+	vecBatches   atomic.Int64
+	vecFallbacks atomic.Int64
 
 	stats Stats
 
@@ -199,6 +212,13 @@ func (e *Engine) Stats() StatsSnapshot {
 		LockWaits:    e.stats.LockWaits.Load(),
 		LockWait:     time.Duration(e.stats.LockWaitNanos.Load()),
 	}
+}
+
+// VecStats reports the vectorized execution counters: batch windows
+// run on the columnar path, and windows that fell back to
+// row-at-a-time execution.
+func (e *Engine) VecStats() (batches, fallbacks int64) {
+	return e.vecBatches.Load(), e.vecFallbacks.Load()
 }
 
 // SetMetrics attaches a registry; the engine then reports statement

@@ -7,6 +7,7 @@ import (
 
 	"sqloop/internal/sqlparser"
 	"sqloop/internal/sqltypes"
+	"sqloop/internal/vec"
 )
 
 // sleep is the charge primitive for the cost model. A variable so tests
@@ -286,51 +287,141 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 			leftProgs[i] = x.prog(ke, left.frame)
 		}
 		resProg := x.residualProg(residual, outFrame)
-		lenv := &evalEnv{frame: left.frame, x: x}
 		cenv := &evalEnv{frame: outFrame, x: x}
-		lvals := make(sqltypes.Row, len(leftKeys))
 		combined := make(sqltypes.Row, outFrame.width)
-		for _, ra := range left.rows {
-			lenv.row = ra
-			null := false
-			for i, p := range leftProgs {
-				v, err := p(lenv)
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() {
-					null = true
-					break
-				}
-				lvals[i] = v
-			}
+		// probeRow emits the join output of one probe row against its
+		// matching bucket (nil for NULL keys or no match): the residual
+		// filter, the inner emission, and the left-join NULL padding. Both
+		// the row and the batch probe paths funnel through it.
+		probeRow := func(ra sqltypes.Row, bucket []sqltypes.Row) error {
 			matched := false
-			if !null {
-				var bucket []sqltypes.Row
-				if id := build.lookup(lvals); id >= 0 {
-					bucket = buildRows[id]
-				}
-				for _, rb := range bucket {
-					joined++
-					if resProg != nil {
-						copy(combined, ra)
-						copy(combined[len(ra):], rb)
-						cenv.row = combined
-						v, err := resProg(cenv)
-						if err != nil {
-							return nil, err
-						}
-						if !v.IsTrue() {
-							continue
-						}
+			for _, rb := range bucket {
+				joined++
+				if resProg != nil {
+					copy(combined, ra)
+					copy(combined[len(ra):], rb)
+					cenv.row = combined
+					v, err := resProg(cenv)
+					if err != nil {
+						return err
 					}
-					matched = true
-					appendJoined(ra, rb)
+					if !v.IsTrue() {
+						continue
+					}
 				}
+				matched = true
+				appendJoined(ra, rb)
 			}
 			if !matched && j.Type == sqlparser.JoinLeft {
 				appendJoined(ra, nullsRight)
 			}
+			return nil
+		}
+		// rowProbe is the row-at-a-time probe over a slice of left rows:
+		// the whole input when vectorization is off, one batch window when
+		// a batch kernel errored and the window re-runs to reproduce the
+		// interpreter's error ordering.
+		rowProbe := func(rows []sqltypes.Row) error {
+			lenv := &evalEnv{frame: left.frame, x: x}
+			lvals := make(sqltypes.Row, len(leftKeys))
+			for _, ra := range rows {
+				lenv.row = ra
+				null := false
+				for i, p := range leftProgs {
+					v, err := p(lenv)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					lvals[i] = v
+				}
+				var bucket []sqltypes.Row
+				if !null {
+					if id := build.lookup(lvals); id >= 0 {
+						bucket = buildRows[id]
+					}
+				}
+				if err := probeRow(ra, bucket); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if vp := x.vecJoinPlan(j.On, leftKeys, left.frame); vp != nil {
+			// Batch probe: evaluate the key columns per window, drop
+			// NULL-keyed rows from the selection key-by-key (NULL keys
+			// never match, and later key expressions must not run on them,
+			// matching the row path's early break), hash the surviving
+			// rows column-wise, then probe the build index with the
+			// precomputed hashes in row order.
+			vx := x.newVecExec(left.frame, left.rows)
+			keyVecs := make([]*vec.Vec, len(leftKeys))
+			lvals := make(sqltypes.Row, len(leftKeys))
+			hash := make([]uint64, vec.BatchSize)
+			isKeyed := make([]bool, vec.BatchSize)
+			var selBuf [2][]int
+			cur := vec.NewCursor(len(left.rows))
+			for {
+				lo, hi, ok := cur.Next()
+				if !ok {
+					break
+				}
+				vx.window(lo, hi)
+				cursel := vx.selAll
+				failed := false
+				for k := range keyVecs {
+					v, err := vp.nodes[k].eval(vx, cursel)
+					if err != nil {
+						failed = true
+						break
+					}
+					keyVecs[k] = v
+					nb := selBuf[k&1][:0]
+					for _, i := range cursel {
+						if !v.IsNullAt(i) {
+							nb = append(nb, i)
+						}
+					}
+					selBuf[k&1] = nb
+					cursel = nb
+				}
+				if failed {
+					x.eng.vecFallbacks.Add(1)
+					if err := rowProbe(vx.win); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				for i := 0; i < vx.n; i++ {
+					isKeyed[i] = false
+				}
+				for _, i := range cursel {
+					isKeyed[i] = true
+				}
+				vec.HashInit(hash[:vx.n], cursel)
+				for _, v := range keyVecs {
+					v.HashMix(hash[:vx.n], cursel)
+				}
+				for i := 0; i < vx.n; i++ {
+					var bucket []sqltypes.Row
+					if isKeyed[i] {
+						for k, v := range keyVecs {
+							lvals[k] = v.Get(i)
+						}
+						if id := build.lookupPre(hash[i], lvals); id >= 0 {
+							bucket = buildRows[id]
+						}
+					}
+					if err := probeRow(vx.win[i], bucket); err != nil {
+						return nil, err
+					}
+				}
+			}
+		} else if err := rowProbe(left.rows); err != nil {
+			return nil, err
 		}
 	} else {
 		// Nested loop.

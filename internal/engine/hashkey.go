@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"sqloop/internal/sqltypes"
+	"sqloop/internal/vec"
 )
 
 // This file provides the hash-keyed row index behind GROUP BY,
@@ -20,32 +21,17 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-// nanValueHash is the canonical hash for float NaN: Value.Hash mixes
-// the raw bit pattern, but grouping must merge every NaN payload into
-// one bucket (encodeRowKey renders them all as the string "NaN").
-var nanValueHash = sqltypes.NewFloat(math.NaN()).Hash()
-
 func isNaNValue(v sqltypes.Value) bool {
 	return v.Kind() == sqltypes.KindFloat && math.IsNaN(v.Float())
 }
 
 // rowHash combines the value hashes of a row into one 64-bit key.
 // Value.Hash already unifies numerically-equal ints and floats, so two
-// rows that encodeRowKey would consider equal always hash equal.
-func rowHash(r sqltypes.Row) uint64 {
-	h := uint64(fnvOffset64)
-	for _, v := range r {
-		hv := v.Hash()
-		if isNaNValue(v) {
-			hv = nanValueHash
-		}
-		for s := 0; s < 64; s += 8 {
-			h ^= uint64(byte(hv >> s))
-			h *= fnvPrime64
-		}
-	}
-	return h
-}
+// rows that encodeRowKey would consider equal always hash equal. It
+// delegates to the vec package so the scalar and columnar hash paths
+// share one definition (vec.HashRow canonicalizes NaN payloads the same
+// way this file historically did).
+func rowHash(r sqltypes.Row) uint64 { return vec.HashRow(r) }
 
 // hashValueEqual is the grouping equality for one column: CompareTotal
 // with an explicit NaN guard. Compare reports NaN as neither below nor
@@ -122,6 +108,26 @@ func (ix *rowIndex) bucket(key sqltypes.Row, own bool) (id int, isNew bool) {
 	return id, true
 }
 
+// bucketPre is bucket(key, false) with the row hash computed by the
+// caller — the batch path hashes whole key columns at once and probes
+// with the precomputed values. Non-hashed (string-key) indexes ignore
+// the hash and delegate.
+func (ix *rowIndex) bucketPre(h uint64, key sqltypes.Row) (id int, isNew bool) {
+	if !ix.hashed {
+		return ix.bucket(key, false)
+	}
+	for _, id := range ix.buckets[h] {
+		if rowsEqual(ix.keys[id], key) {
+			return id, false
+		}
+	}
+	key = append(sqltypes.Row(nil), key...)
+	id = len(ix.keys)
+	ix.keys = append(ix.keys, key)
+	ix.buckets[h] = append(ix.buckets[h], id)
+	return id, true
+}
+
 // lookup returns the bucket id for key, or -1 when absent. It never
 // inserts, so probing with a scratch buffer needs no clone.
 func (ix *rowIndex) lookup(key sqltypes.Row) int {
@@ -132,6 +138,19 @@ func (ix *rowIndex) lookup(key sqltypes.Row) int {
 		return -1
 	}
 	h := rowHash(key)
+	for _, id := range ix.buckets[h] {
+		if rowsEqual(ix.keys[id], key) {
+			return id
+		}
+	}
+	return -1
+}
+
+// lookupPre is lookup with a caller-computed row hash.
+func (ix *rowIndex) lookupPre(h uint64, key sqltypes.Row) int {
+	if !ix.hashed {
+		return ix.lookup(key)
+	}
 	for _, id := range ix.buckets[h] {
 		if rowsEqual(ix.keys[id], key) {
 			return id

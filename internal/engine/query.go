@@ -233,8 +233,13 @@ func (x *executor) evalSetOp(s *sqlparser.SetOp) (*relation, error) {
 			return nil, err
 		}
 	}
-	if s.Limit != nil && int64(len(out.rows)) > *s.Limit {
-		out.rows = out.rows[:*s.Limit]
+	if s.Limit != nil {
+		if *s.Limit < 0 {
+			return nil, &ErrInvalidLimit{Clause: "LIMIT", N: *s.Limit}
+		}
+		if int64(len(out.rows)) > *s.Limit {
+			out.rows = out.rows[:*s.Limit]
+		}
 	}
 	return out, nil
 }
@@ -315,6 +320,27 @@ type source struct {
 	rows  []sqltypes.Row
 }
 
+// outRow pairs a projected output row with the environment it was
+// produced in. env may be nil when no later stage needs it (the batch
+// projection drops it once ORDER BY is known to read only the output
+// row).
+type outRow struct {
+	row sqltypes.Row
+	env *evalEnv
+}
+
+// ErrInvalidLimit is returned for a negative LIMIT or OFFSET. The
+// parser rejects negative literals, but ExecStmt accepts arbitrary
+// programmatically-built ASTs, which used to panic slicing the output.
+type ErrInvalidLimit struct {
+	Clause string // "LIMIT" or "OFFSET"
+	N      int64
+}
+
+func (e *ErrInvalidLimit) Error() string {
+	return fmt.Sprintf("engine: %s must not be negative, got %d", e.Clause, e.N)
+}
+
 // evalSelect evaluates a SELECT core. Per-row expressions run as
 // compiled programs from the statement's (cached) select plan; with
 // Config.DisableExprCompile the same plan structure carries
@@ -327,20 +353,28 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 
 	// WHERE (before star expansion, matching interpreter error order).
 	if s.Where != nil {
-		p := x.prog(s.Where, src.frame)
-		kept := src.rows[:0:0]
-		env := &evalEnv{frame: src.frame, x: x}
-		for _, r := range src.rows {
-			env.row = r
-			v, err := p(env)
+		if vp := x.vecPlanFor(s.Where, src.frame); vp != nil {
+			kept, err := x.vecFilter(vp, s.Where, src)
 			if err != nil {
 				return nil, err
 			}
-			if v.IsTrue() {
-				kept = append(kept, r)
+			src.rows = kept
+		} else {
+			p := x.prog(s.Where, src.frame)
+			kept := src.rows[:0:0]
+			env := &evalEnv{frame: src.frame, x: x}
+			for _, r := range src.rows {
+				env.row = r
+				v, err := p(env)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsTrue() {
+					kept = append(kept, r)
+				}
 			}
+			src.rows = kept
 		}
-		src.rows = kept
 	}
 
 	plan, err := x.selectPlan(s, src.frame)
@@ -373,25 +407,46 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 		}
 	}
 
-	type outRow struct {
-		row sqltypes.Row
-		env *evalEnv
-	}
 	var outputs []outRow
 
 	if len(s.GroupBy) > 0 || len(plan.aggs) > 0 {
-		groups, err := x.groupRows(src, plan.groupBy)
-		if err != nil {
-			return nil, err
+		// Batch grouping: hash whole key columns at once and stream the
+		// vectorizable aggregates into dense accumulators. Any batch
+		// error falls back to the full row path (groups must be complete
+		// before aggregation), which reproduces the interpreter's error.
+		var groups []*group
+		var vaggs []*vecAgg
+		var vecAggIdx map[*sqlparser.FuncCall]int
+		vecDone := false
+		if x.vecOK() && plan.vecGB != nil {
+			groups, vaggs, vecDone = x.vecGroup(plan, src)
 		}
-		for _, g := range groups {
+		if vecDone {
+			vecAggIdx = make(map[*sqlparser.FuncCall]int, len(plan.vecAggs))
+			for i, spec := range plan.vecAggs {
+				vecAggIdx[spec.fc] = i
+			}
+		} else {
+			groups, err = x.groupRows(src, plan.groupBy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for gi, g := range groups {
 			env := &evalEnv{frame: src.frame, x: x, aggs: make(map[*sqlparser.FuncCall]sqltypes.Value, len(plan.aggs))}
-			if len(g.rows) > 0 {
+			switch {
+			case g.first != nil:
+				env.row = g.first
+			case len(g.rows) > 0:
 				env.row = g.rows[0]
-			} else {
+			default:
 				env.row = make(sqltypes.Row, src.frame.width)
 			}
 			for _, fc := range plan.aggs {
+				if i, ok := vecAggIdx[fc]; ok {
+					env.aggs[fc] = vaggs[i].finalize(gi)
+					continue
+				}
 				v, err := x.computeAggregate(fc, plan.aggArgs[fc], src.frame, g.rows)
 				if err != nil {
 					return nil, err
@@ -412,7 +467,12 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 				return nil, err
 			}
 			outputs = append(outputs, outRow{row: row, env: env})
-			x.work.grouped += int64(len(g.rows))
+			x.work.grouped += g.size()
+		}
+	} else if x.vecOK() && plan.vecItems.useVec() && (len(plan.orderFns) == 0 || plan.orderRowOnly) {
+		outputs, err = x.vecProject(plan, src)
+		if err != nil {
+			return nil, err
 		}
 	} else {
 		for _, r := range src.rows {
@@ -461,14 +521,22 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 	}
 
 	if s.Offset != nil {
+		if *s.Offset < 0 {
+			return nil, &ErrInvalidLimit{Clause: "OFFSET", N: *s.Offset}
+		}
 		if off := int(*s.Offset); off >= len(outputs) {
 			outputs = nil
 		} else {
 			outputs = outputs[off:]
 		}
 	}
-	if s.Limit != nil && int64(len(outputs)) > *s.Limit {
-		outputs = outputs[:*s.Limit]
+	if s.Limit != nil {
+		if *s.Limit < 0 {
+			return nil, &ErrInvalidLimit{Clause: "LIMIT", N: *s.Limit}
+		}
+		if int64(len(outputs)) > *s.Limit {
+			outputs = outputs[:*s.Limit]
+		}
 	}
 
 	rel := &relation{cols: cols, rows: make([]sqltypes.Row, len(outputs))}
@@ -560,9 +628,22 @@ func projectRow(itemProgs []program, env *evalEnv) (sqltypes.Row, error) {
 	return row, nil
 }
 
-// group is one GROUP BY bucket.
+// group is one GROUP BY bucket. Batch grouping with fully-vectorized
+// aggregates leaves rows nil and tracks only the first member row and
+// the member count; the row path and partially-vectorized plans
+// materialize rows (computeAggregate needs them).
 type group struct {
-	rows []sqltypes.Row
+	rows  []sqltypes.Row
+	first sqltypes.Row
+	n     int64
+}
+
+// size is the number of member rows, whether or not they were kept.
+func (g *group) size() int64 {
+	if g.rows == nil {
+		return g.n
+	}
+	return int64(len(g.rows))
 }
 
 // groupRows buckets the source rows by the compiled GROUP BY key

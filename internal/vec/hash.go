@@ -1,0 +1,106 @@
+package vec
+
+import (
+	"math"
+
+	"sqloop/internal/sqltypes"
+)
+
+// FNV-1a parameters, matching sqltypes.Value.Hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// nanHash is the canonical hash for float NaN: Value.Hash mixes the
+// raw bit pattern, but grouping must merge every NaN payload into one
+// bucket, so all NaNs hash like math.NaN().
+var nanHash = hashTagged(2, math.Float64bits(math.NaN()))
+
+// hashTagged is the FNV-1a fold of a kind tag byte followed by the
+// eight little-endian bytes of u — the loop inside Value.Hash without
+// the per-byte closure.
+func hashTagged(tag byte, u uint64) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(tag)) * fnvPrime64
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ uint64(byte(u>>s))) * fnvPrime64
+	}
+	return h
+}
+
+// hashInt is Value.Hash for an int64.
+func hashInt(i int64) uint64 { return hashTagged(1, uint64(i)) }
+
+// hashFloat is Value.Hash for a float64 with NaN canonicalized.
+func hashFloat(f float64) uint64 {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+		// Integral floats hash as ints so 1 and 1.0 join.
+		return hashInt(int64(f))
+	}
+	if math.IsNaN(f) {
+		return nanHash
+	}
+	return hashTagged(2, math.Float64bits(f))
+}
+
+// HashValue is sqltypes.Value.Hash with NaN canonicalized — the value
+// hash the engine's grouping machinery uses.
+func HashValue(v sqltypes.Value) uint64 {
+	switch v.Kind() {
+	case sqltypes.KindInt:
+		return hashInt(v.Int())
+	case sqltypes.KindFloat:
+		return hashFloat(v.Float())
+	default:
+		return v.Hash()
+	}
+}
+
+// mixRow folds one value hash into a running row hash, byte by byte.
+func mixRow(h, hv uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ uint64(byte(hv>>s))) * fnvPrime64
+	}
+	return h
+}
+
+// HashRow combines the value hashes of a row into one 64-bit key,
+// bit-identical to the engine's historical rowHash.
+func HashRow(r sqltypes.Row) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range r {
+		h = mixRow(h, HashValue(v))
+	}
+	return h
+}
+
+// HashInit seeds dst[i] with the FNV offset basis for each i in sel.
+func HashInit(dst []uint64, sel []int) {
+	for _, i := range sel {
+		dst[i] = fnvOffset64
+	}
+}
+
+// HashMix folds column v into the running row hashes dst for each
+// position in sel: after HashInit and one HashMix per key column,
+// dst[i] equals HashRow of that row's key tuple.
+func (v *Vec) HashMix(dst []uint64, sel []int) {
+	if !v.generic && !v.constant && !v.hasNulls {
+		switch v.kind {
+		case sqltypes.KindInt:
+			for _, i := range sel {
+				dst[i] = mixRow(dst[i], hashInt(v.Ints[i]))
+			}
+			return
+		case sqltypes.KindFloat:
+			for _, i := range sel {
+				dst[i] = mixRow(dst[i], hashFloat(v.Floats[i]))
+			}
+			return
+		}
+	}
+	for _, i := range sel {
+		dst[i] = mixRow(dst[i], HashValue(v.Get(i)))
+	}
+}

@@ -1,0 +1,250 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+
+	"sqloop/internal/sqltypes"
+)
+
+// This file holds the data-parallel expression kernels. Each kernel
+// writes out[i] for every i in sel and leaves other positions
+// untouched; callers must only read selected positions. A kernel that
+// cannot reproduce the row path's exact behaviour for some element
+// (type error, division by zero) returns an error and the engine
+// re-runs the whole batch row-at-a-time, so errors here need not match
+// the interpreter's ordering — only successful values must be exact.
+
+func cmpTrue(op sqltypes.CompareOp, c int) bool {
+	switch op {
+	case sqltypes.CmpEQ:
+		return c == 0
+	case sqltypes.CmpNE:
+		return c != 0
+	case sqltypes.CmpLT:
+		return c < 0
+	case sqltypes.CmpLE:
+		return c <= 0
+	case sqltypes.CmpGT:
+		return c > 0
+	case sqltypes.CmpGE:
+		return c >= 0
+	}
+	return false
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// floatAt reads a numeric vector position widened to float64; valid
+// for KindInt and KindFloat typed vectors.
+func (v *Vec) floatAt(i int) float64 {
+	i = v.at(i)
+	if v.kind == sqltypes.KindInt {
+		return float64(v.Ints[i])
+	}
+	return v.Floats[i]
+}
+
+func isNumericKind(k sqltypes.Kind) bool {
+	return k == sqltypes.KindInt || k == sqltypes.KindFloat
+}
+
+// Compare fills out (a bool vector with nulls) with l op r for every
+// position in sel, matching sqltypes.CompareSQL exactly: NULL operands
+// yield NULL, numeric kinds compare with widening.
+func Compare(op sqltypes.CompareOp, l, r, out *Vec, sel []int) error {
+	out.ResetBools(l.Len())
+	lk, lt := l.TypedKind()
+	rk, rt := r.TypedKind()
+
+	// Tight loops for null-free typed numeric columns.
+	if lt && rt && !l.hasNulls && !r.hasNulls {
+		switch {
+		case lk == sqltypes.KindInt && rk == sqltypes.KindInt:
+			if r.constant && !l.constant {
+				c := r.Ints[0]
+				switch op {
+				case sqltypes.CmpEQ:
+					for _, i := range sel {
+						out.Bools[i] = l.Ints[i] == c
+					}
+				case sqltypes.CmpNE:
+					for _, i := range sel {
+						out.Bools[i] = l.Ints[i] != c
+					}
+				case sqltypes.CmpLT:
+					for _, i := range sel {
+						out.Bools[i] = l.Ints[i] < c
+					}
+				case sqltypes.CmpLE:
+					for _, i := range sel {
+						out.Bools[i] = l.Ints[i] <= c
+					}
+				case sqltypes.CmpGT:
+					for _, i := range sel {
+						out.Bools[i] = l.Ints[i] > c
+					}
+				case sqltypes.CmpGE:
+					for _, i := range sel {
+						out.Bools[i] = l.Ints[i] >= c
+					}
+				default:
+					return fmt.Errorf("vec: unknown comparison op %d", op)
+				}
+				return nil
+			}
+			for _, i := range sel {
+				out.Bools[i] = cmpTrue(op, cmpInt(l.Ints[l.at(i)], r.Ints[r.at(i)]))
+			}
+			return nil
+		case isNumericKind(lk) && isNumericKind(rk):
+			for _, i := range sel {
+				out.Bools[i] = cmpTrue(op, cmpFloat(l.floatAt(i), r.floatAt(i)))
+			}
+			return nil
+		case lk == sqltypes.KindString && rk == sqltypes.KindString:
+			for _, i := range sel {
+				a, b := l.Strs[l.at(i)], r.Strs[r.at(i)]
+				switch {
+				case a < b:
+					out.Bools[i] = cmpTrue(op, -1)
+				case a > b:
+					out.Bools[i] = cmpTrue(op, 1)
+				default:
+					out.Bools[i] = cmpTrue(op, 0)
+				}
+			}
+			return nil
+		}
+	}
+
+	// Generic element loop through CompareSQL (handles NULLs, mixed
+	// kinds and kind errors identically to the row path).
+	for _, i := range sel {
+		v, err := sqltypes.CompareSQL(op, l.Get(i), r.Get(i))
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			out.SetNull(i)
+		} else {
+			out.Bools[i] = v.IsTrue()
+		}
+	}
+	return nil
+}
+
+// Arith fills out with l op r for every position in sel, matching
+// sqltypes.Arith exactly: NULL propagation, int arithmetic when both
+// sides are ints (with Go wraparound, like the row path), float
+// arithmetic otherwise, and division by zero as an error.
+func Arith(op sqltypes.ArithOp, l, r, out *Vec, sel []int) error {
+	n := l.Len()
+	lk, lt := l.TypedKind()
+	rk, rt := r.TypedKind()
+
+	if lt && rt && !l.hasNulls && !r.hasNulls && isNumericKind(lk) && isNumericKind(rk) {
+		if lk == sqltypes.KindInt && rk == sqltypes.KindInt {
+			out.ResetInts(n)
+			switch op {
+			case sqltypes.OpAdd:
+				for _, i := range sel {
+					out.Ints[i] = l.Ints[l.at(i)] + r.Ints[r.at(i)]
+				}
+			case sqltypes.OpSub:
+				for _, i := range sel {
+					out.Ints[i] = l.Ints[l.at(i)] - r.Ints[r.at(i)]
+				}
+			case sqltypes.OpMul:
+				for _, i := range sel {
+					out.Ints[i] = l.Ints[l.at(i)] * r.Ints[r.at(i)]
+				}
+			case sqltypes.OpDiv:
+				for _, i := range sel {
+					b := r.Ints[r.at(i)]
+					if b == 0 {
+						return fmt.Errorf("sqltypes: division by zero")
+					}
+					out.Ints[i] = l.Ints[l.at(i)] / b
+				}
+			case sqltypes.OpMod:
+				for _, i := range sel {
+					b := r.Ints[r.at(i)]
+					if b == 0 {
+						return fmt.Errorf("sqltypes: division by zero")
+					}
+					out.Ints[i] = l.Ints[l.at(i)] % b
+				}
+			default:
+				return fmt.Errorf("vec: unknown arithmetic op %d", op)
+			}
+			return nil
+		}
+		out.ResetFloats(n)
+		switch op {
+		case sqltypes.OpAdd:
+			for _, i := range sel {
+				out.Floats[i] = l.floatAt(i) + r.floatAt(i)
+			}
+		case sqltypes.OpSub:
+			for _, i := range sel {
+				out.Floats[i] = l.floatAt(i) - r.floatAt(i)
+			}
+		case sqltypes.OpMul:
+			for _, i := range sel {
+				out.Floats[i] = l.floatAt(i) * r.floatAt(i)
+			}
+		case sqltypes.OpDiv:
+			for _, i := range sel {
+				b := r.floatAt(i)
+				if b == 0 {
+					return fmt.Errorf("sqltypes: division by zero")
+				}
+				out.Floats[i] = l.floatAt(i) / b
+			}
+		case sqltypes.OpMod:
+			for _, i := range sel {
+				b := r.floatAt(i)
+				if b == 0 {
+					return fmt.Errorf("sqltypes: division by zero")
+				}
+				out.Floats[i] = math.Mod(l.floatAt(i), b)
+			}
+		default:
+			return fmt.Errorf("vec: unknown arithmetic op %d", op)
+		}
+		return nil
+	}
+
+	// Generic element loop through Arith (NULLs, mixed columns, type
+	// errors).
+	out.ResetAny(n)
+	for _, i := range sel {
+		v, err := sqltypes.Arith(op, l.Get(i), r.Get(i))
+		if err != nil {
+			return err
+		}
+		out.Any[i] = v
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package vec
+
+import (
+	"math"
+	"testing"
+
+	"sqloop/internal/sqltypes"
+)
+
+// hashCorpus covers every kind plus the numeric edge cases grouping
+// cares about: integral floats, NaN, signed zero, infinities.
+func hashCorpus() []sqltypes.Value {
+	return []sqltypes.Value{
+		sqltypes.Null,
+		sqltypes.NewInt(0),
+		sqltypes.NewInt(1),
+		sqltypes.NewInt(-1),
+		sqltypes.NewInt(math.MaxInt64),
+		sqltypes.NewInt(math.MinInt64),
+		sqltypes.NewFloat(0),
+		sqltypes.NewFloat(math.Copysign(0, -1)),
+		sqltypes.NewFloat(1),
+		sqltypes.NewFloat(1.5),
+		sqltypes.NewFloat(-2.25),
+		sqltypes.NewFloat(math.Inf(1)),
+		sqltypes.NewFloat(math.Inf(-1)),
+		sqltypes.NewFloat(math.NaN()),
+		sqltypes.NewFloat(1e18),
+		sqltypes.NewFloat(1e300),
+		sqltypes.NewString(""),
+		sqltypes.NewString("a"),
+		sqltypes.NewString("hello world"),
+		sqltypes.NewBool(true),
+		sqltypes.NewBool(false),
+	}
+}
+
+func isNaN(v sqltypes.Value) bool {
+	return v.Kind() == sqltypes.KindFloat && math.IsNaN(v.Float())
+}
+
+func TestHashValueMatchesValueHash(t *testing.T) {
+	canonNaN := sqltypes.NewFloat(math.NaN()).Hash()
+	for _, v := range hashCorpus() {
+		got := HashValue(v)
+		want := v.Hash()
+		if isNaN(v) {
+			want = canonNaN
+		}
+		if got != want {
+			t.Errorf("HashValue(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestHashRowMatchesScalarFold pins HashRow to the engine's historical
+// rowHash: FNV offset, then each (NaN-canonicalized) value hash mixed
+// byte by byte.
+func TestHashRowMatchesScalarFold(t *testing.T) {
+	corpus := hashCorpus()
+	row := sqltypes.Row(corpus)
+	want := uint64(fnvOffset64)
+	for _, v := range row {
+		hv := v.Hash()
+		if isNaN(v) {
+			hv = sqltypes.NewFloat(math.NaN()).Hash()
+		}
+		for s := 0; s < 64; s += 8 {
+			want = (want ^ uint64(byte(hv>>s))) * fnvPrime64
+		}
+	}
+	if got := HashRow(row); got != want {
+		t.Fatalf("HashRow = %d, want %d", got, want)
+	}
+}
+
+func TestHashMixMatchesHashRow(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewFloat(2.5), sqltypes.NewString("x")},
+		{sqltypes.NewInt(-7), sqltypes.NewFloat(math.NaN()), sqltypes.Null},
+		{sqltypes.Null, sqltypes.NewFloat(3), sqltypes.NewString("")},
+		{sqltypes.NewInt(42), sqltypes.NewFloat(math.Copysign(0, -1)), sqltypes.NewBool(true)},
+	}
+	n := len(rows)
+	sel := FillSel(nil, n)
+	dst := make([]uint64, n)
+	HashInit(dst, sel)
+	for off := 0; off < 3; off++ {
+		var v Vec
+		v.FromRows(rows, off, n)
+		v.HashMix(dst, sel)
+	}
+	for i, r := range rows {
+		if dst[i] != HashRow(r) {
+			t.Errorf("row %d: columnar hash %d != HashRow %d", i, dst[i], HashRow(r))
+		}
+	}
+}
+
+func TestFromRowsTypedAndNulls(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1)},
+		{sqltypes.Null},
+		{sqltypes.NewInt(3)},
+	}
+	var v Vec
+	v.FromRows(rows, 0, 3)
+	if k, ok := v.TypedKind(); !ok || k != sqltypes.KindInt {
+		t.Fatalf("expected typed int column, got kind=%v typed=%v", k, ok)
+	}
+	if !v.IsNullAt(1) || v.IsNullAt(0) || v.IsNullAt(2) {
+		t.Fatalf("null bitmap wrong")
+	}
+	for i, r := range rows {
+		if got := v.Get(i); got != r[0] {
+			t.Errorf("Get(%d) = %v, want %v", i, got, r[0])
+		}
+	}
+}
+
+func TestFromRowsDemotesMixedKinds(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1)},
+		{sqltypes.NewString("x")},
+		{sqltypes.NewFloat(2.5)},
+	}
+	var v Vec
+	v.FromRows(rows, 0, 3)
+	if _, ok := v.TypedKind(); ok {
+		t.Fatalf("expected generic column for mixed kinds")
+	}
+	for i, r := range rows {
+		if got := v.Get(i); got != r[0] {
+			t.Errorf("Get(%d) = %v, want %v", i, got, r[0])
+		}
+	}
+}
+
+func TestFromRowsShortRowAndAllNull(t *testing.T) {
+	rows := []sqltypes.Row{
+		{},
+		{sqltypes.Null},
+	}
+	var v Vec
+	v.FromRows(rows, 0, 2)
+	for i := 0; i < 2; i++ {
+		if !v.Get(i).IsNull() {
+			t.Errorf("position %d: expected NULL", i)
+		}
+	}
+}
+
+func TestSetConstAndTruth(t *testing.T) {
+	var v Vec
+	v.SetConst(sqltypes.NewBool(true), 5)
+	if v.Len() != 5 || !v.IsConst() {
+		t.Fatalf("const vec misconfigured")
+	}
+	for i := 0; i < 5; i++ {
+		if v.Truth(i) != 1 {
+			t.Errorf("Truth(%d) != 1", i)
+		}
+	}
+	v.SetConst(sqltypes.Null, 3)
+	if v.Truth(2) != -1 {
+		t.Errorf("NULL const Truth != -1")
+	}
+	v.SetConst(sqltypes.NewInt(7), 3)
+	if v.Truth(0) != 0 {
+		t.Errorf("non-bool Truth != 0")
+	}
+	if got := v.Get(2); got != sqltypes.NewInt(7) {
+		t.Errorf("const Get = %v", got)
+	}
+}
+
+func TestTrueSel(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.NewBool(true)},
+		{sqltypes.NewBool(false)},
+		{sqltypes.Null},
+		{sqltypes.NewBool(true)},
+	}
+	var v Vec
+	v.FromRows(rows, 0, 4)
+	sel := FillSel(nil, 4)
+	got := v.TrueSel(sel, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("TrueSel = %v, want [0 3]", got)
+	}
+}
+
+// kernelColumn builds a column from a value list.
+func kernelColumn(vals []sqltypes.Value) *Vec {
+	rows := make([]sqltypes.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = sqltypes.Row{v}
+	}
+	var c Vec
+	c.FromRows(rows, 0, len(vals))
+	return &c
+}
+
+// TestCompareMatchesCompareSQL exercises the compare kernel over every
+// pairing of corpus columns (typed int, typed float, mixed, strings)
+// and every operator, requiring elementwise equality with CompareSQL
+// whenever the kernel succeeds, and a scalar error somewhere in the
+// batch whenever it fails.
+func TestCompareMatchesCompareSQL(t *testing.T) {
+	cols := [][]sqltypes.Value{
+		{sqltypes.NewInt(1), sqltypes.NewInt(-5), sqltypes.Null, sqltypes.NewInt(7)},
+		{sqltypes.NewFloat(1), sqltypes.NewFloat(2.5), sqltypes.NewFloat(math.NaN()), sqltypes.Null},
+		{sqltypes.NewInt(3), sqltypes.NewFloat(3), sqltypes.NewString("x"), sqltypes.NewBool(true)},
+		{sqltypes.NewString("a"), sqltypes.NewString("b"), sqltypes.NewString(""), sqltypes.Null},
+	}
+	ops := []sqltypes.CompareOp{sqltypes.CmpEQ, sqltypes.CmpNE, sqltypes.CmpLT, sqltypes.CmpLE, sqltypes.CmpGT, sqltypes.CmpGE}
+	for li, lvals := range cols {
+		for ri, rvals := range cols {
+			l, r := kernelColumn(lvals), kernelColumn(rvals)
+			sel := FillSel(nil, l.Len())
+			for _, op := range ops {
+				var out Vec
+				err := Compare(op, l, r, &out, sel)
+				if err != nil {
+					sawErr := false
+					for i := range lvals {
+						if _, serr := sqltypes.CompareSQL(op, lvals[i], rvals[i]); serr != nil {
+							sawErr = true
+						}
+					}
+					if !sawErr {
+						t.Errorf("cols %d/%d op %v: kernel error %v but scalar path clean", li, ri, op, err)
+					}
+					continue
+				}
+				for i := range lvals {
+					want, serr := sqltypes.CompareSQL(op, lvals[i], rvals[i])
+					if serr != nil {
+						t.Errorf("cols %d/%d op %v elem %d: kernel ok but scalar errors %v", li, ri, op, i, serr)
+						continue
+					}
+					if got := out.Get(i); got != want {
+						t.Errorf("cols %d/%d op %v elem %d: kernel %v, scalar %v", li, ri, op, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestArithMatchesArith(t *testing.T) {
+	cols := [][]sqltypes.Value{
+		{sqltypes.NewInt(10), sqltypes.NewInt(-3), sqltypes.Null, sqltypes.NewInt(math.MaxInt64)},
+		{sqltypes.NewFloat(2.5), sqltypes.NewFloat(-0.5), sqltypes.NewFloat(math.Inf(1)), sqltypes.Null},
+		{sqltypes.NewInt(7), sqltypes.NewFloat(0.25), sqltypes.NewString("x"), sqltypes.NewInt(2)},
+		{sqltypes.NewInt(3), sqltypes.NewInt(2), sqltypes.NewInt(5), sqltypes.NewInt(1)}, // divisor-safe ints
+		{sqltypes.NewInt(0), sqltypes.NewInt(2), sqltypes.NewInt(5), sqltypes.NewInt(1)}, // has a zero divisor
+	}
+	ops := []sqltypes.ArithOp{sqltypes.OpAdd, sqltypes.OpSub, sqltypes.OpMul, sqltypes.OpDiv, sqltypes.OpMod}
+	for li, lvals := range cols {
+		for ri, rvals := range cols {
+			l, r := kernelColumn(lvals), kernelColumn(rvals)
+			sel := FillSel(nil, l.Len())
+			for _, op := range ops {
+				var out Vec
+				err := Arith(op, l, r, &out, sel)
+				if err != nil {
+					sawErr := false
+					for i := range lvals {
+						if _, serr := sqltypes.Arith(op, lvals[i], rvals[i]); serr != nil {
+							sawErr = true
+						}
+					}
+					if !sawErr {
+						t.Errorf("cols %d/%d op %v: kernel error %v but scalar path clean", li, ri, op, err)
+					}
+					continue
+				}
+				for i := range lvals {
+					want, serr := sqltypes.Arith(op, lvals[i], rvals[i])
+					if serr != nil {
+						t.Errorf("cols %d/%d op %v elem %d: kernel ok but scalar errors %v", li, ri, op, i, serr)
+						continue
+					}
+					got := out.Get(i)
+					if got != want && !(isNaN(got) && isNaN(want)) {
+						t.Errorf("cols %d/%d op %v elem %d: kernel %v, scalar %v", li, ri, op, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCursorWindows(t *testing.T) {
+	c := NewCursor(2*BatchSize + 5)
+	var windows [][2]int
+	for {
+		lo, hi, ok := c.Next()
+		if !ok {
+			break
+		}
+		windows = append(windows, [2]int{lo, hi})
+	}
+	want := [][2]int{{0, BatchSize}, {BatchSize, 2 * BatchSize}, {2 * BatchSize, 2*BatchSize + 5}}
+	if len(windows) != len(want) {
+		t.Fatalf("windows = %v", windows)
+	}
+	for i := range want {
+		if windows[i] != want[i] {
+			t.Fatalf("window %d = %v, want %v", i, windows[i], want[i])
+		}
+	}
+}
+
+func BenchmarkHashMixInts(b *testing.B) {
+	rows := make([]sqltypes.Row, BatchSize)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i * 7))}
+	}
+	var v Vec
+	v.FromRows(rows, 0, BatchSize)
+	sel := FillSel(nil, BatchSize)
+	dst := make([]uint64, BatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashInit(dst, sel)
+		v.HashMix(dst, sel)
+	}
+}
+
+func BenchmarkCompareIntsConst(b *testing.B) {
+	rows := make([]sqltypes.Row, BatchSize)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i))}
+	}
+	var l, c, out Vec
+	l.FromRows(rows, 0, BatchSize)
+	c.SetConst(sqltypes.NewInt(500), BatchSize)
+	sel := FillSel(nil, BatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Compare(sqltypes.CmpLT, &l, &c, &out, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -175,6 +175,7 @@ type openConfig struct {
 	observer      obs.Tracer
 	noStmtCache   bool
 	noExprCompile bool
+	noVectorize   bool
 	backend       string
 	dataDir       string
 	poolPages     int
@@ -268,6 +269,16 @@ func WithoutExprCompile() OpenOption {
 	return func(c *openConfig) { c.noExprCompile = true }
 }
 
+// WithoutVectorize disables the embedded engine's vectorized batch
+// execution (the option-API form of Options.DisableVectorize, and the
+// only form Serve accepts). Compiled programs then run row-at-a-time —
+// the A/B baseline for vectorize-ablation benchmarks. Implied by
+// WithoutExprCompile, since the batch kernels ride on compiled
+// programs.
+func WithoutVectorize() OpenOption {
+	return func(c *openConfig) { c.noVectorize = true }
+}
+
 func applyOpenOptions(extra []OpenOption) openConfig {
 	var c openConfig
 	for _, o := range extra {
@@ -318,6 +329,9 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 	}
 	if oc.noExprCompile || opts.DisableExprCompile {
 		cfg.DisableExprCompile = true
+	}
+	if oc.noVectorize || opts.DisableVectorize {
+		cfg.DisableVectorize = true
 	}
 	if oc.observer != nil {
 		opts.Observer = obs.Multi(opts.Observer, oc.observer)
@@ -410,6 +424,9 @@ func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	}
 	if oc.noExprCompile {
 		cfg.DisableExprCompile = true
+	}
+	if oc.noVectorize {
+		cfg.DisableVectorize = true
 	}
 	if err := applyStorageOptions(&cfg, oc, "", 0); err != nil {
 		return nil, err
