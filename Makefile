@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz crash tier1 bench bench-smoke bench-traffic check-deprecated clean
+.PHONY: all build vet test race race-par fuzz crash tier1 bench bench-smoke bench-traffic bench-trend check-deprecated clean
 
 all: tier1
 
@@ -21,6 +21,12 @@ test:
 # race-clean.
 race:
 	$(GO) test -race . ./internal/core ./internal/engine ./internal/vec ./internal/obs ./internal/ckpt ./internal/wire ./internal/driver ./internal/shard ./internal/serve ./internal/pager
+
+# The morsel dispatcher, worker pool shutdown and background
+# checkpointer under varying GOMAXPROCS: the single-CPU schedule hides
+# ordering bugs that only surface when goroutines truly interleave.
+race-par:
+	$(GO) test -race -cpu 1,2,4 -run 'TestParallel|TestEngineClose|TestBackgroundCheckpointer|TestEffectiveWorkers' ./internal/engine
 
 # The snapshot codec must reject arbitrary corruption without panicking,
 # the shard router must stay bit-compatible with the engine's PARTHASH
@@ -48,7 +54,7 @@ check-deprecated: vet
 		|| { echo 'legacy SetDSN* setter used outside internal/driver'; exit 1; }
 
 # Tier-1 verification (ROADMAP.md): everything must stay green.
-tier1: build vet test race crash check-deprecated
+tier1: build vet test race race-par crash check-deprecated
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -64,6 +70,10 @@ bench-smoke:
 # BENCH_PR6.json via `go run ./cmd/sqloopbench -fig traffic`.
 bench-traffic:
 	$(GO) run ./cmd/sqloopbench -fig traffic -quick -out /tmp/sqloop_traffic_smoke.json
+
+# One-table view of every committed BENCH_PR*.json perf artifact.
+bench-trend:
+	$(GO) run ./cmd/sqloopbench -fig trend
 
 clean:
 	$(GO) clean ./...

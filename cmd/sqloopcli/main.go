@@ -51,6 +51,8 @@ func run() error {
 		noCache   = flag.Bool("no-stmt-cache", false, "disable the statement/plan cache (escape hatch; parses every statement from text)")
 		noCompile = flag.Bool("no-compile", false, "disable the expression compiler (escape hatch; interprets expressions from their ASTs)")
 		noVec     = flag.Bool("no-vectorize", false, "disable vectorized batch execution (escape hatch; compiled programs run row-at-a-time)")
+		workers   = flag.Int("workers", 0, "embedded engine: intra-query parallelism degree (0: one per CPU, 1: serial)")
+		noPar     = flag.Bool("no-parallel", false, "disable morsel-driven intra-query parallelism (escape hatch; queries run serially)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,10 @@ func run() error {
 	if *noVec {
 		opts.DisableVectorize = true
 	}
+	if *noPar {
+		opts.DisableParallel = true
+	}
+	opts.Workers = *workers
 
 	var db *sqloop.SQLoop
 	var group *sqloop.ShardGroup
@@ -92,6 +98,12 @@ func run() error {
 		}
 		if *noVec {
 			extra = append(extra, sqloop.WithoutVectorize())
+		}
+		if *noPar {
+			extra = append(extra, sqloop.WithoutParallel())
+		}
+		if *workers != 0 {
+			extra = append(extra, sqloop.WithWorkers(*workers))
 		}
 		if *shards > 1 {
 			group, err = sqloop.OpenEmbeddedShards(*profile, *shards, opts, extra...)

@@ -51,6 +51,11 @@ type Config struct {
 	// keeping compiled programs, for vectorize-ablation runs (the
 	// -fig vec comparison).
 	DisableVectorize bool
+	// Workers sets the engine's intra-query parallelism degree (0 = one
+	// per CPU, 1 = serial); DisableParallel forces serial execution, for
+	// parallel-ablation runs (the -fig par comparison).
+	Workers         int
+	DisableParallel bool
 	// Backend selects the engine's storage backend by name (heap, btree,
 	// lsm, disk); empty keeps the profile default. The disk backend runs
 	// with DataDir and BufferPoolPages (both optional) and reports pager
@@ -130,6 +135,8 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 	}
 	engCfg.DisableExprCompile = cfg.DisableExprCompile
 	engCfg.DisableVectorize = cfg.DisableVectorize
+	engCfg.Workers = cfg.Workers
+	engCfg.DisableParallel = cfg.DisableParallel
 	if cfg.Backend != "" {
 		kind, err := storage.ParseKind(cfg.Backend)
 		if err != nil {
@@ -164,6 +171,8 @@ func Run(ctx context.Context, cfg Config, query string) (*Metrics, error) {
 		DisableStmtCache:       cfg.DisableStmtCache,
 		DisableExprCompile:     cfg.DisableExprCompile,
 		DisableVectorize:       cfg.DisableVectorize,
+		Workers:                cfg.Workers,
+		DisableParallel:        cfg.DisableParallel,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sqloop/internal/engine"
+	"sqloop/internal/obs"
+)
+
+// PR9Run is one SSSP matrix measurement in BENCH_PR9.json: a backend ×
+// mode × worker-count cell. The workers=1 cells are the serial
+// baseline; the workers=4 cells run morsel-driven parallelism; the
+// disabled cells prove the DisableParallel escape hatch forces the
+// serial path even with a worker pool configured.
+type PR9Run struct {
+	Figure      string  `json:"figure"`
+	Backend     string  `json:"backend"` // heap | btree | lsm
+	Profile     string  `json:"profile"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	Parallel    bool    `json:"parallel"`
+	Rounds      int     `json:"rounds"`
+	RowsScanned int64   `json:"rows_scanned"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Result      float64 `json:"result"`
+}
+
+// PR9Micro is one cost-model micro-measurement in BENCH_PR9.json: the
+// wall time per prepared-statement execution of a scan-heavy workload
+// under the calibrated latency model, at a given worker count. Speedup
+// is against the workers=1 row of the same workload; morsels counts
+// the morsels dispatched to the pool per execution.
+type PR9Micro struct {
+	Figure      string  `json:"figure"`
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds_per_exec"`
+	Speedup     float64 `json:"speedup"`
+	Morsels     int64   `json:"morsels_per_exec"`
+}
+
+// PR9Report is the top-level BENCH_PR9.json document (schema in
+// EXPERIMENTS.md).
+type PR9Report struct {
+	Figure string     `json:"figure"`
+	Runs   []PR9Run   `json:"runs"`
+	Micro  []PR9Micro `json:"micro"`
+}
+
+// PR9Fig reruns the SSSP matrix (every engine backend × mode) at
+// workers=1, workers=4, and workers=4 with DisableParallel, verifies
+// all three agree, then measures filter / group-by / join micros under
+// the cost model at workers 1/2/4/8 with an identical-result gate, and
+// writes everything to outPath as BENCH_PR9.json.
+//
+// The host may have a single CPU; the speedup measured here is the
+// paper's simulated multi-core server (DESIGN.md): morsel workers
+// sleep their per-row latency charges concurrently, so wall time drops
+// with worker count the way real scan time would on real cores.
+func PR9Fig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	report := &PR9Report{Figure: "par"}
+	cells := []struct {
+		workers int
+		disable bool
+	}{{1, false}, {4, false}, {4, true}}
+	for _, eng := range sc.Engines {
+		backend := backendFor(eng)
+		fmt.Fprintf(w, "\n== PR9 / SSSP with %s (%s): workers 1 vs 4 vs disabled ==\n", EngineLabel(eng), backend)
+		fmt.Fprintf(w, "%-12s %10s %10s %12s\n", "mode", "workers", "time(s)", "rows/sec")
+		for _, mode := range pr4Modes {
+			results := make([]float64, 0, len(cells))
+			for _, cell := range cells {
+				m, err := Run(ctx, Config{
+					Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+					Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+					WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+					Workers: cell.workers, DisableParallel: cell.disable,
+				}, SSSPQuery(sc.SSSPDest))
+				if err != nil {
+					return fmt.Errorf("pr9 %s/%s workers=%d: %w", eng, ModeLabel(mode), cell.workers, err)
+				}
+				results = append(results, m.ScalarResult())
+				rps := 0.0
+				if m.Elapsed > 0 {
+					rps = float64(m.Work.RowsScanned) / m.Elapsed.Seconds()
+				}
+				label := fmt.Sprintf("%d", cell.workers)
+				if cell.disable {
+					label += " (off)"
+				}
+				fmt.Fprintf(w, "%-12s %10s %10.3f %12.0f\n",
+					ModeLabel(mode), label, m.Elapsed.Seconds(), rps)
+				report.Runs = append(report.Runs, PR9Run{
+					Figure: "pr9-sssp", Backend: backend, Profile: eng,
+					Mode: ModeLabel(mode), Workers: cell.workers, Parallel: !cell.disable,
+					Rounds: m.Rounds, RowsScanned: m.Work.RowsScanned,
+					RowsPerSec: rps, WallSeconds: m.Elapsed.Seconds(),
+					Result: m.ScalarResult(),
+				})
+			}
+			for i := 1; i < len(results); i++ {
+				if results[i] != results[0] {
+					return fmt.Errorf("pr9 %s/%s: worker-count results differ: %v vs %v",
+						eng, ModeLabel(mode), results[0], results[i])
+				}
+			}
+		}
+	}
+
+	micro, err := pr9Micro()
+	if err != nil {
+		return err
+	}
+	report.Micro = micro
+	fmt.Fprintf(w, "\n== PR9 / cost-model wall time per exec: workers 1/2/4/8 ==\n")
+	fmt.Fprintf(w, "%-14s %8s %14s %8s %12s\n", "workload", "workers", "wall/exec", "speedup", "morsels")
+	for _, mr := range micro {
+		fmt.Fprintf(w, "%-14s %8d %13.1fms %7.2fx %12d\n",
+			mr.Name, mr.Workers, mr.WallSeconds*1e3, mr.Speedup, mr.Morsels)
+	}
+	// The acceptance gate: parallelism must pay off on the scan-bound
+	// workloads at workers=4 under the calibrated latency model.
+	for _, mr := range micro {
+		if mr.Workers == 4 && (mr.Name == "ParFilter" || mr.Name == "ParGroupBy") && mr.Speedup < 1.5 {
+			return fmt.Errorf("pr9 %s: workers=4 speedup %.2fx below the 1.5x gate", mr.Name, mr.Speedup)
+		}
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d runs, %d micro rows)\n", outPath, len(report.Runs), len(micro))
+	return nil
+}
+
+// pr9Micro measures the wall time of three scan-heavy prepared
+// statements under the calibrated latency model at workers 1/2/4/8.
+// The tables are sized well past the morsel threshold (2 × 4096 rows)
+// so the default dispatcher engages without test-only knobs. Every
+// worker count is first cross-checked for a rendered result identical
+// to the workers=1 baseline — parallelism must be invisible to
+// queries.
+func pr9Micro() ([]PR9Micro, error) {
+	const (
+		tRows = 40000
+		uRows = 10000
+		reps  = 5
+	)
+	workloads := []struct{ name, sql string }{
+		{"ParFilter", "SELECT a FROM t WHERE b < 500 AND a % 7 = 1"},
+		{"ParGroupBy", "SELECT a % 10, COUNT(*), SUM(b) FROM t GROUP BY a % 10"},
+		{"ParJoinProbe", "SELECT COUNT(*) FROM t JOIN u ON t.a = u.a WHERE u.b >= 0"},
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	type cell struct {
+		wall    float64
+		morsels int64
+	}
+	measured := make(map[string]map[int]cell, len(workloads))
+	baseline := make(map[string]string, len(workloads))
+	for _, wl := range workloads {
+		measured[wl.name] = make(map[int]cell, len(workerCounts))
+	}
+	for _, workers := range workerCounts {
+		cfg, err := engine.Profile("pgsim")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cost = engine.DefaultCost(cfg.Dialect)
+		cfg.Workers = workers
+		eng := engine.New(cfg)
+		reg := obs.NewRegistry()
+		eng.SetMetrics(reg)
+		sess := eng.NewSession()
+		if err := pr9Load(sess, tRows, uRows); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		for _, wl := range workloads {
+			h, err := sess.Prepare(wl.sql)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			res, err := sess.ExecPrepared(h, nil)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			rendered := renderRows(res.Rows)
+			if workers == 1 {
+				baseline[wl.name] = rendered
+			} else if rendered != baseline[wl.name] {
+				eng.Close()
+				return nil, fmt.Errorf("pr9 %s: workers=%d result differs from serial", wl.name, workers)
+			}
+			before := reg.Snapshot().Counters["sqloop_parallel_morsels_total"]
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if _, err := sess.ExecPrepared(h, nil); err != nil {
+					eng.Close()
+					return nil, err
+				}
+			}
+			wall := time.Since(start).Seconds() / reps
+			after := reg.Snapshot().Counters["sqloop_parallel_morsels_total"]
+			measured[wl.name][workers] = cell{wall: wall, morsels: (after - before) / reps}
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]PR9Micro, 0, len(workloads)*len(workerCounts))
+	for _, wl := range workloads {
+		base := measured[wl.name][1].wall
+		for _, workers := range workerCounts {
+			c := measured[wl.name][workers]
+			speedup := 0.0
+			if c.wall > 0 {
+				speedup = base / c.wall
+			}
+			out = append(out, PR9Micro{
+				Figure: "pr9-micro", Name: wl.name, Rows: tRows,
+				Workers: workers, WallSeconds: c.wall,
+				Speedup: speedup, Morsels: c.morsels,
+			})
+		}
+	}
+	return out, nil
+}
+
+// pr9Load fills t (tRows) and u (uRows) with deterministic data via
+// batched multi-row inserts. t.a covers [0, 10000) so every t row
+// finds exactly one u partner; b spreads over [0, 1000) so the filter
+// workload keeps roughly half the rows before the modulus cut.
+func pr9Load(sess *engine.Session, tRows, uRows int) error {
+	if _, err := sess.Exec("CREATE TABLE t (a BIGINT, b BIGINT)"); err != nil {
+		return err
+	}
+	if _, err := sess.Exec("CREATE TABLE u (a BIGINT, b BIGINT)"); err != nil {
+		return err
+	}
+	insert := func(table string, n int, row func(i int) (int, int)) error {
+		const batch = 500
+		var sb strings.Builder
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			sb.Reset()
+			fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", table)
+			for i := lo; i < hi; i++ {
+				if i > lo {
+					sb.WriteByte(',')
+				}
+				a, b := row(i)
+				fmt.Fprintf(&sb, "(%d, %d)", a, b)
+			}
+			if _, err := sess.Exec(sb.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := insert("t", tRows, func(i int) (int, int) { return i % 10000, (i * 37) % 1000 }); err != nil {
+		return err
+	}
+	return insert("u", uRows, func(i int) (int, int) { return i, (i * 13) % 700 })
+}
+
+// TrendFig aggregates every committed BENCH_PR*.json in the current
+// directory into one performance-trajectory table, so the repo's perf
+// history reads in one place without opening each artifact.
+func TrendFig(w io.Writer) error {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("trend: no BENCH_PR*.json artifacts in the current directory")
+	}
+	sort.Strings(files)
+	fmt.Fprintf(w, "== Performance trajectory: committed BENCH_PR*.json artifacts ==\n")
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("trend: %s: %w", f, err)
+		}
+		figure, _ := doc["figure"].(string)
+		fmt.Fprintf(w, "\n%s  (figure %q)\n", f, figure)
+		keys := make([]string, 0, len(doc))
+		for k := range doc {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			arr, ok := doc[k].([]any)
+			if !ok {
+				continue
+			}
+			wall := 0.0
+			var highlights []string
+			for _, e := range arr {
+				obj, ok := e.(map[string]any)
+				if !ok {
+					continue
+				}
+				if v, ok := obj["wall_seconds"].(float64); ok {
+					wall += v
+				}
+				if sp, ok := obj["speedup"].(float64); ok {
+					name, _ := obj["name"].(string)
+					if wk, ok := obj["workers"].(float64); ok {
+						name = fmt.Sprintf("%s@w%d", name, int(wk))
+					}
+					highlights = append(highlights, fmt.Sprintf("%s %.2fx", name, sp))
+				}
+			}
+			line := fmt.Sprintf("  %-8s %3d entries", k, len(arr))
+			if wall > 0 {
+				line += fmt.Sprintf(", %.1fs total wall", wall)
+			}
+			fmt.Fprintln(w, line)
+			if len(highlights) > 0 {
+				fmt.Fprintf(w, "           speedups: %s\n", strings.Join(highlights, ", "))
+			}
+		}
+	}
+	return nil
+}

@@ -119,6 +119,16 @@ type Options struct {
 	// DisableExprCompile — the batch kernels ride on compiled programs.
 	// Only honoured by OpenEmbedded, like DisableExprCompile.
 	DisableVectorize bool
+	// Workers sets the embedded engine's intra-query parallelism degree:
+	// morsel-driven parallel scans, joins and aggregation over a shared
+	// worker pool. 0 means one worker per CPU (runtime.GOMAXPROCS); 1 is
+	// the serial path. Results are bit-identical at every setting. Only
+	// honoured by OpenEmbedded, like DisableExprCompile.
+	Workers int
+	// DisableParallel forces serial intra-query execution regardless of
+	// Workers. A/B switch for the parallel-ablation benchmarks (results
+	// must be identical either way). Only honoured by OpenEmbedded.
+	DisableParallel bool
 	// OnRound, when set, is called after every completed round/iteration
 	// with the 1-based round number and the number of rows changed in
 	// that round. It runs on the coordinator goroutine.

@@ -50,6 +50,14 @@ type Config struct {
 	// Results are identical either way; this is the A/B switch for the
 	// PR 8 perf experiments.
 	DisableVectorize bool
+	// Workers sets the intra-query parallelism degree: morsel-driven
+	// parallel scans, joins and aggregation fan out over a shared pool of
+	// Workers goroutines. 0 means runtime.GOMAXPROCS(0); 1 is exactly the
+	// serial path. Results are bit-identical at every setting.
+	Workers int
+	// DisableParallel forces serial execution regardless of Workers; this
+	// is the A/B switch for the PR 9 perf experiments.
+	DisableParallel bool
 	// DataDir is where the disk backend keeps its page and WAL files.
 	// Empty means a throwaway temp directory (removed by Close). Ignored
 	// by the in-memory backends.
@@ -57,6 +65,12 @@ type Config struct {
 	// BufferPoolPages bounds the disk backend's buffer pool in 8 KiB
 	// pages, shared across all tables (0 = default 256 = 2 MiB).
 	BufferPoolPages int
+	// WALCheckpointBytes, when positive, starts a background checkpointer
+	// for the disk backend: any table whose write-ahead log grows past
+	// this many bytes is checkpointed (pages flushed, WAL truncated)
+	// without waiting for an explicit Checkpoint call, so long DML-only
+	// runs keep bounded logs. 0 disables the background checkpointer.
+	WALCheckpointBytes int64
 }
 
 // Profile returns the engine configuration that simulates the named
@@ -84,6 +98,10 @@ func Profile(name string) (Config, error) {
 // connection (the paper's "new process per JDBC connection").
 type Engine struct {
 	cfg Config
+
+	// pool runs morsel-parallel query regions; nil when the effective
+	// worker count is 1 (serial execution). Closed (drained) by Close.
+	pool *workerPool
 
 	mu     sync.RWMutex // guards catalog maps
 	tables map[string]*Table
@@ -129,6 +147,12 @@ type Engine struct {
 	pager     *pager.DB
 	pagerDir  string
 	pagerTemp bool
+
+	// ckptStop/ckptDone control the background WAL checkpointer (started
+	// lazily with the pager when Config.WALCheckpointBytes > 0; both nil
+	// otherwise). Guarded by pagerMu.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 
 	// recoverErr is a failed disk-catalog recovery (set once in New,
 	// read-only after); while non-nil every statement errors instead of
@@ -187,10 +211,21 @@ func New(cfg Config) *Engine {
 	case cfg.StmtCacheSize == 0:
 		e.stmts = newStmtCache(defaultStmtCacheSize)
 	}
+	if w := effectiveWorkers(cfg); w > 1 {
+		e.pool = newWorkerPool(w)
+	}
 	if cfg.Backend == storage.KindDisk && cfg.DataDir != "" {
 		e.recoverErr = e.recoverDiskCatalog()
 	}
 	return e
+}
+
+// Workers reports the effective intra-query parallelism degree.
+func (e *Engine) Workers() int {
+	if e.pool == nil {
+		return 1
+	}
+	return e.pool.size
 }
 
 // Dialect reports the engine's SQL dialect profile.
@@ -284,7 +319,56 @@ func (e *Engine) pagerDB() (*pager.DB, error) {
 		return nil, err
 	}
 	e.pager, e.pagerDir = db, dir
+	e.startCheckpointer()
 	return db, nil
+}
+
+// startCheckpointer launches the background WAL checkpointer. Called
+// with pagerMu held, once the pager is open; a no-op unless
+// Config.WALCheckpointBytes is set.
+func (e *Engine) startCheckpointer() {
+	if e.ckptStop != nil || e.cfg.WALCheckpointBytes <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	e.ckptStop, e.ckptDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				e.checkpointOversized()
+			}
+		}
+	}()
+}
+
+// checkpointOversized checkpoints every disk table whose write-ahead
+// log has grown past Config.WALCheckpointBytes. It takes each table's
+// write lock for the duration of its checkpoint, so a checkpoint never
+// observes a statement's partial mutations; the pager's own Commit at
+// statement boundaries means the flushed state is always consistent.
+func (e *Engine) checkpointOversized() {
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	for _, t := range tables {
+		t.mu.Lock()
+		if ds, ok := t.store.(*pager.DiskStore); ok && ds.WALSize() > e.cfg.WALCheckpointBytes {
+			// A dropped or concurrently-closed store errors here; skipping
+			// is harmless — the next tick retries live tables.
+			_ = ds.Checkpoint()
+		}
+		t.mu.Unlock()
+	}
 }
 
 // Checkpoint flushes the disk backend's dirty pages and truncates its
@@ -300,12 +384,22 @@ func (e *Engine) Checkpoint() error {
 	return db.Checkpoint()
 }
 
-// Close releases the disk backend's files (flushing dirty state first)
-// and removes the data directory when the engine created it as a temp
-// dir. In-memory engines have nothing to release.
+// Close drains the worker pool (in-flight parallel morsels finish;
+// queries started after Close run serially), stops the background
+// checkpointer, then releases the disk backend's files (flushing dirty
+// state first) and removes the data directory when the engine created
+// it as a temp dir. Safe to call more than once.
 func (e *Engine) Close() error {
+	if e.pool != nil {
+		e.pool.close()
+	}
 	e.pagerMu.Lock()
 	defer e.pagerMu.Unlock()
+	if e.ckptStop != nil {
+		close(e.ckptStop)
+		<-e.ckptDone
+		e.ckptStop, e.ckptDone = nil, nil
+	}
 	if e.pager == nil {
 		return nil
 	}

@@ -126,7 +126,9 @@ func (x *executor) scanNamed(t *sqlparser.TableName, pushWhere sqlparser.Expr) (
 	})
 	x.work.scanned += int64(len(rows))
 	x.eng.stats.RowsScanned.Add(int64(len(rows)))
-	return &source{frame: f, rows: rows}, nil
+	// scanCharged lets a downstream parallel region move this charge onto
+	// its morsel workers (see takeScanCharge).
+	return &source{frame: f, rows: rows, scanCharged: true}, nil
 }
 
 // indexLookup tries to satisfy a scan via the primary key or a secondary
@@ -241,13 +243,6 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 	nullsRight := make(sqltypes.Row, right.frame.width)
 	joined := int64(0)
 
-	appendJoined := func(ra, rb sqltypes.Row) {
-		row := make(sqltypes.Row, 0, len(ra)+len(rb))
-		row = append(row, ra...)
-		row = append(row, rb...)
-		out.rows = append(out.rows, row)
-	}
-
 	if len(leftKeys) > 0 {
 		// Hash join: build on right, probe from left. Distinct key rows
 		// get dense bucket ids; buildRows holds each bucket's rows.
@@ -255,174 +250,75 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 		for i, ke := range rightKeys {
 			rightProgs[i] = x.prog(ke, right.frame)
 		}
-		build := x.newRowIndex(len(right.rows))
+		var build *rowIndex
 		var buildRows [][]sqltypes.Row
-		renv := &evalEnv{frame: right.frame, x: x}
-		kvals := make(sqltypes.Row, len(rightKeys))
-		for _, rb := range right.rows {
-			renv.row = rb
-			null := false
-			for i, p := range rightProgs {
-				v, err := p(renv)
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() {
-					null = true
-					break
-				}
-				kvals[i] = v
+		if x.parallelOK(len(right.rows)) {
+			var err error
+			build, buildRows, err = x.parBuildJoin(rightProgs, right)
+			if err != nil {
+				return nil, err
 			}
-			if null {
-				continue // NULL keys never match
-			}
-			id, isNew := build.bucket(kvals, false)
-			if isNew {
-				buildRows = append(buildRows, nil)
-			}
-			buildRows[id] = append(buildRows[id], rb)
-		}
-		leftProgs := make([]program, len(leftKeys))
-		for i, ke := range leftKeys {
-			leftProgs[i] = x.prog(ke, left.frame)
-		}
-		resProg := x.residualProg(residual, outFrame)
-		cenv := &evalEnv{frame: outFrame, x: x}
-		combined := make(sqltypes.Row, outFrame.width)
-		// probeRow emits the join output of one probe row against its
-		// matching bucket (nil for NULL keys or no match): the residual
-		// filter, the inner emission, and the left-join NULL padding. Both
-		// the row and the batch probe paths funnel through it.
-		probeRow := func(ra sqltypes.Row, bucket []sqltypes.Row) error {
-			matched := false
-			for _, rb := range bucket {
-				joined++
-				if resProg != nil {
-					copy(combined, ra)
-					copy(combined[len(ra):], rb)
-					cenv.row = combined
-					v, err := resProg(cenv)
-					if err != nil {
-						return err
-					}
-					if !v.IsTrue() {
-						continue
-					}
-				}
-				matched = true
-				appendJoined(ra, rb)
-			}
-			if !matched && j.Type == sqlparser.JoinLeft {
-				appendJoined(ra, nullsRight)
-			}
-			return nil
-		}
-		// rowProbe is the row-at-a-time probe over a slice of left rows:
-		// the whole input when vectorization is off, one batch window when
-		// a batch kernel errored and the window re-runs to reproduce the
-		// interpreter's error ordering.
-		rowProbe := func(rows []sqltypes.Row) error {
-			lenv := &evalEnv{frame: left.frame, x: x}
-			lvals := make(sqltypes.Row, len(leftKeys))
-			for _, ra := range rows {
-				lenv.row = ra
+		} else {
+			build = x.newRowIndex(len(right.rows))
+			renv := &evalEnv{frame: right.frame, x: x}
+			kvals := make(sqltypes.Row, len(rightKeys))
+			for _, rb := range right.rows {
+				renv.row = rb
 				null := false
-				for i, p := range leftProgs {
-					v, err := p(lenv)
+				for i, p := range rightProgs {
+					v, err := p(renv)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					if v.IsNull() {
 						null = true
 						break
 					}
-					lvals[i] = v
+					kvals[i] = v
 				}
-				var bucket []sqltypes.Row
-				if !null {
-					if id := build.lookup(lvals); id >= 0 {
-						bucket = buildRows[id]
-					}
+				if null {
+					continue // NULL keys never match
 				}
-				if err := probeRow(ra, bucket); err != nil {
-					return err
+				id, isNew := build.bucket(kvals, false)
+				if isNew {
+					buildRows = append(buildRows, nil)
 				}
+				buildRows[id] = append(buildRows[id], rb)
 			}
-			return nil
 		}
-		if vp := x.vecJoinPlan(j.On, leftKeys, left.frame); vp != nil {
-			// Batch probe: evaluate the key columns per window, drop
-			// NULL-keyed rows from the selection key-by-key (NULL keys
-			// never match, and later key expressions must not run on them,
-			// matching the row path's early break), hash the surviving
-			// rows column-wise, then probe the build index with the
-			// precomputed hashes in row order.
-			vx := x.newVecExec(left.frame, left.rows)
-			keyVecs := make([]*vec.Vec, len(leftKeys))
-			lvals := make(sqltypes.Row, len(leftKeys))
-			hash := make([]uint64, vec.BatchSize)
-			isKeyed := make([]bool, vec.BatchSize)
-			var selBuf [2][]int
-			cur := vec.NewCursor(len(left.rows))
-			for {
-				lo, hi, ok := cur.Next()
-				if !ok {
-					break
-				}
-				vx.window(lo, hi)
-				cursel := vx.selAll
-				failed := false
-				for k := range keyVecs {
-					v, err := vp.nodes[k].eval(vx, cursel)
-					if err != nil {
-						failed = true
-						break
-					}
-					keyVecs[k] = v
-					nb := selBuf[k&1][:0]
-					for _, i := range cursel {
-						if !v.IsNullAt(i) {
-							nb = append(nb, i)
-						}
-					}
-					selBuf[k&1] = nb
-					cursel = nb
-				}
-				if failed {
-					x.eng.vecFallbacks.Add(1)
-					if err := rowProbe(vx.win); err != nil {
-						return nil, err
-					}
-					continue
-				}
-				for i := 0; i < vx.n; i++ {
-					isKeyed[i] = false
-				}
-				for _, i := range cursel {
-					isKeyed[i] = true
-				}
-				vec.HashInit(hash[:vx.n], cursel)
-				for _, v := range keyVecs {
-					v.HashMix(hash[:vx.n], cursel)
-				}
-				for i := 0; i < vx.n; i++ {
-					var bucket []sqltypes.Row
-					if isKeyed[i] {
-						for k, v := range keyVecs {
-							lvals[k] = v.Get(i)
-						}
-						if id := build.lookupPre(hash[i], lvals); id >= 0 {
-							bucket = buildRows[id]
-						}
-					}
-					if err := probeRow(vx.win[i], bucket); err != nil {
-						return nil, err
-					}
-				}
+		leftProgs := make([]program, len(leftKeys))
+		for i, ke := range leftKeys {
+			leftProgs[i] = x.prog(ke, left.frame)
+		}
+		hj := &hashJoinProbe{
+			joinType:   j.Type,
+			leftFrame:  left.frame,
+			outFrame:   outFrame,
+			leftKeys:   leftKeys,
+			leftProgs:  leftProgs,
+			resProg:    x.residualProg(residual, outFrame),
+			build:      build,
+			buildRows:  buildRows,
+			nullsRight: nullsRight,
+		}
+		vp := x.vecJoinPlan(j.On, leftKeys, left.frame)
+		if x.parallelOK(len(left.rows)) {
+			rows, jn, err := x.parProbeJoin(hj, vp, left)
+			if err != nil {
+				return nil, err
 			}
-		} else if err := rowProbe(left.rows); err != nil {
+			out.rows = rows
+			// The per-row join cost was charged (and slept) inside the
+			// parallel region; only the engine-wide stat remains.
+			x.eng.stats.RowsJoined.Add(jn)
+			return out, nil
+		}
+		rows, jn, err := hj.probeSlice(x, vp, left.rows)
+		if err != nil {
 			return nil, err
 		}
+		out.rows = rows
+		joined = jn
 	} else {
 		// Nested loop.
 		onProg := x.prog(j.On, outFrame)
@@ -441,17 +337,196 @@ func (x *executor) evalJoin(j *sqlparser.JoinExpr) (*source, error) {
 				}
 				if v.IsTrue() {
 					matched = true
-					appendJoined(ra, rb)
+					row := make(sqltypes.Row, 0, len(ra)+len(rb))
+					row = append(row, ra...)
+					row = append(row, rb...)
+					out.rows = append(out.rows, row)
 				}
 			}
 			if !matched && j.Type == sqlparser.JoinLeft {
-				appendJoined(ra, nullsRight)
+				row := make(sqltypes.Row, 0, len(ra)+len(nullsRight))
+				row = append(row, ra...)
+				row = append(row, nullsRight...)
+				out.rows = append(out.rows, row)
 			}
 		}
 	}
 	x.work.joined += joined
 	x.eng.stats.RowsJoined.Add(joined)
 	return out, nil
+}
+
+// hashJoinProbe carries the probe phase's shared, effectively-immutable
+// state: the build index and its buckets, the compiled key and residual
+// programs, and the join shape. probeSlice runs the probe over a slice
+// of left rows with per-call environments and buffers, so the serial
+// probe and every parallel morsel share one code path (and, per morsel,
+// identical window boundaries — morselRows is a multiple of
+// vec.BatchSize).
+type hashJoinProbe struct {
+	joinType   sqlparser.JoinType
+	leftFrame  *frame
+	outFrame   *frame
+	leftKeys   []sqlparser.Expr
+	leftProgs  []program
+	resProg    program
+	build      *rowIndex
+	buildRows  [][]sqltypes.Row
+	nullsRight sqltypes.Row
+}
+
+// probeSlice probes the build index with rows, returning the joined
+// output in probe-row order and the matched-pair count. x is the
+// executor the probe's environments evaluate under (a morsel's child
+// executor on the parallel path). vp, when non-nil, enables the batch
+// key-evaluation probe; errors fall back to the row probe per window,
+// reproducing the interpreter's error ordering.
+func (hj *hashJoinProbe) probeSlice(x *executor, vp *vplan, rows []sqltypes.Row) ([]sqltypes.Row, int64, error) {
+	var out []sqltypes.Row
+	joined := int64(0)
+	cenv := &evalEnv{frame: hj.outFrame, x: x}
+	combined := make(sqltypes.Row, hj.outFrame.width)
+	appendJoined := func(ra, rb sqltypes.Row) {
+		row := make(sqltypes.Row, 0, len(ra)+len(rb))
+		row = append(row, ra...)
+		row = append(row, rb...)
+		out = append(out, row)
+	}
+	// probeRow emits the join output of one probe row against its
+	// matching bucket (nil for NULL keys or no match): the residual
+	// filter, the inner emission, and the left-join NULL padding. Both
+	// the row and the batch probe paths funnel through it.
+	probeRow := func(ra sqltypes.Row, bucket []sqltypes.Row) error {
+		matched := false
+		for _, rb := range bucket {
+			joined++
+			if hj.resProg != nil {
+				copy(combined, ra)
+				copy(combined[len(ra):], rb)
+				cenv.row = combined
+				v, err := hj.resProg(cenv)
+				if err != nil {
+					return err
+				}
+				if !v.IsTrue() {
+					continue
+				}
+			}
+			matched = true
+			appendJoined(ra, rb)
+		}
+		if !matched && hj.joinType == sqlparser.JoinLeft {
+			appendJoined(ra, hj.nullsRight)
+		}
+		return nil
+	}
+	// rowProbe is the row-at-a-time probe over a slice of left rows:
+	// the whole input when vectorization is off, one batch window when
+	// a batch kernel errored and the window re-runs to reproduce the
+	// interpreter's error ordering.
+	rowProbe := func(rows []sqltypes.Row) error {
+		lenv := &evalEnv{frame: hj.leftFrame, x: x}
+		lvals := make(sqltypes.Row, len(hj.leftKeys))
+		for _, ra := range rows {
+			lenv.row = ra
+			null := false
+			for i, p := range hj.leftProgs {
+				v, err := p(lenv)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				lvals[i] = v
+			}
+			var bucket []sqltypes.Row
+			if !null {
+				if id := hj.build.lookup(lvals); id >= 0 {
+					bucket = hj.buildRows[id]
+				}
+			}
+			if err := probeRow(ra, bucket); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if vp != nil {
+		// Batch probe: evaluate the key columns per window, drop
+		// NULL-keyed rows from the selection key-by-key (NULL keys
+		// never match, and later key expressions must not run on them,
+		// matching the row path's early break), hash the surviving
+		// rows column-wise, then probe the build index with the
+		// precomputed hashes in row order.
+		vx := x.newVecExec(hj.leftFrame, rows)
+		keyVecs := make([]*vec.Vec, len(hj.leftKeys))
+		lvals := make(sqltypes.Row, len(hj.leftKeys))
+		hash := make([]uint64, vec.BatchSize)
+		isKeyed := make([]bool, vec.BatchSize)
+		var selBuf [2][]int
+		cur := vec.NewCursor(len(rows))
+		for {
+			lo, hi, ok := cur.Next()
+			if !ok {
+				break
+			}
+			vx.window(lo, hi)
+			cursel := vx.selAll
+			failed := false
+			for k := range keyVecs {
+				v, err := vp.nodes[k].eval(vx, cursel)
+				if err != nil {
+					failed = true
+					break
+				}
+				keyVecs[k] = v
+				nb := selBuf[k&1][:0]
+				for _, i := range cursel {
+					if !v.IsNullAt(i) {
+						nb = append(nb, i)
+					}
+				}
+				selBuf[k&1] = nb
+				cursel = nb
+			}
+			if failed {
+				x.eng.vecFallbacks.Add(1)
+				if err := rowProbe(vx.win); err != nil {
+					return nil, 0, err
+				}
+				continue
+			}
+			for i := 0; i < vx.n; i++ {
+				isKeyed[i] = false
+			}
+			for _, i := range cursel {
+				isKeyed[i] = true
+			}
+			vec.HashInit(hash[:vx.n], cursel)
+			for _, v := range keyVecs {
+				v.HashMix(hash[:vx.n], cursel)
+			}
+			for i := 0; i < vx.n; i++ {
+				var bucket []sqltypes.Row
+				if isKeyed[i] {
+					for k, v := range keyVecs {
+						lvals[k] = v.Get(i)
+					}
+					if id := hj.build.lookupPre(hash[i], lvals); id >= 0 {
+						bucket = hj.buildRows[id]
+					}
+				}
+				if err := probeRow(vx.win[i], bucket); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	} else if err := rowProbe(rows); err != nil {
+		return nil, 0, err
+	}
+	return out, joined, nil
 }
 
 // splitEquiConjuncts decomposes an ON clause into hash-joinable key

@@ -315,9 +315,14 @@ func encodeRowKey(r sqltypes.Row) string {
 }
 
 // source is a materialized FROM item: a frame plus its rows.
+// scanCharged marks a source whose rows were already billed to
+// work.scanned by a full table scan; the morsel dispatcher uses it to
+// move that charge onto the workers so the cost model's sleeps overlap
+// (see takeScanCharge).
 type source struct {
-	frame *frame
-	rows  []sqltypes.Row
+	frame       *frame
+	rows        []sqltypes.Row
+	scanCharged bool
 }
 
 // outRow pairs a projected output row with the environment it was
@@ -354,7 +359,13 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 	// WHERE (before star expansion, matching interpreter error order).
 	if s.Where != nil {
 		if vp := x.vecPlanFor(s.Where, src.frame); vp != nil {
-			kept, err := x.vecFilter(vp, s.Where, src)
+			var kept []sqltypes.Row
+			var err error
+			if x.parallelOK(len(src.rows)) {
+				kept, err = x.vecFilterPar(vp, s.Where, src)
+			} else {
+				kept, err = x.vecFilter(vp, s.Where, src)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -418,8 +429,15 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 		var vaggs []*vecAgg
 		var vecAggIdx map[*sqlparser.FuncCall]int
 		vecDone := false
+		parCharged := false // morsel workers already billed work.grouped
 		if x.vecOK() && plan.vecGB != nil {
-			groups, vaggs, vecDone = x.vecGroup(plan, src)
+			if x.parallelOK(len(src.rows)) {
+				groups, vaggs, vecDone = x.vecGroupPar(plan, src)
+				parCharged = vecDone
+			}
+			if !vecDone {
+				groups, vaggs, _, vecDone = x.vecGroup(plan, src)
+			}
 		}
 		if vecDone {
 			vecAggIdx = make(map[*sqlparser.FuncCall]int, len(plan.vecAggs))
@@ -467,10 +485,16 @@ func (x *executor) evalSelect(s *sqlparser.Select) (*relation, error) {
 				return nil, err
 			}
 			outputs = append(outputs, outRow{row: row, env: env})
-			x.work.grouped += g.size()
+			if !parCharged {
+				x.work.grouped += g.size()
+			}
 		}
 	} else if x.vecOK() && plan.vecItems.useVec() && (len(plan.orderFns) == 0 || plan.orderRowOnly) {
-		outputs, err = x.vecProject(plan, src)
+		if x.parallelOK(len(src.rows)) {
+			outputs, err = x.vecProjectPar(plan, src)
+		} else {
+			outputs, err = x.vecProject(plan, src)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -417,6 +417,15 @@ func (s *DiskStore) Commit() error {
 	return s.wal.commit()
 }
 
+// WALSize reports the store's current write-ahead-log size in bytes
+// (the logical end offset; resets to the header size on checkpoint).
+// The engine's background checkpointer polls it against its threshold.
+func (s *DiskStore) WALSize() int64 {
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.size
+}
+
 // Checkpoint is the WAL↔checkpoint truncation contract: commit, flush
 // every dirty page, fsync the page file, then reset the log — after a
 // checkpoint, recovery has nothing to replay.

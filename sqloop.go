@@ -176,9 +176,12 @@ type openConfig struct {
 	noStmtCache   bool
 	noExprCompile bool
 	noVectorize   bool
+	noParallel    bool
+	workers       int
 	backend       string
 	dataDir       string
 	poolPages     int
+	walCkptBytes  int64
 
 	// Serving-layer knobs (Serve only; OpenEmbedded has no sessions to
 	// pool and ignores them).
@@ -279,6 +282,31 @@ func WithoutVectorize() OpenOption {
 	return func(c *openConfig) { c.noVectorize = true }
 }
 
+// WithWorkers sets the embedded engine's intra-query parallelism
+// degree (the option-API form of Options.Workers, and the only form
+// Serve accepts): morsel-driven parallel scans, joins and aggregation
+// over a shared pool of n goroutines. 0 means one worker per CPU; 1 is
+// exactly the serial path. Results are bit-identical at every setting.
+func WithWorkers(n int) OpenOption {
+	return func(c *openConfig) { c.workers = n }
+}
+
+// WithoutParallel disables morsel-driven intra-query parallelism (the
+// option-API form of Options.DisableParallel, and the only form Serve
+// accepts) — the A/B baseline for the parallel-ablation benchmarks.
+func WithoutParallel() OpenOption {
+	return func(c *openConfig) { c.noParallel = true }
+}
+
+// WithWALCheckpointBytes starts the embedded disk backend's background
+// checkpointer: a table whose write-ahead log grows past n bytes is
+// checkpointed (pages flushed, WAL truncated) without waiting for a
+// middleware snapshot, keeping long DML-only runs' logs bounded. 0
+// (the default) leaves checkpointing to explicit Checkpoint calls.
+func WithWALCheckpointBytes(n int64) OpenOption {
+	return func(c *openConfig) { c.walCkptBytes = n }
+}
+
 func applyOpenOptions(extra []OpenOption) openConfig {
 	var c openConfig
 	for _, o := range extra {
@@ -333,6 +361,14 @@ func OpenEmbedded(profile string, opts Options, extra ...OpenOption) (*SQLoop, e
 	if oc.noVectorize || opts.DisableVectorize {
 		cfg.DisableVectorize = true
 	}
+	if oc.noParallel || opts.DisableParallel {
+		cfg.DisableParallel = true
+	}
+	cfg.Workers = opts.Workers
+	if oc.workers != 0 {
+		cfg.Workers = oc.workers
+	}
+	cfg.WALCheckpointBytes = oc.walCkptBytes
 	if oc.observer != nil {
 		opts.Observer = obs.Multi(opts.Observer, oc.observer)
 	}
@@ -428,6 +464,11 @@ func Serve(profile, addr string, extra ...OpenOption) (*Server, error) {
 	if oc.noVectorize {
 		cfg.DisableVectorize = true
 	}
+	if oc.noParallel {
+		cfg.DisableParallel = true
+	}
+	cfg.Workers = oc.workers
+	cfg.WALCheckpointBytes = oc.walCkptBytes
 	if err := applyStorageOptions(&cfg, oc, "", 0); err != nil {
 		return nil, err
 	}
