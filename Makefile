@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par fuzz crash tier1 bench bench-smoke bench-traffic bench-trend check-deprecated clean
+.PHONY: all build vet test race race-par race-elastic fuzz crash tier1 bench bench-smoke bench-traffic bench-trend check-deprecated clean
 
 all: tier1
 
@@ -28,6 +28,14 @@ race:
 race-par:
 	$(GO) test -race -cpu 1,2,4 -run 'TestParallel|TestEngineClose|TestBackgroundCheckpointer|TestEffectiveWorkers' ./internal/engine
 
+# Elastic shards under varying GOMAXPROCS: the fault matrix (shard kills
+# at round boundaries and mid-exchange with standby failover), the
+# rebalance-during-iteration differential suite and the router/group
+# membership race.
+race-elastic:
+	$(GO) test -race -cpu 1,2,4 -run 'TestElastic|TestRouterElasticRace' -count=1 .
+	$(GO) test -race -cpu 1,2,4 -run 'TestShardedRebalance|TestShardedRepartition|TestShardedHandoff|TestShardedMalformedGroupSnapshot|TestElasticGroupValidation' -count=1 ./internal/core
+
 # The snapshot codec must reject arbitrary corruption without panicking,
 # the shard router must stay bit-compatible with the engine's PARTHASH
 # for every key and shard count, and the WAL record codec must decode
@@ -54,7 +62,7 @@ check-deprecated: vet
 		|| { echo 'legacy SetDSN* setter used outside internal/driver'; exit 1; }
 
 # Tier-1 verification (ROADMAP.md): everything must stay green.
-tier1: build vet test race race-par crash check-deprecated
+tier1: build vet test race race-par race-elastic crash check-deprecated
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -19,8 +19,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards, traffic, io, vec, par, trend or all")
-	out := flag.String("out", "", "output path for the -fig pr4 / shards / traffic / io / vec / par report")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, rounds, stmtcache, pr4, shards, traffic, io, vec, par, elastic, trend or all")
+	out := flag.String("out", "", "output path for the -fig pr4 / shards / traffic / io / vec / par / elastic report")
 	query := flag.String("query", "all", "workload within the figure: pr, sssp, dq or all")
 	quick := flag.Bool("quick", false, "smoke-scale run (pgsim only, small graphs)")
 	nocost := flag.Bool("nocost", false, "disable the calibrated latency model")
@@ -65,6 +65,8 @@ func main() {
 			*out = "BENCH_PR8.json"
 		case "par":
 			*out = "BENCH_PR9.json"
+		case "elastic":
+			*out = "BENCH_PR10.json"
 		default:
 			*out = "BENCH_PR4.json"
 		}
@@ -143,6 +145,11 @@ func run(fig, query, out string, sc bench.Scale) error {
 	}
 	if fig == "par" {
 		if err := bench.PR9Fig(ctx, w, sc, out); err != nil {
+			return err
+		}
+	}
+	if fig == "elastic" {
+		if err := bench.ElasticFig(ctx, w, sc, out); err != nil {
 			return err
 		}
 	}

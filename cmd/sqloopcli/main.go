@@ -15,6 +15,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +35,9 @@ func run() error {
 		modeName  = flag.String("mode", "auto", "execution mode: auto, single, sync, async, asyncp")
 		threads   = flag.Int("threads", 0, "worker threads (0: half the CPUs)")
 		shards    = flag.Int("shards", 1, "embedded engine endpoints; >1 runs iterative CTEs scale-out across a shard group")
+		replicas  = flag.Int("replicas", 0, "standby replica endpoints for the shard group (failover + rebalance headroom)")
+		rebalance = flag.String("rebalance", "", "scheduled online repartitions, 'afterRound:shards[,afterRound:shards...]' (e.g. '3:4' grows 2 shards to 4 after round 3)")
+		handoff   = flag.Bool("handoff", false, "asyncp shard groups: enable straggler work handoff")
 		parts     = flag.Int("partitions", 0, "hash partitions (0: 256)")
 		prio      = flag.String("priority", "", "AsyncP priority query ($PART placeholder)")
 		exec      = flag.String("e", "", "SQL to execute")
@@ -78,6 +82,12 @@ func run() error {
 	}
 	opts.Workers = *workers
 
+	steps, err := parseRebalance(*rebalance)
+	if err != nil {
+		return err
+	}
+	gopts := sqloop.ShardGroupOptions{Rebalance: steps, Handoff: *handoff}
+
 	var db *sqloop.SQLoop
 	var group *sqloop.ShardGroup
 	if *dsn != "" {
@@ -106,11 +116,14 @@ func run() error {
 			extra = append(extra, sqloop.WithWorkers(*workers))
 		}
 		if *shards > 1 {
-			group, err = sqloop.OpenEmbeddedShards(*profile, *shards, opts, extra...)
+			group, err = sqloop.OpenEmbeddedElasticShards(*profile, *shards, *replicas, gopts, opts, extra...)
 			if err == nil {
 				db = group.Shard(0)
 			}
 		} else {
+			if *replicas > 0 || len(steps) > 0 || *handoff {
+				return fmt.Errorf("-replicas/-rebalance/-handoff need a shard group; set -shards > 1")
+			}
 			db, err = sqloop.OpenEmbedded(*profile, opts, extra...)
 		}
 	}
@@ -215,6 +228,10 @@ func run() error {
 		if res.Stats.ShardCount > 1 {
 			fmt.Printf(", %d shards (%d rows exchanged)", res.Stats.ShardCount, res.Stats.CrossShardRows)
 		}
+		if res.Stats.Failovers > 0 || res.Stats.Rebalances > 0 || res.Stats.Handoffs > 0 {
+			fmt.Printf(", elastic: %d failovers, %d rebalances, %d handoffs",
+				res.Stats.Failovers, res.Stats.Rebalances, res.Stats.Handoffs)
+		}
 		if res.Stats.FallbackReason != "" {
 			fmt.Printf(" (fell back to single-threaded: %s)", res.Stats.FallbackReason)
 		}
@@ -231,12 +248,39 @@ func run() error {
 }
 
 // dataTargets lists the instances a dataset load must reach: the single
-// instance, or every endpoint of a shard group.
+// instance, or every endpoint of a shard group — standbys included, so
+// base relations are already in place when a replica is promoted by
+// failover or an online rebalance.
 func dataTargets(db *sqloop.SQLoop, group *sqloop.ShardGroup) []*sqloop.SQLoop {
 	if group == nil {
 		return []*sqloop.SQLoop{db}
 	}
-	return group.Shards()
+	return append(group.Shards(), group.Standbys()...)
+}
+
+// parseRebalance parses the -rebalance schedule: comma-separated
+// "afterRound:shards" pairs.
+func parseRebalance(s string) ([]sqloop.RebalanceStep, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var steps []sqloop.RebalanceStep
+	for _, part := range strings.Split(s, ",") {
+		at, to, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("-rebalance %q: want 'afterRound:shards'", part)
+		}
+		round, err := strconv.Atoi(at)
+		if err != nil {
+			return nil, fmt.Errorf("-rebalance %q: %v", part, err)
+		}
+		n, err := strconv.Atoi(to)
+		if err != nil {
+			return nil, fmt.Errorf("-rebalance %q: %v", part, err)
+		}
+		steps = append(steps, sqloop.RebalanceStep{AfterRound: round, Shards: n})
+	}
+	return steps, nil
 }
 
 // repl reads statements from stdin. SQL accumulates until a line ends

@@ -1,0 +1,368 @@
+package sqloop_test
+
+// The elastic-shard fault matrix: sharded executions over killable wire
+// servers, with standby replicas taking over mid-query. Each cell kills
+// shard 0 at a round boundary and shard 1 mid-exchange, across three
+// algorithm families (MIN path sums, MIN label propagation, exact
+// dyadic SUM), all three storage profiles and all three parallel modes
+// — and the recovered result must match the undisturbed single-node
+// run type-for-type and bit-for-bit. Rebalance conformance on embedded
+// engines lives in internal/core; this file owns everything that needs
+// an endpoint to die for real.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqloop"
+	"sqloop/internal/driver"
+)
+
+const elasticSSSP = `
+WITH ITERATIVE sssp(Node, Distance, Delta) AS (
+  SELECT src, CASE WHEN src = 1 THEN 0.0 ELSE Infinity END,
+         CASE WHEN src = 1 THEN 0.0 ELSE Infinity END
+  FROM (SELECT src FROM edges UNION SELECT dst AS src FROM edges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, sssp.Delta),
+         COALESCE(MIN(Neighbor.Distance + IncomingEdges.weight), Infinity)
+  FROM sssp
+  LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst
+  LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY sssp.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Distance FROM sssp ORDER BY Node`
+
+const elasticCC = `
+WITH ITERATIVE cc(Node, Label, Delta) AS (
+  SELECT src, src + 0.0, src + 0.0
+  FROM (SELECT src FROM biedges UNION SELECT dst AS src FROM biedges) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT cc.Node,
+         LEAST(cc.Label, cc.Delta),
+         COALESCE(MIN(Neighbor.Delta + Links.weight), Infinity)
+  FROM cc
+  LEFT JOIN biedges AS Links ON cc.Node = Links.dst
+  LEFT JOIN cc AS Neighbor ON Neighbor.Node = Links.src
+  WHERE Neighbor.Delta != Infinity
+  GROUP BY cc.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Label FROM cc ORDER BY Node`
+
+const elasticDAGRank = `
+WITH ITERATIVE dagrank(Node, Rank, Delta) AS (
+  SELECT src, 0.0, 0.25
+  FROM (SELECT src FROM dag UNION SELECT dst AS src FROM dag) AS alledges
+  GROUP BY src
+  ITERATE
+  SELECT dagrank.Node,
+         COALESCE(dagrank.Rank + dagrank.Delta, 0.25),
+         COALESCE(0.5 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)
+  FROM dagrank
+  LEFT JOIN dag AS IncomingEdges ON dagrank.Node = IncomingEdges.dst
+  LEFT JOIN dagrank AS IncomingRank ON IncomingRank.Node = IncomingEdges.src
+  GROUP BY dagrank.Node
+  UNTIL 0 UPDATES
+)
+SELECT Node, Rank + Delta AS Rank FROM dagrank ORDER BY Node`
+
+// loadElasticFixtures creates the conformance relations through exec so
+// a group broadcast replicates them to every shard and standby.
+func loadElasticFixtures(t *testing.T, exec func(string) (*sqloop.Result, error)) {
+	t.Helper()
+	must := func(q string) {
+		t.Helper()
+		if _, err := exec(q); err != nil {
+			t.Fatalf("fixture %q: %v", q, err)
+		}
+	}
+	edges := [][3]any{
+		{1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 2.0}, {4, 5, 1.0}, {5, 6, 3.0},
+		{6, 2, 1.0}, {1, 7, 10.0}, {7, 6, 1.0}, {3, 8, 2.0}, {8, 9, 1.0},
+		{9, 10, 1.0}, {10, 8, 4.0},
+		{20, 21, 1.0}, {21, 22, 2.0}, {22, 20, 1.0},
+	}
+	must(`CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)`)
+	must(`CREATE TABLE biedges (src BIGINT, dst BIGINT, weight DOUBLE)`)
+	must(`CREATE TABLE dag (src BIGINT, dst BIGINT, weight DOUBLE)`)
+	var rows, birows []string
+	nodes := map[int]bool{}
+	for _, e := range edges {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %g)", e[0], e[1], e[2]))
+		birows = append(birows,
+			fmt.Sprintf("(%d, %d, 0.0)", e[0], e[1]),
+			fmt.Sprintf("(%d, %d, 0.0)", e[1], e[0]))
+		nodes[e[0].(int)], nodes[e[1].(int)] = true, true
+	}
+	// Self-loops keep synchronous min-propagation monotone (see the
+	// sharded differential suite in internal/core).
+	for n := range nodes {
+		birows = append(birows, fmt.Sprintf("(%d, %d, 0.0)", n, n))
+	}
+	must(`INSERT INTO edges VALUES ` + strings.Join(rows, ", "))
+	must(`INSERT INTO biedges VALUES ` + strings.Join(birows, ", "))
+	dag := [][2]int{
+		{1, 2}, {1, 3}, {2, 4}, {2, 5}, {3, 5}, {3, 6}, {4, 7}, {5, 7},
+		{5, 8}, {6, 8}, {7, 9}, {7, 10}, {8, 10}, {9, 11}, {10, 11}, {10, 12},
+	}
+	outdeg := map[int]int{}
+	for _, e := range dag {
+		outdeg[e[0]]++
+	}
+	var dagRows []string
+	for _, e := range dag {
+		dagRows = append(dagRows, fmt.Sprintf("(%d, %d, %g)", e[0], e[1], 1.0/float64(outdeg[e[0]])))
+	}
+	must(`INSERT INTO dag VALUES ` + strings.Join(dagRows, ", "))
+}
+
+// wireShards starts n+standbys wire servers of the profile and opens a
+// SQLoop per server with fast reconnect policies. Returned servers are
+// index-aligned with the instances: servers[i] backs instances[i].
+func wireShards(t *testing.T, profile string, n int, opts sqloop.Options) (servers []*sqloop.Server, instances []*sqloop.SQLoop) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		srv, err := sqloop.Serve(profile, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		dsn := srv.DSN()
+		driver.Configure(dsn, driver.Config{Retry: driver.RetryPolicy{
+			MaxAttempts: 4, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
+		}})
+		t.Cleanup(func() { driver.Configure(dsn, driver.Config{}) })
+		s, err := sqloop.Open(dsn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		servers = append(servers, srv)
+		instances = append(instances, s)
+	}
+	return servers, instances
+}
+
+// requireIdenticalResults compares two results for type-exact bit
+// identity: columns, row count, row order and the Go type and value of
+// every cell.
+func requireIdenticalResults(t *testing.T, want, got *sqloop.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Columns, got.Columns) {
+		t.Fatalf("columns differ: want %v, got %v", want.Columns, got.Columns)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("row counts differ: want %d, got %d", len(want.Rows), len(got.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			w, g := want.Rows[i][j], got.Rows[i][j]
+			if reflect.TypeOf(w) != reflect.TypeOf(g) || !reflect.DeepEqual(w, g) {
+				t.Fatalf("row %d col %d: want %T(%v), got %T(%v)", i, j, w, w, g, g)
+			}
+		}
+	}
+}
+
+// singleNodeWireReference executes the query undisturbed on one wire
+// server in ModeSingle (same transport, same type decoding as the
+// faulted group runs).
+func singleNodeWireReference(t *testing.T, profile, query string) *sqloop.Result {
+	t.Helper()
+	_, inst := wireShards(t, profile, 1, sqloop.Options{Mode: sqloop.ModeSingle})
+	ctx := context.Background()
+	loadElasticFixtures(t, func(q string) (*sqloop.Result, error) { return inst[0].Exec(ctx, q) })
+	res, err := inst[0].Exec(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestElasticFaultMatrix is the headline conformance suite: for every
+// algorithm × profile × mode cell, a 2-shard group with 2 standby
+// replicas runs the fix point while shard 0's server dies at the first
+// round boundary and shard 1's server dies mid-exchange during the
+// replay. Both failovers must complete and the final result must be
+// type-exact identical to the undisturbed single-node run.
+func TestElasticFaultMatrix(t *testing.T) {
+	queries := []struct{ name, query string }{
+		{"sssp", elasticSSSP},
+		{"cc", elasticCC},
+		{"dagrank", elasticDAGRank},
+	}
+	modes := []struct {
+		name string
+		mode sqloop.Mode
+	}{
+		{"sync", sqloop.ModeSync},
+		{"async", sqloop.ModeAsync},
+		{"asyncp", sqloop.ModeAsyncPrio},
+	}
+	for _, profile := range sqloop.Profiles() {
+		for _, q := range queries {
+			for _, m := range modes {
+				t.Run(fmt.Sprintf("%s/%s/%s", profile, q.name, m.name), func(t *testing.T) {
+					t.Parallel()
+					want := singleNodeWireReference(t, profile, q.query)
+
+					opts := sqloop.Options{Mode: m.mode}
+					servers, instances := wireShards(t, profile, 4, opts)
+
+					var boundaryKill, exchangeKill atomic.Bool
+					rec := &sqloop.Recorder{}
+					observer := sqloop.MultiTracer(rec, sqloop.FuncTracer(func(ev sqloop.Event) {
+						switch e := ev.(type) {
+						case sqloop.RoundEndEvent:
+							// Kill shard 0 at the first round boundary.
+							if e.Round == 1 && boundaryKill.CompareAndSwap(false, true) {
+								_ = servers[0].Close()
+							}
+						case sqloop.ShardExchangeEvent:
+							// Kill shard 1 mid-exchange once the replay is past
+							// the checkpointed cut.
+							if e.Round >= 2 && boundaryKill.Load() &&
+								exchangeKill.CompareAndSwap(false, true) {
+								_ = servers[1].Close()
+							}
+						}
+					}))
+					opts.Observer = observer
+					opts.Checkpoint = sqloop.CheckpointOptions{
+						Dir: t.TempDir(), EveryRounds: 1, RetryBackoff: time.Millisecond,
+					}
+					group, err := sqloop.NewElasticShardGroup(instances[:2], sqloop.ShardGroupOptions{
+						Replicas:     instances[2:],
+						ProbeTimeout: time.Second,
+					}, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ctx := context.Background()
+					loadElasticFixtures(t, func(qq string) (*sqloop.Result, error) {
+						return group.Exec(ctx, qq)
+					})
+
+					res, err := group.Exec(ctx, q.query)
+					if err != nil {
+						t.Fatalf("query did not survive the shard kills: %v", err)
+					}
+					if !boundaryKill.Load() {
+						t.Fatal("the round-boundary kill never fired")
+					}
+					requireIdenticalResults(t, want, res)
+					if res.Stats.Recoveries < 1 {
+						t.Errorf("Recoveries = %d, want >= 1", res.Stats.Recoveries)
+					}
+					if res.Stats.Failovers < 1 {
+						t.Errorf("Stats.Failovers = %d, want >= 1", res.Stats.Failovers)
+					}
+					if n := rec.Count("shard_failover"); n != res.Stats.Failovers {
+						t.Errorf("shard_failover events = %d, stats say %d", n, res.Stats.Failovers)
+					}
+					snap := group.Metrics().Snapshot()
+					if n := snap.Counters["sqloop_shard_failovers_total"]; n != int64(res.Stats.Failovers) {
+						t.Errorf("sqloop_shard_failovers_total = %d, want %d", n, res.Stats.Failovers)
+					}
+					if group.Epoch() < int64(res.Stats.Failovers) {
+						t.Errorf("Epoch = %d, want >= %d", group.Epoch(), res.Stats.Failovers)
+					}
+					if rec.Count("restore") < 1 {
+						t.Error("no restore event: failover did not replay from the checkpoint")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestElasticFailoverExhausted pins the graceful-degradation contract:
+// with no standby replicas left, a killed shard surfaces a retry-
+// exhausted error — never a panic, never a wrong result.
+func TestElasticFailoverExhausted(t *testing.T) {
+	opts := sqloop.Options{Mode: sqloop.ModeSync}
+	servers, instances := wireShards(t, "pgsim", 2, opts)
+
+	var killed atomic.Bool
+	rec := &sqloop.Recorder{}
+	opts.Observer = sqloop.MultiTracer(rec, sqloop.FuncTracer(func(ev sqloop.Event) {
+		if e, ok := ev.(sqloop.RoundEndEvent); ok && e.Round == 1 &&
+			killed.CompareAndSwap(false, true) {
+			_ = servers[1].Close()
+		}
+	}))
+	opts.Checkpoint = sqloop.CheckpointOptions{
+		Dir: t.TempDir(), EveryRounds: 1, RetryBackoff: time.Millisecond, MaxRecoveries: 2,
+	}
+	group, err := sqloop.NewElasticShardGroup(instances, sqloop.ShardGroupOptions{
+		ProbeTimeout: 500 * time.Millisecond,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	loadElasticFixtures(t, func(q string) (*sqloop.Result, error) { return group.Exec(ctx, q) })
+	if _, err := group.Exec(ctx, elasticSSSP); err == nil {
+		t.Fatal("a dead shard with no standbys must fail the execution")
+	}
+	if rec.Count("retry") < 1 {
+		t.Errorf("retry events = %d, want >= 1", rec.Count("retry"))
+	}
+	if rec.Count("shard_failover") != 0 {
+		t.Errorf("shard_failover events = %d, want 0 without standbys", rec.Count("shard_failover"))
+	}
+}
+
+// TestRouterElasticRace races Router.RemoveTarget and Router.AddTarget
+// against an in-flight ShardGroup execution. Removing a target closes
+// its instance under the group, which must surface as a clean error or
+// a completed result — never a panic (run under -race).
+func TestRouterElasticRace(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			r := sqloop.NewRouter()
+			defer r.Close()
+			for i := 0; i < 3; i++ {
+				if err := r.AddEmbeddedTarget(fmt.Sprintf("shard%d", i), "pgsim",
+					sqloop.Options{Mode: sqloop.ModeSync}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			group, err := r.ShardGroup(sqloop.Options{Mode: sqloop.ModeSync},
+				"shard0", "shard1", "shard2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			loadElasticFixtures(t, func(q string) (*sqloop.Result, error) {
+				return group.Exec(ctx, q)
+			})
+
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				// Either outcome is legal; panicking is not.
+				_, _ = group.Exec(ctx, elasticSSSP)
+			}()
+			go func() {
+				defer wg.Done()
+				_ = r.RemoveTarget("shard2")
+				_ = r.AddEmbeddedTarget("shard3", "pgsim", sqloop.Options{Mode: sqloop.ModeSync})
+			}()
+			wg.Wait()
+		})
+	}
+}

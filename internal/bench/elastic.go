@@ -1,0 +1,400 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"sqloop/internal/core"
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/graph"
+	"sqloop/internal/obs"
+	"sqloop/internal/wire"
+)
+
+// ElasticRun is one elasticity measurement in BENCH_PR10.json: either a
+// failover cell (a shard endpoint dies mid-round and a standby takes
+// over) or a rebalance cell (the group repartitions 2→4 online). Every
+// cell carries an identical-result gate against an undisturbed
+// single-node run over the same transport.
+type ElasticRun struct {
+	Figure      string  `json:"figure"` // elastic-failover | elastic-rebalance
+	Backend     string  `json:"backend"`
+	Profile     string  `json:"profile"`
+	Mode        string  `json:"mode"`
+	Shards      int     `json:"shards"`
+	Standbys    int     `json:"standbys,omitempty"`
+	ToShards    int     `json:"to_shards,omitempty"`
+	Rounds      int     `json:"rounds"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Failover cells.
+	Failovers       int     `json:"failovers,omitempty"`
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+
+	// Rebalance cells.
+	Rebalances         int     `json:"rebalances,omitempty"`
+	RebalanceSeconds   float64 `json:"rebalance_seconds,omitempty"`
+	RowsMoved          int64   `json:"rows_moved,omitempty"`
+	RoundsPerSecBefore float64 `json:"rounds_per_sec_before,omitempty"`
+	RoundsPerSecAfter  float64 `json:"rounds_per_sec_after,omitempty"`
+
+	Identical bool `json:"identical"`
+}
+
+// ElasticReport is the top-level BENCH_PR10.json document (schema in
+// EXPERIMENTS.md).
+type ElasticReport struct {
+	Figure string       `json:"figure"`
+	Runs   []ElasticRun `json:"runs"`
+}
+
+// sameResults is the identical-result gate: column names, row count,
+// row order and the Go type and value of every cell must agree.
+func sameResults(a, b *core.Result) bool {
+	if a == nil || b == nil || len(a.Columns) != len(b.Columns) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if fmt.Sprintf("%T|%v", a.Rows[i][j], a.Rows[i][j]) !=
+				fmt.Sprintf("%T|%v", b.Rows[i][j], b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// wireInstance starts one killable wire endpoint and opens a SQLoop
+// over TCP with fast reconnect policies. The returned cleanup closes
+// the instance, server and DSN override.
+func wireInstance(cfg engine.Config, opts core.Options) (*wire.Server, *core.SQLoop, func(), error) {
+	srv := wire.NewServer(engine.New(cfg))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dsn := driver.TCPDSN(addr)
+	driver.Configure(dsn, driver.Config{Retry: driver.RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+	}})
+	s, err := core.Open(driver.DriverName, dsn, opts)
+	if err != nil {
+		driver.Configure(dsn, driver.Config{})
+		_ = srv.Close()
+		return nil, nil, nil, err
+	}
+	cleanup := func() {
+		_ = s.Close()
+		_ = srv.Close()
+		driver.Configure(dsn, driver.Config{})
+	}
+	return srv, s, cleanup, nil
+}
+
+// elasticFailoverCell runs SSSP on 2 wire shards with one standby,
+// kills shard 0's server at the end of round 2, and measures how long
+// the group takes from the kill to the first completed round on the
+// promoted replica.
+func elasticFailoverCell(ctx context.Context, cfg Config, query string) (ElasticRun, error) {
+	run := ElasticRun{
+		Figure: "elastic-failover", Backend: backendFor(cfg.Profile),
+		Profile: cfg.Profile, Mode: ModeLabel(cfg.Mode), Shards: 2, Standbys: 1,
+	}
+	engCfg, err := engine.Profile(cfg.Profile)
+	if err != nil {
+		return run, err
+	}
+	if cfg.WithCost {
+		engCfg.Cost = engine.DefaultCost(engCfg.Dialect)
+	}
+	baseOpts := core.Options{
+		Mode: cfg.Mode, Threads: cfg.Threads, Partitions: cfg.Partitions,
+		Dialect: engCfg.Dialect.String(), PriorityQuery: cfg.Priority,
+	}
+
+	// Undisturbed single-node reference over the same transport.
+	refOpts := baseOpts
+	refOpts.Mode = core.ModeSingle
+	_, ref, refCleanup, err := wireInstance(engCfg, refOpts)
+	if err != nil {
+		return run, err
+	}
+	defer refCleanup()
+
+	g, err := graph.ByName(cfg.Dataset, cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return run, err
+	}
+	if err := graph.Load(ctx, ref.DB(), "edges", g, 500); err != nil {
+		return run, err
+	}
+	want, err := ref.Exec(ctx, query)
+	if err != nil {
+		return run, err
+	}
+
+	ckptDir, err := os.MkdirTemp("", "sqloop-elastic-")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	var mu sync.Mutex
+	var killAt, recoveredAt time.Time
+	var failedOver bool
+	opts := baseOpts
+	servers := make([]*wire.Server, 3)
+	instances := make([]*core.SQLoop, 3)
+	opts.Observer = obs.FuncTracer(func(ev obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e := ev.(type) {
+		case obs.RoundEnd:
+			if e.Round == 2 && killAt.IsZero() {
+				killAt = time.Now()
+				_ = servers[0].Close()
+			}
+			if failedOver && recoveredAt.IsZero() {
+				recoveredAt = time.Now()
+			}
+		case obs.ShardFailover:
+			failedOver = true
+		}
+	})
+	opts.Checkpoint = core.CheckpointOptions{
+		Dir: ckptDir, EveryRounds: 1, RetryBackoff: time.Millisecond,
+	}
+	for i := range servers {
+		srv, s, cleanup, err := wireInstance(engCfg, opts)
+		if err != nil {
+			return run, err
+		}
+		defer cleanup()
+		servers[i], instances[i] = srv, s
+		if err := graph.Load(ctx, s.DB(), "edges", g, 500); err != nil {
+			return run, err
+		}
+	}
+	group, err := core.NewElasticShardGroup(instances[:2], core.ShardGroupOptions{
+		Replicas:     instances[2:],
+		ProbeTimeout: time.Second,
+	}, opts, false)
+	if err != nil {
+		return run, err
+	}
+
+	started := time.Now()
+	res, err := group.Exec(ctx, query)
+	if err != nil {
+		return run, fmt.Errorf("faulted run: %w", err)
+	}
+	run.WallSeconds = time.Since(started).Seconds()
+	run.Rounds = res.Stats.Iterations
+	run.Failovers = res.Stats.Failovers
+	run.Identical = sameResults(want, res)
+	mu.Lock()
+	if !killAt.IsZero() && !recoveredAt.IsZero() {
+		run.RecoverySeconds = recoveredAt.Sub(killAt).Seconds()
+	}
+	mu.Unlock()
+	return run, nil
+}
+
+// elasticRebalanceCell runs SSSP on 2 embedded shards with 2 standbys
+// and a scheduled 2→4 repartition after round 2, measuring round
+// throughput on both sides of the topology change.
+func elasticRebalanceCell(ctx context.Context, cfg Config, query string) (ElasticRun, error) {
+	run := ElasticRun{
+		Figure: "elastic-rebalance", Backend: backendFor(cfg.Profile),
+		Profile: cfg.Profile, Mode: ModeLabel(cfg.Mode), Shards: 2, Standbys: 2, ToShards: 4,
+	}
+	engCfg, err := engine.Profile(cfg.Profile)
+	if err != nil {
+		return run, err
+	}
+	if cfg.WithCost {
+		engCfg.Cost = engine.DefaultCost(engCfg.Dialect)
+	}
+	opts := core.Options{
+		Mode: cfg.Mode, Threads: cfg.Threads, Partitions: cfg.Partitions,
+		Dialect: engCfg.Dialect.String(), PriorityQuery: cfg.Priority,
+	}
+
+	g, err := graph.ByName(cfg.Dataset, cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return run, err
+	}
+	open := func(opts core.Options) (*core.SQLoop, func(), error) {
+		handle := "bench-elastic-" + strconv.FormatInt(handleSeq.Add(1), 10)
+		driver.RegisterEngine(handle, engine.New(engCfg))
+		s, err := core.Open(driver.DriverName, driver.InprocDSN(handle), opts)
+		if err != nil {
+			driver.UnregisterEngine(handle)
+			return nil, nil, err
+		}
+		return s, func() {
+			_ = s.Close()
+			driver.UnregisterEngine(handle)
+		}, nil
+	}
+
+	refOpts := opts
+	refOpts.Mode = core.ModeSingle
+	ref, refCleanup, err := open(refOpts)
+	if err != nil {
+		return run, err
+	}
+	defer refCleanup()
+	if err := graph.Load(ctx, ref.DB(), "edges", g, 500); err != nil {
+		return run, err
+	}
+	want, err := ref.Exec(ctx, query)
+	if err != nil {
+		return run, err
+	}
+
+	ckptDir, err := os.MkdirTemp("", "sqloop-elastic-")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	var mu sync.Mutex
+	roundAt := map[int]time.Time{}
+	var rebAt time.Time
+	var rebRound int
+	var rebDur time.Duration
+	opts.Observer = obs.FuncTracer(func(ev obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e := ev.(type) {
+		case obs.RoundEnd:
+			if _, seen := roundAt[e.Round]; !seen {
+				roundAt[e.Round] = time.Now()
+			}
+		case obs.ShardRebalance:
+			rebAt, rebRound, rebDur = time.Now(), e.Round, e.Duration
+			run.RowsMoved = e.Rows
+		}
+	})
+	opts.Checkpoint = core.CheckpointOptions{
+		Dir: ckptDir, EveryRounds: 1, RetryBackoff: time.Millisecond,
+	}
+	instances := make([]*core.SQLoop, 4)
+	for i := range instances {
+		s, cleanup, err := open(opts)
+		if err != nil {
+			return run, err
+		}
+		defer cleanup()
+		instances[i] = s
+		if err := graph.Load(ctx, s.DB(), "edges", g, 500); err != nil {
+			return run, err
+		}
+	}
+	group, err := core.NewElasticShardGroup(instances[:2], core.ShardGroupOptions{
+		Replicas:  instances[2:],
+		Rebalance: []core.RebalanceStep{{AfterRound: 2, Shards: 4}},
+	}, opts, false)
+	if err != nil {
+		return run, err
+	}
+
+	started := time.Now()
+	res, err := group.Exec(ctx, query)
+	if err != nil {
+		return run, fmt.Errorf("rebalanced run: %w", err)
+	}
+	run.WallSeconds = time.Since(started).Seconds()
+	run.Rounds = res.Stats.Iterations
+	run.Rebalances = res.Stats.Rebalances
+	run.RebalanceSeconds = rebDur.Seconds()
+	run.Identical = sameResults(want, res)
+	mu.Lock()
+	defer mu.Unlock()
+	if !rebAt.IsZero() {
+		if before := rebAt.Sub(started) - rebDur; before > 0 && rebRound > 0 {
+			run.RoundsPerSecBefore = float64(rebRound) / before.Seconds()
+		}
+		if after := time.Since(rebAt); after > 0 && run.Rounds > rebRound {
+			run.RoundsPerSecAfter = float64(run.Rounds-rebRound) / after.Seconds()
+		}
+	}
+	return run, nil
+}
+
+// ElasticFig measures elastic shard execution: replica failover cost
+// and online 2→4 rebalance throughput, per engine backend and
+// scheduler, with an identical-result gate on every cell. Results go to
+// outPath as BENCH_PR10.json.
+func ElasticFig(ctx context.Context, w io.Writer, sc Scale, outPath string) error {
+	report := &ElasticReport{Figure: "elastic"}
+	for _, eng := range sc.Engines {
+		fmt.Fprintf(w, "\n== PR10 / elastic shards with %s (%s): failover and online rebalance ==\n",
+			EngineLabel(eng), backendFor(eng))
+		fmt.Fprintf(w, "%-10s %-8s %8s %10s %12s %12s %10s\n",
+			"axis", "mode", "rounds", "time(s)", "recovery(s)", "reb rows", "identical")
+		for _, mode := range pr5Modes {
+			cfg := Config{
+				Profile: eng, Mode: mode, Threads: sc.MaxThreads, Partitions: sc.Partitions,
+				Dataset: "twitter-ego", Nodes: sc.SSSPNodes, Seed: sc.Seed,
+				WithCost: sc.WithCost, Priority: priorityFor(mode, MinFrontierPriority),
+			}
+			query := SSSPQuery(sc.SSSPDest)
+
+			fo, err := elasticFailoverCell(ctx, cfg, query)
+			if err != nil {
+				return fmt.Errorf("pr10 failover %s/%s: %w", eng, ModeLabel(mode), err)
+			}
+			if !fo.Identical {
+				return fmt.Errorf("pr10 failover %s/%s: result diverged from single-node", eng, ModeLabel(mode))
+			}
+			if fo.Failovers < 1 {
+				return fmt.Errorf("pr10 failover %s/%s: no failover recorded", eng, ModeLabel(mode))
+			}
+			report.Runs = append(report.Runs, fo)
+			fmt.Fprintf(w, "%-10s %-8s %8d %10.3f %12.3f %12s %10v\n",
+				"failover", ModeLabel(mode), fo.Rounds, fo.WallSeconds, fo.RecoverySeconds, "-", fo.Identical)
+
+			rb, err := elasticRebalanceCell(ctx, cfg, query)
+			if err != nil {
+				return fmt.Errorf("pr10 rebalance %s/%s: %w", eng, ModeLabel(mode), err)
+			}
+			if !rb.Identical {
+				return fmt.Errorf("pr10 rebalance %s/%s: result diverged from single-node", eng, ModeLabel(mode))
+			}
+			if rb.Rebalances < 1 {
+				return fmt.Errorf("pr10 rebalance %s/%s: the 2→4 step never fired", eng, ModeLabel(mode))
+			}
+			report.Runs = append(report.Runs, rb)
+			fmt.Fprintf(w, "%-10s %-8s %8d %10.3f %12.3f %12d %10v\n",
+				"rebalance", ModeLabel(mode), rb.Rounds, rb.WallSeconds, rb.RebalanceSeconds, rb.RowsMoved, rb.Identical)
+		}
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s (%d runs)\n", outPath, len(report.Runs))
+	return nil
+}

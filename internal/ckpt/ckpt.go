@@ -76,9 +76,18 @@ type Snapshot struct {
 	// Round instead of 0.
 	Round int `json:"round"`
 	// Partitions is the partition count of a parallel run (0 for the
-	// single-threaded executors). A snapshot only resumes under the
-	// same partitioning — PARTHASH assignments depend on it.
+	// single-threaded executors). In-process executors only resume under
+	// the same partitioning — PARTHASH assignments depend on it — while
+	// the sharded coordinator re-routes a mismatched snapshot's rows
+	// under its current shard count instead of discarding it.
 	Partitions int `json:"partitions,omitempty"`
+	// Epoch is the shard group's topology epoch at save time: it starts
+	// at 0 and each failover or online repartition increments it, so the
+	// newest snapshot under a group's stable key always carries the
+	// highest epoch and resume after a topology change is well-defined.
+	// Zero for single-instance snapshots (and for pre-epoch files, which
+	// therefore stay loadable without a version bump).
+	Epoch int64 `json:"epoch,omitempty"`
 	// PartRounds is the per-partition completed round count of an
 	// asynchronous run (partitions run ahead of the global round).
 	PartRounds []int `json:"partRounds,omitempty"`

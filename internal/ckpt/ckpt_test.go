@@ -249,3 +249,94 @@ func TestSaveLeavesNoTempFiles(t *testing.T) {
 		t.Fatalf("directory holds %d entries after Save", len(entries))
 	}
 }
+
+// groupSnapshot builds a 4-partition sharded group snapshot: one
+// working table per partition plus per-partition round counters.
+func groupSnapshot() *Snapshot {
+	iv := func(n int64) Value { return Value{Int: &n} }
+	tables := make([]TableState, 4)
+	for p := range tables {
+		rows := make([][]Value, 0, 8)
+		for r := 0; r < 8; r++ {
+			rows = append(rows, []Value{iv(int64(p*100 + r)), iv(int64(r))})
+		}
+		tables[p] = TableState{
+			Name:    "sqloop_shard_part" + string(rune('0'+p)),
+			Columns: []string{"id", "val"},
+			Rows:    rows,
+		}
+	}
+	return &Snapshot{
+		Key:        Key("WITH ITERATIVE g ...", "sync", "dsn0;dsn1;dsn2;dsn3|shards=4"),
+		Query:      "WITH ITERATIVE g ...",
+		Mode:       "sync",
+		Engine:     "dsn0;dsn1;dsn2;dsn3|shards=4",
+		CTE:        "g",
+		Round:      3,
+		Partitions: 4,
+		Epoch:      2,
+		PartRounds: []int{3, 3, 4, 3},
+		Columns:    []string{"Node", "Rank", "Delta"},
+		Tables:     tables,
+		CreatedAt:  time.Now().UTC().Truncate(time.Second),
+	}
+}
+
+// TestGroupSnapshotPartialTruncation pins the atomicity of group
+// snapshots: a snapshot holding every shard's partition is one
+// CRC-guarded unit, so corrupting the byte range of just ONE
+// partition's table — while every other partition's bytes stay intact
+// — must fail the whole Load with CorruptError. A load must never
+// resurrect three healthy partitions and silently drop the fourth.
+func TestGroupSnapshotPartialTruncation(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := groupSnapshot()
+	if _, err := st.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), snap.Key+fileExt)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate partition 2's table inside the encoded payload and damage
+	// only bytes inside its row region.
+	marker := []byte("sqloop_shard_part2")
+	at := bytes.Index(good, marker)
+	if at < 0 {
+		t.Fatalf("partition marker not found in %d-byte snapshot", len(good))
+	}
+	cases := map[string][]byte{
+		// Splice 40 bytes out of partition 2's rows (other partitions intact).
+		"spliced rows": append(append([]byte(nil), good[:at+len(marker)+10]...),
+			good[at+len(marker)+50:]...),
+		// Flip one byte inside partition 2's region.
+		"flipped row byte": flipByte(good, at+len(marker)+20),
+		// Cut the file just after partition 2 begins (partitions 0-1 whole).
+		"tail truncated": good[:at],
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := st.Load(snap.Key)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: want CorruptError, got %v", name, err)
+		}
+	}
+	// Restoring the intact bytes loads every partition again.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(snap.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 4 || got.Epoch != 2 || !reflect.DeepEqual(got.PartRounds, snap.PartRounds) {
+		t.Fatalf("intact reload mismatch: %+v", got)
+	}
+}

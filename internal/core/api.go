@@ -299,6 +299,16 @@ type ExecStats struct {
 	// CrossShardRows counts message rows routed between shards over the
 	// whole execution (0 unless ShardCount > 1).
 	CrossShardRows int64
+	// Failovers counts shard endpoints replaced by standby replicas
+	// during this Exec call (elastic shard groups only).
+	Failovers int
+	// Rebalances counts online repartitions (shard-count changes between
+	// rounds) during this Exec call (elastic shard groups only).
+	Rebalances int
+	// Handoffs counts straggler work handoffs: AsyncP cycles in which
+	// the slowest shard's pending delta queue was pre-combined on a
+	// helper shard (elastic shard groups with Handoff enabled only).
+	Handoffs int
 }
 
 // RoundStats is the trace of one completed round/iteration.

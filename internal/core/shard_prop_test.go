@@ -11,8 +11,17 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"sqloop/internal/driver"
+	"sqloop/internal/engine"
+	"sqloop/internal/obs"
+	"sqloop/internal/wire"
 )
 
 // shardPropCases is the number of seeds the property test sweeps. Each
@@ -30,11 +39,25 @@ type propCase struct {
 	ExprTerm bool   // dagrank only: aggregate UNTIL instead of 0 UPDATES
 	Edges    []shardEdge
 	Source   int64 // sssp only
+
+	// Elastic schedule. A case with any of these runs over killable
+	// wire endpoints instead of inproc engines.
+	Standbys    int
+	KillShard   int // -1 when no kill is scheduled
+	KillRound   int
+	RebalanceTo int // 0 when no rebalance is scheduled
+	RebalanceAt int
+	Handoff     bool
+}
+
+func (c propCase) elastic() bool {
+	return c.Standbys > 0 || c.KillShard >= 0 || c.RebalanceTo > 0 || c.Handoff
 }
 
 func (c propCase) String() string {
-	return fmt.Sprintf("seed=%d profile=%s mode=%s shards=%d template=%s exprTerm=%v edges=%d source=%d",
-		c.Seed, c.Profile, c.Mode, c.Shards, c.Template, c.ExprTerm, len(c.Edges), c.Source)
+	return fmt.Sprintf("seed=%d profile=%s mode=%s shards=%d template=%s exprTerm=%v edges=%d source=%d standbys=%d kill=%d@%d rebalance=%d@%d handoff=%v",
+		c.Seed, c.Profile, c.Mode, c.Shards, c.Template, c.ExprTerm, len(c.Edges), c.Source,
+		c.Standbys, c.KillShard, c.KillRound, c.RebalanceTo, c.RebalanceAt, c.Handoff)
 }
 
 // genPropCase derives a scenario from a seed. Weights stay exact in
@@ -44,10 +67,11 @@ func (c propCase) String() string {
 func genPropCase(seed int64) propCase {
 	rng := rand.New(rand.NewSource(seed))
 	c := propCase{
-		Seed:    seed,
-		Profile: []string{"pgsim", "mysim", "mariasim"}[rng.Intn(3)],
-		Mode:    []Mode{ModeSync, ModeAsync, ModeAsyncPrio}[rng.Intn(3)],
-		Shards:  2 + rng.Intn(3),
+		Seed:      seed,
+		Profile:   []string{"pgsim", "mysim", "mariasim"}[rng.Intn(3)],
+		Mode:      []Mode{ModeSync, ModeAsync, ModeAsyncPrio}[rng.Intn(3)],
+		Shards:    2 + rng.Intn(3),
+		KillShard: -1,
 	}
 	nodes := 6 + rng.Intn(11)
 	switch rng.Intn(3) {
@@ -110,6 +134,28 @@ func genPropCase(seed int64) propCase {
 			}
 		}
 	}
+	// Elastic schedule: some cases get standby replicas plus a shard
+	// kill, a topology change, straggler handoff, or a mix — the fix
+	// point must come out bit-identical regardless.
+	c.Standbys = rng.Intn(3)
+	if c.Standbys > 0 && rng.Intn(3) == 0 {
+		c.KillShard = rng.Intn(c.Shards)
+		c.KillRound = 1 + rng.Intn(3)
+	}
+	if rng.Intn(3) == 0 {
+		// A kill consumes one standby at failover, so a grow may only
+		// reach a size that still leaves a replica for the swap.
+		spare := c.Standbys
+		if c.KillShard >= 0 {
+			spare--
+		}
+		to := 1 + rng.Intn(c.Shards+spare)
+		if to != c.Shards {
+			c.RebalanceTo = to
+			c.RebalanceAt = 1 + rng.Intn(3)
+		}
+	}
+	c.Handoff = c.Mode == ModeAsyncPrio && rng.Intn(2) == 1
 	return c
 }
 
@@ -164,37 +210,148 @@ func (c propCase) load(t *testing.T, exec func(string) (*Result, error)) {
 	}
 }
 
+// wirePropInstance starts one killable wire endpoint of the profile's
+// config and opens a SQLoop over TCP with fast reconnect policies.
+func wirePropInstance(t *testing.T, cfg engine.Config, opts Options) (*wire.Server, *SQLoop) {
+	t.Helper()
+	srv := wire.NewServer(engine.New(cfg))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	dsn := driver.TCPDSN(addr)
+	driver.Configure(dsn, driver.Config{Retry: driver.RetryPolicy{
+		MaxAttempts: 4, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
+	}})
+	t.Cleanup(func() { driver.Configure(dsn, driver.Config{}) })
+	s, err := Open(driver.DriverName, dsn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return srv, s
+}
+
+// runPlainPropCase is the original inproc differential: sharded versus
+// single-node on embedded engines, no faults.
+func runPlainPropCase(t *testing.T, c propCase, query string) {
+	ctx := context.Background()
+	ref := newTestShardGroup(t, c.Profile, 1, Options{Mode: ModeSingle})
+	c.load(t, func(q string) (*Result, error) { return ref.Exec(ctx, q) })
+	want, err := ref.Exec(ctx, query)
+	if err != nil {
+		t.Fatalf("%s: single-node run: %v", c, err)
+	}
+
+	g := newTestShardGroup(t, c.Profile, c.Shards, Options{Mode: c.Mode})
+	c.load(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
+	got, err := g.Exec(ctx, query)
+	if err != nil {
+		t.Fatalf("%s: sharded run: %v", c, err)
+	}
+	if got.Stats.ShardCount != c.Shards {
+		t.Fatalf("%s: ShardCount = %d, want %d", c, got.Stats.ShardCount, c.Shards)
+	}
+	if !reflectEqualResults(want, got) {
+		t.Fatalf("%s: sharded result diverged from single-node\nwant: %v\ngot:  %v",
+			c, want.Rows, got.Rows)
+	}
+}
+
+// runElasticPropCase executes the scheduled kill/rebalance/handoff
+// events over killable wire endpoints. The reference runs single-node
+// over the same transport so type identity stays a sound oracle.
+func runElasticPropCase(t *testing.T, c propCase, query string) {
+	ctx := context.Background()
+	cfg, err := engine.Profile(c.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ref := wirePropInstance(t, cfg, Options{Mode: ModeSingle, Dialect: cfg.Dialect.String()})
+	c.load(t, func(q string) (*Result, error) { return ref.Exec(ctx, q) })
+	want, err := ref.Exec(ctx, query)
+	if err != nil {
+		t.Fatalf("%s: single-node run: %v", c, err)
+	}
+
+	opts := Options{Mode: c.Mode, Dialect: cfg.Dialect.String()}
+	servers := make([]*wire.Server, c.Shards+c.Standbys)
+	instances := make([]*SQLoop, c.Shards+c.Standbys)
+	for i := range servers {
+		servers[i], instances[i] = wirePropInstance(t, cfg, opts)
+	}
+	var killed atomic.Bool
+	if c.KillShard >= 0 {
+		opts.Observer = obs.FuncTracer(func(ev obs.Event) {
+			if e, ok := ev.(obs.RoundEnd); ok && e.Round == c.KillRound &&
+				killed.CompareAndSwap(false, true) {
+				_ = servers[c.KillShard].Close()
+			}
+		})
+	}
+	opts.Checkpoint = CheckpointOptions{
+		Dir: t.TempDir(), EveryRounds: 1, RetryBackoff: time.Millisecond,
+	}
+	gopts := ShardGroupOptions{
+		Replicas:     instances[c.Shards:],
+		Handoff:      c.Handoff,
+		ProbeTimeout: time.Second,
+	}
+	if c.RebalanceTo > 0 {
+		gopts.Rebalance = []RebalanceStep{{AfterRound: c.RebalanceAt, Shards: c.RebalanceTo}}
+	}
+	g, err := NewElasticShardGroup(instances[:c.Shards], gopts, opts, false)
+	if err != nil {
+		t.Fatalf("%s: group: %v", c, err)
+	}
+	c.load(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
+	got, err := g.Exec(ctx, query)
+	if err != nil {
+		t.Fatalf("%s: elastic run: %v", c, err)
+	}
+	if c.KillShard >= 0 && killed.Load() && got.Stats.Failovers < 1 {
+		// The kill may land after convergence; only a fired kill that
+		// went unnoticed is suspicious when rounds remained.
+		t.Logf("%s: kill fired but no failover (converged first)", c)
+	}
+	// A consumed rebalance step (even one consumed before a failover
+	// replay) leaves the group at the target size; an unconsumed one
+	// (converged first) leaves it at the original size.
+	if n := g.Size(); n != c.Shards && n != c.RebalanceTo {
+		t.Fatalf("%s: group size = %d, want %d or %d", c, n, c.Shards, c.RebalanceTo)
+	}
+	if got.Stats.ShardCount != g.Size() {
+		t.Fatalf("%s: ShardCount = %d, group size %d", c, got.Stats.ShardCount, g.Size())
+	}
+	if !reflectEqualResults(want, got) {
+		t.Fatalf("%s: elastic result diverged from single-node\nwant: %v\ngot:  %v",
+			c, want.Rows, got.Rows)
+	}
+}
+
 // TestShardedProperty sweeps the seeded scenarios. A failing case names
-// its seed, so `genPropCase(seed)` rebuilds it exactly.
+// its seed; set SQLOOP_PROP_SEED to that number to re-run exactly that
+// case (the env override also bypasses -short).
 func TestShardedProperty(t *testing.T) {
-	if testing.Short() {
+	first, last := int64(0), int64(shardPropCases)
+	if env := os.Getenv("SQLOOP_PROP_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("SQLOOP_PROP_SEED=%q: %v", env, err)
+		}
+		first, last = seed, seed+1
+	} else if testing.Short() {
 		t.Skip("property sweep skipped in -short mode")
 	}
-	for seed := int64(0); seed < shardPropCases; seed++ {
+	for seed := first; seed < last; seed++ {
 		c := genPropCase(seed)
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			ctx := context.Background()
 			query := c.query()
-
-			ref := newTestShardGroup(t, c.Profile, 1, Options{Mode: ModeSingle})
-			c.load(t, func(q string) (*Result, error) { return ref.Exec(ctx, q) })
-			want, err := ref.Exec(ctx, query)
-			if err != nil {
-				t.Fatalf("%s: single-node run: %v", c, err)
-			}
-
-			g := newTestShardGroup(t, c.Profile, c.Shards, Options{Mode: c.Mode})
-			c.load(t, func(q string) (*Result, error) { return g.Exec(ctx, q) })
-			got, err := g.Exec(ctx, query)
-			if err != nil {
-				t.Fatalf("%s: sharded run: %v", c, err)
-			}
-			if got.Stats.ShardCount != c.Shards {
-				t.Fatalf("%s: ShardCount = %d, want %d", c, got.Stats.ShardCount, c.Shards)
-			}
-			if !reflectEqualResults(want, got) {
-				t.Fatalf("%s: sharded result diverged from single-node\nwant: %v\ngot:  %v",
-					c, want.Rows, got.Rows)
+			if c.elastic() {
+				runElasticPropCase(t, c, query)
+			} else {
+				runPlainPropCase(t, c, query)
 			}
 		})
 	}

@@ -39,14 +39,74 @@ import (
 	"sqloop/internal/sqltypes"
 )
 
-// ShardGroup executes statements across a fixed set of SQLoop
-// instances, one per engine endpoint. Iterative CTEs run sharded;
-// everything else is broadcast to every shard (each shard must see the
-// same base relations for a sharded execution to be meaningful).
+// ShardGroupOptions configures a group's elastic behaviour: standby
+// replicas for failover and growth, scheduled online repartitions, and
+// AsyncP straggler work handoff. The zero value is a plain fixed-N
+// group.
+type ShardGroupOptions struct {
+	// Replicas are standby instances available to the group: failover
+	// replaces a dead shard endpoint with one, and growing the shard
+	// count activates them as new shards. Standbys must hold the same
+	// base relations as the shards — statements broadcast through the
+	// group reach them too, so loading data via the group keeps them in
+	// sync. An owned group (OpenEmbeddedElasticShards) closes its
+	// replicas on Close.
+	Replicas []*SQLoop
+	// Rebalance schedules online repartitions: after the step's round
+	// completes, the working partitions are re-routed by PARTHASH onto
+	// Shards endpoints (growing activates standbys, shrinking retires
+	// trailing shards back to the standby pool). Each step fires at
+	// most once. RequestRebalance triggers the same transition
+	// dynamically.
+	Rebalance []RebalanceStep
+	// Handoff enables AsyncP straggler mitigation: after each
+	// prioritized cycle the slowest shard's pending delta queue is
+	// pre-combined on the fastest shard and handed back as a single
+	// message table, so the straggler's next gather does one cheap pass.
+	Handoff bool
+	// ProbeTimeout bounds each per-shard liveness probe during failover
+	// (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// RebalanceStep is one scheduled topology change.
+type RebalanceStep struct {
+	// AfterRound is the 1-based completed round the change lands after.
+	AfterRound int
+	// Shards is the new shard count.
+	Shards int
+}
+
+// ShardGroup executes statements across a set of SQLoop instances, one
+// per engine endpoint. Iterative CTEs run sharded; everything else is
+// broadcast to every shard and standby (each endpoint must see the
+// same base relations for a sharded execution to be meaningful). With
+// ShardGroupOptions the set is elastic: dead shards fail over to
+// standby replicas and the shard count changes between rounds.
 type ShardGroup struct {
-	shards []*SQLoop
-	opts   Options
-	owned  bool
+	// mu guards the membership slices: failover and rebalance mutate
+	// them while accessors may run from other goroutines.
+	mu       sync.RWMutex
+	shards   []*SQLoop
+	standbys []*SQLoop
+	retired  []*SQLoop // dead endpoints swapped out by failover
+	gopts    ShardGroupOptions
+	rebTaken []bool // gopts.Rebalance steps already fired (guarded by mu)
+	opts     Options
+	owned    bool
+	// identity is the group's initial topology signature. It stays
+	// fixed across failover and rebalance so the group checkpoint key
+	// survives elastic transitions: a snapshot taken before a standby
+	// swap or a repartition must still be found by the replay after it.
+	identity string
+	// epoch counts topology transitions (failover swaps and
+	// rebalances). Every group snapshot records it, so the newest
+	// snapshot under the stable identity key is unambiguous after a
+	// transition.
+	epoch atomic.Int64
+	// rebalanceReq is a dynamically requested shard count (0 = none),
+	// consumed at the next round boundary of a sharded execution.
+	rebalanceReq atomic.Int64
 	// tracer and metrics are the group's own: coordinator-level events
 	// (rounds, exchanges, termination checks) land here, while each
 	// shard's statement-level instruments stay in its own registry.
@@ -54,12 +114,25 @@ type ShardGroup struct {
 	metrics *obs.Registry
 }
 
-// NewShardGroup builds a group over existing instances. With own set
-// the group closes the shards on Close; borrowed shards (e.g. router
-// targets) stay open.
+// NewShardGroup builds a fixed-N group over existing instances. With
+// own set the group closes the shards on Close; borrowed shards (e.g.
+// router targets) stay open.
 func NewShardGroup(shards []*SQLoop, opts Options, own bool) (*ShardGroup, error) {
+	return NewElasticShardGroup(shards, ShardGroupOptions{}, opts, own)
+}
+
+// NewElasticShardGroup builds a group with standby replicas and
+// rebalance behaviour. With own set the group closes shards, standbys
+// and failed-over endpoints on Close.
+func NewElasticShardGroup(shards []*SQLoop, gopts ShardGroupOptions, opts Options, own bool) (*ShardGroup, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("core: shard group needs at least one shard")
+	}
+	for _, st := range gopts.Rebalance {
+		if st.Shards < 1 || st.AfterRound < 1 {
+			return nil, fmt.Errorf("core: rebalance step to %d shards after round %d is not valid",
+				st.Shards, st.AfterRound)
+		}
 	}
 	opts = opts.withDefaults()
 	tracer := obs.Multi(opts.Observer, onRoundTracer(opts.OnRound))
@@ -70,32 +143,89 @@ func NewShardGroup(shards []*SQLoop, opts Options, own bool) (*ShardGroup, error
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
-	return &ShardGroup{shards: shards, opts: opts, owned: own, tracer: tracer, metrics: metrics}, nil
+	g := &ShardGroup{
+		shards:   append([]*SQLoop(nil), shards...),
+		standbys: append([]*SQLoop(nil), gopts.Replicas...),
+		gopts:    gopts,
+		rebTaken: make([]bool, len(gopts.Rebalance)),
+		opts:     opts, owned: own,
+		identity: topologySignature(shards),
+		tracer:   tracer, metrics: metrics,
+	}
+	return g, nil
 }
 
-// Size returns the number of shards.
-func (g *ShardGroup) Size() int { return len(g.shards) }
+// topologySignature renders a shard list for checkpoint identity.
+func topologySignature(shards []*SQLoop) string {
+	dsns := make([]string, len(shards))
+	for i, sh := range shards {
+		dsns[i] = sh.dsn
+	}
+	return strings.Join(dsns, ";") + "|shards=" + strconv.Itoa(len(shards))
+}
 
-// Shards returns the member instances in shard order.
-func (g *ShardGroup) Shards() []*SQLoop { return append([]*SQLoop(nil), g.shards...) }
+// Size returns the current number of shards.
+func (g *ShardGroup) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.shards)
+}
 
-// Shard returns the instance executing partition i.
-func (g *ShardGroup) Shard(i int) *SQLoop { return g.shards[i] }
+// Shards returns the current member instances in shard order.
+func (g *ShardGroup) Shards() []*SQLoop {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]*SQLoop(nil), g.shards...)
+}
+
+// Shard returns the instance currently executing partition i.
+func (g *ShardGroup) Shard(i int) *SQLoop {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.shards[i]
+}
+
+// Standbys returns the current standby replicas in pool order.
+func (g *ShardGroup) Standbys() []*SQLoop {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]*SQLoop(nil), g.standbys...)
+}
+
+// Epoch returns the group's topology epoch: 0 at construction,
+// incremented by every failover swap and every online repartition.
+func (g *ShardGroup) Epoch() int64 { return g.epoch.Load() }
+
+// RequestRebalance asks the group to repartition to n shards at the
+// next round boundary of the in-flight (or next) sharded execution.
+// Growing past the current count consumes standby replicas; shrinking
+// retires trailing shards back to the standby pool.
+func (g *ShardGroup) RequestRebalance(n int) {
+	if n > 0 {
+		g.rebalanceReq.Store(int64(n))
+	}
+}
 
 // Options returns the group's effective options.
 func (g *ShardGroup) Options() Options { return g.opts }
 
 // Metrics returns the group-level registry (cross-shard rows,
-// checkpoint and round counters).
+// checkpoint, failover and rebalance counters).
 func (g *ShardGroup) Metrics() *obs.Registry { return g.metrics }
 
-// Close releases owned shards.
+// Close releases owned shards, standbys and failed-over endpoints.
 func (g *ShardGroup) Close() error {
 	if !g.owned {
 		return nil
 	}
+	g.mu.Lock()
+	all := append([]*SQLoop(nil), g.shards...)
+	all = append(all, g.standbys...)
+	all = append(all, g.retired...)
+	g.shards, g.standbys, g.retired = nil, nil, nil
+	g.mu.Unlock()
 	var errs []error
-	for _, sh := range g.shards {
+	for _, sh := range all {
 		if err := sh.Close(); err != nil {
 			errs = append(errs, err)
 		}
@@ -103,25 +233,24 @@ func (g *ShardGroup) Close() error {
 	return errors.Join(errs...)
 }
 
-// signature identifies this exact shard topology for checkpoint keys: a
-// snapshot taken by a 4-shard group must never be restored by a 2-shard
-// group or a plain instance.
-func (g *ShardGroup) signature() string {
-	dsns := make([]string, len(g.shards))
-	for i, sh := range g.shards {
-		dsns[i] = sh.dsn
-	}
-	return strings.Join(dsns, ";") + "|shards=" + strconv.Itoa(len(g.shards))
-}
-
 // loopFor builds a synthetic SQLoop over shard i's engine that runs
 // under the GROUP's options, tracer and metrics — used for whole-run
-// fallbacks and for checkpoint plumbing. Its dsn is the group
-// signature so checkpoint keys carry the shard dimension.
+// fallbacks and for checkpoint plumbing. Its dsn is the group's stable
+// identity so checkpoint keys carry the shard dimension yet survive
+// failover and rebalance.
 func (g *ShardGroup) loopFor(i int) *SQLoop {
+	g.mu.RLock()
 	sh := g.shards[i]
+	g.mu.RUnlock()
 	return &SQLoop{db: sh.db, opts: g.opts, dialect: sh.dialect,
-		dsn: g.signature(), tracer: g.tracer, metrics: g.metrics}
+		dsn: g.identity, tracer: g.tracer, metrics: g.metrics}
+}
+
+// membership snapshots the current shards and standbys.
+func (g *ShardGroup) membership() (members, standbys []*SQLoop) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]*SQLoop(nil), g.shards...), append([]*SQLoop(nil), g.standbys...)
 }
 
 // Exec runs one statement: iterative CTEs execute sharded, everything
@@ -158,11 +287,14 @@ func (g *ShardGroup) ExecScript(ctx context.Context, script string) (*Result, er
 	return res, nil
 }
 
-// broadcast runs a plain statement on every shard so base relations
-// stay replicated; shard 0's result is returned.
+// broadcast runs a plain statement on every shard — and every standby —
+// so base relations stay replicated across the whole elastic pool:
+// failover and growth can then activate a standby without reloading
+// data. Shard 0's result is returned.
 func (g *ShardGroup) broadcast(ctx context.Context, st sqlparser.Statement) (*Result, error) {
+	members, standbys := g.membership()
 	var out *Result
-	for s, sh := range g.shards {
+	for s, sh := range members {
 		res, err := sh.execPlain(ctx, st)
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", s, err)
@@ -171,7 +303,146 @@ func (g *ShardGroup) broadcast(ctx context.Context, st sqlparser.Statement) (*Re
 			out = res
 		}
 	}
+	for i, sh := range standbys {
+		if _, err := sh.execPlain(ctx, st); err != nil {
+			return nil, fmt.Errorf("core: standby %d: %w", i, err)
+		}
+	}
 	return out, nil
+}
+
+// hasStandbys reports whether any standby replica remains in the pool.
+func (g *ShardGroup) hasStandbys() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.standbys) > 0
+}
+
+// probe reports whether sh's engine answers a trivial query. A fresh
+// pooled connection is requested so the probe exercises a real dial for
+// remote engines; the driver's own dial retry and the probe timeout
+// bound the wait.
+func (g *ShardGroup) probe(ctx context.Context, sh *SQLoop) bool {
+	timeout := g.gopts.ProbeTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := sh.db.Conn(pctx)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	var one int64
+	return conn.QueryRowContext(pctx, "SELECT 1").Scan(&one) == nil
+}
+
+// failover probes every current shard and swaps each dead one for a
+// live standby replica, bumping the topology epoch per swap. The dead
+// instance moves to the retired list (its *sql.DB stays open so an
+// owned Close can release it; a healed endpoint rejoins only as a new
+// replica). Returns how many shards were replaced. The actual state
+// transfer is free: the subsequent re-run restores every partition —
+// including the replacement's — from the group checkpoint and replays
+// from the checkpointed cut.
+func (g *ShardGroup) failover(ctx context.Context, resumeRound int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	swapped := 0
+	for s, sh := range g.shards {
+		if len(g.standbys) == 0 {
+			break
+		}
+		if g.probe(ctx, sh) {
+			continue
+		}
+		repl := -1
+		for i, sb := range g.standbys {
+			if g.probe(ctx, sb) {
+				repl = i
+				break
+			}
+		}
+		if repl < 0 {
+			// Every standby is dead too; leave the shard in place so the
+			// retry loop surfaces the original failure.
+			continue
+		}
+		sb := g.standbys[repl]
+		g.standbys = append(g.standbys[:repl], g.standbys[repl+1:]...)
+		g.retired = append(g.retired, sh)
+		g.shards[s] = sb
+		swapped++
+		ep := g.epoch.Add(1)
+		g.tracer.Emit(obs.ShardFailover{Shard: s, From: sh.dsn, To: sb.dsn,
+			Round: resumeRound, Epoch: ep})
+		g.metrics.Counter("sqloop_shard_failovers_total").Inc()
+	}
+	return swapped
+}
+
+// takeRebalance returns the shard count the group should repartition
+// to after round completes, or 0. A dynamic RequestRebalance wins over
+// the scheduled steps; each scheduled step fires at most once.
+func (g *ShardGroup) takeRebalance(round int) int {
+	if n := g.rebalanceReq.Swap(0); n > 0 {
+		return int(n)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, st := range g.gopts.Rebalance {
+		if !g.rebTaken[i] && st.AfterRound <= round {
+			g.rebTaken[i] = true
+			return st.Shards
+		}
+	}
+	return 0
+}
+
+// resize swaps the group membership to n shards. Growth activates the
+// first n-S standby replicas as shards S..n-1; shrink retires the
+// trailing shards back to the standby pool (they keep their base
+// relations, so a later growth or failover can reactivate them). The
+// caller moves the partition data.
+func (g *ShardGroup) resize(n int) (added, removed []*SQLoop, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	S := len(g.shards)
+	switch {
+	case n > S:
+		need := n - S
+		if len(g.standbys) < need {
+			return nil, nil, fmt.Errorf("core: rebalance to %d shards needs %d standby replicas, have %d",
+				n, need, len(g.standbys))
+		}
+		added = append([]*SQLoop(nil), g.standbys[:need]...)
+		g.standbys = append([]*SQLoop(nil), g.standbys[need:]...)
+		g.shards = append(g.shards, added...)
+	case n < S:
+		removed = append([]*SQLoop(nil), g.shards[n:]...)
+		g.shards = g.shards[:n]
+		g.standbys = append(g.standbys, removed...)
+	}
+	return added, removed, nil
+}
+
+// peekRound reports the round of the stored group snapshot for cte (0
+// when none): failover events record the cut the replay resumes from.
+func (g *ShardGroup) peekRound(cte *sqlparser.LoopCTEStmt) int {
+	if !g.opts.Checkpoint.enabled() {
+		return 0
+	}
+	store, err := ckpt.NewStore(g.opts.Checkpoint.Dir)
+	if err != nil {
+		return 0
+	}
+	key := ckpt.Key(sqlparser.Format(cte), g.opts.Mode.String(), g.identity)
+	snap, err := store.Load(key)
+	if err != nil || snap == nil {
+		return 0
+	}
+	return snap.Round
 }
 
 // execShardedCTE is the sharded twin of execLoopCTE: it decides whether
@@ -185,7 +456,7 @@ func (g *ShardGroup) execShardedCTE(ctx context.Context, cte *sqlparser.LoopCTES
 	// Structural non-starters run whole on shard 0 (which already
 	// brackets itself with events): a single shard IS a whole run,
 	// ModeSingle asks for one, and recursion has no partitioned plan.
-	if len(g.shards) == 1 || g.opts.Mode == ModeSingle || cte.Kind == sqlparser.CTERecursive {
+	if g.Size() == 1 || g.opts.Mode == ModeSingle || cte.Kind == sqlparser.CTERecursive {
 		res, err := g.loopFor(0).execLoopCTE(ctx, cte)
 		if err != nil {
 			return nil, err
@@ -232,7 +503,12 @@ func (g *ShardGroup) execShardedCTE(ctx context.Context, cte *sqlparser.LoopCTES
 	res, err := run()
 	// Recovery loop, mirroring execLoopCTE: a transport-level failure on
 	// any shard restarts the whole group run, which restores every
-	// shard's partition from the latest group snapshot.
+	// shard's partition from the latest group snapshot. Before each
+	// retry an elastic group probes its members and swaps persistently
+	// dead endpoints for standby replicas — the re-run then restores the
+	// replacement's partition from the same snapshot, so failover costs
+	// nothing beyond the replay.
+	var failovers int
 	if err != nil && g.opts.Checkpoint.enabled() {
 		for attempt := 1; attempt <= g.opts.Checkpoint.recoveries() && recoverable(err); attempt++ {
 			backoff := g.opts.Checkpoint.backoff(attempt)
@@ -242,6 +518,9 @@ func (g *ShardGroup) execShardedCTE(ctx context.Context, cte *sqlparser.LoopCTES
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-time.After(backoff):
+			}
+			if g.hasStandbys() {
+				failovers += g.failover(ctx, g.peekRound(cte))
 			}
 			var res2 *Result
 			if res2, err = run(); err == nil {
@@ -262,6 +541,7 @@ func (g *ShardGroup) execShardedCTE(ctx context.Context, cte *sqlparser.LoopCTES
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.Failovers = failovers
 	g.metrics.Counter("sqloop_cte_execs_total").Inc()
 	g.metrics.Counter("sqloop_rounds_total").Add(int64(res.Stats.Iterations))
 	g.metrics.Histogram("sqloop_cte_seconds").Observe(res.Stats.Elapsed)
@@ -377,17 +657,24 @@ func decomposeTerm(cte *sqlparser.LoopCTEStmt) (*shardTermPlan, string) {
 
 // shardedRun is one sharded execution in flight.
 type shardedRun struct {
-	g    *ShardGroup
-	cte  *sqlparser.LoopCTEStmt
-	pl   *plan // partition count == shard count
+	g   *ShardGroup
+	cte *sqlparser.LoopCTEStmt
+	an  Analysis
+	pl  *plan // partition count == current shard count
+	// cols are the CTE's public columns, kept so an online rebalance can
+	// rebuild the plan at the new shard count.
+	cols []string
 	mode Mode
 	// conns pins one connection per shard; conns[s] is only ever used
 	// by shard s's worker goroutine or by the coordinator between waves.
-	conns []*dbConn
-	tp    *shardTermPlan // nil unless the UNTIL is a decomposed aggregate
-	tok   string
-	ck    *ckptRun
-	rt    *roundTrace
+	// A rebalance grows or shrinks the slice between rounds (closers
+	// stays index-aligned with it).
+	conns   []*dbConn
+	closers []func() error
+	tp      *shardTermPlan // nil unless the UNTIL is a decomposed aggregate
+	tok     string
+	ck      *ckptRun
+	rt      *roundTrace
 
 	nameSeq atomic.Int64
 	// pending[s] lists message tables shard s has not gathered yet
@@ -402,56 +689,72 @@ type shardedRun struct {
 	stats ExecStats
 }
 
+// connectShard pins one connection to sh and appends it (with its
+// closer) to the run's connection set.
+func (r *shardedRun) connectShard(ctx context.Context, sh *SQLoop) error {
+	conn, err := sh.db.Conn(ctx)
+	if err != nil {
+		return err
+	}
+	c := sh.newConn(conn)
+	r.conns = append(r.conns, c)
+	r.closers = append(r.closers, func() error {
+		c.closeStmts()
+		return conn.Close()
+	})
+	return nil
+}
+
+// closeConns releases every connection the run still holds.
+func (r *shardedRun) closeConns() {
+	for _, cl := range r.closers {
+		_ = cl()
+	}
+	r.conns, r.closers = nil, nil
+}
+
 // execSharded runs one iterative CTE across every shard.
 func (g *ShardGroup) execSharded(ctx context.Context, cte *sqlparser.LoopCTEStmt, an Analysis, mode Mode, tp *shardTermPlan) (*Result, error) {
 	start := time.Now()
-	S := len(g.shards)
+	members := g.Shards()
+	S := len(members)
 	loop0 := g.loopFor(0)
 
 	ck, err := loop0.newCkptRun(cte)
 	if err != nil {
 		return nil, err
 	}
-	// A group snapshot holds one partition table per shard; anything
-	// else (different shard count, a single-instance snapshot) is
-	// unusable for this topology.
-	if ck.restoring() && (ck.resumed.Partitions != S ||
-		len(ck.resumed.PartRounds) != S || len(ck.resumed.Tables) != S) {
+	// A usable group snapshot has exactly one partition table (and round
+	// counter) per recorded partition; anything else is discarded. A
+	// shard-count mismatch alone is NOT a discard — repartitionSnapshot
+	// re-routes the recorded rows under the current topology, which is
+	// what makes resume after an online rebalance (or into a group
+	// rebuilt at a different size) well-defined.
+	if ck.restoring() && (ck.resumed.Partitions < 1 ||
+		len(ck.resumed.Tables) != ck.resumed.Partitions ||
+		len(ck.resumed.PartRounds) != ck.resumed.Partitions) {
 		ck.resumed = nil
 	}
 	tok := ck.execToken()
-
-	conns := make([]*dbConn, S)
-	var closers []func() error
-	defer func() {
-		for _, cl := range closers {
-			_ = cl()
-		}
-	}()
-	for s, sh := range g.shards {
-		conn, err := sh.db.Conn(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("core: shard %d connection: %w", s, err)
-		}
-		c := sh.newConn(conn)
-		conns[s] = c
-		closers = append(closers, func() error {
-			c.closeStmts()
-			return conn.Close()
-		})
-	}
 
 	rUser := strings.ToLower(cte.Name)
 	rName := rTableName(tok, cte.Name)
 
 	run := &shardedRun{
-		g: g, cte: cte, mode: mode, conns: conns, tp: tp, tok: tok, ck: ck,
+		g: g, cte: cte, an: an, mode: mode, tp: tp, tok: tok, ck: ck,
 		rt:         newRoundTrace(g.tracer, false),
 		pending:    make([][]string, S),
 		lastGather: make([]int64, S),
 		computed:   make([]bool, S),
 		rounds:     make([]int, S),
 	}
+	defer run.closeConns()
+	for s, sh := range members {
+		if err := run.connectShard(ctx, sh); err != nil {
+			return nil, fmt.Errorf("core: shard %d connection: %w", s, err)
+		}
+	}
+	conns := run.conns
 
 	// Stale user-visible objects from a crashed legacy run must not
 	// break this one on any shard.
@@ -498,10 +801,21 @@ func (g *ShardGroup) execSharded(ctx context.Context, cte *sqlparser.LoopCTEStmt
 			cte.Name, len(cols), an.DeltaItem+1)
 	}
 
+	run.cols = cols
 	run.pl = newPlan(cte, an, cols, S, tok, !g.opts.DisableMaterialization)
 	defer run.cleanup(context.WithoutCancel(ctx))
 
 	if ck.restoring() {
+		if ck.resumed.Partitions != S {
+			if err := run.repartitionSnapshot(); err != nil {
+				return nil, err
+			}
+		}
+		// Adopt the snapshot's epoch if it is ahead (a fresh group object
+		// resuming another incarnation's work).
+		if e := ck.resumed.Epoch; e > g.epoch.Load() {
+			g.epoch.Store(e)
+		}
 		if err := run.forEach(func(s int) error {
 			if err := ck.restoreTable(ctx, conns[s], ck.resumed.Tables[s], true); err != nil {
 				return err
@@ -560,13 +874,77 @@ func (g *ShardGroup) execSharded(ctx context.Context, cte *sqlparser.LoopCTEStmt
 	}
 	run.stats.Mode = mode
 	run.stats.Parallelized = true
-	run.stats.ShardCount = S
+	run.stats.ShardCount = len(run.conns)
 	run.stats.CrossShardRows = run.crossRows
 	run.stats.Elapsed = time.Since(start)
 	run.stats.Rounds = run.rt.rounds
 	ck.finish(&run.stats)
 	out.Stats = run.stats
 	return out, nil
+}
+
+// repartitionSnapshot rewrites a group snapshot taken under a different
+// shard count in place for the current topology: every recorded
+// partition row is re-routed by its id hash under the current count
+// (the same Route the live exchange uses), yielding one partition
+// table per current shard. Per-row delta state rides inside the rows
+// themselves, so re-routing whole rows preserves the execution state
+// exactly.
+func (r *shardedRun) repartitionSnapshot() error {
+	snap := r.ck.resumed
+	S := len(r.conns)
+	batches := make([]shard.Batch, 0, len(snap.Tables))
+	var cols []string
+	for _, ts := range snap.Tables {
+		if cols == nil {
+			cols = ts.Columns
+		}
+		rows := make([][]any, len(ts.Rows))
+		for i, row := range ts.Rows {
+			dec := make([]any, len(row))
+			for j, v := range row {
+				gv, err := v.Decode()
+				if err != nil {
+					return fmt.Errorf("core: repartition snapshot %s: %w", ts.Name, err)
+				}
+				dec[j] = gv
+			}
+			rows[i] = dec
+		}
+		batches = append(batches, shard.Batch{Columns: ts.Columns, Rows: rows})
+	}
+	all, err := shard.Merge(batches...)
+	if err != nil {
+		return fmt.Errorf("core: repartition snapshot: %w", err)
+	}
+	if len(all.Columns) == 0 {
+		all.Columns = cols
+	}
+	parts, err := shard.Route(all, 0, S) // column 0 is the partition id
+	if err != nil {
+		return fmt.Errorf("core: repartition snapshot: %w", err)
+	}
+	tables := make([]ckpt.TableState, S)
+	for s := 0; s < S; s++ {
+		ts := ckpt.TableState{Name: r.pl.partName(s), Columns: all.Columns,
+			Rows: make([][]ckpt.Value, len(parts[s].Rows))}
+		for i, row := range parts[s].Rows {
+			enc := make([]ckpt.Value, len(row))
+			for j, v := range row {
+				ev, err := ckpt.EncodeValue(v)
+				if err != nil {
+					return fmt.Errorf("core: repartition snapshot: %w", err)
+				}
+				enc[j] = ev
+			}
+			ts.Rows[i] = enc
+		}
+		tables[s] = ts
+	}
+	snap.Tables = tables
+	snap.Partitions = S
+	snap.PartRounds = fillRounds(make([]int, S), snap.Round)
+	return nil
 }
 
 // forEach runs fn concurrently for every shard index and joins the
@@ -858,6 +1236,289 @@ func (r *shardedRun) pendingEmpty() bool {
 	return true
 }
 
+// maybeRebalance consumes a pending topology request and, between
+// rounds, repartitions the working table onto the new shard count:
+// drain in-flight messages (the same soft barrier a checkpoint uses),
+// read every partition, split/merge the PARTHASH ranges by re-routing
+// every row under the new count, ship each bucket through the batch
+// codec, swap the group membership (standbys activate on growth,
+// trailing shards retire to the standby pool on shrink), rebuild the
+// per-partition plan and checkpoint the new topology immediately.
+// Reports whether a checkpoint was just written so the caller's
+// due-save can skip.
+func (r *shardedRun) maybeRebalance(ctx context.Context, round int) (bool, error) {
+	S := len(r.conns)
+	newS := r.g.takeRebalance(round)
+	if newS == 0 || newS == S {
+		return false, nil
+	}
+	if newS < 1 {
+		return false, fmt.Errorf("core: cannot rebalance to %d shards", newS)
+	}
+	start := time.Now()
+	if _, err := r.drainGather(ctx); err != nil {
+		return false, err
+	}
+
+	// Read each partition's complete rows (public columns plus the AVG
+	// accumulators), route every row under the new count and encode each
+	// (source, destination) bucket for the wire.
+	batches := make([]shard.Batch, S)
+	if err := r.forEach(func(s int) error {
+		res, err := r.conns[s].runStmt(ctx, &sqlparser.SelectStmt{Body: selectStar(r.pl.partName(s))})
+		if err != nil {
+			return fmt.Errorf("rebalance read on shard %d: %w", s, err)
+		}
+		batches[s] = shard.Batch{Columns: res.Columns, Rows: res.Rows}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	outbound := make([][][]byte, S)
+	var moved int64
+	for s := 0; s < S; s++ {
+		parts, err := shard.Route(batches[s], 0, newS)
+		if err != nil {
+			return false, fmt.Errorf("rebalance route from shard %d: %w", s, err)
+		}
+		outbound[s] = make([][]byte, newS)
+		for d := 0; d < newS; d++ {
+			outbound[s][d] = shard.EncodeBatch(parts[d])
+			if d != s {
+				moved += int64(len(parts[d].Rows))
+			}
+		}
+	}
+
+	partCols := append([]string(nil), r.pl.cols...)
+	if r.pl.avg {
+		partCols = append(partCols, avgSumCol, avgCntCol)
+	}
+	rUser := strings.ToLower(r.cte.Name)
+
+	// Retiring shards shed their working objects before leaving (their
+	// rows are already captured in the outbound buckets).
+	for s := newS; s < S; s++ {
+		c := r.conns[s]
+		for _, name := range r.pending[s] {
+			if _, err := c.runStmt(ctx, dropTable(name)); err != nil {
+				return false, err
+			}
+		}
+		for _, st := range []sqlparser.Statement{
+			dropView(rUser), dropView(r.pl.rQL), dropTable(r.pl.rQL),
+			dropTable(r.pl.partName(s)), dropTable(mjoinTableName(r.pl.tok, r.cte.Name)),
+		} {
+			if _, err := c.runStmt(ctx, st); err != nil {
+				return false, fmt.Errorf("rebalance retire shard %d: %w", s, err)
+			}
+		}
+	}
+
+	added, _, err := r.g.resize(newS)
+	if err != nil {
+		return false, err
+	}
+	if newS < S {
+		for _, cl := range r.closers[newS:] {
+			_ = cl()
+		}
+		r.conns = r.conns[:newS]
+		r.closers = r.closers[:newS]
+	}
+	for i, sh := range added {
+		if err := r.connectShard(ctx, sh); err != nil {
+			return false, fmt.Errorf("core: rebalance shard %d connection: %w", S+i, err)
+		}
+	}
+
+	// Rebuild the plan at the new partition count; every PARTHASH
+	// predicate, gather filter and priority query downstream picks the
+	// new count up from here.
+	r.pl = newPlan(r.cte, r.an, r.cols, newS, r.tok, !r.g.opts.DisableMaterialization)
+	r.pending = make([][]string, newS)
+	r.lastGather = make([]int64, newS)
+	// A fresh topology disables the quiet-shard fast path for one round:
+	// every delta already rides inside the moved rows, and the next
+	// message wave must re-derive activity from them.
+	r.computed = make([]bool, newS)
+	r.rounds = fillRounds(make([]int, newS), round)
+
+	if err := r.forEach(func(d int) error {
+		c := r.conns[d]
+		fresh := d >= S
+		if fresh {
+			// A standby may hold stale user-visible objects from earlier
+			// runs, like any shard at startup.
+			if _, err := c.runStmt(ctx, dropView(rUser)); err != nil {
+				return err
+			}
+			if _, err := c.runStmt(ctx, dropTable(rUser)); err != nil {
+				return err
+			}
+		}
+		for _, st := range []sqlparser.Statement{
+			dropView(r.pl.rQL), dropTable(r.pl.rQL),
+			dropTable(r.pl.partName(d)),
+			createAnyTable(r.pl.partName(d), partCols, true),
+		} {
+			if _, err := c.runStmt(ctx, st); err != nil {
+				return fmt.Errorf("rebalance rebuild on shard %d: %w", d, err)
+			}
+		}
+		for s := 0; s < S; s++ {
+			b, err := shard.DecodeBatch(outbound[s][d])
+			if err != nil {
+				return fmt.Errorf("rebalance decode on shard %d: %w", d, err)
+			}
+			if err := r.insertRows(ctx, c, r.pl.partName(d), b.Rows); err != nil {
+				return fmt.Errorf("rebalance insert on shard %d: %w", d, err)
+			}
+		}
+		if _, err := c.runStmt(ctx, &sqlparser.CreateViewStmt{
+			Name: r.pl.rQL, Body: r.localViewBody(d)}); err != nil {
+			return err
+		}
+		publishAdvisoryView(ctx, c, rUser, r.pl.rQL)
+		if fresh && r.pl.materialized {
+			for _, st := range r.pl.mjoinStmts() {
+				if _, err := c.runStmt(ctx, st); err != nil {
+					return fmt.Errorf("rebalance materializing join on shard %d: %w", d, err)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+
+	ep := r.g.epoch.Add(1)
+	r.stats.Rebalances++
+	r.g.metrics.Counter("sqloop_shard_rebalances_total").Inc()
+	r.g.tracer.Emit(obs.ShardRebalance{Round: round, From: S, To: newS,
+		Epoch: ep, Rows: moved, Duration: time.Since(start)})
+
+	// Checkpoint the new topology immediately so a crash from here on
+	// resumes at the new shard count rather than re-routing again.
+	if err := r.saveCkpt(ctx, round); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// maybeHandoff offloads the slowest shard's pending delta queue after a
+// prioritized cycle: its undelivered owned rows ship to the fastest
+// shard, which pre-combines them per id with the aggregate's own
+// combine rule (exactly what the straggler's gather would compute), and
+// the combined rows ship back as a single message table replacing the
+// queue. Correct because the exchange already routed away every
+// foreign-owned row when each message table was created — a shard's
+// pending queue holds only rows its own gather would read — and the
+// gather's combine is associative (MIN/MAX fold, SUM/COUNT add, AVG
+// ships as SUM+COUNT).
+func (r *shardedRun) maybeHandoff(ctx context.Context, cycle int, durs []time.Duration) error {
+	S := len(r.conns)
+	if S < 2 {
+		return nil
+	}
+	worst, best := -1, -1
+	for s := 0; s < S; s++ {
+		if len(r.pending[s]) > 1 && (worst < 0 || durs[s] > durs[worst]) {
+			worst = s
+		}
+	}
+	if worst < 0 {
+		return nil
+	}
+	for s := 0; s < S; s++ {
+		if s != worst && (best < 0 || durs[s] < durs[best]) {
+			best = s
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	msgCols := []string{"id", "val"}
+	if r.pl.avg {
+		msgCols = append(msgCols, "cnt")
+	}
+	batches := make([]shard.Batch, 0, len(r.pending[worst]))
+	for _, name := range r.pending[worst] {
+		sel := &sqlparser.Select{
+			From:  []sqlparser.TableExpr{tbl(name)},
+			Where: eq(fn("PARTHASH", col("", "id"), intLit(int64(S))), intLit(int64(worst))),
+		}
+		for _, c := range msgCols {
+			sel.Items = append(sel.Items, item(col("", c), c))
+		}
+		res, err := r.conns[worst].runStmt(ctx, &sqlparser.SelectStmt{Body: sel})
+		if err != nil {
+			return fmt.Errorf("handoff read on shard %d: %w", worst, err)
+		}
+		batches = append(batches, shard.Batch{Columns: msgCols, Rows: res.Rows})
+	}
+	all, err := shard.Merge(batches...)
+	if err != nil {
+		return fmt.Errorf("handoff merge: %w", err)
+	}
+	if len(all.Rows) == 0 {
+		return nil
+	}
+
+	// Ship to the helper through the codec and combine per id there.
+	in, err := shard.DecodeBatch(shard.EncodeBatch(all))
+	if err != nil {
+		return fmt.Errorf("handoff decode on shard %d: %w", best, err)
+	}
+	inName := msgTableName(r.pl.tok, r.cte.Name, r.nameSeq.Add(1))
+	if err := r.insertBatch(ctx, r.conns[best], inName, in); err != nil {
+		return fmt.Errorf("handoff insert on shard %d: %w", best, err)
+	}
+	comb := &sqlparser.Select{
+		Items:   []sqlparser.SelectItem{item(col("", "id"), "id")},
+		From:    []sqlparser.TableExpr{tbl(inName)},
+		GroupBy: []sqlparser.Expr{col("", "id")},
+	}
+	switch r.an.AggName {
+	case "MIN", "MAX":
+		comb.Items = append(comb.Items, item(fn(r.an.AggName, col("", "val")), "val"))
+	default: // SUM, COUNT and AVG all ship additive partials
+		comb.Items = append(comb.Items, item(fn("SUM", col("", "val")), "val"))
+	}
+	if r.pl.avg {
+		comb.Items = append(comb.Items, item(fn("SUM", col("", "cnt")), "cnt"))
+	}
+	res, err := r.conns[best].runStmt(ctx, &sqlparser.SelectStmt{Body: comb})
+	if err != nil {
+		return fmt.Errorf("handoff combine on shard %d: %w", best, err)
+	}
+	if _, err := r.conns[best].runStmt(ctx, dropTable(inName)); err != nil {
+		return err
+	}
+
+	// Ship the combined queue back and swap it in for the old tables.
+	out, err := shard.DecodeBatch(shard.EncodeBatch(shard.Batch{Columns: msgCols, Rows: res.Rows}))
+	if err != nil {
+		return fmt.Errorf("handoff decode on shard %d: %w", worst, err)
+	}
+	outName := msgTableName(r.pl.tok, r.cte.Name, r.nameSeq.Add(1))
+	if err := r.insertBatch(ctx, r.conns[worst], outName, out); err != nil {
+		return fmt.Errorf("handoff return on shard %d: %w", worst, err)
+	}
+	old := r.pending[worst]
+	r.pending[worst] = []string{outName}
+	for _, name := range old {
+		if _, err := r.conns[worst].runStmt(ctx, dropTable(name)); err != nil {
+			return err
+		}
+	}
+	r.stats.Handoffs++
+	r.g.metrics.Counter("sqloop_shard_handoffs_total").Inc()
+	r.g.tracer.Emit(obs.ShardHandoff{Round: cycle, From: worst, To: best,
+		Tables: len(old), Rows: int64(len(all.Rows))})
+	return nil
+}
+
 // termKindString mirrors terminator.kindString for coordinator-emitted
 // events.
 func (r *shardedRun) termKindString() string {
@@ -982,7 +1643,6 @@ func (r *shardedRun) checkExprMerged(ctx context.Context) (bool, error) {
 // shard concurrently, barrier, exchange remote deltas, gather on every
 // shard concurrently, barrier, then the merged termination check.
 func (r *shardedRun) driveSync(ctx context.Context) error {
-	S := len(r.conns)
 	term := r.cte.Until
 	iters := r.startRound
 	for {
@@ -992,6 +1652,7 @@ func (r *shardedRun) driveSync(ctx context.Context) error {
 		if iters >= r.g.opts.MaxIterations {
 			return fmt.Errorf("core: iterative CTE %s exceeded %d iterations", r.cte.Name, r.g.opts.MaxIterations)
 		}
+		S := len(r.conns) // a rebalance changes it between rounds
 		iters++
 		r.rt.begin(iters)
 		var roundChanged int64
@@ -1055,9 +1716,14 @@ func (r *shardedRun) driveSync(ctx context.Context) error {
 		if done {
 			return nil
 		}
+		rebalanced, err := r.maybeRebalance(ctx, iters)
+		if err != nil {
+			return err
+		}
 		// Post-gather barrier: every message table has been delivered, so
-		// the partition tables are the complete state.
-		if r.ck.due(iters) {
+		// the partition tables are the complete state. A rebalance just
+		// checkpointed the new topology itself.
+		if !rebalanced && r.ck.due(iters) {
 			for x := range r.rounds {
 				r.rounds[x] = iters
 			}
@@ -1075,7 +1741,6 @@ func (r *shardedRun) driveSync(ctx context.Context) error {
 // happens immediately after its own cycle, so high-priority shards see
 // the freshest deltas first.
 func (r *shardedRun) driveAsync(ctx context.Context, prio bool) error {
-	S := len(r.conns)
 	term := r.cte.Until
 	iterTarget := term.N
 	if iterTarget < 1 {
@@ -1093,6 +1758,7 @@ func (r *shardedRun) driveAsync(ctx context.Context, prio bool) error {
 		if cycle >= r.g.opts.MaxIterations {
 			return fmt.Errorf("core: iterative CTE %s exceeded %d iterations", r.cte.Name, r.g.opts.MaxIterations)
 		}
+		S := len(r.conns) // a rebalance changes it between cycles
 		cycle++
 		r.rt.begin(cycle)
 		var cycleChanged int64
@@ -1131,6 +1797,11 @@ func (r *shardedRun) driveAsync(ctx context.Context, prio bool) error {
 					if err := r.exchange(ctx, cycle, one); err != nil {
 						return err
 					}
+				}
+			}
+			if r.g.gopts.Handoff {
+				if err := r.maybeHandoff(ctx, cycle, durs); err != nil {
+					return err
 				}
 			}
 		} else {
@@ -1220,7 +1891,11 @@ func (r *shardedRun) driveAsync(ctx context.Context, prio bool) error {
 			}
 		}
 
-		if r.ck.due(cycle) {
+		rebalanced, err := r.maybeRebalance(ctx, cycle)
+		if err != nil {
+			return err
+		}
+		if !rebalanced && r.ck.due(cycle) {
 			// Same soft barrier the in-process async executor uses: drain
 			// pending messages so the partitions alone carry the state.
 			if _, err := r.drainGather(ctx); err != nil {
@@ -1363,6 +2038,7 @@ func (r *shardedRun) saveCkpt(ctx context.Context, round int) error {
 	snap := &ckpt.Snapshot{
 		Key: ck.key, Query: ck.query, Mode: ck.mode, Engine: ck.s.dsn,
 		CTE: ck.cteName, Token: ck.token, Round: round, Partitions: r.pl.p,
+		Epoch:      r.g.epoch.Load(),
 		PartRounds: append([]int(nil), r.rounds...),
 		Columns:    append([]string(nil), r.pl.cols...),
 		CreatedAt:  time.Now().UTC(),

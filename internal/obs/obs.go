@@ -188,6 +188,65 @@ type ShardExchange struct {
 // Name implements Event.
 func (ShardExchange) Name() string { return "shard_exchange" }
 
+// ShardFailover is emitted when the shard-group coordinator replaces a
+// dead shard endpoint with a standby replica before replaying the run
+// from the last group checkpoint.
+type ShardFailover struct {
+	// Shard is the partition index whose endpoint was replaced.
+	Shard int
+	// From and To are the old (dead) and new (standby) engine DSNs.
+	From string
+	To   string
+	// Round is the checkpointed round the replay resumes after (0 when
+	// no snapshot existed yet and the run replays from the seed).
+	Round int
+	// Epoch is the group topology epoch after the swap.
+	Epoch int64
+}
+
+// Name implements Event.
+func (ShardFailover) Name() string { return "shard_failover" }
+
+// ShardRebalance is emitted when a shard group repartitions online
+// between rounds: partition rows are re-routed by PARTHASH under the
+// new shard count and shipped through the batch codec.
+type ShardRebalance struct {
+	// Round is the completed round the repartition landed after.
+	Round int
+	// From and To are the old and new shard counts.
+	From int
+	To   int
+	// Epoch is the group topology epoch after the change.
+	Epoch int64
+	// Rows counts partition rows that changed owner.
+	Rows int64
+	// Duration is the wall time of the whole repartition wave.
+	Duration time.Duration
+}
+
+// Name implements Event.
+func (ShardRebalance) Name() string { return "shard_rebalance" }
+
+// ShardHandoff is emitted when the prioritized async scheduler offloads
+// the slowest shard's pending delta queue: the straggler's undelivered
+// message rows are combined on a helper shard and handed back as one
+// pre-aggregated message table.
+type ShardHandoff struct {
+	// Round is the async cycle the handoff happened in.
+	Round int
+	// From is the straggler shard whose pending queue was offloaded.
+	From int
+	// To is the helper shard that combined the rows.
+	To int
+	// Tables is how many pending message tables were folded into one.
+	Tables int
+	// Rows is how many pending rows were shipped to the helper.
+	Rows int64
+}
+
+// Name implements Event.
+func (ShardHandoff) Name() string { return "shard_handoff" }
+
 // Restore is emitted when an execution starts from a snapshot instead
 // of the seed query.
 type Restore struct {

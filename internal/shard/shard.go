@@ -68,6 +68,33 @@ func Route(b Batch, keyCol, n int) ([]Batch, error) {
 	return out, nil
 }
 
+// Merge concatenates batches sharing one column layout into a single
+// batch, preserving row order across inputs. The elastic repartition
+// and straggler-handoff paths use it to fold per-source batches into
+// one shippable unit; empty inputs contribute nothing and a zero-batch
+// input list yields the zero Batch.
+func Merge(batches ...Batch) (Batch, error) {
+	var out Batch
+	for _, b := range batches {
+		if len(b.Columns) == 0 && len(b.Rows) == 0 {
+			continue
+		}
+		if out.Columns == nil {
+			out.Columns = b.Columns
+		} else if len(b.Columns) != len(out.Columns) {
+			return Batch{}, fmt.Errorf("shard: merge: %d columns, want %d", len(b.Columns), len(out.Columns))
+		} else {
+			for i, c := range b.Columns {
+				if c != out.Columns[i] {
+					return Batch{}, fmt.Errorf("shard: merge: column %d is %q, want %q", i, c, out.Columns[i])
+				}
+			}
+		}
+		out.Rows = append(out.Rows, b.Rows...)
+	}
+	return out, nil
+}
+
 // Wire format: magic, version, uvarint column count, column names as
 // uvarint-length strings, uvarint row count, then rows as one kind byte
 // per value followed by the value payload.

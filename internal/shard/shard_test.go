@@ -203,3 +203,59 @@ func multisetKey(rows [][]any) string {
 	sort.Strings(keys)
 	return fmt.Sprint(keys)
 }
+
+func TestMergeConcatenatesAndValidates(t *testing.T) {
+	a := Batch{Columns: []string{"id", "val"}, Rows: [][]any{{int64(1), 1.5}, {int64(2), 2.5}}}
+	b := Batch{Columns: []string{"id", "val"}, Rows: [][]any{{int64(3), nil}}}
+	empty := Batch{}
+	emptyCols := Batch{Columns: []string{"id", "val"}}
+
+	got, err := Merge(a, empty, b, emptyCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{{int64(1), 1.5}, {int64(2), 2.5}, {int64(3), nil}}
+	if !reflect.DeepEqual(got.Columns, a.Columns) || !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("Merge = %+v, want cols %v rows %v", got, a.Columns, want)
+	}
+
+	// Merge then Route must preserve the combined multiset — the
+	// invariant the repartition path depends on.
+	routed, err := Route(got, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat [][]any
+	for _, p := range routed {
+		flat = append(flat, p.Rows...)
+	}
+	if multisetKey(flat) != multisetKey(want) {
+		t.Fatalf("Merge+Route lost rows: %q != %q", multisetKey(flat), multisetKey(want))
+	}
+
+	if out, err := Merge(); err != nil || out.Columns != nil || out.Rows != nil {
+		t.Fatalf("Merge() = %+v, %v; want zero batch", out, err)
+	}
+	if _, err := Merge(a, Batch{Columns: []string{"id"}, Rows: [][]any{{int64(9)}}}); err == nil {
+		t.Error("Merge with mismatched column counts should fail")
+	}
+	if _, err := Merge(a, Batch{Columns: []string{"id", "cnt"}, Rows: [][]any{{int64(9), int64(1)}}}); err == nil {
+		t.Error("Merge with renamed column should fail")
+	}
+}
+
+func TestMergeSurvivesCodecRoundTrip(t *testing.T) {
+	a := Batch{Columns: []string{"id", "val"}, Rows: [][]any{{int64(1), 0.5}, {int64(7), math.Inf(1)}}}
+	b := Batch{Columns: []string{"id", "val"}, Rows: [][]any{{int64(4), -2.25}}}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBatch(EncodeBatch(merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, merged) {
+		t.Fatalf("codec round trip changed merged batch:\n got %+v\nwant %+v", dec, merged)
+	}
+}

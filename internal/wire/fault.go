@@ -55,12 +55,17 @@ func (k FaultKind) String() string {
 	}
 }
 
+// everyOp marks a persistent fault that fires on every round trip (see
+// ArmEvery) instead of at one scheduled op.
+const everyOp int64 = -1
+
 // Fault is one scheduled fault.
 type Fault struct {
 	// AtOp is the 1-based client round-trip count at which the fault
 	// fires. The counter is shared by every client attached to the same
 	// Injector (including reconnects), so schedules keep meaning across
-	// redials.
+	// redials. The sentinel -1 means "every round trip from now on"
+	// (a persistently dead endpoint; see ArmEvery).
 	AtOp int64
 	// Kind is what happens.
 	Kind FaultKind
@@ -93,6 +98,25 @@ func (i *Injector) Arm(kind FaultKind) {
 	i.faults = append(i.faults, Fault{AtOp: i.ops + 1, Kind: kind})
 }
 
+// ArmEvery schedules kind to fire on every round trip from now on — a
+// persistently dead endpoint, as opposed to Arm's single transient
+// fault. Elastic-shard tests use it to keep a killed shard dead across
+// the driver's redial attempts until a standby takes over. Disarm
+// clears it.
+func (i *Injector) ArmEvery(kind FaultKind) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faults = append(i.faults, Fault{AtOp: everyOp, Kind: kind})
+}
+
+// Disarm drops every pending fault (scheduled and persistent), leaving
+// the op counter intact: the endpoint heals.
+func (i *Injector) Disarm() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faults = nil
+}
+
 // Ops returns the round trips counted so far.
 func (i *Injector) Ops() int64 {
 	i.mu.Lock()
@@ -114,7 +138,7 @@ func (i *Injector) next() *Fault {
 	defer i.mu.Unlock()
 	i.ops++
 	for idx := range i.faults {
-		if i.faults[idx].AtOp == i.ops {
+		if i.faults[idx].AtOp == i.ops || i.faults[idx].AtOp == everyOp {
 			i.fired++
 			f := i.faults[idx]
 			return &f

@@ -184,3 +184,62 @@ func TestClientFrameTimeout(t *testing.T) {
 		t.Fatalf("delayed op failed: %v", err)
 	}
 }
+
+func TestInjectorArmEveryDisarm(t *testing.T) {
+	inj := NewInjector()
+	if inj.next() != nil {
+		t.Fatal("idle injector fired")
+	}
+	inj.ArmEvery(FaultErr)
+	for op := 0; op < 5; op++ {
+		f := inj.next()
+		if f == nil || f.Kind != FaultErr {
+			t.Fatalf("op %d after ArmEvery: fault = %v, want FaultErr every op", op, f)
+		}
+	}
+	inj.Disarm()
+	for op := 0; op < 3; op++ {
+		if f := inj.next(); f != nil {
+			t.Fatalf("op %d after Disarm: unexpected fault %v", op, f.Kind)
+		}
+	}
+	// Re-arming after Disarm works and one-shot Arm still wins back the
+	// schedule: it fires exactly once.
+	inj.Arm(FaultDelay)
+	if f := inj.next(); f == nil || f.Kind != FaultDelay {
+		t.Fatalf("one-shot after Disarm: %v", f)
+	}
+	if inj.next() != nil {
+		t.Fatal("one-shot fired twice after Disarm/Arm cycle")
+	}
+}
+
+// TestArmEveryKillsEndpointPersistently drives ArmEvery through a live
+// client: once armed, every subsequent operation fails — the behavior
+// the elastic failover tests rely on to emulate a dead-forever shard
+// at the protocol layer.
+func TestArmEveryKillsEndpointPersistently(t *testing.T) {
+	addr := faultTestServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	inj := NewInjector()
+	cl.SetInjector(inj)
+
+	if _, err := cl.Exec(`INSERT INTO f VALUES (1)`); err != nil {
+		t.Fatalf("healthy op failed: %v", err)
+	}
+	inj.ArmEvery(FaultErr)
+	for i := 0; i < 3; i++ {
+		_, err := cl.Exec(`INSERT INTO f VALUES (2)`)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d while armed: err = %v, want ErrInjected", i, err)
+		}
+	}
+	inj.Disarm()
+	if _, err := cl.Exec(`INSERT INTO f VALUES (3)`); err != nil {
+		t.Fatalf("op after Disarm failed: %v", err)
+	}
+}

@@ -92,6 +92,35 @@ func (r *Router) ShardGroup(opts Options, names ...string) (*ShardGroup, error) 
 	return core.NewShardGroup(shards, opts, false)
 }
 
+// ElasticShardGroup builds a scale-out group from named shard targets
+// with named standby targets as failover/rebalance replicas. Both
+// lists are borrowed from the router — Router.Close still owns them —
+// and any replicas already present in gopts.Replicas keep priority
+// over the named standbys.
+func (r *Router) ElasticShardGroup(gopts ShardGroupOptions, opts Options, names, standbys []string) (*ShardGroup, error) {
+	resolve := func(names []string) ([]*SQLoop, error) {
+		out := make([]*SQLoop, len(names))
+		for i, name := range names {
+			s, err := r.Target(name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	shards, err := resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	repl, err := resolve(standbys)
+	if err != nil {
+		return nil, err
+	}
+	gopts.Replicas = append(gopts.Replicas, repl...)
+	return core.NewElasticShardGroup(shards, gopts, opts, false)
+}
+
 // Target returns the named instance.
 func (r *Router) Target(name string) (*SQLoop, error) {
 	r.mu.RLock()

@@ -63,6 +63,13 @@ type (
 	// endpoints at once (scale-out), hash-partitioning the working
 	// table and exchanging deltas between rounds.
 	ShardGroup = core.ShardGroup
+	// ShardGroupOptions configures a group's elastic behaviour: standby
+	// replicas for failover and growth, scheduled online repartitions,
+	// and AsyncP straggler work handoff.
+	ShardGroupOptions = core.ShardGroupOptions
+	// RebalanceStep is one scheduled online repartition (change the
+	// shard count after a given round completes).
+	RebalanceStep = core.RebalanceStep
 )
 
 // Re-exported serving-layer types (see internal/serve): multi-tenant
@@ -128,6 +135,9 @@ type (
 	RestoreEvent          = obs.Restore
 	RetryEvent            = obs.Retry
 	ShardExchangeEvent    = obs.ShardExchange
+	ShardFailoverEvent    = obs.ShardFailover
+	ShardRebalanceEvent   = obs.ShardRebalance
+	ShardHandoffEvent     = obs.ShardHandoff
 )
 
 // MultiTracer fans events out to every non-nil tracer.
@@ -413,25 +423,48 @@ func NewShardGroup(shards []*SQLoop, opts Options) (*ShardGroup, error) {
 	return core.NewShardGroup(shards, opts, false)
 }
 
+// NewElasticShardGroup builds a scale-out group with elastic behaviour:
+// standby replicas in gopts.Replicas take over for dead shards
+// (failover) and activate when the shard count grows, and
+// gopts.Rebalance (or ShardGroup.RequestRebalance) repartitions the
+// working table online between rounds. The group borrows the shards
+// and replicas; closing it leaves them open.
+func NewElasticShardGroup(shards []*SQLoop, gopts ShardGroupOptions, opts Options) (*ShardGroup, error) {
+	return core.NewElasticShardGroup(shards, gopts, opts, false)
+}
+
 // OpenEmbeddedShards spins up n embedded engines of the named profile
 // and groups them for scale-out execution. The group owns the engines:
 // Close shuts all of them down.
 func OpenEmbeddedShards(profile string, n int, opts Options, extra ...OpenOption) (*ShardGroup, error) {
+	return OpenEmbeddedElasticShards(profile, n, 0, ShardGroupOptions{}, opts, extra...)
+}
+
+// OpenEmbeddedElasticShards spins up n embedded shard engines plus
+// replicas standby engines of the named profile and groups them
+// elastically. Replicas listed in gopts.Replicas are prepended to the
+// standby pool ahead of the freshly-opened ones. The group owns every
+// engine it opened: Close shuts them all down.
+func OpenEmbeddedElasticShards(profile string, n, replicas int, gopts ShardGroupOptions, opts Options, extra ...OpenOption) (*ShardGroup, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sqloop: shard count %d, need at least 1", n)
 	}
-	shards := make([]*SQLoop, 0, n)
-	for i := 0; i < n; i++ {
+	if replicas < 0 {
+		return nil, fmt.Errorf("sqloop: replica count %d, need at least 0", replicas)
+	}
+	all := make([]*SQLoop, 0, n+replicas)
+	for i := 0; i < n+replicas; i++ {
 		s, err := OpenEmbedded(profile, opts, extra...)
 		if err != nil {
-			for _, prev := range shards {
+			for _, prev := range all {
 				_ = prev.Close()
 			}
 			return nil, err
 		}
-		shards = append(shards, s)
+		all = append(all, s)
 	}
-	return core.NewShardGroup(shards, opts, true)
+	gopts.Replicas = append(gopts.Replicas, all[n:]...)
+	return core.NewElasticShardGroup(all[:n], gopts, opts, true)
 }
 
 // Server is a network-facing embedded engine (the standalone form of
